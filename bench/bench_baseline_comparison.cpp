@@ -1,0 +1,117 @@
+// Tight coupling vs. decoupled baseline — the paper's §I/§II motivating
+// claim, quantified.
+//
+// The decoupled baseline (modeled on [19]/[20]) enumerates every data path
+// as a candidate and ranks them with an optimizer-independent heuristic.
+// Both advisors get the same budget; both recommendations are then judged
+// by the REAL system: estimated workload speedup under the actual
+// optimizer, and the fraction of recommended indexes that appear in any
+// best plan ("there is no guarantee that the optimizer will use the
+// recommended indexes").
+
+#include <set>
+
+#include "advisor/baseline.h"
+#include "bench/bench_common.h"
+#include "engine/normalizer.h"
+
+namespace {
+
+using namespace xia;         // NOLINT
+using namespace xia::bench;  // NOLINT
+
+struct Judged {
+  double est_speedup = 0;
+  size_t recommended = 0;
+  size_t used_in_plans = 0;
+  double total_size = 0;
+};
+
+// Materializes `indexes` virtually and judges them with the real optimizer.
+Judged Judge(BenchContext* ctx, const engine::Workload& workload,
+             const std::vector<advisor::RecommendedIndex>& indexes) {
+  Judged out;
+  out.recommended = indexes.size();
+  storage::Catalog catalog(&ctx->store, &ctx->statistics);
+  int i = 0;
+  for (const auto& ri : indexes) {
+    auto created = catalog.CreateVirtualIndex(
+        StringPrintf("judge_%d", i++), ri.collection, ri.pattern);
+    if (!created.ok()) {
+      std::fprintf(stderr, "fatal: %s\n",
+                   created.status().ToString().c_str());
+      std::exit(1);
+    }
+    out.total_size += static_cast<double>(ri.size_bytes);
+  }
+  optimizer::Optimizer opt(&ctx->store, &catalog, &ctx->statistics);
+  double base_cost = 0;
+  double with_cost = 0;
+  std::set<std::string> used;
+  for (const auto& stmt : workload) {
+    base_cost += stmt.frequency *
+                 Unwrap(opt.OptimizeWithoutIndexes(stmt), "base").est_cost;
+    const optimizer::Plan plan = Unwrap(opt.Optimize(stmt), "plan");
+    with_cost += stmt.frequency * plan.est_cost;
+    for (const auto& leg : plan.legs) used.insert(leg.index_name);
+  }
+  out.used_in_plans = used.size();
+  out.est_speedup = with_cost <= 0 ? 1.0 : base_cost / with_cost;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  auto ctx = MakeContext();
+  const engine::Workload workload = QueryWorkload();
+  auto all_index = Unwrap(ctx->advisor->AllIndexConfiguration(workload),
+                          "all-index");
+
+  advisor::DecoupledAdvisor baseline(&ctx->store, &ctx->statistics);
+
+  PrintHeader("Tight coupling vs decoupled baseline (SII comparison)");
+  advisor::DecoupledOptions count_options;
+  const size_t baseline_candidates =
+      Unwrap(baseline.CountCandidates(workload, count_options), "count");
+  std::printf("candidate sets: tight advisor %zu (optimizer-enumerated + "
+              "generalized),\n                decoupled baseline %zu (every "
+              "valued data path)\n\n",
+              Unwrap(ctx->advisor->BuildCandidates(workload, true),
+                     "candidates")
+                  .size(),
+              baseline_candidates);
+
+  std::printf("%-10s %-22s %8s %8s %12s %10s\n", "budget", "advisor",
+              "speedup", "#idx", "used-in-plan", "size");
+  for (double multiple : {0.5, 1.0, 2.0}) {
+    const double budget = multiple * all_index.total_size_bytes;
+    // Tight advisor.
+    advisor::AdvisorOptions tight_options;
+    tight_options.algorithm = advisor::SearchAlgorithm::kGreedyWithHeuristics;
+    tight_options.disk_budget_bytes = budget;
+    auto tight = Unwrap(ctx->advisor->Recommend(workload, tight_options),
+                        "tight");
+    const Judged tj = Judge(ctx.get(), workload, tight.indexes);
+    std::printf("%-10s %-22s %7.2fx %8zu %7zu/%-4zu %10s\n",
+                StringPrintf("%.1fx", multiple).c_str(), "tight (heuristics)",
+                tj.est_speedup, tj.recommended, tj.used_in_plans,
+                tj.recommended, HumanBytes(tj.total_size).c_str());
+
+    // Decoupled baseline.
+    advisor::DecoupledOptions base_options;
+    base_options.disk_budget_bytes = budget;
+    auto rec = Unwrap(baseline.Recommend(workload, base_options), "baseline");
+    const Judged bj = Judge(ctx.get(), workload, rec.indexes);
+    std::printf("%-10s %-22s %7.2fx %8zu %7zu/%-4zu %10s\n", "",
+                "decoupled (XIST-like)", bj.est_speedup, bj.recommended,
+                bj.used_in_plans, bj.recommended,
+                HumanBytes(bj.total_size).c_str());
+  }
+  std::printf(
+      "\nShape check (SII): the decoupled baseline floods its budget with\n"
+      "indexes the optimizer never uses and reaches a lower speedup at\n"
+      "every budget; tight coupling guarantees recommended indexes are\n"
+      "matched and costed exactly as the optimizer will use them.\n");
+  return 0;
+}

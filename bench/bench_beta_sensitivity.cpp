@@ -1,0 +1,48 @@
+// Beta sensitivity (§VI-A): the greedy-with-heuristics size-admission
+// condition Size(x_general) <= (1 + beta) * sum Size(x_i) gates how freely
+// general indexes enter the configuration. The paper reports "we have
+// found beta = 10% to work well". This sweep documents what the knob does
+// under this reproduction's cost model: the *benefit* admission condition
+// IB(x_general) >= IB(x_1..x_n) already rejects generals on the TPoX
+// workload (a general index scans more entries and one more level than the
+// exact-match specifics it replaces), so the configuration is flat in
+// beta — consistent with Table IV, where greedy+heuristics recommends G:0
+// at every budget. Beta only binds when a general is benefit-competitive,
+// which requires a cost model that prices general probes at par (as DB2's
+// apparently did).
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace xia;           // NOLINT
+  using namespace xia::bench;    // NOLINT
+
+  auto ctx = MakeContext();
+  const engine::Workload workload = MixedWorkload(*ctx);
+  auto all_index = Unwrap(ctx->advisor->AllIndexConfiguration(workload),
+                          "all-index");
+
+  PrintHeader("Beta sensitivity (greedy + heuristics, SVI-A)");
+  std::printf("budget = 0.6x AllIndex = %s (cannot fit every specific index)\n\n",
+              HumanBytes(0.6 * all_index.total_size_bytes).c_str());
+  std::printf("%-8s %10s %8s %8s %12s\n", "beta", "speedup", "#gen",
+              "#spec", "size");
+
+  for (double beta : {0.0, 0.05, 0.10, 0.25, 0.50, 1.0, 4.0}) {
+    advisor::AdvisorOptions options;
+    options.algorithm = advisor::SearchAlgorithm::kGreedyWithHeuristics;
+    options.disk_budget_bytes = 0.6 * all_index.total_size_bytes;
+    options.beta = beta;
+    auto rec = Unwrap(ctx->advisor->Recommend(workload, options),
+                      "recommend");
+    std::printf("%-8.2f %9.2fx %8d %8d %12s\n", beta, rec.est_speedup,
+                rec.general_count, rec.specific_count,
+                HumanBytes(rec.total_size_bytes).c_str());
+  }
+  std::printf("\nShape check: the sweep is flat — the SVI-A *benefit*"
+              " condition, not the size\ncondition, is what keeps"
+              " greedy+heuristics all-specific here (Table IV's G:0\n"
+              "rows). Any beta on the plateau, including the paper's 0.10,"
+              " is equivalent for\nthis workload.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Shared setup for the experiment harnesses.
+//
+// Each bench binary regenerates one table or figure of the paper
+// (see DESIGN.md §3). The database is a TPoX-style instance scaled to
+// laptop size; disk budgets are expressed relative to the All-Index
+// configuration size so crossovers land where the paper's do (the paper's
+// budgets 100 MB..2 GB bracket its 95 MB All-Index configuration).
+
+#ifndef XIA_BENCH_BENCH_COMMON_H_
+#define XIA_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "advisor/advisor.h"
+#include "engine/query_parser.h"
+#include "storage/document_store.h"
+#include "storage/statistics.h"
+#include "tpox/synthetic.h"
+#include "tpox/tpox_data.h"
+#include "tpox/tpox_workload.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace xia::bench {
+
+/// A TPoX database instance plus its advisor.
+struct BenchContext {
+  storage::DocumentStore store;
+  storage::StatisticsCatalog statistics;
+  std::unique_ptr<advisor::IndexAdvisor> advisor;
+};
+
+/// Builds the standard bench database. Exits on failure (benches are
+/// top-level binaries).
+inline std::unique_ptr<BenchContext> MakeContext(size_t securities = 800,
+                                                 size_t orders = 1200,
+                                                 size_t custaccs = 300,
+                                                 uint64_t seed = 42) {
+  auto ctx = std::make_unique<BenchContext>();
+  tpox::TpoxScale scale;
+  scale.security_docs = securities;
+  scale.order_docs = orders;
+  scale.custacc_docs = custaccs;
+  scale.seed = seed;
+  if (Status s = tpox::BuildTpoxDatabase(scale, &ctx->store,
+                                         &ctx->statistics);
+      !s.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+  ctx->advisor =
+      std::make_unique<advisor::IndexAdvisor>(&ctx->store, &ctx->statistics);
+  return ctx;
+}
+
+/// The 11-query TPoX workload; exits on failure.
+inline engine::Workload QueryWorkload() {
+  auto w = tpox::TpoxQueries();
+  if (!w.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", w.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(*w);
+}
+
+/// The 20-query mixed workload of §VII-C: the 11 TPoX queries followed by
+/// 9 synthetic queries for diversity.
+inline engine::Workload MixedWorkload(const BenchContext& ctx,
+                                      uint64_t seed = 7) {
+  engine::Workload w = QueryWorkload();
+  Random rng(seed);
+  auto synthetic = tpox::GenerateSyntheticWorkload(
+      ctx.statistics,
+      {tpox::kSecurityCollection, tpox::kOrderCollection,
+       tpox::kCustAccCollection},
+      9, &rng);
+  if (!synthetic.ok()) {
+    std::fprintf(stderr, "fatal: %s\n",
+                 synthetic.status().ToString().c_str());
+    std::exit(1);
+  }
+  for (auto& stmt : *synthetic) w.push_back(std::move(stmt));
+  return w;
+}
+
+/// All five search algorithms in the paper's presentation order.
+inline const std::vector<advisor::SearchAlgorithm>& AllAlgorithms() {
+  static const std::vector<advisor::SearchAlgorithm> kAlgorithms = {
+      advisor::SearchAlgorithm::kGreedy,
+      advisor::SearchAlgorithm::kGreedyWithHeuristics,
+      advisor::SearchAlgorithm::kTopDownLite,
+      advisor::SearchAlgorithm::kTopDownFull,
+      advisor::SearchAlgorithm::kDynamicProgramming,
+  };
+  return kAlgorithms;
+}
+
+/// Unwraps a Result or exits with its error.
+template <typename T>
+T Unwrap(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "fatal (%s): %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace xia::bench
+
+#endif  // XIA_BENCH_BENCH_COMMON_H_

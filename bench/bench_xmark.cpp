@@ -1,0 +1,75 @@
+// XMark secondary benchmark (the paper reports XMark results in its
+// extended technical report CS-2007-22): the Figure-2 style budget sweep
+// and the Table-III candidate counts, on the auction-site schema.
+//
+// Expected shape: same qualitative behaviour as TPoX — speedups approach
+// the All-Index reference with budget, generalization expands the
+// candidate set — on a structurally different schema (deeper nesting,
+// attribute-heavy patterns).
+
+#include "bench/bench_common.h"
+#include "tpox/xmark.h"
+
+int main() {
+  using namespace xia;           // NOLINT
+  using namespace xia::bench;    // NOLINT
+
+  storage::DocumentStore store;
+  storage::StatisticsCatalog statistics;
+  tpox::XmarkScale scale;
+  scale.items = 900;
+  scale.auctions = 900;
+  scale.persons = 450;
+  if (Status s = tpox::BuildXmarkDatabase(scale, &store, &statistics);
+      !s.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  advisor::IndexAdvisor advisor(&store, &statistics);
+
+  auto workload = Unwrap(tpox::XmarkQueries(), "xmark queries");
+  auto all_index = Unwrap(advisor.AllIndexConfiguration(workload),
+                          "all-index");
+
+  PrintHeader("XMark: estimated speedup vs disk budget (Fig. 2 analogue)");
+  std::printf("All-Index: %zu indexes, %s, speedup %.2fx\n\n",
+              all_index.indexes.size(),
+              HumanBytes(all_index.total_size_bytes).c_str(),
+              all_index.est_speedup);
+
+  const std::vector<double> fractions = {0.25, 0.5, 1.0, 2.0};
+  std::printf("%-22s", "budget (xAllIndex)");
+  for (double f : fractions) std::printf("%8.2f", f);
+  std::printf("\n");
+  for (advisor::SearchAlgorithm algo : AllAlgorithms()) {
+    std::printf("%-22s", advisor::SearchAlgorithmName(algo));
+    for (double f : fractions) {
+      advisor::AdvisorOptions options;
+      options.algorithm = algo;
+      options.disk_budget_bytes = f * all_index.total_size_bytes;
+      auto rec = Unwrap(advisor.Recommend(workload, options), "recommend");
+      std::printf("%8.2f", rec.est_speedup);
+    }
+    std::printf("\n");
+  }
+
+  PrintHeader("XMark: candidate counts (Table III analogue)");
+  std::printf("%-10s %-14s %-14s\n", "queries", "basic cands.",
+              "total cands.");
+  for (size_t queries : {10, 20, 30}) {
+    Random rng(500 + queries);
+    auto synthetic = Unwrap(
+        tpox::GenerateSyntheticWorkload(
+            statistics,
+            {tpox::kXmarkItemCollection, tpox::kXmarkAuctionCollection,
+             tpox::kXmarkPersonCollection},
+            queries, &rng),
+        "synthetic");
+    auto set = Unwrap(advisor.BuildCandidates(synthetic, true), "candidates");
+    std::printf("%-10zu %-14zu %-14zu\n", queries, set.basic_count,
+                set.size());
+  }
+  std::printf("\nShape check: same qualitative behaviour as TPoX on a second"
+              " schema.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Quickstart: the paper's running example end to end.
+//
+// Builds a TPoX-style database, runs queries Q1 and Q2 from §III of the
+// paper through the advisor pipeline, and shows: the basic candidates the
+// optimizer enumerates (C1..C3 of Table I), the generalized candidate
+// (/Security//*, C4), the recommendation for a disk budget, and the plans
+// the optimizer picks before and after the recommended indexes are built.
+
+#include <cstdio>
+
+#include "advisor/advisor.h"
+#include "advisor/generalize.h"
+#include "engine/executor.h"
+#include "engine/query_parser.h"
+#include "optimizer/optimizer.h"
+#include "storage/catalog.h"
+#include "tpox/tpox_data.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace xia;  // NOLINT: example brevity
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  // 1. Build the database and collect statistics (RUNSTATS).
+  storage::DocumentStore store;
+  storage::StatisticsCatalog statistics;
+  tpox::TpoxScale scale;
+  scale.security_docs = 1000;
+  scale.order_docs = 1500;
+  scale.custacc_docs = 400;
+  if (Status s = tpox::BuildTpoxDatabase(scale, &store, &statistics);
+      !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("Loaded TPoX-style database: %zu securities, %zu orders, %zu "
+              "customer docs\n\n",
+              scale.security_docs, scale.order_docs, scale.custacc_docs);
+
+  // 2. The paper's running-example workload (§III).
+  engine::Workload workload;
+  for (const char* text :
+       {"for $sec in SECURITY('SDOC')/Security "
+        "where $sec/Symbol = \"SYM000101\" return $sec",
+        "for $sec in SECURITY('SDOC')/Security[Yield > 4.5] "
+        "where $sec/SecInfo/*/Sector = \"Energy\" "
+        "return <Security>{$sec/Name}</Security>"}) {
+    auto stmt = engine::ParseStatement(text);
+    if (!stmt.ok()) return Fail(stmt.status());
+    workload.push_back(std::move(*stmt));
+  }
+
+  // 3. Candidate enumeration + generalization (Table I).
+  advisor::IndexAdvisor adv(&store, &statistics);
+  auto candidates = adv.BuildCandidates(workload, /*generalize=*/true);
+  if (!candidates.ok()) return Fail(candidates.status());
+  std::printf("Candidates (basic first, then generalized):\n");
+  for (const auto& c : candidates->candidates) {
+    std::printf("  C%-2d %-40s %-8s %s  size=%s\n", c.id + 1,
+                c.pattern.path.ToString().c_str(),
+                xpath::ValueTypeToString(c.pattern.type),
+                c.is_general ? "[general]" : "[basic]  ",
+                HumanBytes(static_cast<double>(c.size_bytes())).c_str());
+  }
+
+  // 4. Recommend a configuration under a disk budget.
+  advisor::AdvisorOptions options;
+  options.disk_budget_bytes = 512.0 * 1024;
+  options.algorithm = advisor::SearchAlgorithm::kTopDownFull;
+  auto rec = adv.Recommend(workload, options);
+  if (!rec.ok()) return Fail(rec.status());
+  std::printf("\nRecommendation (budget %s, top-down full):\n",
+              HumanBytes(options.disk_budget_bytes).c_str());
+  for (const auto& ri : rec->indexes) {
+    std::printf("  %-40s %s\n    %s\n", ri.pattern.path.ToString().c_str(),
+                ri.is_general ? "[general]" : "[specific]", ri.ddl.c_str());
+  }
+  std::printf("  total size %s, estimated speedup %.2fx, %llu optimizer "
+              "calls, %.3fs\n",
+              HumanBytes(rec->total_size_bytes).c_str(), rec->est_speedup,
+              static_cast<unsigned long long>(rec->optimizer_calls),
+              rec->advisor_seconds);
+
+  // 5. Materialize the recommendation and show plans before/after.
+  storage::Catalog catalog(&store, &statistics);
+  optimizer::Optimizer opt(&store, &catalog, &statistics);
+  std::printf("\nPlans before indexes:\n");
+  for (const auto& stmt : workload) {
+    auto plan = opt.Optimize(stmt);
+    if (!plan.ok()) return Fail(plan.status());
+    std::printf("  %s\n", plan->Describe().c_str());
+  }
+  if (Status s = adv.Materialize(*rec, &catalog); !s.ok()) return Fail(s);
+  std::printf("\nPlans after materializing the recommendation:\n");
+  engine::Executor executor(&store, &catalog);
+  for (const auto& stmt : workload) {
+    auto plan = opt.Optimize(stmt);
+    if (!plan.ok()) return Fail(plan.status());
+    auto result = executor.Execute(stmt, *plan);
+    if (!result.ok()) return Fail(result.status());
+    std::printf("  %s\n    -> %llu results, %llu docs examined, %.4fs\n",
+                plan->Describe().c_str(),
+                static_cast<unsigned long long>(result->result_count),
+                static_cast<unsigned long long>(result->docs_examined),
+                result->wall_seconds);
+  }
+  return 0;
+}

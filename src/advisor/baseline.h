@@ -1,0 +1,80 @@
+// A *decoupled* baseline advisor, modeled on the systems the paper
+// criticizes in §II ([19] Hammerschmidt et al., [20] XIST):
+//
+//  * candidate generation is data-driven — every concrete rooted path with
+//    values becomes a candidate ("the candidate indexes used in [20] are
+//    the paths that occur in the data"), which the paper calls "an
+//    uncontrolled explosion of the space";
+//  * the cost model is independent of the query optimizer — a heuristic
+//    over path statistics and shallow workload text matching, so there is
+//    "no guarantee that the optimizer will use the recommended indexes and
+//    no guarantee that the benefits ... are estimated with any accuracy";
+//  * configuration selection is a plain greedy knapsack.
+//
+// The bench_baseline_comparison harness evaluates its recommendations with
+// the *real* optimizer to quantify exactly those two failure modes against
+// the tightly-coupled advisor.
+
+#ifndef XIA_ADVISOR_BASELINE_H_
+#define XIA_ADVISOR_BASELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "advisor/advisor.h"
+#include "engine/query.h"
+#include "storage/cost_constants.h"
+#include "storage/document_store.h"
+#include "storage/statistics.h"
+#include "util/status.h"
+
+namespace xia::advisor {
+
+/// Options for the decoupled baseline.
+struct DecoupledOptions {
+  double disk_budget_bytes = 100.0 * 1024 * 1024;
+  /// Paths deeper than this are not considered (the baseline's only guard
+  /// against its own candidate explosion).
+  size_t max_path_depth = 8;
+};
+
+/// The decoupled advisor. Produces the same Recommendation shape as
+/// IndexAdvisor so harnesses can evaluate both identically.
+class DecoupledAdvisor {
+ public:
+  DecoupledAdvisor(const storage::DocumentStore* store,
+                   const storage::StatisticsCatalog* statistics,
+                   const storage::CostConstants& cc =
+                       storage::DefaultCostConstants())
+      : store_(store), statistics_(statistics), cc_(cc) {}
+
+  /// Recommends a configuration using only data statistics and workload
+  /// text — never consulting the optimizer.
+  Result<Recommendation> Recommend(const engine::Workload& workload,
+                                   const DecoupledOptions& options) const;
+
+  /// Number of candidates the data-driven enumeration produces (Table-III
+  /// style accounting of the §II "explosion" critique).
+  Result<size_t> CountCandidates(const engine::Workload& workload,
+                                 const DecoupledOptions& options) const;
+
+ private:
+  struct BaselineCandidate {
+    std::string collection;
+    xpath::IndexPattern pattern;
+    double heuristic_benefit = 0;
+    uint64_t size_bytes = 0;
+  };
+
+  Result<std::vector<BaselineCandidate>> EnumerateCandidates(
+      const engine::Workload& workload,
+      const DecoupledOptions& options) const;
+
+  const storage::DocumentStore* store_;
+  const storage::StatisticsCatalog* statistics_;
+  storage::CostConstants cc_;
+};
+
+}  // namespace xia::advisor
+
+#endif  // XIA_ADVISOR_BASELINE_H_

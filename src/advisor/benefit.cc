@@ -1,0 +1,164 @@
+#include "advisor/benefit.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace xia::advisor {
+
+BenefitEvaluator::BenefitEvaluator(const engine::Workload* workload,
+                                   const CandidateSet* set,
+                                   storage::Catalog* catalog,
+                                   const storage::StatisticsCatalog* statistics,
+                                   const storage::DocumentStore* store,
+                                   Options options)
+    : workload_(workload),
+      set_(set),
+      catalog_(catalog),
+      optimizer_(store, catalog, statistics),
+      options_(options) {}
+
+Status BenefitEvaluator::Initialize() {
+  base_costs_.assign(workload_->size(), 0.0);
+  base_workload_cost_ = 0;
+  for (size_t s = 0; s < workload_->size(); ++s) {
+    auto plan = optimizer_.OptimizeWithoutIndexes((*workload_)[s]);
+    if (!plan.ok()) return plan.status();
+    base_costs_[s] = plan->est_cost;
+    base_workload_cost_ += (*workload_)[s].frequency * plan->est_cost;
+  }
+  initialized_ = true;
+  return Status::OK();
+}
+
+std::vector<std::vector<int>> BenefitEvaluator::Decompose(
+    const std::vector<int>& config) const {
+  if (!options_.use_subconfigurations) return {config};
+  // Union-find over configuration members; union when affected sets
+  // overlap.
+  const size_t n = config.size();
+  std::vector<size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<size_t(size_t)> find = [&](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto overlap = [&](int a, int b) {
+    const auto& sa = (*set_)[static_cast<size_t>(a)].affected;
+    const auto& sb = (*set_)[static_cast<size_t>(b)].affected;
+    for (size_t x : sa) {
+      if (std::find(sb.begin(), sb.end(), x) != sb.end()) return true;
+    }
+    return false;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (overlap(config[i], config[j])) {
+        parent[find(i)] = find(j);
+      }
+    }
+  }
+  std::map<size_t, std::vector<int>> groups;
+  for (size_t i = 0; i < n; ++i) groups[find(i)].push_back(config[i]);
+  std::vector<std::vector<int>> out;
+  out.reserve(groups.size());
+  for (auto& [_, group] : groups) {
+    std::sort(group.begin(), group.end());
+    out.push_back(std::move(group));
+  }
+  return out;
+}
+
+Result<double> BenefitEvaluator::SubConfigurationQueryBenefit(
+    const std::vector<int>& sub) {
+  auto it = cache_.find(sub);
+  if (it != cache_.end()) {
+    ++cache_hits_;
+    return it->second;
+  }
+  ++cache_misses_;
+
+  // Create the sub-configuration's indexes virtually.
+  catalog_->DropAllVirtualIndexes();
+  for (int id : sub) {
+    const Candidate& c = (*set_)[static_cast<size_t>(id)];
+    auto created = catalog_->CreateVirtualIndex(
+        StringPrintf("whatif_cand_%d", id), c.collection, c.pattern);
+    if (!created.ok()) return created.status();
+  }
+
+  // Statements worth re-optimizing: union of affected sets (or everything
+  // when the pruning is disabled).
+  std::set<size_t> statements;
+  if (options_.use_affected_sets) {
+    for (int id : sub) {
+      const Candidate& c = (*set_)[static_cast<size_t>(id)];
+      statements.insert(c.affected.begin(), c.affected.end());
+    }
+  } else {
+    for (size_t s = 0; s < workload_->size(); ++s) statements.insert(s);
+  }
+
+  double benefit = 0;
+  for (size_t s : statements) {
+    auto plan = optimizer_.Optimize((*workload_)[s]);
+    if (!plan.ok()) return plan.status();
+    benefit +=
+        (*workload_)[s].frequency * (base_costs_[s] - plan->est_cost);
+  }
+  catalog_->DropAllVirtualIndexes();
+  cache_.emplace(sub, benefit);
+  return benefit;
+}
+
+double BenefitEvaluator::MaintenanceCharge(
+    const std::vector<int>& config) const {
+  if (!options_.charge_maintenance) return 0;
+  double charge = 0;
+  for (size_t s = 0; s < workload_->size(); ++s) {
+    const engine::Statement& stmt = (*workload_)[s];
+    if (stmt.is_query()) continue;
+    for (int id : config) {
+      const Candidate& c = (*set_)[static_cast<size_t>(id)];
+      if (c.collection != stmt.collection()) continue;
+      charge += stmt.frequency *
+                optimizer_.MaintenanceCost(stmt, c.pattern, c.stats);
+    }
+  }
+  return charge;
+}
+
+Result<double> BenefitEvaluator::ConfigurationBenefit(
+    const std::vector<int>& config) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("BenefitEvaluator not initialized");
+  }
+  if (config.empty()) return 0.0;
+  double benefit = 0;
+  for (const std::vector<int>& sub : Decompose(config)) {
+    XIA_ASSIGN_OR_RETURN(const double sub_benefit,
+                         SubConfigurationQueryBenefit(sub));
+    benefit += sub_benefit;
+  }
+  return benefit - MaintenanceCharge(config);
+}
+
+Result<double> BenefitEvaluator::ConfigurationCost(
+    const std::vector<int>& config) {
+  XIA_ASSIGN_OR_RETURN(const double benefit, ConfigurationBenefit(config));
+  return base_workload_cost_ - benefit;
+}
+
+Result<double> BenefitEvaluator::ConfigurationSpeedup(
+    const std::vector<int>& config) {
+  XIA_ASSIGN_OR_RETURN(const double cost, ConfigurationCost(config));
+  if (cost <= 0) return 1e12;  // degenerate: configuration removed all cost
+  return base_workload_cost_ / cost;
+}
+
+}  // namespace xia::advisor

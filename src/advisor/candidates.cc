@@ -1,0 +1,61 @@
+#include "advisor/candidates.h"
+
+#include <algorithm>
+
+namespace xia::advisor {
+
+std::string Candidate::ToString() const {
+  std::string out = pattern.ToString() + " on " + collection;
+  if (is_general) out += " [general]";
+  return out;
+}
+
+int CandidateSet::Find(const std::string& collection,
+                       const xpath::IndexPattern& pattern) const {
+  for (const Candidate& c : candidates) {
+    if (c.collection == collection && c.pattern == pattern) return c.id;
+  }
+  return -1;
+}
+
+Result<CandidateSet> EnumerateBasicCandidates(
+    const engine::Workload& workload, const optimizer::Optimizer& optimizer) {
+  CandidateSet set;
+  for (size_t s = 0; s < workload.size(); ++s) {
+    auto patterns = optimizer.EnumerateIndexes(workload[s]);
+    if (!patterns.ok()) return patterns.status();
+    const std::string& collection = workload[s].collection();
+    for (const xpath::IndexPattern& pattern : *patterns) {
+      int id = set.Find(collection, pattern);
+      if (id < 0) {
+        Candidate c;
+        c.id = static_cast<int>(set.candidates.size());
+        c.collection = collection;
+        c.pattern = pattern;
+        c.is_general = false;
+        c.covered_basics = {c.id};
+        set.candidates.push_back(std::move(c));
+        id = set.candidates.back().id;
+      }
+      auto& affected = set.candidates[static_cast<size_t>(id)].affected;
+      if (std::find(affected.begin(), affected.end(), s) == affected.end()) {
+        affected.push_back(s);
+      }
+    }
+  }
+  set.basic_count = set.candidates.size();
+  return set;
+}
+
+Status PopulateStatistics(CandidateSet* set,
+                          const storage::StatisticsCatalog& statistics,
+                          const storage::CostConstants& cc) {
+  for (Candidate& c : set->candidates) {
+    auto data = statistics.Get(c.collection);
+    if (!data.ok()) return data.status();
+    c.stats = (*data)->DeriveIndexStats(c.pattern, cc);
+  }
+  return Status::OK();
+}
+
+}  // namespace xia::advisor

@@ -1,0 +1,74 @@
+// Candidate indexes and the basic candidate set (§IV).
+//
+// Basic candidates come straight from the optimizer's Enumerate Indexes
+// mode, one probe per workload statement; each candidate remembers which
+// statements produced it — its *affected set* (§VI-C) — and is later
+// annotated with derived statistics (size, levels) from the collection's
+// data statistics.
+
+#ifndef XIA_ADVISOR_CANDIDATES_H_
+#define XIA_ADVISOR_CANDIDATES_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/query.h"
+#include "optimizer/optimizer.h"
+#include "storage/statistics.h"
+#include "util/status.h"
+#include "xpath/path.h"
+
+namespace xia::advisor {
+
+/// One candidate index.
+struct Candidate {
+  /// Position in CandidateSet::candidates.
+  int id = -1;
+  std::string collection;
+  xpath::IndexPattern pattern;
+  /// True when produced by the generalization step (§V).
+  bool is_general = false;
+  /// DAG edges: immediate more-specific candidates this one covers.
+  std::vector<int> children;
+  /// DAG edges: immediate generalizations of this candidate.
+  std::vector<int> parents;
+  /// Ids of the *basic* candidates whose patterns this candidate covers
+  /// (for a basic candidate: itself).
+  std::vector<int> covered_basics;
+  /// Workload statement indices that can benefit from this index (§VI-C).
+  std::vector<size_t> affected;
+  /// Statistics derived from data statistics (the virtual-index stats).
+  storage::IndexStats stats;
+
+  uint64_t size_bytes() const { return stats.size_bytes; }
+  std::string ToString() const;
+};
+
+/// The candidate set: basic candidates first, generalized ones appended.
+struct CandidateSet {
+  std::vector<Candidate> candidates;
+  /// candidates[0 .. basic_count) are the basic set.
+  size_t basic_count = 0;
+
+  /// Index of the candidate with this collection and pattern, or -1.
+  int Find(const std::string& collection,
+           const xpath::IndexPattern& pattern) const;
+
+  size_t size() const { return candidates.size(); }
+  const Candidate& operator[](size_t i) const { return candidates[i]; }
+  Candidate& operator[](size_t i) { return candidates[i]; }
+};
+
+/// Runs the optimizer in Enumerate Indexes mode on every statement and
+/// collects the deduplicated basic candidate set with affected sets.
+Result<CandidateSet> EnumerateBasicCandidates(
+    const engine::Workload& workload, const optimizer::Optimizer& optimizer);
+
+/// Fills Candidate::stats for every candidate from data statistics.
+Status PopulateStatistics(CandidateSet* set,
+                          const storage::StatisticsCatalog& statistics,
+                          const storage::CostConstants& cc);
+
+}  // namespace xia::advisor
+
+#endif  // XIA_ADVISOR_CANDIDATES_H_

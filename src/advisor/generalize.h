@@ -1,0 +1,54 @@
+// Candidate generalization (§V, Algorithm 1 and Table II).
+//
+// Pairs of candidate index patterns of the same value type are generalized
+// into patterns that cover both, by walking the two step lists in parallel:
+// equal name tests are kept, differing ones widen to '*', axes widen to
+// '//' if either input uses '//', and skipped steps become wildcard gaps.
+// Rule 0 then rewrites interior '/*' runs into a descendant axis on the
+// following step ("/a/*/b" -> "/a//b" — a deliberate widening).
+//
+// Note on fidelity: the paper's printed Rule 4 advances the pointer
+// arguments in a way that contradicts its own worked examples (pairing the
+// found reoccurrence with the *next* node would never emit the matched
+// label, yet the paper derives /a//b/d from {/a/b/d, /a/d/b/d}). We
+// implement the variant that reproduces the paper's example outputs:
+// branches (2)/(3) align the reoccurrence with the other expression's
+// current node and generalize them together.
+
+#ifndef XIA_ADVISOR_GENERALIZE_H_
+#define XIA_ADVISOR_GENERALIZE_H_
+
+#include <vector>
+
+#include "advisor/candidates.h"
+#include "xpath/path.h"
+
+namespace xia::advisor {
+
+/// Table II Rule 0: every interior wildcard step is removed and the next
+/// step's axis becomes descendant. The result covers the input.
+xpath::Path RewriteWildcardRuns(const xpath::Path& path);
+
+/// Generalizes one pair of linear patterns. Returns the (deduplicated)
+/// generalized patterns, each covering both inputs. Inputs of length 0 are
+/// rejected with an empty result.
+std::vector<xpath::Path> GeneralizePair(const xpath::Path& a,
+                                        const xpath::Path& b);
+
+/// Statistics of a generalization run.
+struct GeneralizeStats {
+  size_t pairs_considered = 0;
+  size_t generated = 0;
+  size_t rounds = 0;
+};
+
+/// Expands `set` with generalized candidates: applies GeneralizePair to
+/// every compatible pair (same collection, same value type) including newly
+/// generated candidates, to a fixpoint (§V). New candidates get
+/// covered_basics and affected sets derived by containment over the basic
+/// candidates. DAG edges are left to BuildDag.
+GeneralizeStats GeneralizeCandidates(CandidateSet* set);
+
+}  // namespace xia::advisor
+
+#endif  // XIA_ADVISOR_GENERALIZE_H_

@@ -1,0 +1,41 @@
+// Human-readable advisor reports.
+//
+// Renders a Recommendation the way commercial design advisors do: the
+// recommended DDL, configuration totals, and a per-statement breakdown of
+// estimated cost before/after (with the plan and the indexes each
+// statement would use), computed by re-optimizing the workload against
+// the recommended configuration created virtually.
+
+#ifndef XIA_ADVISOR_REPORT_H_
+#define XIA_ADVISOR_REPORT_H_
+
+#include <string>
+
+#include "advisor/advisor.h"
+#include "engine/query.h"
+#include "storage/document_store.h"
+#include "storage/statistics.h"
+#include "util/status.h"
+
+namespace xia::advisor {
+
+/// Report rendering options.
+struct ReportOptions {
+  /// Include the per-statement before/after table.
+  bool per_statement = true;
+  /// Include the DDL block.
+  bool show_ddl = true;
+};
+
+/// Renders a text report for `recommendation` over `workload`. The store
+/// and statistics must be the ones the recommendation was computed
+/// against.
+Result<std::string> RenderReport(const engine::Workload& workload,
+                                 const Recommendation& recommendation,
+                                 storage::DocumentStore* store,
+                                 const storage::StatisticsCatalog* statistics,
+                                 const ReportOptions& options = {});
+
+}  // namespace xia::advisor
+
+#endif  // XIA_ADVISOR_REPORT_H_

@@ -1,0 +1,423 @@
+#include "advisor/search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace xia::advisor {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+double TotalSize(const CandidateSet& set, const std::vector<int>& config) {
+  double total = 0;
+  for (int id : config) {
+    total += static_cast<double>(set[static_cast<size_t>(id)].size_bytes());
+  }
+  return total;
+}
+
+Result<SearchOutcome> Finalize(const CandidateSet& set,
+                               std::vector<int> selected,
+                               BenefitEvaluator* evaluator) {
+  std::sort(selected.begin(), selected.end());
+  selected.erase(std::unique(selected.begin(), selected.end()),
+                 selected.end());
+  SearchOutcome out;
+  out.total_size_bytes = TotalSize(set, selected);
+  XIA_ASSIGN_OR_RETURN(out.benefit, evaluator->ConfigurationBenefit(selected));
+  for (int id : selected) {
+    if (set[static_cast<size_t>(id)].is_general) {
+      ++out.general_count;
+    } else {
+      ++out.specific_count;
+    }
+  }
+  out.selected = std::move(selected);
+  return out;
+}
+
+// Standalone benefit of every candidate (one evaluator probe each).
+Result<std::vector<double>> StandaloneBenefits(const CandidateSet& set,
+                                               BenefitEvaluator* evaluator) {
+  std::vector<double> benefits(set.size(), 0.0);
+  for (size_t i = 0; i < set.size(); ++i) {
+    XIA_ASSIGN_OR_RETURN(
+        benefits[i],
+        evaluator->ConfigurationBenefit({static_cast<int>(i)}));
+  }
+  return benefits;
+}
+
+// Greedy knapsack on precomputed per-candidate values.
+std::vector<int> GreedyByDensity(const CandidateSet& set,
+                                 const std::vector<double>& values,
+                                 const std::vector<int>& pool,
+                                 double budget) {
+  std::vector<int> order = pool;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const double da = values[static_cast<size_t>(a)] /
+                      std::max<double>(1.0, static_cast<double>(
+                                                set[static_cast<size_t>(a)]
+                                                    .size_bytes()));
+    const double db = values[static_cast<size_t>(b)] /
+                      std::max<double>(1.0, static_cast<double>(
+                                                set[static_cast<size_t>(b)]
+                                                    .size_bytes()));
+    if (da != db) return da > db;
+    return a < b;
+  });
+  std::vector<int> picked;
+  double used = 0;
+  for (int id : order) {
+    if (values[static_cast<size_t>(id)] <= 0) continue;
+    const double size =
+        static_cast<double>(set[static_cast<size_t>(id)].size_bytes());
+    if (used + size <= budget + kEps) {
+      picked.push_back(id);
+      used += size;
+    }
+  }
+  return picked;
+}
+
+Result<SearchOutcome> RunGreedy(const CandidateSet& set,
+                                BenefitEvaluator* evaluator,
+                                const SearchOptions& options) {
+  XIA_ASSIGN_OR_RETURN(const std::vector<double> benefits,
+                       StandaloneBenefits(set, evaluator));
+  std::vector<int> pool(set.size());
+  for (size_t i = 0; i < set.size(); ++i) pool[i] = static_cast<int>(i);
+  return Finalize(
+      set, GreedyByDensity(set, benefits, pool, options.disk_budget_bytes),
+      evaluator);
+}
+
+Result<SearchOutcome> RunGreedyWithHeuristics(const CandidateSet& set,
+                                              BenefitEvaluator* evaluator,
+                                              const SearchOptions& options) {
+  std::vector<int> config;
+  std::set<int> covered;  // basic candidate ids covered by the config
+  double used = 0;
+  double current_benefit = 0;
+
+  for (;;) {
+    int best_id = -1;
+    double best_benefit = current_benefit;
+    double best_density = 0;
+
+    for (size_t i = 0; i < set.size(); ++i) {
+      const Candidate& cand = set[i];
+      const int id = static_cast<int>(i);
+      if (std::find(config.begin(), config.end(), id) != config.end()) {
+        continue;
+      }
+      const double size = static_cast<double>(cand.size_bytes());
+      if (used + size > options.disk_budget_bytes + kEps) continue;
+
+      if (cand.is_general) {
+        // Redundancy: the coverage bitmap (§VI-A). If every workload
+        // pattern this general index serves already has an index in the
+        // configuration, it would replicate them.
+        bool redundant = !cand.covered_basics.empty();
+        for (int b : cand.covered_basics) {
+          if (covered.count(b) == 0) {
+            redundant = false;
+            break;
+          }
+        }
+        if (redundant) continue;
+
+        // Size admission: Size(x_g) <= (1 + beta) * sum Size(x_i).
+        double children_size = 0;
+        for (int b : cand.covered_basics) {
+          children_size +=
+              static_cast<double>(set[static_cast<size_t>(b)].size_bytes());
+        }
+        if (size > (1.0 + options.beta) * children_size) continue;
+
+        // Benefit admission: IB(x_g) >= IB(x_1..x_n).
+        std::vector<int> with_general = config;
+        with_general.push_back(id);
+        XIA_ASSIGN_OR_RETURN(const double ib_general,
+                             evaluator->ConfigurationBenefit(with_general));
+        std::vector<int> with_children = config;
+        for (int b : cand.covered_basics) with_children.push_back(b);
+        std::sort(with_children.begin(), with_children.end());
+        with_children.erase(
+            std::unique(with_children.begin(), with_children.end()),
+            with_children.end());
+        XIA_ASSIGN_OR_RETURN(const double ib_children,
+                             evaluator->ConfigurationBenefit(with_children));
+        if (ib_general + kEps < ib_children) continue;
+
+        const double density = (ib_general - current_benefit) / size;
+        if (ib_general > current_benefit + kEps && density > best_density) {
+          best_id = id;
+          best_benefit = ib_general;
+          best_density = density;
+        }
+      } else {
+        std::vector<int> with_candidate = config;
+        with_candidate.push_back(id);
+        XIA_ASSIGN_OR_RETURN(const double ib,
+                             evaluator->ConfigurationBenefit(with_candidate));
+        const double density = (ib - current_benefit) / std::max(1.0, size);
+        if (ib > current_benefit + kEps && density > best_density) {
+          best_id = id;
+          best_benefit = ib;
+          best_density = density;
+        }
+      }
+    }
+
+    if (best_id < 0) break;
+    config.push_back(best_id);
+    used += static_cast<double>(set[static_cast<size_t>(best_id)].size_bytes());
+    current_benefit = best_benefit;
+    for (int b : set[static_cast<size_t>(best_id)].covered_basics) {
+      covered.insert(b);
+    }
+  }
+  return Finalize(set, std::move(config), evaluator);
+}
+
+// Starting points of the top-down descent: maximal candidates (by the DAG)
+// whose standalone benefit is positive; an ineligible node is transparently
+// replaced by its children (§VI-B preprocessing).
+void CollectStartingSet(const CandidateSet& set, const std::vector<int>& roots,
+                        const std::vector<double>& benefits,
+                        std::set<int>* out) {
+  std::vector<int> stack = roots;
+  std::set<int> visited;
+  while (!stack.empty()) {
+    const int id = stack.back();
+    stack.pop_back();
+    if (!visited.insert(id).second) continue;
+    if (benefits[static_cast<size_t>(id)] > 0) {
+      out->insert(id);
+    } else {
+      for (int c : set[static_cast<size_t>(id)].children) {
+        stack.push_back(c);
+      }
+    }
+  }
+}
+
+Result<SearchOutcome> RunTopDown(const CandidateSet& set,
+                                 const std::vector<int>& roots,
+                                 BenefitEvaluator* evaluator,
+                                 const SearchOptions& options,
+                                 bool full_interaction) {
+  XIA_ASSIGN_OR_RETURN(const std::vector<double> benefits,
+                       StandaloneBenefits(set, evaluator));
+  std::set<int> config_set;
+  CollectStartingSet(set, roots, benefits, &config_set);
+
+  auto total_size = [&]() {
+    double t = 0;
+    for (int id : config_set) {
+      t += static_cast<double>(set[static_cast<size_t>(id)].size_bytes());
+    }
+    return t;
+  };
+
+  while (total_size() > options.disk_budget_bytes + kEps) {
+    // Choose the replaceable general index with the smallest dB/dC.
+    int best = -1;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    double best_dc = -1;
+    std::vector<int> best_children;
+
+    for (int id : config_set) {
+      const Candidate& cand = set[static_cast<size_t>(id)];
+      if (cand.children.empty()) continue;
+      // Children that would newly enter the configuration.
+      std::vector<int> incoming;
+      double children_size = 0;
+      for (int c : cand.children) {
+        if (benefits[static_cast<size_t>(c)] <= 0) continue;
+        if (config_set.count(c) != 0) continue;
+        incoming.push_back(c);
+        children_size +=
+            static_cast<double>(set[static_cast<size_t>(c)].size_bytes());
+      }
+      const double dc =
+          static_cast<double>(cand.size_bytes()) - children_size;
+      if (dc <= 0) continue;  // replacement must shrink the configuration
+
+      double db = 0;
+      if (full_interaction) {
+        // dB = Benefit(base + g) - Benefit(base + children).
+        std::vector<int> base(config_set.begin(), config_set.end());
+        base.erase(std::remove(base.begin(), base.end(), id), base.end());
+        std::vector<int> with_g = base;
+        with_g.push_back(id);
+        XIA_ASSIGN_OR_RETURN(const double b_g,
+                             evaluator->ConfigurationBenefit(with_g));
+        std::vector<int> with_children = base;
+        with_children.insert(with_children.end(), incoming.begin(),
+                             incoming.end());
+        XIA_ASSIGN_OR_RETURN(const double b_c,
+                             evaluator->ConfigurationBenefit(with_children));
+        db = b_g - b_c;
+      } else {
+        double children_benefit = 0;
+        for (int c : incoming) {
+          children_benefit += benefits[static_cast<size_t>(c)];
+        }
+        db = benefits[static_cast<size_t>(id)] - children_benefit;
+      }
+      const double ratio = db / dc;
+      if (ratio < best_ratio - kEps ||
+          (std::abs(ratio - best_ratio) <= kEps && dc > best_dc)) {
+        best = id;
+        best_ratio = ratio;
+        best_dc = dc;
+        best_children = incoming;
+      }
+    }
+
+    if (best < 0) {
+      // No general candidate left to replace: fall back to greedy over the
+      // current members (§VI-B: "If we run out of general candidates to
+      // replace and do not yet meet the disk space budget, we use greedy
+      // search").
+      std::vector<int> pool(config_set.begin(), config_set.end());
+      std::vector<int> picked =
+          GreedyByDensity(set, benefits, pool, options.disk_budget_bytes);
+      return Finalize(set, std::move(picked), evaluator);
+    }
+
+    config_set.erase(best);
+    for (int c : best_children) config_set.insert(c);
+  }
+
+  return Finalize(set,
+                  std::vector<int>(config_set.begin(), config_set.end()),
+                  evaluator);
+}
+
+Result<SearchOutcome> RunDynamicProgramming(const CandidateSet& set,
+                                            BenefitEvaluator* evaluator,
+                                            const SearchOptions& options) {
+  XIA_ASSIGN_OR_RETURN(const std::vector<double> benefits,
+                       StandaloneBenefits(set, evaluator));
+  // Knapsack over discretized sizes.
+  const double unit = std::max(options.dp_granularity_bytes,
+                               options.disk_budget_bytes / 4000.0);
+  const size_t capacity = static_cast<size_t>(
+      std::floor(options.disk_budget_bytes / std::max(1.0, unit)));
+  const size_t n = set.size();
+
+  auto weight_of = [&](size_t i) {
+    return static_cast<size_t>(std::ceil(
+        static_cast<double>(set[i].size_bytes()) / std::max(1.0, unit)));
+  };
+
+  // Full 2D table so the traceback is exact.
+  std::vector<std::vector<double>> dp(
+      n + 1, std::vector<double>(capacity + 1, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    const double value = benefits[i];
+    const size_t weight = weight_of(i);
+    for (size_t w = 0; w <= capacity; ++w) {
+      dp[i + 1][w] = dp[i][w];
+      if (value > 0 && weight <= w &&
+          dp[i][w - weight] + value > dp[i + 1][w]) {
+        dp[i + 1][w] = dp[i][w - weight] + value;
+      }
+    }
+  }
+  std::vector<int> selected;
+  size_t w = capacity;
+  for (size_t i = n; i-- > 0;) {
+    if (dp[i + 1][w] != dp[i][w]) {
+      selected.push_back(static_cast<int>(i));
+      w -= weight_of(i);
+    }
+  }
+  return Finalize(set, std::move(selected), evaluator);
+}
+
+Result<SearchOutcome> RunExhaustive(const CandidateSet& set,
+                                    BenefitEvaluator* evaluator,
+                                    const SearchOptions& options) {
+  const size_t n = set.size();
+  if (n > options.exhaustive_limit) {
+    return Status::InvalidArgument(StringPrintf(
+        "exhaustive search refused: %zu candidates exceeds the limit of "
+        "%zu (2^n configurations)",
+        n, options.exhaustive_limit));
+  }
+  std::vector<int> best_config;
+  double best_benefit = 0;
+  for (uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+    std::vector<int> config;
+    double size = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1ULL << i)) {
+        config.push_back(static_cast<int>(i));
+        size += static_cast<double>(set[i].size_bytes());
+      }
+    }
+    if (size > options.disk_budget_bytes + kEps) continue;
+    XIA_ASSIGN_OR_RETURN(const double benefit,
+                         evaluator->ConfigurationBenefit(config));
+    if (benefit > best_benefit + kEps) {
+      best_benefit = benefit;
+      best_config = std::move(config);
+    }
+  }
+  return Finalize(set, std::move(best_config), evaluator);
+}
+
+}  // namespace
+
+const char* SearchAlgorithmName(SearchAlgorithm a) {
+  switch (a) {
+    case SearchAlgorithm::kGreedy:
+      return "greedy";
+    case SearchAlgorithm::kGreedyWithHeuristics:
+      return "greedy+heuristics";
+    case SearchAlgorithm::kTopDownLite:
+      return "top-down lite";
+    case SearchAlgorithm::kTopDownFull:
+      return "top-down full";
+    case SearchAlgorithm::kDynamicProgramming:
+      return "dynamic programming";
+    case SearchAlgorithm::kExhaustive:
+      return "exhaustive";
+  }
+  return "?";
+}
+
+Result<SearchOutcome> RunSearch(SearchAlgorithm algorithm,
+                                const CandidateSet& set,
+                                const std::vector<int>& roots,
+                                BenefitEvaluator* evaluator,
+                                const SearchOptions& options) {
+  switch (algorithm) {
+    case SearchAlgorithm::kGreedy:
+      return RunGreedy(set, evaluator, options);
+    case SearchAlgorithm::kGreedyWithHeuristics:
+      return RunGreedyWithHeuristics(set, evaluator, options);
+    case SearchAlgorithm::kTopDownLite:
+      return RunTopDown(set, roots, evaluator, options,
+                        /*full_interaction=*/false);
+    case SearchAlgorithm::kTopDownFull:
+      return RunTopDown(set, roots, evaluator, options,
+                        /*full_interaction=*/true);
+    case SearchAlgorithm::kDynamicProgramming:
+      return RunDynamicProgramming(set, evaluator, options);
+    case SearchAlgorithm::kExhaustive:
+      return RunExhaustive(set, evaluator, options);
+  }
+  return Status::InvalidArgument("unknown search algorithm");
+}
+
+}  // namespace xia::advisor

@@ -1,0 +1,260 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <set>
+
+#include "engine/normalizer.h"
+#include "util/stopwatch.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xpath/evaluator.h"
+
+namespace xia::engine {
+
+namespace {
+
+// Collects result rows when enabled; pure counting otherwise.
+struct RowSink {
+  bool materialize = false;
+  size_t max_rows = 0;
+  std::vector<std::string>* rows = nullptr;
+
+  void Emit(const xml::Document& doc, xml::NodeIndex node) {
+    if (!materialize || rows->size() >= max_rows) return;
+    const xml::Node& n = doc.node(node);
+    // Leaf-ish results render as their value; subtrees as XML fragments.
+    if (n.children.empty() || n.is_attribute()) {
+      rows->push_back(n.label + "=" + n.value);
+    } else {
+      rows->push_back(xml::Serialize(doc, node));
+    }
+  }
+};
+
+// Evaluates the normalized query on one document: returns matched binding
+// nodes, and counts (and optionally materializes) result items — return
+// expressions per match, or the match itself.
+uint64_t EvaluateOnDocument(const xml::Document& doc,
+                            const NormalizedQuery& query, RowSink* sink) {
+  const std::vector<xml::NodeIndex> matches =
+      xpath::Evaluate(doc, query.path);
+  if (matches.empty()) return 0;
+  if (query.returns.empty()) {
+    for (xml::NodeIndex m : matches) sink->Emit(doc, m);
+    return matches.size();
+  }
+  uint64_t items = 0;
+  for (xml::NodeIndex m : matches) {
+    for (const auto& rel : query.returns) {
+      if (rel.empty()) {
+        sink->Emit(doc, m);
+        ++items;
+        continue;
+      }
+      std::vector<xml::NodeIndex> targets;
+      // Relative evaluation from the matched node; a small dedicated walk
+      // keeps it simple.
+      struct Walker {
+        const xml::Document& d;
+        const std::vector<xpath::Step>& steps;
+        std::vector<xml::NodeIndex>* out;
+        void Go(xml::NodeIndex from, size_t idx, bool descend) {
+          const xpath::Step& step = steps[idx];
+          for (xml::NodeIndex c : d.node(from).children) {
+            if (step.MatchesLabel(d.node(c).label)) {
+              if (idx + 1 == steps.size()) {
+                out->push_back(c);
+              } else {
+                Go(c, idx + 1, steps[idx + 1].axis ==
+                                   xpath::Axis::kDescendant);
+              }
+            }
+            if (descend && d.node(c).is_element()) Go(c, idx, true);
+          }
+        }
+      };
+      Walker w{doc, rel, &targets};
+      w.Go(m, 0, rel[0].axis == xpath::Axis::kDescendant);
+      for (xml::NodeIndex t : targets) sink->Emit(doc, t);
+      items += targets.size();
+    }
+  }
+  return items;
+}
+
+}  // namespace
+
+Result<std::vector<xml::DocId>> Executor::CandidateDocs(
+    const Statement& statement, const optimizer::Plan& plan,
+    ExecResult* result) {
+  std::vector<std::set<xml::DocId>> leg_docs;
+  for (const optimizer::PlanLeg& leg : plan.legs) {
+    if (leg.index_is_virtual) {
+      return Status::FailedPrecondition(
+          "plan references virtual index " + leg.index_name +
+          "; virtual indexes cannot be executed");
+    }
+    auto physical = catalog_->GetPhysical(leg.index_name);
+    if (!physical.ok()) return physical.status();
+    auto lookup = leg.predicate.existence
+                      ? (*physical)->LookupAll()
+                      : (*physical)->Lookup(leg.predicate.op,
+                                            leg.predicate.literal);
+    if (!lookup.ok()) return lookup.status();
+    result->index_entries_scanned += lookup->rids.size();
+    result->index_leaf_pages += lookup->leaf_pages_touched;
+    std::set<xml::DocId> docs;
+    for (const xml::NodeRef& rid : lookup->rids) docs.insert(rid.doc);
+    leg_docs.push_back(std::move(docs));
+  }
+  if (leg_docs.empty()) return std::vector<xml::DocId>{};
+  // Intersect across legs (single leg: identity).
+  std::vector<xml::DocId> out(leg_docs[0].begin(), leg_docs[0].end());
+  for (size_t i = 1; i < leg_docs.size(); ++i) {
+    std::vector<xml::DocId> next;
+    for (xml::DocId d : out) {
+      if (leg_docs[i].count(d) != 0) next.push_back(d);
+    }
+    out = std::move(next);
+  }
+  (void)statement;
+  return out;
+}
+
+Result<ExecResult> Executor::ExecuteQuery(const Statement& statement,
+                                          const optimizer::Plan& plan,
+                                          const ExecOptions& options) {
+  auto normalized = Normalize(statement);
+  if (!normalized.ok()) return normalized.status();
+  auto coll = store_->GetCollection(normalized->collection);
+  if (!coll.ok()) return coll.status();
+
+  ExecResult result;
+  RowSink sink{options.materialize_rows, options.max_rows, &result.rows};
+  Stopwatch timer;
+  if (plan.kind == optimizer::Plan::Kind::kCollectionScan) {
+    (*coll)->ForEach([&](xml::DocId, const xml::Document& doc) {
+      ++result.docs_examined;
+      result.result_count += EvaluateOnDocument(doc, *normalized, &sink);
+    });
+  } else {
+    auto docs = CandidateDocs(statement, plan, &result);
+    if (!docs.ok()) return docs.status();
+    for (xml::DocId id : *docs) {
+      if (!(*coll)->IsLive(id)) continue;
+      ++result.docs_examined;
+      result.result_count +=
+          EvaluateOnDocument((*coll)->Get(id), *normalized, &sink);
+    }
+  }
+  result.wall_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+Result<ExecResult> Executor::ExecuteInsert(const Statement& statement) {
+  const InsertSpec& ins = statement.insert_spec();
+  auto coll = store_->GetCollection(ins.collection);
+  if (!coll.ok()) return coll.status();
+  auto doc = xml::Parse(ins.document_text);
+  if (!doc.ok()) return doc.status();
+
+  ExecResult result;
+  Stopwatch timer;
+  const xml::DocId id = (*coll)->Add(std::move(*doc));
+  catalog_->NotifyInsert(ins.collection, id, (*coll)->Get(id));
+  result.result_count = 1;
+  result.wall_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+Result<ExecResult> Executor::ExecuteDelete(const Statement& statement,
+                                           const optimizer::Plan& plan) {
+  const DeleteSpec& del = statement.delete_spec();
+  auto coll = store_->GetCollection(del.collection);
+  if (!coll.ok()) return coll.status();
+
+  ExecResult result;
+  Stopwatch timer;
+  std::vector<xml::DocId> victims;
+  if (plan.legs.empty()) {
+    (*coll)->ForEach([&](xml::DocId id, const xml::Document& doc) {
+      ++result.docs_examined;
+      if (xpath::Exists(doc, del.match)) victims.push_back(id);
+    });
+  } else {
+    auto docs = CandidateDocs(statement, plan, &result);
+    if (!docs.ok()) return docs.status();
+    for (xml::DocId id : *docs) {
+      if (!(*coll)->IsLive(id)) continue;
+      ++result.docs_examined;
+      if (xpath::Exists((*coll)->Get(id), del.match)) victims.push_back(id);
+    }
+  }
+  for (xml::DocId id : victims) {
+    catalog_->NotifyRemove(del.collection, id, (*coll)->Get(id));
+    XIA_RETURN_IF_ERROR((*coll)->Remove(id));
+  }
+  result.result_count = victims.size();
+  result.wall_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+Result<ExecResult> Executor::ExecuteUpdate(const Statement& statement,
+                                           const optimizer::Plan& plan) {
+  const UpdateSpec& upd = statement.update_spec();
+  auto coll = store_->GetCollection(upd.collection);
+  if (!coll.ok()) return coll.status();
+
+  ExecResult result;
+  Stopwatch timer;
+  std::vector<xml::DocId> victims;
+  if (plan.legs.empty()) {
+    (*coll)->ForEach([&](xml::DocId id, const xml::Document& doc) {
+      ++result.docs_examined;
+      if (xpath::Exists(doc, upd.match)) victims.push_back(id);
+    });
+  } else {
+    auto docs = CandidateDocs(statement, plan, &result);
+    if (!docs.ok()) return docs.status();
+    for (xml::DocId id : *docs) {
+      if (!(*coll)->IsLive(id)) continue;
+      ++result.docs_examined;
+      if (xpath::Exists((*coll)->Get(id), upd.match)) victims.push_back(id);
+    }
+  }
+
+  const std::string new_value = upd.new_value.type == xpath::ValueType::kNumeric
+                                    ? upd.new_value.ToString()
+                                    : upd.new_value.string_value;
+  for (xml::DocId id : victims) {
+    // Index maintenance via remove/re-insert keeps every real index exact.
+    catalog_->NotifyRemove(upd.collection, id, (*coll)->Get(id));
+    (*coll)->Mutate(id, [&](xml::Document* doc) {
+      for (xml::NodeIndex n : xpath::EvaluateLinear(*doc, upd.target)) {
+        doc->SetValue(n, new_value);
+        ++result.result_count;
+      }
+    });
+    catalog_->NotifyInsert(upd.collection, id, (*coll)->Get(id));
+  }
+  result.wall_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+Result<ExecResult> Executor::Execute(const Statement& statement,
+                                     const optimizer::Plan& plan,
+                                     const ExecOptions& options) {
+  if (statement.is_insert()) return ExecuteInsert(statement);
+  if (statement.is_delete()) return ExecuteDelete(statement, plan);
+  if (statement.is_update()) return ExecuteUpdate(statement, plan);
+  return ExecuteQuery(statement, plan, options);
+}
+
+Result<ExecResult> Executor::ExecuteBest(const Statement& statement,
+                                         const optimizer::Optimizer& opt) {
+  auto plan = opt.Optimize(statement);
+  if (!plan.ok()) return plan.status();
+  return Execute(statement, *plan);
+}
+
+}  // namespace xia::engine

@@ -1,0 +1,95 @@
+// Plan execution against the document store.
+//
+// The executor interprets physical plans: collection scans evaluate the
+// normalized query on every live document; index plans probe real
+// PathValueIndexes, intersect RID lists (index ANDing), fetch candidate
+// documents and re-check the full query as a residual. Inserts and deletes
+// apply the change and maintain every real index (this is the maintenance
+// cost the advisor models).
+//
+// Plans that reference virtual indexes are rejected: virtual indexes exist
+// only for what-if costing (§III).
+
+#ifndef XIA_ENGINE_EXECUTOR_H_
+#define XIA_ENGINE_EXECUTOR_H_
+
+#include <cstdint>
+
+#include "engine/query.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/plan.h"
+#include "storage/catalog.h"
+#include "storage/document_store.h"
+#include "util/status.h"
+
+namespace xia::engine {
+
+/// Execution counters and results for one statement.
+struct ExecResult {
+  /// Result items produced (queries) or documents affected (updates).
+  uint64_t result_count = 0;
+  /// Documents materialized and evaluated.
+  uint64_t docs_examined = 0;
+  /// Index entries scanned across all legs.
+  uint64_t index_entries_scanned = 0;
+  /// Index leaf pages touched across all legs.
+  uint64_t index_leaf_pages = 0;
+  /// Wall-clock seconds.
+  double wall_seconds = 0;
+  /// Materialized result rows (serialized XML fragments or text values),
+  /// capped at the ExecOptions row limit. Empty unless materialization was
+  /// requested.
+  std::vector<std::string> rows;
+};
+
+/// Per-execution options.
+struct ExecOptions {
+  /// Materialize result rows (queries only). Counting-only execution stays
+  /// allocation-free on the result path.
+  bool materialize_rows = false;
+  /// Maximum rows materialized; counting continues past the cap.
+  size_t max_rows = 100;
+};
+
+/// Executes plans produced by the optimizer.
+class Executor {
+ public:
+  Executor(storage::DocumentStore* store, storage::Catalog* catalog)
+      : store_(store), catalog_(catalog) {}
+
+  /// Executes `statement` under `plan`.
+  Result<ExecResult> Execute(const Statement& statement,
+                             const optimizer::Plan& plan,
+                             const ExecOptions& options);
+  Result<ExecResult> Execute(const Statement& statement,
+                             const optimizer::Plan& plan) {
+    return Execute(statement, plan, ExecOptions());
+  }
+
+  /// Optimizes with `opt` then executes the chosen plan.
+  Result<ExecResult> ExecuteBest(const Statement& statement,
+                                 const optimizer::Optimizer& opt);
+
+ private:
+  Result<ExecResult> ExecuteQuery(const Statement& statement,
+                                  const optimizer::Plan& plan,
+                                  const ExecOptions& options);
+  Result<ExecResult> ExecuteInsert(const Statement& statement);
+  Result<ExecResult> ExecuteDelete(const Statement& statement,
+                                   const optimizer::Plan& plan);
+  Result<ExecResult> ExecuteUpdate(const Statement& statement,
+                                   const optimizer::Plan& plan);
+
+  /// Candidate DocIds from the plan's index legs (deduplicated; ANDing
+  /// intersects across legs). Populates counters on `result`.
+  Result<std::vector<xml::DocId>> CandidateDocs(const Statement& statement,
+                                                const optimizer::Plan& plan,
+                                                ExecResult* result);
+
+  storage::DocumentStore* store_;
+  storage::Catalog* catalog_;
+};
+
+}  // namespace xia::engine
+
+#endif  // XIA_ENGINE_EXECUTOR_H_

@@ -1,0 +1,48 @@
+#include "engine/normalizer.h"
+
+namespace xia::engine {
+
+Result<NormalizedQuery> Normalize(const Statement& statement) {
+  if (!statement.is_query()) {
+    return Status::InvalidArgument("not a query statement");
+  }
+  const QuerySpec& q = statement.query();
+  if (q.binding.empty()) {
+    return Status::InvalidArgument("query has an empty binding path");
+  }
+  NormalizedQuery out;
+  out.collection = q.collection;
+  out.path = q.binding;
+  // Rewrite each where conjunct into a predicate on the last binding step.
+  for (const WhereCondition& cond : q.where) {
+    xpath::Predicate pred;
+    pred.relative_steps = cond.relative_steps;
+    pred.op = cond.op;
+    pred.literal = cond.literal;
+    out.path.steps().back().predicates.push_back(std::move(pred));
+  }
+  out.returns = q.returns;
+  return out;
+}
+
+Result<NormalizedQuery> NormalizeDeleteMatch(const Statement& statement) {
+  if (!statement.is_delete()) {
+    return Status::InvalidArgument("not a delete statement");
+  }
+  NormalizedQuery out;
+  out.collection = statement.delete_spec().collection;
+  out.path = statement.delete_spec().match;
+  return out;
+}
+
+Result<NormalizedQuery> NormalizeUpdateMatch(const Statement& statement) {
+  if (!statement.is_update()) {
+    return Status::InvalidArgument("not an update statement");
+  }
+  NormalizedQuery out;
+  out.collection = statement.update_spec().collection;
+  out.path = statement.update_spec().match;
+  return out;
+}
+
+}  // namespace xia::engine

@@ -1,0 +1,45 @@
+// Query normalization: the rewrite phase of the optimizer front-end.
+//
+// A FLWOR query is rewritten into a single predicate-bearing path over its
+// collection: where-clause conjuncts become path predicates attached to the
+// binding path's last step. This is the rewrite that "exposes" indexable
+// patterns the surface query hides (§IV: candidates C1 and C2 are only
+// exposed by query rewrites of Q1 and Q2).
+
+#ifndef XIA_ENGINE_NORMALIZER_H_
+#define XIA_ENGINE_NORMALIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/query.h"
+#include "util/status.h"
+#include "xpath/path.h"
+
+namespace xia::engine {
+
+/// A query statement after rewrite: one path with predicates, plus the
+/// extraction paths of the return clause.
+struct NormalizedQuery {
+  std::string collection;
+  /// Binding spine with all predicates (inline and rewritten-from-where).
+  xpath::PathQuery path;
+  /// Return expressions relative to the matched binding node.
+  std::vector<std::vector<xpath::Step>> returns;
+};
+
+/// Normalizes a query statement. Returns InvalidArgument for non-query
+/// statements.
+Result<NormalizedQuery> Normalize(const Statement& statement);
+
+/// Normalizes a delete statement's match path into the same shape (no
+/// returns), so deletes can be planned like queries.
+Result<NormalizedQuery> NormalizeDeleteMatch(const Statement& statement);
+
+/// Normalizes an update statement's match path (the document-finding side
+/// of the update), so updates can be planned like queries.
+Result<NormalizedQuery> NormalizeUpdateMatch(const Statement& statement);
+
+}  // namespace xia::engine
+
+#endif  // XIA_ENGINE_NORMALIZER_H_

@@ -1,0 +1,114 @@
+#include "engine/query.h"
+
+namespace xia::engine {
+
+const std::string& Statement::collection() const {
+  if (is_query()) return query().collection;
+  if (is_insert()) return insert_spec().collection;
+  if (is_update()) return update_spec().collection;
+  return delete_spec().collection;
+}
+
+bool SameStatementBody(const Statement& a, const Statement& b) {
+  if (a.body.index() != b.body.index()) return false;
+  if (a.is_query()) {
+    const QuerySpec& qa = a.query();
+    const QuerySpec& qb = b.query();
+    if (qa.collection != qb.collection || !(qa.binding == qb.binding) ||
+        qa.returns != qb.returns ||
+        qa.where.size() != qb.where.size()) {
+      return false;
+    }
+    for (size_t i = 0; i < qa.where.size(); ++i) {
+      if (qa.where[i].relative_steps != qb.where[i].relative_steps ||
+          qa.where[i].op != qb.where[i].op ||
+          !(qa.where[i].literal == qb.where[i].literal)) {
+        return false;
+      }
+    }
+    return true;
+  }
+  if (a.is_insert()) {
+    return a.insert_spec().collection == b.insert_spec().collection &&
+           a.insert_spec().document_text == b.insert_spec().document_text;
+  }
+  if (a.is_update()) {
+    const UpdateSpec& ua = a.update_spec();
+    const UpdateSpec& ub = b.update_spec();
+    return ua.collection == ub.collection && ua.match == ub.match &&
+           ua.target == ub.target && ua.new_value == ub.new_value;
+  }
+  return a.delete_spec().collection == b.delete_spec().collection &&
+         a.delete_spec().match == b.delete_spec().match;
+}
+
+Workload CompactWorkload(const Workload& workload) {
+  Workload out;
+  for (const Statement& stmt : workload) {
+    bool merged = false;
+    for (Statement& existing : out) {
+      if (SameStatementBody(existing, stmt)) {
+        existing.frequency += stmt.frequency;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) out.push_back(stmt);
+  }
+  return out;
+}
+
+namespace {
+
+std::string RelPathToText(const std::vector<xpath::Step>& steps) {
+  std::string out;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (i == 0) {
+      if (steps[i].axis == xpath::Axis::kDescendant) out += "//";
+    } else {
+      out += (steps[i].axis == xpath::Axis::kChild) ? "/" : "//";
+    }
+    out += steps[i].name_test;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToText(const Statement& statement) {
+  if (!statement.text.empty()) return statement.text;
+  if (statement.is_insert()) {
+    return "insert into " + statement.insert_spec().collection + " <doc>";
+  }
+  if (statement.is_delete()) {
+    return "delete from " + statement.delete_spec().collection + " where " +
+           statement.delete_spec().match.ToString();
+  }
+  if (statement.is_update()) {
+    const UpdateSpec& u = statement.update_spec();
+    return "update " + u.collection + " set " + u.target.ToString() + " = " +
+           u.new_value.ToString() + " where " + u.match.ToString();
+  }
+  const QuerySpec& q = statement.query();
+  std::string out = "for $" + q.variable + " in collection('" +
+                    q.collection + "')" + q.binding.ToString();
+  for (size_t i = 0; i < q.where.size(); ++i) {
+    out += (i == 0) ? " where " : " and ";
+    out += "$" + q.variable + "/" + RelPathToText(q.where[i].relative_steps) +
+           " " + xpath::CompareOpToString(q.where[i].op) + " " +
+           q.where[i].literal.ToString();
+  }
+  out += " return ";
+  if (q.returns.empty()) {
+    out += "$" + q.variable;
+  } else {
+    for (size_t i = 0; i < q.returns.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "$" + q.variable;
+      if (!q.returns[i].empty()) out += "/" + RelPathToText(q.returns[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace xia::engine

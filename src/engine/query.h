@@ -1,0 +1,119 @@
+// Workload statement model.
+//
+// XIA's query language is a FLWOR subset sufficient for the TPoX-style
+// workloads the paper evaluates:
+//
+//   for $v in collection('SDOC')/Security[Yield > 4.5]
+//   where $v/Symbol = "BCIIPRC" and $v/SecInfo/*/Sector = "Energy"
+//   return $v/Name, $v/Symbol
+//
+// plus data-modification statements:
+//
+//   insert into SDOC <Security>...</Security>
+//   delete from SDOC where /Security/Symbol = "OBSOLETE"
+//
+// A workload is a list of statements, each with an occurrence frequency
+// (§III: the benefit of each unique statement is weighted by freq_s).
+
+#ifndef XIA_ENGINE_QUERY_H_
+#define XIA_ENGINE_QUERY_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "xpath/path.h"
+
+namespace xia::engine {
+
+/// One conjunct of a where clause: a path relative to the binding variable,
+/// compared against a literal.
+struct WhereCondition {
+  std::vector<xpath::Step> relative_steps;
+  xpath::CompareOp op = xpath::CompareOp::kEq;
+  xpath::Literal literal;
+};
+
+/// A FLWOR query over one collection.
+struct QuerySpec {
+  std::string collection;
+  /// Binding variable name without the '$'.
+  std::string variable = "v";
+  /// The for-clause path; may contain inline predicates.
+  xpath::PathQuery binding;
+  /// Conjunctive where clause.
+  std::vector<WhereCondition> where;
+  /// Return expressions: paths relative to the binding variable. An empty
+  /// inner vector returns the binding node itself.
+  std::vector<std::vector<xpath::Step>> returns;
+};
+
+/// Document insertion.
+struct InsertSpec {
+  std::string collection;
+  /// Serialized document to insert.
+  std::string document_text;
+};
+
+/// Deletion of every document with at least one node matching `match`.
+struct DeleteSpec {
+  std::string collection;
+  xpath::PathQuery match;
+};
+
+/// Value update: in every document with a node matching `match`, set the
+/// text value of every node reachable by `target` to `new_value`.
+struct UpdateSpec {
+  std::string collection;
+  xpath::PathQuery match;
+  /// Linear absolute path of the nodes to modify.
+  xpath::Path target;
+  xpath::Literal new_value;
+};
+
+/// A workload statement: a query or an update, plus its frequency.
+struct Statement {
+  std::variant<QuerySpec, InsertSpec, DeleteSpec, UpdateSpec> body;
+  double frequency = 1.0;
+  /// Short human-readable label ("TPoX-Q3").
+  std::string label;
+  /// Original text, if parsed from text.
+  std::string text;
+
+  bool is_query() const { return std::holds_alternative<QuerySpec>(body); }
+  bool is_insert() const { return std::holds_alternative<InsertSpec>(body); }
+  bool is_delete() const { return std::holds_alternative<DeleteSpec>(body); }
+  bool is_update() const { return std::holds_alternative<UpdateSpec>(body); }
+  /// True for the data-modification kinds (insert/delete/update) that
+  /// incur index-maintenance cost (§III).
+  bool is_modification() const { return !is_query(); }
+
+  const QuerySpec& query() const { return std::get<QuerySpec>(body); }
+  const InsertSpec& insert_spec() const { return std::get<InsertSpec>(body); }
+  const DeleteSpec& delete_spec() const { return std::get<DeleteSpec>(body); }
+  const UpdateSpec& update_spec() const { return std::get<UpdateSpec>(body); }
+
+  /// The collection the statement touches.
+  const std::string& collection() const;
+};
+
+using Workload = std::vector<Statement>;
+
+/// Renders a statement back to (approximate) query-language text.
+std::string ToText(const Statement& statement);
+
+/// Merges duplicate statements, summing their frequencies, preserving the
+/// first occurrence's position and label. §III computes the benefit of
+/// each *unique* statement once and weights it by its frequency; compacting
+/// up front makes every downstream optimizer probe count once per distinct
+/// statement. Statements are considered duplicates when their bodies
+/// compare equal (labels and original text are ignored).
+Workload CompactWorkload(const Workload& workload);
+
+/// Structural equality of statement bodies (used by CompactWorkload and
+/// available for deduplication in clients).
+bool SameStatementBody(const Statement& a, const Statement& b);
+
+}  // namespace xia::engine
+
+#endif  // XIA_ENGINE_QUERY_H_

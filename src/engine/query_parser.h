@@ -1,0 +1,46 @@
+// Text parser for the XIA query language (FLWOR subset + updates).
+//
+// Accepted forms (keywords case-insensitive, whitespace free-form):
+//
+//   for $v in collection('NAME')/path[preds]
+//     [ where $v/rel/path op literal [ and ... ] ]
+//     return $v | $v/rel/path [, ...] | <el>{$v/rel}</el>...
+//
+//   COLLECTION-FUNCTION('NAME')/... is accepted anywhere collection('NAME')
+//   is (TPoX writes SECURITY('SDOC')/Security).
+//
+//   insert into NAME <xml document...>
+//   delete from NAME where /absolute/path[preds]
+//
+// Element constructors in return clauses are not materialized; the parser
+// extracts every $var/rel-path inside them as a return expression, which is
+// what the optimizer and executor need.
+
+#ifndef XIA_ENGINE_QUERY_PARSER_H_
+#define XIA_ENGINE_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "engine/query.h"
+#include "util/status.h"
+
+namespace xia::engine {
+
+/// Parses one statement. `frequency` and `label` are attached verbatim.
+Result<Statement> ParseStatement(std::string_view text, double frequency = 1.0,
+                                 std::string_view label = "");
+
+/// Parses a workload file: statements separated by ';', '#' line comments,
+/// and optional per-statement annotations immediately before a statement:
+///
+///   # the hot path
+///   @freq=20 @label=get_security
+///   for $s in collection('SDOC')/Security
+///     where $s/Symbol = "SYM000017" return $s;
+///
+/// Returns every statement in order.
+Result<Workload> ParseWorkloadText(std::string_view text);
+
+}  // namespace xia::engine
+
+#endif  // XIA_ENGINE_QUERY_PARSER_H_

@@ -1,0 +1,116 @@
+// The cost-based optimizer facade, including the two what-if modes the
+// XML Index Advisor requires (§III):
+//
+//  * Enumerate Indexes mode — plants a virtual *universal* index (pattern
+//    //*) and reports every query pattern the index-matching step matched
+//    against it: "if all possible indexes were available, which rewritten
+//    query patterns would benefit from them?" (§IV).
+//
+//  * Evaluate Indexes mode — ordinary cost-based optimization, but against
+//    a catalog populated with virtual indexes, yielding the estimated cost
+//    of each statement under a hypothetical configuration.
+//
+// Optimizer calls are counted so experiments can measure the §VI-C call
+// reduction.
+
+#ifndef XIA_OPTIMIZER_OPTIMIZER_H_
+#define XIA_OPTIMIZER_OPTIMIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/normalizer.h"
+#include "engine/query.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/plan.h"
+#include "storage/catalog.h"
+#include "storage/document_store.h"
+#include "storage/statistics.h"
+#include "util/status.h"
+
+namespace xia::optimizer {
+
+/// Cost-based optimizer over one catalog.
+class Optimizer {
+ public:
+  /// Planning options.
+  struct Options {
+    /// Consider real (physical) indexes during matching.
+    bool use_real_indexes = true;
+    /// Consider virtual indexes during matching.
+    bool use_virtual_indexes = true;
+    /// Allow multi-index (index-ANDing) plans.
+    bool enable_index_anding = true;
+  };
+
+  Optimizer(const storage::DocumentStore* store,
+            const storage::Catalog* catalog,
+            const storage::StatisticsCatalog* statistics,
+            Options options)
+      : store_(store),
+        catalog_(catalog),
+        statistics_(statistics),
+        options_(options),
+        cost_model_(catalog->cost_constants()) {}
+
+  /// Constructs with default options.
+  Optimizer(const storage::DocumentStore* store,
+            const storage::Catalog* catalog,
+            const storage::StatisticsCatalog* statistics)
+      : Optimizer(store, catalog, statistics, Options()) {}
+
+  /// Plans a statement and returns the best plan with its cost estimate.
+  Result<Plan> Optimize(const engine::Statement& statement) const;
+
+  /// Plans a statement pretending no indexes exist (the baseline cost
+  /// s_old of §III).
+  Result<Plan> OptimizeWithoutIndexes(const engine::Statement& statement) const;
+
+  /// Enumerate Indexes mode: candidate index patterns for one statement.
+  /// Queries and deletes yield patterns; inserts yield none.
+  Result<std::vector<xpath::IndexPattern>> EnumerateIndexes(
+      const engine::Statement& statement) const;
+
+  /// Maintenance cost mc(x, s) of the index with the given pattern and
+  /// derived statistics under statement `s` (§III). Zero for queries.
+  /// Inserts and deletes maintain every index of the statement's
+  /// collection; value updates only maintain indexes whose pattern can
+  /// reach the updated nodes.
+  double MaintenanceCost(const engine::Statement& statement,
+                         const xpath::IndexPattern& index_pattern,
+                         const storage::IndexStats& index_stats) const;
+
+  const CostModel& cost_model() const { return cost_model_; }
+
+  /// Number of Optimize/EnumerateIndexes invocations since construction or
+  /// the last ResetCallCount.
+  uint64_t optimize_calls() const { return optimize_calls_; }
+  void ResetCallCount() { optimize_calls_ = 0; }
+
+ private:
+  Result<Plan> PlanNormalizedQuery(const engine::NormalizedQuery& query,
+                                   bool allow_indexes) const;
+  Result<Plan> PlanInsert(const engine::Statement& statement) const;
+  Result<Plan> PlanDelete(const engine::Statement& statement,
+                          bool allow_indexes) const;
+  Result<Plan> PlanUpdate(const engine::Statement& statement,
+                          bool allow_indexes) const;
+  Result<Plan> OptimizeImpl(const engine::Statement& statement,
+                            bool allow_indexes) const;
+
+  /// Estimated documents that truly satisfy the normalized query.
+  double EstimateResultDocs(const engine::NormalizedQuery& query,
+                            const storage::CollectionStatistics& data) const;
+
+  const storage::DocumentStore* store_;
+  const storage::Catalog* catalog_;
+  const storage::StatisticsCatalog* statistics_;
+  Options options_;
+  CostModel cost_model_;
+  mutable uint64_t optimize_calls_ = 0;
+};
+
+}  // namespace xia::optimizer
+
+#endif  // XIA_OPTIMIZER_OPTIMIZER_H_

@@ -1,0 +1,82 @@
+#include "optimizer/plan.h"
+
+#include "util/string_util.h"
+
+namespace xia::optimizer {
+
+std::string IndexablePredicate::ToString() const {
+  if (existence) return "exists " + pattern.ToString();
+  return pattern.ToString() + " " + xpath::CompareOpToString(op) + " " +
+         literal.ToString() + " (" + xpath::ValueTypeToString(type) + ")";
+}
+
+std::vector<IndexablePredicate> ExtractIndexablePredicates(
+    const engine::NormalizedQuery& query) {
+  std::vector<IndexablePredicate> out;
+  const auto& steps = query.path.steps();
+  for (size_t i = 0; i < steps.size(); ++i) {
+    for (const xpath::Predicate& pred : steps[i].predicates) {
+      if (pred.is_comparison() && *pred.op == xpath::CompareOp::kNe) {
+        continue;  // '!=': not indexable
+      }
+      IndexablePredicate ip;
+      std::vector<xpath::Step> pattern_steps;
+      for (size_t k = 0; k <= i; ++k) pattern_steps.push_back(steps[k].step);
+      for (const xpath::Step& rs : pred.relative_steps) {
+        pattern_steps.push_back(rs);
+      }
+      ip.pattern = xpath::Path(std::move(pattern_steps));
+      if (pred.is_comparison()) {
+        ip.type = pred.literal.type;
+        ip.op = *pred.op;
+        ip.literal = pred.literal;
+      } else {
+        // Existence predicate on a relative path. A bare "[.]" self test is
+        // vacuous and stays non-indexable.
+        if (pred.relative_steps.empty()) continue;
+        ip.existence = true;
+      }
+      ip.spine_step = i;
+      out.push_back(std::move(ip));
+    }
+  }
+  return out;
+}
+
+std::string Plan::Describe() const {
+  switch (kind) {
+    case Kind::kCollectionScan:
+      return StringPrintf("COLLECTION-SCAN cost=%.1f rows=%.1f", est_cost,
+                          est_result_docs);
+    case Kind::kInsert:
+      return StringPrintf("INSERT cost=%.1f", est_cost);
+    case Kind::kDelete:
+    case Kind::kUpdate: {
+      std::string out =
+          StringPrintf("%s cost=%.1f rows=%.1f",
+                       kind == Kind::kDelete ? "DELETE" : "UPDATE", est_cost,
+                       est_result_docs);
+      for (const auto& leg : legs) {
+        out += " via " + leg.index_name + " [" +
+               leg.index_pattern.path.ToString() + "]";
+      }
+      return out;
+    }
+    case Kind::kIndexScan:
+    case Kind::kIndexAnd: {
+      std::string out = (kind == Kind::kIndexScan) ? "INDEX-SCAN" : "INDEX-AND";
+      out += StringPrintf(" cost=%.1f rows=%.1f", est_cost, est_result_docs);
+      for (const auto& leg : legs) {
+        out += StringPrintf(
+            " {%s%s [%s] for %s entries=%.1f}", leg.index_name.c_str(),
+            leg.index_is_virtual ? " (virtual)" : "",
+            leg.index_pattern.path.ToString().c_str(),
+            leg.predicate.ToString().c_str(), leg.est_entries);
+      }
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace xia::optimizer

@@ -1,0 +1,94 @@
+// Physical plan model and indexable-predicate extraction.
+//
+// The optimizer plans one statement at a time. For queries the plan space
+// is: a collection scan; an index scan per indexable predicate with a
+// matching index (plus residual re-evaluation of the full query on fetched
+// documents); and index ANDing over several predicates' RID lists.
+
+#ifndef XIA_OPTIMIZER_PLAN_H_
+#define XIA_OPTIMIZER_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/normalizer.h"
+#include "xpath/path.h"
+
+namespace xia::optimizer {
+
+/// A value comparison in the query that an XML value index could serve,
+/// rewritten to its absolute linear pattern. This is exactly the unit the
+/// Enumerate Indexes mode reports (§IV): the pattern has predicates taken
+/// into account (it points at the compared node) and reflects query
+/// rewrites (where-clauses already folded in by the normalizer).
+struct IndexablePredicate {
+  /// Absolute linear pattern of the compared (or tested) nodes.
+  xpath::Path pattern;
+  /// Index value type implied by the literal (comparisons only).
+  xpath::ValueType type = xpath::ValueType::kString;
+  xpath::CompareOp op = xpath::CompareOp::kEq;
+  xpath::Literal literal;
+  /// Pure existence test ([path] with no comparison): servable only by a
+  /// structural index on a covering pattern.
+  bool existence = false;
+  /// Which spine step the predicate is attached to.
+  size_t spine_step = 0;
+
+  xpath::IndexPattern AsIndexPattern() const {
+    return {pattern, type, existence};
+  }
+  std::string ToString() const;
+};
+
+/// Extracts every indexable predicate of a normalized query: comparisons
+/// other than '!=' (value indexes) and pure existence tests (structural
+/// indexes).
+std::vector<IndexablePredicate> ExtractIndexablePredicates(
+    const engine::NormalizedQuery& query);
+
+/// One index access within a plan.
+struct PlanLeg {
+  /// Catalog name of the index used.
+  std::string index_name;
+  /// Pattern of that index (kept for display and for virtual plans).
+  xpath::IndexPattern index_pattern;
+  /// True if the leg uses a virtual index (plan is not executable).
+  bool index_is_virtual = false;
+  /// The predicate this leg serves.
+  IndexablePredicate predicate;
+  /// Estimated index entries scanned.
+  double est_entries = 0;
+  /// Estimated distinct documents produced by this leg.
+  double est_docs = 0;
+  /// Estimated cost of the index access itself (no fetch).
+  double est_access_cost = 0;
+};
+
+/// A physical plan with its cost estimate.
+struct Plan {
+  enum class Kind {
+    kCollectionScan = 0,
+    kIndexScan,
+    kIndexAnd,
+    kInsert,
+    kDelete,
+    kUpdate,
+  };
+
+  Kind kind = Kind::kCollectionScan;
+  /// Index legs (empty for collection scans and inserts).
+  std::vector<PlanLeg> legs;
+  /// Total estimated cost in timerons.
+  double est_cost = 0;
+  /// Estimated documents in the result (queries) or affected (deletes).
+  double est_result_docs = 0;
+  /// True if any leg references a virtual index.
+  bool uses_virtual_index = false;
+
+  /// EXPLAIN-style one-line rendering.
+  std::string Describe() const;
+};
+
+}  // namespace xia::optimizer
+
+#endif  // XIA_OPTIMIZER_PLAN_H_

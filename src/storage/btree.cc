@@ -1,0 +1,11 @@
+#include "storage/btree.h"
+
+#include <cstdint>
+
+namespace xia::storage {
+
+// Smoke instantiation so template errors surface when the library builds,
+// not only when a client instantiates.
+template class BTree<int64_t>;
+
+}  // namespace xia::storage

@@ -1,0 +1,447 @@
+// An in-memory B+-tree, the physical structure backing XML value indexes.
+//
+// The tree is page-structured: leaves hold up to kLeafCapacity keys and are
+// chained for range scans; internal nodes hold separator keys and child
+// pointers. Page counts and height are exposed because the optimizer's cost
+// model charges index access by levels and leaf pages touched — the same
+// quantities DB2's cost model uses for its indexes.
+//
+// Keys must be totally ordered by Less and unique (XML index keys embed the
+// record id, which makes duplicates of (value, rid) impossible).
+
+#ifndef XIA_STORAGE_BTREE_H_
+#define XIA_STORAGE_BTREE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace xia::storage {
+
+/// B+-tree with configurable per-page fanout.
+template <typename Key, typename Less = std::less<Key>>
+class BTree {
+ public:
+  /// Keys per leaf page; also the fanout of internal pages. 64 models a
+  /// few-KB page with short keys.
+  static constexpr size_t kLeafCapacity = 64;
+  static constexpr size_t kMinKeys = kLeafCapacity / 2;
+
+  BTree() { root_ = NewLeaf(); }
+  ~BTree() = default;
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+  BTree(BTree&&) = default;
+  BTree& operator=(BTree&&) = default;
+
+  /// Inserts `key`; returns false if an equal key already exists.
+  bool Insert(const Key& key);
+
+  /// Removes `key`; returns false if absent.
+  bool Erase(const Key& key);
+
+  bool Contains(const Key& key) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Number of leaf pages.
+  size_t leaf_count() const { return leaf_count_; }
+  /// Number of internal pages.
+  size_t internal_count() const { return internal_count_; }
+  /// Tree height in levels (a single leaf is height 1).
+  size_t height() const { return height_; }
+
+  /// Forward iterator over keys in sorted order.
+  class Iterator {
+   public:
+    Iterator() = default;
+
+    bool valid() const { return leaf_ != nullptr; }
+    const Key& key() const {
+      assert(valid());
+      return leaf_->keys[pos_];
+    }
+    void Next() {
+      assert(valid());
+      if (++pos_ >= leaf_->keys.size()) {
+        leaf_ = leaf_->next;
+        pos_ = 0;
+      }
+    }
+
+    /// Opaque identity of the current leaf page; changes when the iterator
+    /// crosses a page boundary. Used for I/O accounting.
+    const void* page() const { return leaf_; }
+
+   private:
+    friend class BTree;
+    Iterator(const typename BTree::Node* leaf, size_t pos)
+        : leaf_(leaf), pos_(pos) {}
+    const typename BTree::Node* leaf_ = nullptr;
+    size_t pos_ = 0;
+  };
+
+  /// Iterator at the first key >= `key` (end iterator if none).
+  Iterator LowerBound(const Key& key) const;
+
+  /// Iterator at the first key (end iterator when empty).
+  Iterator Begin() const;
+
+  /// Visits keys in [lo, hi] inclusive; stops early if `fn` returns false.
+  /// Returns the number of leaf pages touched (for cost accounting).
+  size_t Scan(const Key& lo, const Key& hi,
+              const std::function<bool(const Key&)>& fn) const;
+
+  /// Checks structural invariants (ordering, fill factors, height balance).
+  /// Intended for tests; returns false on the first violation.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node {
+    bool leaf = true;
+    std::vector<Key> keys;
+    // Internal nodes: children.size() == keys.size() + 1. keys[i] is the
+    // smallest key in the subtree children[i+1].
+    std::vector<std::unique_ptr<Node>> children;
+    // Leaf chain.
+    Node* next = nullptr;
+    Node* prev = nullptr;
+  };
+
+  std::unique_ptr<Node> NewLeaf() {
+    ++leaf_count_;
+    auto n = std::make_unique<Node>();
+    n->leaf = true;
+    return n;
+  }
+  std::unique_ptr<Node> NewInternal() {
+    ++internal_count_;
+    auto n = std::make_unique<Node>();
+    n->leaf = false;
+    return n;
+  }
+
+  bool KeyLess(const Key& a, const Key& b) const { return less_(a, b); }
+  bool KeyEq(const Key& a, const Key& b) const {
+    return !less_(a, b) && !less_(b, a);
+  }
+
+  // Index of the child of internal node `n` that may contain `key`.
+  size_t ChildIndex(const Node* n, const Key& key) const {
+    size_t lo = 0;
+    size_t hi = n->keys.size();
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (KeyLess(key, n->keys[mid])) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  }
+
+  // Position of the first key >= `key` in a leaf.
+  size_t LeafLowerBound(const Node* n, const Key& key) const {
+    size_t lo = 0;
+    size_t hi = n->keys.size();
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (KeyLess(n->keys[mid], key)) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  // Recursive insert. If the child splits, *split_key and *split_node are
+  // set and the caller must link them. Returns false on duplicate.
+  bool InsertRec(Node* n, const Key& key, Key* split_key,
+                 std::unique_ptr<Node>* split_node);
+
+  // Recursive erase. Returns true if the key was removed. The caller fixes
+  // up underflow of `n`'s children.
+  bool EraseRec(Node* n, const Key& key);
+
+  // Rebalances child `idx` of internal node `n` after an erase left it
+  // under-full.
+  void FixUnderflow(Node* n, size_t idx);
+
+  void FreeNodeCounters(const Node* n) {
+    if (n->leaf) {
+      --leaf_count_;
+    } else {
+      --internal_count_;
+    }
+  }
+
+  const Node* FindLeaf(const Key& key) const {
+    const Node* n = root_.get();
+    while (!n->leaf) n = n->children[ChildIndex(n, key)].get();
+    return n;
+  }
+
+  bool CheckNode(const Node* n, const Key* lo, const Key* hi, size_t depth,
+                 size_t leaf_depth) const;
+
+  Less less_;
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+  size_t leaf_count_ = 0;
+  size_t internal_count_ = 0;
+  size_t height_ = 1;
+};
+
+// ---------------------------------------------------------------------------
+// Implementation.
+
+template <typename Key, typename Less>
+bool BTree<Key, Less>::Insert(const Key& key) {
+  Key split_key;
+  std::unique_ptr<Node> split_node;
+  if (!InsertRec(root_.get(), key, &split_key, &split_node)) return false;
+  if (split_node) {
+    auto new_root = NewInternal();
+    new_root->keys.push_back(split_key);
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split_node));
+    root_ = std::move(new_root);
+    ++height_;
+  }
+  ++size_;
+  return true;
+}
+
+template <typename Key, typename Less>
+bool BTree<Key, Less>::InsertRec(Node* n, const Key& key, Key* split_key,
+                                 std::unique_ptr<Node>* split_node) {
+  if (n->leaf) {
+    const size_t pos = LeafLowerBound(n, key);
+    if (pos < n->keys.size() && KeyEq(n->keys[pos], key)) return false;
+    n->keys.insert(n->keys.begin() + static_cast<ptrdiff_t>(pos), key);
+    if (n->keys.size() > kLeafCapacity) {
+      // Split leaf: right half moves to a new leaf.
+      auto right = NewLeaf();
+      const size_t half = n->keys.size() / 2;
+      right->keys.assign(n->keys.begin() + static_cast<ptrdiff_t>(half),
+                         n->keys.end());
+      n->keys.resize(half);
+      right->next = n->next;
+      right->prev = n;
+      if (n->next) n->next->prev = right.get();
+      n->next = right.get();
+      *split_key = right->keys.front();
+      *split_node = std::move(right);
+    }
+    return true;
+  }
+
+  const size_t idx = ChildIndex(n, key);
+  Key child_split_key;
+  std::unique_ptr<Node> child_split;
+  if (!InsertRec(n->children[idx].get(), key, &child_split_key,
+                 &child_split)) {
+    return false;
+  }
+  if (child_split) {
+    n->keys.insert(n->keys.begin() + static_cast<ptrdiff_t>(idx),
+                   child_split_key);
+    n->children.insert(n->children.begin() + static_cast<ptrdiff_t>(idx) + 1,
+                       std::move(child_split));
+    if (n->keys.size() > kLeafCapacity) {
+      // Split internal node. Middle key is promoted (not kept).
+      auto right = NewInternal();
+      const size_t mid = n->keys.size() / 2;
+      *split_key = n->keys[mid];
+      right->keys.assign(n->keys.begin() + static_cast<ptrdiff_t>(mid) + 1,
+                         n->keys.end());
+      for (size_t i = mid + 1; i < n->children.size(); ++i) {
+        right->children.push_back(std::move(n->children[i]));
+      }
+      n->keys.resize(mid);
+      n->children.resize(mid + 1);
+      *split_node = std::move(right);
+    }
+  }
+  return true;
+}
+
+template <typename Key, typename Less>
+bool BTree<Key, Less>::Erase(const Key& key) {
+  if (!EraseRec(root_.get(), key)) return false;
+  --size_;
+  // Shrink the root if it became a pass-through internal node.
+  while (!root_->leaf && root_->children.size() == 1) {
+    std::unique_ptr<Node> child = std::move(root_->children[0]);
+    FreeNodeCounters(root_.get());
+    root_ = std::move(child);
+    --height_;
+  }
+  return true;
+}
+
+template <typename Key, typename Less>
+bool BTree<Key, Less>::EraseRec(Node* n, const Key& key) {
+  if (n->leaf) {
+    const size_t pos = LeafLowerBound(n, key);
+    if (pos >= n->keys.size() || !KeyEq(n->keys[pos], key)) return false;
+    n->keys.erase(n->keys.begin() + static_cast<ptrdiff_t>(pos));
+    return true;
+  }
+  const size_t idx = ChildIndex(n, key);
+  if (!EraseRec(n->children[idx].get(), key)) return false;
+  const Node* child = n->children[idx].get();
+  const size_t min_fill = child->leaf ? kMinKeys : kMinKeys;
+  if (child->keys.size() < min_fill) FixUnderflow(n, idx);
+  return true;
+}
+
+template <typename Key, typename Less>
+void BTree<Key, Less>::FixUnderflow(Node* n, size_t idx) {
+  Node* child = n->children[idx].get();
+  Node* left = idx > 0 ? n->children[idx - 1].get() : nullptr;
+  Node* right = idx + 1 < n->children.size() ? n->children[idx + 1].get()
+                                             : nullptr;
+
+  // Try borrowing from a sibling with spare keys.
+  if (left && left->keys.size() > kMinKeys) {
+    if (child->leaf) {
+      child->keys.insert(child->keys.begin(), left->keys.back());
+      left->keys.pop_back();
+      n->keys[idx - 1] = child->keys.front();
+    } else {
+      child->keys.insert(child->keys.begin(), n->keys[idx - 1]);
+      n->keys[idx - 1] = left->keys.back();
+      left->keys.pop_back();
+      child->children.insert(child->children.begin(),
+                             std::move(left->children.back()));
+      left->children.pop_back();
+    }
+    return;
+  }
+  if (right && right->keys.size() > kMinKeys) {
+    if (child->leaf) {
+      child->keys.push_back(right->keys.front());
+      right->keys.erase(right->keys.begin());
+      n->keys[idx] = right->keys.front();
+    } else {
+      child->keys.push_back(n->keys[idx]);
+      n->keys[idx] = right->keys.front();
+      right->keys.erase(right->keys.begin());
+      child->children.push_back(std::move(right->children.front()));
+      right->children.erase(right->children.begin());
+    }
+    return;
+  }
+
+  // Merge with a sibling. Merge child into left, or right into child.
+  const size_t merge_idx = left ? idx - 1 : idx;  // separator key index
+  Node* dst = left ? left : child;
+  const size_t victim_child = left ? idx : idx + 1;
+  Node* src = n->children[victim_child].get();
+  if (dst->leaf) {
+    dst->keys.insert(dst->keys.end(), src->keys.begin(), src->keys.end());
+    dst->next = src->next;
+    if (src->next) src->next->prev = dst;
+  } else {
+    dst->keys.push_back(n->keys[merge_idx]);
+    dst->keys.insert(dst->keys.end(), src->keys.begin(), src->keys.end());
+    for (auto& c : src->children) dst->children.push_back(std::move(c));
+  }
+  FreeNodeCounters(src);
+  n->keys.erase(n->keys.begin() + static_cast<ptrdiff_t>(merge_idx));
+  n->children.erase(n->children.begin() +
+                    static_cast<ptrdiff_t>(victim_child));
+}
+
+template <typename Key, typename Less>
+bool BTree<Key, Less>::Contains(const Key& key) const {
+  const Node* leaf = FindLeaf(key);
+  const size_t pos = LeafLowerBound(leaf, key);
+  return pos < leaf->keys.size() && KeyEq(leaf->keys[pos], key);
+}
+
+template <typename Key, typename Less>
+typename BTree<Key, Less>::Iterator BTree<Key, Less>::LowerBound(
+    const Key& key) const {
+  const Node* leaf = FindLeaf(key);
+  size_t pos = LeafLowerBound(leaf, key);
+  if (pos >= leaf->keys.size()) {
+    leaf = leaf->next;
+    pos = 0;
+  }
+  if (leaf == nullptr || leaf->keys.empty()) return Iterator();
+  return Iterator(leaf, pos);
+}
+
+template <typename Key, typename Less>
+typename BTree<Key, Less>::Iterator BTree<Key, Less>::Begin() const {
+  const Node* n = root_.get();
+  while (!n->leaf) n = n->children.front().get();
+  if (n->keys.empty()) return Iterator();
+  return Iterator(n, 0);
+}
+
+template <typename Key, typename Less>
+size_t BTree<Key, Less>::Scan(
+    const Key& lo, const Key& hi,
+    const std::function<bool(const Key&)>& fn) const {
+  size_t pages = 0;
+  const Node* leaf = FindLeaf(lo);
+  size_t pos = LeafLowerBound(leaf, lo);
+  const Node* last_counted = nullptr;
+  while (leaf != nullptr) {
+    if (pos >= leaf->keys.size()) {
+      leaf = leaf->next;
+      pos = 0;
+      continue;
+    }
+    const Key& k = leaf->keys[pos];
+    if (KeyLess(hi, k)) break;
+    if (leaf != last_counted) {
+      ++pages;
+      last_counted = leaf;
+    }
+    if (!fn(k)) break;
+    ++pos;
+  }
+  return pages;
+}
+
+template <typename Key, typename Less>
+bool BTree<Key, Less>::CheckNode(const Node* n, const Key* lo, const Key* hi,
+                                 size_t depth, size_t leaf_depth) const {
+  // Keys sorted and within (lo, hi].
+  for (size_t i = 0; i + 1 < n->keys.size(); ++i) {
+    if (!KeyLess(n->keys[i], n->keys[i + 1])) return false;
+  }
+  for (const Key& k : n->keys) {
+    if (lo && KeyLess(k, *lo)) return false;
+    if (hi && !KeyLess(k, *hi)) return false;
+  }
+  if (n->leaf) return depth == leaf_depth;
+  if (n->children.size() != n->keys.size() + 1) return false;
+  for (size_t i = 0; i < n->children.size(); ++i) {
+    const Key* clo = (i == 0) ? lo : &n->keys[i - 1];
+    const Key* chi = (i == n->keys.size()) ? hi : &n->keys[i];
+    if (!CheckNode(n->children[i].get(), clo, chi, depth + 1, leaf_depth)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+template <typename Key, typename Less>
+bool BTree<Key, Less>::CheckInvariants() const {
+  return CheckNode(root_.get(), nullptr, nullptr, 1, height_);
+}
+
+}  // namespace xia::storage
+
+#endif  // XIA_STORAGE_BTREE_H_

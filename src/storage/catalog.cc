@@ -1,0 +1,110 @@
+#include "storage/catalog.h"
+
+namespace xia::storage {
+
+Result<const IndexDef*> Catalog::CreateIndex(
+    const std::string& name, const std::string& collection,
+    const xpath::IndexPattern& pattern) {
+  if (indexes_.count(name) != 0) {
+    return Status::AlreadyExists("index " + name + " exists");
+  }
+  auto coll = store_->GetCollection(collection);
+  if (!coll.ok()) return coll.status();
+
+  IndexDef def;
+  def.name = name;
+  def.collection = collection;
+  def.pattern = pattern;
+  def.is_virtual = false;
+  def.physical = std::make_unique<PathValueIndex>(name, collection, pattern);
+  def.physical->Build(**coll);
+  def.stats = def.physical->ActualStats(cc_);
+  auto [it, _] = indexes_.emplace(name, std::move(def));
+  return &it->second;
+}
+
+Result<const IndexDef*> Catalog::CreateVirtualIndex(
+    const std::string& name, const std::string& collection,
+    const xpath::IndexPattern& pattern) {
+  if (indexes_.count(name) != 0) {
+    return Status::AlreadyExists("index " + name + " exists");
+  }
+  auto stats = statistics_->Get(collection);
+  if (!stats.ok()) return stats.status();
+
+  IndexDef def;
+  def.name = name;
+  def.collection = collection;
+  def.pattern = pattern;
+  def.is_virtual = true;
+  def.stats = (*stats)->DeriveIndexStats(pattern, cc_);
+  auto [it, _] = indexes_.emplace(name, std::move(def));
+  return &it->second;
+}
+
+Status Catalog::DropIndex(const std::string& name) {
+  if (indexes_.erase(name) == 0) {
+    return Status::NotFound("index " + name + " not found");
+  }
+  return Status::OK();
+}
+
+void Catalog::DropAllVirtualIndexes() {
+  for (auto it = indexes_.begin(); it != indexes_.end();) {
+    if (it->second.is_virtual) {
+      it = indexes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<const IndexDef*> Catalog::IndexesFor(
+    const std::string& collection) const {
+  std::vector<const IndexDef*> out;
+  for (const auto& [_, def] : indexes_) {
+    if (def.collection == collection) out.push_back(&def);
+  }
+  return out;
+}
+
+Result<const IndexDef*> Catalog::Get(const std::string& name) const {
+  auto it = indexes_.find(name);
+  if (it == indexes_.end()) {
+    return Status::NotFound("index " + name + " not found");
+  }
+  return &it->second;
+}
+
+Result<PathValueIndex*> Catalog::GetPhysical(const std::string& name) {
+  auto it = indexes_.find(name);
+  if (it == indexes_.end()) {
+    return Status::NotFound("index " + name + " not found");
+  }
+  if (it->second.is_virtual || it->second.physical == nullptr) {
+    return Status::FailedPrecondition("index " + name + " is virtual");
+  }
+  return it->second.physical.get();
+}
+
+void Catalog::NotifyInsert(const std::string& collection, xml::DocId id,
+                           const xml::Document& doc) {
+  for (auto& [_, def] : indexes_) {
+    if (!def.is_virtual && def.collection == collection) {
+      def.physical->OnInsert(id, doc);
+      def.stats = def.physical->ActualStats(cc_);
+    }
+  }
+}
+
+void Catalog::NotifyRemove(const std::string& collection, xml::DocId id,
+                           const xml::Document& doc) {
+  for (auto& [_, def] : indexes_) {
+    if (!def.is_virtual && def.collection == collection) {
+      def.physical->OnRemove(id, doc);
+      def.stats = def.physical->ActualStats(cc_);
+    }
+  }
+}
+
+}  // namespace xia::storage

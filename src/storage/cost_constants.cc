@@ -1,0 +1,10 @@
+#include "storage/cost_constants.h"
+
+namespace xia::storage {
+
+const CostConstants& DefaultCostConstants() {
+  static const CostConstants kDefaults;
+  return kDefaults;
+}
+
+}  // namespace xia::storage

@@ -1,0 +1,54 @@
+// Cost-model constants shared by the storage layer and the optimizer.
+//
+// Costs are expressed in abstract "timerons" (the DB2 term): one unit is
+// one sequential page read. Random I/O, CPU per node visited, and per-key
+// comparison costs are scaled relative to that. The advisor only consumes
+// cost *differences*, so the absolute scale is immaterial; the ratios shape
+// plan choices exactly as in a disk-based system.
+
+#ifndef XIA_STORAGE_COST_CONSTANTS_H_
+#define XIA_STORAGE_COST_CONSTANTS_H_
+
+#include <cstddef>
+
+namespace xia::storage {
+
+/// Tunable cost/model constants. A single instance is threaded through the
+/// optimizer so experiments can perturb it (sensitivity ablation).
+struct CostConstants {
+  /// Bytes per storage page.
+  size_t page_size = 4096;
+
+  /// Cost of one sequential page read (the unit).
+  double seq_page_cost = 1.0;
+  /// Cost of one random page read.
+  double random_page_cost = 4.0;
+  /// CPU cost of visiting one XML node during navigation.
+  double cpu_node_cost = 0.002;
+  /// CPU cost of evaluating one predicate comparison.
+  double cpu_compare_cost = 0.001;
+  /// CPU cost of processing one index entry on a scanned leaf.
+  double cpu_index_entry_cost = 0.0005;
+  /// Cost of fetching one document given its RID (buffered random read).
+  double fetch_doc_cost = 2.0;
+  /// CPU cost of one RID-list intersection element (index ANDing).
+  double cpu_rid_intersect_cost = 0.0002;
+
+  /// B+-tree page write cost during index maintenance.
+  double index_write_cost = 2.0;
+  /// Fraction of index levels re-traversed per maintained entry.
+  double maintenance_traverse_factor = 1.0;
+
+  /// Bytes of overhead per index entry beyond the key bytes (RID + page
+  /// bookkeeping).
+  size_t index_entry_overhead = 12;
+  /// Fan-out assumed when deriving the height of a virtual index.
+  size_t assumed_fanout = 64;
+};
+
+/// The process-wide defaults.
+const CostConstants& DefaultCostConstants();
+
+}  // namespace xia::storage
+
+#endif  // XIA_STORAGE_COST_CONSTANTS_H_

@@ -1,0 +1,215 @@
+#include "storage/index.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/string_util.h"
+#include "xpath/evaluator.h"
+
+namespace xia::storage {
+
+void PathValueIndex::Build(const Collection& coll) {
+  coll.ForEach([&](xml::DocId id, const xml::Document& doc) {
+    Apply(id, doc, /*insert=*/true);
+  });
+}
+
+void PathValueIndex::OnInsert(xml::DocId id, const xml::Document& doc) {
+  Apply(id, doc, /*insert=*/true);
+}
+
+void PathValueIndex::OnRemove(xml::DocId id, const xml::Document& doc) {
+  Apply(id, doc, /*insert=*/false);
+}
+
+void PathValueIndex::Apply(xml::DocId id, const xml::Document& doc,
+                           bool insert) {
+  for (xml::NodeIndex n : xpath::EvaluateLinear(doc, pattern_.path)) {
+    const std::string& value = doc.node(n).value;
+    IndexKey key;
+    key.type = pattern_.type;
+    key.rid = {id, n};
+    if (pattern_.structural) {
+      // Structural entries index reachability only: every matched node,
+      // valued or not, keyed by the RID alone (empty value key).
+      key.type = xpath::ValueType::kString;
+    } else if (value.empty()) {
+      continue;
+    } else if (pattern_.type == xpath::ValueType::kNumeric) {
+      double num = 0.0;
+      if (!ParseDouble(value, &num)) continue;  // reject invalid values
+      key.num = num;
+    } else {
+      key.str = value;
+    }
+    const double key_bytes =
+        pattern_.structural
+            ? 0.0
+            : (pattern_.type == xpath::ValueType::kNumeric
+                   ? 8.0
+                   : static_cast<double>(key.str.size()));
+    if (insert) {
+      if (tree_.Insert(key)) {
+        key_bytes_sum_ += key_bytes;
+        if (pattern_.type == xpath::ValueType::kNumeric) {
+          ++numeric_counts_[key.num];
+        } else {
+          ++string_counts_[key.str];
+        }
+      }
+    } else {
+      if (tree_.Erase(key)) {
+        key_bytes_sum_ -= key_bytes;
+        if (pattern_.type == xpath::ValueType::kNumeric) {
+          auto it = numeric_counts_.find(key.num);
+          if (it != numeric_counts_.end() && --it->second == 0) {
+            numeric_counts_.erase(it);
+          }
+        } else {
+          auto it = string_counts_.find(key.str);
+          if (it != string_counts_.end() && --it->second == 0) {
+            string_counts_.erase(it);
+          }
+        }
+      }
+    }
+  }
+}
+
+Result<IndexLookupResult> PathValueIndex::LookupAll() const {
+  IndexLookupResult out;
+  const void* last_page = nullptr;
+  for (auto it = tree_.Begin(); it.valid(); it.Next()) {
+    if (it.page() != last_page) {
+      ++out.leaf_pages_touched;
+      last_page = it.page();
+    }
+    out.rids.push_back(it.key().rid);
+  }
+  return out;
+}
+
+Result<IndexLookupResult> PathValueIndex::Lookup(
+    xpath::CompareOp op, const xpath::Literal& literal) const {
+  if (pattern_.structural) {
+    return Status::InvalidArgument(
+        "structural index " + name_ + " cannot serve value comparisons");
+  }
+  if (literal.type != pattern_.type) {
+    return Status::InvalidArgument(
+        "literal type does not match index type for " + name_);
+  }
+  if (op == xpath::CompareOp::kNe) {
+    return Status::InvalidArgument("index cannot serve '!=' predicates");
+  }
+
+  // Compute the scan start key and the in-range test.
+  IndexKey start;
+  start.type = pattern_.type;
+  start.rid = {std::numeric_limits<xml::DocId>::min(),
+               std::numeric_limits<xml::NodeIndex>::min()};
+
+  const bool numeric = pattern_.type == xpath::ValueType::kNumeric;
+  const double nv = literal.numeric_value;
+  const std::string& sv = literal.string_value;
+
+  switch (op) {
+    case xpath::CompareOp::kEq:
+    case xpath::CompareOp::kGe:
+    case xpath::CompareOp::kGt:
+      if (numeric) {
+        start.num = nv;
+      } else {
+        start.str = sv;
+      }
+      break;
+    case xpath::CompareOp::kLt:
+    case xpath::CompareOp::kLe:
+      // Scan from the beginning of the index.
+      if (numeric) {
+        start.num = -std::numeric_limits<double>::infinity();
+      } else {
+        start.str.clear();
+      }
+      break;
+    case xpath::CompareOp::kNe:
+      break;  // unreachable
+  }
+
+  auto in_range = [&](const IndexKey& k) {
+    switch (op) {
+      case xpath::CompareOp::kEq:
+        return numeric ? k.num == nv : k.str == sv;
+      case xpath::CompareOp::kGe:
+        return true;  // started at literal, everything after qualifies
+      case xpath::CompareOp::kGt:
+        return numeric ? k.num > nv : k.str > sv;
+      case xpath::CompareOp::kLt:
+        return numeric ? k.num < nv : k.str < sv;
+      case xpath::CompareOp::kLe:
+        return numeric ? k.num <= nv : k.str <= sv;
+      case xpath::CompareOp::kNe:
+        return false;
+    }
+    return false;
+  };
+  // For kGt the scan starts at the literal; skip equal keys. For kLt/kLe
+  // the scan stops at the first out-of-range key.
+  const bool stop_on_miss =
+      op == xpath::CompareOp::kEq || op == xpath::CompareOp::kLt ||
+      op == xpath::CompareOp::kLe;
+
+  IndexLookupResult out;
+  const void* last_page = nullptr;
+  for (auto it = tree_.LowerBound(start); it.valid(); it.Next()) {
+    const IndexKey& k = it.key();
+    if (it.page() != last_page) {
+      ++out.leaf_pages_touched;
+      last_page = it.page();
+    }
+    if (in_range(k)) {
+      out.rids.push_back(k.rid);
+    } else if (stop_on_miss) {
+      break;
+    }
+    // kGt: equal keys at the start fail in_range but the scan continues.
+  }
+  return out;
+}
+
+IndexStats PathValueIndex::ActualStats(const CostConstants& cc) const {
+  IndexStats stats;
+  stats.entry_count = tree_.size();
+  if (pattern_.type == xpath::ValueType::kNumeric && !pattern_.structural) {
+    stats.distinct_keys = numeric_counts_.size();
+    if (!numeric_counts_.empty()) {
+      stats.min_numeric = numeric_counts_.begin()->first;
+      stats.max_numeric = numeric_counts_.rbegin()->first;
+      // Exact equi-depth histogram from the maintained value counts, so
+      // real indexes estimate at least as well as virtual ones.
+      std::vector<std::pair<double, double>> weighted;
+      weighted.reserve(numeric_counts_.size());
+      for (const auto& [value, count] : numeric_counts_) {
+        weighted.emplace_back(value, static_cast<double>(count));
+      }
+      stats.numeric_quantiles = WeightedQuantiles(std::move(weighted), 16);
+    }
+  } else {
+    stats.distinct_keys = string_counts_.size();
+    if (!string_counts_.empty()) {
+      stats.min_string = string_counts_.begin()->first;
+      stats.max_string = string_counts_.rbegin()->first;
+    }
+  }
+  stats.avg_key_length =
+      tree_.empty() ? 8.0
+                    : key_bytes_sum_ / static_cast<double>(tree_.size());
+  stats.size_bytes = static_cast<uint64_t>(std::ceil(
+      (stats.avg_key_length + static_cast<double>(cc.index_entry_overhead)) *
+      static_cast<double>(stats.entry_count)));
+  stats.leaf_pages = std::max<size_t>(1, tree_.leaf_count());
+  stats.levels = static_cast<uint32_t>(tree_.height());
+  return stats;
+}
+
+}  // namespace xia::storage

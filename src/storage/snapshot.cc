@@ -1,0 +1,190 @@
+#include "storage/snapshot.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace xia::storage {
+
+namespace {
+
+constexpr char kMagic[8] = {'X', 'I', 'A', 'S', 'N', 'A', 'P', '1'};
+
+void WriteU8(std::ostream& out, uint8_t v) {
+  out.put(static_cast<char>(v));
+}
+
+void WriteU32(std::ostream& out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.write(buf, 4);
+}
+
+void WriteI32(std::ostream& out, int32_t v) {
+  WriteU32(out, static_cast<uint32_t>(v));
+}
+
+void WriteString(std::ostream& out, const std::string& s) {
+  WriteU32(out, static_cast<uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool ReadU8(std::istream& in, uint8_t* v) {
+  const int c = in.get();
+  if (c == EOF) return false;
+  *v = static_cast<uint8_t>(c);
+  return true;
+}
+
+bool ReadU32(std::istream& in, uint32_t* v) {
+  char buf[4];
+  if (!in.read(buf, 4)) return false;
+  *v = 0;
+  for (int i = 0; i < 4; ++i) {
+    *v |= static_cast<uint32_t>(static_cast<unsigned char>(buf[i]))
+          << (8 * i);
+  }
+  return true;
+}
+
+bool ReadI32(std::istream& in, int32_t* v) {
+  uint32_t u = 0;
+  if (!ReadU32(in, &u)) return false;
+  *v = static_cast<int32_t>(u);
+  return true;
+}
+
+bool ReadString(std::istream& in, std::string* s, uint32_t max_len) {
+  uint32_t len = 0;
+  if (!ReadU32(in, &len)) return false;
+  if (len > max_len) return false;  // corrupt or hostile
+  s->resize(len);
+  return static_cast<bool>(in.read(s->data(),
+                                   static_cast<std::streamsize>(len)));
+}
+
+constexpr uint32_t kMaxString = 64u << 20;  // 64 MiB per string
+
+}  // namespace
+
+Status SaveSnapshot(const DocumentStore& store, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  const std::vector<std::string> names = store.CollectionNames();
+  WriteU32(out, static_cast<uint32_t>(names.size()));
+  for (const std::string& name : names) {
+    auto coll = store.GetCollection(name);
+    if (!coll.ok()) return coll.status();
+    WriteString(out, name);
+    const xml::DocId bound = (*coll)->id_bound();
+    WriteU32(out, static_cast<uint32_t>(bound));
+    for (xml::DocId id = 0; id < bound; ++id) {
+      if (!(*coll)->IsLive(id)) {
+        WriteU8(out, 0);
+        continue;
+      }
+      WriteU8(out, 1);
+      const xml::Document& doc = (*coll)->Get(id);
+      WriteU32(out, static_cast<uint32_t>(doc.size()));
+      for (size_t n = 0; n < doc.size(); ++n) {
+        const xml::Node& node = doc.node(static_cast<xml::NodeIndex>(n));
+        WriteU8(out, static_cast<uint8_t>(node.kind));
+        WriteString(out, node.label);
+        WriteString(out, node.value);
+        WriteI32(out, node.parent);
+      }
+    }
+  }
+  if (!out) return Status::Internal("snapshot write failed");
+  return Status::OK();
+}
+
+Status SaveSnapshotToFile(const DocumentStore& store,
+                          const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  return SaveSnapshot(store, out);
+}
+
+Status LoadSnapshot(std::istream& in, DocumentStore* store) {
+  if (!store->CollectionNames().empty()) {
+    return Status::FailedPrecondition(
+        "snapshot must be loaded into an empty store");
+  }
+  char magic[sizeof(kMagic)];
+  if (!in.read(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::ParseError("not a XIA snapshot (bad magic)");
+  }
+  uint32_t collections = 0;
+  if (!ReadU32(in, &collections)) {
+    return Status::ParseError("truncated snapshot header");
+  }
+  for (uint32_t c = 0; c < collections; ++c) {
+    std::string name;
+    if (!ReadString(in, &name, kMaxString) || name.empty()) {
+      return Status::ParseError("bad collection name");
+    }
+    XIA_ASSIGN_OR_RETURN(Collection * coll, store->CreateCollection(name));
+    uint32_t slots = 0;
+    if (!ReadU32(in, &slots)) return Status::ParseError("bad slot count");
+    for (uint32_t s = 0; s < slots; ++s) {
+      uint8_t live = 0;
+      if (!ReadU8(in, &live)) return Status::ParseError("truncated slot");
+      if (!live) {
+        coll->AddTombstone();
+        continue;
+      }
+      uint32_t node_count = 0;
+      if (!ReadU32(in, &node_count)) {
+        return Status::ParseError("bad node count");
+      }
+      xml::Document doc;
+      for (uint32_t n = 0; n < node_count; ++n) {
+        uint8_t kind = 0;
+        std::string label;
+        std::string value;
+        int32_t parent = 0;
+        if (!ReadU8(in, &kind) || !ReadString(in, &label, kMaxString) ||
+            !ReadString(in, &value, kMaxString) || !ReadI32(in, &parent)) {
+          return Status::ParseError("truncated node record");
+        }
+        if (kind > static_cast<uint8_t>(xml::NodeKind::kAttribute)) {
+          return Status::ParseError("bad node kind");
+        }
+        // Nodes are stored parent-before-child, so rebuilding in order is
+        // valid. The first node must be the root.
+        if (n == 0) {
+          if (parent != xml::kInvalidNode) {
+            return Status::ParseError("first node must be the root");
+          }
+          doc.AddRoot(label);
+          doc.SetValue(0, value);
+        } else {
+          if (parent < 0 || static_cast<uint32_t>(parent) >= n) {
+            return Status::ParseError("node parent out of order");
+          }
+          if (static_cast<xml::NodeKind>(kind) == xml::NodeKind::kElement) {
+            doc.AddElement(parent, label, value);
+          } else {
+            if (label.empty() || label[0] != '@') {
+              return Status::ParseError("attribute label must start with @");
+            }
+            doc.AddAttribute(parent, label.substr(1), value);
+          }
+        }
+      }
+      if (doc.empty()) return Status::ParseError("empty live document");
+      coll->Add(std::move(doc));
+    }
+  }
+  return Status::OK();
+}
+
+Status LoadSnapshotFromFile(const std::string& path, DocumentStore* store) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open snapshot " + path);
+  return LoadSnapshot(in, store);
+}
+
+}  // namespace xia::storage

@@ -1,0 +1,47 @@
+// Binary snapshots of a DocumentStore.
+//
+// The CLI tools re-parse XML trees on every invocation; a snapshot
+// round-trips the whole store through one flat file instead. The format
+// preserves DocIds exactly — including dead slots left by deletions — so
+// index RIDs built against the original store remain meaningful against a
+// reloaded one.
+//
+// Layout (all integers little-endian):
+//   "XIASNAP1"                          magic + version
+//   u32 collection_count
+//   per collection:
+//     str  name
+//     u32  slot_count                   (id_bound: live + dead slots)
+//     per slot: u8 live; if live:
+//       u32 node_count
+//       per node: u8 kind; str label; str value; i32 parent
+// where str = u32 length + bytes.
+
+#ifndef XIA_STORAGE_SNAPSHOT_H_
+#define XIA_STORAGE_SNAPSHOT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "storage/document_store.h"
+#include "util/status.h"
+
+namespace xia::storage {
+
+/// Serializes every collection of `store` to `out`.
+Status SaveSnapshot(const DocumentStore& store, std::ostream& out);
+
+/// Convenience: save to a file path.
+Status SaveSnapshotToFile(const DocumentStore& store,
+                          const std::string& path);
+
+/// Restores a snapshot into `store`, which must be empty (no collections).
+/// DocIds, including gaps from deleted documents, are reproduced exactly.
+Status LoadSnapshot(std::istream& in, DocumentStore* store);
+
+/// Convenience: load from a file path.
+Status LoadSnapshotFromFile(const std::string& path, DocumentStore* store);
+
+}  // namespace xia::storage
+
+#endif  // XIA_STORAGE_SNAPSHOT_H_

@@ -1,0 +1,108 @@
+#include "tpox/synthetic.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace xia::tpox {
+
+namespace {
+
+// Candidate path for query generation: a concrete data path with values.
+struct EligiblePath {
+  std::string collection;
+  const storage::PathStats* stats;
+};
+
+}  // namespace
+
+Result<engine::Workload> GenerateSyntheticWorkload(
+    const storage::StatisticsCatalog& statistics,
+    const std::vector<std::string>& collections, size_t count, Random* rng,
+    const SyntheticOptions& options) {
+  std::vector<EligiblePath> eligible;
+  for (const std::string& collection : collections) {
+    XIA_ASSIGN_OR_RETURN(const storage::CollectionStatistics* cs,
+                         statistics.Get(collection));
+    for (const auto& [path_string, stats] : cs->paths()) {
+      if (stats.valued_count < options.min_path_count) continue;
+      if (stats.labels.size() < 2) continue;  // want a navigation, not root
+      eligible.push_back({collection, &stats});
+    }
+  }
+  if (eligible.empty()) {
+    return Status::FailedPrecondition(
+        "no eligible data paths; run statistics collection first");
+  }
+
+  engine::Workload workload;
+  for (size_t q = 0; q < count; ++q) {
+    const EligiblePath& target = eligible[rng->Uniform(eligible.size())];
+    const storage::PathStats& ps = *target.stats;
+
+    // Build the binding path over the concrete labels, with optional
+    // wildcard / descendant mutations that keep the path matching the
+    // same data (widening only).
+    xpath::PathQuery binding;
+    for (size_t i = 0; i < ps.labels.size(); ++i) {
+      xpath::QueryStep qs;
+      xpath::Axis axis = xpath::Axis::kChild;
+      if (i > 0 && rng->Bernoulli(options.descendant_probability)) {
+        axis = xpath::Axis::kDescendant;
+      }
+      std::string name = ps.labels[i];
+      const bool final_step = (i + 1 == ps.labels.size());
+      if (!final_step && i > 0 &&
+          rng->Bernoulli(options.wildcard_probability)) {
+        name = "*";
+        // A wildcarded step keeps the child axis; the pattern still matches
+        // the original path.
+      }
+      qs.step = xpath::Step(axis, name);
+      binding.Append(std::move(qs));
+    }
+
+    // Attach one comparison predicate on the final step, over its own
+    // value ('.').
+    xpath::Predicate pred;
+    const bool numeric = ps.numeric_count > 0 &&
+                         ps.numeric_count >= ps.valued_count / 2;
+    if (rng->Bernoulli(options.equality_probability)) {
+      pred.op = xpath::CompareOp::kEq;
+      if (numeric) {
+        // min and max are values that certainly occur.
+        pred.literal = xpath::Literal::Number(
+            rng->Bernoulli(0.5) ? ps.min_numeric : ps.max_numeric);
+      } else {
+        pred.literal = xpath::Literal::String(
+            rng->Bernoulli(0.5) ? ps.min_string : ps.max_string);
+      }
+    } else {
+      const bool greater = rng->Bernoulli(0.5);
+      pred.op = greater ? xpath::CompareOp::kGt : xpath::CompareOp::kLt;
+      if (numeric) {
+        pred.literal = xpath::Literal::Number(rng->UniformDouble(
+            ps.min_numeric, std::max(ps.min_numeric, ps.max_numeric)));
+      } else {
+        pred.literal = xpath::Literal::String(greater ? ps.min_string
+                                                      : ps.max_string);
+      }
+    }
+    binding.steps().back().predicates.push_back(std::move(pred));
+
+    engine::Statement stmt;
+    engine::QuerySpec spec;
+    spec.collection = target.collection;
+    spec.variable = "x";
+    spec.binding = std::move(binding);
+    stmt.label = StringPrintf("SYN-%zu", q);
+    stmt.text = StringPrintf("for $x in collection('%s')%s return $x",
+                             target.collection.c_str(),
+                             spec.binding.ToString().c_str());
+    stmt.body = std::move(spec);
+    workload.push_back(std::move(stmt));
+  }
+  return workload;
+}
+
+}  // namespace xia::tpox

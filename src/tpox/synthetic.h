@@ -1,0 +1,42 @@
+// Synthetic workload generation (§VII-C): random XPath queries over paths
+// that occur in the data, with value predicates drawn from observed value
+// ranges. Optionally injects wildcard steps and descendant axes to
+// diversify the patterns (the paper's generalization experiments rely on
+// workloads whose members share partial structure).
+
+#ifndef XIA_TPOX_SYNTHETIC_H_
+#define XIA_TPOX_SYNTHETIC_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/query.h"
+#include "storage/statistics.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace xia::tpox {
+
+/// Knobs for the synthetic generator.
+struct SyntheticOptions {
+  /// Probability of replacing a non-final step's name test with '*'.
+  double wildcard_probability = 0.15;
+  /// Probability of turning a non-first step's axis into '//'.
+  double descendant_probability = 0.10;
+  /// Probability of an equality (vs. range) predicate.
+  double equality_probability = 0.6;
+  /// Minimum node count for a path to be eligible as a query target.
+  uint64_t min_path_count = 2;
+};
+
+/// Generates `count` random single-predicate queries over the collections
+/// named in `collections`, using their collected statistics as the path and
+/// value source.
+Result<engine::Workload> GenerateSyntheticWorkload(
+    const storage::StatisticsCatalog& statistics,
+    const std::vector<std::string>& collections, size_t count, Random* rng,
+    const SyntheticOptions& options = {});
+
+}  // namespace xia::tpox
+
+#endif  // XIA_TPOX_SYNTHETIC_H_

@@ -1,0 +1,247 @@
+#include "tpox/tpox_data.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace xia::tpox {
+
+const std::vector<std::string>& TpoxDomains::Sectors() {
+  static const std::vector<std::string> kSectors = {
+      "Energy",       "Materials",  "Industrials", "ConsumerDiscretionary",
+      "ConsumerStaples", "HealthCare", "Financials", "InformationTechnology",
+      "Telecommunications", "Utilities", "RealEstate", "Aerospace"};
+  return kSectors;
+}
+
+const std::vector<std::string>& TpoxDomains::Industries() {
+  static const std::vector<std::string> kIndustries = [] {
+    std::vector<std::string> v;
+    for (const std::string& sector : Sectors()) {
+      for (int i = 1; i <= 3; ++i) {
+        v.push_back(sector + "Ind" + std::to_string(i));
+      }
+    }
+    return v;
+  }();
+  return kIndustries;
+}
+
+const std::vector<std::string>& TpoxDomains::SecurityTypes() {
+  static const std::vector<std::string> kTypes = {"Stock", "Fund", "Bond"};
+  return kTypes;
+}
+
+const std::vector<std::string>& TpoxDomains::Nationalities() {
+  static const std::vector<std::string> kNationalities = {
+      "USA",    "Canada",  "Mexico",  "Brazil",   "UK",     "France",
+      "Germany", "Italy",  "Spain",   "Japan",    "China",  "India",
+      "Korea",   "Sweden", "Norway",  "Australia", "Egypt", "SouthAfrica",
+      "Kenya",   "Chile"};
+  return kNationalities;
+}
+
+const std::vector<std::string>& TpoxDomains::Tiers() {
+  static const std::vector<std::string> kTiers = {"Premium", "Gold", "Silver",
+                                                  "Standard"};
+  return kTiers;
+}
+
+const std::vector<std::string>& TpoxDomains::Currencies() {
+  static const std::vector<std::string> kCurrencies = {"USD", "EUR", "GBP",
+                                                       "JPY", "CAD"};
+  return kCurrencies;
+}
+
+std::string TpoxDomains::Symbol(size_t id) {
+  return StringPrintf("SYM%06zu", id);
+}
+
+std::string TpoxDomains::OrderId(size_t id) {
+  return StringPrintf("%zu", 100000 + id);
+}
+
+int64_t TpoxDomains::CustomerId(size_t id) {
+  return static_cast<int64_t>(1000 + id);
+}
+
+xml::Document GenerateSecurityDocument(size_t id, Random* rng) {
+  xml::Document doc;
+  const xml::NodeIndex root = doc.AddRoot("Security");
+  doc.AddElement(root, "Symbol", TpoxDomains::Symbol(id));
+  doc.AddElement(root, "Name",
+                 StringPrintf("Company%zu %s Holdings", id,
+                              rng->NextString(4).c_str()));
+  const std::string& type =
+      TpoxDomains::SecurityTypes()[rng->Zipf(3, 1.1)];
+  doc.AddElement(root, "SecurityType", type);
+
+  // SecInfo/<TypeInformation>/Sector|Industry — the wildcard level the
+  // paper's running example (/Security/SecInfo/*/Sector) depends on.
+  const xml::NodeIndex info = doc.AddElement(root, "SecInfo");
+  const xml::NodeIndex type_info =
+      doc.AddElement(info, type + "Information");
+  const size_t sector_idx = rng->Uniform(TpoxDomains::Sectors().size());
+  doc.AddElement(type_info, "Sector", TpoxDomains::Sectors()[sector_idx]);
+  doc.AddElement(type_info, "Industry",
+                 TpoxDomains::Sectors()[sector_idx] + "Ind" +
+                     std::to_string(1 + rng->Uniform(3)));
+  if (rng->Bernoulli(0.5)) {
+    doc.AddElement(type_info, "SubIndustry",
+                   "Sub" + rng->NextString(5));
+  }
+
+  const double last = rng->UniformDouble(5.0, 200.0);
+  const xml::NodeIndex price = doc.AddElement(root, "Price");
+  doc.AddElement(price, "LastTrade", StringPrintf("%.2f", last));
+  doc.AddElement(price, "Open", StringPrintf("%.2f", last * rng->UniformDouble(0.95, 1.05)));
+  doc.AddElement(price, "Close", StringPrintf("%.2f", last * rng->UniformDouble(0.95, 1.05)));
+  doc.AddElement(price, "High", StringPrintf("%.2f", last * rng->UniformDouble(1.0, 1.1)));
+  doc.AddElement(price, "Low", StringPrintf("%.2f", last * rng->UniformDouble(0.9, 1.0)));
+
+  doc.AddElement(root, "Yield",
+                 StringPrintf("%.1f", rng->UniformDouble(0.0, 10.0)));
+  doc.AddElement(root, "PE",
+                 StringPrintf("%.1f", rng->UniformDouble(2.0, 60.0)));
+  doc.AddElement(root, "EPS",
+                 StringPrintf("%.2f", rng->UniformDouble(-5.0, 20.0)));
+  // Trading volume is heavy-tailed (a few securities dominate); the
+  // exponential tail is what makes histogram-based range selectivity
+  // visibly better than the uniform assumption.
+  const double volume =
+      1000.0 + -std::log(1.0 - rng->NextDouble()) * 400000.0;
+  doc.AddElement(root, "Volume",
+                 StringPrintf("%.0f", volume));
+  doc.AddElement(root, "Currency", rng->Pick(TpoxDomains::Currencies()));
+  doc.AddElement(root, "CountryOfRegistration",
+                 rng->Pick(TpoxDomains::Nationalities()));
+  doc.AddElement(root, "Issued",
+                 StringPrintf("19%02d-%02d-%02d",
+                              static_cast<int>(70 + rng->Uniform(30)),
+                              static_cast<int>(1 + rng->Uniform(12)),
+                              static_cast<int>(1 + rng->Uniform(28))));
+  doc.AddElement(root, "MarketCap",
+                 StringPrintf("%.0f", last * volume));
+  return doc;
+}
+
+xml::Document GenerateOrderDocument(size_t id, size_t security_count,
+                                    Random* rng) {
+  xml::Document doc;
+  const xml::NodeIndex root = doc.AddRoot("FIXML");
+  const xml::NodeIndex order = doc.AddElement(root, "Order");
+  doc.AddAttribute(order, "ID", TpoxDomains::OrderId(id));
+  doc.AddAttribute(order, "Side", rng->Bernoulli(0.5) ? "1" : "2");
+  doc.AddAttribute(order, "TrdDt",
+                   StringPrintf("2007-%02d-%02d",
+                                static_cast<int>(1 + rng->Uniform(12)),
+                                static_cast<int>(1 + rng->Uniform(28))));
+  doc.AddAttribute(order, "OrdTyp", rng->Bernoulli(0.7) ? "2" : "1");
+  doc.AddAttribute(order, "TmInForce", rng->Bernoulli(0.8) ? "0" : "6");
+  const xml::NodeIndex instrmt = doc.AddElement(order, "Instrmt");
+  // Skewed access: popular securities get most orders.
+  const size_t sec =
+      security_count == 0 ? 0 : rng->Zipf(security_count, 1.05);
+  doc.AddElement(instrmt, "Sym", TpoxDomains::Symbol(sec));
+  const xml::NodeIndex qty = doc.AddElement(order, "OrdQty");
+  doc.AddAttribute(qty, "Qty",
+                   StringPrintf("%llu", static_cast<unsigned long long>(
+                                            10 + rng->Uniform(5000))));
+  doc.AddElement(order, "Px",
+                 StringPrintf("%.2f", rng->UniformDouble(5.0, 200.0)));
+  const xml::NodeIndex hdr = doc.AddElement(order, "Hdr");
+  doc.AddElement(hdr, "SenderCompID",
+                 "BROKER" + std::to_string(rng->Uniform(40)));
+  doc.AddElement(hdr, "TargetCompID", "EXCH" + std::to_string(rng->Uniform(5)));
+  doc.AddElement(order, "Account",
+                 std::to_string(1000 + rng->Uniform(500)));
+  return doc;
+}
+
+xml::Document GenerateCustAccDocument(size_t id, Random* rng) {
+  xml::Document doc;
+  const xml::NodeIndex root = doc.AddRoot("Customer");
+  doc.AddElement(root, "Id",
+                 std::to_string(TpoxDomains::CustomerId(id)));
+  const xml::NodeIndex name = doc.AddElement(root, "Name");
+  doc.AddElement(name, "FirstName", "First" + rng->NextString(5));
+  doc.AddElement(name, "LastName", "Last" + rng->NextString(6));
+  doc.AddElement(name, "ShortName",
+                 StringPrintf("CUST%zu", id));
+  doc.AddElement(root, "Nationality",
+                 rng->Pick(TpoxDomains::Nationalities()));
+  doc.AddElement(root, "Tier",
+                 TpoxDomains::Tiers()[rng->Zipf(4, 1.2)]);
+  doc.AddElement(root, "DateOfBirth",
+                 StringPrintf("19%02d-%02d-%02d",
+                              static_cast<int>(30 + rng->Uniform(60)),
+                              static_cast<int>(1 + rng->Uniform(12)),
+                              static_cast<int>(1 + rng->Uniform(28))));
+
+  const xml::NodeIndex accounts = doc.AddElement(root, "Accounts");
+  const size_t n_accounts = 1 + rng->Uniform(4);
+  for (size_t a = 0; a < n_accounts; ++a) {
+    const xml::NodeIndex account = doc.AddElement(accounts, "Account");
+    doc.AddAttribute(account, "id",
+                     StringPrintf("A%zu-%zu", id, a));
+    doc.AddElement(account, "Currency",
+                   rng->Pick(TpoxDomains::Currencies()));
+    const xml::NodeIndex balance = doc.AddElement(account, "Balance");
+    const xml::NodeIndex online = doc.AddElement(balance, "OnlineActualBal");
+    doc.AddElement(online, "Amount",
+                   StringPrintf("%.2f", rng->UniformDouble(100.0, 1000000.0)));
+    doc.AddElement(account, "OpeningDate",
+                   StringPrintf("20%02d-%02d-%02d",
+                                static_cast<int>(rng->Uniform(8)),
+                                static_cast<int>(1 + rng->Uniform(12)),
+                                static_cast<int>(1 + rng->Uniform(28))));
+  }
+  // Contact information: one primary address plus spoken languages.
+  const xml::NodeIndex address = doc.AddElement(root, "Address");
+  doc.AddElement(address, "Street",
+                 std::to_string(1 + rng->Uniform(9999)) + " " +
+                     rng->NextString(8) + " St");
+  doc.AddElement(address, "City", "City" + std::to_string(rng->Uniform(200)));
+  doc.AddElement(address, "PostalCode",
+                 StringPrintf("%05llu", static_cast<unsigned long long>(
+                                            rng->Uniform(99999))));
+  const xml::NodeIndex languages = doc.AddElement(root, "Languages");
+  const size_t n_langs = 1 + rng->Uniform(3);
+  static const std::vector<std::string> kLanguages = {
+      "English", "French", "German", "Spanish", "Japanese", "Arabic"};
+  for (size_t l = 0; l < n_langs; ++l) {
+    doc.AddElement(languages, "Language", kLanguages[rng->Uniform(6)]);
+  }
+  return doc;
+}
+
+Status BuildTpoxDatabase(const TpoxScale& scale,
+                         storage::DocumentStore* store,
+                         storage::StatisticsCatalog* statistics) {
+  Random rng(scale.seed);
+
+  XIA_ASSIGN_OR_RETURN(storage::Collection * security,
+                       store->CreateCollection(kSecurityCollection));
+  for (size_t i = 0; i < scale.security_docs; ++i) {
+    security->Add(GenerateSecurityDocument(i, &rng));
+  }
+
+  XIA_ASSIGN_OR_RETURN(storage::Collection * orders,
+                       store->CreateCollection(kOrderCollection));
+  for (size_t i = 0; i < scale.order_docs; ++i) {
+    orders->Add(GenerateOrderDocument(i, scale.security_docs, &rng));
+  }
+
+  XIA_ASSIGN_OR_RETURN(storage::Collection * custacc,
+                       store->CreateCollection(kCustAccCollection));
+  for (size_t i = 0; i < scale.custacc_docs; ++i) {
+    custacc->Add(GenerateCustAccDocument(i, &rng));
+  }
+
+  statistics->RunStats(*security);
+  statistics->RunStats(*orders);
+  statistics->RunStats(*custacc);
+  return Status::OK();
+}
+
+}  // namespace xia::tpox

@@ -1,0 +1,74 @@
+// TPoX-style data generation.
+//
+// The paper evaluates on the TPoX benchmark (Nicola et al., SIGMOD 2007):
+// financial XML over three document types — Security (static reference
+// data), Order (FIXML trade orders) and CustAcc (customers with accounts).
+// The original 1 GB dataset and generator are external; this module
+// generates documents with the same shapes, field types and value
+// distributions, scaled by document count so experiments run at laptop
+// scale. Budgets in the experiments are expressed relative to the
+// All-Index configuration size, which keeps the paper's crossover
+// structure comparable (see DESIGN.md).
+
+#ifndef XIA_TPOX_TPOX_DATA_H_
+#define XIA_TPOX_TPOX_DATA_H_
+
+#include <cstdint>
+
+#include "storage/document_store.h"
+#include "storage/statistics.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "xml/document.h"
+
+namespace xia::tpox {
+
+/// Collection names.
+inline constexpr const char* kSecurityCollection = "SDOC";
+inline constexpr const char* kOrderCollection = "ODOC";
+inline constexpr const char* kCustAccCollection = "CADOC";
+
+/// Scale parameters.
+struct TpoxScale {
+  size_t security_docs = 1000;
+  size_t order_docs = 2000;
+  size_t custacc_docs = 500;
+  uint64_t seed = 42;
+};
+
+/// Value domains shared by the generator and the workloads, so queries can
+/// reference literals guaranteed to exist.
+struct TpoxDomains {
+  static const std::vector<std::string>& Sectors();
+  static const std::vector<std::string>& Industries();
+  static const std::vector<std::string>& SecurityTypes();
+  static const std::vector<std::string>& Nationalities();
+  static const std::vector<std::string>& Tiers();
+  static const std::vector<std::string>& Currencies();
+
+  /// Symbol of security `id` ("SYM000017").
+  static std::string Symbol(size_t id);
+  /// Order id string of order `id` ("100042").
+  static std::string OrderId(size_t id);
+  /// Customer numeric id of customer `id` (1000 + id).
+  static int64_t CustomerId(size_t id);
+};
+
+/// Generates one Security document.
+xml::Document GenerateSecurityDocument(size_t id, Random* rng);
+/// Generates one FIXML Order document. `security_count` bounds the symbols
+/// orders reference.
+xml::Document GenerateOrderDocument(size_t id, size_t security_count,
+                                    Random* rng);
+/// Generates one Customer/Accounts document.
+xml::Document GenerateCustAccDocument(size_t id, Random* rng);
+
+/// Creates the three collections in `store`, fills them at `scale`, and
+/// collects statistics into `statistics`.
+Status BuildTpoxDatabase(const TpoxScale& scale,
+                         storage::DocumentStore* store,
+                         storage::StatisticsCatalog* statistics);
+
+}  // namespace xia::tpox
+
+#endif  // XIA_TPOX_TPOX_DATA_H_

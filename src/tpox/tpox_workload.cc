@@ -1,0 +1,154 @@
+#include "tpox/tpox_workload.h"
+
+#include "engine/query_parser.h"
+#include "tpox/tpox_data.h"
+#include "util/string_util.h"
+#include "xml/serializer.h"
+
+namespace xia::tpox {
+
+Result<engine::Workload> TpoxQueries() {
+  // Each entry: {label, text}.
+  const std::pair<const char*, std::string> kQueries[] = {
+      {"TPoX-Q1 get_security",
+       "for $s in SECURITY('SDOC')/Security "
+       "where $s/Symbol = \"SYM000017\" return $s"},
+      {"TPoX-Q2 get_security_price",
+       "for $s in SECURITY('SDOC')/Security "
+       "where $s/Symbol = \"SYM000042\" return $s/Price/LastTrade"},
+      {"TPoX-Q3 search_securities",
+       "for $s in SECURITY('SDOC')/Security[Yield > 4.5] "
+       "where $s/SecInfo/*/Sector = \"Energy\" "
+       "return <Security>{$s/Name}</Security>"},
+      {"TPoX-Q4 stocks_by_pe",
+       "for $s in SECURITY('SDOC')/Security "
+       "where $s/PE > 45 and $s/SecurityType = \"Stock\" "
+       "return $s/Symbol"},
+      {"TPoX-Q5 expensive_securities",
+       "for $s in SECURITY('SDOC')/Security[Price/LastTrade > 190] "
+       "return $s/Symbol"},
+      {"TPoX-Q6 get_order",
+       "for $o in ORDER('ODOC')/FIXML/Order "
+       "where $o/@ID = \"100123\" return $o"},
+      {"TPoX-Q7 orders_by_symbol",
+       "for $o in ORDER('ODOC')/FIXML/Order "
+       "where $o/Instrmt/Sym = \"SYM000003\" return $o/@ID"},
+      {"TPoX-Q8 big_orders",
+       "for $o in ORDER('ODOC')/FIXML/Order[OrdQty/@Qty >= 4900] "
+       "return $o/Instrmt/Sym"},
+      {"TPoX-Q9 get_customer",
+       "for $c in CUSTACC('CADOC')/Customer "
+       "where $c/Id = 1042 return $c/Name/ShortName"},
+      {"TPoX-Q10 rich_accounts",
+       "for $c in CUSTACC('CADOC')/Customer "
+       "where $c/Accounts/Account/Balance/OnlineActualBal/Amount > 990000 "
+       "return $c/Id"},
+      {"TPoX-Q11 premium_by_nationality",
+       "for $c in CUSTACC('CADOC')/Customer[Tier = \"Premium\"] "
+       "where $c/Nationality = \"Japan\" return $c/Id"},
+  };
+
+  engine::Workload workload;
+  for (const auto& [label, text] : kQueries) {
+    XIA_ASSIGN_OR_RETURN(engine::Statement stmt,
+                         engine::ParseStatement(text, 1.0, label));
+    workload.push_back(std::move(stmt));
+  }
+  return workload;
+}
+
+Result<engine::Workload> TpoxUpdates(size_t inserts, size_t deletes,
+                                     size_t existing_orders, Random* rng) {
+  engine::Workload workload;
+  for (size_t i = 0; i < inserts; ++i) {
+    const size_t id = 900000 + i;
+    xml::Document doc = GenerateOrderDocument(id, 1000, rng);
+    engine::Statement stmt;
+    engine::InsertSpec ins;
+    ins.collection = kOrderCollection;
+    ins.document_text = xml::Serialize(doc);
+    stmt.body = std::move(ins);
+    stmt.label = StringPrintf("TPoX-U-ins%zu", i);
+    stmt.text = "insert into ODOC <FIXML>...</FIXML>";
+    workload.push_back(std::move(stmt));
+  }
+  for (size_t i = 0; i < deletes; ++i) {
+    const size_t victim =
+        existing_orders == 0 ? 0 : rng->Uniform(existing_orders);
+    const std::string text = StringPrintf(
+        "delete from ODOC where /FIXML/Order[@ID = \"%s\"]",
+        TpoxDomains::OrderId(victim).c_str());
+    XIA_ASSIGN_OR_RETURN(
+        engine::Statement stmt,
+        engine::ParseStatement(text, 1.0,
+                               StringPrintf("TPoX-U-del%zu", i)));
+    workload.push_back(std::move(stmt));
+  }
+  return workload;
+}
+
+Result<engine::Workload> TpoxTransactionMix(size_t per_kind,
+                                            size_t security_count,
+                                            size_t order_count,
+                                            size_t customer_count,
+                                            Random* rng) {
+  engine::Workload workload;
+  // New orders (TPoX "place order").
+  XIA_ASSIGN_OR_RETURN(engine::Workload inserts,
+                       TpoxUpdates(per_kind, 0, order_count, rng));
+  for (auto& stmt : inserts) workload.push_back(std::move(stmt));
+
+  // Order price updates (TPoX "update order").
+  for (size_t i = 0; i < per_kind; ++i) {
+    const size_t order = order_count == 0 ? 0 : rng->Uniform(order_count);
+    const std::string text = StringPrintf(
+        "update ODOC set /FIXML/Order/Px = %.2f "
+        "where /FIXML/Order[@ID = \"%s\"]",
+        rng->UniformDouble(5.0, 200.0), TpoxDomains::OrderId(order).c_str());
+    XIA_ASSIGN_OR_RETURN(
+        engine::Statement stmt,
+        engine::ParseStatement(text, 1.0,
+                               StringPrintf("TPoX-U-px%zu", i)));
+    workload.push_back(std::move(stmt));
+  }
+
+  // Security last-trade updates (TPoX "update security price"): touch the
+  // whole price subtree of one security.
+  for (size_t i = 0; i < per_kind; ++i) {
+    const size_t sec =
+        security_count == 0 ? 0 : rng->Uniform(security_count);
+    const std::string text = StringPrintf(
+        "update SDOC set /Security/Price/LastTrade = %.2f "
+        "where /Security[Symbol = \"%s\"]",
+        rng->UniformDouble(5.0, 200.0), TpoxDomains::Symbol(sec).c_str());
+    XIA_ASSIGN_OR_RETURN(
+        engine::Statement stmt,
+        engine::ParseStatement(text, 1.0,
+                               StringPrintf("TPoX-U-price%zu", i)));
+    workload.push_back(std::move(stmt));
+  }
+
+  // Customer tier promotions.
+  for (size_t i = 0; i < per_kind; ++i) {
+    const size_t cust =
+        customer_count == 0 ? 0 : rng->Uniform(customer_count);
+    const std::string text = StringPrintf(
+        "update CADOC set /Customer/Tier = \"%s\" "
+        "where /Customer[Id = %lld]",
+        rng->Pick(TpoxDomains::Tiers()).c_str(),
+        static_cast<long long>(TpoxDomains::CustomerId(cust)));
+    XIA_ASSIGN_OR_RETURN(
+        engine::Statement stmt,
+        engine::ParseStatement(text, 1.0,
+                               StringPrintf("TPoX-U-tier%zu", i)));
+    workload.push_back(std::move(stmt));
+  }
+
+  // Order cancellations (deletes).
+  XIA_ASSIGN_OR_RETURN(engine::Workload deletes,
+                       TpoxUpdates(0, per_kind, order_count, rng));
+  for (auto& stmt : deletes) workload.push_back(std::move(stmt));
+  return workload;
+}
+
+}  // namespace xia::tpox

@@ -1,0 +1,39 @@
+// The TPoX-style query and update workloads.
+//
+// Eleven queries modeled on the TPoX benchmark specification's query set
+// (get_security, get_security_price, search_securities, get_order,
+// customer/account lookups, ...) re-expressed in XIA's FLWOR subset over
+// the generated collections, plus an update mix of order inserts/deletes
+// for the maintenance-cost experiments.
+
+#ifndef XIA_TPOX_TPOX_WORKLOAD_H_
+#define XIA_TPOX_TPOX_WORKLOAD_H_
+
+#include "engine/query.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace xia::tpox {
+
+/// The 11 TPoX-style queries (frequency 1 each). Literals reference values
+/// the generator is guaranteed to produce.
+Result<engine::Workload> TpoxQueries();
+
+/// An update mix: `inserts` new-order insertions and `deletes` deletions of
+/// existing orders by ID. `existing_orders` bounds which ids deletes name.
+Result<engine::Workload> TpoxUpdates(size_t inserts, size_t deletes,
+                                     size_t existing_orders, Random* rng);
+
+/// The full TPoX-style transaction mix: the benchmark couples its queries
+/// with insert/update/delete transactions (new orders, order price
+/// updates, security price updates, customer tier changes, order
+/// cancellations). Counts follow the given per-kind number.
+Result<engine::Workload> TpoxTransactionMix(size_t per_kind,
+                                            size_t security_count,
+                                            size_t order_count,
+                                            size_t customer_count,
+                                            Random* rng);
+
+}  // namespace xia::tpox
+
+#endif  // XIA_TPOX_TPOX_WORKLOAD_H_

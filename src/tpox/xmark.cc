@@ -1,0 +1,206 @@
+#include "tpox/xmark.h"
+
+#include "engine/query_parser.h"
+#include "util/string_util.h"
+
+namespace xia::tpox {
+
+namespace {
+
+const std::vector<std::string>& Regions() {
+  static const std::vector<std::string> kRegions = {
+      "africa", "asia", "australia", "europe", "namerica", "samerica"};
+  return kRegions;
+}
+
+const std::vector<std::string>& Categories() {
+  static const std::vector<std::string> kCategories = [] {
+    std::vector<std::string> v;
+    for (int i = 0; i < 25; ++i) v.push_back("category" + std::to_string(i));
+    return v;
+  }();
+  return kCategories;
+}
+
+}  // namespace
+
+xml::Document GenerateXmarkItem(size_t id, Random* rng) {
+  xml::Document doc;
+  const xml::NodeIndex root = doc.AddRoot("item");
+  doc.AddAttribute(root, "id", StringPrintf("item%zu", id));
+  const std::string& region = rng->Pick(Regions());
+  doc.AddElement(root, "location", region);
+  doc.AddElement(root, "quantity",
+                 std::to_string(1 + rng->Uniform(10)));
+  doc.AddElement(root, "name", "Item " + rng->NextString(8));
+  doc.AddElement(root, "payment",
+                 rng->Bernoulli(0.5) ? "Creditcard" : "Cash");
+  const xml::NodeIndex description = doc.AddElement(root, "description");
+  const xml::NodeIndex text = doc.AddElement(description, "text");
+  doc.SetValue(text, rng->NextString(40));
+  if (rng->Bernoulli(0.3)) {
+    const xml::NodeIndex parlist = doc.AddElement(description, "parlist");
+    const size_t n = 1 + rng->Uniform(3);
+    for (size_t i = 0; i < n; ++i) {
+      doc.AddElement(parlist, "listitem", rng->NextString(20));
+    }
+  }
+  const size_t n_cats = 1 + rng->Uniform(3);
+  for (size_t i = 0; i < n_cats; ++i) {
+    const xml::NodeIndex incat = doc.AddElement(root, "incategory");
+    doc.AddAttribute(incat, "category", rng->Pick(Categories()));
+  }
+  const xml::NodeIndex mailbox = doc.AddElement(root, "mailbox");
+  if (rng->Bernoulli(0.4)) {
+    const xml::NodeIndex mail = doc.AddElement(mailbox, "mail");
+    doc.AddElement(mail, "from", rng->NextString(10));
+    doc.AddElement(mail, "date",
+                   StringPrintf("2001-%02d-%02d",
+                                static_cast<int>(1 + rng->Uniform(12)),
+                                static_cast<int>(1 + rng->Uniform(28))));
+  }
+  return doc;
+}
+
+xml::Document GenerateXmarkAuction(size_t id, size_t item_count,
+                                   size_t person_count, Random* rng) {
+  xml::Document doc;
+  const xml::NodeIndex root = doc.AddRoot("open_auction");
+  doc.AddAttribute(root, "id", StringPrintf("auction%zu", id));
+  const double initial = rng->UniformDouble(1.0, 200.0);
+  doc.AddElement(root, "initial", StringPrintf("%.2f", initial));
+  doc.AddElement(root, "reserve",
+                 StringPrintf("%.2f", initial * rng->UniformDouble(1.1, 2.0)));
+  double current = initial;
+  const size_t n_bids = rng->Uniform(6);
+  for (size_t b = 0; b < n_bids; ++b) {
+    const xml::NodeIndex bidder = doc.AddElement(root, "bidder");
+    doc.AddElement(bidder, "date",
+                   StringPrintf("2001-%02d-%02d",
+                                static_cast<int>(1 + rng->Uniform(12)),
+                                static_cast<int>(1 + rng->Uniform(28))));
+    const double increase = rng->UniformDouble(1.0, 25.0);
+    current += increase;
+    doc.AddElement(bidder, "increase", StringPrintf("%.2f", increase));
+    const xml::NodeIndex ref = doc.AddElement(bidder, "personref");
+    doc.AddAttribute(
+        ref, "person",
+        StringPrintf("person%zu",
+                     person_count == 0 ? 0 : rng->Uniform(person_count)));
+  }
+  doc.AddElement(root, "current", StringPrintf("%.2f", current));
+  const xml::NodeIndex itemref = doc.AddElement(root, "itemref");
+  doc.AddAttribute(
+      itemref, "item",
+      StringPrintf("item%zu",
+                   item_count == 0 ? 0 : rng->Uniform(item_count)));
+  const xml::NodeIndex seller = doc.AddElement(root, "seller");
+  doc.AddAttribute(
+      seller, "person",
+      StringPrintf("person%zu",
+                   person_count == 0 ? 0 : rng->Uniform(person_count)));
+  doc.AddElement(root, "quantity", std::to_string(1 + rng->Uniform(5)));
+  doc.AddElement(root, "type",
+                 rng->Bernoulli(0.7) ? "Regular" : "Featured");
+  return doc;
+}
+
+xml::Document GenerateXmarkPerson(size_t id, Random* rng) {
+  xml::Document doc;
+  const xml::NodeIndex root = doc.AddRoot("person");
+  doc.AddAttribute(root, "id", StringPrintf("person%zu", id));
+  doc.AddElement(root, "name",
+                 "P" + rng->NextString(6) + " " + rng->NextString(8));
+  doc.AddElement(root, "emailaddress",
+                 "mailto:" + rng->NextString(8) + "@example.com");
+  if (rng->Bernoulli(0.6)) {
+    doc.AddElement(root, "phone",
+                   StringPrintf("+%llu", static_cast<unsigned long long>(
+                                             rng->Uniform(999999999))));
+  }
+  if (rng->Bernoulli(0.7)) {
+    const xml::NodeIndex address = doc.AddElement(root, "address");
+    doc.AddElement(address, "street", rng->NextString(12));
+    doc.AddElement(address, "city", "City" + std::to_string(rng->Uniform(50)));
+    doc.AddElement(address, "country", rng->Pick(Regions()));
+  }
+  const xml::NodeIndex profile = doc.AddElement(root, "profile");
+  doc.AddAttribute(profile, "income",
+                   StringPrintf("%.2f", rng->UniformDouble(10000, 200000)));
+  doc.AddElement(profile, "education",
+                 rng->Bernoulli(0.5) ? "Graduate" : "HighSchool");
+  const xml::NodeIndex interests = doc.AddElement(profile, "interest");
+  doc.AddAttribute(interests, "category", rng->Pick(Categories()));
+  if (rng->Bernoulli(0.5)) {
+    const xml::NodeIndex watches = doc.AddElement(root, "watches");
+    const xml::NodeIndex watch = doc.AddElement(watches, "watch");
+    doc.AddAttribute(watch, "open_auction",
+                     StringPrintf("auction%llu",
+                                  static_cast<unsigned long long>(
+                                      rng->Uniform(500))));
+  }
+  return doc;
+}
+
+Status BuildXmarkDatabase(const XmarkScale& scale,
+                          storage::DocumentStore* store,
+                          storage::StatisticsCatalog* statistics) {
+  Random rng(scale.seed);
+  XIA_ASSIGN_OR_RETURN(storage::Collection * items,
+                       store->CreateCollection(kXmarkItemCollection));
+  for (size_t i = 0; i < scale.items; ++i) {
+    items->Add(GenerateXmarkItem(i, &rng));
+  }
+  XIA_ASSIGN_OR_RETURN(storage::Collection * auctions,
+                       store->CreateCollection(kXmarkAuctionCollection));
+  for (size_t i = 0; i < scale.auctions; ++i) {
+    auctions->Add(
+        GenerateXmarkAuction(i, scale.items, scale.persons, &rng));
+  }
+  XIA_ASSIGN_OR_RETURN(storage::Collection * persons,
+                       store->CreateCollection(kXmarkPersonCollection));
+  for (size_t i = 0; i < scale.persons; ++i) {
+    persons->Add(GenerateXmarkPerson(i, &rng));
+  }
+  statistics->RunStats(*items);
+  statistics->RunStats(*auctions);
+  statistics->RunStats(*persons);
+  return Status::OK();
+}
+
+Result<engine::Workload> XmarkQueries() {
+  const std::pair<const char*, std::string> kQueries[] = {
+      {"XMark-Q1 item_by_id",
+       "for $i in ITEM('XITEM')/item where $i/@id = \"item17\" return $i"},
+      {"XMark-Q2 items_in_region",
+       "for $i in ITEM('XITEM')/item where $i/location = \"europe\" "
+       "return $i/name"},
+      {"XMark-Q3 items_in_category",
+       "for $i in ITEM('XITEM')/item/incategory[@category = \"category3\"] "
+       "return $i"},
+      {"XMark-Q4 hot_auctions",
+       "for $a in AUCTION('XAUCTION')/open_auction "
+       "where $a/current > 250 return $a/itemref/@item"},
+      {"XMark-Q5 big_increases",
+       "for $a in AUCTION('XAUCTION')/open_auction/bidder[increase > 24] "
+       "return $a"},
+      {"XMark-Q6 featured",
+       "for $a in AUCTION('XAUCTION')/open_auction "
+       "where $a/type = \"Featured\" and $a/initial < 20 return $a/@id"},
+      {"XMark-Q7 person_by_id",
+       "for $p in PERSON('XPERSON')/person where $p/@id = \"person11\" "
+       "return $p/name"},
+      {"XMark-Q8 high_income",
+       "for $p in PERSON('XPERSON')/person[profile/@income >= 195000] "
+       "return $p/emailaddress"},
+  };
+  engine::Workload workload;
+  for (const auto& [label, text] : kQueries) {
+    XIA_ASSIGN_OR_RETURN(engine::Statement stmt,
+                         engine::ParseStatement(text, 1.0, label));
+    workload.push_back(std::move(stmt));
+  }
+  return workload;
+}
+
+}  // namespace xia::tpox

@@ -1,0 +1,48 @@
+// XMark-flavoured secondary benchmark (Schmidt et al.).
+//
+// The paper reports XMark results in its extended technical report; we
+// provide an auction-site generator (items, open auctions, persons) and a
+// query set so the advisor can be exercised on a second, structurally
+// different schema: deeper nesting, recursive-ish description markup and
+// heavier use of attributes.
+
+#ifndef XIA_TPOX_XMARK_H_
+#define XIA_TPOX_XMARK_H_
+
+#include "engine/query.h"
+#include "storage/document_store.h"
+#include "storage/statistics.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "xml/document.h"
+
+namespace xia::tpox {
+
+inline constexpr const char* kXmarkItemCollection = "XITEM";
+inline constexpr const char* kXmarkAuctionCollection = "XAUCTION";
+inline constexpr const char* kXmarkPersonCollection = "XPERSON";
+
+/// Scale parameters for the XMark-style database.
+struct XmarkScale {
+  size_t items = 800;
+  size_t auctions = 800;
+  size_t persons = 400;
+  uint64_t seed = 7;
+};
+
+xml::Document GenerateXmarkItem(size_t id, Random* rng);
+xml::Document GenerateXmarkAuction(size_t id, size_t item_count,
+                                   size_t person_count, Random* rng);
+xml::Document GenerateXmarkPerson(size_t id, Random* rng);
+
+/// Builds the three XMark collections and their statistics.
+Status BuildXmarkDatabase(const XmarkScale& scale,
+                          storage::DocumentStore* store,
+                          storage::StatisticsCatalog* statistics);
+
+/// Eight XMark-style queries over the generated data.
+Result<engine::Workload> XmarkQueries();
+
+}  // namespace xia::tpox
+
+#endif  // XIA_TPOX_XMARK_H_

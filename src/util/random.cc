@@ -1,0 +1,93 @@
+#include "util/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace xia {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64, used to expand the seed into the full state.
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97f4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Random::Random(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Random::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Random::Uniform(uint64_t n) {
+  assert(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -n % n;
+  for (;;) {
+    const uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Random::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Random::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Random::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Random::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+uint64_t Random::Zipf(uint64_t n, double s) {
+  assert(n > 0);
+  if (s <= 0.0) return Uniform(n);
+  // Inverse-CDF by linear scan is too slow for large n; use the rejection
+  // method of Devroye for s != 1 approximated via the standard
+  // "rejection-inversion" technique.
+  const double b = std::pow(2.0, s - 1.0);
+  for (;;) {
+    const double u = NextDouble();
+    const double v = NextDouble();
+    const double x = std::floor(std::pow(u, -1.0 / (s - 1.0 + 1e-12)));
+    const double t = std::pow(1.0 + 1.0 / x, s - 1.0);
+    if (x <= static_cast<double>(n) && v * x * (t - 1.0) / (b - 1.0) <= t / b) {
+      return static_cast<uint64_t>(x) - 1;
+    }
+  }
+}
+
+std::string Random::NextString(size_t length) {
+  std::string out(length, 'a');
+  for (auto& c : out) c = static_cast<char>('a' + Uniform(26));
+  return out;
+}
+
+}  // namespace xia

@@ -1,0 +1,31 @@
+// Wall-clock stopwatch used by the advisor-runtime experiments (Fig. 3)
+// and the actual-speedup experiments (Fig. 5).
+
+#ifndef XIA_UTIL_STOPWATCH_H_
+#define XIA_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace xia {
+
+/// Monotonic stopwatch. Starts running at construction.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart();
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const;
+
+  /// Milliseconds elapsed.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace xia
+
+#endif  // XIA_UTIL_STOPWATCH_H_

@@ -1,0 +1,41 @@
+// Small string helpers shared across XIA modules.
+
+#ifndef XIA_UTIL_STRING_UTIL_H_
+#define XIA_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xia {
+
+/// Splits `input` on `delim`, keeping empty tokens.
+std::vector<std::string> Split(std::string_view input, char delim);
+
+/// Joins `parts` with `delim`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view delim);
+
+/// Removes ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Parses a double; returns false on any trailing garbage.
+bool ParseDouble(std::string_view s, double* out);
+
+/// Returns true if the whole string parses as a (possibly signed,
+/// possibly fractional) numeric literal.
+bool LooksNumeric(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Human-readable byte count, e.g. "12.3 MB".
+std::string HumanBytes(double bytes);
+
+}  // namespace xia
+
+#endif  // XIA_UTIL_STRING_UTIL_H_

@@ -1,0 +1,83 @@
+#include "xml/document.h"
+
+#include <cassert>
+
+namespace xia::xml {
+
+NodeIndex Document::AddRoot(std::string_view label) {
+  assert(nodes_.empty());
+  Node n;
+  n.label = std::string(label);
+  nodes_.push_back(std::move(n));
+  return 0;
+}
+
+NodeIndex Document::AddElement(NodeIndex parent, std::string_view label,
+                               std::string_view value) {
+  assert(parent >= 0 && static_cast<size_t>(parent) < nodes_.size());
+  Node n;
+  n.label = std::string(label);
+  n.value = std::string(value);
+  n.parent = parent;
+  const NodeIndex idx = static_cast<NodeIndex>(nodes_.size());
+  nodes_.push_back(std::move(n));
+  nodes_[static_cast<size_t>(parent)].children.push_back(idx);
+  return idx;
+}
+
+NodeIndex Document::AddAttribute(NodeIndex parent, std::string_view name,
+                                 std::string_view value) {
+  assert(parent >= 0 && static_cast<size_t>(parent) < nodes_.size());
+  Node n;
+  n.kind = NodeKind::kAttribute;
+  n.label = "@" + std::string(name);
+  n.value = std::string(value);
+  n.parent = parent;
+  const NodeIndex idx = static_cast<NodeIndex>(nodes_.size());
+  nodes_.push_back(std::move(n));
+  nodes_[static_cast<size_t>(parent)].children.push_back(idx);
+  return idx;
+}
+
+void Document::SetValue(NodeIndex node, std::string_view value) {
+  nodes_[static_cast<size_t>(node)].value = std::string(value);
+}
+
+std::vector<std::string> Document::LabelPath(NodeIndex i) const {
+  std::vector<std::string> rev;
+  for (NodeIndex cur = i; cur != kInvalidNode;
+       cur = nodes_[static_cast<size_t>(cur)].parent) {
+    rev.push_back(nodes_[static_cast<size_t>(cur)].label);
+  }
+  return {rev.rbegin(), rev.rend()};
+}
+
+std::string Document::LabelPathString(NodeIndex i) const {
+  std::string out;
+  for (const auto& label : LabelPath(i)) {
+    out += '/';
+    out += label;
+  }
+  return out;
+}
+
+int Document::Depth(NodeIndex i) const {
+  int d = 0;
+  for (NodeIndex cur = i; cur != kInvalidNode;
+       cur = nodes_[static_cast<size_t>(cur)].parent) {
+    ++d;
+  }
+  return d;
+}
+
+size_t Document::ApproximateByteSize() const {
+  size_t bytes = 0;
+  for (const auto& n : nodes_) {
+    // Tag pair + value + per-node structural overhead (pointers, offsets)
+    // comparable to a native store's node record.
+    bytes += 2 * n.label.size() + n.value.size() + 16;
+  }
+  return bytes;
+}
+
+}  // namespace xia::xml

@@ -1,0 +1,63 @@
+// In-memory XML document: a flat arena of nodes rooted at index 0.
+
+#ifndef XIA_XML_DOCUMENT_H_
+#define XIA_XML_DOCUMENT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/node.h"
+
+namespace xia::xml {
+
+/// An XML document. Nodes live in a flat vector; the root element is node 0
+/// once the document is non-empty. Construction is append-only, which keeps
+/// NodeIndex values stable (a requirement for index RIDs).
+class Document {
+ public:
+  Document() = default;
+
+  /// Creates the root element. Must be the first node added.
+  NodeIndex AddRoot(std::string_view label);
+
+  /// Appends a child element under `parent` and returns its index.
+  NodeIndex AddElement(NodeIndex parent, std::string_view label,
+                       std::string_view value = "");
+
+  /// Appends an attribute node under `parent`; label is stored as "@name".
+  NodeIndex AddAttribute(NodeIndex parent, std::string_view name,
+                         std::string_view value);
+
+  /// Sets the text value of a node.
+  void SetValue(NodeIndex node, std::string_view value);
+
+  bool empty() const { return nodes_.empty(); }
+  size_t size() const { return nodes_.size(); }
+  NodeIndex root() const { return nodes_.empty() ? kInvalidNode : 0; }
+
+  const Node& node(NodeIndex i) const { return nodes_[static_cast<size_t>(i)]; }
+  Node& node(NodeIndex i) { return nodes_[static_cast<size_t>(i)]; }
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Root-to-node sequence of labels, e.g. {"Security","SecInfo","Sector"}.
+  std::vector<std::string> LabelPath(NodeIndex i) const;
+
+  /// Same but rendered as "/Security/SecInfo/Sector".
+  std::string LabelPathString(NodeIndex i) const;
+
+  /// Depth of the node (root = 1).
+  int Depth(NodeIndex i) const;
+
+  /// Total bytes of labels + values; used by the storage layer to model
+  /// page consumption.
+  size_t ApproximateByteSize() const;
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+}  // namespace xia::xml
+
+#endif  // XIA_XML_DOCUMENT_H_

@@ -1,0 +1,11 @@
+#include "xml/node.h"
+
+#include <ostream>
+
+namespace xia::xml {
+
+std::ostream& operator<<(std::ostream& os, const NodeRef& ref) {
+  return os << "(doc " << ref.doc << ", node " << ref.node << ")";
+}
+
+}  // namespace xia::xml

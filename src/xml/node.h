@@ -1,0 +1,67 @@
+// XML data model.
+//
+// A Document owns a flat arena of Nodes. Node indices are stable for the
+// lifetime of the document, so (document id, node index) pairs — NodeRef —
+// serve as the record identifiers stored in indexes, mirroring the
+// (docid, nodeid) RIDs of native XML stores.
+
+#ifndef XIA_XML_NODE_H_
+#define XIA_XML_NODE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xia::xml {
+
+/// Kind of a node in the simplified XML data model. Data-centric XML (the
+/// kind TPoX and XMark produce) is element text + attributes; we do not
+/// model processing instructions or comments.
+enum class NodeKind : uint8_t {
+  kElement = 0,
+  kAttribute = 1,
+};
+
+/// Index of a node within its document's arena.
+using NodeIndex = int32_t;
+
+/// Sentinel for "no node" (e.g. the parent of the root).
+inline constexpr NodeIndex kInvalidNode = -1;
+
+/// A single XML node. Element values hold the concatenated immediate text
+/// content (mixed content is concatenated, which is sufficient for
+/// data-centric documents). Attribute nodes have label "@name".
+struct Node {
+  NodeKind kind = NodeKind::kElement;
+  /// Element tag name, or "@name" for attributes.
+  std::string label;
+  /// Text content (elements) or attribute value (attributes).
+  std::string value;
+  NodeIndex parent = kInvalidNode;
+  std::vector<NodeIndex> children;
+
+  bool is_element() const { return kind == NodeKind::kElement; }
+  bool is_attribute() const { return kind == NodeKind::kAttribute; }
+};
+
+/// Identifier of a document within a DocumentStore.
+using DocId = int32_t;
+
+/// A record identifier: a node within a stored document. This is what XML
+/// indexes map values to.
+struct NodeRef {
+  DocId doc = -1;
+  NodeIndex node = kInvalidNode;
+
+  bool operator==(const NodeRef& o) const {
+    return doc == o.doc && node == o.node;
+  }
+  bool operator<(const NodeRef& o) const {
+    if (doc != o.doc) return doc < o.doc;
+    return node < o.node;
+  }
+};
+
+}  // namespace xia::xml
+
+#endif  // XIA_XML_NODE_H_

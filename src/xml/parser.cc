@@ -1,0 +1,227 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace xia::xml {
+
+namespace {
+
+class ParserImpl {
+ public:
+  explicit ParserImpl(std::string_view text) : text_(text) {}
+
+  Result<Document> Run() {
+    SkipProlog();
+    Document doc;
+    XIA_RETURN_IF_ERROR(ParseElement(&doc, kInvalidNode));
+    SkipWhitespaceAndMisc();
+    if (pos_ != text_.size()) {
+      return Error("trailing content after document element");
+    }
+    return doc;
+  }
+
+ private:
+  Status Error(const std::string& why) const {
+    return Status::ParseError(
+        StringPrintf("xml parse error at offset %zu: %s", pos_, why.c_str()));
+  }
+
+  bool Eof() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  bool Consume(char c) {
+    if (!Eof() && Peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (!Eof() && std::isspace(static_cast<unsigned char>(Peek()))) ++pos_;
+  }
+
+  // Skips <?...?>, <!--...-->, <!DOCTYPE...> and whitespace.
+  void SkipWhitespaceAndMisc() {
+    for (;;) {
+      SkipWhitespace();
+      if (ConsumeLiteral("<?")) {
+        const size_t end = text_.find("?>", pos_);
+        pos_ = (end == std::string_view::npos) ? text_.size() : end + 2;
+      } else if (ConsumeLiteral("<!--")) {
+        const size_t end = text_.find("-->", pos_);
+        pos_ = (end == std::string_view::npos) ? text_.size() : end + 3;
+      } else if (ConsumeLiteral("<!DOCTYPE")) {
+        const size_t end = text_.find('>', pos_);
+        pos_ = (end == std::string_view::npos) ? text_.size() : end + 1;
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipProlog() { SkipWhitespaceAndMisc(); }
+
+  static bool IsNameStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  }
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':' || c == '-' || c == '.';
+  }
+
+  Result<std::string> ParseName() {
+    if (Eof() || !IsNameStart(Peek())) return Error("expected name");
+    const size_t start = pos_;
+    while (!Eof() && IsNameChar(Peek())) ++pos_;
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  // Decodes the five predefined entities; unknown entities are kept verbatim.
+  static std::string DecodeEntities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (size_t i = 0; i < raw.size();) {
+      if (raw[i] != '&') {
+        out += raw[i++];
+        continue;
+      }
+      const size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) {
+        out += raw[i++];
+        continue;
+      }
+      const std::string_view ent = raw.substr(i + 1, semi - i - 1);
+      if (ent == "lt") {
+        out += '<';
+      } else if (ent == "gt") {
+        out += '>';
+      } else if (ent == "amp") {
+        out += '&';
+      } else if (ent == "quot") {
+        out += '"';
+      } else if (ent == "apos") {
+        out += '\'';
+      } else if (!ent.empty() && ent[0] == '#') {
+        long code = 0;
+        if (ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X')) {
+          code = std::strtol(std::string(ent.substr(2)).c_str(), nullptr, 16);
+        } else {
+          code = std::strtol(std::string(ent.substr(1)).c_str(), nullptr, 10);
+        }
+        if (code > 0 && code < 128) {
+          out += static_cast<char>(code);
+        }
+      } else {
+        out.append(raw.substr(i, semi - i + 1));
+      }
+      i = semi + 1;
+    }
+    return out;
+  }
+
+  Status ParseAttributes(Document* doc, NodeIndex element) {
+    for (;;) {
+      SkipWhitespace();
+      if (Eof()) return Error("unterminated start tag");
+      if (Peek() == '>' || Peek() == '/') return Status::OK();
+      auto name = ParseName();
+      if (!name.ok()) return name.status();
+      SkipWhitespace();
+      if (!Consume('=')) return Error("expected '=' in attribute");
+      SkipWhitespace();
+      const char quote = Eof() ? '\0' : Peek();
+      if (quote != '"' && quote != '\'') {
+        return Error("expected quoted attribute value");
+      }
+      ++pos_;
+      const size_t start = pos_;
+      while (!Eof() && Peek() != quote) ++pos_;
+      if (Eof()) return Error("unterminated attribute value");
+      const std::string value =
+          DecodeEntities(text_.substr(start, pos_ - start));
+      ++pos_;  // closing quote
+      doc->AddAttribute(element, *name, value);
+    }
+  }
+
+  // Parses one element (start tag, content, end tag) and attaches it under
+  // `parent` (or as the root when parent == kInvalidNode).
+  Status ParseElement(Document* doc, NodeIndex parent) {
+    if (!Consume('<')) return Error("expected '<'");
+    auto name = ParseName();
+    if (!name.ok()) return name.status();
+    const NodeIndex element = (parent == kInvalidNode)
+                                  ? doc->AddRoot(*name)
+                                  : doc->AddElement(parent, *name);
+    XIA_RETURN_IF_ERROR(ParseAttributes(doc, element));
+    if (ConsumeLiteral("/>")) return Status::OK();
+    if (!Consume('>')) return Error("expected '>'");
+
+    std::string text;
+    for (;;) {
+      if (Eof()) return Error("unterminated element " + *name);
+      if (Peek() == '<') {
+        if (ConsumeLiteral("</")) {
+          auto close = ParseName();
+          if (!close.ok()) return close.status();
+          if (*close != *name) {
+            return Error("mismatched close tag " + *close + " for " + *name);
+          }
+          SkipWhitespace();
+          if (!Consume('>')) return Error("expected '>' after close tag");
+          break;
+        }
+        if (ConsumeLiteral("<!--")) {
+          const size_t end = text_.find("-->", pos_);
+          if (end == std::string_view::npos) return Error("open comment");
+          pos_ = end + 3;
+          continue;
+        }
+        if (ConsumeLiteral("<![CDATA[")) {
+          const size_t end = text_.find("]]>", pos_);
+          if (end == std::string_view::npos) return Error("open CDATA");
+          text.append(text_.substr(pos_, end - pos_));
+          pos_ = end + 3;
+          continue;
+        }
+        if (ConsumeLiteral("<?")) {
+          const size_t end = text_.find("?>", pos_);
+          if (end == std::string_view::npos) return Error("open PI");
+          pos_ = end + 2;
+          continue;
+        }
+        XIA_RETURN_IF_ERROR(ParseElement(doc, element));
+      } else {
+        const size_t start = pos_;
+        while (!Eof() && Peek() != '<') ++pos_;
+        text += DecodeEntities(text_.substr(start, pos_ - start));
+      }
+    }
+    const std::string_view trimmed = Trim(text);
+    if (!trimmed.empty()) doc->SetValue(element, trimmed);
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Document> Parse(std::string_view text) {
+  return ParserImpl(text).Run();
+}
+
+}  // namespace xia::xml

@@ -1,0 +1,22 @@
+// A small non-validating XML parser sufficient for data-centric documents:
+// elements, attributes, character data, entity references, comments,
+// processing instructions and XML declarations (the last three are skipped).
+// No DTDs, namespaces are kept as literal "ns:tag" labels.
+
+#ifndef XIA_XML_PARSER_H_
+#define XIA_XML_PARSER_H_
+
+#include <string_view>
+
+#include "util/status.h"
+#include "xml/document.h"
+
+namespace xia::xml {
+
+/// Parses `text` into a Document. Returns ParseError with a byte offset and
+/// reason on malformed input.
+Result<Document> Parse(std::string_view text);
+
+}  // namespace xia::xml
+
+#endif  // XIA_XML_PARSER_H_

@@ -1,0 +1,86 @@
+#include "xml/serializer.h"
+
+namespace xia::xml {
+
+std::string EscapeText(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '&':
+        out += "&amp;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void SerializeNode(const Document& doc, NodeIndex idx,
+                   const SerializeOptions& options, int depth,
+                   std::string* out) {
+  const Node& n = doc.node(idx);
+  const std::string pad =
+      options.pretty ? std::string(static_cast<size_t>(depth) *
+                                       static_cast<size_t>(options.indent_width),
+                                   ' ')
+                     : std::string();
+  out->append(pad);
+  out->push_back('<');
+  out->append(n.label);
+  // Attributes first.
+  std::vector<NodeIndex> element_children;
+  for (NodeIndex c : n.children) {
+    const Node& child = doc.node(c);
+    if (child.is_attribute()) {
+      out->push_back(' ');
+      out->append(child.label.substr(1));
+      out->append("=\"");
+      out->append(EscapeText(child.value));
+      out->push_back('"');
+    } else {
+      element_children.push_back(c);
+    }
+  }
+  if (element_children.empty() && n.value.empty()) {
+    out->append("/>");
+    if (options.pretty) out->push_back('\n');
+    return;
+  }
+  out->push_back('>');
+  if (!n.value.empty()) out->append(EscapeText(n.value));
+  if (!element_children.empty()) {
+    if (options.pretty) out->push_back('\n');
+    for (NodeIndex c : element_children) {
+      SerializeNode(doc, c, options, depth + 1, out);
+    }
+    out->append(pad);
+  }
+  out->append("</");
+  out->append(n.label);
+  out->push_back('>');
+  if (options.pretty) out->push_back('\n');
+}
+
+}  // namespace
+
+std::string Serialize(const Document& doc, NodeIndex node,
+                      const SerializeOptions& options) {
+  std::string out;
+  if (!doc.empty()) SerializeNode(doc, node, options, 0, &out);
+  return out;
+}
+
+}  // namespace xia::xml

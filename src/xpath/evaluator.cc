@@ -1,0 +1,189 @@
+#include "xpath/evaluator.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace xia::xpath {
+
+namespace {
+
+// Collects nodes reachable from `start` (exclusive) by the steps
+// [step_index..end). `descend_first` handles a pending descendant axis:
+// when true the step may match at any depth below `start`.
+void EvalSteps(const xml::Document& doc, xml::NodeIndex start,
+               const std::vector<Step>& steps, size_t step_index,
+               std::vector<xml::NodeIndex>* out);
+
+// Advances from node `n` over one step (already positioned at a candidate
+// child/descendant). Recurses for descendant axes.
+void EvalStepFromChildren(const xml::Document& doc, xml::NodeIndex parent,
+                          const std::vector<Step>& steps, size_t step_index,
+                          bool descend, std::vector<xml::NodeIndex>* out) {
+  const Step& step = steps[step_index];
+  for (xml::NodeIndex c : doc.node(parent).children) {
+    const xml::Node& child = doc.node(c);
+    if (step.MatchesLabel(child.label)) {
+      if (step_index + 1 == steps.size()) {
+        out->push_back(c);
+      } else {
+        EvalSteps(doc, c, steps, step_index + 1, out);
+      }
+    }
+    // Descendant axis: also look deeper, regardless of a match here.
+    // Attributes have no element children, so recursing is harmless but
+    // pointless; skip them.
+    if (descend && child.is_element()) {
+      EvalStepFromChildren(doc, c, steps, step_index, /*descend=*/true, out);
+    }
+  }
+}
+
+void EvalSteps(const xml::Document& doc, xml::NodeIndex start,
+               const std::vector<Step>& steps, size_t step_index,
+               std::vector<xml::NodeIndex>* out) {
+  const Step& step = steps[step_index];
+  const bool descend = step.axis == Axis::kDescendant;
+  EvalStepFromChildren(doc, start, steps, step_index, descend, out);
+}
+
+// Evaluating an absolute path: the first step tests the root element itself
+// (the document node is the implicit origin).
+void EvalAbsolute(const xml::Document& doc, const std::vector<Step>& steps,
+                  std::vector<xml::NodeIndex>* out) {
+  if (doc.empty() || steps.empty()) return;
+  const Step& first = steps[0];
+  const xml::NodeIndex root = doc.root();
+  // Child axis from the document node: only the root element.
+  if (first.MatchesLabel(doc.node(root).label)) {
+    if (steps.size() == 1) {
+      out->push_back(root);
+    } else {
+      EvalSteps(doc, root, steps, 1, out);
+    }
+  }
+  if (first.axis == Axis::kDescendant) {
+    // '//' from the document node also reaches any deeper node.
+    EvalStepFromChildren(doc, root, steps, 0, /*descend=*/true, out);
+  }
+}
+
+void SortUnique(std::vector<xml::NodeIndex>* nodes) {
+  std::sort(nodes->begin(), nodes->end());
+  nodes->erase(std::unique(nodes->begin(), nodes->end()), nodes->end());
+}
+
+}  // namespace
+
+bool CompareValue(const std::string& node_value, CompareOp op,
+                  const Literal& literal) {
+  if (literal.type == ValueType::kNumeric) {
+    double v = 0;
+    if (!ParseDouble(node_value, &v)) return false;
+    switch (op) {
+      case CompareOp::kEq:
+        return v == literal.numeric_value;
+      case CompareOp::kNe:
+        return v != literal.numeric_value;
+      case CompareOp::kLt:
+        return v < literal.numeric_value;
+      case CompareOp::kLe:
+        return v <= literal.numeric_value;
+      case CompareOp::kGt:
+        return v > literal.numeric_value;
+      case CompareOp::kGe:
+        return v >= literal.numeric_value;
+    }
+    return false;
+  }
+  const int cmp = node_value.compare(literal.string_value);
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+std::vector<xml::NodeIndex> EvaluateLinear(const xml::Document& doc,
+                                           const Path& path) {
+  std::vector<xml::NodeIndex> out;
+  EvalAbsolute(doc, path.steps(), &out);
+  SortUnique(&out);
+  return out;
+}
+
+namespace {
+
+// True if node `n` satisfies predicate `pred`.
+bool PredicateHolds(const xml::Document& doc, xml::NodeIndex n,
+                    const Predicate& pred) {
+  std::vector<xml::NodeIndex> targets;
+  if (pred.relative_steps.empty()) {
+    targets.push_back(n);
+  } else {
+    EvalSteps(doc, n, pred.relative_steps, 0, &targets);
+  }
+  if (!pred.is_comparison()) return !targets.empty();
+  for (xml::NodeIndex t : targets) {
+    if (CompareValue(doc.node(t).value, *pred.op, pred.literal)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<xml::NodeIndex> Evaluate(const xml::Document& doc,
+                                     const PathQuery& query) {
+  // Evaluate the spine one step at a time, filtering by predicates after
+  // each step.
+  std::vector<xml::NodeIndex> current;
+  if (doc.empty() || query.empty()) return current;
+
+  for (size_t i = 0; i < query.size(); ++i) {
+    const QueryStep& qs = query.steps()[i];
+    std::vector<xml::NodeIndex> next;
+    const std::vector<Step> single = {qs.step};
+    if (i == 0) {
+      EvalAbsolute(doc, single, &next);
+    } else {
+      for (xml::NodeIndex n : current) {
+        EvalSteps(doc, n, single, 0, &next);
+      }
+    }
+    SortUnique(&next);
+    // Apply this step's predicates.
+    if (!qs.predicates.empty()) {
+      std::vector<xml::NodeIndex> filtered;
+      for (xml::NodeIndex n : next) {
+        bool ok = true;
+        for (const auto& pred : qs.predicates) {
+          if (!PredicateHolds(doc, n, pred)) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) filtered.push_back(n);
+      }
+      next = std::move(filtered);
+    }
+    current = std::move(next);
+    if (current.empty()) break;
+  }
+  return current;
+}
+
+bool Exists(const xml::Document& doc, const PathQuery& query) {
+  return !Evaluate(doc, query).empty();
+}
+
+}  // namespace xia::xpath

@@ -1,0 +1,41 @@
+// Tree-walking evaluation of path queries over xml::Document.
+//
+// This is the "ground truth" evaluator: the execution engine uses it for
+// collection scans and residual predicate checking, tests use it as the
+// reference against index-based plans, and the statistics collector uses
+// the linear fast path.
+
+#ifndef XIA_XPATH_EVALUATOR_H_
+#define XIA_XPATH_EVALUATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "xml/document.h"
+#include "xpath/path.h"
+
+namespace xia::xpath {
+
+/// Nodes of `doc` selected by the linear pattern `path`, in document order.
+std::vector<xml::NodeIndex> EvaluateLinear(const xml::Document& doc,
+                                           const Path& path);
+
+/// Nodes of `doc` selected by `query`, predicates included, in document
+/// order. Comparison predicates use XPath existential semantics: a step
+/// node qualifies if at least one node reached by the predicate's relative
+/// path satisfies the comparison.
+std::vector<xml::NodeIndex> Evaluate(const xml::Document& doc,
+                                     const PathQuery& query);
+
+/// True if `doc` has at least one node selected by `query`.
+bool Exists(const xml::Document& doc, const PathQuery& query);
+
+/// Evaluates a single comparison between a node's text value and a literal.
+/// Numeric comparisons coerce the node value; non-numeric node values never
+/// satisfy a numeric comparison. String comparisons are lexicographic.
+bool CompareValue(const std::string& node_value, CompareOp op,
+                  const Literal& literal);
+
+}  // namespace xia::xpath
+
+#endif  // XIA_XPATH_EVALUATOR_H_

@@ -1,0 +1,34 @@
+// Parser for the XPath fragment used throughout XIA.
+//
+// Grammar (absolute paths only):
+//
+//   PathQuery  := ( '/' | '//' ) Step ( ( '/' | '//' ) Step )*
+//   Step       := NameTest Predicate*
+//   NameTest   := Name | '*' | '@' Name
+//   Predicate  := '[' RelPath ( CmpOp Literal )? ']'
+//   RelPath    := '.' | ( './/' )? NameTest ( ( '/' | '//' ) NameTest )*
+//   CmpOp      := '=' | '!=' | '<' | '<=' | '>' | '>='
+//   Literal    := '"' chars '"' | "'" chars "'" | Number
+//
+// ParsePattern accepts the same syntax but rejects predicates: index
+// patterns are linear paths (§III).
+
+#ifndef XIA_XPATH_PARSER_H_
+#define XIA_XPATH_PARSER_H_
+
+#include <string_view>
+
+#include "util/status.h"
+#include "xpath/path.h"
+
+namespace xia::xpath {
+
+/// Parses a full path query (predicates allowed at any step).
+Result<PathQuery> ParseQuery(std::string_view text);
+
+/// Parses a linear index pattern (no predicates allowed).
+Result<Path> ParsePattern(std::string_view text);
+
+}  // namespace xia::xpath
+
+#endif  // XIA_XPATH_PARSER_H_

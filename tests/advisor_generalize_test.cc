@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "advisor/dag.h"
+#include "advisor/generalize.h"
+#include "util/random.h"
+#include "xpath/containment.h"
+#include "xpath/parser.h"
+
+namespace xia::advisor {
+namespace {
+
+xpath::Path P(const char* text) {
+  auto p = xpath::ParsePattern(text);
+  EXPECT_TRUE(p.ok()) << text << ": " << p.status();
+  return *p;
+}
+
+std::vector<std::string> Strings(const std::vector<xpath::Path>& paths) {
+  std::vector<std::string> out;
+  for (const auto& p : paths) out.push_back(p.ToString());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(RewriteWildcardRunsTest, PaperRuleZeroExamples) {
+  // §V Rule 0: /a/*/b -> /a//b and /a/*/*/b -> /a//b.
+  EXPECT_EQ(RewriteWildcardRuns(P("/a/*/b")).ToString(), "/a//b");
+  EXPECT_EQ(RewriteWildcardRuns(P("/a/*/*/b")).ToString(), "/a//b");
+}
+
+TEST(RewriteWildcardRunsTest, KeepsTrailingWildcard) {
+  EXPECT_EQ(RewriteWildcardRuns(P("/a/*")).ToString(), "/a/*");
+  EXPECT_EQ(RewriteWildcardRuns(P("/a/*/*")).ToString(), "/a//*");
+}
+
+TEST(RewriteWildcardRunsTest, LeadingWildcard) {
+  EXPECT_EQ(RewriteWildcardRuns(P("/*/a")).ToString(), "//a");
+}
+
+TEST(RewriteWildcardRunsTest, ResultCoversInput) {
+  for (const char* text :
+       {"/a/*/b", "/a/*/*/b", "/*/a", "/a/b", "//a/*/b", "/a/*//b/*"}) {
+    const xpath::Path in = P(text);
+    const xpath::Path out = RewriteWildcardRuns(in);
+    EXPECT_TRUE(xpath::Covers(out, in))
+        << out.ToString() << " should cover " << text;
+  }
+}
+
+TEST(GeneralizePairTest, PaperTableOneExample) {
+  // §V: /Security/Symbol + /Security/SecInfo/*/Sector => /Security//*.
+  auto results =
+      GeneralizePair(P("/Security/Symbol"), P("/Security/SecInfo/*/Sector"));
+  EXPECT_EQ(Strings(results), (std::vector<std::string>{"/Security//*"}));
+}
+
+TEST(GeneralizePairTest, PaperReoccurrenceExample) {
+  // §V Rule 4 narrative: /a/b/d + /a/d/b/d => {/a//d, /a//b/d}.
+  auto results = GeneralizePair(P("/a/b/d"), P("/a/d/b/d"));
+  const auto strings = Strings(results);
+  EXPECT_NE(std::find(strings.begin(), strings.end(), "/a//d"),
+            strings.end())
+      << "missing /a//d";
+  EXPECT_NE(std::find(strings.begin(), strings.end(), "/a//b/d"),
+            strings.end())
+      << "missing /a//b/d";
+}
+
+TEST(GeneralizePairTest, IdenticalInputsGeneralizeToSelf) {
+  auto results = GeneralizePair(P("/a/b/c"), P("/a/b/c"));
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results[0].ToString(), "/a/b/c");
+}
+
+TEST(GeneralizePairTest, DisjointNamesWidenToWildcards) {
+  auto results = GeneralizePair(P("/a/b"), P("/c/d"));
+  ASSERT_FALSE(results.empty());
+  // Everything widens: the only generalization is //*.
+  EXPECT_EQ(results[0].ToString(), "//*");
+}
+
+TEST(GeneralizePairTest, DescendantAxisSurvives) {
+  auto results = GeneralizePair(P("/a//b"), P("/a/b"));
+  ASSERT_FALSE(results.empty());
+  for (const auto& r : results) {
+    EXPECT_TRUE(xpath::Covers(r, P("/a//b"))) << r.ToString();
+  }
+}
+
+TEST(GeneralizePairTest, DifferentLengthsUseWildcardGap) {
+  auto results = GeneralizePair(P("/a/b"), P("/a/x/y/b"));
+  const auto strings = Strings(results);
+  EXPECT_NE(std::find(strings.begin(), strings.end(), "/a//b"),
+            strings.end())
+      << "expected /a//b among: " << ::testing::PrintToString(strings);
+}
+
+TEST(GeneralizePairTest, EmptyInputRejected) {
+  EXPECT_TRUE(GeneralizePair(xpath::Path(), P("/a")).empty());
+}
+
+// Fundamental soundness property (§V): every generalization covers both
+// inputs.
+class GeneralizeSoundnessTest : public ::testing::TestWithParam<uint64_t> {};
+
+xpath::Path RandomPattern(Random* rng) {
+  const char* names[] = {"a", "b", "c", "d", "*"};
+  std::vector<xpath::Step> steps;
+  const size_t len = 1 + rng->Uniform(4);
+  for (size_t i = 0; i < len; ++i) {
+    steps.emplace_back(
+        rng->Bernoulli(0.25) ? xpath::Axis::kDescendant
+                             : xpath::Axis::kChild,
+        names[rng->Uniform(5)]);
+  }
+  return xpath::Path(std::move(steps));
+}
+
+TEST_P(GeneralizeSoundnessTest, OutputsCoverBothInputs) {
+  Random rng(GetParam());
+  for (int trial = 0; trial < 120; ++trial) {
+    const xpath::Path a = RandomPattern(&rng);
+    const xpath::Path b = RandomPattern(&rng);
+    for (const xpath::Path& g : GeneralizePair(a, b)) {
+      EXPECT_TRUE(xpath::Covers(g, a))
+          << g.ToString() << " !covers " << a.ToString() << " (from "
+          << a.ToString() << " + " << b.ToString() << ")";
+      EXPECT_TRUE(xpath::Covers(g, b))
+          << g.ToString() << " !covers " << b.ToString() << " (from "
+          << a.ToString() << " + " << b.ToString() << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneralizeSoundnessTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// -------------------------------------------------------------------------
+// Candidate-set level generalization.
+
+CandidateSet MakeBasicSet(
+    const std::vector<std::pair<const char*, xpath::ValueType>>& patterns) {
+  CandidateSet set;
+  for (const auto& [text, type] : patterns) {
+    Candidate c;
+    c.id = static_cast<int>(set.candidates.size());
+    c.collection = "SDOC";
+    c.pattern = {P(text), type};
+    c.covered_basics = {c.id};
+    c.affected = {static_cast<size_t>(c.id)};
+    set.candidates.push_back(std::move(c));
+  }
+  set.basic_count = set.candidates.size();
+  return set;
+}
+
+TEST(GeneralizeCandidatesTest, PaperTableOne) {
+  CandidateSet set = MakeBasicSet({
+      {"/Security/Symbol", xpath::ValueType::kString},          // C1
+      {"/Security/SecInfo/*/Sector", xpath::ValueType::kString},  // C2
+      {"/Security/Yield", xpath::ValueType::kNumeric},          // C3
+  });
+  const GeneralizeStats stats = GeneralizeCandidates(&set);
+  EXPECT_GE(stats.pairs_considered, 3u);
+  // C4 = /Security//* (string); the numeric C3 cannot generalize with the
+  // string candidates (§V: "Candidate C3 cannot be generalized with either
+  // C1 or C2 because it is of a different data type").
+  ASSERT_EQ(set.size(), 4u);
+  const Candidate& c4 = set[3];
+  EXPECT_TRUE(c4.is_general);
+  EXPECT_EQ(c4.pattern.path.ToString(), "/Security//*");
+  EXPECT_EQ(c4.pattern.type, xpath::ValueType::kString);
+  // C4 covers C1 and C2, inheriting both affected sets.
+  EXPECT_EQ(c4.covered_basics, (std::vector<int>{0, 1}));
+  EXPECT_EQ(c4.affected, (std::vector<size_t>{0, 1}));
+}
+
+TEST(GeneralizeCandidatesTest, DifferentCollectionsNeverGeneralize) {
+  CandidateSet set = MakeBasicSet({
+      {"/a/b", xpath::ValueType::kString},
+  });
+  Candidate other;
+  other.id = 1;
+  other.collection = "OTHER";
+  other.pattern = {P("/a/c"), xpath::ValueType::kString};
+  other.covered_basics = {1};
+  other.affected = {1};
+  set.candidates.push_back(other);
+  set.basic_count = 2;
+  GeneralizeCandidates(&set);
+  EXPECT_EQ(set.size(), 2u);  // nothing produced
+}
+
+TEST(GeneralizeCandidatesTest, FixpointAcrossRounds) {
+  // Three chains whose pairwise generalizations can themselves combine.
+  CandidateSet set = MakeBasicSet({
+      {"/a/b/x", xpath::ValueType::kString},
+      {"/a/c/x", xpath::ValueType::kString},
+      {"/a/b/y", xpath::ValueType::kString},
+  });
+  GeneralizeCandidates(&set);
+  // Expect at least /a//x, /a/b/*, and a most-general /a//*.
+  EXPECT_GE(set.size(), 6u);
+  bool found_most_general = false;
+  for (const auto& c : set.candidates) {
+    if (c.pattern.path.ToString() == "/a//*") found_most_general = true;
+  }
+  EXPECT_TRUE(found_most_general);
+}
+
+TEST(BuildDagTest, EdgesFollowStrictCoverage) {
+  CandidateSet set = MakeBasicSet({
+      {"/Security/Symbol", xpath::ValueType::kString},
+      {"/Security/SecInfo/*/Sector", xpath::ValueType::kString},
+      {"/Security/Yield", xpath::ValueType::kNumeric},
+  });
+  GeneralizeCandidates(&set);
+  const std::vector<int> roots = BuildDag(&set);
+  // Roots: /Security//* (string) and /Security/Yield (numeric).
+  ASSERT_EQ(roots.size(), 2u);
+  const Candidate& general = set[3];
+  EXPECT_EQ(general.children.size(), 2u);
+  EXPECT_TRUE(set[0].parents == std::vector<int>{3});
+  EXPECT_TRUE(set[1].parents == std::vector<int>{3});
+  EXPECT_TRUE(set[2].parents.empty());
+  EXPECT_TRUE(set[2].children.empty());
+}
+
+TEST(BuildDagTest, TransitiveReduction) {
+  CandidateSet set = MakeBasicSet({
+      {"/a/b", xpath::ValueType::kString},
+      {"/a/*", xpath::ValueType::kString},
+      {"//*", xpath::ValueType::kString},
+  });
+  BuildDag(&set);
+  // //* -> /a/* -> /a/b, with no shortcut //* -> /a/b.
+  EXPECT_EQ(set[2].children, (std::vector<int>{1}));
+  EXPECT_EQ(set[1].children, (std::vector<int>{0}));
+  EXPECT_EQ(set[0].children.size(), 0u);
+  EXPECT_EQ(set[0].parents, (std::vector<int>{1}));
+}
+
+TEST(BuildDagTest, EquivalentPatternsChainByIdOrder) {
+  // /a//b and /a/*... two syntactically different but equivalent patterns
+  // should not both become roots with no relation.
+  CandidateSet set = MakeBasicSet({
+      {"/a//b", xpath::ValueType::kString},
+      {"//a//b", xpath::ValueType::kString},
+  });
+  // /a//b strictly contained in //a//b; plus an equivalent duplicate.
+  Candidate dup;
+  dup.id = 2;
+  dup.collection = "SDOC";
+  dup.pattern = {P("/a//b"), xpath::ValueType::kString};
+  dup.covered_basics = {2};
+  set.candidates.push_back(dup);
+  set.basic_count = 3;
+  const std::vector<int> roots = BuildDag(&set);
+  EXPECT_EQ(roots.size(), 1u);  // only //a//b
+  EXPECT_EQ(roots[0], 1);
+}
+
+}  // namespace
+}  // namespace xia::advisor

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "storage/btree.h"
+#include "util/random.h"
+
+namespace xia::storage {
+namespace {
+
+TEST(BTreeTest, EmptyTree) {
+  BTree<int> tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1u);
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  EXPECT_FALSE(tree.Contains(5));
+  EXPECT_FALSE(tree.Begin().valid());
+  EXPECT_FALSE(tree.LowerBound(0).valid());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BTreeTest, InsertAndContains) {
+  BTree<int> tree;
+  EXPECT_TRUE(tree.Insert(5));
+  EXPECT_TRUE(tree.Insert(3));
+  EXPECT_TRUE(tree.Insert(9));
+  EXPECT_FALSE(tree.Insert(5));  // duplicate
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_TRUE(tree.Contains(3));
+  EXPECT_TRUE(tree.Contains(5));
+  EXPECT_TRUE(tree.Contains(9));
+  EXPECT_FALSE(tree.Contains(4));
+}
+
+TEST(BTreeTest, SortedIteration) {
+  BTree<int> tree;
+  for (int v : {7, 1, 9, 3, 5}) tree.Insert(v);
+  std::vector<int> out;
+  for (auto it = tree.Begin(); it.valid(); it.Next()) out.push_back(it.key());
+  EXPECT_EQ(out, (std::vector<int>{1, 3, 5, 7, 9}));
+}
+
+TEST(BTreeTest, SplitsGrowHeight) {
+  BTree<int> tree;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) EXPECT_TRUE(tree.Insert(i));
+  EXPECT_EQ(tree.size(), static_cast<size_t>(n));
+  EXPECT_GT(tree.height(), 1u);
+  EXPECT_GT(tree.leaf_count(), 1u);
+  EXPECT_TRUE(tree.CheckInvariants());
+  // All present, in order.
+  int expect = 0;
+  for (auto it = tree.Begin(); it.valid(); it.Next()) {
+    EXPECT_EQ(it.key(), expect++);
+  }
+  EXPECT_EQ(expect, n);
+}
+
+TEST(BTreeTest, ReverseInsertionOrder) {
+  BTree<int> tree;
+  for (int i = 999; i >= 0; --i) tree.Insert(i);
+  EXPECT_TRUE(tree.CheckInvariants());
+  int expect = 0;
+  for (auto it = tree.Begin(); it.valid(); it.Next()) {
+    EXPECT_EQ(it.key(), expect++);
+  }
+}
+
+TEST(BTreeTest, EraseLeavesTreeConsistent) {
+  BTree<int> tree;
+  for (int i = 0; i < 2000; ++i) tree.Insert(i);
+  for (int i = 0; i < 2000; i += 2) EXPECT_TRUE(tree.Erase(i));
+  EXPECT_FALSE(tree.Erase(0));  // already gone
+  EXPECT_EQ(tree.size(), 1000u);
+  EXPECT_TRUE(tree.CheckInvariants());
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(tree.Contains(i), i % 2 == 1) << i;
+  }
+}
+
+TEST(BTreeTest, EraseEverythingShrinksHeight) {
+  BTree<int> tree;
+  for (int i = 0; i < 5000; ++i) tree.Insert(i);
+  const size_t tall = tree.height();
+  EXPECT_GT(tall, 1u);
+  for (int i = 0; i < 5000; ++i) EXPECT_TRUE(tree.Erase(i));
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.height(), 1u);
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  EXPECT_EQ(tree.internal_count(), 0u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BTreeTest, LowerBound) {
+  BTree<int> tree;
+  for (int i = 0; i < 100; i += 10) tree.Insert(i);  // 0,10,...,90
+  auto it = tree.LowerBound(35);
+  ASSERT_TRUE(it.valid());
+  EXPECT_EQ(it.key(), 40);
+  it = tree.LowerBound(40);
+  ASSERT_TRUE(it.valid());
+  EXPECT_EQ(it.key(), 40);
+  it = tree.LowerBound(-5);
+  ASSERT_TRUE(it.valid());
+  EXPECT_EQ(it.key(), 0);
+  EXPECT_FALSE(tree.LowerBound(91).valid());
+}
+
+TEST(BTreeTest, ScanRange) {
+  BTree<int> tree;
+  for (int i = 0; i < 1000; ++i) tree.Insert(i);
+  std::vector<int> got;
+  const size_t pages = tree.Scan(100, 199, [&](const int& k) {
+    got.push_back(k);
+    return true;
+  });
+  EXPECT_EQ(got.size(), 100u);
+  EXPECT_EQ(got.front(), 100);
+  EXPECT_EQ(got.back(), 199);
+  EXPECT_GE(pages, 1u);
+}
+
+TEST(BTreeTest, ScanEarlyStop) {
+  BTree<int> tree;
+  for (int i = 0; i < 100; ++i) tree.Insert(i);
+  int count = 0;
+  tree.Scan(0, 99, [&](const int&) { return ++count < 10; });
+  EXPECT_EQ(count, 10);
+}
+
+TEST(BTreeTest, PageAccountingMatchesStructure) {
+  BTree<int> tree;
+  for (int i = 0; i < 20000; ++i) tree.Insert(i);
+  // Leaves hold at most kLeafCapacity keys and (after pure inserts) at
+  // least half that.
+  EXPECT_GE(tree.leaf_count(),
+            20000 / BTree<int>::kLeafCapacity);
+  EXPECT_LE(tree.leaf_count(),
+            2 * (20000 / BTree<int>::kLeafCapacity) + 1);
+}
+
+// Model-based randomized test against std::set.
+class BTreeModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BTreeModelTest, MatchesStdSetUnderRandomOps) {
+  Random rng(GetParam());
+  BTree<int> tree;
+  std::set<int> model;
+  const int kUniverse = 500;
+  for (int op = 0; op < 20000; ++op) {
+    const int key = static_cast<int>(rng.Uniform(kUniverse));
+    const int action = static_cast<int>(rng.Uniform(3));
+    if (action == 0) {
+      EXPECT_EQ(tree.Insert(key), model.insert(key).second);
+    } else if (action == 1) {
+      EXPECT_EQ(tree.Erase(key), model.erase(key) > 0);
+    } else {
+      EXPECT_EQ(tree.Contains(key), model.count(key) > 0);
+    }
+  }
+  EXPECT_EQ(tree.size(), model.size());
+  EXPECT_TRUE(tree.CheckInvariants());
+  // Full ordered comparison.
+  auto it = tree.Begin();
+  for (int v : model) {
+    ASSERT_TRUE(it.valid());
+    EXPECT_EQ(it.key(), v);
+    it.Next();
+  }
+  EXPECT_FALSE(it.valid());
+  // LowerBound agreement at every point.
+  for (int key = -1; key <= kUniverse; ++key) {
+    auto tit = tree.LowerBound(key);
+    auto mit = model.lower_bound(key);
+    if (mit == model.end()) {
+      EXPECT_FALSE(tit.valid()) << key;
+    } else {
+      ASSERT_TRUE(tit.valid()) << key;
+      EXPECT_EQ(tit.key(), *mit) << key;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeModelTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+TEST(BTreeTest, StringKeys) {
+  BTree<std::string> tree;
+  tree.Insert("Energy");
+  tree.Insert("Aerospace");
+  tree.Insert("Tech");
+  std::vector<std::string> out;
+  for (auto it = tree.Begin(); it.valid(); it.Next()) out.push_back(it.key());
+  EXPECT_EQ(out, (std::vector<std::string>{"Aerospace", "Energy", "Tech"}));
+}
+
+TEST(BTreeTest, MoveConstruction) {
+  BTree<int> tree;
+  for (int i = 0; i < 100; ++i) tree.Insert(i);
+  BTree<int> moved = std::move(tree);
+  EXPECT_EQ(moved.size(), 100u);
+  EXPECT_TRUE(moved.Contains(42));
+  EXPECT_TRUE(moved.CheckInvariants());
+}
+
+}  // namespace
+}  // namespace xia::storage

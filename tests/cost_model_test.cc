@@ -1,0 +1,132 @@
+// Unit tests for the cost model: monotonicity and structural properties
+// that plan choice relies on, independent of any concrete database.
+
+#include <gtest/gtest.h>
+
+#include "engine/normalizer.h"
+#include "engine/query_parser.h"
+#include "optimizer/cost_model.h"
+#include "storage/document_store.h"
+#include "xml/parser.h"
+
+namespace xia::optimizer {
+namespace {
+
+engine::NormalizedQuery Normalized(const char* text) {
+  auto stmt = engine::ParseStatement(text);
+  EXPECT_TRUE(stmt.ok()) << stmt.status();
+  auto norm = engine::Normalize(*stmt);
+  EXPECT_TRUE(norm.ok()) << norm.status();
+  return *norm;
+}
+
+// Builds statistics over n tiny documents.
+storage::CollectionStatistics StatsOver(size_t n) {
+  storage::DocumentStore store;
+  auto coll = store.CreateCollection("C");
+  EXPECT_TRUE(coll.ok());
+  for (size_t i = 0; i < n; ++i) {
+    auto doc = xml::Parse(
+        "<a><b>" + std::to_string(i) + "</b><c>x" + std::to_string(i % 7) +
+        "</c></a>");
+    EXPECT_TRUE(doc.ok());
+    (*coll)->Add(std::move(*doc));
+  }
+  storage::CollectionStatistics stats;
+  stats.Collect(**coll);
+  return stats;
+}
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  CostModelTest() : model_(storage::DefaultCostConstants()) {}
+  CostModel model_;
+};
+
+TEST_F(CostModelTest, CollectionScanGrowsWithData) {
+  const auto q = Normalized("for $x in c('C')/a[b > 1] return $x");
+  const auto small = StatsOver(100);
+  const auto big = StatsOver(1000);
+  EXPECT_LT(model_.CollectionScanCost(small, q),
+            model_.CollectionScanCost(big, q));
+}
+
+TEST_F(CostModelTest, IndexAccessMonotoneInLevelsAndEntries) {
+  EXPECT_LT(model_.IndexAccessCost(1, 10, 8),
+            model_.IndexAccessCost(2, 10, 8));
+  EXPECT_LT(model_.IndexAccessCost(2, 10, 8),
+            model_.IndexAccessCost(2, 100000, 8));
+  EXPECT_LE(model_.IndexAccessCost(1, 1, 8),
+            model_.IndexAccessCost(1, 1, 64) + 1e-9);
+  EXPECT_GT(model_.IndexAccessCost(1, 1, 8), 0);
+}
+
+TEST_F(CostModelTest, FetchScalesLinearlyInDocs) {
+  const auto q = Normalized("for $x in c('C')/a[b > 1] return $x");
+  const auto stats = StatsOver(500);
+  const double one = model_.FetchAndResidualCost(1, stats, q);
+  const double hundred = model_.FetchAndResidualCost(100, stats, q);
+  EXPECT_NEAR(hundred, 100 * one, 1e-9);
+}
+
+TEST_F(CostModelTest, SelectiveIndexPathIsCheaperThanScan) {
+  // The relationship plan choice relies on: levels + 1 fetched doc beats
+  // scanning everything, for a reasonably sized collection.
+  const auto q = Normalized("for $x in c('C')/a[b = 7] return $x");
+  const auto stats = StatsOver(2000);
+  const double scan = model_.CollectionScanCost(stats, q);
+  const double index = model_.IndexAccessCost(2, 1, 8) +
+                       model_.FetchAndResidualCost(1, stats, q);
+  EXPECT_LT(index, scan);
+}
+
+TEST_F(CostModelTest, InsertCostGrowsWithDocumentSize) {
+  EXPECT_LT(model_.DocumentInsertCost(100, 5),
+            model_.DocumentInsertCost(100000, 500));
+  EXPECT_GT(model_.DocumentInsertCost(1, 1), 0);
+}
+
+TEST_F(CostModelTest, RemoveCostScalesWithDocs) {
+  EXPECT_NEAR(model_.DocumentRemoveCost(10, 2000),
+              10 * model_.DocumentRemoveCost(1, 2000), 1e-9);
+  EXPECT_EQ(model_.DocumentRemoveCost(0, 2000), 0);
+}
+
+TEST_F(CostModelTest, MaintenanceCostBehaviour) {
+  storage::IndexStats idx;
+  idx.entry_count = 10000;
+  idx.levels = 3;
+  idx.avg_key_length = 12;
+  // Zero documents touched: free.
+  EXPECT_EQ(model_.MaintenanceCost(idx, 1000, 0), 0);
+  // Scales with documents touched.
+  const double one = model_.MaintenanceCost(idx, 1000, 1);
+  EXPECT_GT(one, 0);
+  EXPECT_NEAR(model_.MaintenanceCost(idx, 1000, 10), 10 * one, 1e-9);
+  // Denser indexes (more entries per document) cost more to maintain.
+  storage::IndexStats sparse = idx;
+  sparse.entry_count = 100;
+  EXPECT_LT(model_.MaintenanceCost(sparse, 1000, 1), one);
+  // Empty collection: no per-doc entries, no cost.
+  EXPECT_EQ(model_.MaintenanceCost(idx, 0, 1), 0);
+}
+
+TEST_F(CostModelTest, PerDocumentEvalGrowsWithPredicates) {
+  const auto stats = StatsOver(200);
+  const auto simple = Normalized("for $x in c('C')/a return $x");
+  const auto heavy =
+      Normalized("for $x in c('C')/a[b > 1][c = \"x\"][b < 9] return $x");
+  EXPECT_LT(model_.PerDocumentEvalCost(stats, simple),
+            model_.PerDocumentEvalCost(stats, heavy));
+}
+
+TEST(CostConstantsTest, DefaultsAreSane) {
+  const auto& cc = storage::DefaultCostConstants();
+  EXPECT_GT(cc.page_size, 0u);
+  EXPECT_GT(cc.random_page_cost, cc.seq_page_cost);
+  EXPECT_GT(cc.fetch_doc_cost, cc.cpu_node_cost);
+  EXPECT_GT(cc.assumed_fanout, 1u);
+}
+
+}  // namespace
+}  // namespace xia::optimizer

@@ -1,0 +1,137 @@
+// Property test: every physical plan computes the same answer.
+//
+// For randomized synthetic queries over the TPoX database, the result of
+// a collection scan (ground truth, straight off the evaluator) must equal
+// the result of every index-based plan the optimizer can form — including
+// plans over deliberately general (wider-than-needed) indexes, whose
+// lookups return false positives that the residual check must remove.
+
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "engine/normalizer.h"
+#include "optimizer/optimizer.h"
+#include "storage/catalog.h"
+#include "tpox/synthetic.h"
+#include "tpox/tpox_data.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "xpath/containment.h"
+#include "xpath/parser.h"
+
+namespace xia {
+namespace {
+
+class EquivalenceTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    tpox::TpoxScale scale;
+    scale.security_docs = 400;
+    scale.order_docs = 400;
+    scale.custacc_docs = 150;
+    scale.seed = GetParam();
+    ASSERT_TRUE(tpox::BuildTpoxDatabase(scale, &store_, &stats_).ok());
+  }
+
+  storage::DocumentStore store_;
+  storage::StatisticsCatalog stats_;
+};
+
+TEST_P(EquivalenceTest, IndexPlansMatchScanPlans) {
+  Random rng(GetParam() * 31 + 7);
+  tpox::SyntheticOptions options;
+  options.wildcard_probability = 0.25;
+  options.descendant_probability = 0.2;
+  auto workload = tpox::GenerateSyntheticWorkload(
+      stats_,
+      {tpox::kSecurityCollection, tpox::kOrderCollection,
+       tpox::kCustAccCollection},
+      30, &rng, options);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+
+  // Catalog with an exact index per predicate pattern AND general indexes,
+  // so both specific and general legs get exercised.
+  storage::Catalog catalog(&store_, &stats_);
+  int next_id = 0;
+  for (const auto& stmt : *workload) {
+    auto norm = engine::Normalize(stmt);
+    ASSERT_TRUE(norm.ok());
+    for (const auto& pred : optimizer::ExtractIndexablePredicates(*norm)) {
+      const xpath::IndexPattern pattern = pred.AsIndexPattern();
+      bool exists = false;
+      for (const auto* def : catalog.IndexesFor(stmt.collection())) {
+        if (def->pattern == pattern) exists = true;
+      }
+      if (!exists) {
+        ASSERT_TRUE(catalog.CreateIndex(StringPrintf("x%d", next_id++),
+                                        stmt.collection(), pattern)
+                        .ok());
+      }
+    }
+  }
+  for (const char* coll :
+       {tpox::kSecurityCollection, tpox::kOrderCollection,
+        tpox::kCustAccCollection}) {
+    for (xpath::ValueType type :
+         {xpath::ValueType::kString, xpath::ValueType::kNumeric}) {
+      ASSERT_TRUE(catalog.CreateIndex(StringPrintf("g%d", next_id++), coll,
+                                      {*xpath::ParsePattern("//*"), type})
+                      .ok());
+    }
+  }
+
+  optimizer::Optimizer opt(&store_, &catalog, &stats_);
+  engine::Executor executor(&store_, &catalog);
+
+  size_t index_plans_checked = 0;
+  for (const auto& stmt : *workload) {
+    auto scan_plan = opt.OptimizeWithoutIndexes(stmt);
+    ASSERT_TRUE(scan_plan.ok());
+    auto scan_result = executor.Execute(stmt, *scan_plan);
+    ASSERT_TRUE(scan_result.ok()) << stmt.text;
+
+    // Best plan with indexes available.
+    auto best_plan = opt.Optimize(stmt);
+    ASSERT_TRUE(best_plan.ok());
+    auto best_result = executor.Execute(stmt, *best_plan);
+    ASSERT_TRUE(best_result.ok()) << stmt.text;
+    EXPECT_EQ(best_result->result_count, scan_result->result_count)
+        << stmt.text << "\nplan: " << best_plan->Describe();
+    if (best_plan->kind != optimizer::Plan::Kind::kCollectionScan) {
+      ++index_plans_checked;
+    }
+
+    // Force a plan through each matching index individually, general
+    // indexes included.
+    auto norm = engine::Normalize(stmt);
+    ASSERT_TRUE(norm.ok());
+    for (const auto& pred : optimizer::ExtractIndexablePredicates(*norm)) {
+      for (const auto* def : catalog.IndexesFor(stmt.collection())) {
+        if (def->pattern.structural != pred.existence) continue;
+        if (!pred.existence && def->pattern.type != pred.type) continue;
+        if (!xpath::Covers(def->pattern.path, pred.pattern)) continue;
+        optimizer::Plan forced;
+        forced.kind = optimizer::Plan::Kind::kIndexScan;
+        optimizer::PlanLeg leg;
+        leg.index_name = def->name;
+        leg.index_pattern = def->pattern;
+        leg.predicate = pred;
+        forced.legs.push_back(leg);
+        auto forced_result = executor.Execute(stmt, forced);
+        ASSERT_TRUE(forced_result.ok()) << stmt.text << " via " << def->name;
+        EXPECT_EQ(forced_result->result_count, scan_result->result_count)
+            << stmt.text << " via index " << def->name << " ["
+            << def->pattern.ToString() << "]";
+        ++index_plans_checked;
+      }
+    }
+  }
+  // The property is vacuous if nothing ran through an index.
+  EXPECT_GT(index_plans_checked, 20u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EquivalenceTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace xia

@@ -1,0 +1,108 @@
+// Randomized robustness tests: parsers must never crash or hang on
+// arbitrary input, and serialize/parse must round-trip structured data.
+
+#include <gtest/gtest.h>
+
+#include "engine/query_parser.h"
+#include "tpox/tpox_data.h"
+#include "tpox/xmark.h"
+#include "util/random.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xpath/parser.h"
+
+namespace xia {
+namespace {
+
+class FuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+std::string RandomGarbage(Random* rng, size_t max_len) {
+  const std::string alphabet =
+      "<>/=\"'ab c[]@*.{}$&;#\n\t\\!0123456789-_";
+  std::string out;
+  const size_t len = rng->Uniform(max_len);
+  for (size_t i = 0; i < len; ++i) {
+    out += alphabet[rng->Uniform(alphabet.size())];
+  }
+  return out;
+}
+
+TEST_P(FuzzTest, XmlParserNeverCrashes) {
+  Random rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    const std::string input = RandomGarbage(&rng, 120);
+    auto doc = xml::Parse(input);
+    if (doc.ok()) {
+      // Whatever parsed must serialize and re-parse to the same node count.
+      auto again = xml::Parse(xml::Serialize(*doc));
+      ASSERT_TRUE(again.ok()) << input;
+      EXPECT_EQ(again->size(), doc->size()) << input;
+    }
+  }
+}
+
+TEST_P(FuzzTest, XPathParserNeverCrashes) {
+  Random rng(GetParam() * 13 + 1);
+  for (int i = 0; i < 3000; ++i) {
+    const std::string input = RandomGarbage(&rng, 60);
+    auto q = xpath::ParseQuery(input);
+    if (q.ok()) {
+      // Accepted paths round-trip.
+      auto again = xpath::ParseQuery(q->ToString());
+      ASSERT_TRUE(again.ok()) << input << " -> " << q->ToString();
+      EXPECT_EQ(*again, *q) << input;
+    }
+  }
+}
+
+TEST_P(FuzzTest, StatementParserNeverCrashes) {
+  Random rng(GetParam() * 29 + 5);
+  const char* stems[] = {
+      "for $s in c('S')", "insert into S ", "delete from S where ",
+      "update S set ",    "",
+  };
+  for (int i = 0; i < 2000; ++i) {
+    std::string input = stems[rng.Uniform(5)] + RandomGarbage(&rng, 80);
+    (void)engine::ParseStatement(input);  // must return, not crash
+  }
+}
+
+TEST_P(FuzzTest, WorkloadTextParserNeverCrashes) {
+  Random rng(GetParam() * 97 + 11);
+  for (int i = 0; i < 500; ++i) {
+    (void)engine::ParseWorkloadText(RandomGarbage(&rng, 300));
+  }
+}
+
+TEST_P(FuzzTest, GeneratedDocumentsRoundTrip) {
+  Random rng(GetParam() * 7);
+  for (size_t i = 0; i < 40; ++i) {
+    std::vector<xml::Document> docs;
+    docs.push_back(tpox::GenerateSecurityDocument(i, &rng));
+    docs.push_back(tpox::GenerateOrderDocument(i, 100, &rng));
+    docs.push_back(tpox::GenerateCustAccDocument(i, &rng));
+    docs.push_back(tpox::GenerateXmarkItem(i, &rng));
+    docs.push_back(tpox::GenerateXmarkAuction(i, 50, 50, &rng));
+    docs.push_back(tpox::GenerateXmarkPerson(i, &rng));
+    for (const auto& doc : docs) {
+      for (bool pretty : {false, true}) {
+        xml::SerializeOptions options;
+        options.pretty = pretty;
+        auto parsed = xml::Parse(xml::Serialize(doc, 0, options));
+        ASSERT_TRUE(parsed.ok()) << parsed.status();
+        ASSERT_EQ(parsed->size(), doc.size());
+        for (size_t n = 0; n < doc.size(); ++n) {
+          EXPECT_EQ(parsed->node(static_cast<xml::NodeIndex>(n)).label,
+                    doc.node(static_cast<xml::NodeIndex>(n)).label);
+          EXPECT_EQ(parsed->node(static_cast<xml::NodeIndex>(n)).value,
+                    doc.node(static_cast<xml::NodeIndex>(n)).value);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace xia

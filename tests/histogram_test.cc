@@ -1,0 +1,178 @@
+// Equi-depth histogram tests: quantile construction, CDF interpolation,
+// statistics collection, index-level merging, and the selectivity win on
+// skewed data.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "optimizer/selectivity.h"
+#include "storage/document_store.h"
+#include "storage/index.h"
+#include "storage/statistics.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "xml/document.h"
+#include "xpath/parser.h"
+
+namespace xia::storage {
+namespace {
+
+TEST(WeightedQuantilesTest, UniformValues) {
+  std::vector<std::pair<double, double>> values;
+  for (int i = 0; i <= 100; ++i) values.emplace_back(i, 1.0);
+  const auto q = WeightedQuantiles(std::move(values), 4);
+  ASSERT_EQ(q.size(), 5u);
+  EXPECT_DOUBLE_EQ(q.front(), 0);
+  EXPECT_DOUBLE_EQ(q.back(), 100);
+  EXPECT_NEAR(q[1], 25, 2);
+  EXPECT_NEAR(q[2], 50, 2);
+  EXPECT_NEAR(q[3], 75, 2);
+}
+
+TEST(WeightedQuantilesTest, RespectsWeights) {
+  // 90% of the mass at 1, 10% spread to 100.
+  std::vector<std::pair<double, double>> values = {{1.0, 90.0},
+                                                   {100.0, 10.0}};
+  const auto q = WeightedQuantiles(std::move(values), 10);
+  ASSERT_EQ(q.size(), 11u);
+  // The first nine boundaries sit at 1.
+  for (int i = 0; i <= 8; ++i) EXPECT_DOUBLE_EQ(q[static_cast<size_t>(i)], 1.0);
+  EXPECT_DOUBLE_EQ(q.back(), 100.0);
+}
+
+TEST(WeightedQuantilesTest, EdgeCases) {
+  EXPECT_TRUE(WeightedQuantiles({}, 4).empty());
+  EXPECT_TRUE(WeightedQuantiles({{1.0, 1.0}}, 0).empty());
+  const auto single = WeightedQuantiles({{7.0, 3.0}}, 4);
+  ASSERT_EQ(single.size(), 5u);
+  for (double b : single) EXPECT_DOUBLE_EQ(b, 7.0);
+}
+
+TEST(HistogramCdfTest, InterpolatesWithinBuckets) {
+  const std::vector<double> q = {0, 10, 20, 30, 40};  // uniform 0..40
+  EXPECT_DOUBLE_EQ(HistogramCdf(q, -5), 0.0);
+  EXPECT_DOUBLE_EQ(HistogramCdf(q, 0), 0.0);
+  EXPECT_DOUBLE_EQ(HistogramCdf(q, 45), 1.0);
+  EXPECT_NEAR(HistogramCdf(q, 20), 0.5, 1e-9);
+  EXPECT_NEAR(HistogramCdf(q, 5), 0.125, 1e-9);
+  EXPECT_NEAR(HistogramCdf(q, 35), 0.875, 1e-9);
+}
+
+TEST(HistogramCdfTest, SkewedBuckets) {
+  // Equi-depth over a skewed distribution: buckets narrow near the head.
+  const std::vector<double> q = {0, 1, 2, 4, 100};
+  EXPECT_NEAR(HistogramCdf(q, 2), 0.5, 1e-9);
+  EXPECT_NEAR(HistogramCdf(q, 52), 0.875, 1e-9);  // halfway into last bucket
+  EXPECT_GT(HistogramCdf(q, 4), 0.74);
+}
+
+class HistogramStatsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto coll = store_.CreateCollection("C");
+    ASSERT_TRUE(coll.ok());
+    coll_ = *coll;
+    Random rng(3);
+    // Exponentially distributed values: uniform assumption badly
+    // overestimates the tail.
+    for (int i = 0; i < 3000; ++i) {
+      xml::Document doc;
+      const xml::NodeIndex root = doc.AddRoot("r");
+      const double v = -std::log(1.0 - rng.NextDouble()) * 100.0;
+      doc.AddElement(root, "v", StringPrintf("%.3f", v));
+      coll_->Add(std::move(doc));
+    }
+  }
+
+  DocumentStore store_;
+  Collection* coll_ = nullptr;
+};
+
+TEST_F(HistogramStatsTest, CollectBuildsQuantiles) {
+  CollectionStatistics stats;
+  stats.Collect(*coll_);
+  const PathStats& vs = stats.paths().at("/r/v");
+  ASSERT_EQ(vs.numeric_quantiles.size(), 17u);  // 16 buckets by default
+  // Boundaries are sorted and span [min, max].
+  for (size_t i = 0; i + 1 < vs.numeric_quantiles.size(); ++i) {
+    EXPECT_LE(vs.numeric_quantiles[i], vs.numeric_quantiles[i + 1]);
+  }
+  EXPECT_NEAR(vs.numeric_quantiles.front(), vs.min_numeric, 1e-9);
+  EXPECT_NEAR(vs.numeric_quantiles.back(), vs.max_numeric, 1e-9);
+  // Exponential with mean 100: the median is ~69, far below the uniform
+  // midpoint of [0, max]. The histogram must know that.
+  EXPECT_LT(vs.numeric_quantiles[8], 90.0);
+  EXPECT_GT(vs.numeric_quantiles[8], 50.0);
+}
+
+TEST_F(HistogramStatsTest, DisablingHistogramsLeavesQuantilesEmpty) {
+  CollectionStatistics stats;
+  CollectionStatistics::CollectOptions options;
+  options.histogram_buckets = 0;
+  stats.Collect(*coll_, options);
+  EXPECT_TRUE(stats.paths().at("/r/v").numeric_quantiles.empty());
+}
+
+TEST_F(HistogramStatsTest, DerivedIndexStatsCarryQuantiles) {
+  CollectionStatistics stats;
+  stats.Collect(*coll_);
+  const IndexStats derived = stats.DeriveIndexStats(
+      {*xpath::ParsePattern("/r/v"), xpath::ValueType::kNumeric},
+      DefaultCostConstants());
+  ASSERT_GE(derived.numeric_quantiles.size(), 2u);
+  EXPECT_NEAR(derived.numeric_quantiles.front(), derived.min_numeric, 1.0);
+}
+
+TEST_F(HistogramStatsTest, RealIndexStatsCarryExactQuantiles) {
+  PathValueIndex index(
+      "v", "C", {*xpath::ParsePattern("/r/v"), xpath::ValueType::kNumeric});
+  index.Build(*coll_);
+  const IndexStats actual = index.ActualStats(DefaultCostConstants());
+  ASSERT_EQ(actual.numeric_quantiles.size(), 17u);
+  EXPECT_DOUBLE_EQ(actual.numeric_quantiles.front(), actual.min_numeric);
+  EXPECT_DOUBLE_EQ(actual.numeric_quantiles.back(), actual.max_numeric);
+}
+
+TEST_F(HistogramStatsTest, HistogramBeatsUniformOnSkewedRange) {
+  CollectionStatistics with_hist;
+  with_hist.Collect(*coll_);
+  CollectionStatistics no_hist;
+  CollectionStatistics::CollectOptions options;
+  options.histogram_buckets = 0;
+  no_hist.Collect(*coll_, options);
+
+  const xpath::IndexPattern pattern{*xpath::ParsePattern("/r/v"),
+                                    xpath::ValueType::kNumeric};
+  const IndexStats hist_stats =
+      with_hist.DeriveIndexStats(pattern, DefaultCostConstants());
+  const IndexStats uniform_stats =
+      no_hist.DeriveIndexStats(pattern, DefaultCostConstants());
+
+  // Ground truth: fraction of values > 200 for Exp(mean 100) is e^-2.
+  size_t above = 0;
+  size_t total = 0;
+  coll_->ForEach([&](xml::DocId, const xml::Document& doc) {
+    double v = 0;
+    if (ParseDouble(doc.node(1).value, &v)) {
+      ++total;
+      if (v > 200.0) ++above;
+    }
+  });
+  const double truth = static_cast<double>(above) /
+                       static_cast<double>(total);
+
+  const xpath::Literal two_hundred = xpath::Literal::Number(200.0);
+  const double est_hist = optimizer::ValueSelectivity(
+      hist_stats, xpath::CompareOp::kGt, two_hundred);
+  const double est_uniform = optimizer::ValueSelectivity(
+      uniform_stats, xpath::CompareOp::kGt, two_hundred);
+
+  EXPECT_LT(std::abs(est_hist - truth), std::abs(est_uniform - truth))
+      << "hist " << est_hist << " uniform " << est_uniform << " truth "
+      << truth;
+  EXPECT_NEAR(est_hist, truth, 0.05);
+}
+
+}  // namespace
+}  // namespace xia::storage

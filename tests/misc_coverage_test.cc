@@ -1,0 +1,132 @@
+// Odds-and-ends coverage: small public surfaces not exercised elsewhere.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "engine/normalizer.h"
+#include "engine/query_parser.h"
+#include "optimizer/plan.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "xml/document.h"
+#include "xpath/parser.h"
+
+namespace xia {
+namespace {
+
+TEST(StopwatchTest, ElapsesMonotonically) {
+  Stopwatch sw;
+  const double a = sw.ElapsedSeconds();
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  const double b = sw.ElapsedSeconds();
+  EXPECT_GE(b, a);
+  EXPECT_GE(sw.ElapsedMillis(), b * 1e3 * 0.5);
+  sw.Restart();
+  EXPECT_LT(sw.ElapsedSeconds(), b + 1.0);
+}
+
+TEST(HumanBytesTest, LargeUnits) {
+  EXPECT_EQ(HumanBytes(3.0 * 1024 * 1024 * 1024), "3.0 GB");
+  EXPECT_EQ(HumanBytes(2.5 * 1024 * 1024 * 1024 * 1024), "2.5 TB");
+  // Beyond TB it stays in TB.
+  EXPECT_NE(HumanBytes(9e15).find("TB"), std::string::npos);
+}
+
+TEST(RandomTest, NextStringShapeAndDistribution) {
+  Random rng(3);
+  const std::string s = rng.NextString(64);
+  ASSERT_EQ(s.size(), 64u);
+  for (char c : s) {
+    EXPECT_TRUE(std::islower(static_cast<unsigned char>(c))) << c;
+  }
+  EXPECT_TRUE(rng.NextString(0).empty());
+}
+
+TEST(RandomTest, PickCoversAllItems) {
+  Random rng(5);
+  const std::vector<int> items{10, 20, 30};
+  std::set<int> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.Pick(items));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(StepTest, MatchesLabelSemantics) {
+  const xpath::Step wildcard(xpath::Axis::kChild, "*");
+  EXPECT_TRUE(wildcard.MatchesLabel("anything"));
+  EXPECT_TRUE(wildcard.MatchesLabel("@attr"));
+  const xpath::Step named(xpath::Axis::kDescendant, "Yield");
+  EXPECT_TRUE(named.MatchesLabel("Yield"));
+  EXPECT_FALSE(named.MatchesLabel("yield"));  // case-sensitive
+}
+
+TEST(LiteralTest, NumericToStringTrimsZeros) {
+  EXPECT_EQ(xpath::Literal::Number(4.5).ToString(), "4.5");
+  EXPECT_EQ(xpath::Literal::Number(100).ToString(), "100");
+  EXPECT_EQ(xpath::Literal::String("x").ToString(), "\"x\"");
+}
+
+TEST(DocumentTest, RootEdgeCases) {
+  xml::Document doc;
+  EXPECT_TRUE(doc.empty());
+  EXPECT_EQ(doc.root(), xml::kInvalidNode);
+  doc.AddRoot("r");
+  EXPECT_EQ(doc.Depth(doc.root()), 1);
+  EXPECT_EQ(doc.LabelPathString(doc.root()), "/r");
+}
+
+TEST(NormalizerTest, UpdateMatchNormalization) {
+  auto stmt = engine::ParseStatement(
+      "update SDOC set /Security/Yield = 1 where /Security[Symbol = \"X\"]");
+  ASSERT_TRUE(stmt.ok());
+  auto norm = engine::NormalizeUpdateMatch(*stmt);
+  ASSERT_TRUE(norm.ok());
+  EXPECT_EQ(norm->collection, "SDOC");
+  EXPECT_EQ(norm->path.ToString(), "/Security[Symbol = \"X\"]");
+  // Wrong-kind statements rejected.
+  auto query = engine::ParseStatement("for $x in c('S')/a return $x");
+  ASSERT_TRUE(query.ok());
+  EXPECT_FALSE(engine::NormalizeUpdateMatch(*query).ok());
+}
+
+TEST(StatementTest, UpdateToTextRoundTrips) {
+  auto stmt = engine::ParseStatement(
+      "update SDOC set /Security/Yield = 5.5 "
+      "where /Security[Symbol = \"X\"]");
+  ASSERT_TRUE(stmt.ok());
+  stmt->text.clear();
+  const std::string regenerated = engine::ToText(*stmt);
+  auto reparsed = engine::ParseStatement(regenerated);
+  ASSERT_TRUE(reparsed.ok()) << regenerated << ": " << reparsed.status();
+  ASSERT_TRUE(reparsed->is_update());
+  EXPECT_TRUE(engine::SameStatementBody(*stmt, *reparsed)) << regenerated;
+}
+
+TEST(PlanDescribeTest, AllKindsRender) {
+  optimizer::Plan p;
+  p.est_cost = 7;
+  p.kind = optimizer::Plan::Kind::kInsert;
+  EXPECT_NE(p.Describe().find("INSERT"), std::string::npos);
+  p.kind = optimizer::Plan::Kind::kUpdate;
+  EXPECT_NE(p.Describe().find("UPDATE"), std::string::npos);
+  p.kind = optimizer::Plan::Kind::kDelete;
+  EXPECT_NE(p.Describe().find("DELETE"), std::string::npos);
+}
+
+TEST(IndexablePredicateTest, ToStringForms) {
+  optimizer::IndexablePredicate comparison;
+  comparison.pattern = *xpath::ParsePattern("/a/b");
+  comparison.op = xpath::CompareOp::kGe;
+  comparison.literal = xpath::Literal::Number(3);
+  EXPECT_EQ(comparison.ToString(), "/a/b >= 3 (string)");
+
+  optimizer::IndexablePredicate existence;
+  existence.pattern = *xpath::ParsePattern("/a/c");
+  existence.existence = true;
+  EXPECT_EQ(existence.ToString(), "exists /a/c");
+}
+
+}  // namespace
+}  // namespace xia

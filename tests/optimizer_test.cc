@@ -1,0 +1,426 @@
+#include <gtest/gtest.h>
+
+#include "engine/normalizer.h"
+#include "engine/query_parser.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/selectivity.h"
+#include "storage/catalog.h"
+#include "tpox/tpox_data.h"
+#include "xpath/parser.h"
+
+namespace xia::optimizer {
+namespace {
+
+engine::Statement Parse(const std::string& text) {
+  auto stmt = engine::ParseStatement(text);
+  EXPECT_TRUE(stmt.ok()) << text << ": " << stmt.status();
+  return std::move(*stmt);
+}
+
+TEST(ExtractIndexablePredicatesTest, PaperExampleQ1) {
+  auto norm = engine::Normalize(Parse(
+      "for $sec in SECURITY('SDOC')/Security "
+      "where $sec/Symbol = \"BCIIPRC\" return $sec"));
+  ASSERT_TRUE(norm.ok());
+  auto preds = ExtractIndexablePredicates(*norm);
+  ASSERT_EQ(preds.size(), 1u);
+  EXPECT_EQ(preds[0].pattern.ToString(), "/Security/Symbol");  // C1
+  EXPECT_EQ(preds[0].type, xpath::ValueType::kString);
+  EXPECT_EQ(preds[0].op, xpath::CompareOp::kEq);
+}
+
+TEST(ExtractIndexablePredicatesTest, PaperExampleQ2) {
+  auto norm = engine::Normalize(Parse(
+      "for $sec in SECURITY('SDOC')/Security[Yield>4.5] "
+      "where $sec/SecInfo/*/Sector = \"Energy\" "
+      "return <Security>{$sec/Name}</Security>"));
+  ASSERT_TRUE(norm.ok());
+  auto preds = ExtractIndexablePredicates(*norm);
+  ASSERT_EQ(preds.size(), 2u);
+  // C3 (inline) and C2 (rewritten from where).
+  EXPECT_EQ(preds[0].pattern.ToString(), "/Security/Yield");
+  EXPECT_EQ(preds[0].type, xpath::ValueType::kNumeric);
+  EXPECT_EQ(preds[1].pattern.ToString(), "/Security/SecInfo/*/Sector");
+  EXPECT_EQ(preds[1].type, xpath::ValueType::kString);
+}
+
+TEST(ExtractIndexablePredicatesTest, SkipsNonIndexable) {
+  auto norm = engine::Normalize(Parse(
+      "for $x in c('S')/a[b != 3][c][d > 1] return $x"));
+  ASSERT_TRUE(norm.ok());
+  auto preds = ExtractIndexablePredicates(*norm);
+  // '!=' is skipped; the existence test [c] and the comparison d > 1 are
+  // both indexable (the former by a structural index).
+  ASSERT_EQ(preds.size(), 2u);
+  EXPECT_TRUE(preds[0].existence);
+  EXPECT_EQ(preds[0].pattern.ToString(), "/a/c");
+  EXPECT_FALSE(preds[1].existence);
+  EXPECT_EQ(preds[1].pattern.ToString(), "/a/d");
+}
+
+TEST(ExtractIndexablePredicatesTest, MidPathPredicates) {
+  auto norm = engine::Normalize(
+      Parse("for $x in c('S')/a[b = 1]/c/d[e = 2] return $x"));
+  ASSERT_TRUE(norm.ok());
+  auto preds = ExtractIndexablePredicates(*norm);
+  ASSERT_EQ(preds.size(), 2u);
+  EXPECT_EQ(preds[0].pattern.ToString(), "/a/b");
+  EXPECT_EQ(preds[0].spine_step, 0u);
+  EXPECT_EQ(preds[1].pattern.ToString(), "/a/c/d/e");
+  EXPECT_EQ(preds[1].spine_step, 2u);
+}
+
+TEST(ValueSelectivityTest, Equality) {
+  storage::IndexStats stats;
+  stats.entry_count = 1000;
+  stats.distinct_keys = 100;
+  EXPECT_DOUBLE_EQ(
+      ValueSelectivity(stats, xpath::CompareOp::kEq,
+                       xpath::Literal::String("x")),
+      0.01);
+  EXPECT_DOUBLE_EQ(
+      ValueSelectivity(stats, xpath::CompareOp::kNe,
+                       xpath::Literal::String("x")),
+      0.99);
+}
+
+TEST(ValueSelectivityTest, NumericRangeUniform) {
+  storage::IndexStats stats;
+  stats.entry_count = 1000;
+  stats.distinct_keys = 500;
+  stats.min_numeric = 0;
+  stats.max_numeric = 10;
+  EXPECT_NEAR(ValueSelectivity(stats, xpath::CompareOp::kGt,
+                               xpath::Literal::Number(7.5)),
+              0.25, 1e-9);
+  EXPECT_NEAR(ValueSelectivity(stats, xpath::CompareOp::kLt,
+                               xpath::Literal::Number(2.5)),
+              0.25, 1e-9);
+  // Out-of-range literals clamp.
+  EXPECT_LE(ValueSelectivity(stats, xpath::CompareOp::kGt,
+                             xpath::Literal::Number(100)),
+            kMinSelectivity * 10);
+  EXPECT_DOUBLE_EQ(ValueSelectivity(stats, xpath::CompareOp::kLt,
+                                    xpath::Literal::Number(100)),
+                   1.0);
+}
+
+TEST(ValueSelectivityTest, StringRangeDefault) {
+  storage::IndexStats stats;
+  stats.entry_count = 10;
+  stats.distinct_keys = 10;
+  EXPECT_DOUBLE_EQ(ValueSelectivity(stats, xpath::CompareOp::kGt,
+                                    xpath::Literal::String("m")),
+                   kDefaultStringRangeSelectivity);
+}
+
+TEST(ValueSelectivityTest, EmptyIndex) {
+  storage::IndexStats stats;
+  EXPECT_DOUBLE_EQ(ValueSelectivity(stats, xpath::CompareOp::kEq,
+                                    xpath::Literal::Number(1)),
+                   kMinSelectivity);
+}
+
+// -------------------------------------------------------------------------
+// Optimizer fixture on the TPoX database.
+
+class OptimizerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tpox::TpoxScale scale;
+    scale.security_docs = 300;
+    scale.order_docs = 300;
+    scale.custacc_docs = 100;
+    ASSERT_TRUE(tpox::BuildTpoxDatabase(scale, &store_, &stats_).ok());
+    catalog_ = std::make_unique<storage::Catalog>(&store_, &stats_);
+    opt_ = std::make_unique<Optimizer>(&store_, catalog_.get(), &stats_);
+  }
+
+  storage::DocumentStore store_;
+  storage::StatisticsCatalog stats_;
+  std::unique_ptr<storage::Catalog> catalog_;
+  std::unique_ptr<Optimizer> opt_;
+};
+
+TEST_F(OptimizerFixture, NoIndexesMeansCollectionScan) {
+  auto plan = opt_->Optimize(Parse(
+      "for $s in c('SDOC')/Security where $s/Symbol = \"SYM000007\" "
+      "return $s"));
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->kind, Plan::Kind::kCollectionScan);
+  EXPECT_GT(plan->est_cost, 0);
+}
+
+TEST_F(OptimizerFixture, SelectiveIndexBeatsScan) {
+  ASSERT_TRUE(catalog_->CreateIndex(
+                          "sym", "SDOC",
+                          {*xpath::ParsePattern("/Security/Symbol"),
+                           xpath::ValueType::kString})
+                  .ok());
+  const engine::Statement stmt = Parse(
+      "for $s in c('SDOC')/Security where $s/Symbol = \"SYM000007\" "
+      "return $s");
+  auto without = opt_->OptimizeWithoutIndexes(stmt);
+  auto with = opt_->Optimize(stmt);
+  ASSERT_TRUE(without.ok());
+  ASSERT_TRUE(with.ok());
+  EXPECT_EQ(with->kind, Plan::Kind::kIndexScan);
+  EXPECT_LT(with->est_cost, without->est_cost);
+}
+
+TEST_F(OptimizerFixture, UnselectivePredicateKeepsScan) {
+  ASSERT_TRUE(catalog_->CreateIndex(
+                          "yield", "SDOC",
+                          {*xpath::ParsePattern("/Security/Yield"),
+                           xpath::ValueType::kNumeric})
+                  .ok());
+  // Yield > 0.5 matches ~95% of securities; scanning wins.
+  auto plan = opt_->Optimize(Parse(
+      "for $s in c('SDOC')/Security[Yield > 0.5] return $s"));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->kind, Plan::Kind::kCollectionScan);
+}
+
+TEST_F(OptimizerFixture, TypeMismatchedIndexNotUsed) {
+  // A numeric index cannot serve a string predicate on the same path.
+  ASSERT_TRUE(catalog_->CreateIndex(
+                          "symnum", "SDOC",
+                          {*xpath::ParsePattern("/Security/Symbol"),
+                           xpath::ValueType::kNumeric})
+                  .ok());
+  auto plan = opt_->Optimize(Parse(
+      "for $s in c('SDOC')/Security where $s/Symbol = \"SYM000007\" "
+      "return $s"));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->kind, Plan::Kind::kCollectionScan);
+}
+
+TEST_F(OptimizerFixture, GeneralIndexMatchesSpecificPredicate) {
+  ASSERT_TRUE(catalog_->CreateIndex(
+                          "gen", "SDOC",
+                          {*xpath::ParsePattern("/Security//*"),
+                           xpath::ValueType::kString})
+                  .ok());
+  auto plan = opt_->Optimize(Parse(
+      "for $s in c('SDOC')/Security where $s/Symbol = \"SYM000007\" "
+      "return $s"));
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->kind, Plan::Kind::kIndexScan);
+  EXPECT_EQ(plan->legs[0].index_name, "gen");
+}
+
+TEST_F(OptimizerFixture, SpecificIndexPreferredOverGeneral) {
+  ASSERT_TRUE(catalog_->CreateIndex(
+                          "gen", "SDOC",
+                          {*xpath::ParsePattern("/Security//*"),
+                           xpath::ValueType::kString})
+                  .ok());
+  ASSERT_TRUE(catalog_->CreateIndex(
+                          "sym", "SDOC",
+                          {*xpath::ParsePattern("/Security/Symbol"),
+                           xpath::ValueType::kString})
+                  .ok());
+  auto plan = opt_->Optimize(Parse(
+      "for $s in c('SDOC')/Security where $s/Symbol = \"SYM000007\" "
+      "return $s"));
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->kind, Plan::Kind::kIndexScan);
+  EXPECT_EQ(plan->legs[0].index_name, "sym");
+}
+
+TEST_F(OptimizerFixture, IndexAndingChosenForTwoSelectivePredicates) {
+  ASSERT_TRUE(catalog_->CreateIndex(
+                          "sector", "SDOC",
+                          {*xpath::ParsePattern("/Security/SecInfo/*/Sector"),
+                           xpath::ValueType::kString})
+                  .ok());
+  ASSERT_TRUE(catalog_->CreateIndex(
+                          "pe", "SDOC",
+                          {*xpath::ParsePattern("/Security/PE"),
+                           xpath::ValueType::kNumeric})
+                  .ok());
+  auto plan = opt_->Optimize(Parse(
+      "for $s in c('SDOC')/Security[PE > 58] "
+      "where $s/SecInfo/*/Sector = \"Energy\" return $s"));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->kind == Plan::Kind::kIndexScan ||
+              plan->kind == Plan::Kind::kIndexAnd);
+  EXPECT_LT(plan->est_cost,
+            opt_->OptimizeWithoutIndexes(Parse(
+                    "for $s in c('SDOC')/Security[PE > 58] "
+                    "where $s/SecInfo/*/Sector = \"Energy\" return $s"))
+                ->est_cost);
+}
+
+TEST_F(OptimizerFixture, EnumerateIndexesReturnsRewrittenPatterns) {
+  auto patterns = opt_->EnumerateIndexes(Parse(
+      "for $sec in SECURITY('SDOC')/Security[Yield>4.5] "
+      "where $sec/SecInfo/*/Sector = \"Energy\" return $sec/Name"));
+  ASSERT_TRUE(patterns.ok()) << patterns.status();
+  ASSERT_EQ(patterns->size(), 2u);
+  EXPECT_EQ((*patterns)[0].path.ToString(), "/Security/Yield");
+  EXPECT_EQ((*patterns)[0].type, xpath::ValueType::kNumeric);
+  EXPECT_EQ((*patterns)[1].path.ToString(), "/Security/SecInfo/*/Sector");
+}
+
+TEST_F(OptimizerFixture, EnumerateIndexesForDeleteAndInsert) {
+  auto del = opt_->EnumerateIndexes(
+      Parse("delete from ODOC where /FIXML/Order[@ID = \"100003\"]"));
+  ASSERT_TRUE(del.ok());
+  ASSERT_EQ(del->size(), 1u);
+  EXPECT_EQ((*del)[0].path.ToString(), "/FIXML/Order/@ID");
+
+  auto ins = opt_->EnumerateIndexes(Parse("insert into ODOC <FIXML/>"));
+  ASSERT_TRUE(ins.ok());
+  EXPECT_TRUE(ins->empty());
+}
+
+TEST_F(OptimizerFixture, EnumerateDeduplicatesPatterns) {
+  auto patterns = opt_->EnumerateIndexes(Parse(
+      "for $s in c('SDOC')/Security[Yield > 1][Yield < 5] return $s"));
+  ASSERT_TRUE(patterns.ok());
+  EXPECT_EQ(patterns->size(), 1u);
+}
+
+TEST_F(OptimizerFixture, DeletePlansUseIndexes) {
+  ASSERT_TRUE(catalog_->CreateIndex(
+                          "oid", "ODOC",
+                          {*xpath::ParsePattern("/FIXML/Order/@ID"),
+                           xpath::ValueType::kString})
+                  .ok());
+  const engine::Statement del =
+      Parse("delete from ODOC where /FIXML/Order[@ID = \"100003\"]");
+  auto plan = opt_->Optimize(del);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->kind, Plan::Kind::kDelete);
+  ASSERT_EQ(plan->legs.size(), 1u);
+  EXPECT_EQ(plan->legs[0].index_name, "oid");
+  auto noidx = opt_->OptimizeWithoutIndexes(del);
+  ASSERT_TRUE(noidx.ok());
+  EXPECT_LT(plan->est_cost, noidx->est_cost);
+}
+
+TEST_F(OptimizerFixture, InsertCostIndependentOfIndexes) {
+  const engine::Statement ins =
+      Parse("insert into ODOC <FIXML><Order ID=\"x\"/></FIXML>");
+  auto before = opt_->Optimize(ins);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(catalog_->CreateIndex(
+                          "oid", "ODOC",
+                          {*xpath::ParsePattern("/FIXML/Order/@ID"),
+                           xpath::ValueType::kString})
+                  .ok());
+  auto after = opt_->Optimize(ins);
+  ASSERT_TRUE(after.ok());
+  // DB2-style: the optimizer does NOT fold maintenance into the estimate.
+  EXPECT_DOUBLE_EQ(before->est_cost, after->est_cost);
+}
+
+TEST_F(OptimizerFixture, MaintenanceCostChargedForUpdatesOnly) {
+  auto data = stats_.Get("ODOC");
+  ASSERT_TRUE(data.ok());
+  const storage::IndexStats idx_stats = (*data)->DeriveIndexStats(
+      {*xpath::ParsePattern("/FIXML/Order/@ID"), xpath::ValueType::kString},
+      storage::DefaultCostConstants());
+
+  const xpath::IndexPattern idx_pattern{
+      *xpath::ParsePattern("/FIXML/Order/@ID"), xpath::ValueType::kString};
+  const engine::Statement query =
+      Parse("for $o in c('ODOC')/FIXML/Order where $o/@ID = \"1\" return $o");
+  EXPECT_DOUBLE_EQ(opt_->MaintenanceCost(query, idx_pattern, idx_stats), 0.0);
+
+  const engine::Statement ins = Parse("insert into ODOC <FIXML/>");
+  EXPECT_GT(opt_->MaintenanceCost(ins, idx_pattern, idx_stats), 0.0);
+
+  const engine::Statement del =
+      Parse("delete from ODOC where /FIXML/Order[@ID = \"100003\"]");
+  EXPECT_GT(opt_->MaintenanceCost(del, idx_pattern, idx_stats), 0.0);
+
+  // A value update maintains only indexes that can reach the updated
+  // nodes.
+  const engine::Statement upd = Parse(
+      "update ODOC set /FIXML/Order/Px = 10 "
+      "where /FIXML/Order[@ID = \"100003\"]");
+  EXPECT_DOUBLE_EQ(opt_->MaintenanceCost(upd, idx_pattern, idx_stats), 0.0);
+  auto odata = stats_.Get("ODOC");
+  ASSERT_TRUE(odata.ok());
+  const xpath::IndexPattern px_pattern{*xpath::ParsePattern("/FIXML/Order/Px"),
+                                       xpath::ValueType::kNumeric};
+  const storage::IndexStats px_stats = (*odata)->DeriveIndexStats(
+      px_pattern, storage::DefaultCostConstants());
+  EXPECT_GT(opt_->MaintenanceCost(upd, px_pattern, px_stats), 0.0);
+  const xpath::IndexPattern wide{*xpath::ParsePattern("/FIXML//*"),
+                                 xpath::ValueType::kNumeric};
+  const storage::IndexStats wide_stats = (*odata)->DeriveIndexStats(
+      wide, storage::DefaultCostConstants());
+  EXPECT_GT(opt_->MaintenanceCost(upd, wide, wide_stats), 0.0);
+}
+
+TEST_F(OptimizerFixture, VirtualIndexesCostLikeReal) {
+  // The what-if property: a virtual index must yield (nearly) the same
+  // plan cost as the physically built index.
+  const engine::Statement stmt = Parse(
+      "for $s in c('SDOC')/Security where $s/Symbol = \"SYM000007\" "
+      "return $s");
+  ASSERT_TRUE(catalog_->CreateVirtualIndex(
+                          "vsym", "SDOC",
+                          {*xpath::ParsePattern("/Security/Symbol"),
+                           xpath::ValueType::kString})
+                  .ok());
+  auto virtual_plan = opt_->Optimize(stmt);
+  ASSERT_TRUE(virtual_plan.ok());
+  ASSERT_EQ(virtual_plan->kind, Plan::Kind::kIndexScan);
+  EXPECT_TRUE(virtual_plan->uses_virtual_index);
+  catalog_->DropAllVirtualIndexes();
+
+  ASSERT_TRUE(catalog_->CreateIndex(
+                          "rsym", "SDOC",
+                          {*xpath::ParsePattern("/Security/Symbol"),
+                           xpath::ValueType::kString})
+                  .ok());
+  auto real_plan = opt_->Optimize(stmt);
+  ASSERT_TRUE(real_plan.ok());
+  ASSERT_EQ(real_plan->kind, Plan::Kind::kIndexScan);
+  EXPECT_NEAR(virtual_plan->est_cost, real_plan->est_cost,
+              0.25 * real_plan->est_cost + 1.0);
+}
+
+TEST_F(OptimizerFixture, CallCounting) {
+  opt_->ResetCallCount();
+  EXPECT_EQ(opt_->optimize_calls(), 0u);
+  const engine::Statement stmt =
+      Parse("for $s in c('SDOC')/Security[PE > 1] return $s");
+  ASSERT_TRUE(opt_->Optimize(stmt).ok());
+  ASSERT_TRUE(opt_->OptimizeWithoutIndexes(stmt).ok());
+  ASSERT_TRUE(opt_->EnumerateIndexes(stmt).ok());
+  EXPECT_EQ(opt_->optimize_calls(), 3u);
+}
+
+TEST_F(OptimizerFixture, UnknownCollectionFails) {
+  auto plan = opt_->Optimize(
+      Parse("for $s in c('NOPE')/Security[PE > 1] return $s"));
+  EXPECT_FALSE(plan.ok());
+}
+
+TEST(PlanTest, DescribeMentionsStructure) {
+  Plan scan;
+  scan.kind = Plan::Kind::kCollectionScan;
+  scan.est_cost = 12.5;
+  EXPECT_NE(scan.Describe().find("COLLECTION-SCAN"), std::string::npos);
+
+  Plan idx;
+  idx.kind = Plan::Kind::kIndexScan;
+  PlanLeg leg;
+  leg.index_name = "foo";
+  leg.index_pattern = {*xpath::ParsePattern("/a/b"),
+                       xpath::ValueType::kString};
+  leg.index_is_virtual = true;
+  idx.legs.push_back(leg);
+  const std::string described = idx.Describe();
+  EXPECT_NE(described.find("INDEX-SCAN"), std::string::npos);
+  EXPECT_NE(described.find("foo"), std::string::npos);
+  EXPECT_NE(described.find("virtual"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xia::optimizer

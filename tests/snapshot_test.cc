@@ -1,0 +1,181 @@
+// Snapshot round-trip tests: structure, values, DocId stability (including
+// tombstones), index rebuild equivalence, and corruption handling.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "storage/catalog.h"
+#include "storage/snapshot.h"
+#include "storage/statistics.h"
+#include "tpox/tpox_data.h"
+#include "util/random.h"
+#include "xml/serializer.h"
+#include "xpath/parser.h"
+
+namespace xia::storage {
+namespace {
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tpox::TpoxScale scale;
+    scale.security_docs = 60;
+    scale.order_docs = 80;
+    scale.custacc_docs = 30;
+    ASSERT_TRUE(tpox::BuildTpoxDatabase(scale, &store_, &stats_).ok());
+    // Punch holes so tombstones are exercised.
+    auto coll = store_.GetCollection(tpox::kSecurityCollection);
+    ASSERT_TRUE(coll.ok());
+    ASSERT_TRUE((*coll)->Remove(3).ok());
+    ASSERT_TRUE((*coll)->Remove(17).ok());
+    ASSERT_TRUE((*coll)->Remove(59).ok());
+  }
+
+  DocumentStore store_;
+  StatisticsCatalog stats_;
+};
+
+TEST_F(SnapshotTest, RoundTripPreservesEverything) {
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveSnapshot(store_, buffer).ok());
+
+  DocumentStore restored;
+  ASSERT_TRUE(LoadSnapshot(buffer, &restored).ok());
+
+  ASSERT_EQ(restored.CollectionNames(), store_.CollectionNames());
+  for (const std::string& name : store_.CollectionNames()) {
+    auto original = store_.GetCollection(name);
+    auto loaded = restored.GetCollection(name);
+    ASSERT_TRUE(original.ok());
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ((*loaded)->live_count(), (*original)->live_count()) << name;
+    EXPECT_EQ((*loaded)->id_bound(), (*original)->id_bound()) << name;
+    EXPECT_EQ((*loaded)->total_nodes(), (*original)->total_nodes()) << name;
+    for (xml::DocId id = 0; id < (*original)->id_bound(); ++id) {
+      ASSERT_EQ((*loaded)->IsLive(id), (*original)->IsLive(id))
+          << name << " doc " << id;
+      if (!(*original)->IsLive(id)) continue;
+      // Byte-identical serialization is the strongest cheap equality.
+      EXPECT_EQ(xml::Serialize((*loaded)->Get(id)),
+                xml::Serialize((*original)->Get(id)))
+          << name << " doc " << id;
+    }
+  }
+}
+
+TEST_F(SnapshotTest, IndexesBuiltOnRestoredStoreMatch) {
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveSnapshot(store_, buffer).ok());
+  DocumentStore restored;
+  ASSERT_TRUE(LoadSnapshot(buffer, &restored).ok());
+
+  const xpath::IndexPattern pattern{
+      *xpath::ParsePattern("/Security/Symbol"), xpath::ValueType::kString};
+  auto a = store_.GetCollection(tpox::kSecurityCollection);
+  auto b = restored.GetCollection(tpox::kSecurityCollection);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  PathValueIndex ia("a", "SDOC", pattern);
+  PathValueIndex ib("b", "SDOC", pattern);
+  ia.Build(**a);
+  ib.Build(**b);
+  ASSERT_EQ(ia.entry_count(), ib.entry_count());
+  // RIDs agree exactly because DocIds were preserved.
+  auto ra = ia.LookupAll();
+  auto rb = ib.LookupAll();
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  ASSERT_EQ(ra->rids.size(), rb->rids.size());
+  for (size_t i = 0; i < ra->rids.size(); ++i) {
+    EXPECT_TRUE(ra->rids[i] == rb->rids[i]) << i;
+  }
+}
+
+TEST_F(SnapshotTest, EmptyStoreRoundTrips) {
+  DocumentStore empty;
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveSnapshot(empty, buffer).ok());
+  DocumentStore restored;
+  ASSERT_TRUE(LoadSnapshot(buffer, &restored).ok());
+  EXPECT_TRUE(restored.CollectionNames().empty());
+}
+
+TEST_F(SnapshotTest, LoadIntoNonEmptyStoreRejected) {
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveSnapshot(store_, buffer).ok());
+  auto status = LoadSnapshot(buffer, &store_);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(SnapshotTest, BadMagicRejected) {
+  std::stringstream buffer("definitely not a snapshot");
+  DocumentStore restored;
+  auto status = LoadSnapshot(buffer, &restored);
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+}
+
+TEST_F(SnapshotTest, TruncationRejectedEverywhere) {
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveSnapshot(store_, buffer).ok());
+  const std::string full = buffer.str();
+  Random rng(5);
+  // Random truncation points (plus a few boundaries) all fail cleanly.
+  std::vector<size_t> cuts = {8, 9, 12, full.size() - 1, full.size() / 2};
+  for (int i = 0; i < 20; ++i) cuts.push_back(rng.Uniform(full.size()));
+  for (size_t cut : cuts) {
+    std::stringstream cut_stream(full.substr(0, cut));
+    DocumentStore restored;
+    auto status = LoadSnapshot(cut_stream, &restored);
+    EXPECT_FALSE(status.ok()) << "cut at " << cut;
+  }
+}
+
+TEST_F(SnapshotTest, CorruptedBytesDoNotCrash) {
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveSnapshot(store_, buffer).ok());
+  const std::string full = buffer.str();
+  Random rng(7);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string corrupted = full;
+    const size_t pos = 8 + rng.Uniform(corrupted.size() - 8);
+    corrupted[pos] = static_cast<char>(rng.Uniform(256));
+    std::stringstream in(corrupted);
+    DocumentStore restored;
+    (void)LoadSnapshot(in, &restored);  // any Status is fine; no crash/UB
+  }
+}
+
+TEST_F(SnapshotTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/xia_snapshot_test.bin";
+  ASSERT_TRUE(SaveSnapshotToFile(store_, path).ok());
+  DocumentStore restored;
+  ASSERT_TRUE(LoadSnapshotFromFile(path, &restored).ok());
+  EXPECT_EQ(restored.CollectionNames(), store_.CollectionNames());
+  EXPECT_FALSE(LoadSnapshotFromFile("/nonexistent/snapshot", &restored).ok());
+}
+
+TEST_F(SnapshotTest, StatisticsOverRestoredStoreMatch) {
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveSnapshot(store_, buffer).ok());
+  DocumentStore restored;
+  ASSERT_TRUE(LoadSnapshot(buffer, &restored).ok());
+
+  auto coll_a = store_.GetCollection(tpox::kOrderCollection);
+  auto coll_b = restored.GetCollection(tpox::kOrderCollection);
+  ASSERT_TRUE(coll_a.ok());
+  ASSERT_TRUE(coll_b.ok());
+  CollectionStatistics sa;
+  CollectionStatistics sb;
+  sa.Collect(**coll_a);
+  sb.Collect(**coll_b);
+  ASSERT_EQ(sa.paths().size(), sb.paths().size());
+  for (const auto& [path, stats] : sa.paths()) {
+    const auto& other = sb.paths().at(path);
+    EXPECT_EQ(stats.count, other.count) << path;
+    EXPECT_EQ(stats.distinct_values, other.distinct_values) << path;
+  }
+}
+
+}  // namespace
+}  // namespace xia::storage

@@ -1,0 +1,208 @@
+// Structural index tests: §III's second index category, implemented as a
+// reachability-only mode of PathValueIndex and wired through the optimizer
+// (existence predicates), executor, and advisor.
+
+#include <gtest/gtest.h>
+
+#include "advisor/advisor.h"
+#include "engine/executor.h"
+#include "engine/query_parser.h"
+#include "optimizer/optimizer.h"
+#include "storage/catalog.h"
+#include "storage/index.h"
+#include "xml/parser.h"
+#include "xpath/parser.h"
+
+namespace xia {
+namespace {
+
+xpath::IndexPattern Structural(const char* text) {
+  return {*xpath::ParsePattern(text), xpath::ValueType::kString,
+          /*structural=*/true};
+}
+
+engine::Statement Parse(const std::string& text) {
+  auto stmt = engine::ParseStatement(text);
+  EXPECT_TRUE(stmt.ok()) << text << ": " << stmt.status();
+  return std::move(*stmt);
+}
+
+class StructuralFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto coll = store_.CreateCollection("SDOC");
+    ASSERT_TRUE(coll.ok());
+    coll_ = *coll;
+    for (int i = 0; i < 2000; ++i) {
+      // Every 100th security carries the optional <Convertible/> marker,
+      // which is empty — only a structural index can find it.
+      const std::string marker = (i % 100 == 0) ? "<Convertible/>" : "";
+      const std::string text =
+          "<Security><Symbol>SYM" + std::to_string(i) + "</Symbol>" + marker +
+          "<Yield>" + std::to_string(i % 10) + "</Yield></Security>";
+      auto doc = xml::Parse(text);
+      ASSERT_TRUE(doc.ok());
+      coll_->Add(std::move(*doc));
+    }
+    stats_.RunStats(*coll_);
+    catalog_ = std::make_unique<storage::Catalog>(&store_, &stats_);
+    opt_ = std::make_unique<optimizer::Optimizer>(&store_, catalog_.get(),
+                                                  &stats_);
+    executor_ = std::make_unique<engine::Executor>(&store_, catalog_.get());
+  }
+
+  storage::DocumentStore store_;
+  storage::Collection* coll_ = nullptr;
+  storage::StatisticsCatalog stats_;
+  std::unique_ptr<storage::Catalog> catalog_;
+  std::unique_ptr<optimizer::Optimizer> opt_;
+  std::unique_ptr<engine::Executor> executor_;
+};
+
+TEST_F(StructuralFixture, IndexesValuelessNodes) {
+  storage::PathValueIndex index("s", "SDOC",
+                                Structural("/Security/Convertible"));
+  index.Build(*coll_);
+  EXPECT_EQ(index.entry_count(), 20u);  // i % 100 == 0 within 2000
+  auto all = index.LookupAll();
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->rids.size(), 20u);
+  // Value lookups are rejected.
+  EXPECT_FALSE(
+      index.Lookup(xpath::CompareOp::kEq, xpath::Literal::String("x")).ok());
+}
+
+TEST_F(StructuralFixture, DerivedStatsCountAllNodes) {
+  auto cs = stats_.Get("SDOC");
+  ASSERT_TRUE(cs.ok());
+  const auto cc = storage::DefaultCostConstants();
+  const auto structural =
+      (*cs)->DeriveIndexStats(Structural("/Security/Convertible"), cc);
+  EXPECT_EQ(structural.entry_count, 20u);
+  // A value index over the same pattern holds nothing (markers are empty).
+  const auto value = (*cs)->DeriveIndexStats(
+      {*xpath::ParsePattern("/Security/Convertible"),
+       xpath::ValueType::kString},
+      cc);
+  EXPECT_EQ(value.entry_count, 0u);
+}
+
+TEST_F(StructuralFixture, PatternEqualityDistinguishesKinds) {
+  const xpath::IndexPattern structural = Structural("/a/b");
+  const xpath::IndexPattern value{*xpath::ParsePattern("/a/b"),
+                                  xpath::ValueType::kString};
+  EXPECT_FALSE(structural == value);
+  EXPECT_TRUE(structural < value || value < structural);
+  EXPECT_NE(structural.ToString().find("structural"), std::string::npos);
+}
+
+TEST_F(StructuralFixture, ExistencePredicateExtractedAndEnumerated) {
+  const engine::Statement stmt = Parse(
+      "for $s in c('SDOC')/Security[Convertible] return $s/Symbol");
+  auto patterns = opt_->EnumerateIndexes(stmt);
+  ASSERT_TRUE(patterns.ok()) << patterns.status();
+  ASSERT_EQ(patterns->size(), 1u);
+  EXPECT_TRUE((*patterns)[0].structural);
+  EXPECT_EQ((*patterns)[0].path.ToString(), "/Security/Convertible");
+}
+
+TEST_F(StructuralFixture, OptimizerUsesStructuralIndexForExistence) {
+  ASSERT_TRUE(catalog_->CreateIndex("conv", "SDOC",
+                                    Structural("/Security/Convertible"))
+                  .ok());
+  const engine::Statement stmt = Parse(
+      "for $s in c('SDOC')/Security[Convertible] return $s/Symbol");
+  auto plan = opt_->Optimize(stmt);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_EQ(plan->kind, optimizer::Plan::Kind::kIndexScan);
+  EXPECT_EQ(plan->legs[0].index_name, "conv");
+  EXPECT_TRUE(plan->legs[0].predicate.existence);
+
+  auto result = executor_->Execute(stmt, *plan);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->result_count, 20u);
+  EXPECT_EQ(result->docs_examined, 20u);
+}
+
+TEST_F(StructuralFixture, ValueIndexNotUsedForExistence) {
+  ASSERT_TRUE(catalog_->CreateIndex(
+                          "sym", "SDOC",
+                          {*xpath::ParsePattern("/Security/Convertible"),
+                           xpath::ValueType::kString})
+                  .ok());
+  const engine::Statement stmt = Parse(
+      "for $s in c('SDOC')/Security[Convertible] return $s/Symbol");
+  auto plan = opt_->Optimize(stmt);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->kind, optimizer::Plan::Kind::kCollectionScan);
+}
+
+TEST_F(StructuralFixture, StructuralIndexNotUsedForComparisons) {
+  ASSERT_TRUE(
+      catalog_->CreateIndex("syield", "SDOC", Structural("/Security/Yield"))
+          .ok());
+  const engine::Statement stmt =
+      Parse("for $s in c('SDOC')/Security[Yield = 3] return $s");
+  auto plan = opt_->Optimize(stmt);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->kind, optimizer::Plan::Kind::kCollectionScan);
+}
+
+TEST_F(StructuralFixture, MaintenanceOnInsertAndDelete) {
+  ASSERT_TRUE(catalog_->CreateIndex("conv", "SDOC",
+                                    Structural("/Security/Convertible"))
+                  .ok());
+  auto ins = Parse(
+      "insert into SDOC "
+      "<Security><Symbol>NEW</Symbol><Convertible/></Security>");
+  auto plan = opt_->Optimize(ins);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(executor_->Execute(ins, *plan).ok());
+  auto physical = catalog_->GetPhysical("conv");
+  ASSERT_TRUE(physical.ok());
+  EXPECT_EQ((*physical)->entry_count(), 21u);
+
+  auto del = Parse("delete from SDOC where /Security[Symbol = \"NEW\"]");
+  auto dplan = opt_->Optimize(del);
+  ASSERT_TRUE(dplan.ok());
+  ASSERT_TRUE(executor_->Execute(del, *dplan).ok());
+  EXPECT_EQ((*physical)->entry_count(), 20u);
+}
+
+TEST_F(StructuralFixture, AdvisorRecommendsStructuralIndex) {
+  engine::Workload workload;
+  workload.push_back(Parse(
+      "for $s in c('SDOC')/Security[Convertible] return $s/Symbol"));
+  advisor::IndexAdvisor advisor(&store_, &stats_);
+  advisor::AdvisorOptions options;
+  options.disk_budget_bytes = 1e6;
+  options.algorithm = advisor::SearchAlgorithm::kGreedyWithHeuristics;
+  auto rec = advisor.Recommend(workload, options);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  ASSERT_EQ(rec->indexes.size(), 1u);
+  EXPECT_TRUE(rec->indexes[0].pattern.structural);
+  EXPECT_NE(rec->indexes[0].ddl.find("STRUCTURAL"), std::string::npos);
+  EXPECT_GT(rec->est_speedup, 1.0);
+}
+
+TEST_F(StructuralFixture, StructuralAndValueCandidatesDoNotGeneralizeTogether) {
+  engine::Workload workload;
+  workload.push_back(Parse(
+      "for $s in c('SDOC')/Security[Convertible] return $s"));
+  workload.push_back(Parse(
+      "for $s in c('SDOC')/Security where $s/Symbol = \"SYM4\" return $s"));
+  advisor::IndexAdvisor advisor(&store_, &stats_);
+  auto set = advisor.BuildCandidates(workload, /*generalize=*/true);
+  ASSERT_TRUE(set.ok());
+  for (const auto& c : set->candidates) {
+    if (!c.is_general) continue;
+    // Any generalized candidate must be purely structural or purely value.
+    for (int b : c.covered_basics) {
+      EXPECT_EQ((*set)[static_cast<size_t>(b)].pattern.structural,
+                c.pattern.structural);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xia

@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "engine/executor.h"
+#include "engine/normalizer.h"
+#include "storage/catalog.h"
+#include "storage/document_store.h"
+#include "storage/statistics.h"
+#include "tpox/synthetic.h"
+#include "tpox/tpox_data.h"
+#include "tpox/tpox_workload.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace xia::tpox {
+namespace {
+
+TEST(TpoxDataTest, SecurityDocumentShape) {
+  Random rng(1);
+  const xml::Document doc = GenerateSecurityDocument(17, &rng);
+  // The running example's paths must exist.
+  auto symbol =
+      xpath::EvaluateLinear(doc, *xpath::ParsePattern("/Security/Symbol"));
+  ASSERT_EQ(symbol.size(), 1u);
+  EXPECT_EQ(doc.node(symbol[0]).value, "SYM000017");
+  EXPECT_EQ(xpath::EvaluateLinear(
+                doc, *xpath::ParsePattern("/Security/SecInfo/*/Sector"))
+                .size(),
+            1u);
+  EXPECT_EQ(
+      xpath::EvaluateLinear(doc, *xpath::ParsePattern("/Security/Yield"))
+          .size(),
+      1u);
+  EXPECT_EQ(xpath::EvaluateLinear(
+                doc, *xpath::ParsePattern("/Security/Price/LastTrade"))
+                .size(),
+            1u);
+}
+
+TEST(TpoxDataTest, SectorValuesComeFromDomain) {
+  Random rng(2);
+  const auto& sectors = TpoxDomains::Sectors();
+  for (int i = 0; i < 50; ++i) {
+    const xml::Document doc = GenerateSecurityDocument(i, &rng);
+    auto nodes = xpath::EvaluateLinear(
+        doc, *xpath::ParsePattern("/Security/SecInfo/*/Sector"));
+    ASSERT_EQ(nodes.size(), 1u);
+    EXPECT_NE(std::find(sectors.begin(), sectors.end(),
+                        doc.node(nodes[0]).value),
+              sectors.end());
+  }
+}
+
+TEST(TpoxDataTest, WildcardLevelVariesByType) {
+  Random rng(3);
+  std::set<std::string> type_elements;
+  for (int i = 0; i < 60; ++i) {
+    const xml::Document doc = GenerateSecurityDocument(i, &rng);
+    auto nodes = xpath::EvaluateLinear(
+        doc, *xpath::ParsePattern("/Security/SecInfo/*"));
+    ASSERT_FALSE(nodes.empty());
+    type_elements.insert(doc.node(nodes[0]).label);
+  }
+  // Several distinct intermediate elements — the reason the wildcard
+  // pattern is interesting.
+  EXPECT_GE(type_elements.size(), 2u);
+}
+
+TEST(TpoxDataTest, OrderDocumentShape) {
+  Random rng(4);
+  const xml::Document doc = GenerateOrderDocument(42, 100, &rng);
+  auto id = xpath::EvaluateLinear(doc,
+                                  *xpath::ParsePattern("/FIXML/Order/@ID"));
+  ASSERT_EQ(id.size(), 1u);
+  EXPECT_EQ(doc.node(id[0]).value, "100042");
+  EXPECT_EQ(xpath::EvaluateLinear(
+                doc, *xpath::ParsePattern("/FIXML/Order/Instrmt/Sym"))
+                .size(),
+            1u);
+  EXPECT_EQ(xpath::EvaluateLinear(
+                doc, *xpath::ParsePattern("/FIXML/Order/OrdQty/@Qty"))
+                .size(),
+            1u);
+}
+
+TEST(TpoxDataTest, CustAccDocumentShape) {
+  Random rng(5);
+  const xml::Document doc = GenerateCustAccDocument(7, &rng);
+  auto id = xpath::EvaluateLinear(doc, *xpath::ParsePattern("/Customer/Id"));
+  ASSERT_EQ(id.size(), 1u);
+  EXPECT_EQ(doc.node(id[0]).value, "1007");
+  auto amounts = xpath::EvaluateLinear(
+      doc, *xpath::ParsePattern(
+               "/Customer/Accounts/Account/Balance/OnlineActualBal/Amount"));
+  EXPECT_GE(amounts.size(), 1u);
+  EXPECT_LE(amounts.size(), 4u);
+}
+
+TEST(TpoxDataTest, DeterministicForEqualSeeds) {
+  Random a(9), b(9);
+  const xml::Document d1 = GenerateSecurityDocument(3, &a);
+  const xml::Document d2 = GenerateSecurityDocument(3, &b);
+  ASSERT_EQ(d1.size(), d2.size());
+  for (size_t i = 0; i < d1.size(); ++i) {
+    EXPECT_EQ(d1.node(static_cast<xml::NodeIndex>(i)).value,
+              d2.node(static_cast<xml::NodeIndex>(i)).value);
+  }
+}
+
+TEST(TpoxDataTest, BuildDatabasePopulatesEverything) {
+  storage::DocumentStore store;
+  storage::StatisticsCatalog stats;
+  TpoxScale scale;
+  scale.security_docs = 50;
+  scale.order_docs = 80;
+  scale.custacc_docs = 20;
+  ASSERT_TRUE(BuildTpoxDatabase(scale, &store, &stats).ok());
+  for (const auto& [name, count] :
+       std::map<std::string, size_t>{{kSecurityCollection, 50},
+                                     {kOrderCollection, 80},
+                                     {kCustAccCollection, 20}}) {
+    auto coll = store.GetCollection(name);
+    ASSERT_TRUE(coll.ok()) << name;
+    EXPECT_EQ((*coll)->live_count(), count) << name;
+    EXPECT_TRUE(stats.Get(name).ok()) << name;
+  }
+}
+
+// Every TPoX query must parse, normalize, and produce at least one result
+// against the generated data — the literals reference generated values.
+TEST(TpoxWorkloadTest, QueriesProduceResults) {
+  storage::DocumentStore store;
+  storage::StatisticsCatalog stats;
+  TpoxScale scale;
+  scale.security_docs = 200;
+  scale.order_docs = 300;
+  scale.custacc_docs = 100;
+  ASSERT_TRUE(BuildTpoxDatabase(scale, &store, &stats).ok());
+
+  auto workload = TpoxQueries();
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  ASSERT_EQ(workload->size(), 11u);
+
+  size_t queries_with_results = 0;
+  for (const auto& stmt : *workload) {
+    ASSERT_TRUE(stmt.is_query()) << stmt.label;
+    auto norm = engine::Normalize(stmt);
+    ASSERT_TRUE(norm.ok()) << stmt.label << ": " << norm.status();
+    auto coll = store.GetCollection(norm->collection);
+    ASSERT_TRUE(coll.ok()) << stmt.label;
+    size_t results = 0;
+    (*coll)->ForEach([&](xml::DocId, const xml::Document& doc) {
+      results += xpath::Evaluate(doc, norm->path).size();
+    });
+    if (results > 0) ++queries_with_results;
+  }
+  // Range predicates with fixed literals may occasionally select nothing
+  // at tiny scale, but the vast majority must hit.
+  EXPECT_GE(queries_with_results, 9u);
+}
+
+TEST(TpoxWorkloadTest, UpdatesParseAndTarget) {
+  Random rng(11);
+  auto updates = TpoxUpdates(3, 4, 100, &rng);
+  ASSERT_TRUE(updates.ok()) << updates.status();
+  ASSERT_EQ(updates->size(), 7u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE((*updates)[i].is_insert());
+    EXPECT_EQ((*updates)[i].collection(), kOrderCollection);
+  }
+  for (size_t i = 3; i < 7; ++i) {
+    EXPECT_TRUE((*updates)[i].is_delete());
+  }
+}
+
+TEST(TpoxWorkloadTest, TransactionMixCoversAllKinds) {
+  Random rng(13);
+  auto mix = TpoxTransactionMix(2, 100, 100, 50, &rng);
+  ASSERT_TRUE(mix.ok()) << mix.status();
+  ASSERT_EQ(mix->size(), 10u);  // 5 kinds x 2
+  size_t inserts = 0;
+  size_t updates = 0;
+  size_t deletes = 0;
+  for (const auto& stmt : *mix) {
+    EXPECT_TRUE(stmt.is_modification());
+    if (stmt.is_insert()) ++inserts;
+    if (stmt.is_update()) ++updates;
+    if (stmt.is_delete()) ++deletes;
+  }
+  EXPECT_EQ(inserts, 2u);
+  EXPECT_EQ(updates, 6u);
+  EXPECT_EQ(deletes, 2u);
+}
+
+TEST(TpoxWorkloadTest, TransactionMixExecutes) {
+  storage::DocumentStore store;
+  storage::StatisticsCatalog stats;
+  TpoxScale scale;
+  scale.security_docs = 80;
+  scale.order_docs = 120;
+  scale.custacc_docs = 40;
+  ASSERT_TRUE(BuildTpoxDatabase(scale, &store, &stats).ok());
+  Random rng(17);
+  auto mix = TpoxTransactionMix(3, 80, 120, 40, &rng);
+  ASSERT_TRUE(mix.ok());
+
+  storage::Catalog catalog(&store, &stats);
+  optimizer::Optimizer opt(&store, &catalog, &stats);
+  engine::Executor executor(&store, &catalog);
+  for (const auto& stmt : *mix) {
+    auto plan = opt.Optimize(stmt);
+    ASSERT_TRUE(plan.ok()) << stmt.label << ": " << plan.status();
+    auto result = executor.Execute(stmt, *plan);
+    ASSERT_TRUE(result.ok()) << stmt.label << ": " << result.status();
+  }
+  // Inserts added three orders, deletes removed up to three.
+  auto orders = store.GetCollection(kOrderCollection);
+  ASSERT_TRUE(orders.ok());
+  EXPECT_GE((*orders)->live_count(), 120u + 3 - 3);
+}
+
+TEST(SyntheticTest, GeneratesRequestedCount) {
+  storage::DocumentStore store;
+  storage::StatisticsCatalog stats;
+  TpoxScale scale;
+  scale.security_docs = 100;
+  scale.order_docs = 100;
+  scale.custacc_docs = 50;
+  ASSERT_TRUE(BuildTpoxDatabase(scale, &store, &stats).ok());
+
+  Random rng(3);
+  auto workload = GenerateSyntheticWorkload(
+      stats, {kSecurityCollection, kOrderCollection}, 25, &rng);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  ASSERT_EQ(workload->size(), 25u);
+  for (const auto& stmt : *workload) {
+    ASSERT_TRUE(stmt.is_query());
+    EXPECT_FALSE(stmt.query().binding.empty());
+    // Exactly one comparison predicate on the last step.
+    const auto& last = stmt.query().binding.steps().back();
+    ASSERT_EQ(last.predicates.size(), 1u);
+    EXPECT_TRUE(last.predicates[0].is_comparison());
+  }
+}
+
+TEST(SyntheticTest, QueriesMatchDataPaths) {
+  storage::DocumentStore store;
+  storage::StatisticsCatalog stats;
+  TpoxScale scale;
+  scale.security_docs = 120;
+  scale.order_docs = 0;
+  scale.custacc_docs = 0;
+  ASSERT_TRUE(BuildTpoxDatabase(scale, &store, &stats).ok());
+
+  Random rng(7);
+  SyntheticOptions options;
+  options.wildcard_probability = 0.3;
+  options.descendant_probability = 0.3;
+  auto workload = GenerateSyntheticWorkload(stats, {kSecurityCollection}, 30,
+                                            &rng, options);
+  ASSERT_TRUE(workload.ok());
+
+  auto coll = store.GetCollection(kSecurityCollection);
+  ASSERT_TRUE(coll.ok());
+  // The binding *spine* (ignoring the value predicate) must match data in
+  // at least one document: synthetic queries are over paths that occur in
+  // the data.
+  for (const auto& stmt : *workload) {
+    const xpath::Path spine = stmt.query().binding.Spine();
+    bool found = false;
+    (*coll)->ForEach([&](xml::DocId, const xml::Document& doc) {
+      if (!found && !xpath::EvaluateLinear(doc, spine).empty()) found = true;
+    });
+    EXPECT_TRUE(found) << spine.ToString();
+  }
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  storage::DocumentStore store;
+  storage::StatisticsCatalog stats;
+  TpoxScale scale;
+  scale.security_docs = 60;
+  scale.order_docs = 60;
+  scale.custacc_docs = 30;
+  ASSERT_TRUE(BuildTpoxDatabase(scale, &store, &stats).ok());
+  Random r1(42), r2(42);
+  auto w1 = GenerateSyntheticWorkload(stats, {kSecurityCollection}, 10, &r1);
+  auto w2 = GenerateSyntheticWorkload(stats, {kSecurityCollection}, 10, &r2);
+  ASSERT_TRUE(w1.ok());
+  ASSERT_TRUE(w2.ok());
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ((*w1)[i].text, (*w2)[i].text);
+  }
+}
+
+}  // namespace
+}  // namespace xia::tpox

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+#include "xpath/containment.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+#include "xml/document.h"
+
+namespace xia::xpath {
+namespace {
+
+Path P(const char* text) {
+  auto p = ParsePattern(text);
+  EXPECT_TRUE(p.ok()) << text << ": " << p.status();
+  return *p;
+}
+
+TEST(MatchLabelPathTest, ExactChildPath) {
+  EXPECT_TRUE(MatchesLabelPath(P("/a/b/c"), {"a", "b", "c"}));
+  EXPECT_FALSE(MatchesLabelPath(P("/a/b/c"), {"a", "b"}));
+  EXPECT_FALSE(MatchesLabelPath(P("/a/b/c"), {"a", "b", "c", "d"}));
+  EXPECT_FALSE(MatchesLabelPath(P("/a/b/c"), {"a", "x", "c"}));
+}
+
+TEST(MatchLabelPathTest, Wildcard) {
+  EXPECT_TRUE(MatchesLabelPath(P("/a/*/c"), {"a", "b", "c"}));
+  EXPECT_TRUE(MatchesLabelPath(P("/a/*/c"), {"a", "zz", "c"}));
+  EXPECT_FALSE(MatchesLabelPath(P("/a/*/c"), {"a", "c"}));
+}
+
+TEST(MatchLabelPathTest, Descendant) {
+  EXPECT_TRUE(MatchesLabelPath(P("//c"), {"c"}));
+  EXPECT_TRUE(MatchesLabelPath(P("//c"), {"a", "b", "c"}));
+  EXPECT_FALSE(MatchesLabelPath(P("//c"), {"a", "c", "b"}));
+  EXPECT_TRUE(MatchesLabelPath(P("/a//c"), {"a", "c"}));
+  EXPECT_TRUE(MatchesLabelPath(P("/a//c"), {"a", "x", "y", "c"}));
+  EXPECT_FALSE(MatchesLabelPath(P("/a//c"), {"b", "x", "c"}));
+}
+
+TEST(MatchLabelPathTest, Universal) {
+  EXPECT_TRUE(MatchesLabelPath(P("//*"), {"a"}));
+  EXPECT_TRUE(MatchesLabelPath(P("//*"), {"a", "b", "c"}));
+  EXPECT_FALSE(MatchesLabelPath(P("//*"), {}));
+}
+
+TEST(MatchLabelPathTest, RepeatedLabels) {
+  EXPECT_TRUE(MatchesLabelPath(P("/a//a"), {"a", "a"}));
+  EXPECT_TRUE(MatchesLabelPath(P("/a//a"), {"a", "b", "a"}));
+  EXPECT_FALSE(MatchesLabelPath(P("/a//a"), {"a"}));
+}
+
+TEST(CoversTest, Reflexive) {
+  for (const char* text : {"/a", "/a/b", "//a", "/a/*/c", "//*", "/a//b"}) {
+    EXPECT_TRUE(Covers(P(text), P(text))) << text;
+  }
+}
+
+TEST(CoversTest, UniversalCoversEverything) {
+  for (const char* text : {"/a", "/a/b/c", "//a", "/a/*/c", "/a//b"}) {
+    EXPECT_TRUE(Covers(P("//*"), P(text))) << text;
+    EXPECT_FALSE(Covers(P(text), P("//*"))) << text;
+  }
+}
+
+TEST(CoversTest, PaperTableOneExamples) {
+  // /Security//* covers the two specific candidates it generalizes (§V).
+  EXPECT_TRUE(Covers(P("/Security//*"), P("/Security/Symbol")));
+  EXPECT_TRUE(Covers(P("/Security//*"), P("/Security/SecInfo/*/Sector")));
+  EXPECT_TRUE(Covers(P("/Security//*"), P("/Security//Industry")));
+  EXPECT_FALSE(Covers(P("/Security//*"), P("/Other/Symbol")));
+  EXPECT_FALSE(Covers(P("/Security/Symbol"), P("/Security//*")));
+}
+
+TEST(CoversTest, IntroExamples) {
+  // §I: /Security[Yield>4.5] can use /Security/Yield, /Security/* or
+  // //Yield — each must cover the compared pattern /Security/Yield.
+  EXPECT_TRUE(Covers(P("/Security/Yield"), P("/Security/Yield")));
+  EXPECT_TRUE(Covers(P("/Security/*"), P("/Security/Yield")));
+  EXPECT_TRUE(Covers(P("//Yield"), P("/Security/Yield")));
+}
+
+TEST(CoversTest, WildcardVsConcrete) {
+  EXPECT_TRUE(Covers(P("/a/*"), P("/a/b")));
+  EXPECT_FALSE(Covers(P("/a/b"), P("/a/*")));
+  EXPECT_TRUE(Covers(P("/*/b"), P("/a/b")));
+  EXPECT_FALSE(Covers(P("/a/*"), P("/a/b/c")));
+}
+
+TEST(CoversTest, DescendantVsChild) {
+  EXPECT_TRUE(Covers(P("/a//b"), P("/a/b")));
+  EXPECT_TRUE(Covers(P("/a//b"), P("/a/x/b")));
+  EXPECT_TRUE(Covers(P("/a//b"), P("/a/*/b")));
+  EXPECT_FALSE(Covers(P("/a/b"), P("/a//b")));
+  EXPECT_FALSE(Covers(P("/a/*/b"), P("/a//b")));  // // allows zero gap
+  EXPECT_TRUE(Covers(P("/a//b"), P("/a/*/*/b")));
+}
+
+TEST(CoversTest, GapSubtleties) {
+  // /a//b ⊆ //b but not vice versa.
+  EXPECT_TRUE(Covers(P("//b"), P("/a//b")));
+  EXPECT_FALSE(Covers(P("/a//b"), P("//b")));
+  // //a//b vs //b.
+  EXPECT_TRUE(Covers(P("//b"), P("//a//b")));
+  EXPECT_FALSE(Covers(P("//a//b"), P("//b")));
+}
+
+TEST(CoversTest, WildcardGapInteraction) {
+  // //* covers /a but /*/ * (depth exactly 2) does not cover /a (depth 1).
+  EXPECT_FALSE(Covers(P("/*/*"), P("/a")));
+  EXPECT_TRUE(Covers(P("/*/*"), P("/a/b")));
+  // //*//* requires depth >= 2.
+  EXPECT_FALSE(Covers(P("//*//*"), P("/a")));
+  EXPECT_TRUE(Covers(P("//*//*"), P("/a/b")));
+  EXPECT_TRUE(Covers(P("//*//*"), P("/a/b/c")));
+}
+
+TEST(CoversTest, NonTrivialEquivalences) {
+  // //*//b and //b are NOT equivalent (//*//b needs depth >= 2)...
+  EXPECT_TRUE(Covers(P("//b"), P("//*//b")));
+  EXPECT_FALSE(Covers(P("//*//b"), P("//b")));
+  // ...but //a//* and /a//* differ only in where a may sit.
+  EXPECT_TRUE(Covers(P("//a//*"), P("/a//*")));
+  EXPECT_FALSE(Covers(P("/a//*"), P("//a//*")));
+}
+
+TEST(CoversTest, Transitivity) {
+  // spot-check transitivity on a chain.
+  EXPECT_TRUE(Covers(P("//*"), P("/Security//*")));
+  EXPECT_TRUE(Covers(P("/Security//*"), P("/Security/SecInfo/*/Sector")));
+  EXPECT_TRUE(Covers(P("//*"), P("/Security/SecInfo/*/Sector")));
+}
+
+TEST(CoversTest, EquivalentHelper) {
+  EXPECT_TRUE(Equivalent(P("/a/b"), P("/a/b")));
+  EXPECT_FALSE(Equivalent(P("/a/b"), P("/a/*")));
+  EXPECT_TRUE(StrictlyCovers(P("/a/*"), P("/a/b")));
+  EXPECT_FALSE(StrictlyCovers(P("/a/b"), P("/a/b")));
+}
+
+// ---------------------------------------------------------------------------
+// Property test: Covers agrees with evaluation on random documents.
+// If Covers(P, Q) then every node selected by Q in any document must be
+// selected by P too.
+
+class ContainmentPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Random linear pattern over a tiny alphabet.
+Path RandomPattern(Random* rng) {
+  std::vector<Step> steps;
+  const size_t len = 1 + rng->Uniform(4);
+  const char* names[] = {"a", "b", "c", "*"};
+  for (size_t i = 0; i < len; ++i) {
+    const Axis axis = rng->Bernoulli(0.3) ? Axis::kDescendant : Axis::kChild;
+    steps.emplace_back(axis, names[rng->Uniform(4)]);
+  }
+  return Path(std::move(steps));
+}
+
+// Random document over the same alphabet.
+xml::Document RandomDocument(Random* rng) {
+  xml::Document doc;
+  const char* names[] = {"a", "b", "c", "d"};
+  const xml::NodeIndex root = doc.AddRoot(names[rng->Uniform(4)]);
+  std::vector<xml::NodeIndex> frontier = {root};
+  const size_t n_nodes = 3 + rng->Uniform(20);
+  for (size_t i = 0; i < n_nodes; ++i) {
+    const xml::NodeIndex parent = frontier[rng->Uniform(frontier.size())];
+    frontier.push_back(doc.AddElement(parent, names[rng->Uniform(4)]));
+  }
+  return doc;
+}
+
+TEST_P(ContainmentPropertyTest, CoversImpliesSupersetOfMatches) {
+  Random rng(GetParam());
+  for (int trial = 0; trial < 60; ++trial) {
+    const Path p = RandomPattern(&rng);
+    const Path q = RandomPattern(&rng);
+    const bool covers = Covers(p, q);
+    for (int d = 0; d < 10; ++d) {
+      xml::Document doc = RandomDocument(&rng);
+      const auto q_nodes = EvaluateLinear(doc, q);
+      const auto p_nodes = EvaluateLinear(doc, p);
+      if (covers) {
+        for (xml::NodeIndex n : q_nodes) {
+          EXPECT_TRUE(std::find(p_nodes.begin(), p_nodes.end(), n) !=
+                      p_nodes.end())
+              << "Covers(" << p.ToString() << ", " << q.ToString()
+              << ") but node " << n << " selected only by the query pattern";
+        }
+      }
+    }
+  }
+}
+
+TEST_P(ContainmentPropertyTest, MatchAgreesWithEvaluator) {
+  Random rng(GetParam() * 977 + 3);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Path p = RandomPattern(&rng);
+    xml::Document doc = RandomDocument(&rng);
+    const auto selected = EvaluateLinear(doc, p);
+    for (size_t i = 0; i < doc.size(); ++i) {
+      const auto n = static_cast<xml::NodeIndex>(i);
+      const bool in_eval =
+          std::find(selected.begin(), selected.end(), n) != selected.end();
+      const bool matches = MatchesLabelPath(p, doc.LabelPath(n));
+      EXPECT_EQ(in_eval, matches)
+          << p.ToString() << " node " << doc.LabelPathString(n);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContainmentPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace xia::xpath

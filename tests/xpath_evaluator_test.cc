@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace xia::xpath {
+namespace {
+
+xml::Document Doc(const char* text) {
+  auto doc = xml::Parse(text);
+  EXPECT_TRUE(doc.ok()) << doc.status();
+  return std::move(*doc);
+}
+
+const char* kSecurity = R"(
+<Security>
+  <Symbol>IBM</Symbol>
+  <Yield>4.8</Yield>
+  <SecInfo>
+    <StockInformation>
+      <Sector>Energy</Sector>
+      <Industry>Oil</Industry>
+    </StockInformation>
+  </SecInfo>
+  <Price><LastTrade>95.5</LastTrade><Open>94.0</Open></Price>
+</Security>)";
+
+TEST(EvaluateLinearTest, ChildPath) {
+  auto doc = Doc(kSecurity);
+  auto nodes = EvaluateLinear(doc, *ParsePattern("/Security/Symbol"));
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(doc.node(nodes[0]).value, "IBM");
+}
+
+TEST(EvaluateLinearTest, WildcardStep) {
+  auto doc = Doc(kSecurity);
+  auto nodes =
+      EvaluateLinear(doc, *ParsePattern("/Security/SecInfo/*/Sector"));
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(doc.node(nodes[0]).value, "Energy");
+}
+
+TEST(EvaluateLinearTest, DescendantAxis) {
+  auto doc = Doc(kSecurity);
+  EXPECT_EQ(EvaluateLinear(doc, *ParsePattern("//Sector")).size(), 1u);
+  EXPECT_EQ(EvaluateLinear(doc, *ParsePattern("/Security//Sector")).size(),
+            1u);
+  // Root itself reachable by //Security.
+  auto roots = EvaluateLinear(doc, *ParsePattern("//Security"));
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0], doc.root());
+}
+
+TEST(EvaluateLinearTest, UniversalSelectsAllElements) {
+  auto doc = Doc("<a><b>1</b><c><d>2</d></c></a>");
+  EXPECT_EQ(EvaluateLinear(doc, *ParsePattern("//*")).size(), doc.size());
+}
+
+TEST(EvaluateLinearTest, NoMatch) {
+  auto doc = Doc(kSecurity);
+  EXPECT_TRUE(EvaluateLinear(doc, *ParsePattern("/Security/Missing")).empty());
+  EXPECT_TRUE(EvaluateLinear(doc, *ParsePattern("/Wrong/Symbol")).empty());
+}
+
+TEST(EvaluateLinearTest, NoDuplicatesFromOverlappingDescendants) {
+  auto doc = Doc("<a><a><a><b>x</b></a></a></a>");
+  auto nodes = EvaluateLinear(doc, *ParsePattern("//a//b"));
+  ASSERT_EQ(nodes.size(), 1u);
+}
+
+TEST(EvaluateLinearTest, AttributeSelection) {
+  auto doc = Doc("<FIXML><Order ID=\"103\" Side=\"1\"/></FIXML>");
+  auto nodes = EvaluateLinear(doc, *ParsePattern("/FIXML/Order/@ID"));
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(doc.node(nodes[0]).value, "103");
+  // Wildcard does not match attributes? In this model '@ID' is a label and
+  // '*' matches any label, attributes included.
+  auto all = EvaluateLinear(doc, *ParsePattern("/FIXML/Order/*"));
+  EXPECT_EQ(all.size(), 2u);
+}
+
+TEST(CompareValueTest, NumericComparisons) {
+  const Literal four_five = Literal::Number(4.5);
+  EXPECT_TRUE(CompareValue("4.8", CompareOp::kGt, four_five));
+  EXPECT_FALSE(CompareValue("4.2", CompareOp::kGt, four_five));
+  EXPECT_TRUE(CompareValue("4.5", CompareOp::kGe, four_five));
+  EXPECT_TRUE(CompareValue("4.5", CompareOp::kEq, four_five));
+  EXPECT_TRUE(CompareValue("4.4", CompareOp::kNe, four_five));
+  EXPECT_TRUE(CompareValue("4.4", CompareOp::kLt, four_five));
+  EXPECT_TRUE(CompareValue("4.5", CompareOp::kLe, four_five));
+}
+
+TEST(CompareValueTest, NonNumericNodeNeverSatisfiesNumeric) {
+  const Literal lit = Literal::Number(4.5);
+  for (CompareOp op : {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                       CompareOp::kLe, CompareOp::kGt, CompareOp::kGe}) {
+    EXPECT_FALSE(CompareValue("IBM", op, lit));
+  }
+}
+
+TEST(CompareValueTest, StringComparisons) {
+  const Literal energy = Literal::String("Energy");
+  EXPECT_TRUE(CompareValue("Energy", CompareOp::kEq, energy));
+  EXPECT_FALSE(CompareValue("Tech", CompareOp::kEq, energy));
+  EXPECT_TRUE(CompareValue("Tech", CompareOp::kNe, energy));
+  EXPECT_TRUE(CompareValue("Alpha", CompareOp::kLt, energy));
+  EXPECT_TRUE(CompareValue("Tech", CompareOp::kGt, energy));
+}
+
+TEST(EvaluateTest, InlinePredicate) {
+  auto doc = Doc(kSecurity);
+  EXPECT_EQ(Evaluate(doc, *ParseQuery("/Security[Yield > 4.5]")).size(), 1u);
+  EXPECT_TRUE(Evaluate(doc, *ParseQuery("/Security[Yield > 5.0]")).empty());
+}
+
+TEST(EvaluateTest, RelativePathPredicate) {
+  auto doc = Doc(kSecurity);
+  EXPECT_EQ(
+      Evaluate(doc, *ParseQuery("/Security[SecInfo/*/Sector = \"Energy\"]"))
+          .size(),
+      1u);
+  EXPECT_TRUE(
+      Evaluate(doc, *ParseQuery("/Security[SecInfo/*/Sector = \"Tech\"]"))
+          .empty());
+}
+
+TEST(EvaluateTest, PredicateAtInnerStep) {
+  auto doc = Doc(kSecurity);
+  auto nodes =
+      Evaluate(doc, *ParseQuery("/Security[Symbol = \"IBM\"]/Price/Open"));
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(doc.node(nodes[0]).value, "94.0");
+  EXPECT_TRUE(
+      Evaluate(doc, *ParseQuery("/Security[Symbol = \"MSFT\"]/Price/Open"))
+          .empty());
+}
+
+TEST(EvaluateTest, ExistencePredicate) {
+  auto doc = Doc(kSecurity);
+  EXPECT_EQ(Evaluate(doc, *ParseQuery("/Security[Price]")).size(), 1u);
+  EXPECT_TRUE(Evaluate(doc, *ParseQuery("/Security[Dividend]")).empty());
+}
+
+TEST(EvaluateTest, ExistentialSemanticsOverMultipleNodes) {
+  auto doc = Doc(
+      "<r><item><price>5</price></item><item><price>50</price></item></r>");
+  // The r node qualifies if ANY price > 20.
+  EXPECT_EQ(Evaluate(doc, *ParseQuery("/r[item/price > 20]")).size(), 1u);
+  EXPECT_TRUE(Evaluate(doc, *ParseQuery("/r[item/price > 100]")).empty());
+  // Per-item filtering distinguishes the two.
+  EXPECT_EQ(Evaluate(doc, *ParseQuery("/r/item[price > 20]")).size(), 1u);
+}
+
+TEST(EvaluateTest, DescendantPredicatePath) {
+  auto doc = Doc(kSecurity);
+  EXPECT_EQ(Evaluate(doc, *ParseQuery("/Security[.//Sector = \"Energy\"]"))
+                .size(),
+            1u);
+}
+
+TEST(EvaluateTest, SelfValuePredicate) {
+  auto doc = Doc(kSecurity);
+  auto nodes = Evaluate(doc, *ParseQuery("/Security/Yield[. >= 4.8]"));
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_TRUE(Evaluate(doc, *ParseQuery("/Security/Yield[. > 4.8]")).empty());
+}
+
+TEST(EvaluateTest, MultiplePredicatesAreConjunctive) {
+  auto doc = Doc(kSecurity);
+  EXPECT_EQ(
+      Evaluate(doc,
+               *ParseQuery("/Security[Yield > 4][Symbol = \"IBM\"]")).size(),
+      1u);
+  EXPECT_TRUE(
+      Evaluate(doc, *ParseQuery("/Security[Yield > 4][Symbol = \"X\"]"))
+          .empty());
+}
+
+TEST(ExistsTest, Basic) {
+  auto doc = Doc(kSecurity);
+  EXPECT_TRUE(Exists(doc, *ParseQuery("//Sector")));
+  EXPECT_FALSE(Exists(doc, *ParseQuery("//Dividend")));
+}
+
+TEST(EvaluateTest, EmptyDocument) {
+  xml::Document doc;
+  EXPECT_TRUE(Evaluate(doc, *ParseQuery("/a")).empty());
+  EXPECT_TRUE(EvaluateLinear(doc, *ParsePattern("//*")).empty());
+}
+
+}  // namespace
+}  // namespace xia::xpath

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "xpath/parser.h"
+#include "xpath/path.h"
+
+namespace xia::xpath {
+namespace {
+
+TEST(PatternParserTest, ChildSteps) {
+  auto p = ParsePattern("/Security/Symbol");
+  ASSERT_TRUE(p.ok()) << p.status();
+  ASSERT_EQ(p->size(), 2u);
+  EXPECT_EQ(p->step(0).axis, Axis::kChild);
+  EXPECT_EQ(p->step(0).name_test, "Security");
+  EXPECT_EQ(p->step(1).name_test, "Symbol");
+  EXPECT_EQ(p->ToString(), "/Security/Symbol");
+}
+
+TEST(PatternParserTest, DescendantAndWildcard) {
+  auto p = ParsePattern("//Security/*/Sector");
+  ASSERT_TRUE(p.ok()) << p.status();
+  ASSERT_EQ(p->size(), 3u);
+  EXPECT_EQ(p->step(0).axis, Axis::kDescendant);
+  EXPECT_TRUE(p->step(1).is_wildcard());
+  EXPECT_EQ(p->ToString(), "//Security/*/Sector");
+}
+
+TEST(PatternParserTest, UniversalPattern) {
+  auto p = ParsePattern("//*");
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_TRUE(p->IsUniversal());
+  EXPECT_FALSE(ParsePattern("/a")->IsUniversal());
+  EXPECT_FALSE(ParsePattern("//a")->IsUniversal());
+  EXPECT_FALSE(ParsePattern("/*")->IsUniversal());
+}
+
+TEST(PatternParserTest, AttributeStep) {
+  auto p = ParsePattern("/FIXML/Order/@ID");
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_EQ(p->step(2).name_test, "@ID");
+}
+
+TEST(PatternParserTest, RejectsPredicates) {
+  auto p = ParsePattern("/Security[Yield > 4]");
+  EXPECT_FALSE(p.ok());
+  EXPECT_EQ(p.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PatternParserTest, Errors) {
+  EXPECT_FALSE(ParsePattern("").ok());
+  EXPECT_FALSE(ParsePattern("Security").ok());
+  EXPECT_FALSE(ParsePattern("/").ok());
+  EXPECT_FALSE(ParsePattern("/a/").ok());
+  EXPECT_FALSE(ParsePattern("/a b").ok());
+}
+
+TEST(QueryParserTest, ComparisonPredicate) {
+  auto q = ParseQuery("/Security[Yield > 4.5]");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ(q->size(), 1u);
+  const auto& preds = q->steps()[0].predicates;
+  ASSERT_EQ(preds.size(), 1u);
+  EXPECT_EQ(preds[0].relative_steps.size(), 1u);
+  EXPECT_EQ(preds[0].relative_steps[0].name_test, "Yield");
+  EXPECT_EQ(*preds[0].op, CompareOp::kGt);
+  EXPECT_EQ(preds[0].literal.type, ValueType::kNumeric);
+  EXPECT_DOUBLE_EQ(preds[0].literal.numeric_value, 4.5);
+}
+
+TEST(QueryParserTest, StringLiteralAndMultiStepRelPath) {
+  auto q = ParseQuery("/Security[SecInfo/*/Sector = \"Energy\"]/Name");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ(q->size(), 2u);
+  const auto& preds = q->steps()[0].predicates;
+  ASSERT_EQ(preds.size(), 1u);
+  EXPECT_EQ(preds[0].relative_steps.size(), 3u);
+  EXPECT_TRUE(preds[0].relative_steps[1].is_wildcard());
+  EXPECT_EQ(preds[0].literal.string_value, "Energy");
+  EXPECT_FALSE(q->IsLinear());
+  EXPECT_EQ(q->Spine().ToString(), "/Security/Name");
+}
+
+TEST(QueryParserTest, SelfValuePredicate) {
+  auto q = ParseQuery("/Security/Yield[. >= 2]");
+  ASSERT_TRUE(q.ok()) << q.status();
+  const auto& preds = q->steps()[1].predicates;
+  ASSERT_EQ(preds.size(), 1u);
+  EXPECT_TRUE(preds[0].relative_steps.empty());
+  EXPECT_EQ(*preds[0].op, CompareOp::kGe);
+}
+
+TEST(QueryParserTest, DescendantRelativePredicate) {
+  auto q = ParseQuery("/Customer[.//Amount > 1000]");
+  ASSERT_TRUE(q.ok()) << q.status();
+  const auto& preds = q->steps()[0].predicates;
+  ASSERT_EQ(preds.size(), 1u);
+  ASSERT_EQ(preds[0].relative_steps.size(), 1u);
+  EXPECT_EQ(preds[0].relative_steps[0].axis, Axis::kDescendant);
+}
+
+TEST(QueryParserTest, ExistencePredicate) {
+  auto q = ParseQuery("/Security[SubIndustry]");
+  ASSERT_TRUE(q.ok()) << q.status();
+  const auto& preds = q->steps()[0].predicates;
+  ASSERT_EQ(preds.size(), 1u);
+  EXPECT_FALSE(preds[0].is_comparison());
+}
+
+TEST(QueryParserTest, AllOperators) {
+  const std::pair<const char*, CompareOp> cases[] = {
+      {"/a[b = 1]", CompareOp::kEq},  {"/a[b != 1]", CompareOp::kNe},
+      {"/a[b < 1]", CompareOp::kLt},  {"/a[b <= 1]", CompareOp::kLe},
+      {"/a[b > 1]", CompareOp::kGt},  {"/a[b >= 1]", CompareOp::kGe},
+  };
+  for (const auto& [text, op] : cases) {
+    auto q = ParseQuery(text);
+    ASSERT_TRUE(q.ok()) << text << ": " << q.status();
+    EXPECT_EQ(*q->steps()[0].predicates[0].op, op) << text;
+  }
+}
+
+TEST(QueryParserTest, MultiplePredicatesOnOneStep) {
+  auto q = ParseQuery("/Security[Yield > 4][PE < 20]");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->steps()[0].predicates.size(), 2u);
+}
+
+TEST(QueryParserTest, PredicatesAtArbitrarySteps) {
+  auto q = ParseQuery("/a[x = 1]/b/c[y/z > 3]");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->steps()[0].predicates.size(), 1u);
+  EXPECT_TRUE(q->steps()[1].predicates.empty());
+  EXPECT_EQ(q->steps()[2].predicates.size(), 1u);
+}
+
+TEST(QueryParserTest, ToStringRoundTrip) {
+  for (const char* text :
+       {"/Security/Symbol", "//Security//*", "/Security[Yield > 4.5]",
+        "/a[b/c = \"x\"]/d", "/Customer[.//Amount >= 100]/Id",
+        "/FIXML/Order[@ID = \"103\"]"}) {
+    auto q = ParseQuery(text);
+    ASSERT_TRUE(q.ok()) << text << ": " << q.status();
+    auto q2 = ParseQuery(q->ToString());
+    ASSERT_TRUE(q2.ok()) << q->ToString() << ": " << q2.status();
+    EXPECT_EQ(*q, *q2) << text << " vs " << q->ToString();
+  }
+}
+
+TEST(QueryParserTest, NegativeNumericLiteral) {
+  auto q = ParseQuery("/a[b < -2.5]");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_DOUBLE_EQ(q->steps()[0].predicates[0].literal.numeric_value, -2.5);
+}
+
+TEST(QueryParserTest, Errors) {
+  EXPECT_FALSE(ParseQuery("/a[").ok());
+  EXPECT_FALSE(ParseQuery("/a[]").ok());
+  EXPECT_FALSE(ParseQuery("/a[b >]").ok());
+  EXPECT_FALSE(ParseQuery("/a[b = ]").ok());
+  EXPECT_FALSE(ParseQuery("/a[b = \"open]").ok());
+  EXPECT_FALSE(ParseQuery("/a]").ok());
+}
+
+TEST(PatternParserTest, AttributeWildcardIsNotSupported) {
+  // DESIGN.md fidelity note: '*' matches any label (attributes included);
+  // DB2's separate '@*' name test is intentionally not part of the
+  // grammar.
+  EXPECT_FALSE(ParsePattern("/a/@*").ok());
+}
+
+TEST(PathTest, GeneralityScore) {
+  EXPECT_EQ(ParsePattern("/a/b")->GeneralityScore(), 0);
+  EXPECT_GT(ParsePattern("/a/*")->GeneralityScore(),
+            ParsePattern("/a/b")->GeneralityScore());
+  EXPECT_GT(ParsePattern("//a")->GeneralityScore(),
+            ParsePattern("/a/*")->GeneralityScore());
+}
+
+TEST(PathTest, IsConcrete) {
+  EXPECT_TRUE(ParsePattern("/a/b/c")->IsConcrete());
+  EXPECT_FALSE(ParsePattern("/a/*/c")->IsConcrete());
+  EXPECT_FALSE(ParsePattern("/a//c")->IsConcrete());
+}
+
+TEST(PathTest, OrderingIsStrictWeak) {
+  auto a = *ParsePattern("/a");
+  auto b = *ParsePattern("/a/b");
+  auto c = *ParsePattern("/c");
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(a < c);
+  EXPECT_FALSE(b < a);
+  EXPECT_FALSE(a < a);
+}
+
+TEST(IndexPatternTest, ToStringIncludesType) {
+  IndexPattern p{*ParsePattern("/a/b"), ValueType::kNumeric};
+  EXPECT_EQ(p.ToString(), "/a/b (numeric)");
+}
+
+}  // namespace
+}  // namespace xia::xpath

@@ -1,0 +1,293 @@
+// xia_advise: command-line XML index advisor.
+//
+// Usage:
+//   xia_advise --data DIR --workload FILE [--budget 10MB]
+//              [--algorithm topdown-full] [--all-index] [--explain]
+//   xia_advise --demo [--budget ...]      (generated TPoX-style database)
+//
+// DIR layout: one subdirectory per collection, each containing *.xml
+// documents:
+//   data/SDOC/security1.xml
+//   data/SDOC/security2.xml
+//   data/ODOC/order1.xml
+//
+// The workload file format is documented in engine/query_parser.h
+// (';'-separated statements, '#' comments, @freq=/@label= annotations).
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "advisor/advisor.h"
+#include "advisor/report.h"
+#include "xml/parser.h"
+#include "engine/query_parser.h"
+#include "optimizer/optimizer.h"
+#include "storage/catalog.h"
+#include "storage/snapshot.h"
+#include "tpox/tpox_data.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace xia;  // NOLINT
+namespace fs = std::filesystem;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: xia_advise (--data DIR | --snapshot FILE | --demo)"
+      " --workload FILE\n"
+      "                  [--budget SIZE] [--algorithm NAME] [--beta F]\n"
+      "                  [--no-generalize] [--all-index] [--explain]"
+      " [--report]\n"
+      "  SIZE: bytes, or suffixed 512KB / 10MB / 1GB\n"
+      "  NAME: greedy | heuristics | topdown-lite | topdown-full | dp\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+bool ParseSize(const std::string& text, double* out) {
+  double multiplier = 1;
+  std::string num = text;
+  if (text.size() > 2) {
+    const std::string suffix = text.substr(text.size() - 2);
+    if (suffix == "KB" || suffix == "kb") {
+      multiplier = 1024;
+    } else if (suffix == "MB" || suffix == "mb") {
+      multiplier = 1024.0 * 1024;
+    } else if (suffix == "GB" || suffix == "gb") {
+      multiplier = 1024.0 * 1024 * 1024;
+    }
+    if (multiplier != 1) num = text.substr(0, text.size() - 2);
+  }
+  double v = 0;
+  if (!ParseDouble(num, &v) || v < 0) return false;
+  *out = v * multiplier;
+  return true;
+}
+
+bool ParseAlgorithm(const std::string& name,
+                    advisor::SearchAlgorithm* out) {
+  if (name == "greedy") {
+    *out = advisor::SearchAlgorithm::kGreedy;
+  } else if (name == "heuristics") {
+    *out = advisor::SearchAlgorithm::kGreedyWithHeuristics;
+  } else if (name == "topdown-lite") {
+    *out = advisor::SearchAlgorithm::kTopDownLite;
+  } else if (name == "topdown-full") {
+    *out = advisor::SearchAlgorithm::kTopDownFull;
+  } else if (name == "dp") {
+    *out = advisor::SearchAlgorithm::kDynamicProgramming;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Status LoadDataDirectory(const std::string& dir,
+                         storage::DocumentStore* store,
+                         storage::StatisticsCatalog* statistics) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return Status::NotFound("data directory not found: " + dir);
+  }
+  size_t total_docs = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_directory()) continue;
+    const std::string collection_name = entry.path().filename().string();
+    auto coll = store->CreateCollection(collection_name);
+    if (!coll.ok()) return coll.status();
+    size_t docs = 0;
+    for (const auto& file : fs::directory_iterator(entry.path())) {
+      if (!file.is_regular_file()) continue;
+      if (file.path().extension() != ".xml") continue;
+      std::ifstream in(file.path());
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      auto doc = xml::Parse(buffer.str());
+      if (!doc.ok()) {
+        return Status::ParseError(file.path().string() + ": " +
+                                  doc.status().message());
+      }
+      (*coll)->Add(std::move(*doc));
+      ++docs;
+    }
+    if (docs == 0) {
+      return Status::InvalidArgument("collection directory " +
+                                     collection_name + " has no .xml files");
+    }
+    statistics->RunStats(**coll);
+    std::printf("loaded collection %-12s %6zu documents, %s\n",
+                collection_name.c_str(), docs,
+                HumanBytes(static_cast<double>((*coll)->total_bytes()))
+                    .c_str());
+    total_docs += docs;
+  }
+  if (total_docs == 0) {
+    return Status::InvalidArgument(
+        "no collections found (expected DIR/<collection>/*.xml)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string data_dir;
+  std::string snapshot_file;
+  std::string workload_file;
+  bool demo = false;
+  bool all_index = false;
+  bool explain = false;
+  bool report = false;
+  advisor::AdvisorOptions options;
+  options.disk_budget_bytes = 10.0 * 1024 * 1024;
+  options.algorithm = advisor::SearchAlgorithm::kTopDownFull;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--data") {
+      const char* v = next();
+      if (!v) return Usage();
+      data_dir = v;
+    } else if (arg == "--snapshot") {
+      const char* v = next();
+      if (!v) return Usage();
+      snapshot_file = v;
+    } else if (arg == "--workload") {
+      const char* v = next();
+      if (!v) return Usage();
+      workload_file = v;
+    } else if (arg == "--budget") {
+      const char* v = next();
+      if (!v || !ParseSize(v, &options.disk_budget_bytes)) return Usage();
+    } else if (arg == "--algorithm") {
+      const char* v = next();
+      if (!v || !ParseAlgorithm(v, &options.algorithm)) return Usage();
+    } else if (arg == "--beta") {
+      const char* v = next();
+      if (!v || !ParseDouble(v, &options.beta)) return Usage();
+    } else if (arg == "--no-generalize") {
+      options.generalize = false;
+    } else if (arg == "--demo") {
+      demo = true;
+    } else if (arg == "--all-index") {
+      all_index = true;
+    } else if (arg == "--explain") {
+      explain = true;
+    } else if (arg == "--report") {
+      report = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if ((data_dir.empty() && snapshot_file.empty() && !demo) ||
+      workload_file.empty()) {
+    return Usage();
+  }
+
+  storage::DocumentStore store;
+  storage::StatisticsCatalog statistics;
+  if (demo) {
+    tpox::TpoxScale scale;
+    if (Status s = tpox::BuildTpoxDatabase(scale, &store, &statistics);
+        !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("demo database: %zu securities, %zu orders, %zu customers\n",
+                scale.security_docs, scale.order_docs, scale.custacc_docs);
+  } else if (!snapshot_file.empty()) {
+    if (Status s = storage::LoadSnapshotFromFile(snapshot_file, &store);
+        !s.ok()) {
+      return Fail(s);
+    }
+    for (const std::string& name : store.CollectionNames()) {
+      auto coll = store.GetCollection(name);
+      if (!coll.ok()) return Fail(coll.status());
+      statistics.RunStats(**coll);
+      std::printf("restored collection %-12s %6zu documents\n", name.c_str(),
+                  (*coll)->live_count());
+    }
+  } else {
+    if (Status s = LoadDataDirectory(data_dir, &store, &statistics);
+        !s.ok()) {
+      return Fail(s);
+    }
+  }
+
+  std::ifstream in(workload_file);
+  if (!in) {
+    return Fail(Status::NotFound("workload file: " + workload_file));
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto workload = engine::ParseWorkloadText(buffer.str());
+  if (!workload.ok()) return Fail(workload.status());
+  std::printf("workload: %zu statements\n\n", workload->size());
+
+  advisor::IndexAdvisor advisor(&store, &statistics);
+
+  if (all_index) {
+    auto rec = advisor.AllIndexConfiguration(*workload);
+    if (!rec.ok()) return Fail(rec.status());
+    std::printf("All-Index configuration (%zu indexes, %s, est. %.2fx):\n",
+                rec->indexes.size(),
+                HumanBytes(rec->total_size_bytes).c_str(), rec->est_speedup);
+    for (const auto& ri : rec->indexes) std::printf("  %s\n", ri.ddl.c_str());
+    return 0;
+  }
+
+  auto rec = advisor.Recommend(*workload, options);
+  if (!rec.ok()) return Fail(rec.status());
+
+  std::printf("recommendation (%s, budget %s):\n",
+              advisor::SearchAlgorithmName(options.algorithm),
+              HumanBytes(options.disk_budget_bytes).c_str());
+  for (const auto& ri : rec->indexes) {
+    std::printf("  %s  -- %s%s\n", ri.ddl.c_str(),
+                HumanBytes(static_cast<double>(ri.size_bytes)).c_str(),
+                ri.is_general ? ", general" : "");
+  }
+  std::printf(
+      "\ntotal size %s | est. speedup %.2fx | %zu/%zu candidates "
+      "(basic/total) | %llu optimizer calls | %.3fs\n",
+      HumanBytes(rec->total_size_bytes).c_str(), rec->est_speedup,
+      rec->basic_candidates, rec->total_candidates,
+      static_cast<unsigned long long>(rec->optimizer_calls),
+      rec->advisor_seconds);
+
+  if (report) {
+    auto rendered = advisor::RenderReport(*workload, *rec, &store,
+                                          &statistics);
+    if (!rendered.ok()) return Fail(rendered.status());
+    std::printf("\n%s", rendered->c_str());
+  }
+
+  if (explain) {
+    storage::Catalog catalog(&store, &statistics);
+    if (Status s = advisor.Materialize(*rec, &catalog); !s.ok()) {
+      return Fail(s);
+    }
+    optimizer::Optimizer opt(&store, &catalog, &statistics);
+    std::printf("\nplans with the recommendation materialized:\n");
+    for (const auto& stmt : *workload) {
+      auto plan = opt.Optimize(stmt);
+      if (!plan.ok()) return Fail(plan.status());
+      std::printf("  %-24s %s\n", stmt.label.c_str(),
+                  plan->Describe().c_str());
+    }
+  }
+  return 0;
+}

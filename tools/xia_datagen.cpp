@@ -1,0 +1,192 @@
+// xia_datagen: writes a TPoX-style or XMark-style database as on-disk XML
+// files (the layout xia_advise --data consumes), plus an optional
+// synthetic workload file.
+//
+// Usage:
+//   xia_datagen --out DIR [--schema tpox|xmark] [--scale N] [--seed S]
+//               [--synthetic-workload FILE --queries N]
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "engine/query.h"
+#include "storage/document_store.h"
+#include "storage/statistics.h"
+#include "tpox/synthetic.h"
+#include "tpox/tpox_data.h"
+#include "storage/snapshot.h"
+#include "tpox/xmark.h"
+#include "util/string_util.h"
+#include "xml/serializer.h"
+
+namespace {
+
+using namespace xia;  // NOLINT
+namespace fs = std::filesystem;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: xia_datagen --out DIR [--schema tpox|xmark] [--scale N]\n"
+      "                   [--seed S] [--snapshot FILE]\n"
+      "                   [--synthetic-workload FILE --queries N]\n"
+      "  --scale N multiplies the default document counts by N\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+Status DumpCollections(const storage::DocumentStore& store,
+                       const std::string& out_dir) {
+  for (const std::string& name : store.CollectionNames()) {
+    auto coll = store.GetCollection(name);
+    if (!coll.ok()) return coll.status();
+    const fs::path dir = fs::path(out_dir) / name;
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+      return Status::Internal("cannot create " + dir.string() + ": " +
+                              ec.message());
+    }
+    size_t written = 0;
+    Status failure = Status::OK();
+    (*coll)->ForEach([&](xml::DocId id, const xml::Document& doc) {
+      if (!failure.ok()) return;
+      const fs::path file = dir / StringPrintf("doc%06d.xml", id);
+      std::ofstream out(file);
+      xml::SerializeOptions options;
+      options.pretty = true;
+      out << xml::Serialize(doc, 0, options);
+      if (!out) {
+        failure = Status::Internal("write failed: " + file.string());
+        return;
+      }
+      ++written;
+    });
+    if (!failure.ok()) return failure;
+    std::printf("wrote %6zu documents to %s\n", written,
+                dir.string().c_str());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_dir;
+  std::string schema = "tpox";
+  std::string workload_file;
+  std::string snapshot_file;
+  double scale_factor = 1.0;
+  uint64_t seed = 42;
+  size_t queries = 20;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--out") {
+      const char* v = next();
+      if (!v) return Usage();
+      out_dir = v;
+    } else if (arg == "--schema") {
+      const char* v = next();
+      if (!v) return Usage();
+      schema = v;
+    } else if (arg == "--scale") {
+      const char* v = next();
+      if (!v || !ParseDouble(v, &scale_factor) || scale_factor <= 0) {
+        return Usage();
+      }
+    } else if (arg == "--seed") {
+      const char* v = next();
+      double s = 0;
+      if (!v || !ParseDouble(v, &s)) return Usage();
+      seed = static_cast<uint64_t>(s);
+    } else if (arg == "--snapshot") {
+      const char* v = next();
+      if (!v) return Usage();
+      snapshot_file = v;
+    } else if (arg == "--synthetic-workload") {
+      const char* v = next();
+      if (!v) return Usage();
+      workload_file = v;
+    } else if (arg == "--queries") {
+      const char* v = next();
+      double q = 0;
+      if (!v || !ParseDouble(v, &q) || q <= 0) return Usage();
+      queries = static_cast<size_t>(q);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (out_dir.empty()) return Usage();
+
+  storage::DocumentStore store;
+  storage::StatisticsCatalog statistics;
+  std::vector<std::string> collections;
+  if (schema == "tpox") {
+    tpox::TpoxScale scale;
+    scale.security_docs = static_cast<size_t>(1000 * scale_factor);
+    scale.order_docs = static_cast<size_t>(2000 * scale_factor);
+    scale.custacc_docs = static_cast<size_t>(500 * scale_factor);
+    scale.seed = seed;
+    if (Status s = tpox::BuildTpoxDatabase(scale, &store, &statistics);
+        !s.ok()) {
+      return Fail(s);
+    }
+    collections = {tpox::kSecurityCollection, tpox::kOrderCollection,
+                   tpox::kCustAccCollection};
+  } else if (schema == "xmark") {
+    tpox::XmarkScale scale;
+    scale.items = static_cast<size_t>(800 * scale_factor);
+    scale.auctions = static_cast<size_t>(800 * scale_factor);
+    scale.persons = static_cast<size_t>(400 * scale_factor);
+    scale.seed = seed;
+    if (Status s = tpox::BuildXmarkDatabase(scale, &store, &statistics);
+        !s.ok()) {
+      return Fail(s);
+    }
+    collections = {tpox::kXmarkItemCollection, tpox::kXmarkAuctionCollection,
+                   tpox::kXmarkPersonCollection};
+  } else {
+    return Usage();
+  }
+
+  if (Status s = DumpCollections(store, out_dir); !s.ok()) return Fail(s);
+
+  if (!snapshot_file.empty()) {
+    if (Status s = storage::SaveSnapshotToFile(store, snapshot_file);
+        !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("wrote binary snapshot to %s\n", snapshot_file.c_str());
+  }
+
+  if (!workload_file.empty()) {
+    Random rng(seed + 1);
+    auto workload =
+        tpox::GenerateSyntheticWorkload(statistics, collections, queries,
+                                        &rng);
+    if (!workload.ok()) return Fail(workload.status());
+    std::ofstream out(workload_file);
+    out << "# synthetic workload generated by xia_datagen (schema "
+        << schema << ", seed " << seed << ")\n";
+    for (const auto& stmt : *workload) {
+      out << "@label=" << stmt.label << "\n" << stmt.text << ";\n\n";
+    }
+    if (!out) {
+      return Fail(Status::Internal("write failed: " + workload_file));
+    }
+    std::printf("wrote %zu synthetic queries to %s\n", workload->size(),
+                workload_file.c_str());
+  }
+  return 0;
+}

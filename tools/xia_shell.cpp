@@ -1,0 +1,462 @@
+// xia_shell: an interactive shell over the whole XIA stack — load or
+// generate data, inspect statistics, create/drop (virtual) indexes,
+// EXPLAIN and run statements, build a workload, and ask the advisor.
+//
+//   $ xia_shell
+//   xia> demo
+//   xia> workload add for $s in c('SDOC')/Security where $s/Symbol = "SYM000017" return $s
+//   xia> advise 1MB topdown-full
+//   xia> create index sym on SDOC /Security/Symbol string
+//   xia> explain for $s in c('SDOC')/Security where $s/Symbol = "SYM000017" return $s
+//   xia> run      for $s in c('SDOC')/Security where $s/Symbol = "SYM000017" return $s
+//
+// Also scriptable: `xia_shell < script.txt` (used by the test suite).
+
+#include <cstdio>
+#include <unistd.h>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "advisor/advisor.h"
+#include "engine/executor.h"
+#include "engine/query_parser.h"
+#include "optimizer/optimizer.h"
+#include "storage/catalog.h"
+#include "storage/snapshot.h"
+#include "tpox/tpox_data.h"
+#include "tpox/xmark.h"
+#include "util/string_util.h"
+#include "xml/parser.h"
+#include "xpath/parser.h"
+
+namespace {
+
+using namespace xia;  // NOLINT
+namespace fs = std::filesystem;
+
+class Shell {
+ public:
+  Shell()
+      : catalog_(&store_, &statistics_),
+        optimizer_(&store_, &catalog_, &statistics_),
+        executor_(&store_, &catalog_),
+        advisor_(&store_, &statistics_) {}
+
+  int Run(std::istream& in, bool interactive) {
+    std::string line;
+    if (interactive) std::printf("xia shell — 'help' lists commands\n");
+    for (;;) {
+      if (interactive) {
+        std::printf("xia> ");
+        std::fflush(stdout);
+      }
+      if (!std::getline(in, line)) break;
+      const std::string_view trimmed = Trim(line);
+      if (trimmed.empty() || trimmed[0] == '#') continue;
+      if (trimmed == "quit" || trimmed == "exit") break;
+      Status status = Dispatch(std::string(trimmed));
+      if (!status.ok()) {
+        std::printf("error: %s\n", status.ToString().c_str());
+        if (!interactive) return 1;
+      }
+    }
+    return 0;
+  }
+
+ private:
+  static std::pair<std::string, std::string> SplitCommand(
+      const std::string& line) {
+    const size_t space = line.find_first_of(" \t");
+    if (space == std::string::npos) return {line, ""};
+    return {line.substr(0, space), std::string(Trim(line.substr(space)))};
+  }
+
+  Status Dispatch(const std::string& line) {
+    auto [cmd, rest] = SplitCommand(line);
+    if (cmd == "help") return Help();
+    if (cmd == "demo") return Demo(rest);
+    if (cmd == "load") return Load(rest);
+    if (cmd == "save") return SaveSnapshot(rest);
+    if (cmd == "restore") return RestoreSnapshot(rest);
+    if (cmd == "collections") return Collections();
+    if (cmd == "stats") return Stats(rest);
+    if (cmd == "indexes") return Indexes();
+    if (cmd == "create") return CreateIndex(rest);
+    if (cmd == "drop") return DropIndex(rest);
+    if (cmd == "enumerate") return Enumerate(rest);
+    if (cmd == "explain") return Explain(rest);
+    if (cmd == "run") return Execute(rest);
+    if (cmd == "workload") return WorkloadCommand(rest);
+    if (cmd == "advise") return Advise(rest);
+    return Status::InvalidArgument("unknown command '" + cmd +
+                                   "' (try 'help')");
+  }
+
+  Status Help() {
+    std::printf(
+        "  demo [tpox|xmark]              generate a demo database\n"
+        "  load DIR                       load DIR/<collection>/*.xml\n"
+        "  save FILE | restore FILE       binary snapshot of the store\n"
+        "  collections                    list collections\n"
+        "  stats COLLECTION [N]           top-N data paths with statistics\n"
+        "  indexes                        list catalog indexes\n"
+        "  create index NAME on COLL PATTERN [string|numeric|structural]"
+        " [virtual]\n"
+        "  drop index NAME\n"
+        "  enumerate STATEMENT            Enumerate-Indexes mode candidates\n"
+        "  explain STATEMENT              best plan + cost\n"
+        "  run STATEMENT                  execute best plan\n"
+        "  workload add STATEMENT | load FILE | list | clear\n"
+        "  advise BUDGET [greedy|heuristics|topdown-lite|topdown-full|dp]\n"
+        "  quit\n");
+    return Status::OK();
+  }
+
+  Status Demo(const std::string& which) {
+    if (which.empty() || which == "tpox") {
+      tpox::TpoxScale scale;
+      XIA_RETURN_IF_ERROR(
+          tpox::BuildTpoxDatabase(scale, &store_, &statistics_));
+      std::printf("TPoX demo database loaded (SDOC/ODOC/CADOC)\n");
+      return Status::OK();
+    }
+    if (which == "xmark") {
+      tpox::XmarkScale scale;
+      XIA_RETURN_IF_ERROR(
+          tpox::BuildXmarkDatabase(scale, &store_, &statistics_));
+      std::printf("XMark demo database loaded (XITEM/XAUCTION/XPERSON)\n");
+      return Status::OK();
+    }
+    return Status::InvalidArgument("demo tpox|xmark");
+  }
+
+  Status Load(const std::string& dir) {
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) {
+      return Status::NotFound("not a directory: " + dir);
+    }
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (!entry.is_directory()) continue;
+      const std::string name = entry.path().filename().string();
+      XIA_ASSIGN_OR_RETURN(storage::Collection * coll,
+                           store_.CreateCollection(name));
+      size_t docs = 0;
+      for (const auto& file : fs::directory_iterator(entry.path())) {
+        if (!file.is_regular_file() || file.path().extension() != ".xml") {
+          continue;
+        }
+        std::ifstream f(file.path());
+        std::stringstream buffer;
+        buffer << f.rdbuf();
+        XIA_ASSIGN_OR_RETURN(xml::Document doc, xml::Parse(buffer.str()));
+        coll->Add(std::move(doc));
+        ++docs;
+      }
+      statistics_.RunStats(*coll);
+      std::printf("loaded %s: %zu documents\n", name.c_str(), docs);
+    }
+    return Status::OK();
+  }
+
+  Status SaveSnapshot(const std::string& path) {
+    if (path.empty()) return Status::InvalidArgument("save FILE");
+    XIA_RETURN_IF_ERROR(storage::SaveSnapshotToFile(store_, path));
+    std::printf("saved %zu collection(s) to %s\n",
+                store_.CollectionNames().size(), path.c_str());
+    return Status::OK();
+  }
+
+  Status RestoreSnapshot(const std::string& path) {
+    if (path.empty()) return Status::InvalidArgument("restore FILE");
+    if (!store_.CollectionNames().empty()) {
+      return Status::FailedPrecondition(
+          "store is not empty; restore only works in a fresh session");
+    }
+    XIA_RETURN_IF_ERROR(storage::LoadSnapshotFromFile(path, &store_));
+    for (const std::string& name : store_.CollectionNames()) {
+      XIA_ASSIGN_OR_RETURN(storage::Collection * coll,
+                           store_.GetCollection(name));
+      statistics_.RunStats(*coll);
+      std::printf("restored %s: %zu documents\n", name.c_str(),
+                  coll->live_count());
+    }
+    return Status::OK();
+  }
+
+  Status Collections() {
+    for (const std::string& name : store_.CollectionNames()) {
+      XIA_ASSIGN_OR_RETURN(const storage::Collection* coll,
+                           store_.GetCollection(name));
+      std::printf("  %-12s %6zu documents  %10s  %8zu nodes\n", name.c_str(),
+                  coll->live_count(),
+                  HumanBytes(static_cast<double>(coll->total_bytes())).c_str(),
+                  coll->total_nodes());
+    }
+    return Status::OK();
+  }
+
+  Status Stats(const std::string& rest) {
+    auto [name, n_text] = SplitCommand(rest);
+    if (name.empty()) return Status::InvalidArgument("stats COLLECTION [N]");
+    size_t limit = 15;
+    double n = 0;
+    if (!n_text.empty() && ParseDouble(n_text, &n) && n > 0) {
+      limit = static_cast<size_t>(n);
+    }
+    XIA_ASSIGN_OR_RETURN(const storage::CollectionStatistics* cs,
+                         statistics_.Get(name));
+    std::printf("%-52s %8s %8s %8s\n", "path", "count", "distinct",
+                "numeric");
+    std::vector<const storage::PathStats*> paths;
+    for (const auto& [_, stats] : cs->paths()) paths.push_back(&stats);
+    std::sort(paths.begin(), paths.end(),
+              [](const auto* a, const auto* b) { return a->count > b->count; });
+    for (size_t i = 0; i < paths.size() && i < limit; ++i) {
+      std::printf("%-52s %8llu %8llu %8llu\n",
+                  paths[i]->PathString().c_str(),
+                  static_cast<unsigned long long>(paths[i]->count),
+                  static_cast<unsigned long long>(paths[i]->distinct_values),
+                  static_cast<unsigned long long>(paths[i]->numeric_count));
+    }
+    return Status::OK();
+  }
+
+  Status Indexes() {
+    bool any = false;
+    for (const std::string& coll : store_.CollectionNames()) {
+      for (const auto* def : catalog_.IndexesFor(coll)) {
+        std::printf("  %-14s %-10s %-40s %8s %s\n", def->name.c_str(),
+                    coll.c_str(), def->pattern.ToString().c_str(),
+                    HumanBytes(static_cast<double>(def->stats.size_bytes))
+                        .c_str(),
+                    def->is_virtual ? "[virtual]" : "");
+        any = true;
+      }
+    }
+    if (!any) std::printf("  (no indexes)\n");
+    return Status::OK();
+  }
+
+  // create index NAME on COLL PATTERN [type] [virtual]
+  Status CreateIndex(const std::string& rest) {
+    std::vector<std::string> tokens;
+    for (const auto& t : Split(rest, ' ')) {
+      if (!t.empty()) tokens.push_back(t);
+    }
+    if (tokens.size() < 4 || tokens[0] != "index" || tokens[2] != "on") {
+      return Status::InvalidArgument(
+          "create index NAME on COLL PATTERN [string|numeric|structural]"
+          " [virtual]");
+    }
+    const std::string& name = tokens[1];
+    const std::string& coll = tokens[3];
+    if (tokens.size() < 5) {
+      return Status::InvalidArgument("missing index pattern");
+    }
+    XIA_ASSIGN_OR_RETURN(xpath::Path path, xpath::ParsePattern(tokens[4]));
+    xpath::IndexPattern pattern{std::move(path), xpath::ValueType::kString};
+    bool is_virtual = false;
+    for (size_t i = 5; i < tokens.size(); ++i) {
+      if (tokens[i] == "numeric") {
+        pattern.type = xpath::ValueType::kNumeric;
+      } else if (tokens[i] == "string") {
+        pattern.type = xpath::ValueType::kString;
+      } else if (tokens[i] == "structural") {
+        pattern.structural = true;
+      } else if (tokens[i] == "virtual") {
+        is_virtual = true;
+      } else {
+        return Status::InvalidArgument("unknown modifier " + tokens[i]);
+      }
+    }
+    if (is_virtual) {
+      XIA_RETURN_IF_ERROR(
+          catalog_.CreateVirtualIndex(name, coll, pattern).status());
+    } else {
+      XIA_RETURN_IF_ERROR(catalog_.CreateIndex(name, coll, pattern).status());
+    }
+    XIA_ASSIGN_OR_RETURN(const storage::IndexDef* def, catalog_.Get(name));
+    std::printf("created %s%s: %llu entries, %s\n", name.c_str(),
+                is_virtual ? " (virtual)" : "",
+                static_cast<unsigned long long>(def->stats.entry_count),
+                HumanBytes(static_cast<double>(def->stats.size_bytes))
+                    .c_str());
+    return Status::OK();
+  }
+
+  Status DropIndex(const std::string& rest) {
+    auto [kw, name] = SplitCommand(rest);
+    if (kw != "index" || name.empty()) {
+      return Status::InvalidArgument("drop index NAME");
+    }
+    return catalog_.DropIndex(name);
+  }
+
+  Status Enumerate(const std::string& text) {
+    XIA_ASSIGN_OR_RETURN(engine::Statement stmt,
+                         engine::ParseStatement(text));
+    XIA_ASSIGN_OR_RETURN(std::vector<xpath::IndexPattern> patterns,
+                         optimizer_.EnumerateIndexes(stmt));
+    if (patterns.empty()) {
+      std::printf("  (no indexable patterns)\n");
+    }
+    for (const auto& p : patterns) std::printf("  %s\n", p.ToString().c_str());
+    return Status::OK();
+  }
+
+  Status Explain(const std::string& text) {
+    XIA_ASSIGN_OR_RETURN(engine::Statement stmt,
+                         engine::ParseStatement(text));
+    XIA_ASSIGN_OR_RETURN(optimizer::Plan plan, optimizer_.Optimize(stmt));
+    std::printf("  %s\n", plan.Describe().c_str());
+    return Status::OK();
+  }
+
+  Status Execute(const std::string& text) {
+    XIA_ASSIGN_OR_RETURN(engine::Statement stmt,
+                         engine::ParseStatement(text));
+    XIA_ASSIGN_OR_RETURN(optimizer::Plan plan, optimizer_.Optimize(stmt));
+    engine::ExecOptions exec_options;
+    exec_options.materialize_rows = true;
+    exec_options.max_rows = 10;
+    XIA_ASSIGN_OR_RETURN(engine::ExecResult result,
+                         executor_.Execute(stmt, plan, exec_options));
+    std::printf("  %s\n  %llu results, %llu docs examined, %llu index "
+                "entries, %.4fs\n",
+                plan.Describe().c_str(),
+                static_cast<unsigned long long>(result.result_count),
+                static_cast<unsigned long long>(result.docs_examined),
+                static_cast<unsigned long long>(result.index_entries_scanned),
+                result.wall_seconds);
+    for (const std::string& row : result.rows) {
+      std::printf("    %.110s\n", row.c_str());
+    }
+    if (result.result_count > result.rows.size() && !result.rows.empty()) {
+      std::printf("    ... (%llu more)\n",
+                  static_cast<unsigned long long>(result.result_count -
+                                                  result.rows.size()));
+    }
+    return Status::OK();
+  }
+
+  Status WorkloadCommand(const std::string& rest) {
+    auto [sub, arg] = SplitCommand(rest);
+    if (sub == "add") {
+      XIA_ASSIGN_OR_RETURN(engine::Statement stmt,
+                           engine::ParseStatement(arg));
+      stmt.label = StringPrintf("stmt-%zu", workload_.size() + 1);
+      workload_.push_back(std::move(stmt));
+      std::printf("  %zu statements in workload\n", workload_.size());
+      return Status::OK();
+    }
+    if (sub == "load") {
+      std::ifstream f(arg);
+      if (!f) return Status::NotFound("workload file: " + arg);
+      std::stringstream buffer;
+      buffer << f.rdbuf();
+      XIA_ASSIGN_OR_RETURN(engine::Workload loaded,
+                           engine::ParseWorkloadText(buffer.str()));
+      for (auto& stmt : loaded) workload_.push_back(std::move(stmt));
+      std::printf("  %zu statements in workload\n", workload_.size());
+      return Status::OK();
+    }
+    if (sub == "list") {
+      for (const auto& stmt : workload_) {
+        std::printf("  [%g] %s\n", stmt.frequency,
+                    engine::ToText(stmt).c_str());
+      }
+      if (workload_.empty()) std::printf("  (empty)\n");
+      return Status::OK();
+    }
+    if (sub == "clear") {
+      workload_.clear();
+      return Status::OK();
+    }
+    return Status::InvalidArgument("workload add|load|list|clear");
+  }
+
+  Status Advise(const std::string& rest) {
+    if (workload_.empty()) {
+      return Status::FailedPrecondition("workload is empty (workload add …)");
+    }
+    auto [budget_text, algo_text] = SplitCommand(rest);
+    advisor::AdvisorOptions options;
+    options.disk_budget_bytes = 10 * 1024.0 * 1024.0;
+    if (!budget_text.empty()) {
+      double multiplier = 1;
+      std::string num = budget_text;
+      if (EndsWith(num, "KB") || EndsWith(num, "kb")) {
+        multiplier = 1024;
+        num = num.substr(0, num.size() - 2);
+      } else if (EndsWith(num, "MB") || EndsWith(num, "mb")) {
+        multiplier = 1024.0 * 1024;
+        num = num.substr(0, num.size() - 2);
+      } else if (EndsWith(num, "GB") || EndsWith(num, "gb")) {
+        multiplier = 1024.0 * 1024 * 1024;
+        num = num.substr(0, num.size() - 2);
+      }
+      double v = 0;
+      if (!ParseDouble(num, &v) || v < 0) {
+        return Status::InvalidArgument("bad budget: " + budget_text);
+      }
+      options.disk_budget_bytes = v * multiplier;
+    }
+    if (!algo_text.empty()) {
+      if (algo_text == "greedy") {
+        options.algorithm = advisor::SearchAlgorithm::kGreedy;
+      } else if (algo_text == "heuristics") {
+        options.algorithm = advisor::SearchAlgorithm::kGreedyWithHeuristics;
+      } else if (algo_text == "topdown-lite") {
+        options.algorithm = advisor::SearchAlgorithm::kTopDownLite;
+      } else if (algo_text == "topdown-full") {
+        options.algorithm = advisor::SearchAlgorithm::kTopDownFull;
+      } else if (algo_text == "dp") {
+        options.algorithm = advisor::SearchAlgorithm::kDynamicProgramming;
+      } else {
+        return Status::InvalidArgument("unknown algorithm: " + algo_text);
+      }
+    }
+    XIA_ASSIGN_OR_RETURN(advisor::Recommendation rec,
+                         advisor_.Recommend(workload_, options));
+    for (const auto& ri : rec.indexes) {
+      std::printf("  %s  -- %s%s\n", ri.ddl.c_str(),
+                  HumanBytes(static_cast<double>(ri.size_bytes)).c_str(),
+                  ri.is_general ? " [general]" : "");
+    }
+    std::printf("  total %s, est. speedup %.2fx, %llu optimizer calls\n",
+                HumanBytes(rec.total_size_bytes).c_str(), rec.est_speedup,
+                static_cast<unsigned long long>(rec.optimizer_calls));
+    return Status::OK();
+  }
+
+  storage::DocumentStore store_;
+  storage::StatisticsCatalog statistics_;
+  storage::Catalog catalog_;
+  optimizer::Optimizer optimizer_;
+  engine::Executor executor_;
+  advisor::IndexAdvisor advisor_;
+  engine::Workload workload_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--script") {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: xia_shell [--script FILE]\n");
+      return 2;
+    }
+    std::ifstream f(argv[2]);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", argv[2]);
+      return 1;
+    }
+    return Shell().Run(f, /*interactive=*/false);
+  }
+  const bool interactive = isatty(0);
+  return Shell().Run(std::cin, interactive);
+}
