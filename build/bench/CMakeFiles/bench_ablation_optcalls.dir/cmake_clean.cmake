@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_optcalls.dir/bench_ablation_optcalls.cpp.o"
+  "CMakeFiles/bench_ablation_optcalls.dir/bench_ablation_optcalls.cpp.o.d"
+  "bench_ablation_optcalls"
+  "bench_ablation_optcalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_optcalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_beta_sensitivity.dir/bench_beta_sensitivity.cpp.o"
+  "CMakeFiles/bench_beta_sensitivity.dir/bench_beta_sensitivity.cpp.o.d"
+  "bench_beta_sensitivity"
+  "bench_beta_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_beta_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_xpath.dir/bench_micro_xpath.cpp.o"
+  "CMakeFiles/bench_micro_xpath.dir/bench_micro_xpath.cpp.o.d"
+  "bench_micro_xpath"
+  "bench_micro_xpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_xpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

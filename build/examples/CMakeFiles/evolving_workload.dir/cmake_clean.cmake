@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evolving_workload.dir/evolving_workload.cpp.o"
+  "CMakeFiles/evolving_workload.dir/evolving_workload.cpp.o.d"
+  "evolving_workload"
+  "evolving_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evolving_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmark_advisor.dir/xmark_advisor.cpp.o"
+  "CMakeFiles/xmark_advisor.dir/xmark_advisor.cpp.o.d"
+  "xmark_advisor"
+  "xmark_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmark_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/advisor/advisor.cc" "src/CMakeFiles/xia.dir/advisor/advisor.cc.o" "gcc" "src/CMakeFiles/xia.dir/advisor/advisor.cc.o.d"
+  "/root/repo/src/advisor/baseline.cc" "src/CMakeFiles/xia.dir/advisor/baseline.cc.o" "gcc" "src/CMakeFiles/xia.dir/advisor/baseline.cc.o.d"
+  "/root/repo/src/advisor/benefit.cc" "src/CMakeFiles/xia.dir/advisor/benefit.cc.o" "gcc" "src/CMakeFiles/xia.dir/advisor/benefit.cc.o.d"
+  "/root/repo/src/advisor/candidates.cc" "src/CMakeFiles/xia.dir/advisor/candidates.cc.o" "gcc" "src/CMakeFiles/xia.dir/advisor/candidates.cc.o.d"
+  "/root/repo/src/advisor/dag.cc" "src/CMakeFiles/xia.dir/advisor/dag.cc.o" "gcc" "src/CMakeFiles/xia.dir/advisor/dag.cc.o.d"
+  "/root/repo/src/advisor/generalize.cc" "src/CMakeFiles/xia.dir/advisor/generalize.cc.o" "gcc" "src/CMakeFiles/xia.dir/advisor/generalize.cc.o.d"
+  "/root/repo/src/advisor/report.cc" "src/CMakeFiles/xia.dir/advisor/report.cc.o" "gcc" "src/CMakeFiles/xia.dir/advisor/report.cc.o.d"
+  "/root/repo/src/advisor/search.cc" "src/CMakeFiles/xia.dir/advisor/search.cc.o" "gcc" "src/CMakeFiles/xia.dir/advisor/search.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/CMakeFiles/xia.dir/engine/executor.cc.o" "gcc" "src/CMakeFiles/xia.dir/engine/executor.cc.o.d"
+  "/root/repo/src/engine/normalizer.cc" "src/CMakeFiles/xia.dir/engine/normalizer.cc.o" "gcc" "src/CMakeFiles/xia.dir/engine/normalizer.cc.o.d"
+  "/root/repo/src/engine/query.cc" "src/CMakeFiles/xia.dir/engine/query.cc.o" "gcc" "src/CMakeFiles/xia.dir/engine/query.cc.o.d"
+  "/root/repo/src/engine/query_parser.cc" "src/CMakeFiles/xia.dir/engine/query_parser.cc.o" "gcc" "src/CMakeFiles/xia.dir/engine/query_parser.cc.o.d"
+  "/root/repo/src/optimizer/cost_model.cc" "src/CMakeFiles/xia.dir/optimizer/cost_model.cc.o" "gcc" "src/CMakeFiles/xia.dir/optimizer/cost_model.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/xia.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/xia.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/plan.cc" "src/CMakeFiles/xia.dir/optimizer/plan.cc.o" "gcc" "src/CMakeFiles/xia.dir/optimizer/plan.cc.o.d"
+  "/root/repo/src/optimizer/selectivity.cc" "src/CMakeFiles/xia.dir/optimizer/selectivity.cc.o" "gcc" "src/CMakeFiles/xia.dir/optimizer/selectivity.cc.o.d"
+  "/root/repo/src/storage/btree.cc" "src/CMakeFiles/xia.dir/storage/btree.cc.o" "gcc" "src/CMakeFiles/xia.dir/storage/btree.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "src/CMakeFiles/xia.dir/storage/catalog.cc.o" "gcc" "src/CMakeFiles/xia.dir/storage/catalog.cc.o.d"
+  "/root/repo/src/storage/cost_constants.cc" "src/CMakeFiles/xia.dir/storage/cost_constants.cc.o" "gcc" "src/CMakeFiles/xia.dir/storage/cost_constants.cc.o.d"
+  "/root/repo/src/storage/document_store.cc" "src/CMakeFiles/xia.dir/storage/document_store.cc.o" "gcc" "src/CMakeFiles/xia.dir/storage/document_store.cc.o.d"
+  "/root/repo/src/storage/index.cc" "src/CMakeFiles/xia.dir/storage/index.cc.o" "gcc" "src/CMakeFiles/xia.dir/storage/index.cc.o.d"
+  "/root/repo/src/storage/snapshot.cc" "src/CMakeFiles/xia.dir/storage/snapshot.cc.o" "gcc" "src/CMakeFiles/xia.dir/storage/snapshot.cc.o.d"
+  "/root/repo/src/storage/statistics.cc" "src/CMakeFiles/xia.dir/storage/statistics.cc.o" "gcc" "src/CMakeFiles/xia.dir/storage/statistics.cc.o.d"
+  "/root/repo/src/tpox/synthetic.cc" "src/CMakeFiles/xia.dir/tpox/synthetic.cc.o" "gcc" "src/CMakeFiles/xia.dir/tpox/synthetic.cc.o.d"
+  "/root/repo/src/tpox/tpox_data.cc" "src/CMakeFiles/xia.dir/tpox/tpox_data.cc.o" "gcc" "src/CMakeFiles/xia.dir/tpox/tpox_data.cc.o.d"
+  "/root/repo/src/tpox/tpox_workload.cc" "src/CMakeFiles/xia.dir/tpox/tpox_workload.cc.o" "gcc" "src/CMakeFiles/xia.dir/tpox/tpox_workload.cc.o.d"
+  "/root/repo/src/tpox/xmark.cc" "src/CMakeFiles/xia.dir/tpox/xmark.cc.o" "gcc" "src/CMakeFiles/xia.dir/tpox/xmark.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/xia.dir/util/random.cc.o" "gcc" "src/CMakeFiles/xia.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/xia.dir/util/status.cc.o" "gcc" "src/CMakeFiles/xia.dir/util/status.cc.o.d"
+  "/root/repo/src/util/stopwatch.cc" "src/CMakeFiles/xia.dir/util/stopwatch.cc.o" "gcc" "src/CMakeFiles/xia.dir/util/stopwatch.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/xia.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/xia.dir/util/string_util.cc.o.d"
+  "/root/repo/src/xml/document.cc" "src/CMakeFiles/xia.dir/xml/document.cc.o" "gcc" "src/CMakeFiles/xia.dir/xml/document.cc.o.d"
+  "/root/repo/src/xml/node.cc" "src/CMakeFiles/xia.dir/xml/node.cc.o" "gcc" "src/CMakeFiles/xia.dir/xml/node.cc.o.d"
+  "/root/repo/src/xml/parser.cc" "src/CMakeFiles/xia.dir/xml/parser.cc.o" "gcc" "src/CMakeFiles/xia.dir/xml/parser.cc.o.d"
+  "/root/repo/src/xml/serializer.cc" "src/CMakeFiles/xia.dir/xml/serializer.cc.o" "gcc" "src/CMakeFiles/xia.dir/xml/serializer.cc.o.d"
+  "/root/repo/src/xpath/containment.cc" "src/CMakeFiles/xia.dir/xpath/containment.cc.o" "gcc" "src/CMakeFiles/xia.dir/xpath/containment.cc.o.d"
+  "/root/repo/src/xpath/evaluator.cc" "src/CMakeFiles/xia.dir/xpath/evaluator.cc.o" "gcc" "src/CMakeFiles/xia.dir/xpath/evaluator.cc.o.d"
+  "/root/repo/src/xpath/parser.cc" "src/CMakeFiles/xia.dir/xpath/parser.cc.o" "gcc" "src/CMakeFiles/xia.dir/xpath/parser.cc.o.d"
+  "/root/repo/src/xpath/path.cc" "src/CMakeFiles/xia.dir/xpath/path.cc.o" "gcc" "src/CMakeFiles/xia.dir/xpath/path.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advisor_e2e_test.dir/advisor_e2e_test.cc.o"
+  "CMakeFiles/advisor_e2e_test.dir/advisor_e2e_test.cc.o.d"
+  "advisor_e2e_test"
+  "advisor_e2e_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advisor_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

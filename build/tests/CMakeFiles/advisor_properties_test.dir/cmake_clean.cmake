@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advisor_properties_test.dir/advisor_properties_test.cc.o"
+  "CMakeFiles/advisor_properties_test.dir/advisor_properties_test.cc.o.d"
+  "advisor_properties_test"
+  "advisor_properties_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advisor_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advisor_search_test.dir/advisor_search_test.cc.o"
+  "CMakeFiles/advisor_search_test.dir/advisor_search_test.cc.o.d"
+  "advisor_search_test"
+  "advisor_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advisor_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

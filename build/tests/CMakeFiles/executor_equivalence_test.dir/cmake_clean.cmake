@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/executor_equivalence_test.dir/executor_equivalence_test.cc.o"
+  "CMakeFiles/executor_equivalence_test.dir/executor_equivalence_test.cc.o.d"
+  "executor_equivalence_test"
+  "executor_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/executor_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

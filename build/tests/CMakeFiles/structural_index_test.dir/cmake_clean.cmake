@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structural_index_test.dir/structural_index_test.cc.o"
+  "CMakeFiles/structural_index_test.dir/structural_index_test.cc.o.d"
+  "structural_index_test"
+  "structural_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structural_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpox_test.dir/tpox_test.cc.o"
+  "CMakeFiles/tpox_test.dir/tpox_test.cc.o.d"
+  "tpox_test"
+  "tpox_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpath_containment_test.dir/xpath_containment_test.cc.o"
+  "CMakeFiles/xpath_containment_test.dir/xpath_containment_test.cc.o.d"
+  "xpath_containment_test"
+  "xpath_containment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpath_containment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xia_advise.dir/xia_advise.cpp.o"
+  "CMakeFiles/xia_advise.dir/xia_advise.cpp.o.d"
+  "xia_advise"
+  "xia_advise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xia_advise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

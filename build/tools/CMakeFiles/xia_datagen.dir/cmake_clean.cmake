@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xia_datagen.dir/xia_datagen.cpp.o"
+  "CMakeFiles/xia_datagen.dir/xia_datagen.cpp.o.d"
+  "xia_datagen"
+  "xia_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xia_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

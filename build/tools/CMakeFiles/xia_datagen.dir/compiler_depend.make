@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for xia_datagen.
+# This may be replaced when dependencies are built.

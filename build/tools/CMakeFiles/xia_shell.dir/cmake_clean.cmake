@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xia_shell.dir/xia_shell.cpp.o"
+  "CMakeFiles/xia_shell.dir/xia_shell.cpp.o.d"
+  "xia_shell"
+  "xia_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xia_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

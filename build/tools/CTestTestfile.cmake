@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(xia_shell_e2e "/root/repo/build/tools/xia_shell" "--script" "/root/repo/tools/testdata/shell_session.txt")
+set_tests_properties(xia_shell_e2e PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(xia_shell_restore_e2e "/root/repo/build/tools/xia_shell" "--script" "/root/repo/tools/testdata/shell_restore_session.txt")
+set_tests_properties(xia_shell_restore_e2e PROPERTIES  DEPENDS "xia_shell_e2e" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
