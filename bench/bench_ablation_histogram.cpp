@@ -40,6 +40,7 @@ double TrueFraction(const storage::Collection& coll, double cut) {
 }  // namespace
 
 int main() {
+  xia::bench::BenchJsonWriter bench_json("ablation_histogram");
   auto ctx = MakeContext(/*securities=*/3000, /*orders=*/100, /*custaccs=*/50);
   auto coll = ctx->store.GetCollection(tpox::kSecurityCollection);
   if (!coll.ok()) return 1;

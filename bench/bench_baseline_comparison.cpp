@@ -63,6 +63,7 @@ Judged Judge(BenchContext* ctx, const engine::Workload& workload,
 }  // namespace
 
 int main() {
+  xia::bench::BenchJsonWriter bench_json("baseline_comparison");
   auto ctx = MakeContext();
   const engine::Workload workload = QueryWorkload();
   auto all_index = Unwrap(ctx->advisor->AllIndexConfiguration(workload),

@@ -14,6 +14,7 @@
 #include "bench/bench_common.h"
 
 int main() {
+  xia::bench::BenchJsonWriter bench_json("beta_sensitivity");
   using namespace xia;           // NOLINT
   using namespace xia::bench;    // NOLINT
 

@@ -10,18 +10,21 @@
 #define XIA_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "advisor/advisor.h"
 #include "engine/query_parser.h"
+#include "obs/metrics.h"
 #include "storage/document_store.h"
 #include "storage/statistics.h"
 #include "tpox/synthetic.h"
 #include "tpox/tpox_data.h"
 #include "tpox/tpox_workload.h"
 #include "util/random.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace xia::bench {
@@ -112,6 +115,57 @@ T Unwrap(Result<T> result, const char* what) {
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }
+
+/// Emits BENCH_<name>.json when destroyed (or on Write()): total wall
+/// time, any recorded checkpoints (counter trajectory), and the final
+/// process-wide metrics snapshot. Bench binaries construct one at the top
+/// of main so every run leaves a machine-readable record next to the
+/// human-readable table.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string name) : name_(std::move(name)) {}
+  ~BenchJsonWriter() { Write(); }
+
+  BenchJsonWriter(const BenchJsonWriter&) = delete;
+  BenchJsonWriter& operator=(const BenchJsonWriter&) = delete;
+
+  /// Records a named checkpoint: elapsed seconds plus the metric values at
+  /// this point, so post-processing can plot counter trajectories.
+  void Checkpoint(const std::string& label) {
+    checkpoints_.push_back(StringPrintf(
+        "{\"label\": \"%s\", \"elapsed_seconds\": %.6f, \"metrics\": %s}",
+        label.c_str(), timer_.ElapsedSeconds(),
+        obs::MetricsRegistry::Global().Snapshot().ToJson().c_str()));
+  }
+
+  void Write() {
+    if (written_) return;
+    written_ = true;
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return;
+    }
+    out << "{\n  \"bench\": \"" << name_ << "\",\n";
+    out << StringPrintf("  \"wall_seconds\": %.6f,\n",
+                        timer_.ElapsedSeconds());
+    out << "  \"checkpoints\": [";
+    for (size_t i = 0; i < checkpoints_.size(); ++i) {
+      out << (i == 0 ? "\n    " : ",\n    ") << checkpoints_[i];
+    }
+    out << (checkpoints_.empty() ? "],\n" : "\n  ],\n");
+    out << "  \"metrics\": "
+        << obs::MetricsRegistry::Global().Snapshot().ToJson() << "\n}\n";
+    std::printf("\nmetrics: wrote %s\n", path.c_str());
+  }
+
+ private:
+  std::string name_;
+  Stopwatch timer_;
+  std::vector<std::string> checkpoints_;
+  bool written_ = false;
+};
 
 }  // namespace xia::bench
 

@@ -11,6 +11,7 @@
 #include "bench/bench_common.h"
 
 int main() {
+  xia::bench::BenchJsonWriter bench_json("fig2_speedup");
   using namespace xia;           // NOLINT
   using namespace xia::bench;    // NOLINT
 

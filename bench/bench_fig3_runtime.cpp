@@ -7,6 +7,7 @@
 #include "bench/bench_common.h"
 
 int main() {
+  xia::bench::BenchJsonWriter bench_json("fig3_runtime");
   using namespace xia;           // NOLINT
   using namespace xia::bench;    // NOLINT
 
@@ -35,6 +36,7 @@ int main() {
       std::printf("%9.4f", rec.advisor_seconds);
     }
     std::printf("\n");
+    bench_json.Checkpoint(advisor::SearchAlgorithmName(algo));
   }
 
   std::printf("\n%-22s", "opt calls (topdown-f)");

@@ -66,6 +66,7 @@ double TestWorkloadSpeedup(BenchContext* ctx,
 }  // namespace
 
 int main() {
+  xia::bench::BenchJsonWriter bench_json("fig4_generalization");
   auto ctx = MakeContext();
   const engine::Workload test_workload = MixedWorkload(*ctx);
   auto all_index = Unwrap(ctx->advisor->AllIndexConfiguration(test_workload),

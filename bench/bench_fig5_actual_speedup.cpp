@@ -66,6 +66,7 @@ double MaterializedSpeedup(BenchContext* ctx,
 }  // namespace
 
 int main() {
+  xia::bench::BenchJsonWriter bench_json("fig5_actual_speedup");
   auto ctx = MakeContext(/*securities=*/2500, /*orders=*/4000, /*custaccs=*/1000);
   const engine::Workload test_workload = MixedWorkload(*ctx);
   auto all_index = Unwrap(ctx->advisor->AllIndexConfiguration(test_workload),

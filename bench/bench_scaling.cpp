@@ -16,6 +16,7 @@
 #include "storage/catalog.h"
 
 int main() {
+  xia::bench::BenchJsonWriter bench_json("scaling");
   using namespace xia;           // NOLINT
   using namespace xia::bench;    // NOLINT
 

@@ -9,6 +9,7 @@
 #include "bench/bench_common.h"
 
 int main() {
+  xia::bench::BenchJsonWriter bench_json("table3_candidates");
   using namespace xia;           // NOLINT
   using namespace xia::bench;    // NOLINT
 

@@ -11,6 +11,7 @@
 #include "bench/bench_common.h"
 
 int main() {
+  xia::bench::BenchJsonWriter bench_json("table4_generality");
   using namespace xia;           // NOLINT
   using namespace xia::bench;    // NOLINT
 

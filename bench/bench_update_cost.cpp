@@ -10,6 +10,7 @@
 #include "bench/bench_common.h"
 
 int main() {
+  xia::bench::BenchJsonWriter bench_json("update_cost");
   using namespace xia;           // NOLINT
   using namespace xia::bench;    // NOLINT
 

@@ -14,6 +14,7 @@
 #include "bench/bench_common.h"
 
 int main() {
+  xia::bench::BenchJsonWriter bench_json("virtual_accuracy");
   using namespace xia;           // NOLINT
   using namespace xia::bench;    // NOLINT
 

@@ -11,6 +11,7 @@
 #include "tpox/xmark.h"
 
 int main() {
+  xia::bench::BenchJsonWriter bench_json("xmark");
   using namespace xia;           // NOLINT
   using namespace xia::bench;    // NOLINT
 

@@ -4,6 +4,8 @@
 
 #include "advisor/dag.h"
 #include "advisor/generalize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 
@@ -29,13 +31,32 @@ std::string MakeDdl(const RecommendedIndex& index) {
 }  // namespace
 
 Result<CandidateSet> IndexAdvisor::BuildCandidates(
-    const engine::Workload& workload, bool generalize) {
+    const engine::Workload& workload, bool generalize, obs::Tracer* tracer) {
   storage::Catalog scratch(store_, statistics_, cc_);
   optimizer::Optimizer opt(store_, &scratch, statistics_);
+
+  obs::ScopedSpan enumerate_span(tracer, "enumerate");
   XIA_ASSIGN_OR_RETURN(CandidateSet set,
                        EnumerateBasicCandidates(workload, opt));
+  set.enumeration_optimizer_calls = opt.optimize_calls();
+  enumerate_span.AnnotateItems(static_cast<double>(set.basic_count));
+  enumerate_span.End();
+
+  obs::ScopedSpan generalize_span(tracer, "generalize");
   if (generalize) GeneralizeCandidates(&set);
+  generalize_span.AnnotateItems(
+      static_cast<double>(set.size() - set.basic_count));
+  generalize_span.End();
+
+  obs::ScopedSpan statistics_span(tracer, "statistics");
   XIA_RETURN_IF_ERROR(PopulateStatistics(&set, *statistics_, cc_));
+  statistics_span.AnnotateItems(static_cast<double>(set.size()));
+  statistics_span.End();
+
+  XIA_OBS_GAUGE_SET("xia.advisor.basic_candidates",
+                    static_cast<double>(set.basic_count));
+  XIA_OBS_GAUGE_SET("xia.advisor.total_candidates",
+                    static_cast<double>(set.size()));
   return set;
 }
 
@@ -43,13 +64,31 @@ Result<Recommendation> IndexAdvisor::RecommendImpl(
     const engine::Workload& input_workload, const AdvisorOptions& options,
     bool all_index) {
   Stopwatch timer;
+  XIA_OBS_COUNT("xia.advisor.runs", 1);
+  // The tracer records each pipeline phase as a depth-0 span, annotated
+  // with the delta of the process-wide optimizer-call counter — every
+  // optimizer the pipeline touches feeds it, so phase deltas tile the
+  // run's total call count.
+  obs::Tracer tracer;
+  tracer.TrackCounter(obs::MetricsRegistry::Global().GetCounter(
+      "xia.optimizer.optimize_calls"));
+
   // Duplicate statements fold into one probe with a summed frequency
   // (§III weights each unique statement by its frequency).
+  obs::ScopedSpan compact_span(&tracer, "compact");
   const engine::Workload workload = engine::CompactWorkload(input_workload);
-  XIA_ASSIGN_OR_RETURN(CandidateSet set,
-                       BuildCandidates(workload, options.generalize));
-  const std::vector<int> roots = BuildDag(&set);
+  compact_span.AnnotateItems(static_cast<double>(workload.size()));
+  compact_span.End();
 
+  XIA_ASSIGN_OR_RETURN(CandidateSet set,
+                       BuildCandidates(workload, options.generalize, &tracer));
+
+  obs::ScopedSpan dag_span(&tracer, "dag");
+  const std::vector<int> roots = BuildDag(&set);
+  dag_span.AnnotateItems(static_cast<double>(roots.size()));
+  dag_span.End();
+
+  obs::ScopedSpan init_span(&tracer, "initialize");
   storage::Catalog whatif_catalog(store_, statistics_, cc_);
   BenefitEvaluator::Options eval_options;
   eval_options.use_subconfigurations = options.use_subconfigurations;
@@ -58,7 +97,9 @@ Result<Recommendation> IndexAdvisor::RecommendImpl(
   BenefitEvaluator evaluator(&workload, &set, &whatif_catalog, statistics_,
                              store_, eval_options);
   XIA_RETURN_IF_ERROR(evaluator.Initialize());
+  init_span.End();
 
+  obs::ScopedSpan search_span(&tracer, "search");
   SearchOutcome outcome;
   if (all_index) {
     // Every basic candidate, no budget constraint.
@@ -82,7 +123,10 @@ Result<Recommendation> IndexAdvisor::RecommendImpl(
         outcome,
         RunSearch(options.algorithm, set, roots, &evaluator, search_options));
   }
+  search_span.AnnotateItems(static_cast<double>(outcome.selected.size()));
+  search_span.End();
 
+  obs::ScopedSpan finalize_span(&tracer, "finalize");
   Recommendation rec;
   for (int id : outcome.selected) {
     const Candidate& c = set[static_cast<size_t>(id)];
@@ -103,8 +147,24 @@ Result<Recommendation> IndexAdvisor::RecommendImpl(
   rec.total_candidates = set.size();
   rec.general_count = outcome.general_count;
   rec.specific_count = outcome.specific_count;
-  rec.optimizer_calls = evaluator.optimizer_calls();
+  // Enumeration probes ran on a short-lived optimizer inside
+  // BuildCandidates; count them too, not just the evaluator's what-ifs.
+  rec.optimizer_calls =
+      set.enumeration_optimizer_calls + evaluator.optimizer_calls();
+  finalize_span.AnnotateItems(static_cast<double>(rec.indexes.size()));
+  finalize_span.End();
+
+  rec.trace = tracer.Finish();
+  for (const obs::SpanRecord& span : rec.trace.spans) {
+    if (span.depth == 0) {
+      XIA_OBS_OBSERVE_LATENCY("xia.advisor.phase.seconds", span.seconds);
+    }
+  }
+  XIA_OBS_GAUGE_SET("xia.advisor.selected_indexes",
+                    static_cast<double>(rec.indexes.size()));
   rec.advisor_seconds = timer.ElapsedSeconds();
+  XIA_OBS_OBSERVE_LATENCY("xia.advisor.recommend.seconds",
+                          rec.advisor_seconds);
   return rec;
 }
 

@@ -15,6 +15,7 @@
 #include "advisor/candidates.h"
 #include "advisor/search.h"
 #include "engine/query.h"
+#include "obs/trace.h"
 #include "storage/catalog.h"
 #include "storage/cost_constants.h"
 #include "storage/document_store.h"
@@ -66,10 +67,14 @@ struct Recommendation {
   /// General/specific split (Table IV).
   int general_count = 0;
   int specific_count = 0;
-  /// Optimizer calls consumed.
+  /// Optimizer calls consumed (enumeration probes + what-if evaluations).
   uint64_t optimizer_calls = 0;
   /// Advisor wall-clock seconds (Fig. 3).
   double advisor_seconds = 0;
+  /// Per-phase pipeline trace; depth-0 spans tile the run, so their
+  /// durations sum to (nearly) advisor_seconds and their tracked-call
+  /// deltas to optimizer_calls.
+  obs::Trace trace;
 };
 
 /// The advisor. Holds references to the database's store and statistics; a
@@ -88,9 +93,11 @@ class IndexAdvisor {
                                    const AdvisorOptions& options);
 
   /// Enumerates (and optionally generalizes) candidates without searching.
-  /// Exposed for experiments (Table III) and tests.
+  /// Exposed for experiments (Table III) and tests. With a tracer, records
+  /// the enumerate/generalize/statistics phases as spans.
   Result<CandidateSet> BuildCandidates(const engine::Workload& workload,
-                                       bool generalize);
+                                       bool generalize,
+                                       obs::Tracer* tracer = nullptr);
 
   /// The "All Index" configuration (§VII-B): every basic candidate,
   /// unconstrained by budget. Useful as the best-possible reference.

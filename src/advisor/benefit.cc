@@ -4,6 +4,7 @@
 #include <numeric>
 #include <set>
 
+#include "obs/metrics.h"
 #include "util/string_util.h"
 
 namespace xia::advisor {
@@ -79,9 +80,11 @@ Result<double> BenefitEvaluator::SubConfigurationQueryBenefit(
   auto it = cache_.find(sub);
   if (it != cache_.end()) {
     ++cache_hits_;
+    XIA_OBS_COUNT("xia.advisor.benefit.cache_hits", 1);
     return it->second;
   }
   ++cache_misses_;
+  XIA_OBS_COUNT("xia.advisor.benefit.cache_misses", 1);
 
   // Create the sub-configuration's indexes virtually.
   catalog_->DropAllVirtualIndexes();

@@ -49,6 +49,11 @@ struct CandidateSet {
   std::vector<Candidate> candidates;
   /// candidates[0 .. basic_count) are the basic set.
   size_t basic_count = 0;
+  /// Optimizer calls consumed by the Enumerate Indexes probes that built
+  /// the basic set. These come from a short-lived enumeration optimizer, so
+  /// the advisor must add them to its evaluator's count — dropping them
+  /// (the old behaviour) understated Recommendation::optimizer_calls.
+  uint64_t enumeration_optimizer_calls = 0;
 
   /// Index of the candidate with this collection and pattern, or -1.
   int Find(const std::string& collection,

@@ -49,6 +49,14 @@ Result<std::string> RenderReport(const engine::Workload& workload,
       static_cast<unsigned long long>(recommendation.optimizer_calls),
       recommendation.advisor_seconds);
 
+  if (!recommendation.trace.empty()) {
+    out += "\n--- pipeline phases ---\n";
+    out += recommendation.trace.ToString();
+    out += StringPrintf(
+        "phase total: %.3fs of %.3fs advisor wall time\n",
+        recommendation.trace.PhaseSeconds(), recommendation.advisor_seconds);
+  }
+
   if (options.show_ddl) {
     out += "\n--- recommended DDL ---\n";
     if (recommendation.indexes.empty()) {

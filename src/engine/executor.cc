@@ -4,7 +4,9 @@
 #include <set>
 
 #include "engine/normalizer.h"
+#include "obs/metrics.h"
 #include "util/stopwatch.h"
+#include "util/string_util.h"
 #include "xml/parser.h"
 #include "xml/serializer.h"
 #include "xpath/evaluator.h"
@@ -244,10 +246,17 @@ Result<ExecResult> Executor::ExecuteUpdate(const Statement& statement,
 Result<ExecResult> Executor::Execute(const Statement& statement,
                                      const optimizer::Plan& plan,
                                      const ExecOptions& options) {
-  if (statement.is_insert()) return ExecuteInsert(statement);
-  if (statement.is_delete()) return ExecuteDelete(statement, plan);
-  if (statement.is_update()) return ExecuteUpdate(statement, plan);
-  return ExecuteQuery(statement, plan, options);
+  XIA_OBS_COUNT("xia.engine.statements_executed", 1);
+  Result<ExecResult> result =
+      statement.is_insert()   ? ExecuteInsert(statement)
+      : statement.is_delete() ? ExecuteDelete(statement, plan)
+      : statement.is_update() ? ExecuteUpdate(statement, plan)
+                              : ExecuteQuery(statement, plan, options);
+  if (result.ok()) {
+    XIA_OBS_COUNT("xia.engine.docs_examined", result->docs_examined);
+    XIA_OBS_OBSERVE_LATENCY("xia.engine.exec.seconds", result->wall_seconds);
+  }
+  return result;
 }
 
 Result<ExecResult> Executor::ExecuteBest(const Statement& statement,
@@ -255,6 +264,26 @@ Result<ExecResult> Executor::ExecuteBest(const Statement& statement,
   auto plan = opt.Optimize(statement);
   if (!plan.ok()) return plan.status();
   return Execute(statement, *plan);
+}
+
+Result<std::string> Executor::ExplainAnalyze(const Statement& statement,
+                                             const optimizer::Plan& plan,
+                                             const ExecOptions& options) {
+  XIA_ASSIGN_OR_RETURN(const ExecResult result,
+                       Execute(statement, plan, options));
+  std::string out = plan.Describe() + "\n";
+  out += StringPrintf(
+      "  estimated: cost=%.1f result_docs=%.1f\n", plan.est_cost,
+      plan.est_result_docs);
+  out += StringPrintf(
+      "  actual:    results=%llu docs_examined=%llu index_entries=%llu "
+      "leaf_pages=%llu time=%.6fs\n",
+      static_cast<unsigned long long>(result.result_count),
+      static_cast<unsigned long long>(result.docs_examined),
+      static_cast<unsigned long long>(result.index_entries_scanned),
+      static_cast<unsigned long long>(result.index_leaf_pages),
+      result.wall_seconds);
+  return out;
 }
 
 }  // namespace xia::engine

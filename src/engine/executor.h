@@ -70,6 +70,16 @@ class Executor {
   Result<ExecResult> ExecuteBest(const Statement& statement,
                                  const optimizer::Optimizer& opt);
 
+  /// EXPLAIN ANALYZE: executes `plan` and renders the optimizer's
+  /// estimates next to the actual execution counters.
+  Result<std::string> ExplainAnalyze(const Statement& statement,
+                                     const optimizer::Plan& plan,
+                                     const ExecOptions& options);
+  Result<std::string> ExplainAnalyze(const Statement& statement,
+                                     const optimizer::Plan& plan) {
+    return ExplainAnalyze(statement, plan, ExecOptions());
+  }
+
  private:
   Result<ExecResult> ExecuteQuery(const Statement& statement,
                                   const optimizer::Plan& plan,

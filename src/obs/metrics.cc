@@ -1,0 +1,245 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/string_util.h"
+
+namespace xia::obs {
+
+namespace {
+
+// Atomic double accumulate (no std::atomic<double>::fetch_add until C++20
+// is fully implemented everywhere; CAS loop keeps it portable).
+void AtomicAdd(std::atomic<double>* target, double v) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(cur, cur + v,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+// Prometheus metric names use '_' where ours use '.'.
+std::string PrometheusName(const std::string& name) {
+  std::string out = name;
+  std::replace(out.begin(), out.end(), '.', '_');
+  return out;
+}
+
+// Shortest %g rendering; JSON-safe (never produces inf/nan from our
+// inputs, which are wall times and counter-derived values).
+std::string Num(double v) { return StringPrintf("%g", v); }
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    assert(bounds_[i - 1] < bounds_[i]);
+  }
+}
+
+void Histogram::Observe(double v) {
+  size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, v);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: instrumented call sites cache metric pointers in
+  // function-local statics, which may be touched during static teardown.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(gauges_.find(name) == gauges_.end());
+  assert(histograms_.find(name) == histograms_.end());
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(counters_.find(name) == counters_.end());
+  assert(histograms_.find(name) == histograms_.end());
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(counters_.find(name) == counters_.end());
+  assert(gauges_.find(name) == gauges_.end());
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.metrics.reserve(counters_.size() + gauges_.size() +
+                       histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    MetricValue v;
+    v.name = name;
+    v.kind = MetricValue::Kind::kCounter;
+    v.counter = c->value();
+    snap.metrics.push_back(std::move(v));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricValue v;
+    v.name = name;
+    v.kind = MetricValue::Kind::kGauge;
+    v.gauge = g->value();
+    snap.metrics.push_back(std::move(v));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricValue v;
+    v.name = name;
+    v.kind = MetricValue::Kind::kHistogram;
+    v.bounds = h->bounds();
+    v.buckets.resize(v.bounds.size() + 1);
+    for (size_t i = 0; i < v.buckets.size(); ++i) v.buckets[i] = h->bucket(i);
+    v.count = h->count();
+    v.sum = h->sum();
+    snap.metrics.push_back(std::move(v));
+  }
+  std::sort(snap.metrics.begin(), snap.metrics.end(),
+            [](const MetricValue& a, const MetricValue& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [_, c] : counters_) c->Reset();
+  for (auto& [_, g] : gauges_) g->Reset();
+  for (auto& [_, h] : histograms_) h->Reset();
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+const MetricValue* MetricsSnapshot::Find(const std::string& name) const {
+  for (const MetricValue& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::ToTable() const {
+  std::string out;
+  out += StringPrintf("%-52s %-9s %s\n", "metric", "kind", "value");
+  for (const MetricValue& m : metrics) {
+    switch (m.kind) {
+      case MetricValue::Kind::kCounter:
+        out += StringPrintf("%-52s %-9s %llu\n", m.name.c_str(), "counter",
+                            static_cast<unsigned long long>(m.counter));
+        break;
+      case MetricValue::Kind::kGauge:
+        out += StringPrintf("%-52s %-9s %g\n", m.name.c_str(), "gauge",
+                            m.gauge);
+        break;
+      case MetricValue::Kind::kHistogram:
+        out += StringPrintf(
+            "%-52s %-9s count=%llu sum=%g avg=%g\n", m.name.c_str(), "histo",
+            static_cast<unsigned long long>(m.count), m.sum,
+            m.count == 0 ? 0.0 : m.sum / static_cast<double>(m.count));
+        break;
+    }
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const MetricValue& m : metrics) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + m.name + "\"";
+    switch (m.kind) {
+      case MetricValue::Kind::kCounter:
+        out += StringPrintf(",\"kind\":\"counter\",\"value\":%llu",
+                            static_cast<unsigned long long>(m.counter));
+        break;
+      case MetricValue::Kind::kGauge:
+        out += ",\"kind\":\"gauge\",\"value\":" + Num(m.gauge);
+        break;
+      case MetricValue::Kind::kHistogram: {
+        out += StringPrintf(",\"kind\":\"histogram\",\"count\":%llu",
+                            static_cast<unsigned long long>(m.count));
+        out += ",\"sum\":" + Num(m.sum) + ",\"buckets\":[";
+        for (size_t i = 0; i < m.buckets.size(); ++i) {
+          if (i > 0) out += ",";
+          const std::string le =
+              i < m.bounds.size() ? Num(m.bounds[i]) : "\"+Inf\"";
+          out += StringPrintf("{\"le\":%s,\"count\":%llu}", le.c_str(),
+                              static_cast<unsigned long long>(m.buckets[i]));
+        }
+        out += "]";
+        break;
+      }
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string MetricsSnapshot::ToPrometheus() const {
+  std::string out;
+  for (const MetricValue& m : metrics) {
+    const std::string name = PrometheusName(m.name);
+    switch (m.kind) {
+      case MetricValue::Kind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += StringPrintf("%s %llu\n", name.c_str(),
+                            static_cast<unsigned long long>(m.counter));
+        break;
+      case MetricValue::Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + Num(m.gauge) + "\n";
+        break;
+      case MetricValue::Kind::kHistogram: {
+        out += "# TYPE " + name + " histogram\n";
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < m.buckets.size(); ++i) {
+          cumulative += m.buckets[i];
+          const std::string le =
+              i < m.bounds.size() ? Num(m.bounds[i]) : "+Inf";
+          out += StringPrintf("%s_bucket{le=\"%s\"} %llu\n", name.c_str(),
+                              le.c_str(),
+                              static_cast<unsigned long long>(cumulative));
+        }
+        out += name + "_sum " + Num(m.sum) + "\n";
+        out += StringPrintf("%s_count %llu\n", name.c_str(),
+                            static_cast<unsigned long long>(m.count));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> LatencyBuckets() {
+  return {1e-6, 1e-5, 1e-4, 1e-3, 5e-3, 2.5e-2, 1e-1, 5e-1, 2.5, 10.0, 100.0};
+}
+
+}  // namespace xia::obs

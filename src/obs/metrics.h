@@ -1,0 +1,185 @@
+// xia::obs — process-wide metrics for the advisor/optimizer/storage stack.
+//
+// A MetricsRegistry holds named counters, gauges, and fixed-bucket
+// histograms. Metric objects are created on first use, never destroyed,
+// and updated with relaxed atomics, so instrumented hot paths pay one
+// fetch_add per event and nothing else; the registry mutex is only taken
+// at registration and snapshot time. Naming convention:
+// `xia.<layer>.<name>` (e.g. `xia.storage.btree.node_reads`).
+//
+// Instrument call sites with the XIA_OBS_* macros below. Each macro
+// resolves the registry lookup once per call site (function-local static)
+// and compiles to nothing when the tree is configured with -DXIA_OBS_OFF
+// (CMake option XIA_OBS_OFF), which is how the no-overhead configuration
+// is built and benchmarked.
+
+#ifndef XIA_OBS_METRICS_H_
+#define XIA_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace xia::obs {
+
+/// True unless the tree was compiled with -DXIA_OBS_OFF. Tests use this to
+/// gate assertions on instrumentation side effects.
+#ifdef XIA_OBS_OFF
+inline constexpr bool kObsEnabled = false;
+#else
+inline constexpr bool kObsEnabled = true;
+#endif
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-value gauge (stored as double; counters cover integral rates).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations <= bounds[i]; one
+/// implicit overflow bucket counts the rest. Bounds are fixed at
+/// registration and never change.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Count in bucket i (i == bounds().size() is the overflow bucket).
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time value of one metric.
+struct MetricValue {
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  std::string name;
+  Kind kind = Kind::kCounter;
+  uint64_t counter = 0;  // kCounter
+  double gauge = 0;      // kGauge
+  // kHistogram:
+  std::vector<double> bounds;
+  std::vector<uint64_t> buckets;  // bounds.size() + 1 (last = overflow)
+  uint64_t count = 0;
+  double sum = 0;
+};
+
+/// A consistent-enough copy of the registry (each metric is read
+/// atomically; the set of metrics is read under the registry lock).
+struct MetricsSnapshot {
+  std::vector<MetricValue> metrics;  // sorted by name
+
+  const MetricValue* Find(const std::string& name) const;
+
+  /// Human-readable aligned table.
+  std::string ToTable() const;
+  /// One JSON object: {"metrics": [{"name": ..., ...}, ...]}.
+  std::string ToJson() const;
+  /// Prometheus text exposition format ('.' becomes '_' in names).
+  std::string ToPrometheus() const;
+};
+
+/// Thread-safe registry of named metrics. Returned pointers are stable for
+/// the registry's lifetime (metrics are never deleted; ResetAll only zeroes
+/// values), so call sites may cache them.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every XIA_OBS_* macro records into.
+  static MetricsRegistry& Global();
+
+  /// Finds or creates the named metric. A name registered as one kind must
+  /// not be requested as another (asserted in debug builds; the first
+  /// registration wins otherwise).
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` must be strictly increasing; it is fixed by whichever call
+  /// registers the histogram first.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds);
+
+  MetricsSnapshot Snapshot() const;
+  /// Zeroes every metric's value, keeping registrations (and pointers)
+  /// intact.
+  void ResetAll();
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Default latency buckets (seconds): 1us .. ~100s, decade thirds.
+std::vector<double> LatencyBuckets();
+
+}  // namespace xia::obs
+
+#ifdef XIA_OBS_OFF
+
+#define XIA_OBS_COUNT(name, n) ((void)0)
+#define XIA_OBS_GAUGE_SET(name, v) ((void)0)
+#define XIA_OBS_OBSERVE_LATENCY(name, seconds) ((void)0)
+
+#else
+
+/// Adds `n` to the process-wide counter `name`.
+#define XIA_OBS_COUNT(name, n)                                            \
+  do {                                                                    \
+    static ::xia::obs::Counter* xia_obs_counter_ =                        \
+        ::xia::obs::MetricsRegistry::Global().GetCounter(name);           \
+    xia_obs_counter_->Add(static_cast<uint64_t>(n));                      \
+  } while (0)
+
+/// Sets the process-wide gauge `name` to `v`.
+#define XIA_OBS_GAUGE_SET(name, v)                                        \
+  do {                                                                    \
+    static ::xia::obs::Gauge* xia_obs_gauge_ =                            \
+        ::xia::obs::MetricsRegistry::Global().GetGauge(name);             \
+    xia_obs_gauge_->Set(static_cast<double>(v));                          \
+  } while (0)
+
+/// Records `seconds` into the latency histogram `name`.
+#define XIA_OBS_OBSERVE_LATENCY(name, seconds)                            \
+  do {                                                                    \
+    static ::xia::obs::Histogram* xia_obs_histogram_ =                    \
+        ::xia::obs::MetricsRegistry::Global().GetHistogram(               \
+            name, ::xia::obs::LatencyBuckets());                          \
+    xia_obs_histogram_->Observe(static_cast<double>(seconds));            \
+  } while (0)
+
+#endif  // XIA_OBS_OFF
+
+#endif  // XIA_OBS_METRICS_H_

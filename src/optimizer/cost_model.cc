@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace xia::optimizer {
 
 namespace {
@@ -31,6 +33,7 @@ double CostModel::PerDocumentEvalCost(
 double CostModel::CollectionScanCost(
     const storage::CollectionStatistics& data,
     const engine::NormalizedQuery& query) const {
+  XIA_OBS_COUNT("xia.optimizer.cost_model.evaluations", 1);
   const double io =
       static_cast<double>(data.data_pages()) * cc_.seq_page_cost;
   const double cpu = static_cast<double>(data.document_count()) *
@@ -40,6 +43,7 @@ double CostModel::CollectionScanCost(
 
 double CostModel::IndexAccessCost(uint32_t levels, double entries_scanned,
                                   double avg_entry_bytes) const {
+  XIA_OBS_COUNT("xia.optimizer.cost_model.evaluations", 1);
   const double descend = static_cast<double>(levels) * cc_.random_page_cost;
   const double entry_bytes =
       avg_entry_bytes + static_cast<double>(cc_.index_entry_overhead);
@@ -75,6 +79,7 @@ double CostModel::DocumentRemoveCost(double docs, double avg_doc_bytes) const {
 double CostModel::MaintenanceCost(const storage::IndexStats& index_stats,
                                   double collection_docs,
                                   double docs_touched) const {
+  XIA_OBS_COUNT("xia.optimizer.cost_model.evaluations", 1);
   if (docs_touched <= 0) return 0.0;
   const double entries_per_doc =
       collection_docs <= 0

@@ -118,6 +118,8 @@ Result<Plan> Optimizer::PlanNormalizedQuery(
   }
 
   Plan best_plan = scan;
+  // The scan alternative plus one single-index plan per leg.
+  XIA_OBS_COUNT("xia.optimizer.plans_considered", 1 + legs.size());
 
   // Single-index plans.
   for (const PlanLeg& leg : legs) {
@@ -157,6 +159,7 @@ Result<Plan> Optimizer::PlanNormalizedQuery(
       uses_virtual = uses_virtual || leg.index_is_virtual;
       and_plan.legs.push_back(leg);
       if (and_plan.legs.size() < 2) continue;
+      XIA_OBS_COUNT("xia.optimizer.plans_considered", 1);
       const double and_docs = ndocs * doc_fraction;
       const double cost =
           access + cost_model_.RidIntersectionCost(entries) +
@@ -245,7 +248,8 @@ Result<Plan> Optimizer::PlanUpdate(const engine::Statement& statement,
 
 Result<Plan> Optimizer::OptimizeImpl(const engine::Statement& statement,
                                      bool allow_indexes) const {
-  ++optimize_calls_;
+  optimize_calls_.Add(1);
+  XIA_OBS_COUNT("xia.optimizer.optimize_calls", 1);
   if (statement.is_insert()) return PlanInsert(statement);
   if (statement.is_delete()) return PlanDelete(statement, allow_indexes);
   if (statement.is_update()) return PlanUpdate(statement, allow_indexes);
@@ -265,7 +269,9 @@ Result<Plan> Optimizer::OptimizeWithoutIndexes(
 
 Result<std::vector<xpath::IndexPattern>> Optimizer::EnumerateIndexes(
     const engine::Statement& statement) const {
-  ++optimize_calls_;
+  optimize_calls_.Add(1);
+  XIA_OBS_COUNT("xia.optimizer.optimize_calls", 1);
+  XIA_OBS_COUNT("xia.optimizer.enumerate_calls", 1);
   if (statement.is_insert()) return std::vector<xpath::IndexPattern>{};
 
   Result<engine::NormalizedQuery> normalized =

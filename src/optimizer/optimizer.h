@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "engine/normalizer.h"
 #include "engine/query.h"
 #include "optimizer/cost_model.h"
@@ -84,9 +85,11 @@ class Optimizer {
   const CostModel& cost_model() const { return cost_model_; }
 
   /// Number of Optimize/EnumerateIndexes invocations since construction or
-  /// the last ResetCallCount.
-  uint64_t optimize_calls() const { return optimize_calls_; }
-  void ResetCallCount() { optimize_calls_ = 0; }
+  /// the last ResetCallCount. Backed by an obs::Counter (every call also
+  /// feeds the process-wide `xia.optimizer.optimize_calls` metric); this
+  /// accessor stays for API compatibility.
+  uint64_t optimize_calls() const { return optimize_calls_.value(); }
+  void ResetCallCount() { optimize_calls_.Reset(); }
 
  private:
   Result<Plan> PlanNormalizedQuery(const engine::NormalizedQuery& query,
@@ -108,7 +111,9 @@ class Optimizer {
   const storage::StatisticsCatalog* statistics_;
   Options options_;
   CostModel cost_model_;
-  mutable uint64_t optimize_calls_ = 0;
+  /// Per-instance call count (atomic, so const planning entry points can
+  /// record without the old mutable-integer data race).
+  mutable obs::Counter optimize_calls_;
 };
 
 }  // namespace xia::optimizer

@@ -1,5 +1,7 @@
 #include "storage/catalog.h"
 
+#include "obs/metrics.h"
+
 namespace xia::storage {
 
 Result<const IndexDef*> Catalog::CreateIndex(
@@ -19,6 +21,7 @@ Result<const IndexDef*> Catalog::CreateIndex(
   def.physical = std::make_unique<PathValueIndex>(name, collection, pattern);
   def.physical->Build(**coll);
   def.stats = def.physical->ActualStats(cc_);
+  XIA_OBS_COUNT("xia.storage.catalog.indexes_created", 1);
   auto [it, _] = indexes_.emplace(name, std::move(def));
   return &it->second;
 }
@@ -38,6 +41,7 @@ Result<const IndexDef*> Catalog::CreateVirtualIndex(
   def.pattern = pattern;
   def.is_virtual = true;
   def.stats = (*stats)->DeriveIndexStats(pattern, cc_);
+  XIA_OBS_COUNT("xia.storage.catalog.virtual_indexes_created", 1);
   auto [it, _] = indexes_.emplace(name, std::move(def));
   return &it->second;
 }

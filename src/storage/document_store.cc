@@ -2,9 +2,12 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace xia::storage {
 
 xml::DocId Collection::Add(xml::Document doc) {
+  XIA_OBS_COUNT("xia.storage.store.doc_inserts", 1);
   total_bytes_ += doc.ApproximateByteSize();
   total_nodes_ += doc.size();
   ++live_count_;
@@ -22,6 +25,7 @@ Status Collection::Remove(xml::DocId id) {
   total_nodes_ -= slot->size();
   --live_count_;
   slot.reset();
+  XIA_OBS_COUNT("xia.storage.store.doc_removes", 1);
   return Status::OK();
 }
 
@@ -32,6 +36,7 @@ bool Collection::IsLive(xml::DocId id) const {
 
 const xml::Document& Collection::Get(xml::DocId id) const {
   assert(IsLive(id));
+  XIA_OBS_COUNT("xia.storage.store.doc_fetches", 1);
   return *docs_[static_cast<size_t>(id)];
 }
 

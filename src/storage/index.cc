@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
 #include "util/string_util.h"
 #include "xpath/evaluator.h"
 
@@ -24,6 +25,11 @@ void PathValueIndex::OnRemove(xml::DocId id, const xml::Document& doc) {
 
 void PathValueIndex::Apply(xml::DocId id, const xml::Document& doc,
                            bool insert) {
+  // B+-tree observability is accounted here at the index boundary rather
+  // than inside the tree template, so the tree's hot paths compile
+  // identically with and without instrumentation.
+  const size_t leaves_before = tree_.leaf_count();
+  const size_t internals_before = tree_.internal_count();
   for (xml::NodeIndex n : xpath::EvaluateLinear(doc, pattern_.path)) {
     const std::string& value = doc.node(n).value;
     IndexKey key;
@@ -74,6 +80,15 @@ void PathValueIndex::Apply(xml::DocId id, const xml::Document& doc,
       }
     }
   }
+  if (insert) {
+    // Each maintenance descent touches height_ nodes; page-count deltas
+    // reveal how many splits the batch of insertions caused.
+    XIA_OBS_COUNT("xia.storage.btree.leaf_splits",
+                  tree_.leaf_count() - leaves_before);
+    XIA_OBS_COUNT("xia.storage.btree.internal_splits",
+                  tree_.internal_count() - internals_before);
+    XIA_OBS_GAUGE_SET("xia.storage.btree.height", tree_.height());
+  }
 }
 
 Result<IndexLookupResult> PathValueIndex::LookupAll() const {
@@ -86,6 +101,13 @@ Result<IndexLookupResult> PathValueIndex::LookupAll() const {
     }
     out.rids.push_back(it.key().rid);
   }
+  XIA_OBS_COUNT("xia.storage.index.probes", 1);
+  XIA_OBS_COUNT("xia.storage.index.entries_scanned", out.rids.size());
+  XIA_OBS_COUNT("xia.storage.index.leaf_pages", out.leaf_pages_touched);
+  XIA_OBS_COUNT("xia.storage.btree.node_reads",
+                tree_.height() + (out.leaf_pages_touched > 0
+                                      ? out.leaf_pages_touched - 1
+                                      : 0));
   return out;
 }
 
@@ -174,6 +196,14 @@ Result<IndexLookupResult> PathValueIndex::Lookup(
     }
     // kGt: equal keys at the start fail in_range but the scan continues.
   }
+  XIA_OBS_COUNT("xia.storage.index.probes", 1);
+  XIA_OBS_COUNT("xia.storage.index.entries_scanned", out.rids.size());
+  XIA_OBS_COUNT("xia.storage.index.leaf_pages", out.leaf_pages_touched);
+  // One root-to-leaf descent plus the chained leaves walked past the first.
+  XIA_OBS_COUNT("xia.storage.btree.node_reads",
+                tree_.height() + (out.leaf_pages_touched > 0
+                                      ? out.leaf_pages_touched - 1
+                                      : 0));
   return out;
 }
 

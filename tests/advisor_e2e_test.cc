@@ -8,6 +8,8 @@
 #include "advisor/report.h"
 #include "engine/executor.h"
 #include "engine/query_parser.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optimizer/optimizer.h"
 #include "storage/catalog.h"
 #include "tpox/tpox_data.h"
@@ -299,6 +301,70 @@ TEST_F(AdvisorE2eTest, ReportRendersAllSections) {
   EXPECT_EQ(terse->find("per-statement impact"), std::string::npos);
   EXPECT_EQ(terse->find("recommended DDL"), std::string::npos);
   EXPECT_NE(terse->find("est. workload speedup"), std::string::npos);
+}
+
+TEST_F(AdvisorE2eTest, TraceCoversPipelineAndAccountsOptimizerCalls) {
+  AdvisorOptions options;
+  options.algorithm = SearchAlgorithm::kTopDownFull;
+  options.disk_budget_bytes = 1e6;
+  auto rec = advisor_->Recommend(PaperWorkload(), options);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+
+  // Every pipeline phase appears as a depth-0 span with a sane duration.
+  ASSERT_FALSE(rec->trace.empty());
+  for (const char* phase : {"compact", "enumerate", "generalize",
+                            "statistics", "dag", "initialize", "search",
+                            "finalize"}) {
+    const obs::SpanRecord* span = rec->trace.Find(phase);
+    ASSERT_NE(span, nullptr) << phase;
+    EXPECT_EQ(span->depth, 0) << phase;
+    EXPECT_GE(span->seconds, 0.0) << phase;
+  }
+
+  // Depth-0 spans tile the run: their durations sum to (nearly) the
+  // advisor's wall time...
+  EXPECT_GT(rec->advisor_seconds, 0.0);
+  EXPECT_LE(rec->trace.PhaseSeconds(), rec->advisor_seconds);
+  EXPECT_GE(rec->trace.PhaseSeconds(), 0.95 * rec->advisor_seconds);
+
+  // ...and their optimizer-call deltas to the recommendation's total.
+  // The deltas come from the process-wide counter, which only moves when
+  // instrumentation is compiled in.
+  if (obs::kObsEnabled) {
+    EXPECT_EQ(rec->trace.PhaseTrackedCalls(), rec->optimizer_calls);
+  }
+
+  // The enumeration probes are part of the total (the old accounting
+  // dropped them).
+  const obs::SpanRecord* enumerate = rec->trace.Find("enumerate");
+  EXPECT_GT(rec->optimizer_calls, 0u);
+  if (obs::kObsEnabled) {
+    EXPECT_GT(enumerate->tracked_calls, 0u);
+  }
+}
+
+TEST_F(AdvisorE2eTest, AdvisorFeedsProcessMetrics) {
+  if (!obs::kObsEnabled) GTEST_SKIP() << "built with XIA_OBS_OFF";
+  auto& registry = obs::MetricsRegistry::Global();
+  obs::Counter* optimize_calls =
+      registry.GetCounter("xia.optimizer.optimize_calls");
+  obs::Counter* containment =
+      registry.GetCounter("xia.xpath.containment.checks");
+  const uint64_t calls_before = optimize_calls->value();
+  const uint64_t containment_before = containment->value();
+
+  AdvisorOptions options;
+  options.disk_budget_bytes = 1e6;
+  auto rec = advisor_->Recommend(PaperWorkload(), options);
+  ASSERT_TRUE(rec.ok());
+
+  EXPECT_EQ(optimize_calls->value() - calls_before, rec->optimizer_calls);
+  EXPECT_GT(containment->value(), containment_before);
+  obs::MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_NE(snap.Find("xia.advisor.runs"), nullptr);
+  EXPECT_GT(snap.Find("xia.advisor.runs")->counter, 0u);
+  ASSERT_NE(snap.Find("xia.optimizer.cost_model.evaluations"), nullptr);
+  EXPECT_GT(snap.Find("xia.optimizer.cost_model.evaluations")->counter, 0u);
 }
 
 TEST_F(AdvisorE2eTest, ReportOnEmptyRecommendation) {

@@ -23,6 +23,7 @@
 
 #include "advisor/advisor.h"
 #include "advisor/report.h"
+#include "obs/metrics.h"
 #include "xml/parser.h"
 #include "engine/query_parser.h"
 #include "optimizer/optimizer.h"
@@ -44,6 +45,7 @@ int Usage() {
       "                  [--budget SIZE] [--algorithm NAME] [--beta F]\n"
       "                  [--no-generalize] [--all-index] [--explain]"
       " [--report]\n"
+      "                  [--metrics-json PATH]\n"
       "  SIZE: bytes, or suffixed 512KB / 10MB / 1GB\n"
       "  NAME: greedy | heuristics | topdown-lite | topdown-full | dp\n");
   return 2;
@@ -138,6 +140,18 @@ Status LoadDataDirectory(const std::string& dir,
   return Status::OK();
 }
 
+// Writes the process-wide metrics snapshot as JSON; 0 on success.
+int DumpMetricsJson(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write metrics to %s\n", path.c_str());
+    return 1;
+  }
+  out << obs::MetricsRegistry::Global().Snapshot().ToJson() << "\n";
+  std::printf("metrics snapshot written to %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -148,6 +162,7 @@ int main(int argc, char** argv) {
   bool all_index = false;
   bool explain = false;
   bool report = false;
+  std::string metrics_json_path;
   advisor::AdvisorOptions options;
   options.disk_budget_bytes = 10.0 * 1024 * 1024;
   options.algorithm = advisor::SearchAlgorithm::kTopDownFull;
@@ -188,6 +203,10 @@ int main(int argc, char** argv) {
       explain = true;
     } else if (arg == "--report") {
       report = true;
+    } else if (arg == "--metrics-json") {
+      const char* v = next();
+      if (!v) return Usage();
+      metrics_json_path = v;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return Usage();
@@ -246,6 +265,7 @@ int main(int argc, char** argv) {
                 rec->indexes.size(),
                 HumanBytes(rec->total_size_bytes).c_str(), rec->est_speedup);
     for (const auto& ri : rec->indexes) std::printf("  %s\n", ri.ddl.c_str());
+    if (!metrics_json_path.empty()) return DumpMetricsJson(metrics_json_path);
     return 0;
   }
 
@@ -289,5 +309,7 @@ int main(int argc, char** argv) {
                   plan->Describe().c_str());
     }
   }
+
+  if (!metrics_json_path.empty()) return DumpMetricsJson(metrics_json_path);
   return 0;
 }

@@ -24,6 +24,7 @@
 #include "advisor/advisor.h"
 #include "engine/executor.h"
 #include "engine/query_parser.h"
+#include "obs/metrics.h"
 #include "optimizer/optimizer.h"
 #include "storage/catalog.h"
 #include "storage/snapshot.h"
@@ -92,6 +93,7 @@ class Shell {
     if (cmd == "run") return Execute(rest);
     if (cmd == "workload") return WorkloadCommand(rest);
     if (cmd == "advise") return Advise(rest);
+    if (cmd == "trace") return TraceCommand(rest);
     return Status::InvalidArgument("unknown command '" + cmd +
                                    "' (try 'help')");
   }
@@ -102,6 +104,7 @@ class Shell {
         "  load DIR                       load DIR/<collection>/*.xml\n"
         "  save FILE | restore FILE       binary snapshot of the store\n"
         "  collections                    list collections\n"
+        "  stats                          process-wide metrics table\n"
         "  stats COLLECTION [N]           top-N data paths with statistics\n"
         "  indexes                        list catalog indexes\n"
         "  create index NAME on COLL PATTERN [string|numeric|structural]"
@@ -109,9 +112,11 @@ class Shell {
         "  drop index NAME\n"
         "  enumerate STATEMENT            Enumerate-Indexes mode candidates\n"
         "  explain STATEMENT              best plan + cost\n"
+        "  explain analyze STATEMENT      execute and compare to estimates\n"
         "  run STATEMENT                  execute best plan\n"
         "  workload add STATEMENT | load FILE | list | clear\n"
         "  advise BUDGET [greedy|heuristics|topdown-lite|topdown-full|dp]\n"
+        "  trace on|off                   per-phase advisor trace in advise\n"
         "  quit\n");
     return Status::OK();
   }
@@ -201,7 +206,12 @@ class Shell {
 
   Status Stats(const std::string& rest) {
     auto [name, n_text] = SplitCommand(rest);
-    if (name.empty()) return Status::InvalidArgument("stats COLLECTION [N]");
+    if (name.empty()) {
+      // Bare `stats`: the process-wide metrics table.
+      std::printf("%s", obs::MetricsRegistry::Global().Snapshot()
+                            .ToTable().c_str());
+      return Status::OK();
+    }
     size_t limit = 15;
     double n = 0;
     if (!n_text.empty() && ParseDouble(n_text, &n) && n > 0) {
@@ -309,6 +319,16 @@ class Shell {
   }
 
   Status Explain(const std::string& text) {
+    auto [first, rest] = SplitCommand(text);
+    if (first == "analyze") {
+      XIA_ASSIGN_OR_RETURN(engine::Statement stmt,
+                           engine::ParseStatement(rest));
+      XIA_ASSIGN_OR_RETURN(optimizer::Plan plan, optimizer_.Optimize(stmt));
+      XIA_ASSIGN_OR_RETURN(std::string report,
+                           executor_.ExplainAnalyze(stmt, plan));
+      std::printf("  %s", report.c_str());
+      return Status::OK();
+    }
     XIA_ASSIGN_OR_RETURN(engine::Statement stmt,
                          engine::ParseStatement(text));
     XIA_ASSIGN_OR_RETURN(optimizer::Plan plan, optimizer_.Optimize(stmt));
@@ -430,6 +450,21 @@ class Shell {
     std::printf("  total %s, est. speedup %.2fx, %llu optimizer calls\n",
                 HumanBytes(rec.total_size_bytes).c_str(), rec.est_speedup,
                 static_cast<unsigned long long>(rec.optimizer_calls));
+    if (trace_ && !rec.trace.empty()) {
+      std::printf("%s", rec.trace.ToString().c_str());
+    }
+    return Status::OK();
+  }
+
+  Status TraceCommand(const std::string& rest) {
+    if (rest == "on") {
+      trace_ = true;
+    } else if (rest == "off") {
+      trace_ = false;
+    } else {
+      return Status::InvalidArgument("trace on|off");
+    }
+    std::printf("  trace %s\n", trace_ ? "on" : "off");
     return Status::OK();
   }
 
@@ -440,6 +475,7 @@ class Shell {
   engine::Executor executor_;
   advisor::IndexAdvisor advisor_;
   engine::Workload workload_;
+  bool trace_ = false;
 };
 
 }  // namespace
