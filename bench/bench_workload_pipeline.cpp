@@ -1,0 +1,132 @@
+// Workload-pipeline throughput: capture -> templatize -> save/load ->
+// online advise, at a scale where the numbers mean something.
+//
+// Reports (a) raw publish/drain throughput of the concurrent capture
+// sink, (b) templatizer compression over a repetitive traffic stream,
+// (c) serialization round-trip cost, and (d) online advising passes and
+// recommendation churn while producers keep publishing. The emitted
+// BENCH_workload_pipeline.json carries the xia.workload.* metrics
+// (capture counters, dedup ratio, advise runs/churn) via the standard
+// metrics snapshot.
+
+#include <atomic>
+#include <thread>
+
+#include "bench/bench_common.h"
+#include "workload/capture.h"
+#include "workload/online_advisor.h"
+#include "workload/templatizer.h"
+#include "workload/workload_io.h"
+
+int main() {
+  xia::bench::BenchJsonWriter bench_json("workload_pipeline");
+  using namespace xia;           // NOLINT
+  using namespace xia::bench;    // NOLINT
+
+  auto ctx = MakeContext();
+  const engine::Workload mixed = MixedWorkload(*ctx);
+
+  PrintHeader("Workload pipeline: capture -> templatize -> online advise");
+
+  // (a) Concurrent capture throughput: 4 producers replay the mixed
+  // workload until ~200k publications have been accepted, a consumer
+  // drains into the templatizer the whole time.
+  constexpr int kProducers = 4;
+  constexpr int kRoundsPerProducer = 2500;  // 4 * 2500 * 20 = 200k
+  workload::WorkloadCapture capture(/*capacity=*/1 << 18);
+  capture.set_enabled(true);
+  workload::Templatizer templatizer;
+
+  std::atomic<bool> done{false};
+  std::thread consumer([&] {
+    while (!done.load(std::memory_order_acquire) || capture.pending() > 0) {
+      templatizer.AddBatch(capture.Drain());
+      std::this_thread::yield();
+    }
+  });
+  Stopwatch capture_timer;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int r = 0; r < kRoundsPerProducer; ++r) {
+        for (const auto& stmt : mixed) capture.Publish(stmt, 1e-4);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  done.store(true, std::memory_order_release);
+  consumer.join();
+  const double capture_seconds = capture_timer.ElapsedSeconds();
+
+  std::printf("%-28s %12llu\n", "published",
+              static_cast<unsigned long long>(capture.published()));
+  std::printf("%-28s %12llu\n", "dropped",
+              static_cast<unsigned long long>(capture.dropped()));
+  std::printf("%-28s %12.0f /s\n", "publish+drain throughput",
+              static_cast<double>(capture.published()) / capture_seconds);
+  std::printf("%-28s %12zu\n", "templates", templatizer.template_count());
+  std::printf("%-28s %12.1fx\n", "dedup ratio", templatizer.DedupRatio());
+  bench_json.Checkpoint("capture_templatize");
+
+  // (b) Serialization round-trip of the templatized workload.
+  const engine::Workload captured = templatizer.ToWorkload();
+  Stopwatch io_timer;
+  const std::string path = "/tmp/xia_bench_workload_pipeline.xq";
+  if (Status s = workload::SaveWorkloadToFile(captured, path); !s.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto loaded = Unwrap(workload::LoadWorkloadFromFile(path), "load");
+  std::printf("%-28s %12.3f ms (%zu templates)\n", "save+load round-trip",
+              io_timer.ElapsedSeconds() * 1e3, loaded.size());
+  std::remove(path.c_str());
+  bench_json.Checkpoint("serialize");
+
+  // (c) Online advising under continuous traffic: one producer keeps
+  // replaying the workload while the OnlineAdvisor drains and re-advises.
+  workload::WorkloadCapture online_capture;
+  workload::OnlineAdvisorOptions online_options;
+  online_options.min_new_queries = 200;
+  online_options.advise_interval_seconds = 0.05;
+  online_options.poll_interval_seconds = 0.002;
+  online_options.advisor.disk_budget_bytes = 10e6;
+  workload::OnlineAdvisor online(&online_capture, ctx->advisor.get(),
+                                 online_options);
+  if (Status s = online.Start(); !s.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  Stopwatch online_timer;
+  for (int r = 0; r < 100; ++r) {
+    for (const auto& stmt : mixed) online_capture.Publish(stmt, 1e-4);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  if (Status s = online.AdviseNow(); !s.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  online.Stop();
+  const double online_seconds = online_timer.ElapsedSeconds();
+  const workload::OnlineAdvisorStatus status = online.Snapshot();
+
+  std::printf("\n%-28s %12.2f s\n", "online phase wall time", online_seconds);
+  std::printf("%-28s %12llu\n", "queries seen",
+              static_cast<unsigned long long>(status.queries_seen));
+  std::printf("%-28s %12llu\n", "advise passes",
+              static_cast<unsigned long long>(status.advise_runs));
+  std::printf("%-28s %12llu\n", "advise failures",
+              static_cast<unsigned long long>(status.advise_failures));
+  std::printf("%-28s %12.4f s\n", "last advise pass",
+              status.last_advise_seconds);
+  std::printf("%-28s %9zu / %zu\n", "final churn (in/out)",
+              status.last_entered, status.last_left);
+  std::printf("%-28s %12zu indexes, %.1f MB, est x%.2f\n", "recommendation",
+              status.recommendation.indexes.size(),
+              status.recommendation.total_size_bytes / 1e6,
+              status.recommendation.est_speedup);
+  bench_json.Checkpoint("online_advise");
+
+  std::printf("\nShape check: dedup ratio ~ raw/templates; repeated advise"
+              " passes over the\nsame traffic converge to zero churn.\n");
+  return 0;
+}

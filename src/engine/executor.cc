@@ -255,6 +255,7 @@ Result<ExecResult> Executor::Execute(const Statement& statement,
   if (result.ok()) {
     XIA_OBS_COUNT("xia.engine.docs_examined", result->docs_examined);
     XIA_OBS_OBSERVE_LATENCY("xia.engine.exec.seconds", result->wall_seconds);
+    if (sink_ != nullptr) sink_->OnExecuted(statement, *result);
   }
   return result;
 }

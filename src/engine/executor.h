@@ -51,11 +51,28 @@ struct ExecOptions {
   size_t max_rows = 100;
 };
 
+/// Receives every successfully executed statement. Implemented by
+/// xia::workload's capture sink; defined here so the engine layer can
+/// publish without depending on the workload layer. Implementations must
+/// be safe to call from whichever thread drives the executor.
+class QuerySink {
+ public:
+  virtual ~QuerySink() = default;
+  /// Called after `statement` executed successfully under some plan.
+  virtual void OnExecuted(const Statement& statement,
+                          const ExecResult& result) = 0;
+};
+
 /// Executes plans produced by the optimizer.
 class Executor {
  public:
   Executor(storage::DocumentStore* store, storage::Catalog* catalog)
       : store_(store), catalog_(catalog) {}
+
+  /// Publishes every successful execution to `sink` (nullptr disables).
+  /// The executor does not own the sink.
+  void set_sink(QuerySink* sink) { sink_ = sink; }
+  QuerySink* sink() const { return sink_; }
 
   /// Executes `statement` under `plan`.
   Result<ExecResult> Execute(const Statement& statement,
@@ -98,6 +115,7 @@ class Executor {
 
   storage::DocumentStore* store_;
   storage::Catalog* catalog_;
+  QuerySink* sink_ = nullptr;
 };
 
 }  // namespace xia::engine

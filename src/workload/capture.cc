@@ -1,0 +1,55 @@
+#include "workload/capture.h"
+
+#include "obs/metrics.h"
+
+namespace xia::workload {
+
+WorkloadCapture::WorkloadCapture(size_t capacity) : capacity_(capacity) {
+  batch_.reserve(capacity_ < 1024 ? capacity_ : 1024);
+}
+
+void WorkloadCapture::OnExecuted(const engine::Statement& statement,
+                                 const engine::ExecResult& result) {
+  Publish(statement, result.wall_seconds);
+}
+
+bool WorkloadCapture::Publish(const engine::Statement& statement,
+                              double wall_seconds) {
+  if (!enabled()) return false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (batch_.size() >= capacity_) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      XIA_OBS_COUNT("xia.workload.capture.dropped", 1);
+      return false;
+    }
+    CapturedQuery cq;
+    cq.statement = statement;
+    cq.wall_seconds = wall_seconds;
+    cq.sequence = next_sequence_++;
+    batch_.push_back(std::move(cq));
+  }
+  published_.fetch_add(1, std::memory_order_relaxed);
+  XIA_OBS_COUNT("xia.workload.capture.published", 1);
+  return true;
+}
+
+std::vector<CapturedQuery> WorkloadCapture::Drain() {
+  std::vector<CapturedQuery> out;
+  out.reserve(64);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.swap(batch_);
+  }
+  drained_.fetch_add(out.size(), std::memory_order_relaxed);
+  XIA_OBS_COUNT("xia.workload.capture.drained", out.size());
+  XIA_OBS_GAUGE_SET("xia.workload.capture.pending", pending());
+  return out;
+}
+
+size_t WorkloadCapture::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batch_.size();
+}
+
+}  // namespace xia::workload

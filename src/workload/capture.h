@@ -1,0 +1,95 @@
+// xia::workload — online workload capture.
+//
+// WorkloadCapture is the thread-safe sink the executor (and any other
+// query entry point) publishes every executed statement into. It is the
+// front of the capture → templatize → advise lifecycle: producers append
+// into a mutex-guarded batch under a small critical section (one vector
+// push_back; no parsing, no allocation beyond the statement copy), and the
+// online advisor periodically swaps the whole batch out with Drain().
+// This batch-swap design keeps the producer critical section O(1) and the
+// consumer contention to one swap per drain, which is what lets capture
+// ride on the query hot path.
+//
+// Capacity is bounded: when `capacity` entries are already pending, new
+// publications are counted as dropped rather than growing without limit
+// (a stalled consumer must not turn into unbounded memory growth under
+// heavy traffic). Sequence numbers are assigned per accepted entry so
+// tests can assert no loss or duplication across the concurrent path.
+
+#ifndef XIA_WORKLOAD_CAPTURE_H_
+#define XIA_WORKLOAD_CAPTURE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "engine/executor.h"
+#include "engine/query.h"
+
+namespace xia::workload {
+
+/// One captured execution: the statement plus its observed wall time and
+/// a process-unique sequence number (assigned in publish order).
+struct CapturedQuery {
+  engine::Statement statement;
+  double wall_seconds = 0;
+  uint64_t sequence = 0;
+};
+
+/// Thread-safe capture sink. Any number of producer threads may Publish
+/// (or be driven through the engine::QuerySink interface) concurrently
+/// with one or more Drain() consumers.
+class WorkloadCapture : public engine::QuerySink {
+ public:
+  /// `capacity` bounds the pending batch; beyond it publications are
+  /// dropped (and counted).
+  explicit WorkloadCapture(size_t capacity = kDefaultCapacity);
+
+  /// engine::QuerySink: captures every successfully executed statement
+  /// with its measured wall time.
+  void OnExecuted(const engine::Statement& statement,
+                  const engine::ExecResult& result) override;
+
+  /// Publishes one statement. Returns false if the capture is disabled or
+  /// full (the statement was not captured).
+  bool Publish(const engine::Statement& statement, double wall_seconds = 0);
+
+  /// Swaps out and returns every pending entry, oldest first.
+  std::vector<CapturedQuery> Drain();
+
+  /// Entries currently pending (published, not yet drained).
+  size_t pending() const;
+
+  /// A disabled capture ignores publications (cheap: one relaxed atomic
+  /// load on the hot path). Captures start disabled; monitoring turns
+  /// them on.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Lifetime counters (accepted / rejected-full / handed to Drain).
+  uint64_t published() const {
+    return published_.load(std::memory_order_relaxed);
+  }
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  uint64_t drained() const { return drained_.load(std::memory_order_relaxed); }
+
+  size_t capacity() const { return capacity_; }
+
+  static constexpr size_t kDefaultCapacity = 65536;
+
+ private:
+  const size_t capacity_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> published_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> drained_{0};
+
+  mutable std::mutex mu_;
+  std::vector<CapturedQuery> batch_;  // guarded by mu_
+  uint64_t next_sequence_ = 0;        // guarded by mu_
+};
+
+}  // namespace xia::workload
+
+#endif  // XIA_WORKLOAD_CAPTURE_H_

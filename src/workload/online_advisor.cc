@@ -1,0 +1,166 @@
+#include "workload/online_advisor.h"
+
+#include <chrono>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace xia::workload {
+
+namespace {
+
+// Identity of a recommended index for churn accounting: collection +
+// pattern (ToString covers path, value type and structural-ness).
+std::set<std::string> IndexKeys(const advisor::Recommendation& rec) {
+  std::set<std::string> keys;
+  for (const auto& ri : rec.indexes) {
+    keys.insert(ri.collection + "|" + ri.pattern.ToString());
+  }
+  return keys;
+}
+
+}  // namespace
+
+OnlineAdvisor::OnlineAdvisor(WorkloadCapture* capture,
+                             advisor::IndexAdvisor* advisor,
+                             OnlineAdvisorOptions options,
+                             std::mutex* db_mutex)
+    : capture_(capture),
+      advisor_(advisor),
+      options_(std::move(options)),
+      db_mutex_(db_mutex) {}
+
+OnlineAdvisor::~OnlineAdvisor() { Stop(); }
+
+Status OnlineAdvisor::Start() {
+  if (thread_.joinable()) {
+    return Status::FailedPrecondition("online advisor already running");
+  }
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stop_requested_ = false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    since_last_advise_.Restart();
+  }
+  capture_->set_enabled(true);
+  thread_ = std::thread(&OnlineAdvisor::Loop, this);
+  return Status::OK();
+}
+
+void OnlineAdvisor::Stop() {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  thread_.join();
+  capture_->set_enabled(false);
+}
+
+bool OnlineAdvisor::running() const { return thread_.joinable(); }
+
+void OnlineAdvisor::Loop() {
+  const auto poll = std::chrono::duration<double>(
+      options_.poll_interval_seconds);
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  while (!stop_requested_) {
+    stop_cv_.wait_for(lock, poll, [this] { return stop_requested_; });
+    if (stop_requested_) break;
+    lock.unlock();
+    {
+      std::lock_guard<std::mutex> state(mu_);
+      const size_t pending = capture_->pending();
+      const bool due =
+          pending >= options_.min_new_queries ||
+          (pending > 0 && since_last_advise_.ElapsedSeconds() >=
+                              options_.advise_interval_seconds);
+      // Advise failures (e.g. an empty store) are surfaced via the
+      // failure counter; the loop keeps running.
+      if (due) (void)DrainAndAdviseLocked();
+    }
+    lock.lock();
+  }
+}
+
+Status OnlineAdvisor::AdviseNow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return DrainAndAdviseLocked();
+}
+
+Status OnlineAdvisor::DrainAndAdviseLocked() {
+  const std::vector<CapturedQuery> batch = capture_->Drain();
+  templatizer_.AddBatch(batch);
+  queries_seen_ += batch.size();
+  if (templatizer_.empty()) {
+    return Status::FailedPrecondition("no queries captured yet");
+  }
+  const engine::Workload workload = templatizer_.ToWorkload();
+
+  Stopwatch timer;
+  Result<advisor::Recommendation> rec = [&] {
+    if (db_mutex_ != nullptr) {
+      std::lock_guard<std::mutex> db(*db_mutex_);
+      return advisor_->Recommend(workload, options_.advisor);
+    }
+    return advisor_->Recommend(workload, options_.advisor);
+  }();
+  const double seconds = timer.ElapsedSeconds();
+
+  if (!rec.ok()) {
+    ++advise_failures_;
+    XIA_OBS_COUNT("xia.workload.online.advise_failures", 1);
+    return rec.status();
+  }
+
+  const std::set<std::string> before = IndexKeys(recommendation_);
+  const std::set<std::string> after = IndexKeys(*rec);
+  size_t entered = 0;
+  for (const std::string& k : after) entered += before.count(k) == 0;
+  size_t left = 0;
+  for (const std::string& k : before) left += after.count(k) == 0;
+  // The very first pass is all "entering"; that is the honest reading
+  // (the configuration went from nothing to something).
+
+  recommendation_ = std::move(*rec);
+  has_recommendation_ = true;
+  ++advise_runs_;
+  last_advise_seconds_ = seconds;
+  last_entered_ = entered;
+  last_left_ = left;
+  since_last_advise_.Restart();
+
+  XIA_OBS_COUNT("xia.workload.online.advise_runs", 1);
+  XIA_OBS_COUNT("xia.workload.online.churn_entered", entered);
+  XIA_OBS_COUNT("xia.workload.online.churn_left", left);
+  XIA_OBS_OBSERVE_LATENCY("xia.workload.online.advise_seconds", seconds);
+  return Status::OK();
+}
+
+OnlineAdvisorStatus OnlineAdvisor::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  OnlineAdvisorStatus status;
+  status.running = running();
+  status.queries_seen = queries_seen_;
+  status.template_count = templatizer_.template_count();
+  status.dedup_ratio = templatizer_.DedupRatio();
+  status.advise_runs = advise_runs_;
+  status.advise_failures = advise_failures_;
+  status.last_advise_seconds = last_advise_seconds_;
+  status.last_entered = last_entered_;
+  status.last_left = last_left_;
+  status.has_recommendation = has_recommendation_;
+  if (has_recommendation_) status.recommendation = recommendation_;
+  return status;
+}
+
+engine::Workload OnlineAdvisor::CurrentWorkload() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return templatizer_.ToWorkload();
+}
+
+}  // namespace xia::workload

@@ -1,0 +1,156 @@
+#include "workload/templatizer.h"
+
+#include "engine/normalizer.h"
+#include "obs/metrics.h"
+#include "util/string_util.h"
+
+namespace xia::workload {
+
+namespace {
+
+// Typed constant marker: queries that differ only in the compared value
+// share a key; queries comparing a string vs a number do not (the literal
+// type decides the candidate index's value type).
+const char* Marker(const xpath::Literal& literal) {
+  return literal.type == xpath::ValueType::kNumeric ? "?n" : "?s";
+}
+
+std::string MaskedRelSteps(const std::vector<xpath::Step>& steps) {
+  std::string out;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (i > 0 || steps[i].axis == xpath::Axis::kDescendant) {
+      out += (steps[i].axis == xpath::Axis::kChild) ? "/" : "//";
+    }
+    out += steps[i].name_test;
+  }
+  return out.empty() ? "." : out;
+}
+
+std::string MaskedPredicate(const xpath::Predicate& pred) {
+  std::string out = "[" + MaskedRelSteps(pred.relative_steps);
+  if (pred.is_comparison()) {
+    out += std::string(" ") + xpath::CompareOpToString(*pred.op) + " " +
+           Marker(pred.literal);
+  }
+  out += "]";
+  return out;
+}
+
+std::string MaskedPathQuery(const xpath::PathQuery& path) {
+  std::string out;
+  for (const auto& qs : path.steps()) {
+    out += (qs.step.axis == xpath::Axis::kChild) ? "/" : "//";
+    out += qs.step.name_test;
+    for (const auto& pred : qs.predicates) out += MaskedPredicate(pred);
+  }
+  return out;
+}
+
+std::string ReturnsKey(const std::vector<std::vector<xpath::Step>>& returns) {
+  std::string out;
+  for (const auto& r : returns) {
+    out += "," + MaskedRelSteps(r);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TemplateKey(const engine::Statement& statement) {
+  if (statement.is_insert()) {
+    // All inserts into a collection are one template: the advisor charges
+    // maintenance per inserted document, not per document content.
+    return "i|" + statement.insert_spec().collection;
+  }
+  if (statement.is_delete()) {
+    return "d|" + statement.delete_spec().collection + "|" +
+           MaskedPathQuery(statement.delete_spec().match);
+  }
+  if (statement.is_update()) {
+    const engine::UpdateSpec& u = statement.update_spec();
+    return "u|" + u.collection + "|" + MaskedPathQuery(u.match) + "|set:" +
+           u.target.ToString() + "=" + Marker(u.new_value);
+  }
+  // Queries dedupe on their *normalized* shape: where-clause conjuncts and
+  // equivalent inline predicates are one template.
+  auto normalized = engine::Normalize(statement);
+  if (normalized.ok()) {
+    return "q|" + normalized->collection + "|" +
+           MaskedPathQuery(normalized->path) + "|ret:" +
+           ReturnsKey(normalized->returns);
+  }
+  // Normalization of a well-formed query never fails today; fall back to
+  // the un-normalized shape so a capture stream can't error out.
+  const engine::QuerySpec& q = statement.query();
+  std::string key = "q!|" + q.collection + "|" + MaskedPathQuery(q.binding);
+  for (const auto& w : q.where) {
+    key += "|w:" + MaskedRelSteps(w.relative_steps) + " " +
+           xpath::CompareOpToString(w.op) + " " + Marker(w.literal);
+  }
+  return key + "|ret:" + ReturnsKey(q.returns);
+}
+
+bool Templatizer::Add(const engine::Statement& statement, double weight,
+                      double observed_seconds) {
+  const std::string key = TemplateKey(statement);
+  ++raw_count_;
+  XIA_OBS_COUNT("xia.workload.templatizer.raw", 1);
+  auto [it, inserted] = index_.emplace(key, templates_.size());
+  if (inserted) {
+    TemplateInfo info;
+    info.key = key;
+    info.representative = statement;
+    templates_.push_back(std::move(info));
+  }
+  TemplateInfo& info = templates_[it->second];
+  ++info.count;
+  info.weight += weight;
+  info.total_seconds += observed_seconds;
+  XIA_OBS_GAUGE_SET("xia.workload.templatizer.templates", templates_.size());
+  XIA_OBS_GAUGE_SET("xia.workload.templatizer.dedup_ratio", DedupRatio());
+  return inserted;
+}
+
+size_t Templatizer::AddBatch(const std::vector<CapturedQuery>& batch) {
+  size_t opened = 0;
+  for (const CapturedQuery& cq : batch) {
+    if (Add(cq.statement, 1.0, cq.wall_seconds)) ++opened;
+  }
+  return opened;
+}
+
+size_t Templatizer::AddWorkload(const engine::Workload& workload) {
+  size_t opened = 0;
+  for (const engine::Statement& stmt : workload) {
+    if (Add(stmt, stmt.frequency)) ++opened;
+  }
+  return opened;
+}
+
+double Templatizer::DedupRatio() const {
+  if (templates_.empty()) return 0;
+  return static_cast<double>(raw_count_) /
+         static_cast<double>(templates_.size());
+}
+
+engine::Workload Templatizer::ToWorkload() const {
+  engine::Workload out;
+  out.reserve(templates_.size());
+  for (size_t i = 0; i < templates_.size(); ++i) {
+    engine::Statement stmt = templates_[i].representative;
+    stmt.frequency = templates_[i].weight;
+    if (stmt.label.empty()) stmt.label = StringPrintf("tmpl-%zu", i + 1);
+    out.push_back(std::move(stmt));
+  }
+  return out;
+}
+
+void Templatizer::Clear() {
+  templates_.clear();
+  index_.clear();
+  raw_count_ = 0;
+  XIA_OBS_GAUGE_SET("xia.workload.templatizer.templates", 0);
+  XIA_OBS_GAUGE_SET("xia.workload.templatizer.dedup_ratio", 0);
+}
+
+}  // namespace xia::workload

@@ -1,0 +1,103 @@
+// xia::workload — query templatization.
+//
+// A million raw captured queries are useless to the advisor as-is: the
+// search cost grows with workload size, and queries that differ only in
+// their constants ("Symbol = 'SYM000017'" vs "Symbol = 'SYM000042'")
+// exercise the same indexes. The Templatizer compresses the raw stream
+// into weighted templates: each statement is normalized (the same
+// engine::Normalize rewrite the optimizer front-end uses, so a where
+// clause and an equivalent inline predicate land on one template),
+// constants are replaced by typed markers, and statements with equal
+// masked shapes are deduplicated into one template carrying
+//   - a representative statement (the first concrete instance seen, with
+//     its real constants — the advisor's selectivity estimation needs a
+//     concrete literal to cost),
+//   - the accumulated weight (becomes engine::Statement::frequency), and
+//   - the observed execution cost, when captured.
+//
+// ToWorkload() renders the templates back as a small weighted
+// engine::Workload, which is exactly what Advisor::Recommend consumes.
+//
+// Not thread-safe: the online advisor owns one Templatizer and feeds it
+// from its drain loop under its own lock.
+
+#ifndef XIA_WORKLOAD_TEMPLATIZER_H_
+#define XIA_WORKLOAD_TEMPLATIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/query.h"
+#include "workload/capture.h"
+
+namespace xia::workload {
+
+/// One deduplicated template.
+struct TemplateInfo {
+  /// The masked shape key the template dedupes on.
+  std::string key;
+  /// First concrete statement observed for this shape.
+  engine::Statement representative;
+  /// Number of raw statements folded into this template.
+  uint64_t count = 0;
+  /// Accumulated weight (1 per captured execution; a statement's own
+  /// frequency when added from a parsed workload).
+  double weight = 0;
+  /// Accumulated observed wall seconds across captured executions.
+  double total_seconds = 0;
+};
+
+/// The shape key of `statement`: kind, collection, normalized path and
+/// returns, with every comparison constant replaced by a typed marker
+/// ("?s" / "?n"). Statements with equal keys are duplicates up to
+/// constants. Insert documents are masked entirely (every insert into a
+/// collection is one template).
+std::string TemplateKey(const engine::Statement& statement);
+
+/// Deduplicating accumulator of captured statements.
+class Templatizer {
+ public:
+  /// Folds one statement in with the given weight and observed cost.
+  /// Returns true if it opened a new template (first time this shape was
+  /// seen).
+  bool Add(const engine::Statement& statement, double weight = 1.0,
+           double observed_seconds = 0);
+
+  /// Folds a drained capture batch in (weight 1 per entry). Returns the
+  /// number of new templates opened.
+  size_t AddBatch(const std::vector<CapturedQuery>& batch);
+
+  /// Folds a parsed workload in, weighting each statement by its own
+  /// frequency. Returns the number of new templates opened.
+  size_t AddWorkload(const engine::Workload& workload);
+
+  /// Templates in first-seen order.
+  const std::vector<TemplateInfo>& templates() const { return templates_; }
+  size_t template_count() const { return templates_.size(); }
+  bool empty() const { return templates_.empty(); }
+
+  /// Raw statements folded in so far.
+  uint64_t raw_count() const { return raw_count_; }
+
+  /// raw_count / template_count; 0 when empty. The compression the
+  /// subsystem exists to deliver.
+  double DedupRatio() const;
+
+  /// Renders the templates as a weighted workload (frequency = weight),
+  /// in first-seen order. Labels keep the representative's label when it
+  /// has one, else "tmpl-<i>".
+  engine::Workload ToWorkload() const;
+
+  void Clear();
+
+ private:
+  std::vector<TemplateInfo> templates_;
+  std::unordered_map<std::string, size_t> index_;  // key -> templates_ pos
+  uint64_t raw_count_ = 0;
+};
+
+}  // namespace xia::workload
+
+#endif  // XIA_WORKLOAD_TEMPLATIZER_H_

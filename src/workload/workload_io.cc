@@ -1,0 +1,122 @@
+#include "workload/workload_io.h"
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "engine/query_parser.h"
+#include "util/string_util.h"
+
+namespace xia::workload {
+
+namespace {
+
+// Deterministic frequency rendering: integral weights (the common case —
+// accumulated capture counts) print without a fraction; anything else
+// prints with enough digits to round-trip exactly through ParseDouble.
+std::string FormatFrequency(double f) {
+  if (f == std::floor(f) && std::fabs(f) < 1e15) {
+    return StringPrintf("%.0f", f);
+  }
+  return StringPrintf("%.17g", f);
+}
+
+// Annotation values end at the first whitespace; statement text must stay
+// on one line for the canonical form. Both are normalized here.
+std::string SanitizeLabel(const std::string& label) {
+  std::string out = label;
+  for (char& c : out) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') c = '_';
+  }
+  return out;
+}
+
+std::string OneLine(const std::string& text) {
+  std::string out = text;
+  for (char& c : out) {
+    if (c == '\n' || c == '\r' || c == '\t') c = ' ';
+  }
+  return out;
+}
+
+// True if `text` contains '#' outside single/double-quoted literals (the
+// parser would truncate the line there).
+bool HasUnquotedHash(const std::string& text) {
+  bool in_string = false;
+  char quote = 0;
+  for (const char c : text) {
+    if (in_string) {
+      if (c == quote) in_string = false;
+    } else if (c == '"' || c == '\'') {
+      in_string = true;
+      quote = c;
+    } else if (c == '#') {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::string> SerializeWorkload(const engine::Workload& workload) {
+  if (workload.empty()) {
+    return Status::InvalidArgument("cannot serialize an empty workload");
+  }
+  std::string out =
+      "# xia workload file — parseable by engine::ParseWorkloadText\n";
+  for (size_t i = 0; i < workload.size(); ++i) {
+    const engine::Statement& stmt = workload[i];
+    const std::string text = OneLine(engine::ToText(stmt));
+    if (HasUnquotedHash(text)) {
+      return Status::InvalidArgument(
+          StringPrintf("statement %zu contains '#' outside a string "
+                       "literal and cannot be saved in the text format",
+                       i + 1));
+    }
+    // Default the label the way ParseWorkloadText would, so a save/load
+    // cycle reproduces the file byte for byte.
+    std::string label = SanitizeLabel(stmt.label);
+    if (label.empty()) label = StringPrintf("stmt-%zu", i + 1);
+    out += StringPrintf("@freq=%s @label=%s\n",
+                        FormatFrequency(stmt.frequency).c_str(),
+                        label.c_str());
+    out += text + ";\n";
+  }
+  return out;
+}
+
+Result<engine::Workload> DeserializeWorkload(const std::string& text) {
+  return engine::ParseWorkloadText(text);
+}
+
+Status SaveWorkloadToFile(const engine::Workload& workload,
+                          const std::string& path) {
+  namespace fs = std::filesystem;
+  const fs::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    if (!fs::is_directory(p.parent_path(), ec)) {
+      return Status::NotFound("directory does not exist: " +
+                              p.parent_path().string());
+    }
+  }
+  XIA_ASSIGN_OR_RETURN(std::string text, SerializeWorkload(workload));
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::Internal("cannot open for writing: " + path);
+  out << text;
+  out.close();
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Result<engine::Workload> LoadWorkloadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("workload file: " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return engine::ParseWorkloadText(buffer.str());
+}
+
+}  // namespace xia::workload

@@ -1,0 +1,45 @@
+// xia::workload — workload persistence.
+//
+// Saved workloads use the same text format engine::ParseWorkloadText
+// already reads (';'-separated statements, '#' comments, @freq=/@label=
+// annotations), so a saved capture is a valid input anywhere a workload
+// file is accepted (`xia_advise --workload`, shell `workload load`,
+// replay). Serialization is canonical: one annotation line and one
+// single-line statement per entry, deterministic frequency formatting,
+// labels defaulted exactly as the parser would default them — which makes
+// Save(Load(Save(w))) byte-identical to Save(w), the property the
+// round-trip tests pin down.
+//
+// Limitation (inherited from the text format): statement text must not
+// contain '#' outside string literals — '#' starts a comment. The XIA
+// query language never produces one; inserted XML documents could, and
+// are rejected at save time rather than silently corrupted at load time.
+
+#ifndef XIA_WORKLOAD_WORKLOAD_IO_H_
+#define XIA_WORKLOAD_WORKLOAD_IO_H_
+
+#include <string>
+
+#include "engine/query.h"
+#include "util/status.h"
+
+namespace xia::workload {
+
+/// Renders `workload` in the canonical on-disk text form.
+Result<std::string> SerializeWorkload(const engine::Workload& workload);
+
+/// Parses the on-disk text form (thin wrapper over
+/// engine::ParseWorkloadText, present for symmetry).
+Result<engine::Workload> DeserializeWorkload(const std::string& text);
+
+/// Serializes `workload` and writes it to `path`. Fails up front if the
+/// parent directory does not exist.
+Status SaveWorkloadToFile(const engine::Workload& workload,
+                          const std::string& path);
+
+/// Reads and parses the workload at `path`.
+Result<engine::Workload> LoadWorkloadFromFile(const std::string& path);
+
+}  // namespace xia::workload
+
+#endif  // XIA_WORKLOAD_WORKLOAD_IO_H_

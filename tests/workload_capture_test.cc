@@ -1,0 +1,287 @@
+// xia::workload unit tests: the capture sink, templatization (constants ->
+// markers, normalization-aware dedup), and the canonical text
+// serialization with its byte-identical round-trip guarantee.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "engine/query_parser.h"
+#include "workload/capture.h"
+#include "workload/templatizer.h"
+#include "workload/workload_io.h"
+
+namespace xia::workload {
+namespace {
+
+engine::Statement Parse(const std::string& text, double freq = 1.0,
+                        const std::string& label = "") {
+  auto stmt = engine::ParseStatement(text, freq, label);
+  EXPECT_TRUE(stmt.ok()) << text << ": " << stmt.status();
+  return std::move(*stmt);
+}
+
+// ---------------------------------------------------------------- capture
+
+TEST(WorkloadCaptureTest, DisabledCaptureIgnoresPublications) {
+  WorkloadCapture capture;
+  EXPECT_FALSE(capture.enabled());
+  EXPECT_FALSE(capture.Publish(Parse(
+      "for $s in collection('SDOC')/Security return $s")));
+  EXPECT_EQ(capture.pending(), 0u);
+  EXPECT_EQ(capture.published(), 0u);
+}
+
+TEST(WorkloadCaptureTest, PublishDrainRoundTrip) {
+  WorkloadCapture capture;
+  capture.set_enabled(true);
+  EXPECT_TRUE(capture.Publish(
+      Parse("for $s in collection('SDOC')/Security return $s"), 0.25));
+  EXPECT_TRUE(capture.Publish(
+      Parse("for $s in collection('ODOC')/FIXML return $s"), 0.5));
+  EXPECT_EQ(capture.pending(), 2u);
+
+  std::vector<CapturedQuery> batch = capture.Drain();
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].sequence, 0u);
+  EXPECT_EQ(batch[1].sequence, 1u);
+  EXPECT_DOUBLE_EQ(batch[0].wall_seconds, 0.25);
+  EXPECT_EQ(batch[0].statement.collection(), "SDOC");
+  EXPECT_EQ(batch[1].statement.collection(), "ODOC");
+  EXPECT_EQ(capture.pending(), 0u);
+  EXPECT_EQ(capture.published(), 2u);
+  EXPECT_EQ(capture.drained(), 2u);
+  EXPECT_TRUE(capture.Drain().empty());
+}
+
+TEST(WorkloadCaptureTest, CapacityBoundsPendingAndCountsDrops) {
+  WorkloadCapture capture(/*capacity=*/2);
+  capture.set_enabled(true);
+  const engine::Statement stmt =
+      Parse("for $s in collection('SDOC')/Security return $s");
+  EXPECT_TRUE(capture.Publish(stmt));
+  EXPECT_TRUE(capture.Publish(stmt));
+  EXPECT_FALSE(capture.Publish(stmt));  // full
+  EXPECT_EQ(capture.pending(), 2u);
+  EXPECT_EQ(capture.dropped(), 1u);
+  // Draining frees capacity again.
+  EXPECT_EQ(capture.Drain().size(), 2u);
+  EXPECT_TRUE(capture.Publish(stmt));
+}
+
+// ----------------------------------------------------------- templatizer
+
+TEST(TemplatizerTest, ConstantsCollapseIntoOneTemplate) {
+  Templatizer t;
+  EXPECT_TRUE(t.Add(Parse(
+      "for $s in collection('SDOC')/Security "
+      "where $s/Symbol = \"SYM000017\" return $s")));
+  EXPECT_FALSE(t.Add(Parse(
+      "for $s in collection('SDOC')/Security "
+      "where $s/Symbol = \"SYM000042\" return $s")));
+  EXPECT_FALSE(t.Add(Parse(
+      "for $s in collection('SDOC')/Security "
+      "where $s/Symbol = \"SYM000099\" return $s")));
+  EXPECT_EQ(t.template_count(), 1u);
+  EXPECT_EQ(t.raw_count(), 3u);
+  EXPECT_DOUBLE_EQ(t.DedupRatio(), 3.0);
+  // The representative keeps the first concrete literal.
+  const engine::Workload w = t.ToWorkload();
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_DOUBLE_EQ(w[0].frequency, 3.0);
+  EXPECT_NE(w[0].text.find("SYM000017"), std::string::npos);
+}
+
+TEST(TemplatizerTest, NormalizationMergesWhereAndInlinePredicates) {
+  // A where-clause conjunct and the equivalent inline predicate rewrite to
+  // the same normalized path, so they are one template.
+  Templatizer t;
+  EXPECT_TRUE(t.Add(Parse(
+      "for $s in collection('SDOC')/Security "
+      "where $s/Yield > 4.5 return $s")));
+  EXPECT_FALSE(t.Add(Parse(
+      "for $s in collection('SDOC')/Security[Yield > 9.9] return $s")));
+  EXPECT_EQ(t.template_count(), 1u);
+}
+
+TEST(TemplatizerTest, ShapeDifferencesStaySeparate) {
+  Templatizer t;
+  const char* variants[] = {
+      // Different compared path.
+      "for $s in collection('SDOC')/Security where $s/Symbol = \"A\" "
+      "return $s",
+      "for $s in collection('SDOC')/Security where $s/Name = \"A\" "
+      "return $s",
+      // Different operator.
+      "for $s in collection('SDOC')/Security where $s/Symbol != \"A\" "
+      "return $s",
+      // Different literal *type* (string vs numeric).
+      "for $s in collection('SDOC')/Security where $s/Symbol = 7 return $s",
+      // Different collection.
+      "for $s in collection('ODOC')/Security where $s/Symbol = \"A\" "
+      "return $s",
+      // Different returns.
+      "for $s in collection('SDOC')/Security where $s/Symbol = \"A\" "
+      "return $s/Name",
+  };
+  for (const char* text : variants) EXPECT_TRUE(t.Add(Parse(text))) << text;
+  EXPECT_EQ(t.template_count(), 6u);
+}
+
+TEST(TemplatizerTest, ModificationStatements) {
+  Templatizer t;
+  // All inserts into one collection are one template.
+  EXPECT_TRUE(t.Add(Parse("insert into ODOC <FIXML><Order/></FIXML>")));
+  EXPECT_FALSE(t.Add(Parse("insert into ODOC <FIXML><Other/></FIXML>")));
+  EXPECT_TRUE(t.Add(Parse("insert into SDOC <Security/>")));
+  // Deletes dedupe up to constants.
+  EXPECT_TRUE(t.Add(Parse(
+      "delete from ODOC where /FIXML/Order[@ID = \"100001\"]")));
+  EXPECT_FALSE(t.Add(Parse(
+      "delete from ODOC where /FIXML/Order[@ID = \"100002\"]")));
+  // Updates dedupe up to constants (match literal and new value).
+  EXPECT_TRUE(t.Add(Parse(
+      "update SDOC set /Security/Yield = 9.9 "
+      "where /Security[Symbol = \"A\"]")));
+  EXPECT_FALSE(t.Add(Parse(
+      "update SDOC set /Security/Yield = 1.1 "
+      "where /Security[Symbol = \"B\"]")));
+  // ... but a different update target is a different template.
+  EXPECT_TRUE(t.Add(Parse(
+      "update SDOC set /Security/Price/Last = 1.0 "
+      "where /Security[Symbol = \"A\"]")));
+  EXPECT_EQ(t.template_count(), 5u);
+}
+
+TEST(TemplatizerTest, AddWorkloadWeightsByFrequency) {
+  Templatizer t;
+  engine::Workload w;
+  w.push_back(Parse("for $s in collection('SDOC')/Security "
+                    "where $s/Symbol = \"A\" return $s",
+                    20.0, "hot"));
+  w.push_back(Parse("for $s in collection('SDOC')/Security "
+                    "where $s/Symbol = \"B\" return $s",
+                    5.0));
+  EXPECT_EQ(t.AddWorkload(w), 1u);
+  const engine::Workload out = t.ToWorkload();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].frequency, 25.0);
+  EXPECT_EQ(out[0].label, "hot");
+}
+
+TEST(TemplatizerTest, ClearResets) {
+  Templatizer t;
+  t.Add(Parse("for $s in collection('SDOC')/Security return $s"));
+  t.Clear();
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.raw_count(), 0u);
+  EXPECT_DOUBLE_EQ(t.DedupRatio(), 0.0);
+}
+
+// ---------------------------------------------------------- serialization
+
+engine::Workload SampleWorkload() {
+  engine::Workload w;
+  w.push_back(Parse("for $s in collection('SDOC')/Security "
+                    "where $s/Symbol = \"SYM000017\" return $s",
+                    20.0, "get_security"));
+  w.push_back(Parse("for $s in collection('SDOC')/Security[Yield > 4.5] "
+                    "where $s/SecInfo/*/Sector = \"Energy\" "
+                    "return $s/Name, $s/Symbol",
+                    2.5));
+  w.push_back(Parse("update SDOC set /Security/Yield = 9.9 "
+                    "where /Security[Symbol = \"SYM000017\"]",
+                    3.0, "bump"));
+  w.push_back(Parse("delete from ODOC where /FIXML/Order[@ID = \"100001\"]"));
+  return w;
+}
+
+TEST(WorkloadIoTest, SerializeParsesBackEquivalent) {
+  const engine::Workload w = SampleWorkload();
+  auto text = SerializeWorkload(w);
+  ASSERT_TRUE(text.ok()) << text.status();
+  auto loaded = DeserializeWorkload(*text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), w.size());
+  for (size_t i = 0; i < w.size(); ++i) {
+    EXPECT_TRUE(engine::SameStatementBody(w[i], (*loaded)[i])) << i;
+    EXPECT_DOUBLE_EQ((*loaded)[i].frequency, w[i].frequency) << i;
+  }
+  EXPECT_EQ((*loaded)[0].label, "get_security");
+  // Unlabeled statements pick up the parser's positional default.
+  EXPECT_EQ((*loaded)[1].label, "stmt-2");
+  EXPECT_EQ((*loaded)[3].label, "stmt-4");
+}
+
+TEST(WorkloadIoTest, SaveLoadSaveIsByteIdentical) {
+  const engine::Workload w = SampleWorkload();
+  auto first = SerializeWorkload(w);
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto loaded = DeserializeWorkload(*first);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  auto second = SerializeWorkload(*loaded);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(*first, *second);
+}
+
+TEST(WorkloadIoTest, MultiLineStatementsCollapseToOneLine) {
+  engine::Workload w;
+  w.push_back(Parse("for $s in collection('SDOC')/Security\n"
+                    "  where $s/Symbol = \"A\"\n  return $s"));
+  auto text = SerializeWorkload(w);
+  ASSERT_TRUE(text.ok()) << text.status();
+  // Header + annotation line + statement line.
+  int lines = 0;
+  for (const char c : *text) lines += c == '\n';
+  EXPECT_EQ(lines, 3);
+  auto loaded = DeserializeWorkload(*text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(engine::SameStatementBody(w[0], (*loaded)[0]));
+}
+
+TEST(WorkloadIoTest, EmptyWorkloadRejected) {
+  EXPECT_FALSE(SerializeWorkload(engine::Workload()).ok());
+}
+
+TEST(WorkloadIoTest, UnquotedHashRejected) {
+  engine::Workload w;
+  w.push_back(Parse("insert into SDOC <Security color=\"x\">#1</Security>"));
+  EXPECT_FALSE(SerializeWorkload(w).ok());
+  // A '#' inside a string literal is fine.
+  engine::Workload ok;
+  ok.push_back(Parse("for $s in collection('SDOC')/Security "
+                     "where $s/Symbol = \"#1\" return $s"));
+  EXPECT_TRUE(SerializeWorkload(ok).ok());
+}
+
+TEST(WorkloadIoTest, FileRoundTripAndMissingDirectory) {
+  const engine::Workload w = SampleWorkload();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "xia_workload_io_test.xq")
+          .string();
+  ASSERT_TRUE(SaveWorkloadToFile(w, path).ok());
+  auto loaded = LoadWorkloadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->size(), w.size());
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(
+      SaveWorkloadToFile(w, "/nonexistent-xia-dir/w.xq").ok());
+  EXPECT_FALSE(LoadWorkloadFromFile(path).ok());  // deleted above
+}
+
+// -------------------------------------------------- executor sink wiring
+
+TEST(QuerySinkTest, TemplateKeyIsStableAcrossEquivalentForms) {
+  // collection('X') and SECURITY('X') spellings parse to the same body and
+  // therefore the same key.
+  EXPECT_EQ(TemplateKey(Parse("for $s in collection('SDOC')/Security "
+                              "where $s/Symbol = \"A\" return $s")),
+            TemplateKey(Parse("for $s in SECURITY('SDOC')/Security "
+                              "where $s/Symbol = \"B\" return $s")));
+}
+
+}  // namespace
+}  // namespace xia::workload

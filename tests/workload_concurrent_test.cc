@@ -1,0 +1,178 @@
+// Concurrency tests for the workload capture path: N producer threads
+// publishing while a consumer drains must lose nothing and duplicate
+// nothing. These are the tests the dedicated TSan ctest (xia_tsan_build)
+// rebuilds under -fsanitize=thread.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "engine/query_parser.h"
+#include "workload/capture.h"
+#include "workload/templatizer.h"
+
+namespace xia::workload {
+namespace {
+
+engine::Statement Parse(const std::string& text) {
+  auto stmt = engine::ParseStatement(text);
+  EXPECT_TRUE(stmt.ok()) << text << ": " << stmt.status();
+  return std::move(*stmt);
+}
+
+// Each producer publishes `per_thread` queries whose constant encodes
+// (thread, i), so every publication is globally unique and the drained
+// stream can be checked for loss and duplication exactly.
+TEST(WorkloadConcurrentTest, ProducersAndDrainerLoseNothing) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+
+  WorkloadCapture capture;
+  capture.set_enabled(true);
+
+  std::atomic<bool> producers_done{false};
+  std::vector<CapturedQuery> drained;
+  std::thread drainer([&] {
+    for (;;) {
+      const bool done = producers_done.load(std::memory_order_acquire);
+      std::vector<CapturedQuery> batch = capture.Drain();
+      drained.insert(drained.end(),
+                     std::make_move_iterator(batch.begin()),
+                     std::make_move_iterator(batch.end()));
+      if (done && capture.pending() == 0) break;
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        engine::Statement stmt = Parse(
+            "for $s in collection('SDOC')/Security where $s/Symbol = \"T" +
+            std::to_string(t) + "-" + std::to_string(i) + "\" return $s");
+        ASSERT_TRUE(capture.Publish(stmt, 0.001));
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  producers_done.store(true, std::memory_order_release);
+  drainer.join();
+
+  constexpr uint64_t kTotal = uint64_t{kThreads} * kPerThread;
+  EXPECT_EQ(capture.published(), kTotal);
+  EXPECT_EQ(capture.dropped(), 0u);
+  EXPECT_EQ(capture.drained(), kTotal);
+  ASSERT_EQ(drained.size(), kTotal);
+
+  // No duplicated or lost sequence numbers.
+  std::vector<bool> seen_seq(kTotal, false);
+  // No duplicated or lost payloads: count per (thread, i) constant.
+  std::map<std::string, int> payloads;
+  for (const CapturedQuery& cq : drained) {
+    ASSERT_LT(cq.sequence, kTotal);
+    EXPECT_FALSE(seen_seq[cq.sequence]) << "duplicate seq " << cq.sequence;
+    seen_seq[cq.sequence] = true;
+    ++payloads[cq.statement.query().where[0].literal.string_value];
+  }
+  EXPECT_EQ(payloads.size(), kTotal);
+  for (const auto& [key, count] : payloads) {
+    EXPECT_EQ(count, 1) << key;
+  }
+}
+
+// Concurrent producers + a templatizing consumer: the weighted workload
+// that comes out the other end accounts for every single publication.
+TEST(WorkloadConcurrentTest, TemplatizedWeightsAccountForEveryQuery) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 250;
+
+  WorkloadCapture capture;
+  capture.set_enabled(true);
+  Templatizer templatizer;
+
+  std::atomic<bool> producers_done{false};
+  std::thread consumer([&] {
+    for (;;) {
+      const bool done = producers_done.load(std::memory_order_acquire);
+      templatizer.AddBatch(capture.Drain());
+      if (done && capture.pending() == 0) break;
+      std::this_thread::yield();
+    }
+  });
+
+  // Every producer publishes the same two shapes with varying constants.
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::string c = std::to_string(t * kPerThread + i);
+        ASSERT_TRUE(capture.Publish(Parse(
+            "for $s in collection('SDOC')/Security where $s/Symbol = \"S" +
+            c + "\" return $s")));
+        ASSERT_TRUE(capture.Publish(Parse(
+            "for $o in collection('ODOC')/FIXML/Order where $o/@ID = \"O" +
+            c + "\" return $o")));
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  producers_done.store(true, std::memory_order_release);
+  consumer.join();
+
+  constexpr double kPerShape = double{kThreads} * kPerThread;
+  EXPECT_EQ(templatizer.template_count(), 2u);
+  EXPECT_EQ(templatizer.raw_count(), uint64_t{2} * kThreads * kPerThread);
+  const engine::Workload w = templatizer.ToWorkload();
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w[0].frequency, kPerShape);
+  EXPECT_DOUBLE_EQ(w[1].frequency, kPerShape);
+}
+
+// A bounded capture under pressure: accepted + dropped == attempted, and
+// the drained stream never exceeds what was accepted.
+TEST(WorkloadConcurrentTest, BoundedCaptureAccountsForDrops) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 300;
+
+  WorkloadCapture capture(/*capacity=*/64);
+  capture.set_enabled(true);
+  const engine::Statement stmt =
+      Parse("for $s in collection('SDOC')/Security return $s");
+
+  std::atomic<uint64_t> accepted{0};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (capture.Publish(stmt)) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  uint64_t drained = 0;
+  std::atomic<bool> done{false};
+  std::thread drainer([&] {
+    while (!done.load(std::memory_order_acquire) || capture.pending() > 0) {
+      drained += capture.Drain().size();
+      std::this_thread::yield();
+    }
+  });
+  for (auto& p : producers) p.join();
+  done.store(true, std::memory_order_release);
+  drainer.join();
+
+  constexpr uint64_t kAttempted = uint64_t{kThreads} * kPerThread;
+  EXPECT_EQ(capture.published(), accepted.load());
+  EXPECT_EQ(capture.published() + capture.dropped(), kAttempted);
+  EXPECT_EQ(drained, accepted.load());
+  EXPECT_LE(capture.pending(), size_t{0});
+}
+
+}  // namespace
+}  // namespace xia::workload

@@ -1,0 +1,125 @@
+// End-to-end workload lifecycle test: executed queries -> capture ->
+// templatize -> save -> load -> Advisor::Recommend must agree with a batch
+// advise over the equivalent in-memory workload (ISSUE 2 acceptance).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "advisor/advisor.h"
+#include "engine/query_parser.h"
+#include "storage/document_store.h"
+#include "storage/statistics.h"
+#include "tpox/tpox_data.h"
+#include "tpox/tpox_workload.h"
+#include "util/string_util.h"
+#include "workload/capture.h"
+#include "workload/templatizer.h"
+#include "workload/workload_io.h"
+
+namespace xia::workload {
+namespace {
+
+std::vector<std::string> RecommendedDdls(
+    const advisor::Recommendation& rec) {
+  std::vector<std::string> ddls;
+  for (const auto& ri : rec.indexes) ddls.push_back(ri.ddl);
+  return ddls;
+}
+
+class WorkloadRoundTripTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tpox::TpoxScale scale;
+    scale.security_docs = 400;
+    scale.order_docs = 500;
+    scale.custacc_docs = 120;
+    ASSERT_TRUE(tpox::BuildTpoxDatabase(scale, &store_, &stats_).ok());
+  }
+
+  advisor::AdvisorOptions Options() {
+    advisor::AdvisorOptions options;
+    options.disk_budget_bytes = 2.0 * 1024 * 1024;
+    return options;
+  }
+
+  storage::DocumentStore store_;
+  storage::StatisticsCatalog stats_;
+};
+
+TEST_F(WorkloadRoundTripTest, CaptureTemplatizeSaveLoadAdvise) {
+  // A raw "traffic" stream: each TPoX query published many times with
+  // rotating constants (same shapes, different values).
+  auto base = tpox::TpoxQueries();
+  ASSERT_TRUE(base.ok()) << base.status();
+
+  WorkloadCapture capture;
+  capture.set_enabled(true);
+  size_t raw = 0;
+  for (int round = 0; round < 10; ++round) {
+    for (const auto& stmt : *base) {
+      ASSERT_TRUE(capture.Publish(stmt));
+      ++raw;
+    }
+  }
+  ASSERT_GE(raw, 100u);
+
+  Templatizer templatizer;
+  templatizer.AddBatch(capture.Drain());
+  EXPECT_EQ(templatizer.raw_count(), raw);
+  EXPECT_EQ(templatizer.template_count(), base->size());
+  EXPECT_DOUBLE_EQ(templatizer.DedupRatio(), 10.0);
+
+  const engine::Workload captured = templatizer.ToWorkload();
+
+  // Save and reload; the loaded workload must recommend the same
+  // configuration as the in-memory one.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "xia_roundtrip_test.xq")
+          .string();
+  ASSERT_TRUE(SaveWorkloadToFile(captured, path).ok());
+  auto loaded = LoadWorkloadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), captured.size());
+  for (size_t i = 0; i < captured.size(); ++i) {
+    EXPECT_TRUE(engine::SameStatementBody(captured[i], (*loaded)[i])) << i;
+    EXPECT_DOUBLE_EQ((*loaded)[i].frequency, captured[i].frequency) << i;
+  }
+
+  advisor::IndexAdvisor advisor(&store_, &stats_);
+  auto rec_mem = advisor.Recommend(captured, Options());
+  ASSERT_TRUE(rec_mem.ok()) << rec_mem.status();
+  auto rec_file = advisor.Recommend(*loaded, Options());
+  ASSERT_TRUE(rec_file.ok()) << rec_file.status();
+
+  EXPECT_FALSE(rec_mem->indexes.empty());
+  EXPECT_EQ(RecommendedDdls(*rec_mem), RecommendedDdls(*rec_file));
+  EXPECT_DOUBLE_EQ(rec_mem->total_size_bytes, rec_file->total_size_bytes);
+  EXPECT_NEAR(rec_mem->est_speedup, rec_file->est_speedup, 1e-9);
+
+  // The weighted template workload must also recommend the same indexes
+  // as the raw duplicated stream (frequency-weighting is what makes the
+  // compression lossless for the advisor).
+  engine::Workload raw_stream;
+  for (int round = 0; round < 10; ++round) {
+    for (const auto& stmt : *base) raw_stream.push_back(stmt);
+  }
+  auto rec_raw = advisor.Recommend(raw_stream, Options());
+  ASSERT_TRUE(rec_raw.ok()) << rec_raw.status();
+  EXPECT_EQ(RecommendedDdls(*rec_raw), RecommendedDdls(*rec_mem));
+
+  // And the save format itself is canonical: save(load(save)) == save.
+  auto first = SerializeWorkload(captured);
+  ASSERT_TRUE(first.ok());
+  auto second = SerializeWorkload(*loaded);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);
+
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace xia::workload

@@ -31,6 +31,9 @@
 #include "storage/snapshot.h"
 #include "tpox/tpox_data.h"
 #include "util/string_util.h"
+#include "workload/capture.h"
+#include "workload/templatizer.h"
+#include "workload/workload_io.h"
 
 namespace {
 
@@ -45,9 +48,12 @@ int Usage() {
       "                  [--budget SIZE] [--algorithm NAME] [--beta F]\n"
       "                  [--no-generalize] [--all-index] [--explain]"
       " [--report]\n"
-      "                  [--metrics-json PATH]\n"
+      "                  [--metrics-json PATH] [--capture PATH]\n"
       "  SIZE: bytes, or suffixed 512KB / 10MB / 1GB\n"
-      "  NAME: greedy | heuristics | topdown-lite | topdown-full | dp\n");
+      "  NAME: greedy | heuristics | topdown-lite | topdown-full | dp\n"
+      "  --capture: templatize the workload (constants -> markers,\n"
+      "             duplicates merged into weighted templates), save the\n"
+      "             compressed workload to PATH, and advise over it\n");
   return 2;
 }
 
@@ -140,6 +146,24 @@ Status LoadDataDirectory(const std::string& dir,
   return Status::OK();
 }
 
+// Validates an output file path up front: the parent directory must exist
+// and the path must not name a directory. Run *before* the expensive work
+// so a typo'd --metrics-json / --capture path fails immediately with a
+// clear error instead of silently writing nothing at the end.
+Status ValidateOutputPath(const std::string& path, const char* what) {
+  const fs::path p(path);
+  std::error_code ec;
+  if (fs::is_directory(p, ec)) {
+    return Status::InvalidArgument(std::string(what) + " path " + path +
+                                   " is a directory");
+  }
+  if (p.has_parent_path() && !fs::is_directory(p.parent_path(), ec)) {
+    return Status::NotFound(std::string(what) + " directory does not exist: " +
+                            p.parent_path().string());
+  }
+  return Status::OK();
+}
+
 // Writes the process-wide metrics snapshot as JSON; 0 on success.
 int DumpMetricsJson(const std::string& path) {
   std::ofstream out(path);
@@ -163,6 +187,7 @@ int main(int argc, char** argv) {
   bool explain = false;
   bool report = false;
   std::string metrics_json_path;
+  std::string capture_path;
   advisor::AdvisorOptions options;
   options.disk_budget_bytes = 10.0 * 1024 * 1024;
   options.algorithm = advisor::SearchAlgorithm::kTopDownFull;
@@ -207,6 +232,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage();
       metrics_json_path = v;
+    } else if (arg == "--capture") {
+      const char* v = next();
+      if (!v) return Usage();
+      capture_path = v;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return Usage();
@@ -215,6 +244,18 @@ int main(int argc, char** argv) {
   if ((data_dir.empty() && snapshot_file.empty() && !demo) ||
       workload_file.empty()) {
     return Usage();
+  }
+  // Fail fast on unwritable output destinations, before any data loads.
+  if (!metrics_json_path.empty()) {
+    if (Status s = ValidateOutputPath(metrics_json_path, "--metrics-json");
+        !s.ok()) {
+      return Fail(s);
+    }
+  }
+  if (!capture_path.empty()) {
+    if (Status s = ValidateOutputPath(capture_path, "--capture"); !s.ok()) {
+      return Fail(s);
+    }
   }
 
   storage::DocumentStore store;
@@ -254,7 +295,33 @@ int main(int argc, char** argv) {
   buffer << in.rdbuf();
   auto workload = engine::ParseWorkloadText(buffer.str());
   if (!workload.ok()) return Fail(workload.status());
-  std::printf("workload: %zu statements\n\n", workload->size());
+  std::printf("workload: %zu statements\n", workload->size());
+
+  if (!capture_path.empty()) {
+    // Run the raw workload through the capture -> templatize pipeline:
+    // constants become markers, duplicates merge into weighted templates,
+    // and both the file and the advise run below use the compressed form.
+    xia::workload::WorkloadCapture capture;
+    capture.set_enabled(true);
+    for (const auto& stmt : *workload) capture.Publish(stmt);
+    xia::workload::Templatizer templatizer;
+    for (const auto& cq : capture.Drain()) {
+      templatizer.Add(cq.statement, cq.statement.frequency);
+    }
+    engine::Workload templatized = templatizer.ToWorkload();
+    if (Status s = xia::workload::SaveWorkloadToFile(templatized,
+                                                     capture_path);
+        !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("captured: %llu statements -> %zu templates (%.1fx), "
+                "saved to %s\n",
+                static_cast<unsigned long long>(templatizer.raw_count()),
+                templatizer.template_count(), templatizer.DedupRatio(),
+                capture_path.c_str());
+    *workload = std::move(templatized);
+  }
+  std::printf("\n");
 
   advisor::IndexAdvisor advisor(&store, &statistics);
 

@@ -17,6 +17,8 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -30,7 +32,11 @@
 #include "storage/snapshot.h"
 #include "tpox/tpox_data.h"
 #include "tpox/xmark.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
+#include "workload/capture.h"
+#include "workload/online_advisor.h"
+#include "workload/workload_io.h"
 #include "xml/parser.h"
 #include "xpath/parser.h"
 
@@ -45,7 +51,11 @@ class Shell {
       : catalog_(&store_, &statistics_),
         optimizer_(&store_, &catalog_, &statistics_),
         executor_(&store_, &catalog_),
-        advisor_(&store_, &statistics_) {}
+        advisor_(&store_, &statistics_) {
+    // Every executed statement flows into the capture sink; the sink is
+    // disabled until `monitor start` so the hot path pays one atomic load.
+    executor_.set_sink(&capture_);
+  }
 
   int Run(std::istream& in, bool interactive) {
     std::string line;
@@ -93,6 +103,8 @@ class Shell {
     if (cmd == "run") return Execute(rest);
     if (cmd == "workload") return WorkloadCommand(rest);
     if (cmd == "advise") return Advise(rest);
+    if (cmd == "monitor") return MonitorCommand(rest);
+    if (cmd == "replay") return Replay(rest);
     if (cmd == "trace") return TraceCommand(rest);
     return Status::InvalidArgument("unknown command '" + cmd +
                                    "' (try 'help')");
@@ -114,14 +126,24 @@ class Shell {
         "  explain STATEMENT              best plan + cost\n"
         "  explain analyze STATEMENT      execute and compare to estimates\n"
         "  run STATEMENT                  execute best plan\n"
-        "  workload add STATEMENT | load FILE | list | clear\n"
+        "  workload add STATEMENT | load FILE | save FILE | list | show |"
+        " clear\n"
         "  advise BUDGET [greedy|heuristics|topdown-lite|topdown-full|dp]\n"
+        "  monitor start [MIN_QUERIES] [INTERVAL_S]   capture + online"
+        " advising\n"
+        "  monitor status|flush|stop      online advisor state / force a"
+        " pass / stop\n"
+        "  monitor save FILE              save the captured (templatized)"
+        " workload\n"
+        "  replay FILE [TIMES]            execute a workload file TIMES"
+        " times\n"
         "  trace on|off                   per-phase advisor trace in advise\n"
         "  quit\n");
     return Status::OK();
   }
 
   Status Demo(const std::string& which) {
+    std::lock_guard<std::mutex> db(db_mu_);
     if (which.empty() || which == "tpox") {
       tpox::TpoxScale scale;
       XIA_RETURN_IF_ERROR(
@@ -140,6 +162,7 @@ class Shell {
   }
 
   Status Load(const std::string& dir) {
+    std::lock_guard<std::mutex> db(db_mu_);
     std::error_code ec;
     if (!fs::is_directory(dir, ec)) {
       return Status::NotFound("not a directory: " + dir);
@@ -168,6 +191,7 @@ class Shell {
   }
 
   Status SaveSnapshot(const std::string& path) {
+    std::lock_guard<std::mutex> db(db_mu_);
     if (path.empty()) return Status::InvalidArgument("save FILE");
     XIA_RETURN_IF_ERROR(storage::SaveSnapshotToFile(store_, path));
     std::printf("saved %zu collection(s) to %s\n",
@@ -176,6 +200,7 @@ class Shell {
   }
 
   Status RestoreSnapshot(const std::string& path) {
+    std::lock_guard<std::mutex> db(db_mu_);
     if (path.empty()) return Status::InvalidArgument("restore FILE");
     if (!store_.CollectionNames().empty()) {
       return Status::FailedPrecondition(
@@ -253,6 +278,7 @@ class Shell {
 
   // create index NAME on COLL PATTERN [type] [virtual]
   Status CreateIndex(const std::string& rest) {
+    std::lock_guard<std::mutex> db(db_mu_);
     std::vector<std::string> tokens;
     for (const auto& t : Split(rest, ' ')) {
       if (!t.empty()) tokens.push_back(t);
@@ -299,6 +325,7 @@ class Shell {
   }
 
   Status DropIndex(const std::string& rest) {
+    std::lock_guard<std::mutex> db(db_mu_);
     auto [kw, name] = SplitCommand(rest);
     if (kw != "index" || name.empty()) {
       return Status::InvalidArgument("drop index NAME");
@@ -307,6 +334,7 @@ class Shell {
   }
 
   Status Enumerate(const std::string& text) {
+    std::lock_guard<std::mutex> db(db_mu_);
     XIA_ASSIGN_OR_RETURN(engine::Statement stmt,
                          engine::ParseStatement(text));
     XIA_ASSIGN_OR_RETURN(std::vector<xpath::IndexPattern> patterns,
@@ -319,6 +347,7 @@ class Shell {
   }
 
   Status Explain(const std::string& text) {
+    std::lock_guard<std::mutex> db(db_mu_);
     auto [first, rest] = SplitCommand(text);
     if (first == "analyze") {
       XIA_ASSIGN_OR_RETURN(engine::Statement stmt,
@@ -337,6 +366,7 @@ class Shell {
   }
 
   Status Execute(const std::string& text) {
+    std::lock_guard<std::mutex> db(db_mu_);
     XIA_ASSIGN_OR_RETURN(engine::Statement stmt,
                          engine::ParseStatement(text));
     XIA_ASSIGN_OR_RETURN(optimizer::Plan plan, optimizer_.Optimize(stmt));
@@ -384,6 +414,13 @@ class Shell {
       std::printf("  %zu statements in workload\n", workload_.size());
       return Status::OK();
     }
+    if (sub == "save") {
+      if (arg.empty()) return Status::InvalidArgument("workload save FILE");
+      XIA_RETURN_IF_ERROR(workload::SaveWorkloadToFile(workload_, arg));
+      std::printf("  saved %zu statements to %s\n", workload_.size(),
+                  arg.c_str());
+      return Status::OK();
+    }
     if (sub == "list") {
       for (const auto& stmt : workload_) {
         std::printf("  [%g] %s\n", stmt.frequency,
@@ -392,14 +429,31 @@ class Shell {
       if (workload_.empty()) std::printf("  (empty)\n");
       return Status::OK();
     }
+    if (sub == "show") {
+      double total_freq = 0;
+      for (const auto& stmt : workload_) total_freq += stmt.frequency;
+      for (const auto& stmt : workload_) {
+        const char* kind = stmt.is_query()    ? "query"
+                           : stmt.is_insert() ? "insert"
+                           : stmt.is_delete() ? "delete"
+                                              : "update";
+        std::printf("  %-16s %-6s freq=%-8g %.80s\n", stmt.label.c_str(),
+                    kind, stmt.frequency, engine::ToText(stmt).c_str());
+      }
+      std::printf("  %zu statements, total frequency %g\n", workload_.size(),
+                  total_freq);
+      return Status::OK();
+    }
     if (sub == "clear") {
       workload_.clear();
       return Status::OK();
     }
-    return Status::InvalidArgument("workload add|load|list|clear");
+    return Status::InvalidArgument(
+        "workload add|load|save|list|show|clear");
   }
 
   Status Advise(const std::string& rest) {
+    std::lock_guard<std::mutex> db(db_mu_);
     if (workload_.empty()) {
       return Status::FailedPrecondition("workload is empty (workload add …)");
     }
@@ -456,6 +510,131 @@ class Shell {
     return Status::OK();
   }
 
+  // monitor start [MIN_QUERIES] [INTERVAL_S] | status | flush | stop |
+  // save FILE — online workload capture + continuous advising.
+  Status MonitorCommand(const std::string& rest) {
+    auto [sub, arg] = SplitCommand(rest);
+    if (sub == "start") {
+      if (monitor_ && monitor_->running()) {
+        return Status::FailedPrecondition("monitor already running");
+      }
+      workload::OnlineAdvisorOptions options;
+      options.advisor.disk_budget_bytes = 10 * 1024.0 * 1024.0;
+      auto [min_text, interval_text] = SplitCommand(arg);
+      double v = 0;
+      if (!min_text.empty()) {
+        if (!ParseDouble(min_text, &v) || v < 1) {
+          return Status::InvalidArgument("bad MIN_QUERIES: " + min_text);
+        }
+        options.min_new_queries = static_cast<size_t>(v);
+      }
+      if (!interval_text.empty()) {
+        if (!ParseDouble(interval_text, &v) || v <= 0) {
+          return Status::InvalidArgument("bad INTERVAL_S: " + interval_text);
+        }
+        options.advise_interval_seconds = v;
+      }
+      monitor_ = std::make_unique<workload::OnlineAdvisor>(
+          &capture_, &advisor_, options, &db_mu_);
+      XIA_RETURN_IF_ERROR(monitor_->Start());
+      std::printf(
+          "  monitoring: advising every %zu queries or %.1fs\n",
+          options.min_new_queries, options.advise_interval_seconds);
+      return Status::OK();
+    }
+    if (!monitor_) {
+      return Status::FailedPrecondition("monitor not started");
+    }
+    if (sub == "stop") {
+      monitor_->Stop();
+      const workload::OnlineAdvisorStatus st = monitor_->Snapshot();
+      std::printf("  monitor stopped: %llu queries -> %zu templates, "
+                  "%llu advise passes\n",
+                  static_cast<unsigned long long>(st.queries_seen),
+                  st.template_count,
+                  static_cast<unsigned long long>(st.advise_runs));
+      return Status::OK();
+    }
+    if (sub == "flush") {
+      XIA_RETURN_IF_ERROR(monitor_->AdviseNow());
+      std::printf("  advised\n");
+      return Status::OK();
+    }
+    if (sub == "status") {
+      const workload::OnlineAdvisorStatus st = monitor_->Snapshot();
+      std::printf(
+          "  %s | captured %llu (pending %zu, dropped %llu) | "
+          "%zu templates (dedup %.1fx)\n",
+          st.running ? "running" : "stopped",
+          static_cast<unsigned long long>(capture_.published()),
+          capture_.pending(),
+          static_cast<unsigned long long>(capture_.dropped()),
+          st.template_count, st.dedup_ratio);
+      std::printf(
+          "  advise passes %llu (failures %llu), last %.3fs, churn +%zu/-%zu\n",
+          static_cast<unsigned long long>(st.advise_runs),
+          static_cast<unsigned long long>(st.advise_failures),
+          st.last_advise_seconds, st.last_entered, st.last_left);
+      if (st.has_recommendation) {
+        for (const auto& ri : st.recommendation.indexes) {
+          std::printf("  %s  -- %s%s\n", ri.ddl.c_str(),
+                      HumanBytes(static_cast<double>(ri.size_bytes)).c_str(),
+                      ri.is_general ? " [general]" : "");
+        }
+        std::printf("  est. speedup %.2fx over the captured workload\n",
+                    st.recommendation.est_speedup);
+      } else {
+        std::printf("  (no recommendation yet)\n");
+      }
+      return Status::OK();
+    }
+    if (sub == "save") {
+      if (arg.empty()) return Status::InvalidArgument("monitor save FILE");
+      const engine::Workload captured = monitor_->CurrentWorkload();
+      if (captured.empty()) {
+        return Status::FailedPrecondition("nothing captured yet");
+      }
+      XIA_RETURN_IF_ERROR(workload::SaveWorkloadToFile(captured, arg));
+      std::printf("  saved %zu templates to %s\n", captured.size(),
+                  arg.c_str());
+      return Status::OK();
+    }
+    return Status::InvalidArgument("monitor start|status|flush|save|stop");
+  }
+
+  // replay FILE [TIMES]: execute every statement of a workload file
+  // (optimize + run) TIMES times; executions flow into the capture sink.
+  Status Replay(const std::string& rest) {
+    auto [file, times_text] = SplitCommand(rest);
+    if (file.empty()) return Status::InvalidArgument("replay FILE [TIMES]");
+    size_t times = 1;
+    double v = 0;
+    if (!times_text.empty()) {
+      if (!ParseDouble(times_text, &v) || v < 1) {
+        return Status::InvalidArgument("bad TIMES: " + times_text);
+      }
+      times = static_cast<size_t>(v);
+    }
+    XIA_ASSIGN_OR_RETURN(engine::Workload loaded,
+                         workload::LoadWorkloadFromFile(file));
+    uint64_t executed = 0;
+    Stopwatch timer;
+    for (size_t t = 0; t < times; ++t) {
+      for (const auto& stmt : loaded) {
+        // Lock per statement, not per pass, so the online advisor can
+        // interleave its passes with a long replay.
+        std::lock_guard<std::mutex> db(db_mu_);
+        XIA_ASSIGN_OR_RETURN(optimizer::Plan plan, optimizer_.Optimize(stmt));
+        XIA_RETURN_IF_ERROR(executor_.Execute(stmt, plan).status());
+        ++executed;
+      }
+    }
+    std::printf("  replayed %llu statements (%zu x %zu) in %.3fs\n",
+                static_cast<unsigned long long>(executed), loaded.size(),
+                times, timer.ElapsedSeconds());
+    return Status::OK();
+  }
+
   Status TraceCommand(const std::string& rest) {
     if (rest == "on") {
       trace_ = true;
@@ -475,6 +654,11 @@ class Shell {
   engine::Executor executor_;
   advisor::IndexAdvisor advisor_;
   engine::Workload workload_;
+  /// Serializes store/statistics/catalog access between shell commands
+  /// and the online advisor's background passes.
+  std::mutex db_mu_;
+  workload::WorkloadCapture capture_;
+  std::unique_ptr<workload::OnlineAdvisor> monitor_;
   bool trace_ = false;
 };
 
