@@ -31,13 +31,14 @@ std::string MakeDdl(const RecommendedIndex& index) {
 }  // namespace
 
 Result<CandidateSet> IndexAdvisor::BuildCandidates(
-    const engine::Workload& workload, bool generalize, obs::Tracer* tracer) {
+    const engine::Workload& workload, bool generalize, obs::Tracer* tracer,
+    const fault::Deadline& deadline) {
   storage::Catalog scratch(store_, statistics_, cc_);
   optimizer::Optimizer opt(store_, &scratch, statistics_);
 
   obs::ScopedSpan enumerate_span(tracer, "enumerate");
   XIA_ASSIGN_OR_RETURN(CandidateSet set,
-                       EnumerateBasicCandidates(workload, opt));
+                       EnumerateBasicCandidates(workload, opt, deadline));
   set.enumeration_optimizer_calls = opt.optimize_calls();
   enumerate_span.AnnotateItems(static_cast<double>(set.basic_count));
   enumerate_span.End();
@@ -65,6 +66,12 @@ Result<Recommendation> IndexAdvisor::RecommendImpl(
     bool all_index) {
   Stopwatch timer;
   XIA_OBS_COUNT("xia.advisor.runs", 1);
+  // One deadline covers the whole pipeline: enumeration and search both
+  // poll it and degrade to best-so-far instead of erroring out.
+  const fault::Deadline deadline = options.budget_ms > 0
+                                       ? fault::Deadline::AfterMillis(
+                                             options.budget_ms)
+                                       : fault::Deadline::Infinite();
   // The tracer records each pipeline phase as a depth-0 span, annotated
   // with the delta of the process-wide optimizer-call counter — every
   // optimizer the pipeline touches feeds it, so phase deltas tile the
@@ -80,8 +87,9 @@ Result<Recommendation> IndexAdvisor::RecommendImpl(
   compact_span.AnnotateItems(static_cast<double>(workload.size()));
   compact_span.End();
 
-  XIA_ASSIGN_OR_RETURN(CandidateSet set,
-                       BuildCandidates(workload, options.generalize, &tracer));
+  XIA_ASSIGN_OR_RETURN(
+      CandidateSet set,
+      BuildCandidates(workload, options.generalize, &tracer, deadline));
 
   obs::ScopedSpan dag_span(&tracer, "dag");
   const std::vector<int> roots = BuildDag(&set);
@@ -119,6 +127,8 @@ Result<Recommendation> IndexAdvisor::RecommendImpl(
     SearchOptions search_options;
     search_options.disk_budget_bytes = options.disk_budget_bytes;
     search_options.beta = options.beta;
+    search_options.deadline = deadline;
+    search_options.cancel = options.cancel;
     XIA_ASSIGN_OR_RETURN(
         outcome,
         RunSearch(options.algorithm, set, roots, &evaluator, search_options));
@@ -147,6 +157,8 @@ Result<Recommendation> IndexAdvisor::RecommendImpl(
   rec.total_candidates = set.size();
   rec.general_count = outcome.general_count;
   rec.specific_count = outcome.specific_count;
+  rec.partial = set.partial || outcome.partial;
+  if (rec.partial) XIA_OBS_COUNT("xia.advisor.partial_runs", 1);
   // Enumeration probes ran on a short-lived optimizer inside
   // BuildCandidates; count them too, not just the evaluator's what-ifs.
   rec.optimizer_calls =

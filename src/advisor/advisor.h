@@ -15,6 +15,7 @@
 #include "advisor/candidates.h"
 #include "advisor/search.h"
 #include "engine/query.h"
+#include "fault/deadline.h"
 #include "obs/trace.h"
 #include "storage/catalog.h"
 #include "storage/cost_constants.h"
@@ -39,6 +40,13 @@ struct AdvisorOptions {
   bool use_affected_sets = true;
   /// Charge index-maintenance cost against update statements (§III).
   bool charge_maintenance = true;
+  /// Wall-clock budget for the whole advise run, in milliseconds. 0 (the
+  /// default) means unbounded. On expiry the pipeline degrades to a
+  /// best-so-far recommendation with Recommendation::partial set — it
+  /// never fails with kDeadlineExceeded.
+  double budget_ms = 0;
+  /// Cooperative cancellation, polled alongside the budget. Not owned.
+  const fault::CancelToken* cancel = nullptr;
 };
 
 /// One recommended index.
@@ -75,6 +83,9 @@ struct Recommendation {
   /// durations sum to (nearly) advisor_seconds and their tracked-call
   /// deltas to optimizer_calls.
   obs::Trace trace;
+  /// True when the run hit AdvisorOptions::budget_ms (or was cancelled)
+  /// and the recommendation is the best configuration found in time.
+  bool partial = false;
 };
 
 /// The advisor. Holds references to the database's store and statistics; a
@@ -94,10 +105,12 @@ class IndexAdvisor {
 
   /// Enumerates (and optionally generalizes) candidates without searching.
   /// Exposed for experiments (Table III) and tests. With a tracer, records
-  /// the enumerate/generalize/statistics phases as spans.
-  Result<CandidateSet> BuildCandidates(const engine::Workload& workload,
-                                       bool generalize,
-                                       obs::Tracer* tracer = nullptr);
+  /// the enumerate/generalize/statistics phases as spans. On deadline
+  /// expiry the set built so far is returned with `partial` set.
+  Result<CandidateSet> BuildCandidates(
+      const engine::Workload& workload, bool generalize,
+      obs::Tracer* tracer = nullptr,
+      const fault::Deadline& deadline = fault::Deadline());
 
   /// The "All Index" configuration (§VII-B): every basic candidate,
   /// unconstrained by budget. Useful as the best-possible reference.

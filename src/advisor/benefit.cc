@@ -4,6 +4,7 @@
 #include <numeric>
 #include <set>
 
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "util/string_util.h"
 
@@ -138,6 +139,7 @@ double BenefitEvaluator::MaintenanceCharge(
 
 Result<double> BenefitEvaluator::ConfigurationBenefit(
     const std::vector<int>& config) {
+  XIA_FAULT_INJECT(fault::points::kAdvisorBenefit);
   if (!initialized_) {
     return Status::FailedPrecondition("BenefitEvaluator not initialized");
   }

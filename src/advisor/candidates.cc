@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "fault/fault.h"
+
 namespace xia::advisor {
 
 std::string Candidate::ToString() const {
@@ -19,9 +21,15 @@ int CandidateSet::Find(const std::string& collection,
 }
 
 Result<CandidateSet> EnumerateBasicCandidates(
-    const engine::Workload& workload, const optimizer::Optimizer& optimizer) {
+    const engine::Workload& workload, const optimizer::Optimizer& optimizer,
+    const fault::Deadline& deadline) {
+  XIA_FAULT_INJECT(fault::points::kAdvisorEnumerate);
   CandidateSet set;
   for (size_t s = 0; s < workload.size(); ++s) {
+    if (deadline.expired()) {
+      set.partial = true;
+      break;
+    }
     auto patterns = optimizer.EnumerateIndexes(workload[s]);
     if (!patterns.ok()) return patterns.status();
     const std::string& collection = workload[s].collection();

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "engine/query.h"
+#include "fault/deadline.h"
 #include "optimizer/optimizer.h"
 #include "storage/statistics.h"
 #include "util/status.h"
@@ -54,6 +55,10 @@ struct CandidateSet {
   /// the advisor must add them to its evaluator's count — dropping them
   /// (the old behaviour) understated Recommendation::optimizer_calls.
   uint64_t enumeration_optimizer_calls = 0;
+  /// True when enumeration stopped early on a deadline: candidates from
+  /// the statements probed so far are present, later statements were never
+  /// probed.
+  bool partial = false;
 
   /// Index of the candidate with this collection and pattern, or -1.
   int Find(const std::string& collection,
@@ -66,8 +71,12 @@ struct CandidateSet {
 
 /// Runs the optimizer in Enumerate Indexes mode on every statement and
 /// collects the deduplicated basic candidate set with affected sets.
+/// The deadline is polled between statements: on expiry the set built so
+/// far is returned with `partial` set, rather than an error — a partial
+/// candidate set still supports a best-so-far recommendation.
 Result<CandidateSet> EnumerateBasicCandidates(
-    const engine::Workload& workload, const optimizer::Optimizer& optimizer);
+    const engine::Workload& workload, const optimizer::Optimizer& optimizer,
+    const fault::Deadline& deadline = fault::Deadline());
 
 /// Fills Candidate::stats for every candidate from data statistics.
 Status PopulateStatistics(CandidateSet* set,

@@ -48,6 +48,10 @@ Result<std::string> RenderReport(const engine::Workload& workload,
       "advisor work: %llu optimizer calls in %.3fs\n",
       static_cast<unsigned long long>(recommendation.optimizer_calls),
       recommendation.advisor_seconds);
+  if (recommendation.partial) {
+    out +=
+        "partial: true (time budget hit; best configuration found so far)\n";
+  }
 
   if (!recommendation.trace.empty()) {
     out += "\n--- pipeline phases ---\n";

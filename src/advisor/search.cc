@@ -5,6 +5,7 @@
 #include <limits>
 #include <set>
 
+#include "fault/fault.h"
 #include "util/string_util.h"
 
 namespace xia::advisor {
@@ -12,6 +13,12 @@ namespace xia::advisor {
 namespace {
 
 constexpr double kEps = 1e-9;
+
+// Deadline/cancel poll shared by every algorithm's evaluation loops.
+bool Interrupted(const SearchOptions& options) {
+  if (options.cancel != nullptr && options.cancel->cancelled()) return true;
+  return options.deadline.expired();
+}
 
 double TotalSize(const CandidateSet& set, const std::vector<int>& config) {
   double total = 0;
@@ -23,12 +30,16 @@ double TotalSize(const CandidateSet& set, const std::vector<int>& config) {
 
 Result<SearchOutcome> Finalize(const CandidateSet& set,
                                std::vector<int> selected,
-                               BenefitEvaluator* evaluator) {
+                               BenefitEvaluator* evaluator,
+                               bool partial = false) {
   std::sort(selected.begin(), selected.end());
   selected.erase(std::unique(selected.begin(), selected.end()),
                  selected.end());
   SearchOutcome out;
+  out.partial = partial;
   out.total_size_bytes = TotalSize(set, selected);
+  // Deliberately evaluated even past a deadline: a partial outcome must
+  // still report a true benefit for what it selected.
   XIA_ASSIGN_OR_RETURN(out.benefit, evaluator->ConfigurationBenefit(selected));
   for (int id : selected) {
     if (set[static_cast<size_t>(id)].is_general) {
@@ -41,11 +52,19 @@ Result<SearchOutcome> Finalize(const CandidateSet& set,
   return out;
 }
 
-// Standalone benefit of every candidate (one evaluator probe each).
+// Standalone benefit of every candidate (one evaluator probe each). On
+// interrupt, the remaining candidates keep a benefit of zero and *partial
+// is set — callers still get a usable (if conservative) value vector.
 Result<std::vector<double>> StandaloneBenefits(const CandidateSet& set,
-                                               BenefitEvaluator* evaluator) {
+                                               BenefitEvaluator* evaluator,
+                                               const SearchOptions& options,
+                                               bool* partial) {
   std::vector<double> benefits(set.size(), 0.0);
   for (size_t i = 0; i < set.size(); ++i) {
+    if (Interrupted(options)) {
+      *partial = true;
+      break;
+    }
     XIA_ASSIGN_OR_RETURN(
         benefits[i],
         evaluator->ConfigurationBenefit({static_cast<int>(i)}));
@@ -88,13 +107,14 @@ std::vector<int> GreedyByDensity(const CandidateSet& set,
 Result<SearchOutcome> RunGreedy(const CandidateSet& set,
                                 BenefitEvaluator* evaluator,
                                 const SearchOptions& options) {
+  bool partial = false;
   XIA_ASSIGN_OR_RETURN(const std::vector<double> benefits,
-                       StandaloneBenefits(set, evaluator));
+                       StandaloneBenefits(set, evaluator, options, &partial));
   std::vector<int> pool(set.size());
   for (size_t i = 0; i < set.size(); ++i) pool[i] = static_cast<int>(i);
   return Finalize(
       set, GreedyByDensity(set, benefits, pool, options.disk_budget_bytes),
-      evaluator);
+      evaluator, partial);
 }
 
 Result<SearchOutcome> RunGreedyWithHeuristics(const CandidateSet& set,
@@ -104,13 +124,18 @@ Result<SearchOutcome> RunGreedyWithHeuristics(const CandidateSet& set,
   std::set<int> covered;  // basic candidate ids covered by the config
   double used = 0;
   double current_benefit = 0;
+  bool partial = false;
 
   for (;;) {
     int best_id = -1;
     double best_benefit = current_benefit;
     double best_density = 0;
 
-    for (size_t i = 0; i < set.size(); ++i) {
+    for (size_t i = 0; i < set.size() && !partial; ++i) {
+      if (Interrupted(options)) {
+        partial = true;
+        break;
+      }
       const Candidate& cand = set[i];
       const int id = static_cast<int>(i);
       if (std::find(config.begin(), config.end(), id) != config.end()) {
@@ -175,7 +200,7 @@ Result<SearchOutcome> RunGreedyWithHeuristics(const CandidateSet& set,
       }
     }
 
-    if (best_id < 0) break;
+    if (partial || best_id < 0) break;
     config.push_back(best_id);
     used += static_cast<double>(set[static_cast<size_t>(best_id)].size_bytes());
     current_benefit = best_benefit;
@@ -183,7 +208,7 @@ Result<SearchOutcome> RunGreedyWithHeuristics(const CandidateSet& set,
       covered.insert(b);
     }
   }
-  return Finalize(set, std::move(config), evaluator);
+  return Finalize(set, std::move(config), evaluator, partial);
 }
 
 // Starting points of the top-down descent: maximal candidates (by the DAG)
@@ -213,8 +238,9 @@ Result<SearchOutcome> RunTopDown(const CandidateSet& set,
                                  BenefitEvaluator* evaluator,
                                  const SearchOptions& options,
                                  bool full_interaction) {
+  bool partial = false;
   XIA_ASSIGN_OR_RETURN(const std::vector<double> benefits,
-                       StandaloneBenefits(set, evaluator));
+                       StandaloneBenefits(set, evaluator, options, &partial));
   std::set<int> config_set;
   CollectStartingSet(set, roots, benefits, &config_set);
 
@@ -227,6 +253,15 @@ Result<SearchOutcome> RunTopDown(const CandidateSet& set,
   };
 
   while (total_size() > options.disk_budget_bytes + kEps) {
+    if (partial || Interrupted(options)) {
+      // Out of time mid-descent: the working set may still be over
+      // budget, so trim it greedily before reporting best-so-far.
+      partial = true;
+      std::vector<int> pool(config_set.begin(), config_set.end());
+      std::vector<int> picked =
+          GreedyByDensity(set, benefits, pool, options.disk_budget_bytes);
+      return Finalize(set, std::move(picked), evaluator, partial);
+    }
     // Choose the replaceable general index with the smallest dB/dC.
     int best = -1;
     double best_ratio = std::numeric_limits<double>::infinity();
@@ -290,7 +325,7 @@ Result<SearchOutcome> RunTopDown(const CandidateSet& set,
       std::vector<int> pool(config_set.begin(), config_set.end());
       std::vector<int> picked =
           GreedyByDensity(set, benefits, pool, options.disk_budget_bytes);
-      return Finalize(set, std::move(picked), evaluator);
+      return Finalize(set, std::move(picked), evaluator, partial);
     }
 
     config_set.erase(best);
@@ -299,14 +334,15 @@ Result<SearchOutcome> RunTopDown(const CandidateSet& set,
 
   return Finalize(set,
                   std::vector<int>(config_set.begin(), config_set.end()),
-                  evaluator);
+                  evaluator, partial);
 }
 
 Result<SearchOutcome> RunDynamicProgramming(const CandidateSet& set,
                                             BenefitEvaluator* evaluator,
                                             const SearchOptions& options) {
+  bool partial = false;
   XIA_ASSIGN_OR_RETURN(const std::vector<double> benefits,
-                       StandaloneBenefits(set, evaluator));
+                       StandaloneBenefits(set, evaluator, options, &partial));
   // Knapsack over discretized sizes.
   const double unit = std::max(options.dp_granularity_bytes,
                                options.disk_budget_bytes / 4000.0);
@@ -341,7 +377,10 @@ Result<SearchOutcome> RunDynamicProgramming(const CandidateSet& set,
       w -= weight_of(i);
     }
   }
-  return Finalize(set, std::move(selected), evaluator);
+  // The table fill itself is pure arithmetic — only the benefit probes
+  // above are deadline-polled, so a partial run is DP over the benefits
+  // computed in time (zeros elsewhere).
+  return Finalize(set, std::move(selected), evaluator, partial);
 }
 
 Result<SearchOutcome> RunExhaustive(const CandidateSet& set,
@@ -356,7 +395,12 @@ Result<SearchOutcome> RunExhaustive(const CandidateSet& set,
   }
   std::vector<int> best_config;
   double best_benefit = 0;
+  bool partial = false;
   for (uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+    if (Interrupted(options)) {
+      partial = true;
+      break;
+    }
     std::vector<int> config;
     double size = 0;
     for (size_t i = 0; i < n; ++i) {
@@ -373,7 +417,7 @@ Result<SearchOutcome> RunExhaustive(const CandidateSet& set,
       best_config = std::move(config);
     }
   }
-  return Finalize(set, std::move(best_config), evaluator);
+  return Finalize(set, std::move(best_config), evaluator, partial);
 }
 
 }  // namespace
@@ -401,6 +445,7 @@ Result<SearchOutcome> RunSearch(SearchAlgorithm algorithm,
                                 const std::vector<int>& roots,
                                 BenefitEvaluator* evaluator,
                                 const SearchOptions& options) {
+  XIA_FAULT_INJECT(fault::points::kAdvisorSearch);
   switch (algorithm) {
     case SearchAlgorithm::kGreedy:
       return RunGreedy(set, evaluator, options);

@@ -23,6 +23,7 @@
 
 #include "advisor/benefit.h"
 #include "advisor/candidates.h"
+#include "fault/deadline.h"
 #include "util/status.h"
 
 namespace xia::advisor {
@@ -53,6 +54,14 @@ struct SearchOptions {
   double dp_granularity_bytes = 4096;
   /// Candidate-count cap for kExhaustive (2^n subsets are evaluated).
   size_t exhaustive_limit = 16;
+  /// Time budget. Polled between configuration evaluations; on expiry the
+  /// search stops and returns its best configuration so far with
+  /// SearchOutcome::partial set — never an error. The overrun is bounded
+  /// by one benefit evaluation (the final Finalize pass is always
+  /// allowed, so even a partial outcome carries a real benefit figure).
+  fault::Deadline deadline;
+  /// Cooperative cancellation, polled alongside the deadline. Not owned.
+  const fault::CancelToken* cancel = nullptr;
 };
 
 /// Outcome of a search.
@@ -62,6 +71,9 @@ struct SearchOutcome {
   double benefit = 0;  ///< configuration benefit (§III) of `selected`
   int general_count = 0;
   int specific_count = 0;
+  /// True when the search stopped on a deadline or cancellation and
+  /// `selected` is the best configuration found so far.
+  bool partial = false;
 };
 
 /// Runs `algorithm` over the candidates. `roots` are the DAG roots from

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "engine/normalizer.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
@@ -126,6 +127,7 @@ Result<std::vector<xml::DocId>> Executor::CandidateDocs(
 Result<ExecResult> Executor::ExecuteQuery(const Statement& statement,
                                           const optimizer::Plan& plan,
                                           const ExecOptions& options) {
+  XIA_FAULT_INJECT(fault::points::kExecutorScan);
   auto normalized = Normalize(statement);
   if (!normalized.ok()) return normalized.status();
   auto coll = store_->GetCollection(normalized->collection);
@@ -133,16 +135,23 @@ Result<ExecResult> Executor::ExecuteQuery(const Statement& statement,
 
   ExecResult result;
   RowSink sink{options.materialize_rows, options.max_rows, &result.rows};
+  Status interrupt;
   Stopwatch timer;
   if (plan.kind == optimizer::Plan::Kind::kCollectionScan) {
-    (*coll)->ForEach([&](xml::DocId, const xml::Document& doc) {
+    (*coll)->ForEachWhile([&](xml::DocId, const xml::Document& doc) {
+      interrupt = fault::CheckInterrupt(options.deadline, options.cancel);
+      if (!interrupt.ok()) return false;
       ++result.docs_examined;
       result.result_count += EvaluateOnDocument(doc, *normalized, &sink);
+      return true;
     });
+    XIA_RETURN_IF_ERROR(interrupt);
   } else {
     auto docs = CandidateDocs(statement, plan, &result);
     if (!docs.ok()) return docs.status();
     for (xml::DocId id : *docs) {
+      XIA_RETURN_IF_ERROR(
+          fault::CheckInterrupt(options.deadline, options.cancel));
       if (!(*coll)->IsLive(id)) continue;
       ++result.docs_examined;
       result.result_count +=
@@ -170,28 +179,38 @@ Result<ExecResult> Executor::ExecuteInsert(const Statement& statement) {
 }
 
 Result<ExecResult> Executor::ExecuteDelete(const Statement& statement,
-                                           const optimizer::Plan& plan) {
+                                           const optimizer::Plan& plan,
+                                           const ExecOptions& options) {
   const DeleteSpec& del = statement.delete_spec();
   auto coll = store_->GetCollection(del.collection);
   if (!coll.ok()) return coll.status();
 
   ExecResult result;
+  Status interrupt;
   Stopwatch timer;
   std::vector<xml::DocId> victims;
   if (plan.legs.empty()) {
-    (*coll)->ForEach([&](xml::DocId id, const xml::Document& doc) {
+    (*coll)->ForEachWhile([&](xml::DocId id, const xml::Document& doc) {
+      interrupt = fault::CheckInterrupt(options.deadline, options.cancel);
+      if (!interrupt.ok()) return false;
       ++result.docs_examined;
       if (xpath::Exists(doc, del.match)) victims.push_back(id);
+      return true;
     });
+    XIA_RETURN_IF_ERROR(interrupt);
   } else {
     auto docs = CandidateDocs(statement, plan, &result);
     if (!docs.ok()) return docs.status();
     for (xml::DocId id : *docs) {
+      XIA_RETURN_IF_ERROR(
+          fault::CheckInterrupt(options.deadline, options.cancel));
       if (!(*coll)->IsLive(id)) continue;
       ++result.docs_examined;
       if (xpath::Exists((*coll)->Get(id), del.match)) victims.push_back(id);
     }
   }
+  // Apply phase: runs to completion regardless of deadline (see
+  // ExecOptions::deadline).
   for (xml::DocId id : victims) {
     catalog_->NotifyRemove(del.collection, id, (*coll)->Get(id));
     XIA_RETURN_IF_ERROR((*coll)->Remove(id));
@@ -202,23 +221,31 @@ Result<ExecResult> Executor::ExecuteDelete(const Statement& statement,
 }
 
 Result<ExecResult> Executor::ExecuteUpdate(const Statement& statement,
-                                           const optimizer::Plan& plan) {
+                                           const optimizer::Plan& plan,
+                                           const ExecOptions& options) {
   const UpdateSpec& upd = statement.update_spec();
   auto coll = store_->GetCollection(upd.collection);
   if (!coll.ok()) return coll.status();
 
   ExecResult result;
+  Status interrupt;
   Stopwatch timer;
   std::vector<xml::DocId> victims;
   if (plan.legs.empty()) {
-    (*coll)->ForEach([&](xml::DocId id, const xml::Document& doc) {
+    (*coll)->ForEachWhile([&](xml::DocId id, const xml::Document& doc) {
+      interrupt = fault::CheckInterrupt(options.deadline, options.cancel);
+      if (!interrupt.ok()) return false;
       ++result.docs_examined;
       if (xpath::Exists(doc, upd.match)) victims.push_back(id);
+      return true;
     });
+    XIA_RETURN_IF_ERROR(interrupt);
   } else {
     auto docs = CandidateDocs(statement, plan, &result);
     if (!docs.ok()) return docs.status();
     for (xml::DocId id : *docs) {
+      XIA_RETURN_IF_ERROR(
+          fault::CheckInterrupt(options.deadline, options.cancel));
       if (!(*coll)->IsLive(id)) continue;
       ++result.docs_examined;
       if (xpath::Exists((*coll)->Get(id), upd.match)) victims.push_back(id);
@@ -249,8 +276,8 @@ Result<ExecResult> Executor::Execute(const Statement& statement,
   XIA_OBS_COUNT("xia.engine.statements_executed", 1);
   Result<ExecResult> result =
       statement.is_insert()   ? ExecuteInsert(statement)
-      : statement.is_delete() ? ExecuteDelete(statement, plan)
-      : statement.is_update() ? ExecuteUpdate(statement, plan)
+      : statement.is_delete() ? ExecuteDelete(statement, plan, options)
+      : statement.is_update() ? ExecuteUpdate(statement, plan, options)
                               : ExecuteQuery(statement, plan, options);
   if (result.ok()) {
     XIA_OBS_COUNT("xia.engine.docs_examined", result->docs_examined);

@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "engine/query.h"
+#include "fault/deadline.h"
 #include "optimizer/optimizer.h"
 #include "optimizer/plan.h"
 #include "storage/catalog.h"
@@ -49,6 +50,14 @@ struct ExecOptions {
   bool materialize_rows = false;
   /// Maximum rows materialized; counting continues past the cap.
   size_t max_rows = 100;
+  /// Execution budget, polled once per document in scan loops. Mutating
+  /// statements only poll while locating victims — once the apply phase
+  /// starts it runs to completion, so a statement either fails before
+  /// changing anything or applies fully. Infinite (the default) costs one
+  /// branch per document.
+  fault::Deadline deadline;
+  /// Cooperative cancellation, polled alongside the deadline. Not owned.
+  const fault::CancelToken* cancel = nullptr;
 };
 
 /// Receives every successfully executed statement. Implemented by
@@ -103,9 +112,11 @@ class Executor {
                                   const ExecOptions& options);
   Result<ExecResult> ExecuteInsert(const Statement& statement);
   Result<ExecResult> ExecuteDelete(const Statement& statement,
-                                   const optimizer::Plan& plan);
+                                   const optimizer::Plan& plan,
+                                   const ExecOptions& options);
   Result<ExecResult> ExecuteUpdate(const Statement& statement,
-                                   const optimizer::Plan& plan);
+                                   const optimizer::Plan& plan,
+                                   const ExecOptions& options);
 
   /// Candidate DocIds from the plan's index legs (deduplicated; ANDing
   /// intersects across legs). Populates counters on `result`.

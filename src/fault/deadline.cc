@@ -1,0 +1,36 @@
+#include "fault/deadline.h"
+
+#include <limits>
+
+namespace xia::fault {
+
+Deadline Deadline::AfterMillis(double ms) {
+  Deadline d;
+  d.enabled_ = true;
+  d.at_ = std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double, std::milli>(ms));
+  return d;
+}
+
+Deadline Deadline::AfterSeconds(double seconds) {
+  return AfterMillis(seconds * 1000.0);
+}
+
+double Deadline::remaining_seconds() const {
+  if (!enabled_) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double>(at_ - std::chrono::steady_clock::now())
+      .count();
+}
+
+Status CheckInterrupt(const Deadline& deadline, const CancelToken* cancel) {
+  if (cancel != nullptr && cancel->cancelled()) {
+    return Status::Cancelled("work cancelled");
+  }
+  if (deadline.expired()) {
+    return Status::DeadlineExceeded("deadline exceeded");
+  }
+  return Status::OK();
+}
+
+}  // namespace xia::fault

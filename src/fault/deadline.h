@@ -1,0 +1,77 @@
+// Deadlines and cooperative cancellation for long-running XIA work:
+// advisor search, optimizer enumeration, and executor scans all accept a
+// Deadline (and optionally a CancelToken) and degrade to best-so-far
+// partial results instead of running unbounded.
+//
+// A default-constructed Deadline is infinite and costs one branch per
+// expired() check — no clock read — so plumbing deadlines through hot
+// loops is free when no budget is set. Checks are cooperative: loops poll
+// at iteration granularity, so a deadline can overrun by at most one unit
+// of work (e.g. one configuration evaluation in the advisor).
+
+#ifndef XIA_FAULT_DEADLINE_H_
+#define XIA_FAULT_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace xia::fault {
+
+/// A wall-clock budget based on std::chrono::steady_clock.
+class Deadline {
+ public:
+  /// Infinite: never expires.
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+  /// Expires `ms` milliseconds from now. ms <= 0 is already expired.
+  static Deadline AfterMillis(double ms);
+  /// Expires `seconds` seconds from now.
+  static Deadline AfterSeconds(double seconds);
+
+  bool infinite() const { return !enabled_; }
+
+  /// True once the budget is spent. One branch when infinite.
+  bool expired() const {
+    if (!enabled_) return false;
+    return std::chrono::steady_clock::now() >= at_;
+  }
+
+  /// Seconds until expiry; negative once expired; +inf when infinite.
+  double remaining_seconds() const;
+
+ private:
+  bool enabled_ = false;
+  std::chrono::steady_clock::time_point at_{};
+};
+
+/// Cooperative cancellation flag, shareable across threads. The owner
+/// calls Cancel(); workers poll cancelled() between units of work.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  void Reset() { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// OK while work may continue; Cancelled if the token (may be null) was
+/// cancelled; DeadlineExceeded once the deadline expired. Cancellation is
+/// checked first — it is the more deliberate signal.
+Status CheckInterrupt(const Deadline& deadline,
+                      const CancelToken* cancel = nullptr);
+
+}  // namespace xia::fault
+
+#endif  // XIA_FAULT_DEADLINE_H_

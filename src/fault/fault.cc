@@ -1,0 +1,212 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+#include "util/string_util.h"
+
+namespace xia::fault {
+
+namespace {
+
+// FNV-1a, mixed with the registry seed so each point gets an independent
+// deterministic PRNG stream.
+uint64_t SeedFor(uint64_t registry_seed, const std::string& name) {
+  uint64_t h = 1469598103934665603ull ^ registry_seed;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+Result<FaultSpec> FaultSpec::Parse(const std::string& text) {
+  if (text.size() < 2) {
+    return Status::InvalidArgument("bad fault spec '" + text +
+                                   "' (want pPROB or nCOUNT)");
+  }
+  const std::string value = text.substr(1);
+  if (text[0] == 'p') {
+    double p = 0;
+    if (!ParseDouble(value, &p) || p < 0 || p > 1) {
+      return Status::InvalidArgument("bad fault probability '" + text + "'");
+    }
+    return Probability(p);
+  }
+  if (text[0] == 'n') {
+    double n = 0;
+    if (!ParseDouble(value, &n) || n < 1 || n != std::floor(n)) {
+      return Status::InvalidArgument("bad fault hit count '" + text + "'");
+    }
+    return NthHit(static_cast<uint64_t>(n));
+  }
+  return Status::InvalidArgument("bad fault spec '" + text +
+                                 "' (want pPROB or nCOUNT)");
+}
+
+std::string FaultSpec::ToString() const {
+  switch (mode) {
+    case Mode::kDisarmed:
+      return "off";
+    case Mode::kProbability:
+      return StringPrintf("p%g", probability);
+    case Mode::kNthHit:
+      return StringPrintf("n%llu", static_cast<unsigned long long>(nth));
+  }
+  return "?";
+}
+
+FaultPoint::FaultPoint(std::string name) : name_(std::move(name)) {}
+
+Status FaultPoint::InjectedStatus() const {
+  return Status::Internal("fault injected: " + name_);
+}
+
+bool FaultPoint::EvalArmed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spec_.mode == FaultSpec::Mode::kDisarmed) return false;
+  ++hits_;
+  bool fire = false;
+  if (spec_.mode == FaultSpec::Mode::kProbability) {
+    fire = rng_.Bernoulli(spec_.probability);
+  } else {
+    fire = hits_ == spec_.nth;  // fires exactly once, on the Nth hit
+  }
+  if (fire) {
+    ++fired_;
+    // Direct registry calls (not the XIA_OBS_* macros) so firing stays
+    // observable even in an XIA_OBS_OFF build of the instrumented tree.
+    obs::MetricsRegistry::Global().GetCounter("xia.fault.fired")->Add(1);
+    obs::MetricsRegistry::Global().GetCounter(name_ + ".fired")->Add(1);
+  }
+  obs::MetricsRegistry::Global().GetCounter(name_ + ".hits")->Add(1);
+  return fire;
+}
+
+void FaultPoint::Arm(const FaultSpec& spec, uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spec_ = spec;
+  rng_ = Random(SeedFor(seed, name_));
+  hits_ = 0;
+  fired_ = 0;
+  armed_.store(spec.mode != FaultSpec::Mode::kDisarmed,
+               std::memory_order_relaxed);
+}
+
+void FaultPoint::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spec_ = FaultSpec();
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+FaultPointStatus FaultPoint::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  FaultPointStatus status;
+  status.name = name_;
+  status.spec = spec_;
+  status.hits = hits_;
+  status.fired = fired_;
+  return status;
+}
+
+FaultRegistry& FaultRegistry::Global() {
+  static FaultRegistry* registry = new FaultRegistry();
+  return *registry;
+}
+
+FaultPoint* FaultRegistry::GetPoint(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it == points_.end()) {
+    it = points_.emplace(name, std::make_unique<FaultPoint>(name)).first;
+  }
+  return it->second.get();
+}
+
+void FaultRegistry::Arm(const std::string& name, const FaultSpec& spec) {
+  uint64_t seed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    seed = seed_;
+  }
+  GetPoint(name)->Arm(spec, seed);
+}
+
+void FaultRegistry::Disarm(const std::string& name) {
+  GetPoint(name)->Disarm();
+}
+
+void FaultRegistry::DisarmAll() {
+  std::vector<FaultPoint*> points;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    points.reserve(points_.size());
+    for (auto& [_, point] : points_) points.push_back(point.get());
+  }
+  for (FaultPoint* point : points) point->Disarm();
+}
+
+void FaultRegistry::set_seed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seed_ = seed;
+}
+
+uint64_t FaultRegistry::seed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seed_;
+}
+
+Status FaultRegistry::ConfigureFromSpec(const std::string& spec) {
+  // Parse everything first so a malformed entry applies nothing.
+  std::vector<std::pair<std::string, FaultSpec>> parsed;
+  std::string normalized = spec;
+  std::replace(normalized.begin(), normalized.end(), ';', ',');
+  for (const std::string& raw : Split(normalized, ',')) {
+    const std::string entry(Trim(raw));
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("bad fault entry '" + entry +
+                                     "' (want name=pPROB or name=nCOUNT)");
+    }
+    const std::string name(Trim(entry.substr(0, eq)));
+    XIA_ASSIGN_OR_RETURN(const FaultSpec fs,
+                         FaultSpec::Parse(std::string(
+                             Trim(entry.substr(eq + 1)))));
+    parsed.emplace_back(name, fs);
+  }
+  for (const auto& [name, fs] : parsed) Arm(name, fs);
+  return Status::OK();
+}
+
+Status FaultRegistry::ConfigureFromEnv() {
+  if (const char* seed_text = std::getenv("XIA_FAULTS_SEED")) {
+    double seed = 0;
+    if (!ParseDouble(seed_text, &seed) || seed < 0 ||
+        seed != std::floor(seed)) {
+      return Status::InvalidArgument(std::string("bad XIA_FAULTS_SEED '") +
+                                     seed_text + "'");
+    }
+    set_seed(static_cast<uint64_t>(seed));
+  }
+  if (const char* spec = std::getenv("XIA_FAULTS")) {
+    return ConfigureFromSpec(spec);
+  }
+  return Status::OK();
+}
+
+std::vector<FaultPointStatus> FaultRegistry::Snapshot() const {
+  std::vector<FaultPointStatus> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(points_.size());
+    for (const auto& [_, point] : points_) out.push_back(point->Snapshot());
+  }
+  return out;  // map iteration is already name-sorted
+}
+
+}  // namespace xia::fault

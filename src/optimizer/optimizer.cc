@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "fault/fault.h"
 #include "optimizer/selectivity.h"
 #include "xpath/containment.h"
 
@@ -248,6 +249,8 @@ Result<Plan> Optimizer::PlanUpdate(const engine::Statement& statement,
 
 Result<Plan> Optimizer::OptimizeImpl(const engine::Statement& statement,
                                      bool allow_indexes) const {
+  XIA_FAULT_INJECT(fault::points::kOptimizerPlan);
+  XIA_RETURN_IF_ERROR(fault::CheckInterrupt(options_.deadline));
   optimize_calls_.Add(1);
   XIA_OBS_COUNT("xia.optimizer.optimize_calls", 1);
   if (statement.is_insert()) return PlanInsert(statement);
@@ -269,6 +272,8 @@ Result<Plan> Optimizer::OptimizeWithoutIndexes(
 
 Result<std::vector<xpath::IndexPattern>> Optimizer::EnumerateIndexes(
     const engine::Statement& statement) const {
+  XIA_FAULT_INJECT(fault::points::kOptimizerPlan);
+  XIA_RETURN_IF_ERROR(fault::CheckInterrupt(options_.deadline));
   optimize_calls_.Add(1);
   XIA_OBS_COUNT("xia.optimizer.optimize_calls", 1);
   XIA_OBS_COUNT("xia.optimizer.enumerate_calls", 1);

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/deadline.h"
 #include "obs/metrics.h"
 #include "engine/normalizer.h"
 #include "engine/query.h"
@@ -43,6 +44,10 @@ class Optimizer {
     bool use_virtual_indexes = true;
     /// Allow multi-index (index-ANDing) plans.
     bool enable_index_anding = true;
+    /// Planning budget: once expired, Optimize / EnumerateIndexes return
+    /// kDeadlineExceeded at entry instead of starting new enumeration
+    /// work. Defaults to infinite, which costs one branch per call.
+    fault::Deadline deadline;
   };
 
   Optimizer(const storage::DocumentStore* store,

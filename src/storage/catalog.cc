@@ -1,5 +1,6 @@
 #include "storage/catalog.h"
 
+#include "fault/fault.h"
 #include "obs/metrics.h"
 
 namespace xia::storage {
@@ -7,11 +8,16 @@ namespace xia::storage {
 Result<const IndexDef*> Catalog::CreateIndex(
     const std::string& name, const std::string& collection,
     const xpath::IndexPattern& pattern) {
+  XIA_FAULT_INJECT(fault::points::kIndexBuild);
   if (indexes_.count(name) != 0) {
     return Status::AlreadyExists("index " + name + " exists");
   }
   auto coll = store_->GetCollection(collection);
   if (!coll.ok()) return coll.status();
+
+  // Physical index construction allocates B-tree nodes; the alloc fault
+  // point models that allocation failing before any pages are built.
+  XIA_FAULT_INJECT(fault::points::kBtreeAlloc);
 
   IndexDef def;
   def.name = name;

@@ -90,6 +90,17 @@ class Collection {
     }
   }
 
+  /// Like ForEach, but `fn` returns bool: false stops the iteration.
+  /// Lets deadline-aware scans bail out mid-collection.
+  template <typename Fn>
+  void ForEachWhile(Fn&& fn) const {
+    for (size_t i = 0; i < docs_.size(); ++i) {
+      if (docs_[i] != nullptr) {
+        if (!fn(static_cast<xml::DocId>(i), *docs_[i])) return;
+      }
+    }
+  }
+
  private:
   std::string name_;
   std::vector<std::unique_ptr<xml::Document>> docs_;
@@ -110,6 +121,11 @@ class DocumentStore {
 
   /// Names of all collections.
   std::vector<std::string> CollectionNames() const;
+
+  /// Exchanges the full contents of two stores. Snapshot restore loads
+  /// into a staging store and swaps on success, so a failed load never
+  /// leaves `this` partially mutated.
+  void Swap(DocumentStore* other) { collections_.swap(other->collections_); }
 
  private:
   std::map<std::string, std::unique_ptr<Collection>> collections_;

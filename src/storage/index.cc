@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "util/string_util.h"
 #include "xpath/evaluator.h"
@@ -92,6 +93,7 @@ void PathValueIndex::Apply(xml::DocId id, const xml::Document& doc,
 }
 
 Result<IndexLookupResult> PathValueIndex::LookupAll() const {
+  XIA_FAULT_INJECT(fault::points::kIndexLookup);
   IndexLookupResult out;
   const void* last_page = nullptr;
   for (auto it = tree_.Begin(); it.valid(); it.Next()) {
@@ -113,6 +115,7 @@ Result<IndexLookupResult> PathValueIndex::LookupAll() const {
 
 Result<IndexLookupResult> PathValueIndex::Lookup(
     xpath::CompareOp op, const xpath::Literal& literal) const {
+  XIA_FAULT_INJECT(fault::points::kIndexLookup);
   if (pattern_.structural) {
     return Status::InvalidArgument(
         "structural index " + name_ + " cannot serve value comparisons");

@@ -4,12 +4,20 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
+
+#include "fault/fault.h"
+#include "util/crc32.h"
 
 namespace xia::storage {
 
 namespace {
 
-constexpr char kMagic[8] = {'X', 'I', 'A', 'S', 'N', 'A', 'P', '1'};
+constexpr char kMagicV1[8] = {'X', 'I', 'A', 'S', 'N', 'A', 'P', '1'};
+constexpr char kMagicV2[8] = {'X', 'I', 'A', 'S', 'N', 'A', 'P', '2'};
+
+constexpr uint32_t kMaxString = 64u << 20;   // 64 MiB per string
+constexpr uint32_t kMaxSection = 1u << 30;   // 1 GiB per collection section
 
 void WriteU8(std::ostream& out, uint8_t v) {
   out.put(static_cast<char>(v));
@@ -64,36 +72,167 @@ bool ReadString(std::istream& in, std::string* s, uint32_t max_len) {
                                    static_cast<std::streamsize>(len)));
 }
 
-constexpr uint32_t kMaxString = 64u << 20;  // 64 MiB per string
+/// Serializes one collection body: str name, u32 slot_count, slots.
+/// Shared between the v2 section payload and nothing else (v1 wrote the
+/// same bytes inline, which is why v2 sections parse with the same code).
+Status WriteCollectionBody(const Collection& coll, std::ostream& out) {
+  WriteString(out, coll.name());
+  const xml::DocId bound = coll.id_bound();
+  WriteU32(out, static_cast<uint32_t>(bound));
+  for (xml::DocId id = 0; id < bound; ++id) {
+    if (!coll.IsLive(id)) {
+      WriteU8(out, 0);
+      continue;
+    }
+    WriteU8(out, 1);
+    const xml::Document& doc = coll.Get(id);
+    WriteU32(out, static_cast<uint32_t>(doc.size()));
+    for (size_t n = 0; n < doc.size(); ++n) {
+      const xml::Node& node = doc.node(static_cast<xml::NodeIndex>(n));
+      WriteU8(out, static_cast<uint8_t>(node.kind));
+      WriteString(out, node.label);
+      WriteString(out, node.value);
+      WriteI32(out, node.parent);
+    }
+  }
+  if (!out) return Status::Internal("snapshot write failed");
+  return Status::OK();
+}
+
+/// Parses one collection body (name + slots) from `in` into `store`.
+Status ReadCollectionBody(std::istream& in, DocumentStore* store) {
+  std::string name;
+  if (!ReadString(in, &name, kMaxString) || name.empty()) {
+    return Status::ParseError("bad collection name");
+  }
+  XIA_ASSIGN_OR_RETURN(Collection * coll, store->CreateCollection(name));
+  uint32_t slots = 0;
+  if (!ReadU32(in, &slots)) return Status::ParseError("bad slot count");
+  for (uint32_t s = 0; s < slots; ++s) {
+    uint8_t live = 0;
+    if (!ReadU8(in, &live)) return Status::ParseError("truncated slot");
+    if (!live) {
+      coll->AddTombstone();
+      continue;
+    }
+    uint32_t node_count = 0;
+    if (!ReadU32(in, &node_count)) {
+      return Status::ParseError("bad node count");
+    }
+    xml::Document doc;
+    for (uint32_t n = 0; n < node_count; ++n) {
+      uint8_t kind = 0;
+      std::string label;
+      std::string value;
+      int32_t parent = 0;
+      if (!ReadU8(in, &kind) || !ReadString(in, &label, kMaxString) ||
+          !ReadString(in, &value, kMaxString) || !ReadI32(in, &parent)) {
+        return Status::ParseError("truncated node record");
+      }
+      if (kind > static_cast<uint8_t>(xml::NodeKind::kAttribute)) {
+        return Status::ParseError("bad node kind");
+      }
+      // Nodes are stored parent-before-child, so rebuilding in order is
+      // valid. The first node must be the root.
+      if (n == 0) {
+        if (parent != xml::kInvalidNode) {
+          return Status::ParseError("first node must be the root");
+        }
+        doc.AddRoot(label);
+        doc.SetValue(0, value);
+      } else {
+        if (parent < 0 || static_cast<uint32_t>(parent) >= n) {
+          return Status::ParseError("node parent out of order");
+        }
+        if (static_cast<xml::NodeKind>(kind) == xml::NodeKind::kElement) {
+          doc.AddElement(parent, label, value);
+        } else {
+          if (label.empty() || label[0] != '@') {
+            return Status::ParseError("attribute label must start with @");
+          }
+          doc.AddAttribute(parent, label.substr(1), value);
+        }
+      }
+    }
+    if (doc.empty()) return Status::ParseError("empty live document");
+    coll->Add(std::move(doc));
+  }
+  return Status::OK();
+}
+
+/// v2 body: per-collection CRC-framed sections, then EOF.
+Status LoadV2Body(std::istream& in, DocumentStore* staging) {
+  uint32_t collections = 0;
+  if (!ReadU32(in, &collections)) {
+    return Status::ParseError("truncated snapshot header");
+  }
+  for (uint32_t c = 0; c < collections; ++c) {
+    uint32_t len = 0;
+    if (!ReadU32(in, &len)) {
+      return Status::ParseError("truncated section header");
+    }
+    if (len > kMaxSection) {
+      return Status::ParseError("snapshot section too large");
+    }
+    std::string payload(len, '\0');
+    if (!in.read(payload.data(), static_cast<std::streamsize>(len))) {
+      return Status::DataLoss("truncated snapshot section");
+    }
+    uint32_t stored_crc = 0;
+    if (!ReadU32(in, &stored_crc)) {
+      return Status::DataLoss("truncated section checksum");
+    }
+    const uint32_t actual_crc = Crc32(payload);
+    if (actual_crc != stored_crc) {
+      return Status::DataLoss("snapshot section checksum mismatch");
+    }
+    std::istringstream body(payload);
+    XIA_RETURN_IF_ERROR(ReadCollectionBody(body, staging));
+    if (body.peek() != EOF) {
+      return Status::ParseError("trailing bytes in snapshot section");
+    }
+  }
+  if (in.peek() != EOF) {
+    return Status::ParseError("trailing bytes after snapshot");
+  }
+  return Status::OK();
+}
+
+/// Legacy v1 body: unframed collection bodies back to back.
+Status LoadV1Body(std::istream& in, DocumentStore* staging) {
+  uint32_t collections = 0;
+  if (!ReadU32(in, &collections)) {
+    return Status::ParseError("truncated snapshot header");
+  }
+  for (uint32_t c = 0; c < collections; ++c) {
+    XIA_RETURN_IF_ERROR(ReadCollectionBody(in, staging));
+  }
+  if (in.peek() != EOF) {
+    return Status::ParseError("trailing bytes after snapshot");
+  }
+  return Status::OK();
+}
 
 }  // namespace
 
 Status SaveSnapshot(const DocumentStore& store, std::ostream& out) {
-  out.write(kMagic, sizeof(kMagic));
+  XIA_FAULT_INJECT(fault::points::kSnapshotWrite);
+  out.write(kMagicV2, sizeof(kMagicV2));
   const std::vector<std::string> names = store.CollectionNames();
   WriteU32(out, static_cast<uint32_t>(names.size()));
   for (const std::string& name : names) {
     auto coll = store.GetCollection(name);
     if (!coll.ok()) return coll.status();
-    WriteString(out, name);
-    const xml::DocId bound = (*coll)->id_bound();
-    WriteU32(out, static_cast<uint32_t>(bound));
-    for (xml::DocId id = 0; id < bound; ++id) {
-      if (!(*coll)->IsLive(id)) {
-        WriteU8(out, 0);
-        continue;
-      }
-      WriteU8(out, 1);
-      const xml::Document& doc = (*coll)->Get(id);
-      WriteU32(out, static_cast<uint32_t>(doc.size()));
-      for (size_t n = 0; n < doc.size(); ++n) {
-        const xml::Node& node = doc.node(static_cast<xml::NodeIndex>(n));
-        WriteU8(out, static_cast<uint8_t>(node.kind));
-        WriteString(out, node.label);
-        WriteString(out, node.value);
-        WriteI32(out, node.parent);
-      }
+    std::ostringstream section;
+    XIA_RETURN_IF_ERROR(WriteCollectionBody(**coll, section));
+    const std::string payload = section.str();
+    if (payload.size() > kMaxSection) {
+      return Status::ResourceExhausted("collection too large for snapshot: " +
+                                       name);
     }
+    WriteU32(out, static_cast<uint32_t>(payload.size()));
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    WriteU32(out, Crc32(payload));
   }
   if (!out) return Status::Internal("snapshot write failed");
   return Status::OK();
@@ -107,77 +246,27 @@ Status SaveSnapshotToFile(const DocumentStore& store,
 }
 
 Status LoadSnapshot(std::istream& in, DocumentStore* store) {
+  XIA_FAULT_INJECT(fault::points::kSnapshotRead);
   if (!store->CollectionNames().empty()) {
     return Status::FailedPrecondition(
         "snapshot must be loaded into an empty store");
   }
-  char magic[sizeof(kMagic)];
-  if (!in.read(magic, sizeof(magic)) ||
-      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  char magic[sizeof(kMagicV2)];
+  if (!in.read(magic, sizeof(magic))) {
     return Status::ParseError("not a XIA snapshot (bad magic)");
   }
-  uint32_t collections = 0;
-  if (!ReadU32(in, &collections)) {
-    return Status::ParseError("truncated snapshot header");
+  // All parsing targets a staging store; `store` is swapped in only after
+  // the whole stream verified and parsed, so a corrupt snapshot can never
+  // leave it partially populated.
+  DocumentStore staging;
+  if (std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0) {
+    XIA_RETURN_IF_ERROR(LoadV2Body(in, &staging));
+  } else if (std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0) {
+    XIA_RETURN_IF_ERROR(LoadV1Body(in, &staging));
+  } else {
+    return Status::ParseError("not a XIA snapshot (bad magic)");
   }
-  for (uint32_t c = 0; c < collections; ++c) {
-    std::string name;
-    if (!ReadString(in, &name, kMaxString) || name.empty()) {
-      return Status::ParseError("bad collection name");
-    }
-    XIA_ASSIGN_OR_RETURN(Collection * coll, store->CreateCollection(name));
-    uint32_t slots = 0;
-    if (!ReadU32(in, &slots)) return Status::ParseError("bad slot count");
-    for (uint32_t s = 0; s < slots; ++s) {
-      uint8_t live = 0;
-      if (!ReadU8(in, &live)) return Status::ParseError("truncated slot");
-      if (!live) {
-        coll->AddTombstone();
-        continue;
-      }
-      uint32_t node_count = 0;
-      if (!ReadU32(in, &node_count)) {
-        return Status::ParseError("bad node count");
-      }
-      xml::Document doc;
-      for (uint32_t n = 0; n < node_count; ++n) {
-        uint8_t kind = 0;
-        std::string label;
-        std::string value;
-        int32_t parent = 0;
-        if (!ReadU8(in, &kind) || !ReadString(in, &label, kMaxString) ||
-            !ReadString(in, &value, kMaxString) || !ReadI32(in, &parent)) {
-          return Status::ParseError("truncated node record");
-        }
-        if (kind > static_cast<uint8_t>(xml::NodeKind::kAttribute)) {
-          return Status::ParseError("bad node kind");
-        }
-        // Nodes are stored parent-before-child, so rebuilding in order is
-        // valid. The first node must be the root.
-        if (n == 0) {
-          if (parent != xml::kInvalidNode) {
-            return Status::ParseError("first node must be the root");
-          }
-          doc.AddRoot(label);
-          doc.SetValue(0, value);
-        } else {
-          if (parent < 0 || static_cast<uint32_t>(parent) >= n) {
-            return Status::ParseError("node parent out of order");
-          }
-          if (static_cast<xml::NodeKind>(kind) == xml::NodeKind::kElement) {
-            doc.AddElement(parent, label, value);
-          } else {
-            if (label.empty() || label[0] != '@') {
-              return Status::ParseError("attribute label must start with @");
-            }
-            doc.AddAttribute(parent, label.substr(1), value);
-          }
-        }
-      }
-      if (doc.empty()) return Status::ParseError("empty live document");
-      coll->Add(std::move(doc));
-    }
-  }
+  store->Swap(&staging);
   return Status::OK();
 }
 

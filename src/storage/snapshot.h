@@ -7,15 +7,26 @@
 // reloaded one.
 //
 // Layout (all integers little-endian):
-//   "XIASNAP1"                          magic + version
+//   "XIASNAP2"                          magic + version
 //   u32 collection_count
-//   per collection:
-//     str  name
-//     u32  slot_count                   (id_bound: live + dead slots)
-//     per slot: u8 live; if live:
-//       u32 node_count
-//       per node: u8 kind; str label; str value; i32 parent
+//   per collection, a CRC-framed section:
+//     u32 payload_len
+//     payload                           (the collection body below)
+//     u32 crc32(payload)                (IEEE CRC-32, zlib variant)
+// collection body:
+//   str  name
+//   u32  slot_count                     (id_bound: live + dead slots)
+//   per slot: u8 live; if live:
+//     u32 node_count
+//     per node: u8 kind; str label; str value; i32 parent
 // where str = u32 length + bytes.
+//
+// The per-section CRC turns any single bit flip or truncation into a
+// precise kDataLoss/kParseError status instead of silently corrupt data.
+// Legacy "XIASNAP1" files (the same collection bodies, unframed and
+// unchecksummed) still load. Loading always parses into a staging store
+// and swaps on success, so a failed load never partially mutates the
+// caller's store.
 
 #ifndef XIA_STORAGE_SNAPSHOT_H_
 #define XIA_STORAGE_SNAPSHOT_H_

@@ -1,0 +1,26 @@
+// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant) for corruption
+// detection in XIA's persistence formats. Software table-driven — fast
+// enough for snapshot/workload framing, dependency-free, and bit-exact
+// across platforms, which is what makes the checksums portable between
+// machines.
+
+#ifndef XIA_UTIL_CRC32_H_
+#define XIA_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace xia {
+
+/// CRC-32 of `data`, with the conventional init/final XOR (so
+/// Crc32("123456789") == 0xCBF43926 and Crc32("") == 0).
+uint32_t Crc32(const void* data, size_t size);
+uint32_t Crc32(std::string_view data);
+
+/// Incremental form: feed `crc` the running value (start with 0).
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t size);
+
+}  // namespace xia
+
+#endif  // XIA_UTIL_CRC32_H_

@@ -24,8 +24,21 @@ const char* StatusCodeToString(StatusCode code) {
       return "parse_error";
     case StatusCode::kResourceExhausted:
       return "resource_exhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kDataLoss:
+      return "data_loss";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
+}
+
+int StatusExitCode(const Status& status) {
+  if (status.ok()) return 0;
+  return 10 + static_cast<int>(status.code());
 }
 
 std::string Status::ToString() const {

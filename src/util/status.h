@@ -27,6 +27,10 @@ enum class StatusCode {
   kInternal,
   kParseError,
   kResourceExhausted,
+  kDeadlineExceeded,
+  kCancelled,
+  kDataLoss,
+  kUnavailable,
 };
 
 /// Returns the canonical lower-case name of a status code ("ok",
@@ -75,6 +79,18 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -95,6 +111,13 @@ class Status {
 inline std::ostream& operator<<(std::ostream& os, const Status& s) {
   return os << s.ToString();
 }
+
+/// Process exit code for a Status: 0 for OK, a distinct small non-zero
+/// code per StatusCode otherwise (10 + the enum value, so codes never
+/// collide with the conventional 1 "generic failure" and 2 "usage").
+/// Used by the CLI tools so scripted callers can branch on the failure
+/// class.
+int StatusExitCode(const Status& status);
 
 /// A value-or-error outcome. Dereferencing a non-OK Result is a programming
 /// error (checked by assert in debug builds).

@@ -3,8 +3,10 @@
 #include <chrono>
 #include <set>
 #include <string>
+#include <thread>
 #include <utility>
 
+#include "fault/fault.h"
 #include "obs/metrics.h"
 
 namespace xia::workload {
@@ -93,28 +95,84 @@ Status OnlineAdvisor::AdviseNow() {
 }
 
 Status OnlineAdvisor::DrainAndAdviseLocked() {
+  // Captures fold into the templatizer even while the breaker is open, so
+  // the workload picture stays current and the half-open probe advises on
+  // everything seen during the outage.
   const std::vector<CapturedQuery> batch = capture_->Drain();
   templatizer_.AddBatch(batch);
   queries_seen_ += batch.size();
   if (templatizer_.empty()) {
     return Status::FailedPrecondition("no queries captured yet");
   }
+
+  const bool half_open_probe = circuit_open_;
+  if (circuit_open_ &&
+      circuit_opened_.ElapsedSeconds() < options_.circuit_cooldown_seconds) {
+    return Status::Unavailable(
+        "online advising suspended: circuit breaker open after " +
+        std::to_string(consecutive_failures_) + " consecutive failures");
+  }
+
   const engine::Workload workload = templatizer_.ToWorkload();
+  // The fault point sits inside the attempt loop, so an Nth-hit fault
+  // exercises retry recovery rather than failing the whole pass.
+  fault::FaultPoint* fault_point =
+      fault::FaultRegistry::Global().GetPoint(fault::points::kOnlineAdvise);
 
   Stopwatch timer;
-  Result<advisor::Recommendation> rec = [&] {
-    if (db_mutex_ != nullptr) {
-      std::lock_guard<std::mutex> db(*db_mutex_);
-      return advisor_->Recommend(workload, options_.advisor);
+  // A half-open probe gets exactly one attempt; a closed-breaker pass
+  // retries with exponential backoff. Backoff sleeps hold mu_, which is
+  // why the defaults keep the worst case well under a poll interval.
+  const int max_attempts = half_open_probe ? 1 : options_.max_retries + 1;
+  double backoff = options_.backoff_initial_seconds;
+  Result<advisor::Recommendation> rec =
+      Status::Internal("online advise pass never attempted");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++advise_retries_;
+      XIA_OBS_COUNT("xia.workload.online.retries", 1);
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      backoff *= options_.backoff_multiplier;
     }
-    return advisor_->Recommend(workload, options_.advisor);
-  }();
+    if (fault_point->ShouldFire()) {
+      rec = fault_point->InjectedStatus();
+      continue;
+    }
+    rec = [&] {
+      if (db_mutex_ != nullptr) {
+        std::lock_guard<std::mutex> db(*db_mutex_);
+        return advisor_->Recommend(workload, options_.advisor);
+      }
+      return advisor_->Recommend(workload, options_.advisor);
+    }();
+    if (rec.ok()) break;
+  }
   const double seconds = timer.ElapsedSeconds();
 
   if (!rec.ok()) {
     ++advise_failures_;
+    ++consecutive_failures_;
+    last_error_ = rec.status().ToString();
     XIA_OBS_COUNT("xia.workload.online.advise_failures", 1);
+    if (circuit_open_) {
+      // Failed half-open probe: stay open for another cooldown.
+      circuit_opened_.Restart();
+    } else if (consecutive_failures_ >=
+               static_cast<uint64_t>(options_.circuit_breaker_failures)) {
+      circuit_open_ = true;
+      ++circuit_opens_;
+      circuit_opened_.Restart();
+      XIA_OBS_COUNT("xia.workload.online.circuit_opens", 1);
+      XIA_OBS_GAUGE_SET("xia.workload.online.circuit_open", 1);
+    }
     return rec.status();
+  }
+
+  consecutive_failures_ = 0;
+  last_error_.clear();
+  if (circuit_open_) {
+    circuit_open_ = false;  // successful probe closes the breaker
+    XIA_OBS_GAUGE_SET("xia.workload.online.circuit_open", 0);
   }
 
   const std::set<std::string> before = IndexKeys(recommendation_);
@@ -150,6 +208,11 @@ OnlineAdvisorStatus OnlineAdvisor::Snapshot() const {
   status.dedup_ratio = templatizer_.DedupRatio();
   status.advise_runs = advise_runs_;
   status.advise_failures = advise_failures_;
+  status.advise_retries = advise_retries_;
+  status.consecutive_failures = consecutive_failures_;
+  status.circuit_open = circuit_open_;
+  status.circuit_opens = circuit_opens_;
+  status.last_error = last_error_;
   status.last_advise_seconds = last_advise_seconds_;
   status.last_entered = last_entered_;
   status.last_left = last_left_;

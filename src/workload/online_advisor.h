@@ -34,6 +34,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <thread>
 
 #include "advisor/advisor.h"
@@ -56,6 +57,20 @@ struct OnlineAdvisorOptions {
   double poll_interval_seconds = 0.02;
   /// Options for each Recommend pass.
   advisor::AdvisorOptions advisor;
+  /// Retry policy: a failed Recommend pass is retried up to this many
+  /// extra times within the same pass, sleeping an exponentially growing
+  /// backoff between attempts. Worst-case pass latency therefore grows by
+  /// backoff_initial_seconds * (multiplier^retries - 1) / (multiplier - 1).
+  int max_retries = 2;
+  double backoff_initial_seconds = 0.05;
+  double backoff_multiplier = 2.0;
+  /// Circuit breaker: after this many consecutive *passes* fail (retries
+  /// exhausted each time), the breaker opens and further passes return
+  /// kUnavailable without touching the advisor. After
+  /// circuit_cooldown_seconds a single half-open probe pass is allowed:
+  /// success closes the breaker, failure re-opens it for another cooldown.
+  int circuit_breaker_failures = 5;
+  double circuit_cooldown_seconds = 5.0;
 };
 
 /// Point-in-time view of the online advising state.
@@ -68,6 +83,15 @@ struct OnlineAdvisorStatus {
   /// Completed advise passes (and failed ones).
   uint64_t advise_runs = 0;
   uint64_t advise_failures = 0;
+  /// Within-pass retry attempts across all passes.
+  uint64_t advise_retries = 0;
+  /// Failed passes since the last success (resets to 0 on success).
+  uint64_t consecutive_failures = 0;
+  /// Circuit-breaker state: open means passes are being skipped.
+  bool circuit_open = false;
+  uint64_t circuit_opens = 0;
+  /// ToString of the most recent pass failure; empty after a success.
+  std::string last_error;
   double last_advise_seconds = 0;
   /// Churn of the most recent pass: indexes entering / leaving the
   /// recommended configuration.
@@ -124,6 +148,12 @@ class OnlineAdvisor {
   uint64_t queries_seen_ = 0;
   uint64_t advise_runs_ = 0;
   uint64_t advise_failures_ = 0;
+  uint64_t advise_retries_ = 0;
+  uint64_t consecutive_failures_ = 0;
+  bool circuit_open_ = false;
+  uint64_t circuit_opens_ = 0;
+  std::string last_error_;
+  Stopwatch circuit_opened_;
   double last_advise_seconds_ = 0;
   size_t last_entered_ = 0;
   size_t last_left_ = 0;

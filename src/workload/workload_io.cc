@@ -1,16 +1,63 @@
 #include "workload/workload_io.h"
 
+#include <cctype>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
+#include <cstdlib>
+
 #include "engine/query_parser.h"
+#include "fault/fault.h"
+#include "util/crc32.h"
 #include "util/string_util.h"
 
 namespace xia::workload {
 
 namespace {
+
+// CRC trailer: the final line of a saved workload, e.g. "# crc32=1a2b3c4d".
+// It is a valid comment, so files with the trailer still parse under any
+// ParseWorkloadText — and files without one (hand-written or pre-CRC) load
+// fine, just unverified.
+constexpr char kCrcPrefix[] = "# crc32=";
+constexpr size_t kCrcPrefixLen = sizeof(kCrcPrefix) - 1;
+constexpr size_t kCrcLineLen = kCrcPrefixLen + 8 + 1;  // prefix + hex + \n
+
+// If `text` ends with a CRC trailer line, extracts the stored checksum and
+// the length of the body it covers. Returns false when no trailer exists.
+bool FindCrcTrailer(const std::string& text, uint32_t* stored,
+                    size_t* body_len) {
+  if (text.size() < kCrcLineLen || text.back() != '\n') return false;
+  const size_t line_start = text.size() - kCrcLineLen;
+  if (line_start != 0 && text[line_start - 1] != '\n') return false;
+  if (text.compare(line_start, kCrcPrefixLen, kCrcPrefix) != 0) return false;
+  char hex[9] = {0};
+  for (size_t i = 0; i < 8; ++i) {
+    const char c = text[line_start + kCrcPrefixLen + i];
+    if (!std::isxdigit(static_cast<unsigned char>(c))) return false;
+    hex[i] = c;
+  }
+  *stored = static_cast<uint32_t>(std::strtoul(hex, nullptr, 16));
+  *body_len = line_start;
+  return true;
+}
+
+// Verifies the optional trailer, then parses.
+Result<engine::Workload> VerifyAndParse(const std::string& text) {
+  uint32_t stored = 0;
+  size_t body_len = 0;
+  if (FindCrcTrailer(text, &stored, &body_len)) {
+    const uint32_t actual = Crc32(text.data(), body_len);
+    if (actual != stored) {
+      return Status::DataLoss(StringPrintf(
+          "workload checksum mismatch: stored %08x, computed %08x", stored,
+          actual));
+    }
+  }
+  return engine::ParseWorkloadText(text);
+}
 
 // Deterministic frequency rendering: integral weights (the common case —
 // accumulated capture counts) print without a fraction; anything else
@@ -61,6 +108,7 @@ bool HasUnquotedHash(const std::string& text) {
 }  // namespace
 
 Result<std::string> SerializeWorkload(const engine::Workload& workload) {
+  XIA_FAULT_INJECT(fault::points::kWorkloadWrite);
   if (workload.empty()) {
     return Status::InvalidArgument("cannot serialize an empty workload");
   }
@@ -84,11 +132,13 @@ Result<std::string> SerializeWorkload(const engine::Workload& workload) {
                         label.c_str());
     out += text + ";\n";
   }
+  out += StringPrintf("%s%08x\n", kCrcPrefix, Crc32(out));
   return out;
 }
 
 Result<engine::Workload> DeserializeWorkload(const std::string& text) {
-  return engine::ParseWorkloadText(text);
+  XIA_FAULT_INJECT(fault::points::kWorkloadRead);
+  return VerifyAndParse(text);
 }
 
 Status SaveWorkloadToFile(const engine::Workload& workload,
@@ -112,11 +162,12 @@ Status SaveWorkloadToFile(const engine::Workload& workload,
 }
 
 Result<engine::Workload> LoadWorkloadFromFile(const std::string& path) {
+  XIA_FAULT_INJECT(fault::points::kWorkloadRead);
   std::ifstream in(path);
   if (!in) return Status::NotFound("workload file: " + path);
   std::stringstream buffer;
   buffer << in.rdbuf();
-  return engine::ParseWorkloadText(buffer.str());
+  return VerifyAndParse(buffer.str());
 }
 
 }  // namespace xia::workload

@@ -10,6 +10,12 @@
 // Save(Load(Save(w))) byte-identical to Save(w), the property the
 // round-trip tests pin down.
 //
+// Corruption detection: serialization appends a final "# crc32=XXXXXXXX"
+// line covering every preceding byte. The trailer is an ordinary comment,
+// so any parser still accepts the file; loading verifies it when present
+// (mismatch -> kDataLoss) and accepts trailer-less files (hand-written or
+// pre-CRC) unverified.
+//
 // Limitation (inherited from the text format): statement text must not
 // contain '#' outside string literals — '#' starts a comment. The XIA
 // query language never produces one; inserted XML documents could, and
@@ -28,8 +34,7 @@ namespace xia::workload {
 /// Renders `workload` in the canonical on-disk text form.
 Result<std::string> SerializeWorkload(const engine::Workload& workload);
 
-/// Parses the on-disk text form (thin wrapper over
-/// engine::ParseWorkloadText, present for symmetry).
+/// Parses the on-disk text form, verifying the CRC trailer when present.
 Result<engine::Workload> DeserializeWorkload(const std::string& text);
 
 /// Serializes `workload` and writes it to `path`. Fails up front if the

@@ -1,0 +1,261 @@
+// Fault matrix: arm every registered injection point in turn at p=1 and
+// drive the full pipeline (build db -> workload io round-trip -> snapshot
+// round-trip -> advise -> materialize -> execute). Each armed point must
+// produce a clean, attributable Status — no crash, no partially mutated
+// store, counters consistent. Also covers the online advisor's retry and
+// circuit-breaker behaviour under kOnlineAdvise faults.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "advisor/advisor.h"
+#include "engine/executor.h"
+#include "engine/query_parser.h"
+#include "fault/fault.h"
+#include "obs/metrics.h"
+#include "optimizer/optimizer.h"
+#include "storage/catalog.h"
+#include "storage/snapshot.h"
+#include "tpox/tpox_data.h"
+#include "workload/capture.h"
+#include "workload/online_advisor.h"
+#include "workload/workload_io.h"
+
+namespace xia::fault {
+namespace {
+
+engine::Workload MakeWorkload() {
+  engine::Workload w;
+  for (const char* text :
+       {"for $sec in SECURITY('SDOC')/Security "
+        "where $sec/Symbol = \"SYM000003\" return $sec",
+        "for $sec in SECURITY('SDOC')/Security[Yield > 4.5] "
+        "where $sec/SecInfo/*/Sector = \"Energy\" "
+        "return <Security>{$sec/Name}</Security>"}) {
+    auto stmt = engine::ParseStatement(text);
+    EXPECT_TRUE(stmt.ok()) << stmt.status();
+    w.push_back(std::move(*stmt));
+  }
+  return w;
+}
+
+Status BuildSmallDatabase(storage::DocumentStore* store,
+                          storage::StatisticsCatalog* stats) {
+  tpox::TpoxScale scale;
+  scale.security_docs = 30;
+  scale.order_docs = 30;
+  scale.custacc_docs = 10;
+  return tpox::BuildTpoxDatabase(scale, store, stats);
+}
+
+// The end-to-end pipeline every fault point sits on. Returns the first
+// failure; with nothing armed it must succeed.
+Status RunPipeline() {
+  storage::DocumentStore store;
+  storage::StatisticsCatalog stats;
+  XIA_RETURN_IF_ERROR(BuildSmallDatabase(&store, &stats));
+
+  // Workload persistence round-trip (kWorkloadWrite / kWorkloadRead).
+  const engine::Workload workload = MakeWorkload();
+  XIA_ASSIGN_OR_RETURN(std::string text,
+                       workload::SerializeWorkload(workload));
+  XIA_ASSIGN_OR_RETURN(engine::Workload loaded,
+                       workload::DeserializeWorkload(text));
+
+  // Snapshot round-trip (kSnapshotWrite / kSnapshotRead).
+  std::stringstream buffer;
+  XIA_RETURN_IF_ERROR(storage::SaveSnapshot(store, buffer));
+  storage::DocumentStore restored;
+  XIA_RETURN_IF_ERROR(storage::LoadSnapshot(buffer, &restored));
+  storage::StatisticsCatalog restored_stats;
+  for (const std::string& name : restored.CollectionNames()) {
+    XIA_ASSIGN_OR_RETURN(storage::Collection * coll,
+                         restored.GetCollection(name));
+    restored_stats.RunStats(*coll);
+  }
+
+  // Advise (kOptimizerPlan / kAdvisorEnumerate / kAdvisorBenefit /
+  // kAdvisorSearch) and materialize (kIndexBuild / kBtreeAlloc).
+  advisor::IndexAdvisor advisor(&restored, &restored_stats);
+  advisor::AdvisorOptions options;
+  options.disk_budget_bytes = 1e6;
+  XIA_ASSIGN_OR_RETURN(advisor::Recommendation rec,
+                       advisor.Recommend(loaded, options));
+  storage::Catalog catalog(&restored, &restored_stats);
+  XIA_RETURN_IF_ERROR(advisor.Materialize(rec, &catalog));
+
+  // Execute over the materialized configuration (kExecutorScan /
+  // kIndexLookup via the index probe).
+  optimizer::Optimizer optimizer(&restored, &catalog, &restored_stats);
+  engine::Executor executor(&restored, &catalog);
+  for (const auto& stmt : loaded) {
+    XIA_ASSIGN_OR_RETURN(optimizer::Plan plan, optimizer.Optimize(stmt));
+    XIA_RETURN_IF_ERROR(executor.Execute(stmt, plan).status());
+  }
+  return Status::OK();
+}
+
+TEST(FaultMatrixTest, PipelineSucceedsWithNothingArmed) {
+  ScopedFaultDisarm cleanup;
+  const Status status = RunPipeline();
+  EXPECT_TRUE(status.ok()) << status;
+}
+
+TEST(FaultMatrixTest, EveryArmedPointFailsCleanly) {
+  // kOnlineAdvise sits on the online advisor's pass loop, not on this
+  // pipeline; it has its own tests below.
+  for (const char* point_name : kAllPoints) {
+    if (std::string(point_name) == points::kOnlineAdvise) continue;
+    SCOPED_TRACE(point_name);
+    ScopedFaultDisarm cleanup;
+    FaultRegistry::Global().Arm(point_name, FaultSpec::Probability(1));
+    obs::Counter* fired_total =
+        obs::MetricsRegistry::Global().GetCounter("xia.fault.fired");
+    const uint64_t fired_before = fired_total->value();
+
+    const Status status = RunPipeline();
+
+    // The pipeline crosses every point, so arming any of them must fail
+    // the run — with the injected, attributable status.
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kInternal);
+    EXPECT_NE(status.message().find("fault injected"), std::string::npos)
+        << status;
+    EXPECT_NE(status.message().find(point_name), std::string::npos)
+        << status;
+
+    // Counter consistency: the point recorded the injection, both in its
+    // own snapshot and in the process-wide metric.
+    const FaultPointStatus st =
+        FaultRegistry::Global().GetPoint(point_name)->Snapshot();
+    EXPECT_GE(st.fired, 1u);
+    EXPECT_GE(st.hits, st.fired);
+    EXPECT_GE(fired_total->value(), fired_before + st.fired);
+  }
+}
+
+TEST(FaultMatrixTest, FailedSnapshotLoadLeavesStoreEmpty) {
+  ScopedFaultDisarm cleanup;
+  storage::DocumentStore store;
+  storage::StatisticsCatalog stats;
+  ASSERT_TRUE(BuildSmallDatabase(&store, &stats).ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(storage::SaveSnapshot(store, buffer).ok());
+
+  FaultRegistry::Global().Arm(points::kSnapshotRead,
+                              FaultSpec::Probability(1));
+  storage::DocumentStore restored;
+  const Status status = storage::LoadSnapshot(buffer, &restored);
+  EXPECT_FALSE(status.ok());
+  // Stage-and-swap: the failed load must not touch the target store.
+  EXPECT_TRUE(restored.CollectionNames().empty());
+}
+
+class OnlineFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(BuildSmallDatabase(&store_, &stats_).ok());
+    advisor_ =
+        std::make_unique<advisor::IndexAdvisor>(&store_, &stats_);
+    capture_.set_enabled(true);
+    for (const auto& stmt : MakeWorkload()) capture_.Publish(stmt);
+  }
+
+  workload::OnlineAdvisorOptions FastOptions() {
+    workload::OnlineAdvisorOptions options;
+    options.advisor.disk_budget_bytes = 1e6;
+    options.backoff_initial_seconds = 0.001;
+    options.backoff_multiplier = 2.0;
+    return options;
+  }
+
+  storage::DocumentStore store_;
+  storage::StatisticsCatalog stats_;
+  std::unique_ptr<advisor::IndexAdvisor> advisor_;
+  workload::WorkloadCapture capture_;
+};
+
+TEST_F(OnlineFaultTest, RetryRecoversFromTransientFault) {
+  ScopedFaultDisarm cleanup;
+  workload::OnlineAdvisorOptions options = FastOptions();
+  options.max_retries = 2;
+  workload::OnlineAdvisor online(&capture_, advisor_.get(), options);
+
+  // The first attempt of the pass fails; the retry succeeds.
+  FaultRegistry::Global().Arm(points::kOnlineAdvise, FaultSpec::NthHit(1));
+  EXPECT_TRUE(online.AdviseNow().ok());
+  const workload::OnlineAdvisorStatus st = online.Snapshot();
+  EXPECT_EQ(st.advise_runs, 1u);
+  EXPECT_EQ(st.advise_failures, 0u);
+  EXPECT_GE(st.advise_retries, 1u);
+  EXPECT_EQ(st.consecutive_failures, 0u);
+  EXPECT_FALSE(st.circuit_open);
+  EXPECT_TRUE(st.last_error.empty());
+  EXPECT_TRUE(st.has_recommendation);
+}
+
+TEST_F(OnlineFaultTest, CircuitBreakerOpensProbesAndCloses) {
+  ScopedFaultDisarm cleanup;
+  workload::OnlineAdvisorOptions options = FastOptions();
+  options.max_retries = 0;
+  options.circuit_breaker_failures = 2;
+  options.circuit_cooldown_seconds = 0.05;
+  workload::OnlineAdvisor online(&capture_, advisor_.get(), options);
+
+  FaultRegistry::Global().Arm(points::kOnlineAdvise,
+                              FaultSpec::Probability(1));
+  // Two consecutive failed passes trip the breaker.
+  EXPECT_EQ(online.AdviseNow().code(), StatusCode::kInternal);
+  EXPECT_EQ(online.AdviseNow().code(), StatusCode::kInternal);
+  workload::OnlineAdvisorStatus st = online.Snapshot();
+  EXPECT_TRUE(st.circuit_open);
+  EXPECT_EQ(st.circuit_opens, 1u);
+  EXPECT_EQ(st.consecutive_failures, 2u);
+  EXPECT_NE(st.last_error.find("fault injected"), std::string::npos);
+
+  // While open and inside the cooldown, passes are rejected without
+  // touching the advisor.
+  EXPECT_EQ(online.AdviseNow().code(), StatusCode::kUnavailable);
+
+  // A failed half-open probe re-opens for another cooldown.
+  std::this_thread::sleep_for(std::chrono::milliseconds(70));
+  EXPECT_EQ(online.AdviseNow().code(), StatusCode::kInternal);
+  st = online.Snapshot();
+  EXPECT_TRUE(st.circuit_open);
+
+  // Once the fault clears, the next probe closes the breaker.
+  FaultRegistry::Global().DisarmAll();
+  std::this_thread::sleep_for(std::chrono::milliseconds(70));
+  EXPECT_TRUE(online.AdviseNow().ok());
+  st = online.Snapshot();
+  EXPECT_FALSE(st.circuit_open);
+  EXPECT_EQ(st.consecutive_failures, 0u);
+  EXPECT_TRUE(st.last_error.empty());
+  EXPECT_TRUE(st.has_recommendation);
+}
+
+TEST_F(OnlineFaultTest, ProbabilisticFaultsEventuallyConverge) {
+  // Under a 30% per-attempt fault, retries keep the advising loop alive:
+  // across many passes at least one succeeds and none crash.
+  ScopedFaultDisarm cleanup;
+  workload::OnlineAdvisorOptions options = FastOptions();
+  options.max_retries = 4;
+  options.circuit_breaker_failures = 100;  // keep the breaker out of it
+  workload::OnlineAdvisor online(&capture_, advisor_.get(), options);
+  FaultRegistry::Global().set_seed(7);
+  FaultRegistry::Global().Arm(points::kOnlineAdvise,
+                              FaultSpec::Probability(0.3));
+  int successes = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (online.AdviseNow().ok()) ++successes;
+  }
+  EXPECT_GT(successes, 0);
+  FaultRegistry::Global().set_seed(42);
+}
+
+}  // namespace
+}  // namespace xia::fault

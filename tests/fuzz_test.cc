@@ -1,12 +1,21 @@
 // Randomized robustness tests: parsers must never crash or hang on
-// arbitrary input, and serialize/parse must round-trip structured data.
+// arbitrary input, serialize/parse must round-trip structured data, and
+// the persistence loaders must survive arbitrary mutation of their inputs
+// — including with fault-injection points armed at low probability.
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
+#include "advisor/advisor.h"
 #include "engine/query_parser.h"
+#include "fault/deadline.h"
+#include "fault/fault.h"
+#include "storage/snapshot.h"
 #include "tpox/tpox_data.h"
 #include "tpox/xmark.h"
 #include "util/random.h"
+#include "workload/workload_io.h"
 #include "xml/parser.h"
 #include "xml/serializer.h"
 #include "xpath/parser.h"
@@ -100,6 +109,124 @@ TEST_P(FuzzTest, GeneratedDocumentsRoundTrip) {
       }
     }
   }
+}
+
+// Applies `mutations` random byte edits (flip / insert / delete) to a
+// copy of `bytes`.
+std::string Mutate(const std::string& bytes, int mutations, Random* rng) {
+  std::string out = bytes;
+  for (int m = 0; m < mutations && !out.empty(); ++m) {
+    switch (rng->Uniform(3)) {
+      case 0:
+        out[rng->Uniform(out.size())] = static_cast<char>(rng->Uniform(256));
+        break;
+      case 1:
+        out.insert(out.begin() + rng->Uniform(out.size() + 1),
+                   static_cast<char>(rng->Uniform(256)));
+        break;
+      default:
+        out.erase(out.begin() + rng->Uniform(out.size()));
+        break;
+    }
+  }
+  return out;
+}
+
+TEST_P(FuzzTest, MutatedSnapshotsNeverCrashOrPartiallyLoad) {
+  Random rng(GetParam() * 131 + 17);
+  storage::DocumentStore store;
+  storage::StatisticsCatalog stats;
+  tpox::TpoxScale scale;
+  scale.security_docs = 10;
+  scale.order_docs = 10;
+  scale.custacc_docs = 5;
+  ASSERT_TRUE(tpox::BuildTpoxDatabase(scale, &store, &stats).ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(storage::SaveSnapshot(store, buffer).ok());
+  const std::string clean = buffer.str();
+
+  // Bound the whole fuzz loop: mutation coverage should never turn into a
+  // hanging test, whatever the mutated bytes decode to.
+  const fault::Deadline deadline = fault::Deadline::AfterSeconds(30);
+  for (int trial = 0; trial < 300 && !deadline.expired(); ++trial) {
+    const std::string bytes = Mutate(clean, 1 + rng.Uniform(8), &rng);
+    std::stringstream in(bytes);
+    storage::DocumentStore restored;
+    const auto status = storage::LoadSnapshot(in, &restored);
+    if (!status.ok()) {
+      // A rejected snapshot must leave the target untouched.
+      EXPECT_TRUE(restored.CollectionNames().empty()) << "trial " << trial;
+    }
+  }
+}
+
+TEST_P(FuzzTest, MutatedWorkloadFilesNeverCrash) {
+  Random rng(GetParam() * 151 + 23);
+  engine::Workload w;
+  auto stmt = engine::ParseStatement(
+      "for $s in c('SDOC')/Security where $s/Symbol = \"SYM1\" return $s");
+  ASSERT_TRUE(stmt.ok());
+  w.push_back(std::move(*stmt));
+  auto clean = workload::SerializeWorkload(w);
+  ASSERT_TRUE(clean.ok());
+
+  const fault::Deadline deadline = fault::Deadline::AfterSeconds(30);
+  for (int trial = 0; trial < 500 && !deadline.expired(); ++trial) {
+    (void)workload::DeserializeWorkload(
+        Mutate(*clean, 1 + rng.Uniform(6), &rng));
+  }
+}
+
+TEST_P(FuzzTest, PipelineUnderLowProbabilityFaults) {
+  // With every fault point armed at 2%, repeated advise pipelines must
+  // either succeed or fail with a clean Status — never crash, never leave
+  // a partially loaded store.
+  fault::ScopedFaultDisarm cleanup;
+  fault::FaultRegistry& registry = fault::FaultRegistry::Global();
+  registry.set_seed(GetParam() * 1000 + 7);
+  for (const char* point : fault::kAllPoints) {
+    registry.Arm(point, fault::FaultSpec::Probability(0.02));
+  }
+
+  storage::DocumentStore store;
+  storage::StatisticsCatalog stats;
+  tpox::TpoxScale scale;
+  scale.security_docs = 15;
+  scale.order_docs = 15;
+  scale.custacc_docs = 5;
+  ASSERT_TRUE(tpox::BuildTpoxDatabase(scale, &store, &stats).ok());
+  engine::Workload w;
+  auto stmt = engine::ParseStatement(
+      "for $sec in SECURITY('SDOC')/Security "
+      "where $sec/Symbol = \"SYM000003\" return $sec");
+  ASSERT_TRUE(stmt.ok());
+  w.push_back(std::move(*stmt));
+
+  const fault::Deadline deadline = fault::Deadline::AfterSeconds(60);
+  int successes = 0;
+  for (int trial = 0; trial < 40 && !deadline.expired(); ++trial) {
+    std::stringstream buffer;
+    if (!storage::SaveSnapshot(store, buffer).ok()) continue;
+    storage::DocumentStore restored;
+    if (!storage::LoadSnapshot(buffer, &restored).ok()) {
+      EXPECT_TRUE(restored.CollectionNames().empty()) << "trial " << trial;
+      continue;
+    }
+    storage::StatisticsCatalog restored_stats;
+    for (const std::string& name : restored.CollectionNames()) {
+      auto coll = restored.GetCollection(name);
+      ASSERT_TRUE(coll.ok());
+      restored_stats.RunStats(**coll);
+    }
+    advisor::IndexAdvisor advisor(&restored, &restored_stats);
+    advisor::AdvisorOptions options;
+    options.disk_budget_bytes = 1e6;
+    auto rec = advisor.Recommend(w, options);
+    if (rec.ok()) ++successes;
+  }
+  registry.set_seed(42);
+  // 2% per hit still lets most runs through end to end.
+  EXPECT_GT(successes, 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Values(1, 2, 3));

@@ -10,6 +10,7 @@
 #include "storage/statistics.h"
 #include "tpox/tpox_data.h"
 #include "util/random.h"
+#include "xml/parser.h"
 #include "xml/serializer.h"
 #include "xpath/parser.h"
 
@@ -153,6 +154,98 @@ TEST_F(SnapshotTest, FileRoundTrip) {
   ASSERT_TRUE(LoadSnapshotFromFile(path, &restored).ok());
   EXPECT_EQ(restored.CollectionNames(), store_.CollectionNames());
   EXPECT_FALSE(LoadSnapshotFromFile("/nonexistent/snapshot", &restored).ok());
+}
+
+// A store small enough that every byte offset can be corrupted
+// exhaustively.
+class TinySnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto coll_a = store_.CreateCollection("A");
+    ASSERT_TRUE(coll_a.ok());
+    auto doc1 = xml::Parse("<r><x>1</x><y a=\"b\">two</y></r>");
+    ASSERT_TRUE(doc1.ok());
+    (*coll_a)->Add(std::move(*doc1));
+    auto doc2 = xml::Parse("<r><x>3</x></r>");
+    ASSERT_TRUE(doc2.ok());
+    (*coll_a)->Add(std::move(*doc2));
+    ASSERT_TRUE((*coll_a)->Remove(0).ok());  // one tombstone
+    auto coll_b = store_.CreateCollection("B");
+    ASSERT_TRUE(coll_b.ok());
+    auto doc3 = xml::Parse("<q><k>v</k></q>");
+    ASSERT_TRUE(doc3.ok());
+    (*coll_b)->Add(std::move(*doc3));
+
+    std::stringstream buffer;
+    ASSERT_TRUE(SaveSnapshot(store_, buffer).ok());
+    bytes_ = buffer.str();
+  }
+
+  DocumentStore store_;
+  std::string bytes_;
+};
+
+TEST_F(TinySnapshotTest, EveryByteFlipIsRejectedAndTargetUntouched) {
+  // Inverting any single byte (magic, counts, lengths, payload, checksum)
+  // must make the load fail with a clean Status AND leave the target store
+  // untouched — the stage-and-swap guarantee. A ^0xFF flip inside a
+  // section payload is a <=8-bit burst error, which CRC-32 always detects.
+  for (size_t offset = 0; offset < bytes_.size(); ++offset) {
+    std::string corrupt = bytes_;
+    corrupt[offset] = static_cast<char>(corrupt[offset] ^ 0xFF);
+    std::stringstream in(corrupt);
+    DocumentStore restored;
+    const auto status = LoadSnapshot(in, &restored);
+    EXPECT_FALSE(status.ok()) << "flip at offset " << offset;
+    EXPECT_TRUE(restored.CollectionNames().empty())
+        << "partial mutation after flip at offset " << offset;
+  }
+}
+
+TEST_F(TinySnapshotTest, EveryTruncationIsRejectedAndTargetUntouched) {
+  for (size_t len = 0; len < bytes_.size(); ++len) {
+    std::stringstream in(bytes_.substr(0, len));
+    DocumentStore restored;
+    const auto status = LoadSnapshot(in, &restored);
+    EXPECT_FALSE(status.ok()) << "truncated to " << len << " bytes";
+    EXPECT_TRUE(restored.CollectionNames().empty())
+        << "partial mutation after truncation to " << len << " bytes";
+  }
+}
+
+TEST_F(TinySnapshotTest, LegacyV1SnapshotStillLoads) {
+  // Reconstruct the v1 byte layout from the v2 snapshot: same magic
+  // prefix except the version digit, same collection count, and the
+  // section payloads inlined without the [len][payload][crc] framing.
+  ASSERT_GE(bytes_.size(), 12u);
+  std::string v1 = bytes_.substr(0, 12);
+  v1[7] = '1';
+  size_t pos = 12;
+  const auto read_u32 = [&](size_t at) {
+    return static_cast<uint32_t>(static_cast<unsigned char>(bytes_[at])) |
+           static_cast<uint32_t>(static_cast<unsigned char>(bytes_[at + 1]))
+               << 8 |
+           static_cast<uint32_t>(static_cast<unsigned char>(bytes_[at + 2]))
+               << 16 |
+           static_cast<uint32_t>(static_cast<unsigned char>(bytes_[at + 3]))
+               << 24;
+  };
+  while (pos < bytes_.size()) {
+    const uint32_t len = read_u32(pos);
+    ASSERT_LE(pos + 4 + len + 4, bytes_.size());
+    v1 += bytes_.substr(pos + 4, len);
+    pos += 4 + len + 4;  // skip the length prefix and the trailing CRC
+  }
+
+  std::stringstream in(v1);
+  DocumentStore restored;
+  ASSERT_TRUE(LoadSnapshot(in, &restored).ok());
+  ASSERT_EQ(restored.CollectionNames(), store_.CollectionNames());
+  auto coll = restored.GetCollection("A");
+  ASSERT_TRUE(coll.ok());
+  EXPECT_EQ((*coll)->live_count(), 1u);
+  EXPECT_EQ((*coll)->id_bound(), 2u);
+  EXPECT_FALSE((*coll)->IsLive(0));
 }
 
 TEST_F(SnapshotTest, StatisticsOverRestoredStoreMatch) {

@@ -23,6 +23,7 @@
 
 #include "advisor/advisor.h"
 #include "advisor/report.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "xml/parser.h"
 #include "engine/query_parser.h"
@@ -45,21 +46,31 @@ int Usage() {
       stderr,
       "usage: xia_advise (--data DIR | --snapshot FILE | --demo)"
       " --workload FILE\n"
-      "                  [--budget SIZE] [--algorithm NAME] [--beta F]\n"
+      "                  [--budget SIZE] [--budget-ms MS] [--algorithm NAME]"
+      " [--beta F]\n"
       "                  [--no-generalize] [--all-index] [--explain]"
       " [--report]\n"
       "                  [--metrics-json PATH] [--capture PATH]\n"
       "  SIZE: bytes, or suffixed 512KB / 10MB / 1GB\n"
       "  NAME: greedy | heuristics | topdown-lite | topdown-full | dp\n"
+      "  --budget-ms: wall-clock budget for the advise run; on expiry the\n"
+      "             best configuration found so far is reported with\n"
+      "             partial=true\n"
       "  --capture: templatize the workload (constants -> markers,\n"
       "             duplicates merged into weighted templates), save the\n"
-      "             compressed workload to PATH, and advise over it\n");
+      "             compressed workload to PATH, and advise over it\n"
+      "  env: XIA_FAULTS=\"name=p0.5,name2=n3\" arms fault-injection"
+      " points;\n"
+      "       XIA_FAULTS_SEED seeds their PRNGs\n");
   return 2;
 }
 
+// Every failure exits with a code derived from the StatusCode (see
+// StatusExitCode), so scripts can distinguish e.g. not-found from
+// data-loss without parsing stderr.
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-  return 1;
+  return StatusExitCode(status);
 }
 
 bool ParseSize(const std::string& text, double* out) {
@@ -179,6 +190,9 @@ int DumpMetricsJson(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (Status s = fault::FaultRegistry::Global().ConfigureFromEnv(); !s.ok()) {
+    return Fail(s);
+  }
   std::string data_dir;
   std::string snapshot_file;
   std::string workload_file;
@@ -212,6 +226,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--budget") {
       const char* v = next();
       if (!v || !ParseSize(v, &options.disk_budget_bytes)) return Usage();
+    } else if (arg == "--budget-ms") {
+      const char* v = next();
+      if (!v || !ParseDouble(v, &options.budget_ms) ||
+          options.budget_ms <= 0) {
+        return Usage();
+      }
     } else if (arg == "--algorithm") {
       const char* v = next();
       if (!v || !ParseAlgorithm(v, &options.algorithm)) return Usage();
@@ -287,13 +307,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::ifstream in(workload_file);
-  if (!in) {
-    return Fail(Status::NotFound("workload file: " + workload_file));
-  }
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  auto workload = engine::ParseWorkloadText(buffer.str());
+  // LoadWorkloadFromFile verifies the CRC trailer when the file has one,
+  // so a bit-flipped saved capture fails with kDataLoss instead of being
+  // silently advised on.
+  auto workload = xia::workload::LoadWorkloadFromFile(workload_file);
   if (!workload.ok()) return Fail(workload.status());
   std::printf("workload: %zu statements\n", workload->size());
 
@@ -349,11 +366,11 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "\ntotal size %s | est. speedup %.2fx | %zu/%zu candidates "
-      "(basic/total) | %llu optimizer calls | %.3fs\n",
+      "(basic/total) | %llu optimizer calls | %.3fs%s\n",
       HumanBytes(rec->total_size_bytes).c_str(), rec->est_speedup,
       rec->basic_candidates, rec->total_candidates,
       static_cast<unsigned long long>(rec->optimizer_calls),
-      rec->advisor_seconds);
+      rec->advisor_seconds, rec->partial ? " | partial=true" : "");
 
   if (report) {
     auto rendered = advisor::RenderReport(*workload, *rec, &store,

@@ -26,6 +26,7 @@
 #include "advisor/advisor.h"
 #include "engine/executor.h"
 #include "engine/query_parser.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "optimizer/optimizer.h"
 #include "storage/catalog.h"
@@ -71,8 +72,11 @@ class Shell {
       if (trimmed == "quit" || trimmed == "exit") break;
       Status status = Dispatch(std::string(trimmed));
       if (!status.ok()) {
-        std::printf("error: %s\n", status.ToString().c_str());
-        if (!interactive) return 1;
+        // Errors go to stderr so scripted sessions can separate them from
+        // command output; a script aborts with a StatusCode-derived exit
+        // code (see StatusExitCode) that distinguishes failure kinds.
+        std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+        if (!interactive) return StatusExitCode(status);
       }
     }
     return 0;
@@ -106,6 +110,7 @@ class Shell {
     if (cmd == "monitor") return MonitorCommand(rest);
     if (cmd == "replay") return Replay(rest);
     if (cmd == "trace") return TraceCommand(rest);
+    if (cmd == "faults") return Faults();
     return Status::InvalidArgument("unknown command '" + cmd +
                                    "' (try 'help')");
   }
@@ -128,7 +133,11 @@ class Shell {
         "  run STATEMENT                  execute best plan\n"
         "  workload add STATEMENT | load FILE | save FILE | list | show |"
         " clear\n"
-        "  advise BUDGET [greedy|heuristics|topdown-lite|topdown-full|dp]\n"
+        "  advise BUDGET [greedy|heuristics|topdown-lite|topdown-full|dp]"
+        " [BUDGET_MS]\n"
+        "                                 BUDGET_MS caps wall-clock time;\n"
+        "                                 on expiry the best-so-far partial\n"
+        "                                 recommendation is reported\n"
         "  monitor start [MIN_QUERIES] [INTERVAL_S]   capture + online"
         " advising\n"
         "  monitor status|flush|stop      online advisor state / force a"
@@ -138,6 +147,7 @@ class Shell {
         "  replay FILE [TIMES]            execute a workload file TIMES"
         " times\n"
         "  trace on|off                   per-phase advisor trace in advise\n"
+        "  faults                         fault-injection points (XIA_FAULTS)\n"
         "  quit\n");
     return Status::OK();
   }
@@ -457,7 +467,8 @@ class Shell {
     if (workload_.empty()) {
       return Status::FailedPrecondition("workload is empty (workload add …)");
     }
-    auto [budget_text, algo_text] = SplitCommand(rest);
+    auto [budget_text, tail] = SplitCommand(rest);
+    auto [algo_text, ms_text] = SplitCommand(tail);
     advisor::AdvisorOptions options;
     options.disk_budget_bytes = 10 * 1024.0 * 1024.0;
     if (!budget_text.empty()) {
@@ -494,6 +505,13 @@ class Shell {
         return Status::InvalidArgument("unknown algorithm: " + algo_text);
       }
     }
+    if (!ms_text.empty()) {
+      double ms = 0;
+      if (!ParseDouble(ms_text, &ms) || ms <= 0) {
+        return Status::InvalidArgument("bad BUDGET_MS: " + ms_text);
+      }
+      options.budget_ms = ms;
+    }
     XIA_ASSIGN_OR_RETURN(advisor::Recommendation rec,
                          advisor_.Recommend(workload_, options));
     for (const auto& ri : rec.indexes) {
@@ -501,9 +519,10 @@ class Shell {
                   HumanBytes(static_cast<double>(ri.size_bytes)).c_str(),
                   ri.is_general ? " [general]" : "");
     }
-    std::printf("  total %s, est. speedup %.2fx, %llu optimizer calls\n",
+    std::printf("  total %s, est. speedup %.2fx, %llu optimizer calls%s\n",
                 HumanBytes(rec.total_size_bytes).c_str(), rec.est_speedup,
-                static_cast<unsigned long long>(rec.optimizer_calls));
+                static_cast<unsigned long long>(rec.optimizer_calls),
+                rec.partial ? ", partial=true" : "");
     if (trace_ && !rec.trace.empty()) {
       std::printf("%s", rec.trace.ToString().c_str());
     }
@@ -571,10 +590,21 @@ class Shell {
           static_cast<unsigned long long>(capture_.dropped()),
           st.template_count, st.dedup_ratio);
       std::printf(
-          "  advise passes %llu (failures %llu), last %.3fs, churn +%zu/-%zu\n",
+          "  advise passes %llu (failures %llu, retries %llu), "
+          "last %.3fs, churn +%zu/-%zu\n",
           static_cast<unsigned long long>(st.advise_runs),
           static_cast<unsigned long long>(st.advise_failures),
+          static_cast<unsigned long long>(st.advise_retries),
           st.last_advise_seconds, st.last_entered, st.last_left);
+      std::printf(
+          "  circuit breaker %s (opened %llu times, %llu consecutive "
+          "failures)\n",
+          st.circuit_open ? "OPEN" : "closed",
+          static_cast<unsigned long long>(st.circuit_opens),
+          static_cast<unsigned long long>(st.consecutive_failures));
+      if (!st.last_error.empty()) {
+        std::printf("  last error: %s\n", st.last_error.c_str());
+      }
       if (st.has_recommendation) {
         for (const auto& ri : st.recommendation.indexes) {
           std::printf("  %s  -- %s%s\n", ri.ddl.c_str(),
@@ -635,6 +665,24 @@ class Shell {
     return Status::OK();
   }
 
+  // Lists every registered fault-injection point with its armed spec and
+  // hit/fired counters — the runtime view of the XIA_FAULTS env spec.
+  Status Faults() {
+    const auto snapshot = fault::FaultRegistry::Global().Snapshot();
+    if (snapshot.empty()) {
+      std::printf("  (no fault points registered)\n");
+      return Status::OK();
+    }
+    std::printf("  %-28s %-8s %10s %10s\n", "point", "spec", "hits", "fired");
+    for (const auto& point : snapshot) {
+      std::printf("  %-28s %-8s %10llu %10llu\n", point.name.c_str(),
+                  point.spec.ToString().c_str(),
+                  static_cast<unsigned long long>(point.hits),
+                  static_cast<unsigned long long>(point.fired));
+    }
+    return Status::OK();
+  }
+
   Status TraceCommand(const std::string& rest) {
     if (rest == "on") {
       trace_ = true;
@@ -665,6 +713,10 @@ class Shell {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (Status s = fault::FaultRegistry::Global().ConfigureFromEnv(); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return StatusExitCode(s);
+  }
   if (argc > 1 && std::string(argv[1]) == "--script") {
     if (argc < 3) {
       std::fprintf(stderr, "usage: xia_shell [--script FILE]\n");
