@@ -280,6 +280,11 @@ Result<ExecResult> Executor::Execute(const Statement& statement,
       : statement.is_update() ? ExecuteUpdate(statement, plan, options)
                               : ExecuteQuery(statement, plan, options);
   if (result.ok()) {
+    if (commit_log_ != nullptr && !statement.is_query()) {
+      // Durability gate: a mutation is acknowledged (and shown to the
+      // capture sink) only once the WAL has it.
+      XIA_RETURN_IF_ERROR(commit_log_->OnCommit(statement));
+    }
     XIA_OBS_COUNT("xia.engine.docs_examined", result->docs_examined);
     XIA_OBS_OBSERVE_LATENCY("xia.engine.exec.seconds", result->wall_seconds);
     if (sink_ != nullptr) sink_->OnExecuted(statement, *result);

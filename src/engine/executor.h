@@ -72,6 +72,19 @@ class QuerySink {
                           const ExecResult& result) = 0;
 };
 
+/// Durability hook: receives every successfully executed *mutating*
+/// statement (insert/delete/update) before the execution is acknowledged
+/// to the caller and before the capture sink sees it. Implemented by
+/// xia::wal's WalManager; defined here so the engine layer can publish
+/// without depending on the wal layer. A non-OK return fails the
+/// statement: the in-memory apply has happened, but the mutation is not
+/// durable and the caller must treat the execution as failed.
+class CommitLog {
+ public:
+  virtual ~CommitLog() = default;
+  virtual Status OnCommit(const Statement& statement) = 0;
+};
+
 /// Executes plans produced by the optimizer.
 class Executor {
  public:
@@ -82,6 +95,13 @@ class Executor {
   /// The executor does not own the sink.
   void set_sink(QuerySink* sink) { sink_ = sink; }
   QuerySink* sink() const { return sink_; }
+
+  /// Commits every successful mutation through `log` (nullptr disables).
+  /// The executor does not own the log. Ordering: WAL commit first, then
+  /// metrics and the capture sink — a statement the sink observed is
+  /// always durable.
+  void set_commit_log(CommitLog* log) { commit_log_ = log; }
+  CommitLog* commit_log() const { return commit_log_; }
 
   /// Executes `statement` under `plan`.
   Result<ExecResult> Execute(const Statement& statement,
@@ -127,6 +147,7 @@ class Executor {
   storage::DocumentStore* store_;
   storage::Catalog* catalog_;
   QuerySink* sink_ = nullptr;
+  CommitLog* commit_log_ = nullptr;
 };
 
 }  // namespace xia::engine

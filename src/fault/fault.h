@@ -65,6 +65,9 @@ inline constexpr const char* kAdvisorEnumerate = "xia.fault.advisor.enumerate";
 inline constexpr const char* kAdvisorBenefit = "xia.fault.advisor.benefit";
 inline constexpr const char* kAdvisorSearch = "xia.fault.advisor.search";
 inline constexpr const char* kOnlineAdvise = "xia.fault.online.advise";
+inline constexpr const char* kWalAppend = "xia.fault.wal.append";
+inline constexpr const char* kWalFsync = "xia.fault.wal.fsync";
+inline constexpr const char* kWalReplay = "xia.fault.wal.replay";
 }  // namespace points
 
 /// Every canonical point, for matrix-style iteration.
@@ -75,7 +78,8 @@ inline constexpr const char* kAllPoints[] = {
     points::kIndexLookup,      points::kOptimizerPlan,
     points::kExecutorScan,     points::kAdvisorEnumerate,
     points::kAdvisorBenefit,   points::kAdvisorSearch,
-    points::kOnlineAdvise,
+    points::kOnlineAdvise,     points::kWalAppend,
+    points::kWalFsync,         points::kWalReplay,
 };
 
 /// How an armed point decides to fire.

@@ -69,6 +69,11 @@ void Catalog::DropAllVirtualIndexes() {
   }
 }
 
+void Catalog::AdoptIndexesFrom(Catalog* other) {
+  indexes_ = std::move(other->indexes_);
+  other->indexes_.clear();
+}
+
 std::vector<const IndexDef*> Catalog::IndexesFor(
     const std::string& collection) const {
   std::vector<const IndexDef*> out;

@@ -61,6 +61,13 @@ class Catalog {
   /// Drops every virtual index (used between what-if probes).
   void DropAllVirtualIndexes();
 
+  /// Replaces this catalog's entries with `other`'s, moving the physical
+  /// structures over (PathValueIndex is self-contained, so built indexes
+  /// transfer between catalogs). `other` is left empty. Used by WAL
+  /// recovery, which rebuilds state in a staging store + catalog and then
+  /// swaps both in; pair with DocumentStore::Swap.
+  void AdoptIndexesFrom(Catalog* other);
+
   /// All indexes (real and virtual) over a collection.
   std::vector<const IndexDef*> IndexesFor(const std::string& collection) const;
 

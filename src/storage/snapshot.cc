@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "fault/fault.h"
+#include "util/atomic_file.h"
 #include "util/crc32.h"
 
 namespace xia::storage {
@@ -240,9 +241,11 @@ Status SaveSnapshot(const DocumentStore& store, std::ostream& out) {
 
 Status SaveSnapshotToFile(const DocumentStore& store,
                           const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::Internal("cannot open " + path + " for writing");
-  return SaveSnapshot(store, out);
+  // Stage-and-rename: a crash mid-save never clobbers the previous good
+  // file.
+  std::ostringstream out;
+  XIA_RETURN_IF_ERROR(SaveSnapshot(store, out));
+  return WriteFileAtomic(path, out.str());
 }
 
 Status LoadSnapshot(std::istream& in, DocumentStore* store) {

@@ -1,0 +1,91 @@
+#include "wal/log_file.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/atomic_file.h"
+#include "util/crc32.h"
+#include "wal/wire.h"
+
+namespace xia::wal {
+
+namespace fs = std::filesystem;
+
+void AppendFrame(std::string_view payload, std::string* out) {
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  PutU32(out, Crc32(payload));
+  out->append(payload.data(), payload.size());
+}
+
+Result<ScannedLog> ScanLogFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("WAL file not found: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string data = buf.str();
+
+  ScannedLog scanned;
+  if (data.size() < sizeof(kWalMagic)) {
+    // A crash can land between file creation and the magic write only if
+    // the init itself was torn; salvage nothing, keep nothing.
+    scanned.valid_bytes = 0;
+    scanned.discarded_bytes = data.size();
+    scanned.torn_tail = true;
+    scanned.tail_reason = "truncated magic";
+    return scanned;
+  }
+  if (std::memcmp(data.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+    return Status::ParseError(path + " is not a WAL file (bad magic)");
+  }
+
+  size_t pos = sizeof(kWalMagic);
+  scanned.valid_bytes = pos;
+  while (pos < data.size()) {
+    WireReader reader{std::string_view(data).substr(pos)};
+    uint32_t len = 0;
+    uint32_t crc = 0;
+    if (!reader.GetU32(&len) || !reader.GetU32(&crc)) {
+      scanned.tail_reason = "truncated frame header";
+      break;
+    }
+    if (len > kMaxFrameBytes) {
+      scanned.tail_reason = "frame length out of range";
+      break;
+    }
+    if (reader.pos + len > reader.data.size()) {
+      scanned.tail_reason = "truncated frame payload";
+      break;
+    }
+    const std::string_view payload = reader.data.substr(reader.pos, len);
+    if (Crc32(payload) != crc) {
+      scanned.tail_reason = "frame crc mismatch";
+      break;
+    }
+    scanned.payloads.emplace_back(payload);
+    pos += 8 + len;
+    scanned.valid_bytes = pos;
+  }
+  scanned.discarded_bytes = data.size() - scanned.valid_bytes;
+  scanned.torn_tail = scanned.discarded_bytes > 0;
+  return scanned;
+}
+
+Status InitLogFile(const std::string& path) {
+  return WriteFileAtomic(path,
+                         std::string_view(kWalMagic, sizeof(kWalMagic)));
+}
+
+Status TruncateLogFile(const std::string& path, uint64_t bytes) {
+  if (::truncate(path.c_str(), static_cast<off_t>(bytes)) != 0) {
+    return Status::Internal("truncate " + path + " failed: " +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace xia::wal

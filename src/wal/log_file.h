@@ -1,0 +1,65 @@
+// WAL file framing and torn-tail-tolerant scanning.
+//
+// A log file is an 8-byte magic ("XIAWAL01") followed by frames:
+//
+//   u32 payload_len | u32 crc32(payload) | payload bytes
+//
+// Appends go through the frame encoder; on recovery, ScanLogFile walks
+// the frames and *stops* at the first one that is truncated or fails its
+// CRC. That is the expected shape of a crash mid-append (a torn tail),
+// so it is reported as salvage information, not as an error — the
+// recovery manager truncates the file back to the last good frame and
+// carries on. Only a missing/forged magic is a hard error: that means
+// the file is not a WAL at all.
+
+#ifndef XIA_WAL_LOG_FILE_H_
+#define XIA_WAL_LOG_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace xia::wal {
+
+/// First 8 bytes of every WAL file.
+inline constexpr char kWalMagic[8] = {'X', 'I', 'A', 'W', 'A', 'L', '0', '1'};
+
+/// Upper bound on a single frame payload; a length field above this is
+/// treated as tail corruption rather than an allocation request.
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Appends one `len | crc | payload` frame to `out`.
+void AppendFrame(std::string_view payload, std::string* out);
+
+/// Result of scanning a WAL file up to the first bad frame.
+struct ScannedLog {
+  /// Payloads of every frame that passed its CRC, in file order.
+  std::vector<std::string> payloads;
+  /// File offset just past the last good frame (magic-only file: 8).
+  uint64_t valid_bytes = 0;
+  /// Bytes after `valid_bytes` that were abandoned as a torn tail.
+  uint64_t discarded_bytes = 0;
+  /// True if the scan stopped before end-of-file.
+  bool torn_tail = false;
+  /// Human-readable reason the scan stopped ("crc mismatch", ...).
+  std::string tail_reason;
+};
+
+/// Scans `path`, salvaging every intact frame. kNotFound if the file
+/// does not exist; kParseError if 8+ bytes are present but the magic is
+/// wrong. Truncated magic and torn/corrupt frames are *not* errors —
+/// they are reported via the ScannedLog salvage fields.
+Result<ScannedLog> ScanLogFile(const std::string& path);
+
+/// Atomically (re)creates `path` as an empty WAL (magic only).
+Status InitLogFile(const std::string& path);
+
+/// Truncates `path` to `bytes` (used to cut a torn tail after salvage).
+Status TruncateLogFile(const std::string& path, uint64_t bytes);
+
+}  // namespace xia::wal
+
+#endif  // XIA_WAL_LOG_FILE_H_

@@ -1,0 +1,479 @@
+#include "wal/manager.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "engine/query_parser.h"
+#include "fault/fault.h"
+#include "obs/metrics.h"
+#include "optimizer/plan.h"
+#include "storage/snapshot.h"
+#include "util/atomic_file.h"
+#include "util/crc32.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "wal/log_file.h"
+#include "wal/wire.h"
+
+namespace xia::wal {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kManifestMagic[8] = {'X', 'I', 'A', 'M', 'A', 'N', 'I', '1'};
+constexpr char kCatalogMagic[8] = {'X', 'I', 'A', 'C', 'A', 'T', '0', '1'};
+
+/// magic + one CRC frame. These files are only ever replaced atomically,
+/// so unlike the log they are either absent, whole, or evidence of real
+/// data loss — never legitimately torn.
+std::string EncodeFramedFile(const char (&magic)[8],
+                             std::string_view payload) {
+  std::string out(magic, sizeof(magic));
+  AppendFrame(payload, &out);
+  return out;
+}
+
+Result<std::string> ReadFramedFile(const std::string& path,
+                                   const char (&magic)[8]) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound(path + " not found");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string data = buf.str();
+  if (data.size() < sizeof(magic) + 8 ||
+      std::memcmp(data.data(), magic, sizeof(magic)) != 0) {
+    return Status::DataLoss(path + " is corrupt (bad magic)");
+  }
+  WireReader reader{std::string_view(data).substr(sizeof(magic))};
+  uint32_t len = 0;
+  uint32_t crc = 0;
+  if (!reader.GetU32(&len) || !reader.GetU32(&crc) ||
+      reader.pos + len != reader.data.size()) {
+    return Status::DataLoss(path + " is corrupt (bad frame)");
+  }
+  const std::string_view payload = reader.data.substr(reader.pos, len);
+  if (Crc32(payload) != crc) {
+    return Status::DataLoss(path + " is corrupt (crc mismatch)");
+  }
+  return std::string(payload);
+}
+
+struct Manifest {
+  uint64_t checkpoint_lsn = 0;
+  bool has_snapshot = false;
+  bool has_catalog = false;
+};
+
+Status WriteManifest(const std::string& path, const Manifest& m) {
+  std::string payload;
+  PutU64(&payload, m.checkpoint_lsn);
+  PutU8(&payload, m.has_snapshot ? 1 : 0);
+  PutU8(&payload, m.has_catalog ? 1 : 0);
+  return WriteFileAtomic(path, EncodeFramedFile(kManifestMagic, payload));
+}
+
+Result<Manifest> ReadManifest(const std::string& path) {
+  XIA_ASSIGN_OR_RETURN(const std::string payload,
+                       ReadFramedFile(path, kManifestMagic));
+  WireReader reader{payload};
+  Manifest m;
+  uint8_t has_snapshot = 0;
+  uint8_t has_catalog = 0;
+  if (!reader.GetU64(&m.checkpoint_lsn) || !reader.GetU8(&has_snapshot) ||
+      !reader.GetU8(&has_catalog) || !reader.AtEnd()) {
+    return Status::DataLoss(path + " is corrupt (bad manifest payload)");
+  }
+  m.has_snapshot = has_snapshot != 0;
+  m.has_catalog = has_catalog != 0;
+  return m;
+}
+
+std::string EncodeCatalogFile(const storage::DocumentStore& store,
+                              const storage::Catalog& catalog) {
+  // Only real indexes persist; virtual ones are advisor scratch state.
+  std::vector<const storage::IndexDef*> real;
+  for (const std::string& coll : store.CollectionNames()) {
+    for (const storage::IndexDef* def : catalog.IndexesFor(coll)) {
+      if (!def->is_virtual) real.push_back(def);
+    }
+  }
+  std::sort(real.begin(), real.end(),
+            [](const storage::IndexDef* a, const storage::IndexDef* b) {
+              return a->name < b->name;
+            });
+  std::string payload;
+  PutU32(&payload, static_cast<uint32_t>(real.size()));
+  for (const storage::IndexDef* def : real) {
+    PutString(&payload, def->name);
+    PutString(&payload, def->collection);
+    PutPath(&payload, def->pattern.path);
+    PutU8(&payload, static_cast<uint8_t>(def->pattern.type));
+    PutU8(&payload, def->pattern.structural ? 1 : 0);
+  }
+  return EncodeFramedFile(kCatalogMagic, payload);
+}
+
+Status LoadCatalogFile(const std::string& path, storage::Catalog* catalog) {
+  XIA_ASSIGN_OR_RETURN(const std::string payload,
+                       ReadFramedFile(path, kCatalogMagic));
+  WireReader reader{payload};
+  uint32_t count = 0;
+  if (!reader.GetU32(&count)) {
+    return Status::DataLoss(path + " is corrupt (bad catalog payload)");
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    std::string collection;
+    xpath::IndexPattern pattern;
+    uint8_t type = 0;
+    uint8_t structural = 0;
+    if (!reader.GetString(&name) || !reader.GetString(&collection) ||
+        !GetPath(&reader, &pattern.path) || !reader.GetU8(&type) ||
+        !reader.GetU8(&structural) ||
+        type > static_cast<uint8_t>(xpath::ValueType::kNumeric)) {
+      return Status::DataLoss(path + " is corrupt (bad index entry)");
+    }
+    pattern.type = static_cast<xpath::ValueType>(type);
+    pattern.structural = structural != 0;
+    XIA_RETURN_IF_ERROR(
+        catalog->CreateIndex(name, collection, pattern).status());
+  }
+  if (!reader.AtEnd()) {
+    return Status::DataLoss(path + " is corrupt (trailing bytes)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string RecoveryReport::ToString() const {
+  if (fresh_start) return "initialized fresh data dir (no prior state)";
+  std::string out = StringPrintf(
+      "recovered: checkpoint_lsn=%llu replayed=%llu skipped=%llu",
+      static_cast<unsigned long long>(checkpoint_lsn),
+      static_cast<unsigned long long>(records_replayed),
+      static_cast<unsigned long long>(records_skipped));
+  if (records_replayed > 0) {
+    out += StringPrintf(" lsn=[%llu..%llu]",
+                        static_cast<unsigned long long>(first_replayed_lsn),
+                        static_cast<unsigned long long>(last_replayed_lsn));
+  }
+  if (salvaged) {
+    out += StringPrintf(" torn_tail_discarded=%lluB",
+                        static_cast<unsigned long long>(bytes_discarded));
+  }
+  out += StringPrintf(" in %.3fs", seconds);
+  return out;
+}
+
+std::string WalStatus::ToString() const {
+  return StringPrintf(
+      "wal: dir=%s policy=%s next_lsn=%llu durable_lsn=%llu "
+      "checkpoint_lsn=%llu appended=%llu log_bytes=%llu fsyncs=%llu "
+      "checkpoints=%llu",
+      data_dir.c_str(), FsyncPolicyName(policy),
+      static_cast<unsigned long long>(next_lsn),
+      static_cast<unsigned long long>(durable_lsn),
+      static_cast<unsigned long long>(checkpoint_lsn),
+      static_cast<unsigned long long>(appended_records),
+      static_cast<unsigned long long>(log_bytes),
+      static_cast<unsigned long long>(fsyncs),
+      static_cast<unsigned long long>(checkpoints));
+}
+
+WalManager::WalManager(std::string data_dir, WalManagerOptions options)
+    : data_dir_(std::move(data_dir)),
+      options_(std::move(options)),
+      writer_(options_.writer) {}
+
+WalManager::~WalManager() { (void)Close(); }
+
+std::string WalManager::ManifestPath() const { return data_dir_ + "/MANIFEST"; }
+std::string WalManager::LogPath() const { return data_dir_ + "/wal.log"; }
+std::string WalManager::SnapshotPath(uint64_t lsn) const {
+  return data_dir_ + StringPrintf("/snapshot-%020llu.xia",
+                                  static_cast<unsigned long long>(lsn));
+}
+std::string WalManager::CatalogPath(uint64_t lsn) const {
+  return data_dir_ + StringPrintf("/catalog-%020llu.xia",
+                                  static_cast<unsigned long long>(lsn));
+}
+
+Result<RecoveryReport> WalManager::Open(storage::DocumentStore* store,
+                                        storage::Catalog* catalog,
+                                        storage::StatisticsCatalog* statistics,
+                                        const fault::Deadline& deadline) {
+  if (open_) return Status::FailedPrecondition("WAL manager already open");
+  Stopwatch timer;
+  RecoveryReport report;
+
+  std::error_code ec;
+  fs::create_directories(data_dir_, ec);
+  if (ec) {
+    return Status::Internal("cannot create data dir " + data_dir_ + ": " +
+                            ec.message());
+  }
+
+  if (!fs::exists(ManifestPath())) {
+    // Satellite: a missing/empty data dir is a fresh database, not an
+    // error.
+    XIA_RETURN_IF_ERROR(InitLogFile(LogPath()));
+    XIA_RETURN_IF_ERROR(WriteManifest(ManifestPath(), Manifest{}));
+    XIA_RETURN_IF_ERROR(writer_.Open(LogPath(), /*next_lsn=*/1));
+    checkpoint_lsn_ = 0;
+    open_ = true;
+    report.fresh_start = true;
+    report.seconds = timer.ElapsedSeconds();
+    last_recovery_ = report;
+    return report;
+  }
+
+  XIA_ASSIGN_OR_RETURN(const Manifest manifest, ReadManifest(ManifestPath()));
+  report.checkpoint_lsn = manifest.checkpoint_lsn;
+
+  // Stage: rebuild checkpoint state off to the side.
+  storage::DocumentStore staging_store;
+  storage::StatisticsCatalog staging_stats;
+  storage::Catalog staging_catalog(&staging_store, &staging_stats,
+                                   catalog->cost_constants());
+  if (manifest.has_snapshot) {
+    XIA_RETURN_IF_ERROR(storage::LoadSnapshotFromFile(
+        SnapshotPath(manifest.checkpoint_lsn), &staging_store));
+  }
+  for (const std::string& coll : staging_store.CollectionNames()) {
+    auto c = staging_store.GetCollection(coll);
+    if (c.ok()) staging_stats.RunStats(**c);
+  }
+  if (manifest.has_catalog) {
+    XIA_RETURN_IF_ERROR(
+        LoadCatalogFile(CatalogPath(manifest.checkpoint_lsn),
+                        &staging_catalog));
+  }
+
+  // Scan the log, salvaging up to the first torn/corrupt frame.
+  uint64_t max_lsn_seen = manifest.checkpoint_lsn;
+  auto scanned = ScanLogFile(LogPath());
+  if (scanned.ok()) {
+    report.bytes_salvaged = scanned->valid_bytes;
+    report.bytes_discarded = scanned->discarded_bytes;
+    report.salvaged = scanned->torn_tail;
+
+    engine::Executor replayer(&staging_store, &staging_catalog);
+    const optimizer::Plan scan_plan;  // collection scan: no optimizer,
+                                      // no statistics dependence
+    engine::ExecOptions exec_options;
+    exec_options.deadline = deadline;
+    uint64_t applied_lsn = manifest.checkpoint_lsn;
+    for (const std::string& payload : scanned->payloads) {
+      XIA_RETURN_IF_ERROR(fault::CheckInterrupt(deadline));
+      XIA_FAULT_INJECT(fault::points::kWalReplay);
+      XIA_ASSIGN_OR_RETURN(const WalRecord record, DecodeRecord(payload));
+      max_lsn_seen = std::max(max_lsn_seen, record.lsn);
+      if (record.lsn <= applied_lsn) {
+        // Already covered by the checkpoint (or a duplicate): idempotent
+        // replay skips it.
+        ++report.records_skipped;
+        continue;
+      }
+      switch (record.type) {
+        case RecordType::kCreateCollection:
+          XIA_RETURN_IF_ERROR(
+              staging_store.CreateCollection(record.collection).status());
+          break;
+        case RecordType::kInsert: {
+          engine::Statement st;
+          st.body = engine::InsertSpec{record.collection, record.text};
+          XIA_RETURN_IF_ERROR(
+              replayer.Execute(st, scan_plan, exec_options).status());
+          break;
+        }
+        case RecordType::kStatement: {
+          XIA_ASSIGN_OR_RETURN(const engine::Statement st,
+                               engine::ParseStatement(record.text));
+          XIA_RETURN_IF_ERROR(
+              replayer.Execute(st, scan_plan, exec_options).status());
+          break;
+        }
+        case RecordType::kCreateIndex: {
+          xpath::IndexPattern pattern;
+          pattern.path = record.pattern_path;
+          pattern.type = record.value_type;
+          pattern.structural = record.structural;
+          XIA_RETURN_IF_ERROR(staging_catalog
+                                  .CreateIndex(record.name, record.collection,
+                                               pattern)
+                                  .status());
+          break;
+        }
+        case RecordType::kDropIndex:
+          XIA_RETURN_IF_ERROR(staging_catalog.DropIndex(record.name));
+          break;
+        case RecordType::kStatsRefresh: {
+          auto coll = staging_store.GetCollection(record.collection);
+          XIA_RETURN_IF_ERROR(coll.status());
+          staging_stats.RunStats(**coll);
+          break;
+        }
+      }
+      applied_lsn = record.lsn;
+      if (report.records_replayed == 0) report.first_replayed_lsn = record.lsn;
+      report.last_replayed_lsn = record.lsn;
+      ++report.records_replayed;
+    }
+
+    if (scanned->torn_tail) {
+      if (scanned->valid_bytes >= sizeof(kWalMagic)) {
+        XIA_RETURN_IF_ERROR(TruncateLogFile(LogPath(), scanned->valid_bytes));
+      } else {
+        XIA_RETURN_IF_ERROR(InitLogFile(LogPath()));
+      }
+    }
+  } else if (scanned.status().code() == StatusCode::kNotFound) {
+    // A manifest without a log means the checkpoint's log reset never
+    // happened (or the log was deleted); start an empty one.
+    XIA_RETURN_IF_ERROR(InitLogFile(LogPath()));
+  } else {
+    // Bad magic: the file exists but is not a WAL. Nothing salvageable.
+    return Status::DataLoss(scanned.status().message());
+  }
+
+  // Refresh statistics over the recovered data, then swap everything in.
+  for (const std::string& coll : staging_store.CollectionNames()) {
+    auto c = staging_store.GetCollection(coll);
+    if (c.ok()) staging_stats.RunStats(**c);
+  }
+  store->Swap(&staging_store);
+  catalog->AdoptIndexesFrom(&staging_catalog);
+  for (const std::string& coll : store->CollectionNames()) {
+    auto c = store->GetCollection(coll);
+    if (c.ok()) statistics->RunStats(**c);
+  }
+
+  XIA_RETURN_IF_ERROR(writer_.Open(LogPath(), max_lsn_seen + 1));
+  checkpoint_lsn_ = manifest.checkpoint_lsn;
+  open_ = true;
+
+  report.seconds = timer.ElapsedSeconds();
+  last_recovery_ = report;
+  XIA_OBS_COUNT("xia.wal.recovery.records_replayed", report.records_replayed);
+  XIA_OBS_COUNT("xia.wal.recovery.records_skipped", report.records_skipped);
+  XIA_OBS_COUNT("xia.wal.recovery.bytes_salvaged", report.bytes_salvaged);
+  XIA_OBS_COUNT("xia.wal.recovery.bytes_discarded", report.bytes_discarded);
+  XIA_OBS_OBSERVE_LATENCY("xia.wal.recovery.seconds", report.seconds);
+  return report;
+}
+
+Status WalManager::AppendAndCommit(WalRecord record) {
+  if (!open_) return Status::FailedPrecondition("WAL manager not open");
+  XIA_ASSIGN_OR_RETURN(const uint64_t lsn, writer_.Append(std::move(record)));
+  return writer_.Commit(lsn);
+}
+
+Status WalManager::OnCommit(const engine::Statement& statement) {
+  if (statement.is_insert()) {
+    const engine::InsertSpec& ins = statement.insert_spec();
+    return AppendAndCommit(WalRecord::Insert(ins.collection,
+                                             ins.document_text));
+  }
+  const std::string text = engine::ToText(statement);
+  // Validated here so replay can never hit a parse error on a frame that
+  // passed its CRC.
+  XIA_RETURN_IF_ERROR(engine::ParseStatement(text).status());
+  return AppendAndCommit(WalRecord::Statement(text));
+}
+
+Status WalManager::LogCreateCollection(const std::string& collection) {
+  return AppendAndCommit(WalRecord::CreateCollection(collection));
+}
+
+Status WalManager::LogCreateIndex(const std::string& name,
+                                  const std::string& collection,
+                                  const xpath::IndexPattern& pattern) {
+  return AppendAndCommit(WalRecord::CreateIndex(name, collection, pattern));
+}
+
+Status WalManager::LogDropIndex(const std::string& name) {
+  return AppendAndCommit(WalRecord::DropIndex(name));
+}
+
+Status WalManager::LogStatsRefresh(const std::string& collection) {
+  return AppendAndCommit(WalRecord::StatsRefresh(collection));
+}
+
+Status WalManager::Checkpoint(const storage::DocumentStore& store,
+                              const storage::Catalog& catalog) {
+  if (!open_) return Status::FailedPrecondition("WAL manager not open");
+  XIA_RETURN_IF_ERROR(writer_.Sync());
+  const uint64_t lsn = writer_.last_appended_lsn();
+
+  std::ostringstream snapshot;
+  XIA_RETURN_IF_ERROR(storage::SaveSnapshot(store, snapshot));
+  XIA_RETURN_IF_ERROR(WriteFileAtomic(SnapshotPath(lsn), snapshot.str()));
+  if (options_.writer.test_hook) {
+    options_.writer.test_hook("checkpoint.after_snapshot");
+  }
+
+  XIA_RETURN_IF_ERROR(
+      WriteFileAtomic(CatalogPath(lsn), EncodeCatalogFile(store, catalog)));
+
+  Manifest manifest;
+  manifest.checkpoint_lsn = lsn;
+  manifest.has_snapshot = true;
+  manifest.has_catalog = true;
+  // The manifest rename is the checkpoint's commit point: a crash before
+  // it recovers from the previous checkpoint + full log, after it from
+  // the new snapshot + LSN-filtered log.
+  XIA_RETURN_IF_ERROR(WriteManifest(ManifestPath(), manifest));
+  if (options_.writer.test_hook) {
+    options_.writer.test_hook("checkpoint.after_manifest");
+  }
+
+  XIA_RETURN_IF_ERROR(writer_.ResetFile(LogPath()));
+  if (options_.writer.test_hook) {
+    options_.writer.test_hook("checkpoint.after_reset");
+  }
+
+  // Stale versioned files are garbage once the manifest moved on.
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(data_dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    const bool versioned = (name.rfind("snapshot-", 0) == 0 ||
+                            name.rfind("catalog-", 0) == 0);
+    const bool current = entry.path() == fs::path(SnapshotPath(lsn)) ||
+                         entry.path() == fs::path(CatalogPath(lsn));
+    if (versioned && !current) fs::remove(entry.path(), ec);
+  }
+
+  checkpoint_lsn_ = lsn;
+  ++checkpoints_;
+  XIA_OBS_COUNT("xia.wal.checkpoints", 1);
+  return Status::OK();
+}
+
+Status WalManager::Close() {
+  if (!open_) return Status::OK();
+  open_ = false;
+  return writer_.Close();
+}
+
+WalStatus WalManager::GetStatus() const {
+  WalStatus status;
+  status.data_dir = data_dir_;
+  status.policy = options_.writer.policy;
+  status.next_lsn = writer_.next_lsn();
+  status.durable_lsn = writer_.durable_lsn();
+  status.checkpoint_lsn = checkpoint_lsn_;
+  status.appended_records = writer_.appended_records();
+  status.log_bytes = writer_.file_bytes();
+  status.fsyncs = writer_.fsyncs();
+  status.checkpoints = checkpoints_;
+  return status;
+}
+
+}  // namespace xia::wal

@@ -1,0 +1,149 @@
+// WAL manager: data-dir layout, checkpointing, and ARIES-lite recovery.
+//
+// A data directory holds:
+//
+//   MANIFEST                 framed {checkpoint_lsn, file flags}; replaced
+//                            atomically — its rename IS the checkpoint
+//                            commit point
+//   wal.log                  the append-only log (log_file.h framing)
+//   snapshot-<lsn>.xia       store checkpoint (snapshot v2 format)
+//   catalog-<lsn>.xia        real-index definitions at the checkpoint
+//
+// Checkpoint protocol (caller must serialize against mutations):
+//   1. Sync the writer (everything staged becomes durable).
+//   2. Write snapshot-<lsn> and catalog-<lsn> atomically (lsn = last
+//      appended LSN).
+//   3. Atomically replace MANIFEST pointing at them — the commit point.
+//   4. Reset wal.log to empty; delete stale versioned files.
+// A crash in any window recovers correctly: before step 3 the old
+// manifest pairs with a log that still holds everything since the old
+// checkpoint; after step 3 the new snapshot pairs with a log whose
+// pre-checkpoint records are skipped by LSN filtering (idempotent
+// replay); LSNs keep increasing across checkpoints, so replay of a
+// stale tail can never double-apply.
+//
+// Recovery (Open) rebuilds state in a *staging* store/catalog — the
+// caller's objects are untouched until the very end, when the staging
+// store is swapped in and the staging catalog's physical indexes are
+// adopted (stage-and-swap, like snapshot v2 loading). A torn log tail is
+// salvaged, truncated, and reported, never surfaced as an error; only a
+// manifest/snapshot/catalog file that fails its checksum — files that
+// are only ever replaced atomically — reports kDataLoss.
+
+#ifndef XIA_WAL_MANAGER_H_
+#define XIA_WAL_MANAGER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "engine/executor.h"
+#include "fault/deadline.h"
+#include "storage/catalog.h"
+#include "storage/document_store.h"
+#include "storage/statistics.h"
+#include "util/status.h"
+#include "wal/writer.h"
+
+namespace xia::wal {
+
+/// What Recover() did, for logs/obs and the `wal status` shell command.
+struct RecoveryReport {
+  /// True when the data dir was missing/empty and was initialized fresh.
+  bool fresh_start = false;
+  /// True when a torn tail was cut off the log.
+  bool salvaged = false;
+  uint64_t checkpoint_lsn = 0;
+  uint64_t first_replayed_lsn = 0;
+  uint64_t last_replayed_lsn = 0;
+  uint64_t records_replayed = 0;
+  /// Records skipped as already covered by the checkpoint (lsn filter).
+  uint64_t records_skipped = 0;
+  /// Log bytes kept (up to the last intact frame).
+  uint64_t bytes_salvaged = 0;
+  /// Torn-tail bytes truncated away.
+  uint64_t bytes_discarded = 0;
+  double seconds = 0;
+
+  std::string ToString() const;
+};
+
+/// Point-in-time WAL state for `wal status`.
+struct WalStatus {
+  std::string data_dir;
+  FsyncPolicy policy = FsyncPolicy::kAlways;
+  uint64_t next_lsn = 1;
+  uint64_t durable_lsn = 0;
+  uint64_t checkpoint_lsn = 0;
+  uint64_t appended_records = 0;
+  uint64_t log_bytes = 0;
+  uint64_t fsyncs = 0;
+  uint64_t checkpoints = 0;
+
+  std::string ToString() const;
+};
+
+struct WalManagerOptions {
+  WalWriterOptions writer;
+};
+
+/// Owns a data directory's durability: logs every committed mutation
+/// (as the executor's CommitLog), checkpoints, and recovers on open.
+class WalManager : public engine::CommitLog {
+ public:
+  explicit WalManager(std::string data_dir, WalManagerOptions options = {});
+  ~WalManager() override;
+
+  /// Opens the data dir, recovering into `store`/`catalog`/`statistics`
+  /// (all rebuilt via stage-and-swap; `store` need not be empty — its
+  /// contents are replaced). A missing/empty dir is initialized fresh.
+  /// Replay polls `deadline` once per record.
+  Result<RecoveryReport> Open(storage::DocumentStore* store,
+                              storage::Catalog* catalog,
+                              storage::StatisticsCatalog* statistics,
+                              const fault::Deadline& deadline = {});
+
+  /// engine::CommitLog: logs + commits one executed mutation.
+  Status OnCommit(const engine::Statement& statement) override;
+
+  /// DDL / maintenance logging (called by whoever performed the action,
+  /// after it succeeded).
+  Status LogCreateCollection(const std::string& collection);
+  Status LogCreateIndex(const std::string& name,
+                        const std::string& collection,
+                        const xpath::IndexPattern& pattern);
+  Status LogDropIndex(const std::string& name);
+  Status LogStatsRefresh(const std::string& collection);
+
+  /// Checkpoints `store`/`catalog` and truncates the log. The caller
+  /// must hold whatever lock serializes mutations (the WAL does not know
+  /// about the database mutex).
+  Status Checkpoint(const storage::DocumentStore& store,
+                    const storage::Catalog& catalog);
+
+  Status Close();
+
+  WalStatus GetStatus() const;
+  const RecoveryReport& last_recovery() const { return last_recovery_; }
+  const std::string& data_dir() const { return data_dir_; }
+
+  /// Paths inside the data dir (exposed for tests/tools).
+  std::string ManifestPath() const;
+  std::string LogPath() const;
+  std::string SnapshotPath(uint64_t lsn) const;
+  std::string CatalogPath(uint64_t lsn) const;
+
+ private:
+  Status AppendAndCommit(WalRecord record);
+
+  const std::string data_dir_;
+  const WalManagerOptions options_;
+  WalWriter writer_;
+  uint64_t checkpoint_lsn_ = 0;
+  uint64_t checkpoints_ = 0;
+  bool open_ = false;
+  RecoveryReport last_recovery_;
+};
+
+}  // namespace xia::wal
+
+#endif  // XIA_WAL_MANAGER_H_

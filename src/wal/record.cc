@@ -1,0 +1,184 @@
+#include "wal/record.h"
+
+#include <utility>
+
+#include "wal/wire.h"
+
+namespace xia::wal {
+
+const char* RecordTypeName(RecordType type) {
+  switch (type) {
+    case RecordType::kCreateCollection:
+      return "create_collection";
+    case RecordType::kInsert:
+      return "insert";
+    case RecordType::kStatement:
+      return "statement";
+    case RecordType::kCreateIndex:
+      return "create_index";
+    case RecordType::kDropIndex:
+      return "drop_index";
+    case RecordType::kStatsRefresh:
+      return "stats_refresh";
+  }
+  return "unknown";
+}
+
+WalRecord WalRecord::CreateCollection(std::string collection) {
+  WalRecord r;
+  r.type = RecordType::kCreateCollection;
+  r.collection = std::move(collection);
+  return r;
+}
+
+WalRecord WalRecord::Insert(std::string collection, std::string document_text) {
+  WalRecord r;
+  r.type = RecordType::kInsert;
+  r.collection = std::move(collection);
+  r.text = std::move(document_text);
+  return r;
+}
+
+WalRecord WalRecord::Statement(std::string statement_text) {
+  WalRecord r;
+  r.type = RecordType::kStatement;
+  r.text = std::move(statement_text);
+  return r;
+}
+
+WalRecord WalRecord::CreateIndex(std::string name, std::string collection,
+                                 const xpath::IndexPattern& pattern) {
+  WalRecord r;
+  r.type = RecordType::kCreateIndex;
+  r.name = std::move(name);
+  r.collection = std::move(collection);
+  r.pattern_path = pattern.path;
+  r.value_type = pattern.type;
+  r.structural = pattern.structural;
+  return r;
+}
+
+WalRecord WalRecord::DropIndex(std::string name) {
+  WalRecord r;
+  r.type = RecordType::kDropIndex;
+  r.name = std::move(name);
+  return r;
+}
+
+WalRecord WalRecord::StatsRefresh(std::string collection) {
+  WalRecord r;
+  r.type = RecordType::kStatsRefresh;
+  r.collection = std::move(collection);
+  return r;
+}
+
+void PutPath(std::string* out, const xpath::Path& path) {
+  PutU32(out, static_cast<uint32_t>(path.steps().size()));
+  for (const xpath::Step& step : path.steps()) {
+    PutU8(out, static_cast<uint8_t>(step.axis));
+    PutString(out, step.name_test);
+  }
+}
+
+bool GetPath(WireReader* reader, xpath::Path* path) {
+  uint32_t count = 0;
+  if (!reader->GetU32(&count)) return false;
+  std::vector<xpath::Step> steps;
+  steps.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint8_t axis = 0;
+    std::string name;
+    if (!reader->GetU8(&axis) || !reader->GetString(&name)) return false;
+    if (axis > static_cast<uint8_t>(xpath::Axis::kDescendant)) return false;
+    if (name.empty()) return false;
+    steps.emplace_back(static_cast<xpath::Axis>(axis), std::move(name));
+  }
+  *path = xpath::Path(std::move(steps));
+  return true;
+}
+
+void EncodeRecordTo(const WalRecord& record, std::string* out) {
+  PutU64(out, record.lsn);
+  PutU8(out, static_cast<uint8_t>(record.type));
+  switch (record.type) {
+    case RecordType::kCreateCollection:
+    case RecordType::kStatsRefresh:
+      PutString(out, record.collection);
+      break;
+    case RecordType::kInsert:
+      PutString(out, record.collection);
+      PutString(out, record.text);
+      break;
+    case RecordType::kStatement:
+      PutString(out, record.text);
+      break;
+    case RecordType::kCreateIndex:
+      PutString(out, record.name);
+      PutString(out, record.collection);
+      PutPath(out, record.pattern_path);
+      PutU8(out, static_cast<uint8_t>(record.value_type));
+      PutU8(out, record.structural ? 1 : 0);
+      break;
+    case RecordType::kDropIndex:
+      PutString(out, record.name);
+      break;
+  }
+}
+
+std::string EncodeRecord(const WalRecord& record) {
+  std::string out;
+  EncodeRecordTo(record, &out);
+  return out;
+}
+
+Result<WalRecord> DecodeRecord(std::string_view payload) {
+  WireReader reader{payload};
+  WalRecord record;
+  uint8_t type = 0;
+  if (!reader.GetU64(&record.lsn) || !reader.GetU8(&type)) {
+    return Status::ParseError("WAL record payload truncated");
+  }
+  if (type < static_cast<uint8_t>(RecordType::kCreateCollection) ||
+      type > static_cast<uint8_t>(RecordType::kStatsRefresh)) {
+    return Status::ParseError("WAL record has unknown type " +
+                              std::to_string(type));
+  }
+  record.type = static_cast<RecordType>(type);
+  bool ok = true;
+  switch (record.type) {
+    case RecordType::kCreateCollection:
+    case RecordType::kStatsRefresh:
+      ok = reader.GetString(&record.collection);
+      break;
+    case RecordType::kInsert:
+      ok = reader.GetString(&record.collection) &&
+           reader.GetString(&record.text);
+      break;
+    case RecordType::kStatement:
+      ok = reader.GetString(&record.text);
+      break;
+    case RecordType::kCreateIndex: {
+      uint8_t value_type = 0;
+      uint8_t structural = 0;
+      ok = reader.GetString(&record.name) &&
+           reader.GetString(&record.collection) &&
+           GetPath(&reader, &record.pattern_path) &&
+           reader.GetU8(&value_type) && reader.GetU8(&structural) &&
+           value_type <= static_cast<uint8_t>(xpath::ValueType::kNumeric) &&
+           structural <= 1;
+      record.value_type = static_cast<xpath::ValueType>(value_type);
+      record.structural = structural != 0;
+      break;
+    }
+    case RecordType::kDropIndex:
+      ok = reader.GetString(&record.name);
+      break;
+  }
+  if (!ok || !reader.AtEnd()) {
+    return Status::ParseError(std::string("malformed WAL ") +
+                              RecordTypeName(record.type) + " record");
+  }
+  return record;
+}
+
+}  // namespace xia::wal

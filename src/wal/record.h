@@ -1,0 +1,94 @@
+// WAL record model: one logical redo record per committed mutation.
+//
+// XIA logs *logically* (statement-level redo), not physically: the store
+// is an in-memory structure whose only on-disk form is the checkpoint
+// snapshot, so there are no pages to undo and replaying whole statements
+// in LSN order from the checkpoint state reproduces the exact store
+// (statement execution is deterministic). Record kinds:
+//
+//   kCreateCollection  collection name
+//   kInsert            collection + verbatim document text (ToText is
+//                      lossy for inserts, so inserts get a dedicated
+//                      record instead of statement text)
+//   kStatement         delete/update in query-language text, re-parsed by
+//                      engine::ParseStatement at replay (validated to
+//                      round-trip at log time, so replay cannot hit a
+//                      parse error on a frame that passed its CRC)
+//   kCreateIndex       name + collection + pattern path/type/structural
+//   kDropIndex         name
+//   kStatsRefresh      collection name (RunStats)
+//
+// Payload layout: u64 lsn, u8 type, then the type's fields (wire.h
+// conventions). Framing (length + CRC) is the log file's job.
+
+#ifndef XIA_WAL_RECORD_H_
+#define XIA_WAL_RECORD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+#include "xpath/path.h"
+
+namespace xia::wal {
+
+enum class RecordType : uint8_t {
+  kCreateCollection = 1,
+  kInsert = 2,
+  kStatement = 3,
+  kCreateIndex = 4,
+  kDropIndex = 5,
+  kStatsRefresh = 6,
+};
+
+/// Returns the lower-case name of a record type ("insert", ...).
+const char* RecordTypeName(RecordType type);
+
+/// One decoded WAL record. Which fields are meaningful depends on `type`;
+/// unused fields stay empty.
+struct WalRecord {
+  uint64_t lsn = 0;
+  RecordType type = RecordType::kStatement;
+  /// kCreateCollection / kInsert / kStatsRefresh / kCreateIndex.
+  std::string collection;
+  /// kInsert: document text. kStatement: statement text.
+  std::string text;
+  /// kCreateIndex / kDropIndex: index name.
+  std::string name;
+  /// kCreateIndex: the indexed pattern.
+  xpath::Path pattern_path;
+  xpath::ValueType value_type = xpath::ValueType::kString;
+  bool structural = false;
+
+  static WalRecord CreateCollection(std::string collection);
+  static WalRecord Insert(std::string collection, std::string document_text);
+  static WalRecord Statement(std::string statement_text);
+  static WalRecord CreateIndex(std::string name, std::string collection,
+                               const xpath::IndexPattern& pattern);
+  static WalRecord DropIndex(std::string name);
+  static WalRecord StatsRefresh(std::string collection);
+};
+
+struct WireReader;
+
+/// Path sub-codec (u32 step count, then u8 axis + string name test per
+/// step), shared with the checkpoint catalog file.
+void PutPath(std::string* out, const xpath::Path& path);
+bool GetPath(WireReader* reader, xpath::Path* path);
+
+/// Renders the record payload (lsn + type + fields).
+std::string EncodeRecord(const WalRecord& record);
+
+/// Appends the payload to `out` without clearing it — lets the writer
+/// reuse one scratch buffer across appends instead of allocating per
+/// record.
+void EncodeRecordTo(const WalRecord& record, std::string* out);
+
+/// Parses a record payload. kParseError on malformed input (a payload
+/// that passed its frame CRC but does not decode is corruption beyond
+/// what framing can explain, not a torn tail).
+Result<WalRecord> DecodeRecord(std::string_view payload);
+
+}  // namespace xia::wal
+
+#endif  // XIA_WAL_RECORD_H_

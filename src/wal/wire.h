@@ -1,0 +1,85 @@
+// Little-endian wire encoding helpers shared by the WAL record codec, the
+// log frame format, and the checkpoint manifest/catalog files. All
+// integers are little-endian; strings are u32 length + bytes — the same
+// conventions as the snapshot format, kept byte-compatible so checksums
+// stay portable across platforms.
+
+#ifndef XIA_WAL_WIRE_H_
+#define XIA_WAL_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace xia::wal {
+
+inline void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+inline void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void PutString(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+/// Cursor-style decoding over a byte buffer; every Get* returns false on
+/// underrun and leaves the cursor unspecified (callers bail out).
+struct WireReader {
+  std::string_view data;
+  size_t pos = 0;
+
+  bool GetU8(uint8_t* v) {
+    if (pos + 1 > data.size()) return false;
+    *v = static_cast<uint8_t>(data[pos++]);
+    return true;
+  }
+
+  bool GetU32(uint32_t* v) {
+    if (pos + 4 > data.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(static_cast<unsigned char>(data[pos + i]))
+            << (8 * i);
+    }
+    pos += 4;
+    return true;
+  }
+
+  bool GetU64(uint64_t* v) {
+    if (pos + 8 > data.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(static_cast<unsigned char>(data[pos + i]))
+            << (8 * i);
+    }
+    pos += 8;
+    return true;
+  }
+
+  bool GetString(std::string* s) {
+    uint32_t len = 0;
+    if (!GetU32(&len)) return false;
+    if (pos + len > data.size()) return false;
+    s->assign(data.data() + pos, len);
+    pos += len;
+    return true;
+  }
+
+  bool AtEnd() const { return pos == data.size(); }
+};
+
+}  // namespace xia::wal
+
+#endif  // XIA_WAL_WIRE_H_

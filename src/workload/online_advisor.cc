@@ -47,6 +47,7 @@ Status OnlineAdvisor::Start() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     since_last_advise_.Restart();
+    since_last_checkpoint_.Restart();
   }
   capture_->set_enabled(true);
   thread_ = std::thread(&OnlineAdvisor::Loop, this);
@@ -85,7 +86,33 @@ void OnlineAdvisor::Loop() {
       // failure counter; the loop keeps running.
       if (due) (void)DrainAndAdviseLocked();
     }
+    MaybeCheckpoint();
     lock.lock();
+  }
+}
+
+void OnlineAdvisor::MaybeCheckpoint() {
+  if (!options_.checkpoint_fn) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (since_last_checkpoint_.ElapsedSeconds() <
+        options_.checkpoint_interval_seconds) {
+      return;
+    }
+    since_last_checkpoint_.Restart();
+  }
+  // The callback locks the db mutex itself; holding mu_ across it would
+  // invert the mu_ -> db_mutex order used by advise passes.
+  const Status s = options_.checkpoint_fn();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (s.ok()) {
+    ++checkpoints_;
+    last_checkpoint_error_.clear();
+    XIA_OBS_COUNT("xia.workload.online.checkpoints", 1);
+  } else {
+    ++checkpoint_failures_;
+    last_checkpoint_error_ = s.ToString();
+    XIA_OBS_COUNT("xia.workload.online.checkpoint_failures", 1);
   }
 }
 
@@ -218,6 +245,9 @@ OnlineAdvisorStatus OnlineAdvisor::Snapshot() const {
   status.last_left = last_left_;
   status.has_recommendation = has_recommendation_;
   if (has_recommendation_) status.recommendation = recommendation_;
+  status.checkpoints = checkpoints_;
+  status.checkpoint_failures = checkpoint_failures_;
+  status.last_checkpoint_error = last_checkpoint_error_;
   return status;
 }
 

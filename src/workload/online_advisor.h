@@ -33,6 +33,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -71,6 +72,13 @@ struct OnlineAdvisorOptions {
   /// success closes the breaker, failure re-opens it for another cooldown.
   int circuit_breaker_failures = 5;
   double circuit_cooldown_seconds = 5.0;
+  /// Durability: when set, the background thread invokes this at most
+  /// once per `checkpoint_interval_seconds` to checkpoint the WAL and
+  /// truncate the log. The callback must do its own locking (the shell's
+  /// takes the db mutex and calls WalManager::Checkpoint); it is called
+  /// with no OnlineAdvisor lock held.
+  std::function<Status()> checkpoint_fn;
+  double checkpoint_interval_seconds = 30.0;
 };
 
 /// Point-in-time view of the online advising state.
@@ -100,6 +108,12 @@ struct OnlineAdvisorStatus {
   /// Most recent successful recommendation.
   bool has_recommendation = false;
   advisor::Recommendation recommendation;
+  /// WAL checkpoints triggered by the background thread (when a
+  /// checkpoint_fn is configured).
+  uint64_t checkpoints = 0;
+  uint64_t checkpoint_failures = 0;
+  /// ToString of the most recent checkpoint failure; empty after success.
+  std::string last_checkpoint_error;
 };
 
 /// Drains a WorkloadCapture and keeps a recommendation current.
@@ -137,6 +151,9 @@ class OnlineAdvisor {
   void Loop();
   /// Drain + templatize + Recommend + churn accounting. mu_ held.
   Status DrainAndAdviseLocked();
+  /// Runs checkpoint_fn if the checkpoint interval elapsed. Called from
+  /// the background loop with no locks held.
+  void MaybeCheckpoint();
 
   WorkloadCapture* const capture_;
   advisor::IndexAdvisor* const advisor_;
@@ -160,6 +177,10 @@ class OnlineAdvisor {
   bool has_recommendation_ = false;
   advisor::Recommendation recommendation_;
   Stopwatch since_last_advise_;
+  Stopwatch since_last_checkpoint_;
+  uint64_t checkpoints_ = 0;
+  uint64_t checkpoint_failures_ = 0;
+  std::string last_checkpoint_error_;
 
   std::mutex stop_mu_;
   std::condition_variable stop_cv_;

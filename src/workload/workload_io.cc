@@ -10,6 +10,7 @@
 
 #include "engine/query_parser.h"
 #include "fault/fault.h"
+#include "util/atomic_file.h"
 #include "util/crc32.h"
 #include "util/string_util.h"
 
@@ -153,12 +154,9 @@ Status SaveWorkloadToFile(const engine::Workload& workload,
     }
   }
   XIA_ASSIGN_OR_RETURN(std::string text, SerializeWorkload(workload));
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return Status::Internal("cannot open for writing: " + path);
-  out << text;
-  out.close();
-  if (!out) return Status::Internal("write failed: " + path);
-  return Status::OK();
+  // Stage-and-rename: a crash mid-save never clobbers the previous good
+  // file.
+  return WriteFileAtomic(path, text);
 }
 
 Result<engine::Workload> LoadWorkloadFromFile(const std::string& path) {

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <filesystem>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -21,6 +22,7 @@
 #include "storage/catalog.h"
 #include "storage/snapshot.h"
 #include "tpox/tpox_data.h"
+#include "wal/manager.h"
 #include "workload/capture.h"
 #include "workload/online_advisor.h"
 #include "workload/workload_io.h"
@@ -95,6 +97,32 @@ Status RunPipeline() {
   for (const auto& stmt : loaded) {
     XIA_ASSIGN_OR_RETURN(optimizer::Plan plan, optimizer.Optimize(stmt));
     XIA_RETURN_IF_ERROR(executor.Execute(stmt, plan).status());
+  }
+
+  // Durability round-trip (kWalAppend / kWalFsync on the write side,
+  // kWalReplay on the reopen).
+  const std::string wal_dir =
+      ::testing::TempDir() + "/xia_fault_matrix_wal";
+  std::filesystem::remove_all(wal_dir);
+  {
+    wal::WalManager manager(wal_dir);
+    storage::DocumentStore db;
+    storage::StatisticsCatalog db_stats;
+    storage::Catalog db_catalog(&db, &db_stats);
+    XIA_RETURN_IF_ERROR(manager.Open(&db, &db_catalog, &db_stats).status());
+    XIA_RETURN_IF_ERROR(manager.LogCreateCollection("WALC"));
+    XIA_ASSIGN_OR_RETURN(
+        engine::Statement ins,
+        engine::ParseStatement("insert into WALC <w><v>1</v></w>"));
+    XIA_RETURN_IF_ERROR(manager.OnCommit(ins));
+    XIA_RETURN_IF_ERROR(manager.Close());
+  }
+  {
+    wal::WalManager manager(wal_dir);
+    storage::DocumentStore db;
+    storage::StatisticsCatalog db_stats;
+    storage::Catalog db_catalog(&db, &db_stats);
+    XIA_RETURN_IF_ERROR(manager.Open(&db, &db_catalog, &db_stats).status());
   }
   return Status::OK();
 }

@@ -3,8 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
+#include "fault/fault.h"
 #include "storage/catalog.h"
 #include "storage/snapshot.h"
 #include "storage/statistics.h"
@@ -246,6 +248,34 @@ TEST_F(TinySnapshotTest, LegacyV1SnapshotStillLoads) {
   EXPECT_EQ((*coll)->live_count(), 1u);
   EXPECT_EQ((*coll)->id_bound(), 2u);
   EXPECT_FALSE((*coll)->IsLive(0));
+}
+
+TEST_F(SnapshotTest, FailedSaveLeavesPreviousFileIntact) {
+  // Atomic-save regression: a save that fails (here via the injected
+  // fault, which fires before any byte is written) must leave the
+  // previous good snapshot untouched — no truncation, no partial file.
+  const std::string path = ::testing::TempDir() + "/xia_snapshot_atomic.bin";
+  ASSERT_TRUE(SaveSnapshotToFile(store_, path).ok());
+
+  std::ifstream before_in(path, std::ios::binary);
+  std::stringstream before;
+  before << before_in.rdbuf();
+
+  fault::ScopedFaultDisarm cleanup;
+  fault::FaultRegistry::Global().Arm(fault::points::kSnapshotWrite,
+                                     fault::FaultSpec::Probability(1));
+  auto coll = store_.GetCollection(tpox::kSecurityCollection);
+  ASSERT_TRUE(coll.ok());
+  ASSERT_TRUE((*coll)->Remove(5).ok());  // make the store differ
+  EXPECT_FALSE(SaveSnapshotToFile(store_, path).ok());
+  fault::FaultRegistry::Global().DisarmAll();
+
+  std::ifstream after_in(path, std::ios::binary);
+  std::stringstream after;
+  after << after_in.rdbuf();
+  EXPECT_EQ(after.str(), before.str());
+  DocumentStore restored;
+  ASSERT_TRUE(LoadSnapshotFromFile(path, &restored).ok());
 }
 
 TEST_F(SnapshotTest, StatisticsOverRestoredStoreMatch) {

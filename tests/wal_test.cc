@@ -1,0 +1,585 @@
+// xia::wal unit tests: record codec round-trips, torn-frame salvage
+// (truncation at every byte offset, byte flips), duplicate-LSN replay
+// idempotence, fsync policies, checkpoint round-trips and crash windows,
+// fresh-dir initialization, commit ordering w.r.t. the capture sink, and
+// Deadline-bounded recovery of a 10k-mutation log.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/executor.h"
+#include "engine/query_parser.h"
+#include "fault/deadline.h"
+#include "fault/fault.h"
+#include "storage/catalog.h"
+#include "storage/document_store.h"
+#include "storage/statistics.h"
+#include "util/crc32.h"
+#include "wal/log_file.h"
+#include "wal/manager.h"
+#include "wal/record.h"
+#include "wal/wire.h"
+#include "wal/writer.h"
+#include "xml/serializer.h"
+#include "xpath/parser.h"
+
+namespace xia::wal {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void WriteFile(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << data;
+}
+
+/// Fresh per-test scratch directory.
+std::string ScratchDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/xia_wal_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// Store + catalog + statistics bundle used as a recovery target.
+struct Db {
+  storage::DocumentStore store;
+  storage::StatisticsCatalog stats;
+  storage::Catalog catalog{&store, &stats};
+};
+
+// ------------------------------------------------------------- records
+
+TEST(WalRecordTest, RoundTripsEveryType) {
+  const xpath::IndexPattern pattern{*xpath::ParsePattern("/a//b"),
+                                    xpath::ValueType::kNumeric};
+  std::vector<WalRecord> records = {
+      WalRecord::CreateCollection("C"),
+      WalRecord::Insert("C", "<a><b>1</b></a>"),
+      WalRecord::Statement("delete from C where /a/b = 1"),
+      WalRecord::CreateIndex("idx", "C", pattern),
+      WalRecord::DropIndex("idx"),
+      WalRecord::StatsRefresh("C"),
+  };
+  uint64_t lsn = 1;
+  for (WalRecord& r : records) {
+    r.lsn = lsn++;
+    auto decoded = DecodeRecord(EncodeRecord(r));
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_EQ(decoded->lsn, r.lsn);
+    EXPECT_EQ(decoded->type, r.type);
+    EXPECT_EQ(decoded->collection, r.collection);
+    EXPECT_EQ(decoded->text, r.text);
+    EXPECT_EQ(decoded->name, r.name);
+    EXPECT_EQ(decoded->pattern_path.ToString(), r.pattern_path.ToString());
+    EXPECT_EQ(decoded->value_type, r.value_type);
+    EXPECT_EQ(decoded->structural, r.structural);
+  }
+}
+
+TEST(WalRecordTest, MalformedPayloadsAreParseErrors) {
+  // Truncated, unknown type, and trailing-garbage payloads must all be
+  // kParseError: they passed a CRC, so this is corruption framing cannot
+  // explain.
+  EXPECT_EQ(DecodeRecord("").status().code(), StatusCode::kParseError);
+  std::string unknown;
+  PutU64(&unknown, 1);
+  PutU8(&unknown, 99);
+  EXPECT_EQ(DecodeRecord(unknown).status().code(), StatusCode::kParseError);
+  std::string trailing = EncodeRecord(WalRecord::DropIndex("x"));
+  trailing.push_back('!');
+  EXPECT_EQ(DecodeRecord(trailing).status().code(), StatusCode::kParseError);
+}
+
+// ------------------------------------------------------- torn frames
+
+std::string BuildLog(const std::vector<std::string>& payloads) {
+  std::string data(kWalMagic, sizeof(kWalMagic));
+  for (const std::string& p : payloads) AppendFrame(p, &data);
+  return data;
+}
+
+TEST(WalLogFileTest, TruncationAtEveryOffsetSalvagesThePrefix) {
+  const std::string dir = ScratchDir("truncate");
+  const std::string path = dir + "/wal.log";
+  const std::vector<std::string> payloads = {"alpha", "bb", "c3",
+                                             std::string(100, 'z')};
+  const std::string full = BuildLog(payloads);
+
+  // Frame end offsets, so the expected salvage count is a table lookup.
+  std::vector<size_t> frame_ends;
+  size_t pos = sizeof(kWalMagic);
+  for (const std::string& p : payloads) {
+    pos += 8 + p.size();
+    frame_ends.push_back(pos);
+  }
+
+  for (size_t cut = 0; cut <= full.size(); ++cut) {
+    WriteFile(path, full.substr(0, cut));
+    auto scanned = ScanLogFile(path);
+    if (cut < sizeof(kWalMagic)) {
+      // Even a torn magic is salvage (empty), not an error.
+      ASSERT_TRUE(scanned.ok()) << "cut=" << cut << " " << scanned.status();
+      EXPECT_TRUE(scanned->torn_tail);
+      EXPECT_EQ(scanned->payloads.size(), 0u);
+      continue;
+    }
+    ASSERT_TRUE(scanned.ok()) << "cut=" << cut << " " << scanned.status();
+    size_t expected = 0;
+    while (expected < frame_ends.size() && frame_ends[expected] <= cut) {
+      ++expected;
+    }
+    EXPECT_EQ(scanned->payloads.size(), expected) << "cut=" << cut;
+    for (size_t i = 0; i < expected; ++i) {
+      EXPECT_EQ(scanned->payloads[i], payloads[i]);
+    }
+    const bool torn = cut != full.size() && cut != frame_ends.back();
+    // A cut exactly on a frame boundary mid-file leaves a valid shorter
+    // log (the remaining frames simply do not exist yet).
+    const size_t boundary =
+        expected > 0 ? frame_ends[expected - 1] : sizeof(kWalMagic);
+    EXPECT_EQ(scanned->torn_tail, cut != boundary) << "cut=" << cut;
+    EXPECT_EQ(scanned->valid_bytes, boundary) << "cut=" << cut;
+    EXPECT_EQ(scanned->discarded_bytes, cut - boundary) << "cut=" << cut;
+    (void)torn;
+  }
+}
+
+TEST(WalLogFileTest, ByteFlipsNeverFlipBits) {
+  const std::string dir = ScratchDir("flip");
+  const std::string path = dir + "/wal.log";
+  const std::vector<std::string> payloads = {"first-frame", "second-frame",
+                                             "third-frame"};
+  const std::string full = BuildLog(payloads);
+
+  for (size_t i = 0; i < full.size(); ++i) {
+    std::string bad = full;
+    bad[i] = static_cast<char>(bad[i] ^ 0x40);
+    WriteFile(path, bad);
+    auto scanned = ScanLogFile(path);
+    if (i < sizeof(kWalMagic)) {
+      // A flipped magic means "not a WAL file" — a hard error.
+      EXPECT_EQ(scanned.status().code(), StatusCode::kParseError)
+          << "flip at " << i;
+      continue;
+    }
+    ASSERT_TRUE(scanned.ok()) << "flip at " << i << " " << scanned.status();
+    // The flip lands in some frame; every earlier frame must survive
+    // intact and everything from the damaged frame on is discarded.
+    EXPECT_LT(scanned->payloads.size(), payloads.size()) << "flip at " << i;
+    for (size_t k = 0; k < scanned->payloads.size(); ++k) {
+      EXPECT_EQ(scanned->payloads[k], payloads[k]) << "flip at " << i;
+    }
+    EXPECT_TRUE(scanned->torn_tail) << "flip at " << i;
+  }
+}
+
+TEST(WalLogFileTest, OversizedLengthFieldIsTailCorruptionNotAnAllocation) {
+  const std::string dir = ScratchDir("oversize");
+  const std::string path = dir + "/wal.log";
+  std::string data(kWalMagic, sizeof(kWalMagic));
+  PutU32(&data, kMaxFrameBytes + 1);
+  PutU32(&data, 0);
+  data += "whatever";
+  WriteFile(path, data);
+  auto scanned = ScanLogFile(path);
+  ASSERT_TRUE(scanned.ok()) << scanned.status();
+  EXPECT_EQ(scanned->payloads.size(), 0u);
+  EXPECT_TRUE(scanned->torn_tail);
+}
+
+// ------------------------------------------------------------- writer
+
+TEST(WalWriterTest, AppendCommitRoundTripsUnderEveryPolicy) {
+  for (const FsyncPolicy policy :
+       {FsyncPolicy::kAlways, FsyncPolicy::kInterval, FsyncPolicy::kOff}) {
+    SCOPED_TRACE(FsyncPolicyName(policy));
+    const std::string dir =
+        ScratchDir(std::string("writer_") + FsyncPolicyName(policy));
+    const std::string path = dir + "/wal.log";
+    ASSERT_TRUE(InitLogFile(path).ok());
+    WalWriterOptions options;
+    options.policy = policy;
+    WalWriter writer(options);
+    ASSERT_TRUE(writer.Open(path, 1).ok());
+    for (int i = 0; i < 10; ++i) {
+      auto lsn = writer.Append(
+          WalRecord::CreateCollection("C" + std::to_string(i)));
+      ASSERT_TRUE(lsn.ok()) << lsn.status();
+      EXPECT_EQ(*lsn, static_cast<uint64_t>(i + 1));
+      ASSERT_TRUE(writer.Commit(*lsn).ok());
+    }
+    ASSERT_TRUE(writer.Sync().ok());
+    ASSERT_TRUE(writer.Close().ok());
+
+    auto scanned = ScanLogFile(path);
+    ASSERT_TRUE(scanned.ok());
+    EXPECT_EQ(scanned->payloads.size(), 10u);
+    EXPECT_FALSE(scanned->torn_tail);
+  }
+}
+
+TEST(WalWriterTest, ParsePolicyNames) {
+  EXPECT_EQ(*ParseFsyncPolicy("always"), FsyncPolicy::kAlways);
+  EXPECT_EQ(*ParseFsyncPolicy("interval"), FsyncPolicy::kInterval);
+  EXPECT_EQ(*ParseFsyncPolicy("off"), FsyncPolicy::kOff);
+  EXPECT_FALSE(ParseFsyncPolicy("sometimes").ok());
+}
+
+// ------------------------------------------------------------ manager
+
+Status RunInsert(WalManager* manager, Db* db, const std::string& coll,
+                 const std::string& doc) {
+  engine::Executor executor(&db->store, &db->catalog);
+  executor.set_commit_log(manager);
+  XIA_ASSIGN_OR_RETURN(engine::Statement st,
+                       engine::ParseStatement("insert into " + coll + " " +
+                                              doc));
+  return executor.Execute(st, optimizer::Plan()).status();
+}
+
+/// Serialized store contents: collection -> serialized live docs.
+std::string Digest(storage::DocumentStore* store) {
+  std::string out;
+  for (const std::string& name : store->CollectionNames()) {
+    auto coll = store->GetCollection(name);
+    if (!coll.ok()) continue;
+    out += name + "{";
+    (*coll)->ForEach([&](xml::DocId id, const xml::Document& doc) {
+      out += std::to_string(id) + ":" + xml::Serialize(doc) + ";";
+    });
+    out += "}";
+  }
+  return out;
+}
+
+TEST(WalManagerTest, FreshDirInitializesEmptyDatabase) {
+  const std::string dir = ScratchDir("fresh");
+  WalManager manager(dir + "/data");  // does not exist yet
+  Db db;
+  auto report = manager.Open(&db.store, &db.catalog, &db.stats);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->fresh_start);
+  EXPECT_TRUE(db.store.CollectionNames().empty());
+  EXPECT_TRUE(fs::exists(dir + "/data/MANIFEST"));
+  EXPECT_TRUE(fs::exists(dir + "/data/wal.log"));
+}
+
+TEST(WalManagerTest, CommittedMutationsSurviveReopen) {
+  const std::string dir = ScratchDir("reopen");
+  std::string digest_before;
+  {
+    WalManager manager(dir);
+    Db db;
+    ASSERT_TRUE(manager.Open(&db.store, &db.catalog, &db.stats).ok());
+    ASSERT_TRUE(db.store.CreateCollection("C").ok());
+    ASSERT_TRUE(manager.LogCreateCollection("C").ok());
+    ASSERT_TRUE(RunInsert(&manager, &db, "C", "<a><b>1</b></a>").ok());
+    ASSERT_TRUE(RunInsert(&manager, &db, "C", "<a><b>2</b></a>").ok());
+    const xpath::IndexPattern pattern{*xpath::ParsePattern("/a/b"),
+                                      xpath::ValueType::kNumeric};
+    ASSERT_TRUE(db.catalog.CreateIndex("ib", "C", pattern).ok());
+    ASSERT_TRUE(manager.LogCreateIndex("ib", "C", pattern).ok());
+    digest_before = Digest(&db.store);
+    ASSERT_TRUE(manager.Close().ok());
+  }
+  {
+    WalManager manager(dir);
+    Db db;
+    auto report = manager.Open(&db.store, &db.catalog, &db.stats);
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_FALSE(report->fresh_start);
+    EXPECT_EQ(report->records_replayed, 4u);
+    EXPECT_EQ(Digest(&db.store), digest_before);
+    // The physical index was rebuilt and is queryable.
+    auto def = db.catalog.Get("ib");
+    ASSERT_TRUE(def.ok());
+    EXPECT_FALSE((*def)->is_virtual);
+    EXPECT_EQ((*def)->stats.entry_count, 2u);
+  }
+}
+
+TEST(WalManagerTest, DeleteAndUpdateReplayDeterministically) {
+  const std::string dir = ScratchDir("dml");
+  std::string digest_before;
+  {
+    WalManager manager(dir);
+    Db db;
+    ASSERT_TRUE(manager.Open(&db.store, &db.catalog, &db.stats).ok());
+    ASSERT_TRUE(db.store.CreateCollection("C").ok());
+    ASSERT_TRUE(manager.LogCreateCollection("C").ok());
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(RunInsert(&manager, &db, "C",
+                            "<a><b>" + std::to_string(i % 4) + "</b></a>")
+                      .ok());
+    }
+    engine::Executor executor(&db.store, &db.catalog);
+    executor.set_commit_log(&manager);
+    auto del = engine::ParseStatement("delete from C where /a[b = 1]");
+    ASSERT_TRUE(del.ok());
+    ASSERT_TRUE(executor.Execute(*del, optimizer::Plan()).ok());
+    auto upd =
+        engine::ParseStatement("update C set /a/b = 9 where /a[b = 2]");
+    ASSERT_TRUE(upd.ok());
+    ASSERT_TRUE(executor.Execute(*upd, optimizer::Plan()).ok());
+    digest_before = Digest(&db.store);
+    ASSERT_TRUE(manager.Close().ok());
+  }
+  {
+    WalManager manager(dir);
+    Db db;
+    auto report = manager.Open(&db.store, &db.catalog, &db.stats);
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_EQ(Digest(&db.store), digest_before);
+  }
+}
+
+TEST(WalManagerTest, DuplicateLsnReplayIsIdempotent) {
+  const std::string dir = ScratchDir("duplsn");
+  {
+    WalManager manager(dir);
+    Db db;
+    ASSERT_TRUE(manager.Open(&db.store, &db.catalog, &db.stats).ok());
+    ASSERT_TRUE(db.store.CreateCollection("C").ok());
+    ASSERT_TRUE(manager.LogCreateCollection("C").ok());
+    ASSERT_TRUE(RunInsert(&manager, &db, "C", "<a><b>1</b></a>").ok());
+    ASSERT_TRUE(manager.Close().ok());
+  }
+  // Duplicate both frames at the end of the log, as if a retried append
+  // had double-written them.
+  const std::string path = dir + "/wal.log";
+  const std::string data = ReadFile(path);
+  WriteFile(path, data + data.substr(sizeof(kWalMagic)));
+  {
+    WalManager manager(dir);
+    Db db;
+    auto report = manager.Open(&db.store, &db.catalog, &db.stats);
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_EQ(report->records_replayed, 2u);
+    EXPECT_EQ(report->records_skipped, 2u);
+    auto coll = db.store.GetCollection("C");
+    ASSERT_TRUE(coll.ok());
+    EXPECT_EQ((*coll)->live_count(), 1u);
+  }
+}
+
+TEST(WalManagerTest, CheckpointTruncatesAndReopenSkipsReplay) {
+  const std::string dir = ScratchDir("ckpt");
+  std::string digest_before;
+  {
+    WalManager manager(dir);
+    Db db;
+    ASSERT_TRUE(manager.Open(&db.store, &db.catalog, &db.stats).ok());
+    ASSERT_TRUE(db.store.CreateCollection("C").ok());
+    ASSERT_TRUE(manager.LogCreateCollection("C").ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(RunInsert(&manager, &db, "C",
+                            "<a><b>" + std::to_string(i) + "</b></a>")
+                      .ok());
+    }
+    ASSERT_TRUE(manager.Checkpoint(db.store, db.catalog).ok());
+    // Two more mutations after the checkpoint form the replay tail.
+    ASSERT_TRUE(RunInsert(&manager, &db, "C", "<a><b>50</b></a>").ok());
+    ASSERT_TRUE(RunInsert(&manager, &db, "C", "<a><b>51</b></a>").ok());
+    digest_before = Digest(&db.store);
+    ASSERT_TRUE(manager.Close().ok());
+  }
+  {
+    WalManager manager(dir);
+    Db db;
+    auto report = manager.Open(&db.store, &db.catalog, &db.stats);
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_EQ(report->checkpoint_lsn, 6u);
+    EXPECT_EQ(report->records_replayed, 2u);
+    EXPECT_EQ(Digest(&db.store), digest_before);
+  }
+}
+
+TEST(WalManagerTest, StaleLogTailAfterManifestSwitchIsSkipped) {
+  // Simulates a crash between the manifest write and the log reset: the
+  // new manifest points at the new snapshot while the log still holds
+  // every pre-checkpoint record. LSN filtering must skip them all.
+  const std::string dir = ScratchDir("stale_tail");
+  std::string digest_before;
+  std::string log_before_reset;
+  {
+    WalManager manager(dir);
+    Db db;
+    ASSERT_TRUE(manager.Open(&db.store, &db.catalog, &db.stats).ok());
+    ASSERT_TRUE(db.store.CreateCollection("C").ok());
+    ASSERT_TRUE(manager.LogCreateCollection("C").ok());
+    ASSERT_TRUE(RunInsert(&manager, &db, "C", "<a><b>1</b></a>").ok());
+    log_before_reset = ReadFile(dir + "/wal.log");
+    ASSERT_TRUE(manager.Checkpoint(db.store, db.catalog).ok());
+    digest_before = Digest(&db.store);
+    ASSERT_TRUE(manager.Close().ok());
+  }
+  // Undo the reset: put the full pre-checkpoint log back.
+  WriteFile(dir + "/wal.log", log_before_reset);
+  {
+    WalManager manager(dir);
+    Db db;
+    auto report = manager.Open(&db.store, &db.catalog, &db.stats);
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_EQ(report->records_replayed, 0u);
+    EXPECT_EQ(report->records_skipped, 2u);
+    EXPECT_EQ(Digest(&db.store), digest_before);
+  }
+}
+
+TEST(WalManagerTest, TornTailIsSalvagedAndTruncated) {
+  const std::string dir = ScratchDir("torn");
+  {
+    WalManager manager(dir);
+    Db db;
+    ASSERT_TRUE(manager.Open(&db.store, &db.catalog, &db.stats).ok());
+    ASSERT_TRUE(db.store.CreateCollection("C").ok());
+    ASSERT_TRUE(manager.LogCreateCollection("C").ok());
+    ASSERT_TRUE(RunInsert(&manager, &db, "C", "<a><b>1</b></a>").ok());
+    ASSERT_TRUE(RunInsert(&manager, &db, "C", "<a><b>2</b></a>").ok());
+    ASSERT_TRUE(manager.Close().ok());
+  }
+  const std::string path = dir + "/wal.log";
+  const std::string data = ReadFile(path);
+  WriteFile(path, data.substr(0, data.size() - 5));
+  {
+    WalManager manager(dir);
+    Db db;
+    auto report = manager.Open(&db.store, &db.catalog, &db.stats);
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_TRUE(report->salvaged);
+    EXPECT_EQ(report->records_replayed, 2u);  // last insert lost
+    auto coll = db.store.GetCollection("C");
+    ASSERT_TRUE(coll.ok());
+    EXPECT_EQ((*coll)->live_count(), 1u);
+    // The tail was truncated, so the next open is clean.
+    ASSERT_TRUE(manager.Close().ok());
+  }
+  {
+    WalManager manager(dir);
+    Db db;
+    auto report = manager.Open(&db.store, &db.catalog, &db.stats);
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_FALSE(report->salvaged);
+  }
+}
+
+TEST(WalManagerTest, CorruptManifestIsDataLoss) {
+  const std::string dir = ScratchDir("badmanifest");
+  {
+    WalManager manager(dir);
+    Db db;
+    ASSERT_TRUE(manager.Open(&db.store, &db.catalog, &db.stats).ok());
+    ASSERT_TRUE(manager.Close().ok());
+  }
+  std::string manifest = ReadFile(dir + "/MANIFEST");
+  manifest.back() = static_cast<char>(manifest.back() ^ 0x01);
+  WriteFile(dir + "/MANIFEST", manifest);
+  WalManager manager(dir);
+  Db db;
+  auto report = manager.Open(&db.store, &db.catalog, &db.stats);
+  EXPECT_EQ(report.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(WalManagerTest, CommitFailureKeepsStatementOutOfTheSink) {
+  // WAL ordering contract: the capture sink sees a mutation only after
+  // its commit succeeded.
+  struct CountingSink : engine::QuerySink {
+    int calls = 0;
+    void OnExecuted(const engine::Statement&,
+                    const engine::ExecResult&) override {
+      ++calls;
+    }
+  };
+  const std::string dir = ScratchDir("sink_order");
+  fault::ScopedFaultDisarm cleanup;
+  WalManager manager(dir);
+  Db db;
+  ASSERT_TRUE(manager.Open(&db.store, &db.catalog, &db.stats).ok());
+  ASSERT_TRUE(db.store.CreateCollection("C").ok());
+  ASSERT_TRUE(manager.LogCreateCollection("C").ok());
+
+  CountingSink sink;
+  engine::Executor executor(&db.store, &db.catalog);
+  executor.set_commit_log(&manager);
+  executor.set_sink(&sink);
+  auto ins = engine::ParseStatement("insert into C <a><b>1</b></a>");
+  ASSERT_TRUE(ins.ok());
+
+  fault::FaultRegistry::Global().Arm(fault::points::kWalAppend,
+                                     fault::FaultSpec::Probability(1));
+  const auto failed = executor.Execute(*ins, optimizer::Plan());
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(sink.calls, 0);
+
+  fault::FaultRegistry::Global().DisarmAll();
+  ASSERT_TRUE(executor.Execute(*ins, optimizer::Plan()).ok());
+  EXPECT_EQ(sink.calls, 1);
+}
+
+TEST(WalManagerTest, TenThousandMutationRecoveryMeetsTheDeadline) {
+  const std::string dir = ScratchDir("10k");
+  {
+    WalManager manager(dir);
+    Db db;
+    ASSERT_TRUE(manager.Open(&db.store, &db.catalog, &db.stats).ok());
+    ASSERT_TRUE(db.store.CreateCollection("C").ok());
+    ASSERT_TRUE(manager.LogCreateCollection("C").ok());
+    engine::Executor executor(&db.store, &db.catalog);
+    executor.set_commit_log(&manager);
+    for (int i = 0; i < 10000; ++i) {
+      auto st = engine::ParseStatement("insert into C <a><b>" +
+                                       std::to_string(i) + "</b></a>");
+      ASSERT_TRUE(st.ok());
+      ASSERT_TRUE(executor.Execute(*st, optimizer::Plan()).ok()) << i;
+    }
+    ASSERT_TRUE(manager.Close().ok());
+  }
+  {
+    WalManager manager(dir);
+    Db db;
+    auto report = manager.Open(&db.store, &db.catalog, &db.stats,
+                               fault::Deadline::AfterSeconds(5));
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_EQ(report->records_replayed, 10001u);
+    EXPECT_LT(report->seconds, 5.0);
+    auto coll = db.store.GetCollection("C");
+    ASSERT_TRUE(coll.ok());
+    EXPECT_EQ((*coll)->live_count(), 10000u);
+  }
+}
+
+TEST(WalManagerTest, ExpiredDeadlineAbortsRecovery) {
+  const std::string dir = ScratchDir("deadline");
+  {
+    WalManager manager(dir);
+    Db db;
+    ASSERT_TRUE(manager.Open(&db.store, &db.catalog, &db.stats).ok());
+    ASSERT_TRUE(db.store.CreateCollection("C").ok());
+    ASSERT_TRUE(manager.LogCreateCollection("C").ok());
+    ASSERT_TRUE(RunInsert(&manager, &db, "C", "<a><b>1</b></a>").ok());
+    ASSERT_TRUE(manager.Close().ok());
+  }
+  WalManager manager(dir);
+  Db db;
+  auto report = manager.Open(&db.store, &db.catalog, &db.stats,
+                             fault::Deadline::AfterMillis(-1));
+  EXPECT_EQ(report.status().code(), StatusCode::kDeadlineExceeded);
+  // Stage-and-swap: the aborted recovery left the target store untouched.
+  EXPECT_TRUE(db.store.CollectionNames().empty());
+}
+
+}  // namespace
+}  // namespace xia::wal

@@ -11,6 +11,7 @@
 
 #include "advisor/advisor.h"
 #include "engine/query_parser.h"
+#include "fault/fault.h"
 #include "storage/document_store.h"
 #include "storage/statistics.h"
 #include "tpox/tpox_data.h"
@@ -118,6 +119,37 @@ TEST_F(WorkloadRoundTripTest, CaptureTemplatizeSaveLoadAdvise) {
   ASSERT_TRUE(second.ok());
   EXPECT_EQ(*first, *second);
 
+  std::remove(path.c_str());
+}
+
+TEST_F(WorkloadRoundTripTest, FailedSaveLeavesPreviousFileIntact) {
+  // Atomic-save regression: a save that fails (injected fault fires
+  // before serialization) must leave the previous good workload file
+  // untouched, not truncate or clobber it.
+  auto base = tpox::TpoxQueries();
+  ASSERT_TRUE(base.ok()) << base.status();
+  engine::Workload small(base->begin(), base->begin() + 2);
+  engine::Workload larger(base->begin(), base->end());
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "xia_atomic_save_test.xq")
+          .string();
+  ASSERT_TRUE(SaveWorkloadToFile(small, path).ok());
+  auto before = LoadWorkloadFromFile(path);
+  ASSERT_TRUE(before.ok()) << before.status();
+
+  fault::ScopedFaultDisarm cleanup;
+  fault::FaultRegistry::Global().Arm(fault::points::kWorkloadWrite,
+                                     fault::FaultSpec::Probability(1));
+  EXPECT_FALSE(SaveWorkloadToFile(larger, path).ok());
+  fault::FaultRegistry::Global().DisarmAll();
+
+  auto after = LoadWorkloadFromFile(path);
+  ASSERT_TRUE(after.ok()) << after.status();
+  ASSERT_EQ(after->size(), before->size());
+  for (size_t i = 0; i < before->size(); ++i) {
+    EXPECT_TRUE(engine::SameStatementBody((*before)[i], (*after)[i])) << i;
+  }
   std::remove(path.c_str());
 }
 

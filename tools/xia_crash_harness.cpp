@@ -1,0 +1,415 @@
+// kill -9 crash harness for the WAL (ISSUE 4 headline test).
+//
+// For every (crash kind, seed) pair the harness forks a writer child that
+// runs a deterministic mutation sequence — inserts, deletes, updates,
+// index DDL, stats refreshes, periodic checkpoints — against a WAL-backed
+// data directory, appending one ack byte to a side file after each
+// committed operation. The child SIGKILLs *itself* at a scheduled crash
+// point:
+//
+//   op-boundary               between two operations
+//   wal.append.mid_write      half-way through writing a log frame
+//   wal.append.before_fsync   bytes written, fsync pending
+//   checkpoint.after_snapshot new snapshot on disk, old manifest current
+//   checkpoint.after_manifest new manifest committed, log not yet reset
+//   checkpoint.after_reset    log reset, stale files not yet deleted
+//
+// The parent then recovers the directory under a 5-second Deadline and
+// checks *prefix consistency*: the recovered state must byte-equal the
+// reference state after K operations for some K >= the number of acked
+// operations (an acked op is durable; a crashed-mid-commit op may or may
+// not survive). The reference states come from replaying the identical
+// sequence in memory with no WAL. Exit 0 iff every run passes.
+//
+// Usage: xia_crash_harness [--seeds N] [--ops N] [--kind NAME]
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/executor.h"
+#include "engine/query_parser.h"
+#include "fault/deadline.h"
+#include "storage/catalog.h"
+#include "storage/document_store.h"
+#include "storage/snapshot.h"
+#include "storage/statistics.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "wal/manager.h"
+#include "xpath/parser.h"
+
+namespace xia {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Db {
+  storage::DocumentStore store;
+  storage::StatisticsCatalog stats;
+  storage::Catalog catalog{&store, &stats};
+};
+
+struct Op {
+  enum Kind {
+    kStatement,     // insert / delete / update text
+    kCreateIndex,
+    kDropIndex,
+    kStatsRefresh,
+    kCheckpoint,
+  } kind = kStatement;
+  std::string text;          // kStatement
+  std::string index_name;    // kCreateIndex / kDropIndex
+  std::string pattern_text;  // kCreateIndex
+};
+
+constexpr const char* kCollection = "CRASH";
+
+/// The deterministic op sequence for one seed. Op 0 (create collection)
+/// is implicit; these are ops 1..n.
+std::vector<Op> GenOps(uint64_t seed, int count) {
+  Random rng(seed);
+  std::vector<Op> ops;
+  std::vector<std::string> live_indexes;
+  const std::vector<std::string> patterns = {"/doc/k", "/doc/g", "/doc//k"};
+  int next_index_id = 0;
+  for (int i = 0; i < count; ++i) {
+    Op op;
+    const uint64_t roll = rng.Uniform(100);
+    if (i % 9 == 8) {
+      // Periodic checkpoint, so every checkpoint crash window is reachable.
+      op.kind = Op::kCheckpoint;
+    } else if (roll < 50) {
+      op.kind = Op::kStatement;
+      op.text = "insert into " + std::string(kCollection) + " <doc><k>" +
+                std::to_string(rng.Uniform(50)) + "</k><g>" +
+                std::to_string(rng.Uniform(5)) + "</g></doc>";
+    } else if (roll < 62) {
+      op.kind = Op::kStatement;
+      op.text = "delete from " + std::string(kCollection) + " where /doc[k = " +
+                std::to_string(rng.Uniform(50)) + "]";
+    } else if (roll < 74) {
+      op.kind = Op::kStatement;
+      op.text = "update " + std::string(kCollection) + " set /doc/g = " +
+                std::to_string(rng.Uniform(9)) + " where /doc[k = " +
+                std::to_string(rng.Uniform(50)) + "]";
+    } else if (roll < 84) {
+      op.kind = Op::kCreateIndex;
+      op.index_name = "idx" + std::to_string(next_index_id++);
+      op.pattern_text = patterns[rng.Uniform(patterns.size())];
+      live_indexes.push_back(op.index_name);
+    } else if (roll < 90 && !live_indexes.empty()) {
+      op.kind = Op::kDropIndex;
+      const size_t victim = rng.Uniform(live_indexes.size());
+      op.index_name = live_indexes[victim];
+      live_indexes.erase(live_indexes.begin() + victim);
+    } else {
+      op.kind = Op::kStatsRefresh;
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+/// Applies one op. `wal` may be null (the reference run).
+Status ApplyOp(const Op& op, Db* db, wal::WalManager* wal) {
+  switch (op.kind) {
+    case Op::kStatement: {
+      engine::Executor executor(&db->store, &db->catalog);
+      if (wal != nullptr) executor.set_commit_log(wal);
+      XIA_ASSIGN_OR_RETURN(const engine::Statement st,
+                           engine::ParseStatement(op.text));
+      return executor.Execute(st, optimizer::Plan()).status();
+    }
+    case Op::kCreateIndex: {
+      XIA_ASSIGN_OR_RETURN(const xpath::Path path,
+                           xpath::ParsePattern(op.pattern_text));
+      const xpath::IndexPattern pattern{path, xpath::ValueType::kNumeric};
+      XIA_RETURN_IF_ERROR(
+          db->catalog.CreateIndex(op.index_name, kCollection, pattern)
+              .status());
+      if (wal != nullptr) {
+        return wal->LogCreateIndex(op.index_name, kCollection, pattern);
+      }
+      return Status::OK();
+    }
+    case Op::kDropIndex:
+      XIA_RETURN_IF_ERROR(db->catalog.DropIndex(op.index_name));
+      if (wal != nullptr) return wal->LogDropIndex(op.index_name);
+      return Status::OK();
+    case Op::kStatsRefresh: {
+      XIA_ASSIGN_OR_RETURN(const storage::Collection* coll,
+                           db->store.GetCollection(kCollection));
+      db->stats.RunStats(*coll);
+      if (wal != nullptr) return wal->LogStatsRefresh(kCollection);
+      return Status::OK();
+    }
+    case Op::kCheckpoint:
+      // Logically a no-op: the reference state does not change.
+      if (wal != nullptr) return wal->Checkpoint(db->store, db->catalog);
+      return Status::OK();
+  }
+  return Status::Internal("unreachable");
+}
+
+/// Byte-exact logical state: full snapshot + sorted real-index defs.
+std::string Digest(Db* db) {
+  std::ostringstream snapshot;
+  if (!storage::SaveSnapshot(db->store, snapshot).ok()) return "<error>";
+  std::string out = snapshot.str();
+  out += "|indexes:";
+  for (const std::string& coll : db->store.CollectionNames()) {
+    for (const storage::IndexDef* def : db->catalog.IndexesFor(coll)) {
+      if (def->is_virtual) continue;
+      out += def->name + "=" + def->collection + ":" +
+             def->pattern.ToString() + ";";
+    }
+  }
+  return out;
+}
+
+/// Reference digests: digests[0] = empty db, digests[1] = after the
+/// create-collection op, digests[1 + k] = after ops[0..k].
+std::vector<std::string> ReferenceDigests(const std::vector<Op>& ops) {
+  Db db;
+  std::vector<std::string> digests;
+  digests.push_back(Digest(&db));
+  if (!db.store.CreateCollection(kCollection).ok()) return digests;
+  digests.push_back(Digest(&db));
+  for (const Op& op : ops) {
+    const Status s = ApplyOp(op, &db, nullptr);
+    if (!s.ok()) {
+      std::fprintf(stderr, "reference apply failed: %s\n",
+                   s.ToString().c_str());
+      return digests;
+    }
+    digests.push_back(Digest(&db));
+  }
+  return digests;
+}
+
+struct CrashKind {
+  const char* name;
+  const char* hook_point;  // nullptr = crash at an op boundary
+};
+
+constexpr CrashKind kCrashKinds[] = {
+    {"op-boundary", nullptr},
+    {"append-mid-write", "wal.append.mid_write"},
+    {"append-before-fsync", "wal.append.before_fsync"},
+    {"checkpoint-after-snapshot", "checkpoint.after_snapshot"},
+    {"checkpoint-after-manifest", "checkpoint.after_manifest"},
+    {"checkpoint-after-reset", "checkpoint.after_reset"},
+};
+
+/// How many times the crash point is passed before the child dies. Varies
+/// with the seed so crashes land at different log/checkpoint positions.
+int CrashCountdown(const CrashKind& kind, uint64_t seed, int op_count) {
+  if (kind.hook_point == nullptr) return 1 + static_cast<int>(seed) % op_count;
+  if (std::strncmp(kind.hook_point, "checkpoint.", 11) == 0) {
+    return 1 + static_cast<int>(seed) % (op_count / 9);  // per checkpoint op
+  }
+  return 1 + static_cast<int>(seed) % (op_count - op_count / 9);
+}
+
+/// Child body: run the sequence, acking each committed op, until the
+/// scheduled SIGKILL. Never returns on the crash path.
+void RunChild(const std::string& data_dir, const std::string& ack_path,
+              const std::vector<Op>& ops, const CrashKind& kind,
+              int countdown) {
+  const int ack_fd =
+      ::open(ack_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (ack_fd < 0) _exit(3);
+
+  int remaining = countdown;
+  wal::WalManagerOptions options;
+  options.writer.policy = wal::FsyncPolicy::kAlways;
+  if (kind.hook_point != nullptr) {
+    options.writer.test_hook = [&remaining, &kind](const char* point) {
+      if (std::strcmp(point, kind.hook_point) == 0 && --remaining == 0) {
+        ::kill(::getpid(), SIGKILL);
+      }
+    };
+  }
+
+  wal::WalManager wal(data_dir, std::move(options));
+  Db db;
+  if (!wal.Open(&db.store, &db.catalog, &db.stats).ok()) _exit(4);
+
+  const auto ack = [ack_fd] { (void)!::write(ack_fd, "a", 1); };
+  if (!db.store.CreateCollection(kCollection).ok()) _exit(5);
+  if (!wal.LogCreateCollection(kCollection).ok()) _exit(5);
+  ack();
+
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (!ApplyOp(ops[i], &db, &wal).ok()) _exit(6);
+    ack();
+    if (kind.hook_point == nullptr &&
+        static_cast<int>(i) + 1 == countdown) {
+      ::kill(::getpid(), SIGKILL);
+    }
+  }
+  // The crash point was never reached (possible for large countdowns);
+  // a completed run is still a valid recovery case.
+  (void)wal.Close();
+  _exit(42);
+}
+
+bool RunOne(const std::string& base_dir, const CrashKind& kind,
+            uint64_t seed, int op_count, int* kills) {
+  const std::string run_tag =
+      std::string(kind.name) + "_seed" + std::to_string(seed);
+  const std::string data_dir = base_dir + "/" + run_tag;
+  const std::string ack_path = base_dir + "/" + run_tag + ".ack";
+  fs::remove_all(data_dir);
+  fs::remove(ack_path);
+
+  const std::vector<Op> ops = GenOps(seed, op_count);
+  const int countdown = CrashCountdown(kind, seed, op_count);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::perror("fork");
+    return false;
+  }
+  if (pid == 0) {
+    RunChild(data_dir, ack_path, ops, kind, countdown);
+    _exit(7);  // unreachable
+  }
+
+  int wstatus = 0;
+  if (::waitpid(pid, &wstatus, 0) != pid) {
+    std::perror("waitpid");
+    return false;
+  }
+  const bool killed =
+      WIFSIGNALED(wstatus) && WTERMSIG(wstatus) == SIGKILL;
+  const bool completed = WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 42;
+  if (killed) ++*kills;
+  if (!killed && !completed) {
+    std::fprintf(stderr, "[%s] child failed unexpectedly (wstatus=%d)\n",
+                 run_tag.c_str(), wstatus);
+    return false;
+  }
+
+  std::error_code ec;
+  const uint64_t acked = fs::exists(ack_path)
+                             ? static_cast<uint64_t>(fs::file_size(ack_path, ec))
+                             : 0;
+
+  // Recover in-process, Deadline-bounded (the acceptance criterion).
+  wal::WalManager wal(data_dir);
+  Db db;
+  auto report =
+      wal.Open(&db.store, &db.catalog, &db.stats,
+               fault::Deadline::AfterSeconds(5));
+  if (!report.ok()) {
+    std::fprintf(stderr, "[%s] recovery failed: %s\n", run_tag.c_str(),
+                 report.status().ToString().c_str());
+    return false;
+  }
+
+  const std::string recovered = Digest(&db);
+  const std::vector<std::string> reference = ReferenceDigests(ops);
+  // Largest matching prefix length (checkpoints and no-op deletes leave
+  // the digest unchanged, so match from the top).
+  int matched = -1;
+  for (int k = static_cast<int>(reference.size()) - 1; k >= 0; --k) {
+    if (reference[static_cast<size_t>(k)] == recovered) {
+      matched = k;
+      break;
+    }
+  }
+  if (matched < 0) {
+    std::fprintf(stderr,
+                 "[%s] recovered state matches no reference prefix "
+                 "(acked=%llu, %s)\n",
+                 run_tag.c_str(), static_cast<unsigned long long>(acked),
+                 report->ToString().c_str());
+    return false;
+  }
+  if (static_cast<uint64_t>(matched) < acked) {
+    std::fprintf(stderr,
+                 "[%s] recovered only %d ops but %llu were acked "
+                 "(durability violation; %s)\n",
+                 run_tag.c_str(), matched,
+                 static_cast<unsigned long long>(acked),
+                 report->ToString().c_str());
+    return false;
+  }
+
+  (void)wal.Close();
+  fs::remove_all(data_dir);
+  fs::remove(ack_path);
+  return true;
+}
+
+int RunHarness(int seeds, int op_count, const char* only_kind) {
+  const char* tmp = std::getenv("TMPDIR");
+  const std::string base_dir =
+      std::string(tmp != nullptr ? tmp : "/tmp") + "/xia_crash_harness";
+  fs::create_directories(base_dir);
+
+  int failures = 0;
+  int runs = 0;
+  for (const CrashKind& kind : kCrashKinds) {
+    if (only_kind != nullptr && std::strcmp(kind.name, only_kind) != 0) {
+      continue;
+    }
+    int kind_failures = 0;
+    int kind_kills = 0;
+    for (uint64_t seed = 1; seed <= static_cast<uint64_t>(seeds); ++seed) {
+      ++runs;
+      if (!RunOne(base_dir, kind, seed, op_count, &kind_kills)) {
+        ++kind_failures;
+      }
+    }
+    std::printf("%-28s %d/%d seeds ok (%d killed mid-run)\n", kind.name,
+                seeds - kind_failures, seeds, kind_kills);
+    failures += kind_failures;
+  }
+  if (runs == 0) {
+    std::fprintf(stderr, "unknown crash kind: %s\n", only_kind);
+    return 2;
+  }
+  std::printf("%d runs, %d failures\n", runs, failures);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace xia
+
+int main(int argc, char** argv) {
+  int seeds = 20;
+  int ops = 40;
+  const char* kind = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seeds" && i + 1 < argc) {
+      seeds = std::atoi(argv[++i]);
+    } else if (arg == "--ops" && i + 1 < argc) {
+      ops = std::atoi(argv[++i]);
+    } else if (arg == "--kind" && i + 1 < argc) {
+      kind = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--seeds N] [--ops N] [--kind NAME]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (seeds < 1 || ops < 9) {
+    std::fprintf(stderr, "need --seeds >= 1 and --ops >= 9\n");
+    return 2;
+  }
+  return xia::RunHarness(seeds, ops, kind);
+}

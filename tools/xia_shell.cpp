@@ -35,6 +35,7 @@
 #include "tpox/xmark.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
+#include "wal/manager.h"
 #include "workload/capture.h"
 #include "workload/online_advisor.h"
 #include "workload/workload_io.h"
@@ -56,6 +57,24 @@ class Shell {
     // Every executed statement flows into the capture sink; the sink is
     // disabled until `monitor start` so the hot path pays one atomic load.
     executor_.set_sink(&capture_);
+  }
+
+  /// Opens `dir` as a durable data directory: recovers (or initializes a
+  /// fresh WAL + empty store) and routes every later mutation through
+  /// the WAL. A torn log tail is salvaged and reported, never an error;
+  /// only real corruption (kDataLoss) fails the open.
+  Status OpenDataDir(const std::string& dir, const std::string& fsync_text) {
+    wal::WalManagerOptions options;
+    if (!fsync_text.empty()) {
+      XIA_ASSIGN_OR_RETURN(options.writer.policy,
+                           wal::ParseFsyncPolicy(fsync_text));
+    }
+    wal_ = std::make_unique<wal::WalManager>(dir, options);
+    XIA_ASSIGN_OR_RETURN(const wal::RecoveryReport report,
+                         wal_->Open(&store_, &catalog_, &statistics_));
+    std::printf("%s: %s\n", dir.c_str(), report.ToString().c_str());
+    executor_.set_commit_log(wal_.get());
+    return Status::OK();
   }
 
   int Run(std::istream& in, bool interactive) {
@@ -100,8 +119,11 @@ class Shell {
     if (cmd == "collections") return Collections();
     if (cmd == "stats") return Stats(rest);
     if (cmd == "indexes") return Indexes();
-    if (cmd == "create") return CreateIndex(rest);
+    if (cmd == "create") return Create(rest);
     if (cmd == "drop") return DropIndex(rest);
+    if (cmd == "runstats") return RunStatsCommand(rest);
+    if (cmd == "checkpoint") return CheckpointCommand();
+    if (cmd == "wal") return WalCommand(rest);
     if (cmd == "enumerate") return Enumerate(rest);
     if (cmd == "explain") return Explain(rest);
     if (cmd == "run") return Execute(rest);
@@ -124,9 +146,14 @@ class Shell {
         "  stats                          process-wide metrics table\n"
         "  stats COLLECTION [N]           top-N data paths with statistics\n"
         "  indexes                        list catalog indexes\n"
+        "  create collection NAME         create an empty collection\n"
         "  create index NAME on COLL PATTERN [string|numeric|structural]"
         " [virtual]\n"
         "  drop index NAME\n"
+        "  runstats COLLECTION            refresh data statistics\n"
+        "  checkpoint                     snapshot + truncate the WAL"
+        " (--data-dir)\n"
+        "  wal status                     durability state (--data-dir)\n"
         "  enumerate STATEMENT            Enumerate-Indexes mode candidates\n"
         "  explain STATEMENT              best plan + cost\n"
         "  explain analyze STATEMENT      execute and compare to estimates\n"
@@ -159,14 +186,14 @@ class Shell {
       XIA_RETURN_IF_ERROR(
           tpox::BuildTpoxDatabase(scale, &store_, &statistics_));
       std::printf("TPoX demo database loaded (SDOC/ODOC/CADOC)\n");
-      return Status::OK();
+      return CheckpointAfterBulkLoadLocked();
     }
     if (which == "xmark") {
       tpox::XmarkScale scale;
       XIA_RETURN_IF_ERROR(
           tpox::BuildXmarkDatabase(scale, &store_, &statistics_));
       std::printf("XMark demo database loaded (XITEM/XAUCTION/XPERSON)\n");
-      return Status::OK();
+      return CheckpointAfterBulkLoadLocked();
     }
     return Status::InvalidArgument("demo tpox|xmark");
   }
@@ -197,6 +224,18 @@ class Shell {
       statistics_.RunStats(*coll);
       std::printf("loaded %s: %zu documents\n", name.c_str(), docs);
     }
+    return CheckpointAfterBulkLoadLocked();
+  }
+
+  /// Bulk loads (demo/load/restore) mutate the store without going
+  /// through the executor, so the WAL never saw them; an immediate
+  /// checkpoint makes them durable. No-op without --data-dir.
+  Status CheckpointAfterBulkLoadLocked() {
+    if (!wal_) return Status::OK();
+    XIA_RETURN_IF_ERROR(wal_->Checkpoint(store_, catalog_));
+    std::printf("checkpointed at lsn %llu\n",
+                static_cast<unsigned long long>(
+                    wal_->GetStatus().checkpoint_lsn));
     return Status::OK();
   }
 
@@ -224,7 +263,7 @@ class Shell {
       std::printf("restored %s: %zu documents\n", name.c_str(),
                   coll->live_count());
     }
-    return Status::OK();
+    return CheckpointAfterBulkLoadLocked();
   }
 
   Status Collections() {
@@ -286,6 +325,22 @@ class Shell {
     return Status::OK();
   }
 
+  // create collection NAME | create index NAME on COLL PATTERN ...
+  Status Create(const std::string& rest) {
+    auto [kind, arg] = SplitCommand(rest);
+    if (kind == "collection") {
+      if (arg.empty()) return Status::InvalidArgument("create collection NAME");
+      std::lock_guard<std::mutex> db(db_mu_);
+      XIA_ASSIGN_OR_RETURN(storage::Collection * coll,
+                           store_.CreateCollection(arg));
+      statistics_.RunStats(*coll);
+      if (wal_) XIA_RETURN_IF_ERROR(wal_->LogCreateCollection(arg));
+      std::printf("created collection %s\n", arg.c_str());
+      return Status::OK();
+    }
+    return CreateIndex(rest);
+  }
+
   // create index NAME on COLL PATTERN [type] [virtual]
   Status CreateIndex(const std::string& rest) {
     std::lock_guard<std::mutex> db(db_mu_);
@@ -324,6 +379,9 @@ class Shell {
           catalog_.CreateVirtualIndex(name, coll, pattern).status());
     } else {
       XIA_RETURN_IF_ERROR(catalog_.CreateIndex(name, coll, pattern).status());
+      // Virtual indexes are advisor scratch state; only real DDL is
+      // durable.
+      if (wal_) XIA_RETURN_IF_ERROR(wal_->LogCreateIndex(name, coll, pattern));
     }
     XIA_ASSIGN_OR_RETURN(const storage::IndexDef* def, catalog_.Get(name));
     std::printf("created %s%s: %llu entries, %s\n", name.c_str(),
@@ -340,7 +398,46 @@ class Shell {
     if (kw != "index" || name.empty()) {
       return Status::InvalidArgument("drop index NAME");
     }
-    return catalog_.DropIndex(name);
+    XIA_ASSIGN_OR_RETURN(const storage::IndexDef* def, catalog_.Get(name));
+    const bool was_real = !def->is_virtual;
+    XIA_RETURN_IF_ERROR(catalog_.DropIndex(name));
+    if (was_real && wal_) XIA_RETURN_IF_ERROR(wal_->LogDropIndex(name));
+    return Status::OK();
+  }
+
+  Status RunStatsCommand(const std::string& rest) {
+    if (rest.empty()) return Status::InvalidArgument("runstats COLLECTION");
+    std::lock_guard<std::mutex> db(db_mu_);
+    XIA_ASSIGN_OR_RETURN(storage::Collection * coll,
+                         store_.GetCollection(rest));
+    statistics_.RunStats(*coll);
+    if (wal_) XIA_RETURN_IF_ERROR(wal_->LogStatsRefresh(rest));
+    std::printf("  statistics refreshed for %s\n", rest.c_str());
+    return Status::OK();
+  }
+
+  Status CheckpointCommand() {
+    if (!wal_) {
+      return Status::FailedPrecondition("no data dir (start with --data-dir)");
+    }
+    std::lock_guard<std::mutex> db(db_mu_);
+    XIA_RETURN_IF_ERROR(wal_->Checkpoint(store_, catalog_));
+    const wal::WalStatus st = wal_->GetStatus();
+    std::printf("  checkpointed at lsn %llu (log reset to %s)\n",
+                static_cast<unsigned long long>(st.checkpoint_lsn),
+                HumanBytes(static_cast<double>(st.log_bytes)).c_str());
+    return Status::OK();
+  }
+
+  Status WalCommand(const std::string& rest) {
+    if (rest != "status") return Status::InvalidArgument("wal status");
+    if (!wal_) {
+      return Status::FailedPrecondition("no data dir (start with --data-dir)");
+    }
+    std::printf("  %s\n", wal_->GetStatus().ToString().c_str());
+    std::printf("  last open: %s\n",
+                wal_->last_recovery().ToString().c_str());
+    return Status::OK();
   }
 
   Status Enumerate(const std::string& text) {
@@ -553,6 +650,14 @@ class Shell {
         }
         options.advise_interval_seconds = v;
       }
+      if (wal_) {
+        // Periodic checkpoints ride the monitor thread, bounding the log
+        // replay a crash would need.
+        options.checkpoint_fn = [this] {
+          std::lock_guard<std::mutex> db(db_mu_);
+          return wal_->Checkpoint(store_, catalog_);
+        };
+      }
       monitor_ = std::make_unique<workload::OnlineAdvisor>(
           &capture_, &advisor_, options, &db_mu_);
       XIA_RETURN_IF_ERROR(monitor_->Start());
@@ -707,6 +812,7 @@ class Shell {
   std::mutex db_mu_;
   workload::WorkloadCapture capture_;
   std::unique_ptr<workload::OnlineAdvisor> monitor_;
+  std::unique_ptr<wal::WalManager> wal_;
   bool trace_ = false;
 };
 
@@ -717,18 +823,42 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
     return StatusExitCode(s);
   }
-  if (argc > 1 && std::string(argv[1]) == "--script") {
-    if (argc < 3) {
-      std::fprintf(stderr, "usage: xia_shell [--script FILE]\n");
+  std::string script;
+  std::string data_dir;
+  std::string fsync_policy;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--script" && has_value) {
+      script = argv[++i];
+    } else if (arg == "--data-dir" && has_value) {
+      data_dir = argv[++i];
+    } else if (arg == "--fsync" && has_value) {
+      fsync_policy = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: xia_shell [--script FILE] [--data-dir DIR]"
+                   " [--fsync always|interval|off]\n");
       return 2;
     }
-    std::ifstream f(argv[2]);
+  }
+  Shell shell;
+  if (!data_dir.empty()) {
+    // Recovery failures exit with the status-derived code: salvaged torn
+    // tails are OK (exit 0 later), real corruption is kDataLoss (exit 22).
+    if (Status s = shell.OpenDataDir(data_dir, fsync_policy); !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return StatusExitCode(s);
+    }
+  }
+  if (!script.empty()) {
+    std::ifstream f(script);
     if (!f) {
-      std::fprintf(stderr, "cannot open %s\n", argv[2]);
+      std::fprintf(stderr, "cannot open %s\n", script.c_str());
       return 1;
     }
-    return Shell().Run(f, /*interactive=*/false);
+    return shell.Run(f, /*interactive=*/false);
   }
   const bool interactive = isatty(0);
-  return Shell().Run(std::cin, interactive);
+  return shell.Run(std::cin, interactive);
 }
