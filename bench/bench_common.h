@@ -13,6 +13,7 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "advisor/advisor.h"
@@ -129,6 +130,11 @@ class BenchJsonWriter {
   BenchJsonWriter(const BenchJsonWriter&) = delete;
   BenchJsonWriter& operator=(const BenchJsonWriter&) = delete;
 
+  /// Records how many worker threads the bench ran with; lands in the
+  /// JSON next to hardware_concurrency so speedup curves are
+  /// reproducible on other machines.
+  void set_threads(size_t threads) { threads_ = threads; }
+
   /// Records a named checkpoint: elapsed seconds plus the metric values at
   /// this point, so post-processing can plot counter trajectories.
   void Checkpoint(const std::string& label) {
@@ -150,6 +156,10 @@ class BenchJsonWriter {
     out << "{\n  \"bench\": \"" << name_ << "\",\n";
     out << StringPrintf("  \"wall_seconds\": %.6f,\n",
                         timer_.ElapsedSeconds());
+    out << StringPrintf("  \"threads\": %zu,\n", threads_);
+    out << StringPrintf(
+        "  \"hardware_concurrency\": %u,\n",
+        std::thread::hardware_concurrency());
     out << "  \"checkpoints\": [";
     for (size_t i = 0; i < checkpoints_.size(); ++i) {
       out << (i == 0 ? "\n    " : ",\n    ") << checkpoints_[i];
@@ -164,6 +174,7 @@ class BenchJsonWriter {
   std::string name_;
   Stopwatch timer_;
   std::vector<std::string> checkpoints_;
+  size_t threads_ = 1;
   bool written_ = false;
 };
 

@@ -1,0 +1,86 @@
+// Parallel advising: advise-phase wall time and speedup vs worker-thread
+// count, for the two most probe-heavy search algorithms.
+//
+// Expected shape: near-linear speedup while threads <= physical cores
+// (the advise phases are what-if optimizer probes — pure CPU over
+// per-worker scratch catalogs), flattening at the memory-bandwidth /
+// core-count ceiling. On a single-core host every point degenerates to
+// ~1.0x, but the recommendation-equality checks still run.
+
+#include <thread>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace xia;         // NOLINT
+using namespace xia::bench;  // NOLINT
+
+bool SameRecommendation(const advisor::Recommendation& a,
+                        const advisor::Recommendation& b) {
+  if (a.indexes.size() != b.indexes.size()) return false;
+  for (size_t i = 0; i < a.indexes.size(); ++i) {
+    if (a.indexes[i].collection != b.indexes[i].collection ||
+        a.indexes[i].pattern.ToString() != b.indexes[i].pattern.ToString()) {
+      return false;
+    }
+  }
+  return a.benefit == b.benefit && a.base_cost == b.base_cost &&
+         a.optimizer_calls == b.optimizer_calls;
+}
+
+}  // namespace
+
+int main() {
+  BenchJsonWriter bench_json("parallel_advisor");
+
+  auto ctx = MakeContext();
+  const engine::Workload workload = MixedWorkload(*ctx);
+  const std::vector<size_t> thread_counts = {1, 2, 4, 8};
+  const std::vector<advisor::SearchAlgorithm> algorithms = {
+      advisor::SearchAlgorithm::kGreedyWithHeuristics,
+      advisor::SearchAlgorithm::kTopDownFull,
+  };
+  bench_json.set_threads(thread_counts.back());
+
+  PrintHeader("Parallel advising: seconds (speedup) vs worker threads");
+  std::printf("hardware_concurrency: %u\n\n",
+              std::thread::hardware_concurrency());
+  std::printf("%-22s", "algorithm");
+  for (size_t t : thread_counts) std::printf("        j=%zu", t);
+  std::printf("\n");
+
+  bool all_equal = true;
+  for (advisor::SearchAlgorithm algo : algorithms) {
+    std::printf("%-22s", advisor::SearchAlgorithmName(algo));
+    advisor::Recommendation serial;
+    double serial_seconds = 0;
+    for (size_t t : thread_counts) {
+      advisor::AdvisorOptions options;
+      options.algorithm = algo;
+      options.disk_budget_bytes = 10.0 * 1024 * 1024;
+      options.threads = t;
+      auto rec = Unwrap(ctx->advisor->Recommend(workload, options),
+                        "recommend");
+      if (t == 1) {
+        serial = rec;
+        serial_seconds = rec.advisor_seconds;
+        std::printf("  %8.4fs ", rec.advisor_seconds);
+      } else {
+        all_equal = all_equal && SameRecommendation(serial, rec);
+        std::printf("%6.3fs/%4.2fx",
+                    rec.advisor_seconds,
+                    rec.advisor_seconds > 0
+                        ? serial_seconds / rec.advisor_seconds
+                        : 0.0);
+      }
+      bench_json.Checkpoint(StringPrintf(
+          "%s_j%zu", advisor::SearchAlgorithmName(algo), t));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nrecommendations identical across thread counts: %s\n",
+              all_equal ? "yes" : "NO (BUG)");
+  return all_equal ? 0 : 1;
+}

@@ -3,12 +3,85 @@
 #include <algorithm>
 #include <numeric>
 #include <set>
+#include <utility>
 
 #include "fault/fault.h"
 #include "obs/metrics.h"
 #include "util/string_util.h"
 
 namespace xia::advisor {
+
+BenefitCache::Shard& BenefitCache::ShardFor(const std::vector<int>& key) {
+  // FNV-1a over the ids; the key is canonical (sorted) by the time it
+  // reaches the cache, so equal configurations always land on one shard.
+  uint64_t h = 1469598103934665603ull;
+  for (int id : key) {
+    h ^= static_cast<uint64_t>(static_cast<uint32_t>(id));
+    h *= 1099511628211ull;
+  }
+  return shards_[h % kShardCount];
+}
+
+Result<double> BenefitCache::GetOrCompute(
+    const std::vector<int>& key,
+    const std::function<Result<double>()>& compute) {
+  Shard& shard = ShardFor(key);
+  for (;;) {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    if (it == shard.entries.end()) {
+      // First requester: publish a computing entry, evaluate outside the
+      // lock, then flip it to ready (or erase it on failure so waiters
+      // retry — a failure must not poison the key).
+      auto entry = std::make_shared<Entry>();
+      shard.entries.emplace(key, entry);
+      lock.unlock();
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      XIA_OBS_COUNT("xia.advisor.benefit.cache_misses", 1);
+      Result<double> result = compute();
+      lock.lock();
+      if (result.ok()) {
+        entry->state = Entry::State::kReady;
+        entry->value = *result;
+      } else {
+        entry->state = Entry::State::kFailed;
+        shard.entries.erase(key);
+      }
+      lock.unlock();
+      shard.cv.notify_all();
+      return result;
+    }
+    std::shared_ptr<Entry> entry = it->second;
+    if (entry->state == Entry::State::kComputing) {
+      shard.cv.wait(lock, [&] {
+        return entry->state != Entry::State::kComputing;
+      });
+    }
+    if (entry->state == Entry::State::kReady) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      XIA_OBS_COUNT("xia.advisor.benefit.cache_hits", 1);
+      return entry->value;
+    }
+    // The computation we waited on failed and its entry is gone: loop —
+    // this thread may become the computer on the next pass.
+  }
+}
+
+// RAII lease of a scratch context from the evaluator's freelist.
+class BenefitEvaluator::ContextLease {
+ public:
+  explicit ContextLease(BenefitEvaluator* evaluator)
+      : evaluator_(evaluator), context_(evaluator->AcquireContext()) {}
+  ~ContextLease() { evaluator_->ReleaseContext(context_); }
+  ContextLease(const ContextLease&) = delete;
+  ContextLease& operator=(const ContextLease&) = delete;
+
+  WorkerContext* get() const { return context_; }
+
+ private:
+  BenefitEvaluator* evaluator_;
+  WorkerContext* context_;
+};
 
 BenefitEvaluator::BenefitEvaluator(const engine::Workload* workload,
                                    const CandidateSet* set,
@@ -20,16 +93,71 @@ BenefitEvaluator::BenefitEvaluator(const engine::Workload* workload,
       set_(set),
       catalog_(catalog),
       optimizer_(store, catalog, statistics),
-      options_(options) {}
+      options_(options) {
+  if (parallel()) {
+    // One context per pool worker plus one for the calling thread, so a
+    // lease never blocks while a batch is in flight.
+    const size_t count = options_.pool->thread_count() + 1;
+    contexts_.reserve(count);
+    free_contexts_.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      contexts_.push_back(std::make_unique<WorkerContext>(
+          catalog_->store(), catalog_->statistics(),
+          catalog_->cost_constants()));
+      free_contexts_.push_back(contexts_.back().get());
+    }
+  }
+}
+
+BenefitEvaluator::WorkerContext* BenefitEvaluator::AcquireContext() {
+  std::unique_lock<std::mutex> lock(contexts_mu_);
+  contexts_cv_.wait(lock, [&] { return !free_contexts_.empty(); });
+  WorkerContext* context = free_contexts_.back();
+  free_contexts_.pop_back();
+  return context;
+}
+
+void BenefitEvaluator::ReleaseContext(WorkerContext* context) {
+  {
+    std::lock_guard<std::mutex> lock(contexts_mu_);
+    free_contexts_.push_back(context);
+  }
+  contexts_cv_.notify_one();
+}
+
+uint64_t BenefitEvaluator::optimizer_calls() const {
+  uint64_t total = optimizer_.optimize_calls();
+  for (const auto& context : contexts_) {
+    total += context->optimizer.optimize_calls();
+  }
+  return total;
+}
 
 Status BenefitEvaluator::Initialize() {
-  base_costs_.assign(workload_->size(), 0.0);
+  const size_t n = workload_->size();
+  base_costs_.assign(n, 0.0);
   base_workload_cost_ = 0;
-  for (size_t s = 0; s < workload_->size(); ++s) {
-    auto plan = optimizer_.OptimizeWithoutIndexes((*workload_)[s]);
-    if (!plan.ok()) return plan.status();
-    base_costs_[s] = plan->est_cost;
-    base_workload_cost_ += (*workload_)[s].frequency * plan->est_cost;
+  if (parallel() && n > 1) {
+    XIA_RETURN_IF_ERROR(
+        options_.pool->ParallelFor(n, [&](size_t s) -> Status {
+          ContextLease lease(this);
+          auto plan =
+              lease.get()->optimizer.OptimizeWithoutIndexes((*workload_)[s]);
+          if (!plan.ok()) return plan.status();
+          base_costs_[s] = plan->est_cost;
+          return Status::OK();
+        }));
+  } else {
+    for (size_t s = 0; s < n; ++s) {
+      auto plan = optimizer_.OptimizeWithoutIndexes((*workload_)[s]);
+      if (!plan.ok()) return plan.status();
+      base_costs_[s] = plan->est_cost;
+    }
+  }
+  // Reduced serially in statement order, so the total is bit-identical no
+  // matter how the probes were scheduled.
+  for (size_t s = 0; s < n; ++s) {
+    base_workload_cost_ += (*workload_)[s].frequency * base_costs_[s];
   }
   initialized_ = true;
   return Status::OK();
@@ -76,22 +204,15 @@ std::vector<std::vector<int>> BenefitEvaluator::Decompose(
   return out;
 }
 
-Result<double> BenefitEvaluator::SubConfigurationQueryBenefit(
-    const std::vector<int>& sub) {
-  auto it = cache_.find(sub);
-  if (it != cache_.end()) {
-    ++cache_hits_;
-    XIA_OBS_COUNT("xia.advisor.benefit.cache_hits", 1);
-    return it->second;
-  }
-  ++cache_misses_;
-  XIA_OBS_COUNT("xia.advisor.benefit.cache_misses", 1);
-
+Result<double> BenefitEvaluator::ComputeSubConfigurationBenefit(
+    const std::vector<int>& sub, storage::Catalog* catalog,
+    const optimizer::Optimizer& optimizer, const fault::Deadline& deadline,
+    const fault::CancelToken* cancel) {
   // Create the sub-configuration's indexes virtually.
-  catalog_->DropAllVirtualIndexes();
+  catalog->DropAllVirtualIndexes();
   for (int id : sub) {
     const Candidate& c = (*set_)[static_cast<size_t>(id)];
-    auto created = catalog_->CreateVirtualIndex(
+    auto created = catalog->CreateVirtualIndex(
         StringPrintf("whatif_cand_%d", id), c.collection, c.pattern);
     if (!created.ok()) return created.status();
   }
@@ -108,16 +229,33 @@ Result<double> BenefitEvaluator::SubConfigurationQueryBenefit(
     for (size_t s = 0; s < workload_->size(); ++s) statements.insert(s);
   }
 
+  // Iterated in ascending statement order (std::set), so the accumulation
+  // order — and hence the floating-point result — is thread-independent.
   double benefit = 0;
   for (size_t s : statements) {
-    auto plan = optimizer_.Optimize((*workload_)[s]);
+    XIA_RETURN_IF_ERROR(fault::CheckInterrupt(deadline, cancel));
+    auto plan = optimizer.Optimize((*workload_)[s]);
     if (!plan.ok()) return plan.status();
     benefit +=
         (*workload_)[s].frequency * (base_costs_[s] - plan->est_cost);
   }
-  catalog_->DropAllVirtualIndexes();
-  cache_.emplace(sub, benefit);
+  catalog->DropAllVirtualIndexes();
   return benefit;
+}
+
+Result<double> BenefitEvaluator::SubConfigurationQueryBenefit(
+    const std::vector<int>& sub, const fault::Deadline& deadline,
+    const fault::CancelToken* cancel) {
+  return cache_.GetOrCompute(sub, [&]() -> Result<double> {
+    if (parallel()) {
+      ContextLease lease(this);
+      return ComputeSubConfigurationBenefit(sub, &lease.get()->catalog,
+                                            lease.get()->optimizer, deadline,
+                                            cancel);
+    }
+    return ComputeSubConfigurationBenefit(sub, catalog_, optimizer_, deadline,
+                                          cancel);
+  });
 }
 
 double BenefitEvaluator::MaintenanceCharge(
@@ -139,18 +277,49 @@ double BenefitEvaluator::MaintenanceCharge(
 
 Result<double> BenefitEvaluator::ConfigurationBenefit(
     const std::vector<int>& config) {
+  return ConfigurationBenefit(config, fault::Deadline::Infinite(), nullptr);
+}
+
+Result<double> BenefitEvaluator::ConfigurationBenefit(
+    const std::vector<int>& config, const fault::Deadline& deadline,
+    const fault::CancelToken* cancel) {
   XIA_FAULT_INJECT(fault::points::kAdvisorBenefit);
   if (!initialized_) {
     return Status::FailedPrecondition("BenefitEvaluator not initialized");
   }
-  if (config.empty()) return 0.0;
+  // Canonicalize: callers pass ids in whatever order their search step
+  // produced, but a configuration is a set — sorting and deduplicating
+  // here keeps permuted configs on one cache key and stops duplicated ids
+  // from double-charging maintenance or colliding on what-if index names.
+  std::vector<int> canonical = config;
+  std::sort(canonical.begin(), canonical.end());
+  canonical.erase(std::unique(canonical.begin(), canonical.end()),
+                  canonical.end());
+  if (canonical.empty()) return 0.0;
+
+  const std::vector<std::vector<int>> subs = Decompose(canonical);
   double benefit = 0;
-  for (const std::vector<int>& sub : Decompose(config)) {
-    XIA_ASSIGN_OR_RETURN(const double sub_benefit,
-                         SubConfigurationQueryBenefit(sub));
-    benefit += sub_benefit;
+  if (parallel() && subs.size() > 1) {
+    // Disjoint groups (§VI-C) evaluate independently: farm them out,
+    // then reduce serially in decomposition order for bit-identical sums.
+    std::vector<double> sub_benefits(subs.size(), 0.0);
+    XIA_RETURN_IF_ERROR(
+        options_.pool->ParallelFor(subs.size(), [&](size_t i) -> Status {
+          XIA_ASSIGN_OR_RETURN(
+              sub_benefits[i],
+              SubConfigurationQueryBenefit(subs[i], deadline, cancel));
+          return Status::OK();
+        }));
+    for (double sub_benefit : sub_benefits) benefit += sub_benefit;
+  } else {
+    for (const std::vector<int>& sub : subs) {
+      XIA_ASSIGN_OR_RETURN(
+          const double sub_benefit,
+          SubConfigurationQueryBenefit(sub, deadline, cancel));
+      benefit += sub_benefit;
+    }
   }
-  return benefit - MaintenanceCharge(config);
+  return benefit - MaintenanceCharge(canonical);
 }
 
 Result<double> BenefitEvaluator::ConfigurationCost(

@@ -18,26 +18,88 @@
 //
 // Both can be disabled to reproduce the naive evaluator for the ablation
 // benchmark.
+//
+// Parallel mode (DESIGN §12). With Options::pool set the evaluator shards
+// the independent pieces of its work across the pool: Initialize() costs
+// base statements concurrently, and ConfigurationBenefit farms the
+// sub-configurations of a decomposition (disjoint by construction) out as
+// pool items. Each in-flight evaluation leases a scratch context — its own
+// what-if Catalog plus Optimizer — so no two threads ever touch the same
+// catalog. Determinism: workers write into pre-sized slots and every
+// reduction runs serially in index order, each sub-configuration's benefit
+// is a pure function of (sub, store, statistics) regardless of which
+// thread computes it, and the cache's in-flight dedup keeps the set of
+// cache misses — hence the optimizer-call count — identical to a serial
+// run. Parallel results are bit-identical to serial ones.
 
 #ifndef XIA_ADVISOR_BENEFIT_H_
 #define XIA_ADVISOR_BENEFIT_H_
 
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "advisor/candidates.h"
 #include "engine/query.h"
+#include "fault/deadline.h"
 #include "optimizer/optimizer.h"
 #include "storage/catalog.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace xia::advisor {
+
+/// Sharded memo cache for sub-configuration benefits with in-flight
+/// dedup: concurrent requests for the same key block until the first
+/// requester's computation finishes, so each key is computed exactly once
+/// no matter how many threads race for it — the miss count (and with it
+/// the what-if optimizer-call count) stays identical to serial execution.
+/// A failed computation is never cached; waiters retry and may become the
+/// computer themselves. Used in serial mode too, so hit/miss accounting
+/// has a single implementation.
+class BenefitCache {
+ public:
+  /// Returns the cached value for `key`, or runs `compute` (outside any
+  /// shard lock) and caches its result. Counts one hit or one miss per
+  /// call; a call that waited on another thread's computation counts as a
+  /// hit once the value is ready.
+  Result<double> GetOrCompute(const std::vector<int>& key,
+                              const std::function<Result<double>()>& compute);
+
+  size_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  size_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Entry {
+    enum class State { kComputing, kReady, kFailed };
+    State state = State::kComputing;
+    double value = 0;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::map<std::vector<int>, std::shared_ptr<Entry>> entries;
+  };
+
+  static constexpr size_t kShardCount = 16;
+
+  Shard& ShardFor(const std::vector<int>& key);
+
+  std::array<Shard, kShardCount> shards_;
+  std::atomic<size_t> hits_{0};
+  std::atomic<size_t> misses_{0};
+};
 
 /// Evaluates configuration benefits against a scratch what-if catalog.
 class BenefitEvaluator {
  public:
-  /// Behavioural switches (ablations).
+  /// Behavioural switches (ablations) and execution mode.
   struct Options {
     /// §VI-C sub-configuration decomposition and caching.
     bool use_subconfigurations = true;
@@ -45,6 +107,13 @@ class BenefitEvaluator {
     bool use_affected_sets = true;
     /// Charge index maintenance costs for update statements (§III).
     bool charge_maintenance = true;
+    /// Worker pool for parallel what-if evaluation (not owned; may be
+    /// null). With more than one pool thread the evaluator runs in
+    /// parallel mode — see the header comment; results are bit-identical
+    /// to serial. In parallel mode ConfigurationBenefit may also be
+    /// called from multiple threads concurrently (the search layer batches
+    /// probes onto the same pool).
+    util::ThreadPool* pool = nullptr;
   };
 
   /// `catalog` must be a scratch catalog reserved for the evaluator: its
@@ -62,8 +131,20 @@ class BenefitEvaluator {
   /// Total workload cost with no indexes: sum_s freq_s * s_old.
   double base_workload_cost() const { return base_workload_cost_; }
 
-  /// Benefit of a configuration of candidate ids (§III formula).
+  /// Benefit of a configuration of candidate ids (§III formula). The ids
+  /// are canonicalized (sorted, deduplicated) before the cache lookup, so
+  /// permuted or duplicated ids cannot cause spurious misses or duplicate
+  /// what-if calls.
   Result<double> ConfigurationBenefit(const std::vector<int>& config);
+
+  /// Deadline/cancel-aware variant: the interrupt is polled per statement
+  /// *inside* each sub-configuration evaluation, so an expiry stops an
+  /// in-flight evaluation promptly. Returns kDeadlineExceeded/kCancelled
+  /// on a trip; the interrupted sub-configuration is not cached (a later
+  /// deadline-free call recomputes it cleanly).
+  Result<double> ConfigurationBenefit(const std::vector<int>& config,
+                                      const fault::Deadline& deadline,
+                                      const fault::CancelToken* cancel);
 
   /// Workload cost under the configuration
   /// (= base_workload_cost - ConfigurationBenefit).
@@ -72,17 +153,49 @@ class BenefitEvaluator {
   /// Estimated speedup of the configuration on this workload.
   Result<double> ConfigurationSpeedup(const std::vector<int>& config);
 
-  /// Evaluate-mode optimizer calls issued so far (for Fig. 3 / §VI-C
-  /// accounting).
-  uint64_t optimizer_calls() const { return optimizer_.optimize_calls(); }
+  /// Evaluate-mode optimizer calls issued so far, summed over the main
+  /// optimizer and every scratch-context optimizer (each counter is an
+  /// atomic, so the sum is exact once parallel work has been joined).
+  uint64_t optimizer_calls() const;
 
   /// Cache statistics.
-  size_t cache_hits() const { return cache_hits_; }
-  size_t cache_misses() const { return cache_misses_; }
+  size_t cache_hits() const { return cache_.hits(); }
+  size_t cache_misses() const { return cache_.misses(); }
 
  private:
-  /// Query-side benefit of one sub-configuration (no maintenance).
-  Result<double> SubConfigurationQueryBenefit(const std::vector<int>& sub);
+  /// A leased what-if planning context: one scratch catalog + optimizer
+  /// per concurrently in-flight evaluation, so parallel probes never
+  /// share a catalog.
+  struct WorkerContext {
+    WorkerContext(storage::DocumentStore* store,
+                  const storage::StatisticsCatalog* statistics,
+                  const storage::CostConstants& cc)
+        : catalog(store, statistics, cc),
+          optimizer(store, &catalog, statistics) {}
+    storage::Catalog catalog;
+    optimizer::Optimizer optimizer;
+  };
+  class ContextLease;
+
+  bool parallel() const {
+    return options_.pool != nullptr && options_.pool->thread_count() > 1;
+  }
+
+  WorkerContext* AcquireContext();
+  void ReleaseContext(WorkerContext* context);
+
+  /// Query-side benefit of one sub-configuration (no maintenance),
+  /// memoized through cache_.
+  Result<double> SubConfigurationQueryBenefit(const std::vector<int>& sub,
+                                              const fault::Deadline& deadline,
+                                              const fault::CancelToken* cancel);
+
+  /// The actual what-if evaluation against `catalog`/`optimizer` (either
+  /// the evaluator's own or a leased worker context's).
+  Result<double> ComputeSubConfigurationBenefit(
+      const std::vector<int>& sub, storage::Catalog* catalog,
+      const optimizer::Optimizer& optimizer, const fault::Deadline& deadline,
+      const fault::CancelToken* cancel);
 
   /// Splits a configuration into sub-configurations whose affected sets
   /// overlap (union-find, §VI-C).
@@ -101,9 +214,15 @@ class BenefitEvaluator {
   double base_workload_cost_ = 0;
   bool initialized_ = false;
 
-  std::map<std::vector<int>, double> cache_;
-  size_t cache_hits_ = 0;
-  size_t cache_misses_ = 0;
+  BenefitCache cache_;
+
+  // Scratch contexts (parallel mode only): created up front, leased
+  // through a mutex-guarded freelist. contexts_ itself is immutable after
+  // construction so optimizer_calls() can walk it lock-free.
+  std::vector<std::unique_ptr<WorkerContext>> contexts_;
+  std::mutex contexts_mu_;
+  std::condition_variable contexts_cv_;
+  std::vector<WorkerContext*> free_contexts_;
 };
 
 }  // namespace xia::advisor

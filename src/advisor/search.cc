@@ -1,6 +1,7 @@
 #include "advisor/search.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <set>
@@ -18,6 +19,65 @@ constexpr double kEps = 1e-9;
 bool Interrupted(const SearchOptions& options) {
   if (options.cancel != nullptr && options.cancel->cancelled()) return true;
   return options.deadline.expired();
+}
+
+bool IsInterrupt(const Status& status) {
+  return status.code() == StatusCode::kDeadlineExceeded ||
+         status.code() == StatusCode::kCancelled;
+}
+
+// Evaluates a batch of independent configurations, farming them to the
+// pool when SearchOptions carries one. Deadline/cancel trips — whether
+// between probes or, via the evaluator's granular polling, inside one —
+// set *partial and leave the affected slots at zero, matching the serial
+// best-so-far contract; real errors propagate. Each probe is memoized
+// independently by the evaluator, so parallel and serial batches produce
+// identical values and identical cache-miss sets.
+Result<std::vector<double>> BatchBenefits(
+    const std::vector<std::vector<int>>& configs, BenefitEvaluator* evaluator,
+    const SearchOptions& options, bool* partial) {
+  std::vector<double> values(configs.size(), 0.0);
+  if (options.pool != nullptr && options.pool->thread_count() > 1 &&
+      configs.size() > 1) {
+    std::atomic<bool> tripped{false};
+    bool skipped = false;
+    XIA_RETURN_IF_ERROR(options.pool->ParallelFor(
+        configs.size(),
+        [&](size_t i) -> Status {
+          auto benefit = evaluator->ConfigurationBenefit(
+              configs[i], options.deadline, options.cancel);
+          if (!benefit.ok()) {
+            if (IsInterrupt(benefit.status())) {
+              tripped.store(true, std::memory_order_relaxed);
+              return Status::OK();
+            }
+            return benefit.status();
+          }
+          values[i] = *benefit;
+          return Status::OK();
+        },
+        options.deadline, options.cancel, &skipped));
+    if (tripped.load(std::memory_order_relaxed) || skipped) *partial = true;
+    return values;
+  }
+  for (size_t i = 0; i < configs.size(); ++i) {
+    if (Interrupted(options)) {
+      *partial = true;
+      break;
+    }
+    auto benefit = evaluator->ConfigurationBenefit(configs[i],
+                                                   options.deadline,
+                                                   options.cancel);
+    if (!benefit.ok()) {
+      if (IsInterrupt(benefit.status())) {
+        *partial = true;
+        break;
+      }
+      return benefit.status();
+    }
+    values[i] = *benefit;
+  }
+  return values;
 }
 
 double TotalSize(const CandidateSet& set, const std::vector<int>& config) {
@@ -52,24 +112,19 @@ Result<SearchOutcome> Finalize(const CandidateSet& set,
   return out;
 }
 
-// Standalone benefit of every candidate (one evaluator probe each). On
-// interrupt, the remaining candidates keep a benefit of zero and *partial
-// is set — callers still get a usable (if conservative) value vector.
+// Standalone benefit of every candidate (one evaluator probe each,
+// batched onto the pool when present). On interrupt, the remaining
+// candidates keep a benefit of zero and *partial is set — callers still
+// get a usable (if conservative) value vector.
 Result<std::vector<double>> StandaloneBenefits(const CandidateSet& set,
                                                BenefitEvaluator* evaluator,
                                                const SearchOptions& options,
                                                bool* partial) {
-  std::vector<double> benefits(set.size(), 0.0);
+  std::vector<std::vector<int>> configs(set.size());
   for (size_t i = 0; i < set.size(); ++i) {
-    if (Interrupted(options)) {
-      *partial = true;
-      break;
-    }
-    XIA_ASSIGN_OR_RETURN(
-        benefits[i],
-        evaluator->ConfigurationBenefit({static_cast<int>(i)}));
+    configs[i] = {static_cast<int>(i)};
   }
-  return benefits;
+  return BatchBenefits(configs, evaluator, options, partial);
 }
 
 // Greedy knapsack on precomputed per-candidate values.
@@ -126,16 +181,27 @@ Result<SearchOutcome> RunGreedyWithHeuristics(const CandidateSet& set,
   double current_benefit = 0;
   bool partial = false;
 
-  for (;;) {
-    int best_id = -1;
-    double best_benefit = current_benefit;
-    double best_density = 0;
+  // One extension probe surviving the cheap admission filters; its costly
+  // whole-configuration benefits live at value_index (and, for general
+  // candidates, children_index) in the batch below.
+  struct Probe {
+    int id = -1;
+    bool general = false;
+    size_t value_index = 0;
+    size_t children_index = 0;
+  };
 
-    for (size_t i = 0; i < set.size() && !partial; ++i) {
-      if (Interrupted(options)) {
-        partial = true;
-        break;
-      }
+  for (;;) {
+    if (Interrupted(options)) {
+      partial = true;
+      break;
+    }
+
+    // First pass (serial, cheap): admission filters that need no
+    // optimizer call decide which extension probes are worth costing.
+    std::vector<Probe> probes;
+    std::vector<std::vector<int>> probe_configs;
+    for (size_t i = 0; i < set.size(); ++i) {
       const Candidate& cand = set[i];
       const int id = static_cast<int>(i);
       if (std::find(config.begin(), config.end(), id) != config.end()) {
@@ -165,42 +231,69 @@ Result<SearchOutcome> RunGreedyWithHeuristics(const CandidateSet& set,
         }
         if (size > (1.0 + options.beta) * children_size) continue;
 
-        // Benefit admission: IB(x_g) >= IB(x_1..x_n).
+        Probe probe;
+        probe.id = id;
+        probe.general = true;
         std::vector<int> with_general = config;
         with_general.push_back(id);
-        XIA_ASSIGN_OR_RETURN(const double ib_general,
-                             evaluator->ConfigurationBenefit(with_general));
+        probe.value_index = probe_configs.size();
+        probe_configs.push_back(std::move(with_general));
         std::vector<int> with_children = config;
         for (int b : cand.covered_basics) with_children.push_back(b);
-        std::sort(with_children.begin(), with_children.end());
-        with_children.erase(
-            std::unique(with_children.begin(), with_children.end()),
-            with_children.end());
-        XIA_ASSIGN_OR_RETURN(const double ib_children,
-                             evaluator->ConfigurationBenefit(with_children));
-        if (ib_general + kEps < ib_children) continue;
+        probe.children_index = probe_configs.size();
+        probe_configs.push_back(std::move(with_children));
+        probes.push_back(probe);
+      } else {
+        Probe probe;
+        probe.id = id;
+        std::vector<int> with_candidate = config;
+        with_candidate.push_back(id);
+        probe.value_index = probe_configs.size();
+        probe_configs.push_back(std::move(with_candidate));
+        probes.push_back(probe);
+      }
+    }
+    if (probes.empty()) break;
 
+    // Second pass: cost every surviving probe (batched onto the pool).
+    XIA_ASSIGN_OR_RETURN(
+        const std::vector<double> values,
+        BatchBenefits(probe_configs, evaluator, options, &partial));
+    // An interrupted sweep is discarded wholesale, exactly as the serial
+    // loop abandons its current sweep on a mid-sweep deadline.
+    if (partial) break;
+
+    // Third pass (serial, deterministic): benefit admission and density
+    // selection over the precomputed values, in candidate order.
+    int best_id = -1;
+    double best_benefit = current_benefit;
+    double best_density = 0;
+    for (const Probe& probe : probes) {
+      const double size =
+          static_cast<double>(set[static_cast<size_t>(probe.id)].size_bytes());
+      if (probe.general) {
+        // Benefit admission: IB(x_g) >= IB(x_1..x_n).
+        const double ib_general = values[probe.value_index];
+        const double ib_children = values[probe.children_index];
+        if (ib_general + kEps < ib_children) continue;
         const double density = (ib_general - current_benefit) / size;
         if (ib_general > current_benefit + kEps && density > best_density) {
-          best_id = id;
+          best_id = probe.id;
           best_benefit = ib_general;
           best_density = density;
         }
       } else {
-        std::vector<int> with_candidate = config;
-        with_candidate.push_back(id);
-        XIA_ASSIGN_OR_RETURN(const double ib,
-                             evaluator->ConfigurationBenefit(with_candidate));
+        const double ib = values[probe.value_index];
         const double density = (ib - current_benefit) / std::max(1.0, size);
         if (ib > current_benefit + kEps && density > best_density) {
-          best_id = id;
+          best_id = probe.id;
           best_benefit = ib;
           best_density = density;
         }
       }
     }
 
-    if (partial || best_id < 0) break;
+    if (best_id < 0) break;
     config.push_back(best_id);
     used += static_cast<double>(set[static_cast<size_t>(best_id)].size_bytes());
     current_benefit = best_benefit;
@@ -263,11 +356,17 @@ Result<SearchOutcome> RunTopDown(const CandidateSet& set,
       return Finalize(set, std::move(picked), evaluator, partial);
     }
     // Choose the replaceable general index with the smallest dB/dC.
-    int best = -1;
-    double best_ratio = std::numeric_limits<double>::infinity();
-    double best_dc = -1;
-    std::vector<int> best_children;
-
+    // First pass (serial, cheap): the size screen; it also collects the
+    // costly dB probes of the full-interaction mode for one batch.
+    struct Replacement {
+      int id = -1;
+      double dc = 0;
+      std::vector<int> incoming;
+      size_t with_g_index = 0;
+      size_t with_children_index = 0;
+    };
+    std::vector<Replacement> replacements;
+    std::vector<std::vector<int>> probe_configs;
     for (int id : config_set) {
       const Candidate& cand = set[static_cast<size_t>(id)];
       if (cand.children.empty()) continue;
@@ -285,35 +384,63 @@ Result<SearchOutcome> RunTopDown(const CandidateSet& set,
           static_cast<double>(cand.size_bytes()) - children_size;
       if (dc <= 0) continue;  // replacement must shrink the configuration
 
-      double db = 0;
+      Replacement repl;
+      repl.id = id;
+      repl.dc = dc;
       if (full_interaction) {
         // dB = Benefit(base + g) - Benefit(base + children).
         std::vector<int> base(config_set.begin(), config_set.end());
         base.erase(std::remove(base.begin(), base.end(), id), base.end());
         std::vector<int> with_g = base;
         with_g.push_back(id);
-        XIA_ASSIGN_OR_RETURN(const double b_g,
-                             evaluator->ConfigurationBenefit(with_g));
+        repl.with_g_index = probe_configs.size();
+        probe_configs.push_back(std::move(with_g));
         std::vector<int> with_children = base;
         with_children.insert(with_children.end(), incoming.begin(),
                              incoming.end());
-        XIA_ASSIGN_OR_RETURN(const double b_c,
-                             evaluator->ConfigurationBenefit(with_children));
-        db = b_g - b_c;
+        repl.with_children_index = probe_configs.size();
+        probe_configs.push_back(std::move(with_children));
+      }
+      repl.incoming = std::move(incoming);
+      replacements.push_back(std::move(repl));
+    }
+
+    // Second pass: cost the dB probes (batched onto the pool). On an
+    // interrupt the step is abandoned; the while-top then trims the
+    // working set greedily and reports best-so-far.
+    std::vector<double> probe_values;
+    if (full_interaction && !replacements.empty()) {
+      XIA_ASSIGN_OR_RETURN(
+          probe_values,
+          BatchBenefits(probe_configs, evaluator, options, &partial));
+      if (partial) continue;
+    }
+
+    // Third pass (serial, deterministic): smallest dB/dC over the
+    // precomputed values, in config_set (ascending id) order.
+    int best = -1;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    double best_dc = -1;
+    std::vector<int> best_children;
+    for (const Replacement& repl : replacements) {
+      double db = 0;
+      if (full_interaction) {
+        db = probe_values[repl.with_g_index] -
+             probe_values[repl.with_children_index];
       } else {
         double children_benefit = 0;
-        for (int c : incoming) {
+        for (int c : repl.incoming) {
           children_benefit += benefits[static_cast<size_t>(c)];
         }
-        db = benefits[static_cast<size_t>(id)] - children_benefit;
+        db = benefits[static_cast<size_t>(repl.id)] - children_benefit;
       }
-      const double ratio = db / dc;
+      const double ratio = db / repl.dc;
       if (ratio < best_ratio - kEps ||
-          (std::abs(ratio - best_ratio) <= kEps && dc > best_dc)) {
-        best = id;
+          (std::abs(ratio - best_ratio) <= kEps && repl.dc > best_dc)) {
+        best = repl.id;
         best_ratio = ratio;
-        best_dc = dc;
-        best_children = incoming;
+        best_dc = repl.dc;
+        best_children = repl.incoming;
       }
     }
 
@@ -393,14 +520,13 @@ Result<SearchOutcome> RunExhaustive(const CandidateSet& set,
         "%zu (2^n configurations)",
         n, options.exhaustive_limit));
   }
-  std::vector<int> best_config;
-  double best_benefit = 0;
-  bool partial = false;
+  // Enumerate the affordable subsets first (pure arithmetic), then cost
+  // them as one batch. The best pick scans the values in mask order with
+  // a strict comparison, so it matches the serial mask loop exactly; a
+  // subset the deadline cut off keeps a value of zero and can never
+  // displace an evaluated best.
+  std::vector<std::vector<int>> configs;
   for (uint64_t mask = 0; mask < (1ULL << n); ++mask) {
-    if (Interrupted(options)) {
-      partial = true;
-      break;
-    }
     std::vector<int> config;
     double size = 0;
     for (size_t i = 0; i < n; ++i) {
@@ -410,11 +536,17 @@ Result<SearchOutcome> RunExhaustive(const CandidateSet& set,
       }
     }
     if (size > options.disk_budget_bytes + kEps) continue;
-    XIA_ASSIGN_OR_RETURN(const double benefit,
-                         evaluator->ConfigurationBenefit(config));
-    if (benefit > best_benefit + kEps) {
-      best_benefit = benefit;
-      best_config = std::move(config);
+    configs.push_back(std::move(config));
+  }
+  bool partial = false;
+  XIA_ASSIGN_OR_RETURN(const std::vector<double> values,
+                       BatchBenefits(configs, evaluator, options, &partial));
+  std::vector<int> best_config;
+  double best_benefit = 0;
+  for (size_t i = 0; i < configs.size(); ++i) {
+    if (values[i] > best_benefit + kEps) {
+      best_benefit = values[i];
+      best_config = configs[i];
     }
   }
   return Finalize(set, std::move(best_config), evaluator, partial);

@@ -68,6 +68,7 @@ inline constexpr const char* kOnlineAdvise = "xia.fault.online.advise";
 inline constexpr const char* kWalAppend = "xia.fault.wal.append";
 inline constexpr const char* kWalFsync = "xia.fault.wal.fsync";
 inline constexpr const char* kWalReplay = "xia.fault.wal.replay";
+inline constexpr const char* kPoolSubmit = "xia.fault.pool.submit";
 }  // namespace points
 
 /// Every canonical point, for matrix-style iteration.
@@ -80,6 +81,7 @@ inline constexpr const char* kAllPoints[] = {
     points::kAdvisorBenefit,   points::kAdvisorSearch,
     points::kOnlineAdvise,     points::kWalAppend,
     points::kWalFsync,         points::kWalReplay,
+    points::kPoolSubmit,
 };
 
 /// How an armed point decides to fire.

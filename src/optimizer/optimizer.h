@@ -12,6 +12,16 @@
 //
 // Optimizer calls are counted so experiments can measure the §VI-C call
 // reduction.
+//
+// Thread affinity: an Optimizer instance is immutable after construction —
+// the planning entry points (Optimize, OptimizeWithoutIndexes,
+// EnumerateIndexes, MaintenanceCost) are const, never mutate the catalog,
+// and record calls through an atomic obs::Counter. Concurrent planning is
+// therefore safe as long as each thread either shares a catalog that is
+// not concurrently mutated or (as the parallel advisor does) owns a
+// private scratch catalog per worker. Virtual-index what-if mutations go
+// through storage::Catalog, so "one catalog + one optimizer per worker" is
+// the unit of isolation (DESIGN §12).
 
 #ifndef XIA_OPTIMIZER_OPTIMIZER_H_
 #define XIA_OPTIMIZER_OPTIMIZER_H_

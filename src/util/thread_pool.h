@@ -1,0 +1,89 @@
+// xia::util::ThreadPool — a fixed-size worker pool for the parallel
+// what-if advising path (DESIGN §12).
+//
+// The pool owns `threads` std::threads pulling std::function tasks off a
+// single queue. Two entry points:
+//
+//  * Submit(task)      — fire-and-forget enqueue. Carries the
+//    xia.fault.pool.submit injection point so the fault matrix can prove
+//    a failed dispatch surfaces as a clean Status.
+//  * ParallelFor(n, body) — runs body(0..n-1) across the workers and
+//    blocks until every dispatched item finished. Items are handed out
+//    through an atomic counter in ascending index order; on a body error
+//    the batch stops pulling new items and the error with the smallest
+//    index is returned (matching what a serial in-order loop would have
+//    reported). The deadline-aware overload stops dispatching the moment
+//    the deadline/cancel trips and reports the cut through *interrupted
+//    instead of an error, so callers can degrade to best-so-far.
+//
+// Nested use is safe by construction: ParallelFor called from inside a
+// pool worker (OnWorkerThread()) runs the body inline and serially —
+// submitting from a worker and waiting would deadlock a fixed-size pool.
+// Callers that need deterministic results keep the rule used throughout
+// the advisor: workers write into disjoint, pre-sized slots and the
+// caller reduces serially in index order afterwards.
+
+#ifndef XIA_UTIL_THREAD_POOL_H_
+#define XIA_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "fault/deadline.h"
+#include "util/status.h"
+
+namespace xia::util {
+
+class ThreadPool {
+ public:
+  /// Spawns max(1, threads) workers.
+  explicit ThreadPool(size_t threads);
+  /// Drains the queue (pending tasks still run) and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t thread_count() const { return threads_.size(); }
+
+  /// One worker per hardware thread (>= 1 even when the runtime cannot
+  /// tell). What `--threads 0` resolves to in the CLI tools.
+  static size_t DefaultThreadCount();
+
+  /// True on a thread owned by any ThreadPool. Used to run nested
+  /// parallel sections inline instead of deadlocking on the queue.
+  static bool OnWorkerThread();
+
+  /// Enqueues a task. Fails only on injected faults or shutdown.
+  Status Submit(std::function<void()> task);
+
+  /// Runs body(0..n-1) to completion; see the header comment for error
+  /// and ordering semantics. Runs inline (serially, in index order) when
+  /// the pool has one thread, n < 2, or the caller is a pool worker.
+  Status ParallelFor(size_t n, const std::function<Status(size_t)>& body);
+
+  /// Deadline/cancel-aware variant: the interrupt is polled before every
+  /// item dispatch, skipped items are reported through *interrupted
+  /// (never an error), and `body` is not called for them.
+  Status ParallelFor(size_t n, const std::function<Status(size_t)>& body,
+                     const fault::Deadline& deadline,
+                     const fault::CancelToken* cancel, bool* interrupted);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+}  // namespace xia::util
+
+#endif  // XIA_UTIL_THREAD_POOL_H_

@@ -25,8 +25,18 @@
 //                   around store mutations (load / insert / delete /
 //                   update / index DDL), which is what makes online
 //                   advising safe next to a live write path.
-//   3. capture mutex — internal to WorkloadCapture (leaf).
+//   3. leaf mutexes — internal to WorkloadCapture, and (when advising
+//      runs parallel) internal to the shared util::ThreadPool, the
+//      BenefitEvaluator's cache shards and its worker-context freelist.
+//      All of these are acquired and released inside a single Recommend
+//      pass below db_mutex and never call back out, so they stay leaves.
 // Start()/Stop() are main-thread operations; Stop() joins.
+//
+// Parallel advising: when AdvisorOptions::threads asks for more than one
+// worker and no external pool is supplied, the constructor spins up one
+// pool shared by every advise pass (instead of a per-pass pool, whose
+// thread spawn/join would dominate short passes). Results are identical
+// to serial passes (DESIGN §12).
 
 #ifndef XIA_WORKLOAD_ONLINE_ADVISOR_H_
 #define XIA_WORKLOAD_ONLINE_ADVISOR_H_
@@ -38,10 +48,13 @@
 #include <string>
 #include <thread>
 
+#include <memory>
+
 #include "advisor/advisor.h"
 #include "engine/query.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 #include "workload/capture.h"
 #include "workload/templatizer.h"
 
@@ -157,7 +170,12 @@ class OnlineAdvisor {
 
   WorkloadCapture* const capture_;
   advisor::IndexAdvisor* const advisor_;
-  const OnlineAdvisorOptions options_;
+  /// Non-const so the constructor can point options_.advisor.pool at
+  /// pool_; immutable afterwards.
+  OnlineAdvisorOptions options_;
+  /// Worker pool shared across advise passes; null when advising is
+  /// serial or the caller supplied an external pool.
+  std::unique_ptr<util::ThreadPool> pool_;
   std::mutex* const db_mutex_;
 
   mutable std::mutex mu_;

@@ -375,6 +375,70 @@ TEST_F(DeadlinePipelineTest, CancelledRunYieldsPartialRecommendation) {
   EXPECT_TRUE(rec->partial);
 }
 
+TEST_F(DeadlinePipelineTest, GranularPollingInsideBenefitEvaluation) {
+  // The deadline-aware ConfigurationBenefit polls per statement *inside*
+  // a sub-configuration evaluation, and an interrupted evaluation must
+  // not poison the cache: a later deadline-free call recomputes cleanly.
+  advisor::IndexAdvisor advisor(&store_, &stats_);
+  auto set = advisor.BuildCandidates(MakeWorkload(), /*generalize=*/false);
+  ASSERT_TRUE(set.ok()) << set.status();
+  ASSERT_GE(set->basic_count, 1u);
+
+  const engine::Workload workload = MakeWorkload();
+  storage::Catalog whatif(&store_, &stats_);
+  advisor::BenefitEvaluator evaluator(&workload, &*set, &whatif, &stats_,
+                                      &store_,
+                                      advisor::BenefitEvaluator::Options{});
+  ASSERT_TRUE(evaluator.Initialize().ok());
+
+  const std::vector<int> config = {0};
+  auto interrupted = evaluator.ConfigurationBenefit(
+      config, Deadline::AfterMillis(0), nullptr);
+  ASSERT_FALSE(interrupted.ok());
+  EXPECT_EQ(interrupted.status().code(), StatusCode::kDeadlineExceeded);
+
+  CancelToken token;
+  token.Cancel();
+  auto cancelled = evaluator.ConfigurationBenefit(config, Deadline(), &token);
+  ASSERT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.status().code(), StatusCode::kCancelled);
+
+  // Nothing was cached for the interrupted evaluations.
+  auto clean = evaluator.ConfigurationBenefit(config);
+  ASSERT_TRUE(clean.ok()) << clean.status();
+  auto again = evaluator.ConfigurationBenefit(config);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*clean, *again);
+}
+
+TEST_F(DeadlinePipelineTest, ParallelRunHonoursBoundedOverrun) {
+  // Pooled work items poll the deadline at statement granularity, so the
+  // overrun of a tiny budget stays bounded by one unit of work — the run
+  // completes quickly (well under the tier-1 timeout) with partial set,
+  // instead of finishing the whole batch first.
+  advisor::IndexAdvisor advisor(&store_, &stats_);
+  advisor::AdvisorOptions options;
+  options.threads = 2;
+  options.budget_ms = 0.001;
+  auto rec = advisor.Recommend(MakeWorkload(), options);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  EXPECT_TRUE(rec->partial);
+  EXPECT_LT(rec->advisor_seconds, 2.0);
+
+  // And an unbounded parallel run matches the serial result exactly.
+  advisor::AdvisorOptions unbounded;
+  unbounded.threads = 2;
+  auto parallel = advisor.Recommend(MakeWorkload(), unbounded);
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+  advisor::AdvisorOptions serial;
+  auto reference = advisor.Recommend(MakeWorkload(), serial);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_FALSE(parallel->partial);
+  EXPECT_EQ(parallel->benefit, reference->benefit);
+  EXPECT_EQ(parallel->optimizer_calls, reference->optimizer_calls);
+  EXPECT_EQ(parallel->indexes.size(), reference->indexes.size());
+}
+
 TEST_F(DeadlinePipelineTest, PartialRecommendationIsStillValid) {
   // Every budget, however tight, must yield a structurally valid
   // recommendation: sizes within the disk budget, speedup >= 1.

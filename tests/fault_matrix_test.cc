@@ -85,6 +85,10 @@ Status RunPipeline() {
   advisor::IndexAdvisor advisor(&restored, &restored_stats);
   advisor::AdvisorOptions options;
   options.disk_budget_bytes = 1e6;
+  // Parallel advising so the pipeline crosses kPoolSubmit; results are
+  // identical to serial, and an armed submit fault must surface as a
+  // clean Status with no partially mutated store.
+  options.threads = 2;
   XIA_ASSIGN_OR_RETURN(advisor::Recommendation rec,
                        advisor.Recommend(loaded, options));
   storage::Catalog catalog(&restored, &restored_stats);

@@ -101,6 +101,10 @@ class Shell {
     return 0;
   }
 
+  /// Worker threads for advise / monitor passes (0 = one per hardware
+  /// thread, 1 = serial). Same recommendation at any setting.
+  void set_advise_threads(size_t threads) { advise_threads_ = threads; }
+
  private:
   static std::pair<std::string, std::string> SplitCommand(
       const std::string& line) {
@@ -568,6 +572,7 @@ class Shell {
     auto [algo_text, ms_text] = SplitCommand(tail);
     advisor::AdvisorOptions options;
     options.disk_budget_bytes = 10 * 1024.0 * 1024.0;
+    options.threads = advise_threads_;
     if (!budget_text.empty()) {
       double multiplier = 1;
       std::string num = budget_text;
@@ -636,6 +641,7 @@ class Shell {
       }
       workload::OnlineAdvisorOptions options;
       options.advisor.disk_budget_bytes = 10 * 1024.0 * 1024.0;
+      options.advisor.threads = advise_threads_;
       auto [min_text, interval_text] = SplitCommand(arg);
       double v = 0;
       if (!min_text.empty()) {
@@ -814,6 +820,7 @@ class Shell {
   std::unique_ptr<workload::OnlineAdvisor> monitor_;
   std::unique_ptr<wal::WalManager> wal_;
   bool trace_ = false;
+  size_t advise_threads_ = 0;
 };
 
 }  // namespace
@@ -826,6 +833,7 @@ int main(int argc, char** argv) {
   std::string script;
   std::string data_dir;
   std::string fsync_policy;
+  size_t threads = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool has_value = i + 1 < argc;
@@ -835,14 +843,27 @@ int main(int argc, char** argv) {
       data_dir = argv[++i];
     } else if (arg == "--fsync" && has_value) {
       fsync_policy = argv[++i];
+    } else if ((arg == "--threads" || arg == "-j") && has_value) {
+      double v = 0;
+      if (!ParseDouble(argv[++i], &v) || v < 0 ||
+          v != static_cast<double>(static_cast<size_t>(v))) {
+        std::fprintf(stderr, "bad --threads value: %s\n", argv[i]);
+        return 2;
+      }
+      threads = static_cast<size_t>(v);
     } else {
       std::fprintf(stderr,
                    "usage: xia_shell [--script FILE] [--data-dir DIR]"
-                   " [--fsync always|interval|off]\n");
+                   " [--fsync always|interval|off] [--threads N | -j N]\n"
+                   "  --threads/-j: worker threads for advise / monitor"
+                   " passes\n"
+                   "                (0 = one per hardware thread, 1 ="
+                   " serial)\n");
       return 2;
     }
   }
   Shell shell;
+  shell.set_advise_threads(threads);
   if (!data_dir.empty()) {
     // Recovery failures exit with the status-derived code: salvaged torn
     // tails are OK (exit 0 later), real corruption is kDataLoss (exit 22).
