@@ -135,6 +135,13 @@ class BenchJsonWriter {
   /// reproducible on other machines.
   void set_threads(size_t threads) { threads_ = threads; }
 
+  /// Records one structured result row (a JSON object literal) into the
+  /// "results" array — the bench's headline numbers (qps, percentiles,
+  /// speedups), readable without digging through the metrics snapshot.
+  void AddResult(const std::string& json_object) {
+    results_.push_back(json_object);
+  }
+
   /// Records a named checkpoint: elapsed seconds plus the metric values at
   /// this point, so post-processing can plot counter trajectories.
   void Checkpoint(const std::string& label) {
@@ -160,6 +167,11 @@ class BenchJsonWriter {
     out << StringPrintf(
         "  \"hardware_concurrency\": %u,\n",
         std::thread::hardware_concurrency());
+    out << "  \"results\": [";
+    for (size_t i = 0; i < results_.size(); ++i) {
+      out << (i == 0 ? "\n    " : ",\n    ") << results_[i];
+    }
+    out << (results_.empty() ? "],\n" : "\n  ],\n");
     out << "  \"checkpoints\": [";
     for (size_t i = 0; i < checkpoints_.size(); ++i) {
       out << (i == 0 ? "\n    " : ",\n    ") << checkpoints_[i];
@@ -173,6 +185,7 @@ class BenchJsonWriter {
  private:
   std::string name_;
   Stopwatch timer_;
+  std::vector<std::string> results_;
   std::vector<std::string> checkpoints_;
   size_t threads_ = 1;
   bool written_ = false;

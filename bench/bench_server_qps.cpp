@@ -1,0 +1,124 @@
+// bench_server_qps: throughput and latency of the xia_server front door.
+//
+// Starts an in-process net::Server over the standard TPoX bench database
+// and drives it over real loopback TCP at 1/8/32/64 concurrent
+// connections, each sending point queries as fast as the server answers.
+// Reports aggregate qps plus p50/p95/p99 request latency per connection
+// count — the scaling curve of the shared-lock read path — into
+// BENCH_server_qps.json ("results" rows) for post-processing.
+
+#include <algorithm>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "net/client.h"
+#include "net/server.h"
+
+namespace xia {
+namespace {
+
+constexpr const char* kPointQuery =
+    "for $s in c('SDOC')/Security where $s/Symbol = \"SYM000017\" return $s";
+constexpr size_t kRequestsPerConnection = 200;
+
+struct LoadResult {
+  size_t requests = 0;
+  double seconds = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  double qps() const { return seconds > 0 ? requests / seconds : 0; }
+};
+
+LoadResult RunLoad(const net::Server& server, size_t connections) {
+  std::mutex mu;
+  std::vector<double> latencies;
+  latencies.reserve(connections * kRequestsPerConnection);
+
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  for (size_t c = 0; c < connections; ++c) {
+    threads.emplace_back([&server, &mu, &latencies] {
+      net::Client client;
+      if (!client.Connect(server.host(), server.port()).ok()) return;
+      net::QueryRequest request;
+      request.statement = kPointQuery;
+      std::vector<double> local;
+      local.reserve(kRequestsPerConnection);
+      for (size_t r = 0; r < kRequestsPerConnection; ++r) {
+        Stopwatch timer;
+        if (!client.Query(request).ok()) break;
+        local.push_back(timer.ElapsedSeconds());
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      latencies.insert(latencies.end(), local.begin(), local.end());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  LoadResult result;
+  result.seconds = wall.ElapsedSeconds();
+  result.requests = latencies.size();
+  std::sort(latencies.begin(), latencies.end());
+  const auto pct = [&](size_t rank) {
+    return latencies.empty()
+               ? 0.0
+               : latencies[std::min(latencies.size() - 1, rank)] * 1e3;
+  };
+  result.p50_ms = pct(latencies.size() / 2);
+  result.p95_ms = pct(latencies.size() * 95 / 100);
+  result.p99_ms = pct(latencies.size() * 99 / 100);
+  return result;
+}
+
+}  // namespace
+}  // namespace xia
+
+int main() {
+  using namespace xia;  // NOLINT
+
+  bench::BenchJsonWriter json("server_qps");
+  json.set_threads(std::thread::hardware_concurrency());
+
+  net::ServerOptions options;
+  options.demo = "tpox";
+  options.demo_tpox_scale = tpox::TpoxScale{800, 1200, 300, 42};
+  options.max_connections = 128;
+  net::Server server(options);
+  if (Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("server on %s:%u, %zu point-query requests per connection\n",
+              server.host().c_str(), server.port(), kRequestsPerConnection);
+  std::printf("%6s %10s %10s %10s %10s %10s\n", "conns", "requests", "qps",
+              "p50 ms", "p95 ms", "p99 ms");
+
+  for (const size_t connections : {1, 8, 32, 64}) {
+    // Warm up the connection path so accept/TLB costs don't skew conns=1.
+    (void)RunLoad(server, std::min<size_t>(connections, 4));
+    const LoadResult result = RunLoad(server, connections);
+    const bool complete =
+        result.requests == connections * kRequestsPerConnection;
+    std::printf("%6zu %10zu %10.0f %10.3f %10.3f %10.3f%s\n", connections,
+                result.requests, result.qps(), result.p50_ms, result.p95_ms,
+                result.p99_ms, complete ? "" : "  [INCOMPLETE]");
+    json.AddResult(StringPrintf(
+        "{\"connections\": %zu, \"requests\": %zu, \"qps\": %.1f, "
+        "\"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f, "
+        "\"complete\": %s}",
+        connections, result.requests, result.qps(), result.p50_ms,
+        result.p95_ms, result.p99_ms, complete ? "true" : "false"));
+    json.Checkpoint("conns_" + std::to_string(connections));
+  }
+
+  if (Status s = server.Stop(); !s.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  json.Write();
+  return 0;
+}

@@ -69,6 +69,9 @@ inline constexpr const char* kWalAppend = "xia.fault.wal.append";
 inline constexpr const char* kWalFsync = "xia.fault.wal.fsync";
 inline constexpr const char* kWalReplay = "xia.fault.wal.replay";
 inline constexpr const char* kPoolSubmit = "xia.fault.pool.submit";
+inline constexpr const char* kNetAccept = "xia.fault.net.accept";
+inline constexpr const char* kNetRead = "xia.fault.net.read";
+inline constexpr const char* kNetWrite = "xia.fault.net.write";
 }  // namespace points
 
 /// Every canonical point, for matrix-style iteration.
@@ -81,7 +84,8 @@ inline constexpr const char* kAllPoints[] = {
     points::kAdvisorBenefit,   points::kAdvisorSearch,
     points::kOnlineAdvise,     points::kWalAppend,
     points::kWalFsync,         points::kWalReplay,
-    points::kPoolSubmit,
+    points::kPoolSubmit,       points::kNetAccept,
+    points::kNetRead,          points::kNetWrite,
 };
 
 /// How an armed point decides to fire.

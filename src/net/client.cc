@@ -1,0 +1,92 @@
+#include "net/client.h"
+
+#include <utility>
+
+namespace xia::net {
+
+Status Client::Connect(const std::string& host, uint16_t port,
+                       double timeout_s) {
+  if (socket_.valid()) return Status::FailedPrecondition("already connected");
+  XIA_ASSIGN_OR_RETURN(socket_, ConnectTcp(host, port, timeout_s));
+  reader_ = FrameReader();
+  return Status::OK();
+}
+
+void Client::Close() { socket_.Close(); }
+
+Result<Frame> Client::ReadFrame() {
+  char buf[16 * 1024];
+  for (;;) {
+    Frame frame;
+    std::string parse_error;
+    const FrameReader::Next next = reader_.Poll(&frame, &parse_error);
+    if (next == FrameReader::Next::kFrame) return frame;
+    if (next == FrameReader::Next::kBad) {
+      return Status::ParseError("corrupt response frame: " + parse_error);
+    }
+    XIA_ASSIGN_OR_RETURN(const size_t got, socket_.Recv(buf, sizeof(buf)));
+    if (got == 0) return Status::Unavailable("server closed connection");
+    reader_.Feed(std::string_view(buf, got));
+  }
+}
+
+Result<std::string> Client::Call(MsgType type, std::string payload) {
+  if (!socket_.valid()) return Status::FailedPrecondition("not connected");
+  const uint64_t id = next_request_id_++;
+  XIA_RETURN_IF_ERROR(
+      socket_.SendAll(EncodeFrame(type, id, std::move(payload))));
+  XIA_ASSIGN_OR_RETURN(const Frame frame, ReadFrame());
+  // request_id 0 marks a session-level error (rejected connection,
+  // protocol failure) that is not tied to our request but ends it anyway.
+  if (frame.request_id != id && frame.request_id != 0) {
+    return Status::Internal("response for wrong request id");
+  }
+  if (frame.type == MsgType::kError) {
+    XIA_ASSIGN_OR_RETURN(const ErrorReply error,
+                         DecodeErrorReply(frame.payload));
+    return ErrorReplyToStatus(error);
+  }
+  if (frame.type != MsgType::kReply) {
+    return Status::Internal("unexpected response frame type");
+  }
+  return frame.payload;
+}
+
+Result<std::string> Client::Ping(const std::string& token) {
+  return Call(MsgType::kPing, token);
+}
+
+Result<ExecReply> Client::Query(const QueryRequest& request) {
+  XIA_ASSIGN_OR_RETURN(const std::string payload,
+                       Call(MsgType::kQuery, EncodeQueryRequest(request)));
+  return DecodeExecReply(payload);
+}
+
+Result<ExecReply> Client::Mutate(const MutationRequest& request) {
+  XIA_ASSIGN_OR_RETURN(
+      const std::string payload,
+      Call(MsgType::kMutation, EncodeMutationRequest(request)));
+  return DecodeExecReply(payload);
+}
+
+Result<AdviseReply> Client::Advise(const AdviseRequest& request) {
+  XIA_ASSIGN_OR_RETURN(const std::string payload,
+                       Call(MsgType::kAdvise, EncodeAdviseRequest(request)));
+  return DecodeAdviseReply(payload);
+}
+
+Result<TextReply> Client::Explain(const ExplainRequest& request) {
+  XIA_ASSIGN_OR_RETURN(const std::string payload,
+                       Call(MsgType::kExplain, EncodeExplainRequest(request)));
+  return DecodeTextReply(payload);
+}
+
+Result<TextReply> Client::Metrics(MetricsFormat format) {
+  MetricsRequest request;
+  request.format = format;
+  XIA_ASSIGN_OR_RETURN(const std::string payload,
+                       Call(MsgType::kMetrics, EncodeMetricsRequest(request)));
+  return DecodeTextReply(payload);
+}
+
+}  // namespace xia::net

@@ -1,0 +1,67 @@
+// xia::net::Client — a blocking, single-connection client for the framed
+// wire protocol. One request at a time per client (the protocol allows
+// pipelining, but every caller here is request/response); concurrency
+// comes from running many clients, which is exactly what the load driver
+// and bench_server_qps do.
+//
+// Error handling: a kError frame from the server is surfaced as the
+// Status it encodes (ErrorReplyToStatus), so a server-side
+// kDeadlineExceeded looks to callers exactly like a local one. Transport
+// failures (connection reset, unexpected EOF, protocol corruption) are
+// kUnavailable / kParseError.
+
+#ifndef XIA_NET_CLIENT_H_
+#define XIA_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "net/socket.h"
+#include "net/wire.h"
+#include "util/status.h"
+
+namespace xia::net {
+
+class Client {
+ public:
+  Client() = default;
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  Status Connect(const std::string& host, uint16_t port,
+                 double timeout_s = 5.0);
+  void Close();
+  bool connected() const { return socket_.valid(); }
+
+  /// Sends `token` and expects it echoed back. "sleep=MS" asks the
+  /// server to hold the request open that long (test/drain aid).
+  Result<std::string> Ping(const std::string& token = "ping");
+
+  Result<ExecReply> Query(const QueryRequest& request);
+  Result<ExecReply> Mutate(const MutationRequest& request);
+  Result<AdviseReply> Advise(const AdviseRequest& request);
+  Result<TextReply> Explain(const ExplainRequest& request);
+  Result<TextReply> Metrics(MetricsFormat format);
+
+  /// Escape hatch for tests: sends raw bytes as-is (no framing).
+  Status SendRaw(std::string_view bytes) { return socket_.SendAll(bytes); }
+
+  /// Escape hatch for tests: reads one frame (whatever it is).
+  Result<Frame> ReadFrame();
+
+ private:
+  /// Sends one request frame and returns the matching kReply frame's
+  /// payload; kError frames become their encoded Status.
+  Result<std::string> Call(MsgType type, std::string payload);
+
+  Socket socket_;
+  FrameReader reader_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace xia::net
+
+#endif  // XIA_NET_CLIENT_H_

@@ -1,0 +1,594 @@
+#include "net/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "advisor/advisor.h"
+#include "engine/query_parser.h"
+#include "obs/metrics.h"
+#include "optimizer/optimizer.h"
+#include "util/atomic_file.h"
+#include "util/stopwatch.h"
+#include "wal/writer.h"
+#include "workload/workload_io.h"
+
+namespace xia::net {
+
+namespace {
+
+constexpr size_t kRecvChunk = 64 * 1024;
+constexpr uint32_t kMaxRows = 10000;
+constexpr double kMaxPingSleepMs = 10000;
+
+Result<advisor::SearchAlgorithm> ParseAlgorithm(const std::string& name) {
+  if (name.empty() || name == "topdown-full") {
+    return advisor::SearchAlgorithm::kTopDownFull;
+  }
+  if (name == "greedy") return advisor::SearchAlgorithm::kGreedy;
+  if (name == "heuristics") {
+    return advisor::SearchAlgorithm::kGreedyWithHeuristics;
+  }
+  if (name == "topdown-lite") return advisor::SearchAlgorithm::kTopDownLite;
+  if (name == "dp") return advisor::SearchAlgorithm::kDynamicProgramming;
+  return Status::InvalidArgument("unknown advise algorithm: " + name);
+}
+
+void Count(const std::string& name, uint64_t delta = 1) {
+  if constexpr (obs::kObsEnabled) {
+    obs::MetricsRegistry::Global().GetCounter(name)->Add(delta);
+  }
+}
+
+void GaugeSet(const std::string& name, double value) {
+  if constexpr (obs::kObsEnabled) {
+    obs::MetricsRegistry::Global().GetGauge(name)->Set(value);
+  }
+}
+
+void ObserveLatency(const std::string& name, double seconds) {
+  if constexpr (obs::kObsEnabled) {
+    obs::MetricsRegistry::Global()
+        .GetHistogram(name, obs::LatencyBuckets())
+        ->Observe(seconds);
+  }
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      max_inflight_(options_.max_inflight_requests > 0
+                        ? options_.max_inflight_requests
+                        : options_.max_connections),
+      catalog_(&store_, &statistics_),
+      executor_(&store_, &catalog_) {
+  executor_.set_sink(&capture_);
+}
+
+Server::~Server() {
+  if (running_.load(std::memory_order_acquire)) (void)Stop();
+}
+
+Status Server::InitDatabase() {
+  if (!options_.data_dir.empty()) {
+    wal::WalManagerOptions wal_options;
+    if (!options_.fsync_policy.empty()) {
+      XIA_ASSIGN_OR_RETURN(wal_options.writer.policy,
+                           wal::ParseFsyncPolicy(options_.fsync_policy));
+    }
+    wal_ = std::make_unique<wal::WalManager>(options_.data_dir, wal_options);
+    XIA_ASSIGN_OR_RETURN(recovery_,
+                         wal_->Open(&store_, &catalog_, &statistics_));
+    executor_.set_commit_log(wal_.get());
+  }
+  if (!options_.demo.empty() && store_.CollectionNames().empty()) {
+    if (options_.demo == "tpox") {
+      XIA_RETURN_IF_ERROR(tpox::BuildTpoxDatabase(options_.demo_tpox_scale,
+                                                  &store_, &statistics_));
+    } else if (options_.demo == "xmark") {
+      XIA_RETURN_IF_ERROR(tpox::BuildXmarkDatabase(options_.demo_xmark_scale,
+                                                   &store_, &statistics_));
+    } else {
+      return Status::InvalidArgument("unknown demo database: " +
+                                     options_.demo);
+    }
+    // Fold the bulk load into a checkpoint so a restart replays zero
+    // records instead of regenerating nothing (the load bypassed the WAL).
+    if (wal_) XIA_RETURN_IF_ERROR(wal_->Checkpoint(store_, catalog_));
+  }
+  return Status::OK();
+}
+
+Status Server::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("server already running");
+  }
+  XIA_RETURN_IF_ERROR(InitDatabase());
+  XIA_RETURN_IF_ERROR(listener_.Listen(options_.host, options_.port));
+  capture_.set_enabled(true);
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread(&Server::AcceptLoop, this);
+  if (!options_.metrics_json_path.empty()) {
+    metrics_dumper_ = std::thread(&Server::MetricsDumpLoop, this);
+  }
+  return Status::OK();
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    Result<Socket> accepted = listener_.Accept();
+    if (!accepted.ok()) {
+      if (accepted.status().code() == StatusCode::kCancelled) return;
+      // Transient (or injected) accept failure: count it and keep
+      // serving; the small sleep bounds a p=1 injected-fault spin.
+      Count("xia.net.accept_errors");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    ReapSessionsLocked();
+    if (stopping_.load(std::memory_order_acquire)) return;
+    if (open_sessions_.load(std::memory_order_relaxed) >=
+        options_.max_connections) {
+      admission_rejects_.fetch_add(1, std::memory_order_relaxed);
+      Count("xia.net.admission_rejects");
+      const ErrorReply reject{StatusCode::kResourceExhausted,
+                              "too many connections"};
+      (void)accepted->SendAll(
+          EncodeFrame(MsgType::kError, 0, EncodeErrorReply(reject)));
+      continue;  // accepted socket closes on scope exit
+    }
+    auto session = std::make_unique<Session>();
+    session->id = next_session_id_++;
+    session->socket = std::move(*accepted);
+    Session* raw = session.get();
+    connections_total_.fetch_add(1, std::memory_order_relaxed);
+    open_sessions_.fetch_add(1, std::memory_order_relaxed);
+    Count("xia.net.connections_total");
+    GaugeSet("xia.net.open_sessions",
+             static_cast<double>(open_sessions_.load()));
+    session->thread = std::thread(&Server::SessionLoop, this, raw);
+    sessions_.push_back(std::move(session));
+  }
+}
+
+void Server::ReapSessionsLocked() {
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::SessionLoop(Session* session) {
+  FrameReader reader;
+  char buf[kRecvChunk];
+  bool drop = false;
+  while (!drop) {
+    // Drain every complete frame already buffered before reading more.
+    for (;;) {
+      Frame frame;
+      std::string parse_error;
+      const FrameReader::Next next = reader.Poll(&frame, &parse_error);
+      if (next == FrameReader::Next::kNeedMore) break;
+      if (next == FrameReader::Next::kBad) {
+        // Corrupt framing: we cannot trust byte boundaries any more, so
+        // answer one attributable error frame and drop the session.
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        Count("xia.net.protocol_errors");
+        const ErrorReply err{StatusCode::kParseError,
+                             "protocol error: " + parse_error};
+        (void)session->socket.SendAll(
+            EncodeFrame(MsgType::kError, 0, EncodeErrorReply(err)));
+        drop = true;
+        break;
+      }
+      const std::string response = HandleFrame(session, frame);
+      if (!session->socket.SendAll(response).ok()) {
+        // Peer died mid-response (EPIPE, not SIGPIPE): just drop.
+        drop = true;
+        break;
+      }
+      Count("xia.net.bytes_written", response.size());
+    }
+    if (drop) break;
+    if (stopping_.load(std::memory_order_acquire)) break;
+    const Result<size_t> got = session->socket.Recv(buf, sizeof(buf));
+    if (!got.ok() || *got == 0) break;
+    Count("xia.net.bytes_read", *got);
+    reader.Feed(std::string_view(buf, *got));
+  }
+  session->socket.Close();
+  open_sessions_.fetch_sub(1, std::memory_order_relaxed);
+  GaugeSet("xia.net.open_sessions",
+           static_cast<double>(open_sessions_.load()));
+  session->done.store(true, std::memory_order_release);
+}
+
+std::string Server::HandleFrame(Session* session, const Frame& frame) {
+  const uint8_t raw_type = static_cast<uint8_t>(frame.type);
+  if (!IsRequestType(raw_type)) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    Count("xia.net.protocol_errors");
+    const ErrorReply err{StatusCode::kInvalidArgument,
+                         "frame type is not a request"};
+    return EncodeFrame(MsgType::kError, frame.request_id,
+                       EncodeErrorReply(err));
+  }
+
+  // Admission: bound the number of concurrently executing requests; the
+  // rest get a clean kResourceExhausted instead of an unbounded queue.
+  if (inflight_.fetch_add(1, std::memory_order_acq_rel) >= max_inflight_) {
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    admission_rejects_.fetch_add(1, std::memory_order_relaxed);
+    Count("xia.net.admission_rejects");
+    const ErrorReply err{StatusCode::kResourceExhausted,
+                         "too many in-flight requests"};
+    return EncodeFrame(MsgType::kError, frame.request_id,
+                       EncodeErrorReply(err));
+  }
+  session->in_request.store(true, std::memory_order_release);
+  requests_total_.fetch_add(1, std::memory_order_relaxed);
+  GaugeSet("xia.net.inflight_requests",
+           static_cast<double>(inflight_.load()));
+
+  Stopwatch timer;
+  Result<std::string> payload = Status::Internal("unhandled request type");
+  switch (frame.type) {
+    case MsgType::kPing:
+      payload = HandlePing(session, frame, MakeDeadline(0));
+      break;
+    case MsgType::kQuery:
+      payload = HandleQuery(session, frame, fault::Deadline::Infinite());
+      break;
+    case MsgType::kMutation:
+      payload = HandleMutation(session, frame, fault::Deadline::Infinite());
+      break;
+    case MsgType::kAdvise:
+      payload = HandleAdvise(session, frame, fault::Deadline::Infinite());
+      break;
+    case MsgType::kExplain:
+      payload = HandleExplain(session, frame, fault::Deadline::Infinite());
+      break;
+    case MsgType::kMetrics:
+      payload = HandleMetrics(frame);
+      break;
+    default:
+      break;
+  }
+  const double seconds = timer.ElapsedSeconds();
+  const std::string type_name = MsgTypeName(frame.type);
+  Count("xia.net.requests." + type_name);
+  ObserveLatency("xia.net.latency." + type_name, seconds);
+
+  session->in_request.store(false, std::memory_order_release);
+  inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  GaugeSet("xia.net.inflight_requests",
+           static_cast<double>(inflight_.load()));
+
+  if (!payload.ok()) {
+    Count("xia.net.request_errors");
+    const ErrorReply err{payload.status().code(), payload.status().message()};
+    return EncodeFrame(MsgType::kError, frame.request_id,
+                       EncodeErrorReply(err));
+  }
+  return EncodeFrame(MsgType::kReply, frame.request_id, *payload);
+}
+
+fault::Deadline Server::MakeDeadline(double budget_ms) const {
+  const double ms =
+      budget_ms > 0 ? budget_ms : options_.default_budget_ms;
+  return ms > 0 ? fault::Deadline::AfterMillis(ms)
+                : fault::Deadline::Infinite();
+}
+
+Result<std::string> Server::HandlePing(Session* session, const Frame& frame,
+                                       const fault::Deadline& deadline) {
+  // "sleep=MS" holds the request open (polling cancel/deadline) — the
+  // deterministic in-flight request that drain and admission tests need.
+  constexpr std::string_view kSleepPrefix = "sleep=";
+  const std::string& body = frame.payload;
+  if (body.compare(0, kSleepPrefix.size(), kSleepPrefix) == 0) {
+    double ms = 0;
+    try {
+      ms = std::stod(body.substr(kSleepPrefix.size()));
+    } catch (...) {
+      return Status::InvalidArgument("bad ping sleep payload: " + body);
+    }
+    ms = std::min(std::max(ms, 0.0), kMaxPingSleepMs);
+    Stopwatch timer;
+    while (timer.ElapsedMillis() < ms) {
+      XIA_RETURN_IF_ERROR(fault::CheckInterrupt(deadline, &session->cancel));
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  return body;  // echo
+}
+
+Result<std::string> Server::HandleQuery(Session* session, const Frame& frame,
+                                        const fault::Deadline&) {
+  XIA_ASSIGN_OR_RETURN(const QueryRequest req,
+                       DecodeQueryRequest(frame.payload));
+  const fault::Deadline deadline = MakeDeadline(req.budget_ms);
+  XIA_ASSIGN_OR_RETURN(const engine::Statement stmt,
+                       engine::ParseStatement(req.statement));
+  if (!stmt.is_query()) {
+    return Status::InvalidArgument(
+        "not a read-only statement; use a mutation request");
+  }
+  std::shared_lock<std::shared_mutex> lock(db_mu_);
+  optimizer::Optimizer::Options opt_options;
+  opt_options.deadline = deadline;
+  const optimizer::Optimizer optimizer(&store_, &catalog_, &statistics_,
+                                       opt_options);
+  XIA_ASSIGN_OR_RETURN(const optimizer::Plan plan, optimizer.Optimize(stmt));
+  engine::ExecOptions exec;
+  exec.materialize_rows = req.materialize_rows;
+  exec.max_rows = std::min(req.max_rows, kMaxRows);
+  exec.deadline = deadline;
+  exec.cancel = &session->cancel;
+  XIA_ASSIGN_OR_RETURN(const engine::ExecResult result,
+                       executor_.Execute(stmt, plan, exec));
+  ExecReply reply;
+  reply.result_count = result.result_count;
+  reply.docs_examined = result.docs_examined;
+  reply.index_entries_scanned = result.index_entries_scanned;
+  reply.wall_seconds = result.wall_seconds;
+  reply.rows = result.rows;
+  return EncodeExecReply(reply);
+}
+
+Result<std::string> Server::HandleMutation(Session* session,
+                                           const Frame& frame,
+                                           const fault::Deadline&) {
+  XIA_ASSIGN_OR_RETURN(const MutationRequest req,
+                       DecodeMutationRequest(frame.payload));
+  const fault::Deadline deadline = MakeDeadline(req.budget_ms);
+  XIA_ASSIGN_OR_RETURN(const engine::Statement stmt,
+                       engine::ParseStatement(req.statement));
+  if (stmt.is_query()) {
+    return Status::InvalidArgument(
+        "read-only statement; use a query request");
+  }
+  std::unique_lock<std::shared_mutex> lock(db_mu_);
+  optimizer::Optimizer::Options opt_options;
+  opt_options.deadline = deadline;
+  const optimizer::Optimizer optimizer(&store_, &catalog_, &statistics_,
+                                       opt_options);
+  XIA_ASSIGN_OR_RETURN(const optimizer::Plan plan, optimizer.Optimize(stmt));
+  engine::ExecOptions exec;
+  exec.deadline = deadline;
+  exec.cancel = &session->cancel;
+  XIA_ASSIGN_OR_RETURN(const engine::ExecResult result,
+                       executor_.Execute(stmt, plan, exec));
+  ExecReply reply;
+  reply.result_count = result.result_count;
+  reply.docs_examined = result.docs_examined;
+  reply.index_entries_scanned = result.index_entries_scanned;
+  reply.wall_seconds = result.wall_seconds;
+  return EncodeExecReply(reply);
+}
+
+Result<std::string> Server::HandleAdvise(Session* session, const Frame& frame,
+                                         const fault::Deadline&) {
+  XIA_ASSIGN_OR_RETURN(const AdviseRequest req,
+                       DecodeAdviseRequest(frame.payload));
+  advisor::AdvisorOptions options;
+  XIA_ASSIGN_OR_RETURN(options.algorithm, ParseAlgorithm(req.algorithm));
+  if (req.disk_budget_bytes <= 0) {
+    return Status::InvalidArgument("disk budget must be positive");
+  }
+  options.disk_budget_bytes = static_cast<double>(req.disk_budget_bytes);
+  options.budget_ms = req.budget_ms > 0 ? req.budget_ms
+                                        : options_.default_budget_ms;
+  options.cancel = &session->cancel;
+  options.threads =
+      req.threads > 0 ? req.threads : options_.advise_threads;
+
+  engine::Workload workload;
+  if (req.workload_text.empty()) {
+    // Advise on the captured workload: fold the pending capture batch
+    // into the templatizer (leaf lock) and advise on the templates.
+    std::lock_guard<std::mutex> tlock(tmpl_mu_);
+    templates_.AddBatch(capture_.Drain());
+    if (templates_.empty()) {
+      return Status::FailedPrecondition(
+          "no captured workload yet; send statements or a workload text");
+    }
+    workload = templates_.ToWorkload();
+  } else {
+    XIA_ASSIGN_OR_RETURN(workload,
+                         workload::DeserializeWorkload(req.workload_text));
+  }
+
+  // Shared lock: what-if advising coexists with queries; each request's
+  // IndexAdvisor owns a private scratch catalog (DESIGN §12) so nothing
+  // it hypothesizes touches the system catalog.
+  std::shared_lock<std::shared_mutex> lock(db_mu_);
+  advisor::IndexAdvisor advisor(&store_, &statistics_);
+  XIA_ASSIGN_OR_RETURN(const advisor::Recommendation rec,
+                       advisor.Recommend(workload, options));
+  AdviseReply reply;
+  reply.total_size_bytes = static_cast<uint64_t>(rec.total_size_bytes);
+  reply.est_speedup = rec.est_speedup;
+  reply.optimizer_calls = rec.optimizer_calls;
+  reply.partial = rec.partial;
+  for (const advisor::RecommendedIndex& index : rec.indexes) {
+    reply.indexes.push_back(
+        AdviseReplyIndex{index.ddl, index.size_bytes, index.is_general});
+  }
+  return EncodeAdviseReply(reply);
+}
+
+Result<std::string> Server::HandleExplain(Session* session,
+                                          const Frame& frame,
+                                          const fault::Deadline&) {
+  XIA_ASSIGN_OR_RETURN(const ExplainRequest req,
+                       DecodeExplainRequest(frame.payload));
+  const fault::Deadline deadline = MakeDeadline(req.budget_ms);
+  XIA_ASSIGN_OR_RETURN(const engine::Statement stmt,
+                       engine::ParseStatement(req.statement));
+
+  const auto run = [&](auto& lock) -> Result<std::string> {
+    (void)lock;
+    optimizer::Optimizer::Options opt_options;
+    opt_options.deadline = deadline;
+    const optimizer::Optimizer optimizer(&store_, &catalog_, &statistics_,
+                                         opt_options);
+    XIA_ASSIGN_OR_RETURN(const optimizer::Plan plan,
+                         optimizer.Optimize(stmt));
+    engine::ExecOptions exec;
+    exec.deadline = deadline;
+    exec.cancel = &session->cancel;
+    std::string text;
+    if (req.analyze) {
+      XIA_ASSIGN_OR_RETURN(text, executor_.ExplainAnalyze(stmt, plan, exec));
+    } else {
+      text = plan.Describe();
+    }
+    return EncodeTextReply(TextReply{text});
+  };
+
+  // EXPLAIN ANALYZE of a mutation executes it — that needs the writer
+  // lock; everything else is read-only.
+  if (req.analyze && stmt.is_modification()) {
+    std::unique_lock<std::shared_mutex> lock(db_mu_);
+    return run(lock);
+  }
+  std::shared_lock<std::shared_mutex> lock(db_mu_);
+  return run(lock);
+}
+
+Result<std::string> Server::HandleMetrics(const Frame& frame) {
+  XIA_ASSIGN_OR_RETURN(const MetricsRequest req,
+                       DecodeMetricsRequest(frame.payload));
+  UpdateServerGauges();
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::Global().Snapshot();
+  std::string text;
+  switch (req.format) {
+    case MetricsFormat::kJson:
+      text = snapshot.ToJson();
+      break;
+    case MetricsFormat::kPrometheus:
+      text = snapshot.ToPrometheus();
+      break;
+    case MetricsFormat::kTable:
+      text = snapshot.ToTable();
+      break;
+  }
+  return EncodeTextReply(TextReply{text});
+}
+
+void Server::UpdateServerGauges() {
+  GaugeSet("xia.net.open_sessions",
+           static_cast<double>(open_sessions_.load()));
+  GaugeSet("xia.net.inflight_requests",
+           static_cast<double>(inflight_.load()));
+}
+
+void Server::MetricsDumpLoop() {
+  std::unique_lock<std::mutex> lock(metrics_mu_);
+  const auto interval = std::chrono::duration<double>(
+      options_.metrics_interval_s > 0 ? options_.metrics_interval_s : 1.0);
+  for (;;) {
+    const bool stop =
+        metrics_cv_.wait_for(lock, interval, [&] { return metrics_stop_; });
+    UpdateServerGauges();
+    (void)WriteFileAtomic(
+        options_.metrics_json_path,
+        obs::MetricsRegistry::Global().Snapshot().ToJson());
+    if (stop) return;  // final dump written above
+  }
+}
+
+Status Server::Stop() {
+  bool expected = true;
+  if (!running_.compare_exchange_strong(expected, false,
+                                        std::memory_order_acq_rel)) {
+    return Status::OK();  // already stopped
+  }
+  stopping_.store(true, std::memory_order_release);
+
+  // 1. Refuse new connections.
+  listener_.Shutdown();
+  if (acceptor_.joinable()) acceptor_.join();
+  listener_.Close();
+
+  // 2. Half-close every session's read side: idle sessions wake from
+  //    recv with EOF and exit; in-request sessions still own their write
+  //    side, finish, send their response, then see the EOF.
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (const auto& session : sessions_) session->socket.ShutdownRead();
+  }
+
+  // 3. Drain within the timeout, then cancel stragglers cooperatively.
+  const fault::Deadline drain =
+      options_.drain_timeout_s > 0
+          ? fault::Deadline::AfterSeconds(options_.drain_timeout_s)
+          : fault::Deadline::Infinite();
+  for (;;) {
+    bool busy = false;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      for (const auto& session : sessions_) {
+        if (!session->done.load(std::memory_order_acquire)) busy = true;
+      }
+    }
+    if (!busy) break;
+    if (drain.expired()) {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      for (const auto& session : sessions_) session->cancel.Cancel();
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (const auto& session : sessions_) {
+      if (session->thread.joinable()) session->thread.join();
+    }
+    sessions_.clear();
+  }
+
+  // 4. Stop the metrics dumper (it writes one final snapshot).
+  if (metrics_dumper_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(metrics_mu_);
+      metrics_stop_ = true;
+    }
+    metrics_cv_.notify_all();
+    metrics_dumper_.join();
+  }
+
+  // 5. Checkpoint and close the WAL so restart recovery is instant.
+  Status result = Status::OK();
+  if (wal_) {
+    std::unique_lock<std::shared_mutex> lock(db_mu_);
+    result = wal_->Checkpoint(store_, catalog_);
+    const Status closed = wal_->Close();
+    if (result.ok()) result = closed;
+  }
+  capture_.set_enabled(false);
+  return result;
+}
+
+ServerStats Server::GetStats() const {
+  ServerStats stats;
+  stats.connections_total = connections_total_.load(std::memory_order_relaxed);
+  stats.requests_total = requests_total_.load(std::memory_order_relaxed);
+  stats.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  stats.admission_rejects =
+      admission_rejects_.load(std::memory_order_relaxed);
+  stats.open_sessions = open_sessions_.load(std::memory_order_relaxed);
+  stats.inflight_requests = inflight_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace xia::net

@@ -1,0 +1,226 @@
+// xia::net::Server — the engine's concurrent network front door.
+//
+// One Server owns a full engine stack (DocumentStore, statistics, catalog,
+// optimizer, executor, workload capture, optional WAL) and serves the
+// framed wire protocol (net/wire.h) over TCP:
+//
+//   * Front end: an acceptor thread plus one session thread per
+//     connection (connections are long-lived and bounded by
+//     max_connections, so thread-per-connection keeps the request path
+//     free of queue hops; the heavy advise work is itself parallelized
+//     through xia::util::ThreadPool via AdvisorOptions.threads).
+//   * Reader/writer isolation: a std::shared_mutex over the database.
+//     Queries, EXPLAIN, what-if advising and metrics run under the shared
+//     lock — concurrently with each other; mutations (and EXPLAIN ANALYZE
+//     of a mutation, which executes it) take the exclusive lock and
+//     commit through the WAL before acking. The advisor side is safe
+//     under the shared lock because each advise request builds its own
+//     IndexAdvisor (private scratch catalog — the same per-context
+//     isolation the parallel advisor uses, DESIGN §12).
+//   * Admission control: at most max_inflight_requests are dispatched at
+//     once; beyond that the server answers kResourceExhausted instead of
+//     queueing unboundedly. Every admitted request runs under a Deadline
+//     (request budget_ms, else default_budget_ms) and the session's
+//     CancelToken, so shutdown can cut long requests cooperatively.
+//   * Graceful shutdown (Stop): refuse new connections, half-close every
+//     idle session (their blocked reads see EOF), let in-flight requests
+//     finish and send their responses within drain_timeout_s, then cancel
+//     stragglers through their CancelTokens, join everything, checkpoint
+//     the WAL, and close it.
+//
+// Lock order (extends the DESIGN §9/§12 order): db_mu_ (shared or
+// exclusive) -> WAL internals. sessions_mu_ and capture/templatizer locks
+// are leaves and are never held while a request executes or while
+// db_mu_ is held. Session threads never take sessions_mu_ while holding
+// db_mu_.
+//
+// Observability: xia.net.* counters/gauges/histograms — connections
+// (current/total), per-type request counters and latency histograms,
+// bytes in/out, protocol errors, admission rejects. With
+// options.metrics_json_path set, a background thread atomically rewrites
+// that file with the full metrics JSON snapshot every
+// metrics_interval_s (the `metrics` request type serves the same
+// snapshot over the wire).
+
+#ifndef XIA_NET_SERVER_H_
+#define XIA_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+
+#include "engine/executor.h"
+#include "fault/deadline.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "storage/catalog.h"
+#include "storage/document_store.h"
+#include "storage/statistics.h"
+#include "tpox/tpox_data.h"
+#include "tpox/xmark.h"
+#include "util/status.h"
+#include "wal/manager.h"
+#include "workload/capture.h"
+#include "workload/templatizer.h"
+
+namespace xia::net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral: the kernel picks a free port, read it back with
+  /// port(). Parallel test runs should always use 0.
+  uint16_t port = 0;
+  /// Durable data directory (wal::WalManager layout). Empty = volatile
+  /// in-memory store.
+  std::string data_dir;
+  /// WAL fsync policy name ("always"/"interval"/"off"); "" = default.
+  std::string fsync_policy;
+  /// Pre-load a demo database: "", "tpox", or "xmark". Only seeds an
+  /// empty store — a recovered data dir keeps its contents.
+  std::string demo;
+  tpox::TpoxScale demo_tpox_scale;
+  tpox::XmarkScale demo_xmark_scale;
+  size_t max_connections = 64;
+  /// 0 resolves to max_connections.
+  size_t max_inflight_requests = 0;
+  /// Default per-request wall-clock budget in ms (0 = unbounded);
+  /// requests may set their own.
+  double default_budget_ms = 0;
+  /// How long Stop() waits for in-flight requests before cancelling them.
+  double drain_timeout_s = 5.0;
+  /// Periodic metrics JSON dump destination ("" = off) and cadence.
+  std::string metrics_json_path;
+  double metrics_interval_s = 1.0;
+  /// Default worker threads for advise requests that do not pin their
+  /// own (1 = serial, 0 = one per hardware thread).
+  size_t advise_threads = 1;
+};
+
+/// Point-in-time server accounting (tests and the shutdown summary).
+struct ServerStats {
+  uint64_t connections_total = 0;
+  uint64_t requests_total = 0;
+  uint64_t protocol_errors = 0;
+  uint64_t admission_rejects = 0;
+  size_t open_sessions = 0;
+  size_t inflight_requests = 0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Builds the database (demo and/or data-dir recovery), binds the
+  /// listener, and spawns the acceptor. On return the server is
+  /// reachable at port().
+  Status Start();
+
+  /// Graceful shutdown; see the header comment. Idempotent. Returns the
+  /// first error encountered while draining/checkpointing (the server is
+  /// stopped regardless).
+  Status Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  uint16_t port() const { return listener_.port(); }
+  const std::string& host() const { return options_.host; }
+
+  ServerStats GetStats() const;
+
+  /// The recovery report from opening the data dir (fresh_start for
+  /// volatile servers).
+  const wal::RecoveryReport& recovery() const { return recovery_; }
+
+ private:
+  struct Session {
+    uint64_t id = 0;
+    Socket socket;
+    std::thread thread;
+    /// True while a request is being executed (not while blocked in
+    /// recv); drain waits for these.
+    std::atomic<bool> in_request{false};
+    /// Cancelled by Stop() once the drain deadline passes.
+    fault::CancelToken cancel;
+    std::atomic<bool> done{false};
+  };
+
+  Status InitDatabase();
+  void AcceptLoop();
+  void SessionLoop(Session* session);
+  /// Reaps finished sessions (joins their threads). Called from the
+  /// acceptor between connections and from Stop.
+  void ReapSessionsLocked();
+
+  /// Dispatches one verified frame; returns the encoded response frame.
+  std::string HandleFrame(Session* session, const Frame& frame);
+
+  Result<std::string> HandlePing(Session* session, const Frame& frame,
+                                 const fault::Deadline& deadline);
+  Result<std::string> HandleQuery(Session* session, const Frame& frame,
+                                  const fault::Deadline& deadline);
+  Result<std::string> HandleMutation(Session* session, const Frame& frame,
+                                     const fault::Deadline& deadline);
+  Result<std::string> HandleAdvise(Session* session, const Frame& frame,
+                                   const fault::Deadline& deadline);
+  Result<std::string> HandleExplain(Session* session, const Frame& frame,
+                                    const fault::Deadline& deadline);
+  Result<std::string> HandleMetrics(const Frame& frame);
+
+  /// Resolves a request budget (else the server default) to a Deadline.
+  fault::Deadline MakeDeadline(double budget_ms) const;
+  void UpdateServerGauges();
+  void MetricsDumpLoop();
+
+  const ServerOptions options_;
+  const size_t max_inflight_;
+
+  // ---- database (guarded by db_mu_; see the lock-order note above) ----
+  std::shared_mutex db_mu_;
+  storage::DocumentStore store_;
+  storage::StatisticsCatalog statistics_;
+  storage::Catalog catalog_;
+  engine::Executor executor_;
+  std::unique_ptr<wal::WalManager> wal_;
+  wal::RecoveryReport recovery_;
+
+  /// Thread-safe capture sink fed by the executor; advise-on-captured
+  /// folds drained batches into templates_ under tmpl_mu_ (leaf lock).
+  workload::WorkloadCapture capture_;
+  std::mutex tmpl_mu_;
+  workload::Templatizer templates_;
+
+  // ---- front end ----
+  Listener listener_;
+  std::thread acceptor_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::mutex sessions_mu_;
+  std::list<std::unique_ptr<Session>> sessions_;
+  uint64_t next_session_id_ = 1;
+
+  std::atomic<uint64_t> connections_total_{0};
+  std::atomic<uint64_t> requests_total_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> admission_rejects_{0};
+  std::atomic<size_t> open_sessions_{0};
+  std::atomic<size_t> inflight_{0};
+
+  // ---- metrics dump thread ----
+  std::thread metrics_dumper_;
+  std::mutex metrics_mu_;
+  std::condition_variable metrics_cv_;
+  bool metrics_stop_ = false;
+};
+
+}  // namespace xia::net
+
+#endif  // XIA_NET_SERVER_H_

@@ -1,0 +1,217 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "fault/fault.h"
+
+namespace xia::net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Unavailable(what + ": " + std::strerror(errno));
+}
+
+/// Numeric IPv4 only (plus the "localhost" alias) — the server is a
+/// loopback/LAN front door, not a resolver.
+Status ResolveHost(const std::string& host, struct sockaddr_in* addr) {
+  const std::string numeric = (host == "localhost") ? "127.0.0.1" : host;
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  if (inet_pton(AF_INET, numeric.c_str(), &addr->sin_addr) != 1) {
+    return Status::InvalidArgument("bad IPv4 host: " + host);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_.store(other.fd_.exchange(-1));
+  }
+  return *this;
+}
+
+Status Socket::SendAll(std::string_view bytes) {
+  XIA_FAULT_INJECT(fault::points::kNetWrite);
+  const int fd = fd_.load();
+  if (fd < 0) return Status::Unavailable("send on closed socket");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<size_t> Socket::Recv(char* buf, size_t n) {
+  XIA_FAULT_INJECT(fault::points::kNetRead);
+  const int fd = fd_.load();
+  if (fd < 0) return Status::Unavailable("recv on closed socket");
+  for (;;) {
+    const ssize_t got = ::recv(fd, buf, n, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    return static_cast<size_t>(got);
+  }
+}
+
+void Socket::ShutdownRead() {
+  const int fd = fd_.load();
+  if (fd >= 0) ::shutdown(fd, SHUT_RD);
+}
+
+void Socket::ShutdownWrite() {
+  const int fd = fd_.load();
+  if (fd >= 0) ::shutdown(fd, SHUT_WR);
+}
+
+void Socket::Close() {
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) ::close(fd);
+}
+
+Result<Socket> ConnectTcp(const std::string& host, uint16_t port,
+                          double timeout_s) {
+  struct sockaddr_in addr;
+  XIA_RETURN_IF_ERROR(ResolveHost(host, &addr));
+  addr.sin_port = htons(port);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  Socket socket(fd);
+
+  // Non-blocking connect + poll gives a real timeout instead of the
+  // kernel's multi-minute default.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) return Errno("connect");
+  if (rc != 0) {
+    struct pollfd pfd = {fd, POLLOUT, 0};
+    const int timeout_ms =
+        timeout_s <= 0 ? -1 : static_cast<int>(timeout_s * 1000);
+    rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc == 0) return Status::DeadlineExceeded("connect timed out");
+    if (rc < 0) return Errno("poll");
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      return Errno("getsockopt");
+    }
+    if (err != 0) {
+      return Status::Unavailable(std::string("connect: ") +
+                                 std::strerror(err));
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return socket;
+}
+
+Status Listener::Listen(const std::string& host, uint16_t port,
+                        int backlog) {
+  if (fd_ >= 0) return Status::FailedPrecondition("already listening");
+  struct sockaddr_in addr;
+  XIA_RETURN_IF_ERROR(ResolveHost(host, &addr));
+  addr.sin_port = htons(port);
+
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const Status status = Errno("bind");
+    Close();
+    return status;
+  }
+  if (::listen(fd_, backlog) != 0) {
+    const Status status = Errno("listen");
+    Close();
+    return status;
+  }
+  // Resolve the actual port (meaningful when the caller asked for 0).
+  struct sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<struct sockaddr*>(&bound),
+                    &len) != 0) {
+    const Status status = Errno("getsockname");
+    Close();
+    return status;
+  }
+  port_ = ntohs(bound.sin_port);
+  if (::pipe(wake_fd_) != 0) {
+    const Status status = Errno("pipe");
+    Close();
+    return status;
+  }
+  return Status::OK();
+}
+
+Result<Socket> Listener::Accept() {
+  XIA_FAULT_INJECT(fault::points::kNetAccept);
+  if (fd_ < 0) return Status::Cancelled("listener closed");
+  for (;;) {
+    struct pollfd pfds[2] = {{fd_, POLLIN, 0}, {wake_fd_[0], POLLIN, 0}};
+    const int rc = ::poll(pfds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    if (pfds[1].revents != 0) return Status::Cancelled("listener shut down");
+    if ((pfds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return Errno("accept");
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return Socket(fd);
+  }
+}
+
+void Listener::Shutdown() {
+  if (wake_fd_[1] >= 0) {
+    const char byte = 1;
+    // Best-effort: a full pipe already guarantees a pending wakeup.
+    [[maybe_unused]] const ssize_t n = ::write(wake_fd_[1], &byte, 1);
+  }
+}
+
+void Listener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  for (int& fd : wake_fd_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+}
+
+}  // namespace xia::net

@@ -1,0 +1,109 @@
+// Thin POSIX TCP wrappers for xia::net: a connected Socket and a
+// listening Listener, both returning Status instead of errno and carrying
+// the net-layer fault-injection points (kNetAccept / kNetRead /
+// kNetWrite) so the fault matrix can prove every socket failure surfaces
+// as a clean, attributable Status.
+//
+// Sends use MSG_NOSIGNAL: a client that dies mid-request turns into an
+// EPIPE Status on the server's response write, never a SIGPIPE — this is
+// what keeps a killed client from wedging (or killing) the server.
+//
+// Listener::Accept blocks in poll() on the listening fd plus a self-pipe;
+// Shutdown() writes the pipe, so a blocked acceptor wakes immediately and
+// returns kCancelled without racing fd reuse. Hosts are numeric IPv4
+// ("127.0.0.1"); "localhost" is accepted as an alias.
+
+#ifndef XIA_NET_SOCKET_H_
+#define XIA_NET_SOCKET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace xia::net {
+
+/// A connected TCP socket. Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_.exchange(-1)) {}
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_.load() >= 0; }
+  int fd() const { return fd_.load(); }
+
+  /// Writes all of `bytes` (looping over partial writes). kUnavailable on
+  /// a closed/reset peer. Fault point: xia.fault.net.write.
+  Status SendAll(std::string_view bytes);
+
+  /// Reads up to `n` bytes; 0 means orderly EOF. kUnavailable on a reset
+  /// connection. Fault point: xia.fault.net.read.
+  Result<size_t> Recv(char* buf, size_t n);
+
+  /// Half-close. ShutdownRead wakes this side's blocked Recv with EOF
+  /// (how the server drains sessions without cutting their in-flight
+  /// response); ShutdownWrite sends FIN so the *peer's* Recv sees EOF.
+  void ShutdownRead();
+  void ShutdownWrite();
+
+  void Close();
+
+ private:
+  // Atomic because a draining server calls ShutdownRead from its Stop
+  // thread while the owning session thread is inside Recv/SendAll (and
+  // may Close on its way out). Close() is still single-owner: only the
+  // thread that wins the exchange touches the fd number.
+  std::atomic<int> fd_{-1};
+};
+
+/// Connects to host:port. `timeout_s` bounds the connect itself.
+Result<Socket> ConnectTcp(const std::string& host, uint16_t port,
+                          double timeout_s = 5.0);
+
+/// A listening TCP socket with a self-pipe wakeup.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { Close(); }
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds and listens. `port` 0 picks an ephemeral port — read the real
+  /// one back with port(); this is what lets parallel ctest runs never
+  /// collide.
+  Status Listen(const std::string& host, uint16_t port, int backlog = 128);
+
+  /// The bound port (resolved via getsockname, so valid after Listen even
+  /// for port 0).
+  uint16_t port() const { return port_; }
+  bool listening() const { return fd_ >= 0; }
+
+  /// Blocks until a connection arrives (Result is the connected socket)
+  /// or Shutdown() is called (kCancelled). Fault point:
+  /// xia.fault.net.accept.
+  Result<Socket> Accept();
+
+  /// Wakes every blocked Accept with kCancelled. Idempotent; safe from
+  /// any thread (not from signal handlers — signal handlers should write
+  /// their own pipe and let a normal thread call this).
+  void Shutdown();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+  int wake_fd_[2] = {-1, -1};  // [0] read end polled by Accept
+};
+
+}  // namespace xia::net
+
+#endif  // XIA_NET_SOCKET_H_

@@ -1,0 +1,394 @@
+#include "net/wire.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "util/crc32.h"
+
+namespace xia::net {
+
+using wal::PutU32;
+using wal::PutU64;
+using wal::PutU8;
+using wal::PutString;
+using wal::WireReader;
+
+const char* MsgTypeName(MsgType type) {
+  switch (type) {
+    case MsgType::kPing:
+      return "ping";
+    case MsgType::kQuery:
+      return "query";
+    case MsgType::kMutation:
+      return "mutation";
+    case MsgType::kAdvise:
+      return "advise";
+    case MsgType::kExplain:
+      return "explain";
+    case MsgType::kMetrics:
+      return "metrics";
+    case MsgType::kReply:
+      return "reply";
+    case MsgType::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+bool IsRequestType(uint8_t type) {
+  return type >= static_cast<uint8_t>(MsgType::kPing) &&
+         type <= static_cast<uint8_t>(MsgType::kMetrics);
+}
+
+namespace {
+
+bool IsKnownType(uint8_t type) {
+  return IsRequestType(type) ||
+         type == static_cast<uint8_t>(MsgType::kReply) ||
+         type == static_cast<uint8_t>(MsgType::kError);
+}
+
+/// Little-endian u32 at a byte offset of an existing buffer.
+void PatchU32(std::string* buf, size_t off, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    (*buf)[off + static_cast<size_t>(i)] =
+        static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+uint32_t ReadU32At(std::string_view buf, size_t off) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(
+             buf[off + static_cast<size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
+
+uint64_t ReadU64At(std::string_view buf, size_t off) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(
+             buf[off + static_cast<size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
+
+/// CRC over a frame with its crc field (bytes 20..23) treated as zero.
+uint32_t FrameCrc(std::string_view frame) {
+  static constexpr char kZero[4] = {0, 0, 0, 0};
+  uint32_t crc = Crc32Update(0, frame.data(), 20);
+  crc = Crc32Update(crc, kZero, 4);
+  crc = Crc32Update(crc, frame.data() + kHeaderBytes,
+                    frame.size() - kHeaderBytes);
+  return crc;
+}
+
+}  // namespace
+
+std::string EncodeFrame(MsgType type, uint64_t request_id,
+                        std::string_view payload) {
+  assert(payload.size() <= kMaxPayloadBytes);
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size());
+  PutU32(&out, kNetMagic);
+  PutU8(&out, kNetVersion);
+  PutU8(&out, static_cast<uint8_t>(type));
+  PutU8(&out, 0);  // flags lo
+  PutU8(&out, 0);  // flags hi
+  PutU64(&out, request_id);
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  PutU32(&out, 0);  // crc placeholder
+  out.append(payload.data(), payload.size());
+  PatchU32(&out, 20, FrameCrc(out));
+  return out;
+}
+
+void FrameReader::Feed(std::string_view bytes) {
+  // Compact once the consumed prefix dominates, so a long-lived session
+  // does not grow its buffer without bound.
+  if (pos_ > 0 && pos_ >= buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(bytes.data(), bytes.size());
+}
+
+FrameReader::Next FrameReader::Poll(Frame* out, std::string* error) {
+  if (bad_) {
+    if (error != nullptr) *error = bad_reason_;
+    return Next::kBad;
+  }
+  const std::string_view view = std::string_view(buf_).substr(pos_);
+  if (view.size() < kHeaderBytes) return Next::kNeedMore;
+
+  const auto bad = [&](std::string reason) {
+    bad_ = true;
+    bad_reason_ = std::move(reason);
+    if (error != nullptr) *error = bad_reason_;
+    return Next::kBad;
+  };
+
+  if (ReadU32At(view, 0) != kNetMagic) return bad("bad frame magic");
+  const uint8_t version = static_cast<uint8_t>(view[4]);
+  if (version != kNetVersion) {
+    return bad("unsupported protocol version " + std::to_string(version));
+  }
+  const uint8_t type = static_cast<uint8_t>(view[5]);
+  if (!IsKnownType(type)) {
+    return bad("unknown message type " + std::to_string(type));
+  }
+  if (view[6] != 0 || view[7] != 0) return bad("nonzero reserved flags");
+  const uint32_t payload_len = ReadU32At(view, 16);
+  if (payload_len > kMaxPayloadBytes) {
+    return bad("frame payload length " + std::to_string(payload_len) +
+               " exceeds limit");
+  }
+  if (view.size() < kHeaderBytes + payload_len) return Next::kNeedMore;
+
+  const std::string_view frame = view.substr(0, kHeaderBytes + payload_len);
+  const uint32_t want_crc = ReadU32At(frame, 20);
+  if (FrameCrc(frame) != want_crc) return bad("frame crc mismatch");
+
+  out->type = static_cast<MsgType>(type);
+  out->request_id = ReadU64At(frame, 8);
+  out->payload.assign(frame.data() + kHeaderBytes, payload_len);
+  pos_ += frame.size();
+  return Next::kFrame;
+}
+
+// ---------------------------------------------------------------------------
+// Payload codecs.
+
+void PutF64(std::string* out, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+bool GetF64(WireReader* in, double* v) {
+  uint64_t bits = 0;
+  if (!in->GetU64(&bits)) return false;
+  std::memcpy(v, &bits, sizeof(bits));
+  return true;
+}
+
+namespace {
+Status Malformed(const char* what) {
+  return Status::ParseError(std::string("malformed ") + what + " payload");
+}
+}  // namespace
+
+std::string EncodeQueryRequest(const QueryRequest& req) {
+  std::string out;
+  PutString(&out, req.statement);
+  PutU8(&out, req.materialize_rows ? 1 : 0);
+  PutU32(&out, req.max_rows);
+  PutF64(&out, req.budget_ms);
+  return out;
+}
+
+Result<QueryRequest> DecodeQueryRequest(std::string_view payload) {
+  QueryRequest req;
+  WireReader in{payload};
+  uint8_t materialize = 0;
+  if (!in.GetString(&req.statement) || !in.GetU8(&materialize) ||
+      !in.GetU32(&req.max_rows) || !GetF64(&in, &req.budget_ms) ||
+      !in.AtEnd()) {
+    return Malformed("query request");
+  }
+  req.materialize_rows = materialize != 0;
+  return req;
+}
+
+std::string EncodeMutationRequest(const MutationRequest& req) {
+  std::string out;
+  PutString(&out, req.statement);
+  PutF64(&out, req.budget_ms);
+  return out;
+}
+
+Result<MutationRequest> DecodeMutationRequest(std::string_view payload) {
+  MutationRequest req;
+  WireReader in{payload};
+  if (!in.GetString(&req.statement) || !GetF64(&in, &req.budget_ms) ||
+      !in.AtEnd()) {
+    return Malformed("mutation request");
+  }
+  return req;
+}
+
+std::string EncodeAdviseRequest(const AdviseRequest& req) {
+  std::string out;
+  PutString(&out, req.workload_text);
+  PutF64(&out, req.disk_budget_bytes);
+  PutString(&out, req.algorithm);
+  PutF64(&out, req.budget_ms);
+  PutU32(&out, req.threads);
+  return out;
+}
+
+Result<AdviseRequest> DecodeAdviseRequest(std::string_view payload) {
+  AdviseRequest req;
+  WireReader in{payload};
+  if (!in.GetString(&req.workload_text) ||
+      !GetF64(&in, &req.disk_budget_bytes) ||
+      !in.GetString(&req.algorithm) || !GetF64(&in, &req.budget_ms) ||
+      !in.GetU32(&req.threads) || !in.AtEnd()) {
+    return Malformed("advise request");
+  }
+  return req;
+}
+
+std::string EncodeExplainRequest(const ExplainRequest& req) {
+  std::string out;
+  PutU8(&out, req.analyze ? 1 : 0);
+  PutString(&out, req.statement);
+  PutF64(&out, req.budget_ms);
+  return out;
+}
+
+Result<ExplainRequest> DecodeExplainRequest(std::string_view payload) {
+  ExplainRequest req;
+  WireReader in{payload};
+  uint8_t analyze = 0;
+  if (!in.GetU8(&analyze) || !in.GetString(&req.statement) ||
+      !GetF64(&in, &req.budget_ms) || !in.AtEnd()) {
+    return Malformed("explain request");
+  }
+  req.analyze = analyze != 0;
+  return req;
+}
+
+std::string EncodeMetricsRequest(const MetricsRequest& req) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(req.format));
+  return out;
+}
+
+Result<MetricsRequest> DecodeMetricsRequest(std::string_view payload) {
+  MetricsRequest req;
+  WireReader in{payload};
+  uint8_t format = 0;
+  if (!in.GetU8(&format) || !in.AtEnd() ||
+      format > static_cast<uint8_t>(MetricsFormat::kTable)) {
+    return Malformed("metrics request");
+  }
+  req.format = static_cast<MetricsFormat>(format);
+  return req;
+}
+
+std::string EncodeExecReply(const ExecReply& reply) {
+  std::string out;
+  PutU64(&out, reply.result_count);
+  PutU64(&out, reply.docs_examined);
+  PutU64(&out, reply.index_entries_scanned);
+  PutF64(&out, reply.wall_seconds);
+  PutU32(&out, static_cast<uint32_t>(reply.rows.size()));
+  for (const std::string& row : reply.rows) PutString(&out, row);
+  return out;
+}
+
+Result<ExecReply> DecodeExecReply(std::string_view payload) {
+  ExecReply reply;
+  WireReader in{payload};
+  uint32_t nrows = 0;
+  if (!in.GetU64(&reply.result_count) || !in.GetU64(&reply.docs_examined) ||
+      !in.GetU64(&reply.index_entries_scanned) ||
+      !GetF64(&in, &reply.wall_seconds) || !in.GetU32(&nrows)) {
+    return Malformed("exec reply");
+  }
+  reply.rows.resize(nrows);
+  for (uint32_t i = 0; i < nrows; ++i) {
+    if (!in.GetString(&reply.rows[i])) return Malformed("exec reply");
+  }
+  if (!in.AtEnd()) return Malformed("exec reply");
+  return reply;
+}
+
+std::string EncodeAdviseReply(const AdviseReply& reply) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(reply.indexes.size()));
+  for (const AdviseReplyIndex& index : reply.indexes) {
+    PutString(&out, index.ddl);
+    PutU64(&out, index.size_bytes);
+    PutU8(&out, index.is_general ? 1 : 0);
+  }
+  PutF64(&out, reply.total_size_bytes);
+  PutF64(&out, reply.est_speedup);
+  PutU64(&out, reply.optimizer_calls);
+  PutU8(&out, reply.partial ? 1 : 0);
+  return out;
+}
+
+Result<AdviseReply> DecodeAdviseReply(std::string_view payload) {
+  AdviseReply reply;
+  WireReader in{payload};
+  uint32_t count = 0;
+  if (!in.GetU32(&count)) return Malformed("advise reply");
+  reply.indexes.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint8_t general = 0;
+    if (!in.GetString(&reply.indexes[i].ddl) ||
+        !in.GetU64(&reply.indexes[i].size_bytes) || !in.GetU8(&general)) {
+      return Malformed("advise reply");
+    }
+    reply.indexes[i].is_general = general != 0;
+  }
+  uint8_t partial = 0;
+  if (!GetF64(&in, &reply.total_size_bytes) ||
+      !GetF64(&in, &reply.est_speedup) ||
+      !in.GetU64(&reply.optimizer_calls) || !in.GetU8(&partial) ||
+      !in.AtEnd()) {
+    return Malformed("advise reply");
+  }
+  reply.partial = partial != 0;
+  return reply;
+}
+
+std::string EncodeTextReply(const TextReply& reply) {
+  std::string out;
+  PutString(&out, reply.text);
+  return out;
+}
+
+Result<TextReply> DecodeTextReply(std::string_view payload) {
+  TextReply reply;
+  WireReader in{payload};
+  if (!in.GetString(&reply.text) || !in.AtEnd()) {
+    return Malformed("text reply");
+  }
+  return reply;
+}
+
+std::string EncodeErrorReply(const ErrorReply& reply) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(reply.code));
+  PutString(&out, reply.message);
+  return out;
+}
+
+Result<ErrorReply> DecodeErrorReply(std::string_view payload) {
+  ErrorReply reply;
+  WireReader in{payload};
+  uint8_t code = 0;
+  if (!in.GetU8(&code) || !in.GetString(&reply.message) || !in.AtEnd() ||
+      code > static_cast<uint8_t>(StatusCode::kUnavailable)) {
+    return Malformed("error reply");
+  }
+  reply.code = static_cast<StatusCode>(code);
+  return reply;
+}
+
+Status ErrorReplyToStatus(const ErrorReply& reply) {
+  if (reply.code == StatusCode::kOk) {
+    // An error frame must not claim success; treat as a server bug.
+    return Status::Internal("error frame with ok code: " + reply.message);
+  }
+  return Status(reply.code, reply.message);
+}
+
+}  // namespace xia::net

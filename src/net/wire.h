@@ -1,0 +1,226 @@
+// xia::net — the framed binary wire protocol between xia_server and its
+// clients (DESIGN §13).
+//
+// Every message travels as one frame, mirroring the WAL's framing
+// discipline (magic + length + CRC32, little-endian integers, u32-length-
+// prefixed strings — the wal/wire.h helpers are reused directly so the
+// byte conventions stay identical across the persistence and network
+// formats):
+//
+//   off  size  field
+//   0    4     magic       0x3154454e ("NET1" when read as LE bytes)
+//   4    1     version     kNetVersion (1)
+//   5    1     type        MsgType
+//   6    2     flags       reserved, must be 0
+//   8    8     request_id  client-assigned; echoed verbatim in responses
+//   16   4     payload_len <= kMaxPayloadBytes
+//   20   4     crc32       over the whole frame (header with this field
+//                          zeroed, then the payload) — a single flipped
+//                          bit anywhere in a frame is detected
+//   24   ...   payload     type-specific encoding (below)
+//
+// Requests carry one of the six request types (ping / query / mutation /
+// advise / explain / metrics); the server answers every request with
+// exactly one kReply (success, payload depends on the request type) or
+// kError (u8 StatusCode + message) frame carrying the same request_id.
+// A frame that fails its magic/version/length checks or its CRC is a
+// protocol error: the stream cannot be resynchronized, so the server
+// sends a best-effort kError frame with request_id 0 and drops the
+// session. Truncated frames are simply incomplete — the reader waits for
+// more bytes, and a connection that closes mid-frame is dropped without
+// ever dispatching the partial request (this is what makes "no partial
+// mutation under corruption" structural: a mutation is parsed and
+// executed only after its frame passed the CRC whole).
+
+#ifndef XIA_NET_WIRE_H_
+#define XIA_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+#include "wal/wire.h"
+
+namespace xia::net {
+
+inline constexpr uint32_t kNetMagic = 0x3154454e;  // "NET1"
+inline constexpr uint8_t kNetVersion = 1;
+/// Fixed frame header size in bytes.
+inline constexpr size_t kHeaderBytes = 24;
+/// Upper bound on a frame payload; a length above this is a protocol
+/// error, never an allocation request (same stance as the WAL).
+inline constexpr uint32_t kMaxPayloadBytes = 16u << 20;
+
+/// Message types. Requests are < kReply; the two response types close the
+/// range so IsRequestType stays a comparison.
+enum class MsgType : uint8_t {
+  kPing = 1,
+  kQuery = 2,
+  kMutation = 3,
+  kAdvise = 4,
+  kExplain = 5,
+  kMetrics = 6,
+  kReply = 0x40,
+  kError = 0x41,
+};
+
+const char* MsgTypeName(MsgType type);
+bool IsRequestType(uint8_t type);
+
+/// One decoded frame.
+struct Frame {
+  MsgType type = MsgType::kPing;
+  uint64_t request_id = 0;
+  std::string payload;
+};
+
+/// Encodes a complete frame (header + CRC + payload). `payload` must be
+/// within kMaxPayloadBytes (checked by the callers' encoders; asserted
+/// here in debug builds).
+std::string EncodeFrame(MsgType type, uint64_t request_id,
+                        std::string_view payload);
+
+/// Incremental frame decoder over a TCP byte stream. Feed() appends
+/// received bytes; Poll() yields complete frames in order. A protocol
+/// violation (bad magic/version/flags, oversized length, CRC mismatch)
+/// is sticky: the stream cannot be trusted past it.
+class FrameReader {
+ public:
+  enum class Next {
+    kFrame,     ///< *out holds the next complete, CRC-verified frame
+    kNeedMore,  ///< no complete frame buffered; feed more bytes
+    kBad,       ///< protocol violation; *error says why. Sticky.
+  };
+
+  void Feed(std::string_view bytes);
+  Next Poll(Frame* out, std::string* error);
+
+  /// Bytes buffered but not yet consumed by Poll.
+  size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  size_t pos_ = 0;
+  bool bad_ = false;
+  std::string bad_reason_;
+};
+
+// ---------------------------------------------------------------------------
+// Payload encodings. All integers little-endian via wal/wire.h; doubles
+// travel as the little-endian bytes of their IEEE-754 representation.
+
+void PutF64(std::string* out, double v);
+bool GetF64(wal::WireReader* in, double* v);
+
+/// kQuery — a read-only statement.
+struct QueryRequest {
+  std::string statement;
+  bool materialize_rows = false;
+  uint32_t max_rows = 10;
+  /// Per-request wall-clock budget in ms; 0 = the server's default.
+  double budget_ms = 0;
+};
+
+/// kMutation — an insert/delete/update statement.
+struct MutationRequest {
+  std::string statement;
+  double budget_ms = 0;
+};
+
+/// kAdvise — what-if index advising over a workload carried in the
+/// request (ParseWorkloadText format). An empty workload_text asks the
+/// server to advise over its captured (templatized) workload instead.
+struct AdviseRequest {
+  std::string workload_text;
+  double disk_budget_bytes = 10.0 * 1024 * 1024;
+  /// "", "greedy", "heuristics", "topdown-lite", "topdown-full", "dp".
+  std::string algorithm;
+  double budget_ms = 0;
+  /// Worker threads for the advise run; 0 = the server's default.
+  uint32_t threads = 0;
+};
+
+/// kExplain — plan (or EXPLAIN ANALYZE) one statement.
+struct ExplainRequest {
+  bool analyze = false;
+  std::string statement;
+  double budget_ms = 0;
+};
+
+/// kMetrics — the process-wide metrics snapshot, rendered server-side.
+enum class MetricsFormat : uint8_t { kJson = 0, kPrometheus = 1, kTable = 2 };
+struct MetricsRequest {
+  MetricsFormat format = MetricsFormat::kJson;
+};
+
+/// kReply payload for kQuery / kMutation.
+struct ExecReply {
+  uint64_t result_count = 0;
+  uint64_t docs_examined = 0;
+  uint64_t index_entries_scanned = 0;
+  double wall_seconds = 0;
+  std::vector<std::string> rows;
+};
+
+/// kReply payload for kAdvise.
+struct AdviseReplyIndex {
+  std::string ddl;
+  uint64_t size_bytes = 0;
+  bool is_general = false;
+};
+struct AdviseReply {
+  std::vector<AdviseReplyIndex> indexes;
+  double total_size_bytes = 0;
+  double est_speedup = 1.0;
+  uint64_t optimizer_calls = 0;
+  bool partial = false;
+};
+
+/// kReply payload for kPing (echo), kExplain and kMetrics (rendered
+/// text).
+struct TextReply {
+  std::string text;
+};
+
+/// kError payload: the failing StatusCode plus its message.
+struct ErrorReply {
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+};
+
+std::string EncodeQueryRequest(const QueryRequest& req);
+Result<QueryRequest> DecodeQueryRequest(std::string_view payload);
+
+std::string EncodeMutationRequest(const MutationRequest& req);
+Result<MutationRequest> DecodeMutationRequest(std::string_view payload);
+
+std::string EncodeAdviseRequest(const AdviseRequest& req);
+Result<AdviseRequest> DecodeAdviseRequest(std::string_view payload);
+
+std::string EncodeExplainRequest(const ExplainRequest& req);
+Result<ExplainRequest> DecodeExplainRequest(std::string_view payload);
+
+std::string EncodeMetricsRequest(const MetricsRequest& req);
+Result<MetricsRequest> DecodeMetricsRequest(std::string_view payload);
+
+std::string EncodeExecReply(const ExecReply& reply);
+Result<ExecReply> DecodeExecReply(std::string_view payload);
+
+std::string EncodeAdviseReply(const AdviseReply& reply);
+Result<AdviseReply> DecodeAdviseReply(std::string_view payload);
+
+std::string EncodeTextReply(const TextReply& reply);
+Result<TextReply> DecodeTextReply(std::string_view payload);
+
+std::string EncodeErrorReply(const ErrorReply& reply);
+Result<ErrorReply> DecodeErrorReply(std::string_view payload);
+
+/// Reconstructs the Status a kError frame describes (what the client
+/// library returns to its caller).
+Status ErrorReplyToStatus(const ErrorReply& reply);
+
+}  // namespace xia::net
+
+#endif  // XIA_NET_WIRE_H_

@@ -1,0 +1,310 @@
+// Wire-format tests for xia::net: frame/payload roundtrips, incremental
+// stream decoding, and the satellite robustness guarantee — flip or
+// truncate ANY byte of a framed request and the reader must never yield
+// a decoded frame (same discipline as the WAL's torn-frame tests).
+
+#include "net/wire.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/status.h"
+
+namespace xia::net {
+namespace {
+
+Frame MustPoll(FrameReader* reader) {
+  Frame frame;
+  std::string error;
+  const FrameReader::Next next = reader->Poll(&frame, &error);
+  EXPECT_EQ(next, FrameReader::Next::kFrame) << error;
+  return frame;
+}
+
+TEST(NetWireTest, FrameRoundtrip) {
+  const std::string encoded =
+      EncodeFrame(MsgType::kQuery, 0xDEADBEEFCAFEull, "hello payload");
+  ASSERT_GE(encoded.size(), kHeaderBytes);
+
+  FrameReader reader;
+  reader.Feed(encoded);
+  const Frame frame = MustPoll(&reader);
+  EXPECT_EQ(frame.type, MsgType::kQuery);
+  EXPECT_EQ(frame.request_id, 0xDEADBEEFCAFEull);
+  EXPECT_EQ(frame.payload, "hello payload");
+  EXPECT_EQ(reader.buffered(), 0u);
+
+  Frame next;
+  std::string error;
+  EXPECT_EQ(reader.Poll(&next, &error), FrameReader::Next::kNeedMore);
+}
+
+TEST(NetWireTest, EmptyPayloadFrame) {
+  FrameReader reader;
+  reader.Feed(EncodeFrame(MsgType::kPing, 7, ""));
+  const Frame frame = MustPoll(&reader);
+  EXPECT_EQ(frame.type, MsgType::kPing);
+  EXPECT_EQ(frame.request_id, 7u);
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(NetWireTest, IncrementalFeedByteByByte) {
+  const std::string encoded = EncodeFrame(MsgType::kAdvise, 42, "abcdefgh");
+  FrameReader reader;
+  Frame frame;
+  std::string error;
+  for (size_t i = 0; i + 1 < encoded.size(); ++i) {
+    reader.Feed(std::string_view(&encoded[i], 1));
+    ASSERT_EQ(reader.Poll(&frame, &error), FrameReader::Next::kNeedMore)
+        << "yielded a frame after only " << (i + 1) << " bytes";
+  }
+  reader.Feed(std::string_view(&encoded[encoded.size() - 1], 1));
+  ASSERT_EQ(reader.Poll(&frame, &error), FrameReader::Next::kFrame) << error;
+  EXPECT_EQ(frame.request_id, 42u);
+  EXPECT_EQ(frame.payload, "abcdefgh");
+}
+
+TEST(NetWireTest, MultipleFramesInOneBuffer) {
+  std::string stream;
+  for (uint64_t id = 1; id <= 5; ++id) {
+    stream += EncodeFrame(MsgType::kPing, id, std::string(id, 'x'));
+  }
+  FrameReader reader;
+  reader.Feed(stream);
+  for (uint64_t id = 1; id <= 5; ++id) {
+    const Frame frame = MustPoll(&reader);
+    EXPECT_EQ(frame.request_id, id);
+    EXPECT_EQ(frame.payload.size(), id);
+  }
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+// The satellite guarantee: flipping a single bit at ANY offset of a
+// framed request — header, request id, length, CRC, or payload — must
+// never let the reader hand a frame to the dispatcher. The CRC is
+// computed over the whole frame precisely for this (a payload-only CRC
+// would let a flipped request_id through as a "valid" other request).
+TEST(NetWireTest, ByteFlipAtEveryOffsetNeverYieldsFrame) {
+  const std::string encoded =
+      EncodeFrame(MsgType::kMutation, 99,
+                  EncodeMutationRequest(MutationRequest{
+                      "insert into C values <Doc><A>1</A></Doc>", 0}));
+  for (size_t offset = 0; offset < encoded.size(); ++offset) {
+    SCOPED_TRACE("offset " + std::to_string(offset));
+    std::string corrupt = encoded;
+    corrupt[offset] ^= 0x01;
+
+    FrameReader reader;
+    reader.Feed(corrupt);
+    // Pad generously: a flip in payload_len can make the frame "longer",
+    // so give the reader enough extra bytes to complete that bogus
+    // length wherever it stays under the payload cap.
+    reader.Feed(std::string(512, '\0'));
+
+    Frame frame;
+    std::string error;
+    const FrameReader::Next next = reader.Poll(&frame, &error);
+    ASSERT_NE(next, FrameReader::Next::kFrame)
+        << "corrupt frame decoded as type " << static_cast<int>(frame.type);
+  }
+}
+
+TEST(NetWireTest, TruncationAtEveryLengthNeverYieldsFrame) {
+  const std::string encoded = EncodeFrame(
+      MsgType::kQuery, 3,
+      EncodeQueryRequest(QueryRequest{"for $x in c('C')/A return $x", true,
+                                      10, 0}));
+  for (size_t len = 0; len < encoded.size(); ++len) {
+    SCOPED_TRACE("length " + std::to_string(len));
+    FrameReader reader;
+    reader.Feed(encoded.substr(0, len));
+    Frame frame;
+    std::string error;
+    // A pure prefix is indistinguishable from a slow sender: the reader
+    // must wait, not decode and not flag corruption.
+    EXPECT_EQ(reader.Poll(&frame, &error), FrameReader::Next::kNeedMore);
+  }
+}
+
+TEST(NetWireTest, BadMagicVersionFlagsTypeAreSticky) {
+  const std::string good = EncodeFrame(MsgType::kPing, 1, "p");
+
+  const auto expect_bad = [&](size_t offset, char value,
+                              const std::string& label) {
+    SCOPED_TRACE(label);
+    std::string corrupt = good;
+    corrupt[offset] = value;
+    FrameReader reader;
+    reader.Feed(corrupt);
+    Frame frame;
+    std::string error;
+    EXPECT_EQ(reader.Poll(&frame, &error), FrameReader::Next::kBad);
+    EXPECT_FALSE(error.empty());
+    // Sticky: even a pristine frame afterwards must not resynchronize.
+    reader.Feed(good);
+    EXPECT_EQ(reader.Poll(&frame, &error), FrameReader::Next::kBad);
+  };
+
+  expect_bad(0, 'X', "magic");
+  expect_bad(4, 0x7F, "version");
+  expect_bad(5, 0x3F, "unknown type");
+  expect_bad(6, 0x01, "nonzero flags");
+}
+
+TEST(NetWireTest, OversizedPayloadLengthIsBadNotAllocation) {
+  std::string corrupt = EncodeFrame(MsgType::kPing, 1, "p");
+  // payload_len lives at offset 16..19 (LE); claim ~4 GB.
+  corrupt[16] = static_cast<char>(0xFF);
+  corrupt[17] = static_cast<char>(0xFF);
+  corrupt[18] = static_cast<char>(0xFF);
+  corrupt[19] = static_cast<char>(0x7F);
+  FrameReader reader;
+  reader.Feed(corrupt);
+  Frame frame;
+  std::string error;
+  EXPECT_EQ(reader.Poll(&frame, &error), FrameReader::Next::kBad);
+  EXPECT_NE(error.find("payload"), std::string::npos) << error;
+}
+
+TEST(NetWireTest, QueryRequestRoundtrip) {
+  QueryRequest req;
+  req.statement = "for $s in c('SDOC')/Security return $s";
+  req.materialize_rows = true;
+  req.max_rows = 123;
+  req.budget_ms = 1.5;
+  const auto decoded = DecodeQueryRequest(EncodeQueryRequest(req));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->statement, req.statement);
+  EXPECT_TRUE(decoded->materialize_rows);
+  EXPECT_EQ(decoded->max_rows, 123u);
+  EXPECT_DOUBLE_EQ(decoded->budget_ms, 1.5);
+}
+
+TEST(NetWireTest, AdviseRequestRoundtrip) {
+  AdviseRequest req;
+  req.workload_text = "q1 | 2.0 | for $x in c('C')/A return $x\n";
+  req.disk_budget_bytes = 5.5 * 1024 * 1024;
+  req.algorithm = "topdown-lite";
+  req.budget_ms = 250;
+  req.threads = 4;
+  const auto decoded = DecodeAdviseRequest(EncodeAdviseRequest(req));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->workload_text, req.workload_text);
+  EXPECT_DOUBLE_EQ(decoded->disk_budget_bytes, req.disk_budget_bytes);
+  EXPECT_EQ(decoded->algorithm, "topdown-lite");
+  EXPECT_DOUBLE_EQ(decoded->budget_ms, 250.0);
+  EXPECT_EQ(decoded->threads, 4u);
+}
+
+TEST(NetWireTest, ExecReplyRoundtripWithRows) {
+  ExecReply reply;
+  reply.result_count = 7;
+  reply.docs_examined = 1000;
+  reply.index_entries_scanned = 64;
+  reply.wall_seconds = 0.00123;
+  reply.rows = {"<A>1</A>", "", std::string(1000, 'z')};
+  const auto decoded = DecodeExecReply(EncodeExecReply(reply));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->result_count, 7u);
+  EXPECT_EQ(decoded->docs_examined, 1000u);
+  EXPECT_EQ(decoded->index_entries_scanned, 64u);
+  EXPECT_DOUBLE_EQ(decoded->wall_seconds, 0.00123);
+  EXPECT_EQ(decoded->rows, reply.rows);
+}
+
+TEST(NetWireTest, AdviseReplyRoundtrip) {
+  AdviseReply reply;
+  reply.indexes.push_back(AdviseReplyIndex{"CREATE INDEX a ...", 4096, false});
+  reply.indexes.push_back(AdviseReplyIndex{"CREATE INDEX b ...", 9999, true});
+  reply.total_size_bytes = 14095;
+  reply.est_speedup = 2.25;
+  reply.optimizer_calls = 321;
+  reply.partial = true;
+  const auto decoded = DecodeAdviseReply(EncodeAdviseReply(reply));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_EQ(decoded->indexes.size(), 2u);
+  EXPECT_EQ(decoded->indexes[0].ddl, "CREATE INDEX a ...");
+  EXPECT_EQ(decoded->indexes[1].size_bytes, 9999u);
+  EXPECT_TRUE(decoded->indexes[1].is_general);
+  EXPECT_DOUBLE_EQ(decoded->est_speedup, 2.25);
+  EXPECT_EQ(decoded->optimizer_calls, 321u);
+  EXPECT_TRUE(decoded->partial);
+}
+
+TEST(NetWireTest, ExplainMetricsTextRoundtrips) {
+  ExplainRequest explain;
+  explain.analyze = true;
+  explain.statement = "delete from C where /A";
+  explain.budget_ms = 9;
+  const auto e = DecodeExplainRequest(EncodeExplainRequest(explain));
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(e->analyze);
+  EXPECT_EQ(e->statement, explain.statement);
+
+  MetricsRequest metrics;
+  metrics.format = MetricsFormat::kPrometheus;
+  const auto m = DecodeMetricsRequest(EncodeMetricsRequest(metrics));
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->format, MetricsFormat::kPrometheus);
+
+  const auto t = DecodeTextReply(EncodeTextReply(TextReply{"plan text"}));
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->text, "plan text");
+}
+
+TEST(NetWireTest, ErrorReplyCarriesStatus) {
+  const ErrorReply reply{StatusCode::kDeadlineExceeded, "over budget"};
+  const auto decoded = DecodeErrorReply(EncodeErrorReply(reply));
+  ASSERT_TRUE(decoded.ok());
+  const Status status = ErrorReplyToStatus(*decoded);
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(status.message().find("over budget"), std::string::npos);
+
+  // A kError frame claiming kOk is itself a protocol violation.
+  EXPECT_EQ(ErrorReplyToStatus(ErrorReply{StatusCode::kOk, "?"}).code(),
+            StatusCode::kInternal);
+}
+
+TEST(NetWireTest, MalformedPayloadsAreParseErrors) {
+  // Truncate every decodable payload at every length: decoders must
+  // return ParseError, never crash or accept.
+  const std::string payloads[] = {
+      EncodeQueryRequest(QueryRequest{"stmt", true, 5, 1}),
+      EncodeMutationRequest(MutationRequest{"stmt", 2}),
+      EncodeAdviseRequest(AdviseRequest{"w", 100, "greedy", 3, 1}),
+      EncodeExplainRequest(ExplainRequest{true, "stmt", 4}),
+      EncodeMetricsRequest(MetricsRequest{MetricsFormat::kTable}),
+      EncodeExecReply(ExecReply{1, 2, 3, 0.5, {"r"}}),
+      EncodeAdviseReply(AdviseReply{{{"d", 1, false}}, 1, 2, 3, false}),
+      EncodeErrorReply(ErrorReply{StatusCode::kInternal, "m"}),
+  };
+  const auto try_all = [](std::string_view payload) {
+    (void)DecodeQueryRequest(payload);
+    (void)DecodeMutationRequest(payload);
+    (void)DecodeAdviseRequest(payload);
+    (void)DecodeExplainRequest(payload);
+    (void)DecodeMetricsRequest(payload);
+    (void)DecodeExecReply(payload);
+    (void)DecodeAdviseReply(payload);
+    (void)DecodeErrorReply(payload);
+  };
+  for (const std::string& payload : payloads) {
+    for (size_t len = 0; len < payload.size(); ++len) {
+      try_all(std::string_view(payload.data(), len));
+    }
+    // Trailing junk must be rejected too (strict AtEnd).
+    const std::string extended = payload + "junk";
+    EXPECT_FALSE(DecodeQueryRequest(extended).ok() &&
+                 DecodeMutationRequest(extended).ok());
+  }
+  // Spot-check a truncated decode's code.
+  const std::string query = EncodeQueryRequest(QueryRequest{"s", false, 1, 0});
+  const auto truncated =
+      DecodeQueryRequest(std::string_view(query.data(), query.size() - 1));
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.status().code(), StatusCode::kParseError);
+}
+
+}  // namespace
+}  // namespace xia::net
