@@ -1,0 +1,209 @@
+// bench_repl_lag: replication apply lag and rejoin catch-up.
+//
+// Three measurements against an in-process leader/follower pair over
+// real loopback TCP:
+//   1. leader mutation throughput with a live follower attached, and the
+//      per-mutation apply latency on the follower (commit on the leader
+//      -> applied on the replica), reported as p50/p95;
+//   2. drain time: how long the follower needs to flush the residual
+//      stream backlog once the writers stop;
+//   3. rejoin catch-up: the follower restarts against backlogs of
+//      increasing depth and we report catch-up records/s (log replay
+//      path, not snapshot, so the rate is the applier's).
+// Rows land in BENCH_repl_lag.json for post-processing.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "net/client.h"
+#include "net/server.h"
+
+namespace xia {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr int kLagMutations = 400;
+constexpr const int kBacklogs[] = {100, 400, 1600};
+
+std::string FreshDir(const std::string& name) {
+  const char* tmp = std::getenv("TMPDIR");
+  const std::string dir =
+      std::string(tmp != nullptr ? tmp : "/tmp") + "/xia_bench_repl/" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+net::ServerOptions LeaderOptions(const std::string& data_dir) {
+  net::ServerOptions options;
+  options.demo = "tpox";
+  options.demo_tpox_scale = tpox::TpoxScale{200, 200, 50, 42};
+  options.data_dir = data_dir;
+  return options;
+}
+
+net::ServerOptions FollowerOptions(const std::string& data_dir,
+                                   uint16_t leader_port) {
+  net::ServerOptions options;
+  options.data_dir = data_dir;
+  options.follow_host = "127.0.0.1";
+  options.follow_port = leader_port;
+  options.follower_id = "bench";
+  return options;
+}
+
+std::string InsertStatement(int i) {
+  return "insert into SDOC <Security><Symbol>LAG" + std::to_string(i) +
+         "</Symbol><Yield>" + std::to_string(i % 10) + "</Yield></Security>";
+}
+
+uint64_t AppliedLsn(const net::Server& follower) {
+  return follower.GetReplStatus().applier.applied_lsn;
+}
+
+void WaitForCaughtUp(const net::Server& leader, const net::Server& follower) {
+  const uint64_t target = leader.GetReplStatus().durable_lsn;
+  while (AppliedLsn(follower) < target) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+double Pct(std::vector<double>* sorted, size_t rank) {
+  if (sorted->empty()) return 0;
+  return (*sorted)[std::min(sorted->size() - 1, rank)] * 1e3;
+}
+
+}  // namespace
+}  // namespace xia
+
+int main() {
+  using namespace xia;  // NOLINT
+
+  bench::BenchJsonWriter json("repl_lag");
+  json.set_threads(std::thread::hardware_concurrency());
+
+  net::Server leader(LeaderOptions(FreshDir("leader")));
+  if (Status s = leader.Start(); !s.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const std::string follower_dir = FreshDir("follower");
+  auto follower = std::make_unique<net::Server>(
+      FollowerOptions(follower_dir, leader.port()));
+  if (Status s = follower->Start(); !s.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  WaitForCaughtUp(leader, *follower);
+
+  // --- 1. throughput + per-mutation apply latency ---------------------
+  net::Client writer;
+  if (!writer.Connect(leader.host(), leader.port()).ok()) {
+    std::fprintf(stderr, "fatal: connect failed\n");
+    return 1;
+  }
+  std::vector<double> lags;
+  lags.reserve(kLagMutations);
+  Stopwatch wall;
+  int committed = 0;
+  for (int i = 0; i < kLagMutations; ++i) {
+    net::MutationRequest mutation;
+    mutation.statement = InsertStatement(i);
+    const auto reply = writer.Mutate(mutation);
+    if (!reply.ok()) {
+      std::fprintf(stderr, "fatal: %s\n", reply.status().ToString().c_str());
+      return 1;
+    }
+    ++committed;
+    // Lag for THIS commit: committed on the leader -> visible on the
+    // replica. Spin-waiting per mutation serializes writer and stream,
+    // which is exactly the single-client view of staleness.
+    const uint64_t target = leader.GetReplStatus().durable_lsn;
+    Stopwatch lag;
+    while (AppliedLsn(*follower) < target) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    lags.push_back(lag.ElapsedSeconds());
+  }
+  const double seconds = wall.ElapsedSeconds();
+  std::sort(lags.begin(), lags.end());
+  const double p50 = Pct(&lags, lags.size() / 2);
+  const double p95 = Pct(&lags, lags.size() * 95 / 100);
+  std::printf("replicated throughput: %d mutations in %.2fs (%.0f/s)\n",
+              committed, seconds, committed / seconds);
+  std::printf("apply lag: p50 %.3f ms, p95 %.3f ms\n", p50, p95);
+  json.AddResult(StringPrintf(
+      "{\"phase\": \"live\", \"mutations\": %d, \"seconds\": %.4f, "
+      "\"mut_per_s\": %.1f, \"lag_p50_ms\": %.4f, \"lag_p95_ms\": %.4f}",
+      committed, seconds, committed / seconds, p50, p95));
+  json.Checkpoint("live");
+
+  // --- 2. drain after an unthrottled burst ----------------------------
+  Stopwatch burst_wall;
+  for (int i = 0; i < kLagMutations; ++i) {
+    net::MutationRequest mutation;
+    mutation.statement = InsertStatement(kLagMutations + i);
+    if (!writer.Mutate(mutation).ok()) {
+      std::fprintf(stderr, "fatal: burst mutation failed\n");
+      return 1;
+    }
+  }
+  const double burst_seconds = burst_wall.ElapsedSeconds();
+  Stopwatch drain;
+  WaitForCaughtUp(leader, *follower);
+  const double drain_seconds = drain.ElapsedSeconds();
+  std::printf("burst: %d mutations in %.2fs, drained in %.3fs\n",
+              kLagMutations, burst_seconds, drain_seconds);
+  json.AddResult(StringPrintf(
+      "{\"phase\": \"drain\", \"mutations\": %d, \"burst_seconds\": %.4f, "
+      "\"drain_seconds\": %.4f}",
+      kLagMutations, burst_seconds, drain_seconds));
+  json.Checkpoint("drain");
+
+  // --- 3. rejoin catch-up vs backlog depth ----------------------------
+  int next_symbol = 2 * kLagMutations;
+  for (const int backlog : kBacklogs) {
+    follower->Stop();
+    follower.reset();
+    for (int i = 0; i < backlog; ++i) {
+      net::MutationRequest mutation;
+      mutation.statement = InsertStatement(next_symbol++);
+      if (!writer.Mutate(mutation).ok()) {
+        std::fprintf(stderr, "fatal: backlog mutation failed\n");
+        return 1;
+      }
+    }
+    Stopwatch rejoin;
+    follower = std::make_unique<net::Server>(
+        FollowerOptions(follower_dir, leader.port()));
+    if (Status s = follower->Start(); !s.ok()) {
+      std::fprintf(stderr, "fatal: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    WaitForCaughtUp(leader, *follower);
+    const double rejoin_seconds = rejoin.ElapsedSeconds();
+    std::printf("rejoin: backlog %4d caught up in %.3fs (%.0f rec/s)\n",
+                backlog, rejoin_seconds, backlog / rejoin_seconds);
+    json.AddResult(StringPrintf(
+        "{\"phase\": \"rejoin\", \"backlog\": %d, \"seconds\": %.4f, "
+        "\"records_per_s\": %.1f}",
+        backlog, rejoin_seconds, backlog / rejoin_seconds));
+    json.Checkpoint("rejoin_" + std::to_string(backlog));
+  }
+
+  follower->Stop();
+  follower.reset();
+  if (Status s = leader.Stop(); !s.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  json.Write();
+  return 0;
+}

@@ -72,6 +72,10 @@ inline constexpr const char* kPoolSubmit = "xia.fault.pool.submit";
 inline constexpr const char* kNetAccept = "xia.fault.net.accept";
 inline constexpr const char* kNetRead = "xia.fault.net.read";
 inline constexpr const char* kNetWrite = "xia.fault.net.write";
+inline constexpr const char* kReplSend = "xia.fault.repl.send";
+inline constexpr const char* kReplRecv = "xia.fault.repl.recv";
+inline constexpr const char* kReplApply = "xia.fault.repl.apply";
+inline constexpr const char* kReplSnapshotXfer = "xia.fault.repl.snapshot_xfer";
 }  // namespace points
 
 /// Every canonical point, for matrix-style iteration.
@@ -86,6 +90,8 @@ inline constexpr const char* kAllPoints[] = {
     points::kWalFsync,         points::kWalReplay,
     points::kPoolSubmit,       points::kNetAccept,
     points::kNetRead,          points::kNetWrite,
+    points::kReplSend,         points::kReplRecv,
+    points::kReplApply,        points::kReplSnapshotXfer,
 };
 
 /// How an armed point decides to fire.

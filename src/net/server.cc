@@ -4,11 +4,17 @@
 #include <chrono>
 #include <utility>
 
+#include <sstream>
+#include <vector>
+
 #include "advisor/advisor.h"
 #include "engine/query_parser.h"
 #include "obs/metrics.h"
 #include "optimizer/optimizer.h"
+#include "repl/stream.h"
+#include "storage/snapshot.h"
 #include "util/atomic_file.h"
+#include "util/crc32.h"
 #include "util/stopwatch.h"
 #include "wal/writer.h"
 #include "workload/workload_io.h"
@@ -71,18 +77,27 @@ Server::~Server() {
 }
 
 Status Server::InitDatabase() {
+  if (options_.is_follower() && options_.data_dir.empty()) {
+    return Status::InvalidArgument(
+        "a follower needs a data_dir: its local WAL is what makes "
+        "rejoin crash-safe");
+  }
   if (!options_.data_dir.empty()) {
     wal::WalManagerOptions wal_options;
     if (!options_.fsync_policy.empty()) {
       XIA_ASSIGN_OR_RETURN(wal_options.writer.policy,
                            wal::ParseFsyncPolicy(options_.fsync_policy));
     }
+    wal_options.writer.test_hook = options_.repl_test_hook;
     wal_ = std::make_unique<wal::WalManager>(options_.data_dir, wal_options);
     XIA_ASSIGN_OR_RETURN(recovery_,
                          wal_->Open(&store_, &catalog_, &statistics_));
     executor_.set_commit_log(wal_.get());
   }
-  if (!options_.demo.empty() && store_.CollectionNames().empty()) {
+  // A follower never seeds demo data: everything it holds must come
+  // from the leader, or its LSN space would conflict with the stream.
+  if (!options_.demo.empty() && !options_.is_follower() &&
+      store_.CollectionNames().empty()) {
     if (options_.demo == "tpox") {
       XIA_RETURN_IF_ERROR(tpox::BuildTpoxDatabase(options_.demo_tpox_scale,
                                                   &store_, &statistics_));
@@ -94,8 +109,18 @@ Status Server::InitDatabase() {
                                      options_.demo);
     }
     // Fold the bulk load into a checkpoint so a restart replays zero
-    // records instead of regenerating nothing (the load bypassed the WAL).
-    if (wal_) XIA_RETURN_IF_ERROR(wal_->Checkpoint(store_, catalog_));
+    // records instead of regenerating nothing (the load bypassed the
+    // WAL). Log one record per collection first so the checkpoint owns
+    // an LSN >= 1: a checkpoint at LSN 0 holding bulk data would be
+    // invisible to a follower subscribing from LSN 1 (it asks for the
+    // log tail, never the snapshot) and the replica would silently miss
+    // the entire seed.
+    if (wal_) {
+      for (const std::string& coll : store_.CollectionNames()) {
+        XIA_RETURN_IF_ERROR(wal_->LogStatsRefresh(coll));
+      }
+      XIA_RETURN_IF_ERROR(wal_->Checkpoint(store_, catalog_));
+    }
   }
   return Status::OK();
 }
@@ -112,6 +137,19 @@ Status Server::Start() {
   acceptor_ = std::thread(&Server::AcceptLoop, this);
   if (!options_.metrics_json_path.empty()) {
     metrics_dumper_ = std::thread(&Server::MetricsDumpLoop, this);
+  }
+  if (options_.is_follower()) {
+    repl::ApplierOptions applier_options;
+    applier_options.leader_host = options_.follow_host;
+    applier_options.leader_port = options_.follow_port;
+    applier_options.follower_id = options_.follower_id;
+    applier_options.checkpoint_every_records =
+        options_.repl_checkpoint_every;
+    applier_options.test_hook = options_.repl_test_hook;
+    applier_ = std::make_unique<repl::Applier>(
+        std::move(applier_options), wal_.get(), &db_mu_, &store_,
+        &catalog_, &statistics_);
+    applier_->Start();
   }
   return Status::OK();
 }
@@ -185,6 +223,15 @@ void Server::SessionLoop(Session* session) {
                              "protocol error: " + parse_error};
         (void)session->socket.SendAll(
             EncodeFrame(MsgType::kError, 0, EncodeErrorReply(err)));
+        drop = true;
+        break;
+      }
+      if (frame.type == MsgType::kReplSubscribe) {
+        // The one request that does not get a single reply: the session
+        // becomes a one-way replication stream until disconnect/stop
+        // (in_request stays false — drain must not wait on a stream).
+        const std::string rejected = HandleReplSubscribe(session, frame);
+        if (!rejected.empty()) (void)session->socket.SendAll(rejected);
         drop = true;
         break;
       }
@@ -280,6 +327,39 @@ std::string Server::HandleFrame(Session* session, const Frame& frame) {
   return EncodeFrame(MsgType::kReply, frame.request_id, *payload);
 }
 
+std::string Server::HandleReplSubscribe(Session* session,
+                                        const Frame& frame) {
+  const auto reject = [&](const Status& status) {
+    Count("xia.net.request_errors");
+    const ErrorReply err{status.code(), status.message()};
+    return EncodeFrame(MsgType::kError, frame.request_id,
+                       EncodeErrorReply(err));
+  };
+  if (options_.is_follower()) {
+    // No cascading replication: a replica's WAL is a copy, not a source.
+    return reject(Status::ReadOnly(
+        "follower cannot serve replication subscriptions"));
+  }
+  if (!wal_) {
+    return reject(Status::FailedPrecondition(
+        "replication requires a durable data dir"));
+  }
+  const Result<ReplSubscribeRequest> subscribe =
+      DecodeReplSubscribeRequest(frame.payload);
+  if (!subscribe.ok()) return reject(subscribe.status());
+
+  Count("xia.net.requests.repl_subscribe");
+  repl::StreamContext ctx;
+  ctx.wal = wal_.get();
+  ctx.db_mu = &db_mu_;
+  ctx.hub = &repl_hub_;
+  ctx.stopping = &stopping_;
+  const Status ended =
+      repl::RunReplStream(&session->socket, *subscribe, ctx);
+  if (!ended.ok()) Count("xia.repl.stream_errors");
+  return std::string();
+}
+
 fault::Deadline Server::MakeDeadline(double budget_ms) const {
   const double ms =
       budget_ms > 0 ? budget_ms : options_.default_budget_ms;
@@ -354,6 +434,10 @@ Result<std::string> Server::HandleMutation(Session* session,
   if (stmt.is_query()) {
     return Status::InvalidArgument(
         "read-only statement; use a query request");
+  }
+  if (options_.is_follower()) {
+    return Status::ReadOnly(
+        "this node is a read replica; send mutations to the leader");
   }
   std::unique_lock<std::shared_mutex> lock(db_mu_);
   optimizer::Optimizer::Options opt_options;
@@ -455,8 +539,14 @@ Result<std::string> Server::HandleExplain(Session* session,
   };
 
   // EXPLAIN ANALYZE of a mutation executes it — that needs the writer
-  // lock; everything else is read-only.
+  // lock (and is a mutation for read-only purposes); everything else is
+  // read-only.
   if (req.analyze && stmt.is_modification()) {
+    if (options_.is_follower()) {
+      return Status::ReadOnly(
+          "EXPLAIN ANALYZE of a mutation executes it; this node is a "
+          "read replica");
+    }
     std::unique_lock<std::shared_mutex> lock(db_mu_);
     return run(lock);
   }
@@ -514,6 +604,11 @@ Status Server::Stop() {
     return Status::OK();  // already stopped
   }
   stopping_.store(true, std::memory_order_release);
+
+  // 0. Stop the follower applier first: it takes the exclusive db lock
+  //    per applied record and must be quiesced before the final
+  //    checkpoint below.
+  if (applier_) applier_->Stop();
 
   // 1. Refuse new connections.
   listener_.Shutdown();
@@ -577,6 +672,52 @@ Status Server::Stop() {
   }
   capture_.set_enabled(false);
   return result;
+}
+
+ReplStatus Server::GetReplStatus() const {
+  ReplStatus status;
+  status.is_follower = options_.is_follower();
+  if (applier_) status.applier = applier_->GetStats();
+  status.followers = repl_hub_.Snapshot();
+  if (wal_) {
+    const wal::WalStatus wal_status = wal_->GetStatus();
+    status.durable_lsn = wal_status.durable_lsn;
+    status.checkpoint_lsn = wal_status.checkpoint_lsn;
+  }
+  return status;
+}
+
+Result<std::string> Server::StoreDigest() {
+  std::shared_lock<std::shared_mutex> lock(db_mu_);
+  std::ostringstream out;
+  XIA_RETURN_IF_ERROR(storage::SaveSnapshot(store_, out));
+  std::string bytes = out.str();
+  // Index definitions are digested name-sorted: a follower loads its
+  // catalog from a name-ordered file while the leader built its by
+  // replay order, so only the set — not the order — is comparable.
+  std::vector<std::string> defs;
+  for (const std::string& coll : store_.CollectionNames()) {
+    for (const storage::IndexDef* def : catalog_.IndexesFor(coll)) {
+      if (def->is_virtual) continue;
+      defs.push_back(def->name + "@" + def->collection + ":" +
+                     def->pattern.ToString());
+    }
+  }
+  std::sort(defs.begin(), defs.end());
+  bytes += "|indexes:";
+  for (const std::string& def : defs) {
+    bytes += def;
+    bytes += ';';
+  }
+  return std::to_string(Crc32(bytes)) + "-" + std::to_string(bytes.size());
+}
+
+Status Server::CheckpointNow() {
+  if (!wal_) {
+    return Status::FailedPrecondition("no WAL to checkpoint (volatile)");
+  }
+  std::unique_lock<std::shared_mutex> lock(db_mu_);
+  return wal_->Checkpoint(store_, catalog_);
 }
 
 ServerStats Server::GetStats() const {

@@ -59,6 +59,8 @@
 #include "fault/deadline.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "repl/applier.h"
+#include "repl/hub.h"
 #include "storage/catalog.h"
 #include "storage/document_store.h"
 #include "storage/statistics.h"
@@ -100,6 +102,36 @@ struct ServerOptions {
   /// Default worker threads for advise requests that do not pin their
   /// own (1 = serial, 0 = one per hardware thread).
   size_t advise_threads = 1;
+
+  // ---- replication (xia::repl, DESIGN §14) ----
+
+  /// Non-empty = run as a read replica following the leader at
+  /// follow_host:follow_port. Requires data_dir (the follower's local
+  /// WAL is what makes its rejoin crash-safe). Followers serve queries,
+  /// EXPLAIN, advise, and metrics; mutations get kReadOnly.
+  std::string follow_host;
+  uint16_t follow_port = 0;
+  /// Identity reported to the leader (per-follower ack tracking).
+  std::string follower_id = "follower";
+  /// Follower: local checkpoint cadence in applied records (0 = only at
+  /// shutdown).
+  size_t repl_checkpoint_every = 0;
+  /// Crash-harness hook threaded into both the WAL writer and the
+  /// replication applier (named kill points, see DESIGN §14).
+  wal::WalTestHook repl_test_hook;
+
+  bool is_follower() const { return !follow_host.empty(); }
+};
+
+/// Point-in-time replication state (tests, tools, the harness).
+struct ReplStatus {
+  bool is_follower = false;
+  /// Follower-side applier progress (zero-valued on a leader).
+  repl::ApplierStats applier;
+  /// Leader-side per-follower view (empty on a follower).
+  std::vector<repl::FollowerInfo> followers;
+  uint64_t durable_lsn = 0;
+  uint64_t checkpoint_lsn = 0;
 };
 
 /// Point-in-time server accounting (tests and the shutdown summary).
@@ -140,6 +172,20 @@ class Server {
   /// volatile servers).
   const wal::RecoveryReport& recovery() const { return recovery_; }
 
+  /// Replication progress; safe while running.
+  ReplStatus GetReplStatus() const;
+
+  /// A deterministic digest of the full database state (snapshot bytes +
+  /// name-sorted real index definitions) under the shared lock. Two
+  /// nodes with equal digests hold identical data — the crash harness's
+  /// convergence check.
+  Result<std::string> StoreDigest();
+
+  /// Forces a WAL checkpoint now (exclusive lock). Leaders use this to
+  /// move the checkpoint horizon so joining followers exercise the
+  /// snapshot-transfer path.
+  Status CheckpointNow();
+
  private:
   struct Session {
     uint64_t id = 0;
@@ -162,6 +208,11 @@ class Server {
 
   /// Dispatches one verified frame; returns the encoded response frame.
   std::string HandleFrame(Session* session, const Frame& frame);
+
+  /// Turns the session into a leader->follower replication stream; runs
+  /// until disconnect/stop. Returns an encoded error frame instead when
+  /// the subscribe is rejected (follower, no WAL, bad payload).
+  std::string HandleReplSubscribe(Session* session, const Frame& frame);
 
   Result<std::string> HandlePing(Session* session, const Frame& frame,
                                  const fault::Deadline& deadline);
@@ -191,6 +242,10 @@ class Server {
   engine::Executor executor_;
   std::unique_ptr<wal::WalManager> wal_;
   wal::RecoveryReport recovery_;
+
+  // ---- replication ----
+  repl::ReplHub repl_hub_;
+  std::unique_ptr<repl::Applier> applier_;
 
   /// Thread-safe capture sink fed by the executor; advise-on-captured
   /// folds drained batches into templates_ under tmpl_mu_ (leaf lock).

@@ -75,6 +75,24 @@ Result<size_t> Socket::Recv(char* buf, size_t n) {
   }
 }
 
+Result<bool> Socket::WaitReadable(double timeout_s) {
+  const int fd = fd_.load();
+  if (fd < 0) return Status::Unavailable("poll on closed socket");
+  const int timeout_ms =
+      timeout_s <= 0 ? 0 : static_cast<int>(timeout_s * 1000);
+  struct pollfd pfd = {fd, POLLIN, 0};
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    // POLLHUP/POLLERR also mean "a Recv would not block" (it returns the
+    // EOF/error), which is exactly what callers need to notice.
+    return rc > 0;
+  }
+}
+
 void Socket::ShutdownRead() {
   const int fd = fd_.load();
   if (fd >= 0) ::shutdown(fd, SHUT_RD);

@@ -48,6 +48,12 @@ class Socket {
   /// connection. Fault point: xia.fault.net.read.
   Result<size_t> Recv(char* buf, size_t n);
 
+  /// Polls for readability (data or EOF) for up to `timeout_s` (0 = a
+  /// pure non-blocking probe). True when a Recv would not block. Lets the
+  /// replication streamer drain follower acks between batches without
+  /// dedicating a thread to them.
+  Result<bool> WaitReadable(double timeout_s);
+
   /// Half-close. ShutdownRead wakes this side's blocked Recv with EOF
   /// (how the server drains sessions without cutting their in-flight
   /// response); ShutdownWrite sends FIN so the *peer's* Recv sees EOF.

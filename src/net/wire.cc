@@ -27,17 +27,25 @@ const char* MsgTypeName(MsgType type) {
       return "explain";
     case MsgType::kMetrics:
       return "metrics";
+    case MsgType::kReplSubscribe:
+      return "repl_subscribe";
     case MsgType::kReply:
       return "reply";
     case MsgType::kError:
       return "error";
+    case MsgType::kReplFrame:
+      return "repl_frame";
+    case MsgType::kReplSnapshot:
+      return "repl_snapshot";
+    case MsgType::kReplAck:
+      return "repl_ack";
   }
   return "unknown";
 }
 
 bool IsRequestType(uint8_t type) {
   return type >= static_cast<uint8_t>(MsgType::kPing) &&
-         type <= static_cast<uint8_t>(MsgType::kMetrics);
+         type <= static_cast<uint8_t>(MsgType::kReplSubscribe);
 }
 
 namespace {
@@ -45,7 +53,10 @@ namespace {
 bool IsKnownType(uint8_t type) {
   return IsRequestType(type) ||
          type == static_cast<uint8_t>(MsgType::kReply) ||
-         type == static_cast<uint8_t>(MsgType::kError);
+         type == static_cast<uint8_t>(MsgType::kError) ||
+         type == static_cast<uint8_t>(MsgType::kReplFrame) ||
+         type == static_cast<uint8_t>(MsgType::kReplSnapshot) ||
+         type == static_cast<uint8_t>(MsgType::kReplAck);
 }
 
 /// Little-endian u32 at a byte offset of an existing buffer.
@@ -376,11 +387,70 @@ Result<ErrorReply> DecodeErrorReply(std::string_view payload) {
   WireReader in{payload};
   uint8_t code = 0;
   if (!in.GetU8(&code) || !in.GetString(&reply.message) || !in.AtEnd() ||
-      code > static_cast<uint8_t>(StatusCode::kUnavailable)) {
+      code > static_cast<uint8_t>(StatusCode::kReadOnly)) {
     return Malformed("error reply");
   }
   reply.code = static_cast<StatusCode>(code);
   return reply;
+}
+
+std::string EncodeReplSubscribeRequest(const ReplSubscribeRequest& req) {
+  std::string out;
+  PutString(&out, req.follower_id);
+  PutU64(&out, req.start_lsn);
+  return out;
+}
+
+Result<ReplSubscribeRequest> DecodeReplSubscribeRequest(
+    std::string_view payload) {
+  ReplSubscribeRequest req;
+  WireReader in{payload};
+  if (!in.GetString(&req.follower_id) || !in.GetU64(&req.start_lsn) ||
+      !in.AtEnd()) {
+    return Malformed("repl subscribe request");
+  }
+  return req;
+}
+
+std::string EncodeReplSnapshotPayload(const ReplSnapshotPayload& snap) {
+  std::string out;
+  PutU64(&out, snap.checkpoint_lsn);
+  PutU8(&out, snap.has_snapshot ? 1 : 0);
+  PutU8(&out, snap.has_catalog ? 1 : 0);
+  PutString(&out, snap.snapshot_bytes);
+  PutString(&out, snap.catalog_bytes);
+  return out;
+}
+
+Result<ReplSnapshotPayload> DecodeReplSnapshotPayload(
+    std::string_view payload) {
+  ReplSnapshotPayload snap;
+  WireReader in{payload};
+  uint8_t has_snapshot = 0;
+  uint8_t has_catalog = 0;
+  if (!in.GetU64(&snap.checkpoint_lsn) || !in.GetU8(&has_snapshot) ||
+      !in.GetU8(&has_catalog) || !in.GetString(&snap.snapshot_bytes) ||
+      !in.GetString(&snap.catalog_bytes) || !in.AtEnd()) {
+    return Malformed("repl snapshot");
+  }
+  snap.has_snapshot = has_snapshot != 0;
+  snap.has_catalog = has_catalog != 0;
+  return snap;
+}
+
+std::string EncodeReplAckPayload(const ReplAckPayload& ack) {
+  std::string out;
+  PutU64(&out, ack.acked_lsn);
+  return out;
+}
+
+Result<ReplAckPayload> DecodeReplAckPayload(std::string_view payload) {
+  ReplAckPayload ack;
+  WireReader in{payload};
+  if (!in.GetU64(&ack.acked_lsn) || !in.AtEnd()) {
+    return Malformed("repl ack");
+  }
+  return ack;
 }
 
 Status ErrorReplyToStatus(const ErrorReply& reply) {

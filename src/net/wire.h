@@ -53,8 +53,15 @@ inline constexpr size_t kHeaderBytes = 24;
 /// error, never an allocation request (same stance as the WAL).
 inline constexpr uint32_t kMaxPayloadBytes = 16u << 20;
 
-/// Message types. Requests are < kReply; the two response types close the
-/// range so IsRequestType stays a comparison.
+/// Message types. Requests are < kReply; response types live at 0x40+
+/// and replication stream types at 0x50+ so IsRequestType stays a
+/// comparison.
+///
+/// kReplSubscribe is the only request that does NOT follow the
+/// one-request/one-reply shape: it flips the session into a one-way
+/// stream of kReplSnapshot / kReplFrame frames from leader to follower,
+/// with kReplAck frames flowing back (all with request_id 0 — the
+/// stream is positional, ordered by LSN, not correlated by id).
 enum class MsgType : uint8_t {
   kPing = 1,
   kQuery = 2,
@@ -62,8 +69,12 @@ enum class MsgType : uint8_t {
   kAdvise = 4,
   kExplain = 5,
   kMetrics = 6,
+  kReplSubscribe = 7,
   kReply = 0x40,
   kError = 0x41,
+  kReplFrame = 0x50,
+  kReplSnapshot = 0x51,
+  kReplAck = 0x52,
 };
 
 const char* MsgTypeName(MsgType type);
@@ -190,6 +201,35 @@ struct ErrorReply {
   std::string message;
 };
 
+// ---- replication (xia::repl, DESIGN §14) ----
+
+/// kReplSubscribe — a follower asks the leader to stream committed WAL
+/// records starting at `start_lsn`. When the leader's log no longer
+/// reaches back that far it answers with a kReplSnapshot first.
+struct ReplSubscribeRequest {
+  std::string follower_id;
+  uint64_t start_lsn = 1;
+};
+
+/// kReplFrame carries exactly one encoded WAL record (wal::EncodeRecord
+/// bytes, LSN embedded) as its payload — no extra wrapper, so the record
+/// CRC story stays the WAL's own. No codec needed.
+
+/// kReplSnapshot — a checkpoint image transferred whole (file bytes,
+/// validated on the follower before anything is touched).
+struct ReplSnapshotPayload {
+  uint64_t checkpoint_lsn = 0;
+  bool has_snapshot = false;
+  bool has_catalog = false;
+  std::string snapshot_bytes;
+  std::string catalog_bytes;
+};
+
+/// kReplAck — follower reports its highest contiguously applied LSN.
+struct ReplAckPayload {
+  uint64_t acked_lsn = 0;
+};
+
 std::string EncodeQueryRequest(const QueryRequest& req);
 Result<QueryRequest> DecodeQueryRequest(std::string_view payload);
 
@@ -216,6 +256,17 @@ Result<TextReply> DecodeTextReply(std::string_view payload);
 
 std::string EncodeErrorReply(const ErrorReply& reply);
 Result<ErrorReply> DecodeErrorReply(std::string_view payload);
+
+std::string EncodeReplSubscribeRequest(const ReplSubscribeRequest& req);
+Result<ReplSubscribeRequest> DecodeReplSubscribeRequest(
+    std::string_view payload);
+
+std::string EncodeReplSnapshotPayload(const ReplSnapshotPayload& snap);
+Result<ReplSnapshotPayload> DecodeReplSnapshotPayload(
+    std::string_view payload);
+
+std::string EncodeReplAckPayload(const ReplAckPayload& ack);
+Result<ReplAckPayload> DecodeReplAckPayload(std::string_view payload);
 
 /// Reconstructs the Status a kError frame describes (what the client
 /// library returns to its caller).

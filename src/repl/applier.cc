@@ -1,0 +1,293 @@
+#include "repl/applier.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "fault/fault.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+#include "wal/replay.h"
+
+namespace xia::repl {
+
+namespace {
+constexpr size_t kRecvChunk = 64 * 1024;
+constexpr double kConnectTimeoutSeconds = 2.0;
+/// Receive poll granularity; also the stop-latency bound while idle.
+constexpr double kPollSeconds = 0.05;
+}  // namespace
+
+Applier::Applier(ApplierOptions options, wal::WalManager* wal,
+                 std::shared_mutex* db_mu, storage::DocumentStore* store,
+                 storage::Catalog* catalog,
+                 storage::StatisticsCatalog* statistics)
+    : options_(std::move(options)),
+      wal_(wal),
+      db_mu_(db_mu),
+      store_(store),
+      catalog_(catalog),
+      statistics_(statistics) {}
+
+Applier::~Applier() { Stop(); }
+
+void Applier::Start() {
+  if (started_.exchange(true)) return;
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread(&Applier::Run, this);
+}
+
+void Applier::Stop() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  started_.store(false, std::memory_order_release);
+}
+
+ApplierStats Applier::GetStats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void Applier::RecordError(const Status& status) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.last_error = status.ToString();
+  stats_.connected = false;
+}
+
+void Applier::Run() {
+  Random jitter(options_.jitter_seed);
+  double backoff = options_.backoff_initial_s;
+  while (!stop_.load(std::memory_order_acquire)) {
+    const Status ended = RunOnce();
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.connected = false;
+      if (!ended.ok()) stats_.last_error = ended.ToString();
+      if (!stats_.sticky_error.empty()) return;  // halted: divergence
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+    if (ended.ok()) {
+      backoff = options_.backoff_initial_s;  // clean end: retry promptly
+    }
+    // Jittered exponential backoff (the OnlineAdvisor shape): sleep
+    // 0.5x..1x of the current backoff, in small slices so Stop() is
+    // never blocked behind a long sleep.
+    const double sleep_s = backoff * (0.5 + 0.5 * jitter.NextDouble());
+    Stopwatch slept;
+    while (slept.ElapsedSeconds() < sleep_s &&
+           !stop_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    backoff = std::min(backoff * options_.backoff_multiplier,
+                       options_.backoff_max_s);
+  }
+}
+
+Status Applier::RunOnce() {
+  // Resume from what the local WAL already holds: recovery has applied
+  // everything durable, so the first LSN we need is the next one.
+  const uint64_t durable =
+      std::max(wal_->GetStatus().next_lsn - 1, wal_->checkpoint_lsn());
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.applied_lsn = durable;
+  }
+
+  Result<net::Socket> connected = net::ConnectTcp(
+      options_.leader_host, options_.leader_port, kConnectTimeoutSeconds);
+  if (!connected.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.connect_failures;
+    return connected.status();
+  }
+  net::Socket socket = std::move(*connected);
+
+  net::ReplSubscribeRequest subscribe;
+  subscribe.follower_id = options_.follower_id;
+  subscribe.start_lsn = durable + 1;
+  XIA_RETURN_IF_ERROR(socket.SendAll(
+      net::EncodeFrame(net::MsgType::kReplSubscribe, 0,
+                       net::EncodeReplSubscribeRequest(subscribe))));
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.connected = true;
+    ++stats_.resubscribes;
+  }
+  XIA_OBS_COUNT("xia.repl.subscribes", 1);
+
+  net::FrameReader reader;
+  char buf[kRecvChunk];
+  Stopwatch since_ack;
+  size_t unacked = 0;
+  const auto send_ack = [&]() -> Status {
+    net::ReplAckPayload ack;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ack.acked_lsn = stats_.applied_lsn;
+    }
+    XIA_RETURN_IF_ERROR(socket.SendAll(net::EncodeFrame(
+        net::MsgType::kReplAck, 0, net::EncodeReplAckPayload(ack))));
+    unacked = 0;
+    since_ack.Restart();
+    return Status::OK();
+  };
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    // Drain buffered frames before reading more bytes.
+    for (;;) {
+      net::Frame frame;
+      std::string parse_error;
+      const net::FrameReader::Next next = reader.Poll(&frame, &parse_error);
+      if (next == net::FrameReader::Next::kNeedMore) {
+        // A partially buffered frame is the harness's mid-frame kill
+        // window: a record's bytes half-arrived and nothing applied.
+        if (reader.buffered() > 0) Hook("repl.recv.mid_frame");
+        break;
+      }
+      if (next == net::FrameReader::Next::kBad) {
+        // A flipped bit anywhere in the stream lands here (frame CRC):
+        // nothing was applied; resubscribe from the last good LSN.
+        return Status::ParseError("leader stream: " + parse_error);
+      }
+      Status handled = Status::OK();
+      switch (frame.type) {
+        case net::MsgType::kReplFrame:
+          handled = HandleRecordFrame(frame.payload);
+          break;
+        case net::MsgType::kReplSnapshot:
+          handled = HandleSnapshotFrame(frame.payload);
+          break;
+        case net::MsgType::kError: {
+          XIA_ASSIGN_OR_RETURN(const net::ErrorReply err,
+                               net::DecodeErrorReply(frame.payload));
+          return ErrorReplyToStatus(err);
+        }
+        default:
+          return Status::InvalidArgument(
+              "unexpected frame type on replication stream");
+      }
+      XIA_RETURN_IF_ERROR(handled);
+      ++unacked;
+    }
+
+    if (unacked > 0 && (unacked >= options_.ack_every_records ||
+                        since_ack.ElapsedSeconds() >=
+                            options_.ack_interval_s)) {
+      XIA_RETURN_IF_ERROR(send_ack());
+    }
+
+    if (options_.checkpoint_every_records > 0 &&
+        since_checkpoint_ >= options_.checkpoint_every_records) {
+      std::unique_lock<std::shared_mutex> lock(*db_mu_);
+      XIA_RETURN_IF_ERROR(wal_->Checkpoint(*store_, *catalog_));
+      since_checkpoint_ = 0;
+    }
+
+    XIA_ASSIGN_OR_RETURN(const bool readable,
+                         socket.WaitReadable(kPollSeconds));
+    if (!readable) {
+      // Idle: keep the leader's acked-LSN view fresh anyway.
+      if (unacked > 0) XIA_RETURN_IF_ERROR(send_ack());
+      continue;
+    }
+    XIA_FAULT_INJECT(fault::points::kReplRecv);
+    const Result<size_t> got = socket.Recv(buf, sizeof(buf));
+    XIA_RETURN_IF_ERROR(got.status());
+    if (*got == 0) {
+      return Status::Unavailable("leader closed the replication stream");
+    }
+    reader.Feed(std::string_view(buf, *got));
+  }
+  // Clean stop: best-effort final ack so the leader's view is current.
+  if (unacked > 0) (void)send_ack();
+  return Status::OK();
+}
+
+Status Applier::HandleRecordFrame(const std::string& payload) {
+  XIA_ASSIGN_OR_RETURN(const wal::WalRecord record,
+                       wal::DecodeRecord(payload));
+  uint64_t applied = 0;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    applied = stats_.applied_lsn;
+  }
+  if (record.lsn <= applied) {
+    // Redelivery after a resubscribe: already durable and applied.
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.duplicates_skipped;
+    XIA_OBS_COUNT("xia.repl.duplicates_skipped", 1);
+    return Status::OK();
+  }
+  if (record.lsn != applied + 1) {
+    // A gap means this stream skipped something; resubscribe from the
+    // last good LSN rather than apply out of order.
+    return Status::Unavailable(
+        "replication stream gap: got lsn " + std::to_string(record.lsn) +
+        ", expected " + std::to_string(applied + 1));
+  }
+
+  std::unique_lock<std::shared_mutex> lock(*db_mu_);
+  XIA_FAULT_INJECT(fault::points::kReplApply);
+  Hook("repl.apply.before_wal");
+  // Log first, then apply: a crash between the two replays the record
+  // from the local WAL on restart. In-process failures past this point
+  // are divergences (the leader applied this record successfully), so
+  // they halt the applier sticky instead of retrying.
+  Status status = wal_->AppendReplicated(record);
+  if (!status.ok()) {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    stats_.sticky_error = "replicated append failed: " + status.ToString();
+    return status;
+  }
+  Hook("repl.apply.mid_apply");
+  status = wal::ApplyRecord(record, store_, catalog_, statistics_);
+  if (!status.ok()) {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    stats_.sticky_error =
+        "record " + std::to_string(record.lsn) +
+        " applied on the leader but failed locally: " + status.ToString();
+    return status;
+  }
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    stats_.applied_lsn = record.lsn;
+    ++stats_.records_applied;
+  }
+  ++since_checkpoint_;
+  XIA_OBS_COUNT("xia.repl.records_applied", 1);
+  XIA_OBS_GAUGE_SET("xia.repl.applied_lsn", static_cast<double>(record.lsn));
+  return Status::OK();
+}
+
+Status Applier::HandleSnapshotFrame(const std::string& payload) {
+  XIA_ASSIGN_OR_RETURN(net::ReplSnapshotPayload snap,
+                       net::DecodeReplSnapshotPayload(payload));
+  Hook("repl.snapshot.before_install");
+  wal::CheckpointImage image;
+  image.checkpoint_lsn = snap.checkpoint_lsn;
+  image.has_snapshot = snap.has_snapshot;
+  image.has_catalog = snap.has_catalog;
+  image.snapshot_bytes = std::move(snap.snapshot_bytes);
+  image.catalog_bytes = std::move(snap.catalog_bytes);
+  {
+    std::unique_lock<std::shared_mutex> lock(*db_mu_);
+    // Fail-closed: a corrupt image returns kDataLoss with nothing
+    // touched, and the retry loop resubscribes.
+    XIA_RETURN_IF_ERROR(
+        wal_->InstallCheckpoint(image, store_, catalog_, statistics_));
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.applied_lsn = image.checkpoint_lsn;
+    ++stats_.snapshots_installed;
+  }
+  XIA_OBS_COUNT("xia.repl.snapshots_installed", 1);
+  XIA_OBS_GAUGE_SET("xia.repl.applied_lsn",
+                    static_cast<double>(image.checkpoint_lsn));
+  return Status::OK();
+}
+
+}  // namespace xia::repl

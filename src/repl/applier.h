@@ -1,0 +1,128 @@
+// Follower side of WAL shipping: a background thread that subscribes to
+// the leader and replays its committed records locally (DESIGN §14).
+//
+// Rejoin state machine (each transition is crash-safe — the follower can
+// be SIGKILLed anywhere and recover by rerunning it):
+//
+//   CONNECT     dial the leader with jittered exponential backoff (the
+//               OnlineAdvisor backoff shape: 0.05s initial, x2, capped).
+//   SUBSCRIBE   start_lsn = local durable LSN + 1 (whatever the local
+//               WAL already holds is never requested again).
+//   CATCH-UP    leader answers with a kReplSnapshot when start_lsn
+//               predates its checkpoint horizon; InstallCheckpoint
+//               validates the image fail-closed, commits it via the
+//               MANIFEST rename, and rebases the local log.
+//   STREAM      per kReplFrame: duplicate LSNs (redelivery after a
+//               resubscribe) are skipped; the next expected LSN is
+//               appended to the local WAL first, then applied through
+//               the same wal::ApplyRecord used by recovery; a gap or a
+//               record that fails to decode forces a resubscribe from
+//               the last good LSN. Acks flow back on a small cadence.
+//
+// The local WAL append happens BEFORE the in-memory apply: if the
+// process dies between the two, recovery replays the record from the
+// local log — the exact window the crash harness's mid-apply kill
+// exercises. A record is acked only after both succeeded.
+//
+// Lock order: db_mu (exclusive, per record/snapshot) -> WAL internals.
+// The applier never holds db_mu while blocked on the network.
+
+#ifndef XIA_REPL_APPLIER_H_
+#define XIA_REPL_APPLIER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+
+#include "storage/catalog.h"
+#include "storage/document_store.h"
+#include "storage/statistics.h"
+#include "util/status.h"
+#include "wal/manager.h"
+#include "wal/writer.h"
+
+namespace xia::repl {
+
+struct ApplierOptions {
+  std::string leader_host = "127.0.0.1";
+  uint16_t leader_port = 0;
+  std::string follower_id = "follower";
+  /// Ack at least every N applied records...
+  size_t ack_every_records = 32;
+  /// ...and whenever this much time passed with unacked progress.
+  double ack_interval_s = 0.05;
+  /// Run a local checkpoint every N applied records (0 = only on stop).
+  size_t checkpoint_every_records = 0;
+  /// Reconnect backoff (OnlineAdvisor shape): jittered exponential.
+  double backoff_initial_s = 0.05;
+  double backoff_multiplier = 2.0;
+  double backoff_max_s = 2.0;
+  /// Seed for the backoff jitter (deterministic tests).
+  uint64_t jitter_seed = 42;
+  /// Crash-harness hook, called at named points (see DESIGN §14).
+  wal::WalTestHook test_hook;
+};
+
+struct ApplierStats {
+  uint64_t applied_lsn = 0;
+  uint64_t records_applied = 0;
+  uint64_t duplicates_skipped = 0;
+  uint64_t snapshots_installed = 0;
+  uint64_t resubscribes = 0;
+  uint64_t connect_failures = 0;
+  bool connected = false;
+  /// Non-empty after an unrecoverable divergence; the applier is halted.
+  std::string sticky_error;
+  std::string last_error;
+};
+
+/// The follower's replication client. Owns one background thread.
+class Applier {
+ public:
+  Applier(ApplierOptions options, wal::WalManager* wal,
+          std::shared_mutex* db_mu, storage::DocumentStore* store,
+          storage::Catalog* catalog, storage::StatisticsCatalog* statistics);
+  ~Applier();
+
+  Applier(const Applier&) = delete;
+  Applier& operator=(const Applier&) = delete;
+
+  void Start();
+  void Stop();
+
+  ApplierStats GetStats() const;
+
+ private:
+  void Run();
+  /// One connect+subscribe+stream attempt; returns why it ended.
+  Status RunOnce();
+  Status HandleRecordFrame(const std::string& payload);
+  Status HandleSnapshotFrame(const std::string& payload);
+  void Hook(const char* point) {
+    if (options_.test_hook) options_.test_hook(point);
+  }
+  void RecordError(const Status& status);
+
+  const ApplierOptions options_;
+  wal::WalManager* const wal_;
+  std::shared_mutex* const db_mu_;
+  storage::DocumentStore* const store_;
+  storage::Catalog* const catalog_;
+  storage::StatisticsCatalog* const statistics_;
+
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> started_{false};
+
+  mutable std::mutex stats_mu_;
+  ApplierStats stats_;  // guarded by stats_mu_
+  /// Records applied since the last local checkpoint.
+  uint64_t since_checkpoint_ = 0;
+};
+
+}  // namespace xia::repl
+
+#endif  // XIA_REPL_APPLIER_H_

@@ -1,0 +1,71 @@
+#include "repl/hub.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace xia::repl {
+
+void ReplHub::OnSubscribe(const std::string& follower_id,
+                          uint64_t start_lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FollowerInfo& info = followers_[follower_id];
+  info.follower_id = follower_id;
+  info.subscribed_from = start_lsn;
+  info.streaming = true;
+  ++info.subscribes;
+  PublishGaugesLocked();
+}
+
+void ReplHub::OnAck(const std::string& follower_id, uint64_t acked_lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = followers_.find(follower_id);
+  if (it == followers_.end()) return;
+  it->second.acked_lsn = std::max(it->second.acked_lsn, acked_lsn);
+  PublishGaugesLocked();
+}
+
+void ReplHub::OnDisconnect(const std::string& follower_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = followers_.find(follower_id);
+  if (it == followers_.end()) return;
+  it->second.streaming = false;
+  PublishGaugesLocked();
+}
+
+std::vector<FollowerInfo> ReplHub::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FollowerInfo> out;
+  out.reserve(followers_.size());
+  for (const auto& [id, info] : followers_) out.push_back(info);
+  return out;
+}
+
+uint64_t ReplHub::MinAckedLsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t min_lsn = 0;
+  bool any = false;
+  for (const auto& [id, info] : followers_) {
+    if (!info.streaming) continue;
+    min_lsn = any ? std::min(min_lsn, info.acked_lsn) : info.acked_lsn;
+    any = true;
+  }
+  return any ? min_lsn : 0;
+}
+
+void ReplHub::PublishGaugesLocked() const {
+  size_t streaming = 0;
+  uint64_t min_acked = 0;
+  bool any = false;
+  for (const auto& [id, info] : followers_) {
+    if (!info.streaming) continue;
+    ++streaming;
+    min_acked = any ? std::min(min_acked, info.acked_lsn) : info.acked_lsn;
+    any = true;
+  }
+  XIA_OBS_GAUGE_SET("xia.repl.followers_streaming",
+                static_cast<double>(streaming));
+  XIA_OBS_GAUGE_SET("xia.repl.min_acked_lsn", static_cast<double>(min_acked));
+}
+
+}  // namespace xia::repl

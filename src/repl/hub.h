@@ -1,0 +1,64 @@
+// xia::repl — WAL-shipping replication (DESIGN §14).
+//
+// ReplHub is the leader's view of its followers: which follower_ids are
+// currently streaming and the highest LSN each has acknowledged as
+// applied. It is pure bookkeeping — the per-follower streamer threads
+// (stream.h) do the work and report in here — but it is what makes
+// replication observable: the hub publishes xia.repl.* gauges and is the
+// source for `xia repl status`-style introspection in tests and tools.
+//
+// The hub mutex is a leaf lock: never held while sending, reading the
+// WAL, or holding the database lock.
+
+#ifndef XIA_REPL_HUB_H_
+#define XIA_REPL_HUB_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace xia::repl {
+
+/// One follower as the leader sees it.
+struct FollowerInfo {
+  std::string follower_id;
+  /// Highest LSN the follower reported applied (0 = none yet).
+  uint64_t acked_lsn = 0;
+  /// LSN the follower last subscribed from.
+  uint64_t subscribed_from = 0;
+  /// True while a stream session is attached under this id.
+  bool streaming = false;
+  /// Total subscribe calls seen for this id (rejoins + resubscribes).
+  uint64_t subscribes = 0;
+};
+
+class ReplHub {
+ public:
+  /// Registers (or re-registers) a follower at stream start.
+  void OnSubscribe(const std::string& follower_id, uint64_t start_lsn);
+
+  /// Records an acked LSN (monotonic per follower; stale acks ignored).
+  void OnAck(const std::string& follower_id, uint64_t acked_lsn);
+
+  /// Marks the follower's stream as detached (state is kept so a rejoin
+  /// continues the same acked-LSN history).
+  void OnDisconnect(const std::string& follower_id);
+
+  std::vector<FollowerInfo> Snapshot() const;
+
+  /// Lowest acked LSN across currently streaming followers (0 when none
+  /// are streaming) — the replication horizon a leader could truncate to.
+  uint64_t MinAckedLsn() const;
+
+ private:
+  void PublishGaugesLocked() const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, FollowerInfo> followers_;
+};
+
+}  // namespace xia::repl
+
+#endif  // XIA_REPL_HUB_H_

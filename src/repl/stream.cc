@@ -1,0 +1,148 @@
+#include "repl/stream.h"
+
+#include <algorithm>
+#include <string>
+
+#include "fault/fault.h"
+#include "obs/metrics.h"
+
+namespace xia::repl {
+
+namespace {
+
+constexpr size_t kBatchRecords = 256;
+/// How long one ReadTail blocks; bounds stop-latency when idle.
+constexpr double kTailWaitSeconds = 0.05;
+constexpr size_t kRecvChunk = 4 * 1024;
+
+/// Drains any follower->leader bytes already available (acks). Returns
+/// false when the follower closed the connection or broke framing — the
+/// stream should end.
+bool DrainAcks(net::Socket* socket, net::FrameReader* reader,
+               const std::string& follower_id, ReplHub* hub,
+               Status* error) {
+  char buf[kRecvChunk];
+  for (;;) {
+    const Result<bool> readable = socket->WaitReadable(0);
+    if (!readable.ok()) {
+      *error = readable.status();
+      return false;
+    }
+    if (!*readable) return true;
+    const Result<size_t> got = socket->Recv(buf, sizeof(buf));
+    if (!got.ok()) {
+      *error = got.status();
+      return false;
+    }
+    if (*got == 0) return false;  // orderly EOF: follower went away
+    reader->Feed(std::string_view(buf, *got));
+    for (;;) {
+      net::Frame frame;
+      std::string parse_error;
+      const net::FrameReader::Next next = reader->Poll(&frame, &parse_error);
+      if (next == net::FrameReader::Next::kNeedMore) break;
+      if (next == net::FrameReader::Next::kBad) {
+        *error = Status::ParseError("follower stream: " + parse_error);
+        return false;
+      }
+      if (frame.type != net::MsgType::kReplAck) {
+        *error = Status::InvalidArgument(
+            "unexpected frame type from subscribed follower");
+        return false;
+      }
+      const Result<net::ReplAckPayload> ack =
+          net::DecodeReplAckPayload(frame.payload);
+      if (!ack.ok()) {
+        *error = ack.status();
+        return false;
+      }
+      hub->OnAck(follower_id, ack->acked_lsn);
+      XIA_OBS_COUNT("xia.repl.acks_received", 1);
+    }
+  }
+}
+
+/// Reads the current checkpoint image (under the shared db lock, so a
+/// concurrent checkpoint cannot swap files mid-read) and ships it.
+Status SendSnapshot(net::Socket* socket, const StreamContext& ctx,
+                    uint64_t* resume_lsn) {
+  wal::CheckpointImage image;
+  {
+    std::shared_lock<std::shared_mutex> lock(*ctx.db_mu);
+    XIA_ASSIGN_OR_RETURN(image, ctx.wal->ReadCheckpointImage());
+  }
+  XIA_FAULT_INJECT(fault::points::kReplSnapshotXfer);
+  net::ReplSnapshotPayload payload;
+  payload.checkpoint_lsn = image.checkpoint_lsn;
+  payload.has_snapshot = image.has_snapshot;
+  payload.has_catalog = image.has_catalog;
+  payload.snapshot_bytes = std::move(image.snapshot_bytes);
+  payload.catalog_bytes = std::move(image.catalog_bytes);
+  const std::string encoded = net::EncodeReplSnapshotPayload(payload);
+  if (encoded.size() > net::kMaxPayloadBytes) {
+    return Status::ResourceExhausted(
+        "checkpoint image exceeds the wire frame limit (" +
+        std::to_string(encoded.size()) + " bytes)");
+  }
+  XIA_RETURN_IF_ERROR(socket->SendAll(
+      net::EncodeFrame(net::MsgType::kReplSnapshot, 0, encoded)));
+  XIA_OBS_COUNT("xia.repl.snapshots_sent", 1);
+  *resume_lsn = payload.checkpoint_lsn + 1;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RunReplStream(net::Socket* socket,
+                     const net::ReplSubscribeRequest& subscribe,
+                     const StreamContext& ctx) {
+  ctx.hub->OnSubscribe(subscribe.follower_id, subscribe.start_lsn);
+  net::FrameReader acks;
+  wal::TailCursor cursor;
+  cursor.next_lsn = std::max<uint64_t>(subscribe.start_lsn, 1);
+
+  Status result = Status::OK();
+  while (!ctx.stopping->load(std::memory_order_acquire)) {
+    Status ack_error = Status::OK();
+    if (!DrainAcks(socket, &acks, subscribe.follower_id, ctx.hub,
+                   &ack_error)) {
+      result = ack_error;  // OK when the follower simply hung up
+      break;
+    }
+
+    Result<wal::TailBatch> batch =
+        ctx.wal->ReadTail(&cursor, kBatchRecords, kTailWaitSeconds);
+    if (!batch.ok()) {
+      result = batch.status();
+      break;
+    }
+    if (batch->need_checkpoint) {
+      result = SendSnapshot(socket, ctx, &cursor.next_lsn);
+      if (!result.ok()) break;
+      continue;
+    }
+    bool send_failed = false;
+    for (const std::string& payload : batch->payloads) {
+      const Status injected = [] {
+        XIA_FAULT_INJECT(fault::points::kReplSend);
+        return Status::OK();
+      }();
+      if (injected.ok()) {
+        result = socket->SendAll(
+            net::EncodeFrame(net::MsgType::kReplFrame, 0, payload));
+      } else {
+        result = injected;
+      }
+      if (!result.ok()) {
+        send_failed = true;
+        break;
+      }
+      XIA_OBS_COUNT("xia.repl.frames_sent", 1);
+    }
+    if (send_failed) break;
+  }
+  ctx.hub->OnDisconnect(subscribe.follower_id);
+  return result;
+}
+
+}  // namespace xia::repl

@@ -1,0 +1,50 @@
+// Leader side of WAL shipping: RunReplStream turns one server session
+// into a replication stream (DESIGN §14).
+//
+// After a follower's kReplSubscribe frame, the session thread calls
+// RunReplStream and never returns to request/response dispatch: the
+// function tails the leader's WAL (WalManager::ReadTail) and pushes each
+// committed record to the follower as a kReplFrame, interleaving
+// kReplSnapshot transfers whenever the follower's position predates the
+// checkpoint horizon (join, or rejoin after falling behind a
+// checkpoint). Follower kReplAck frames are drained opportunistically
+// between batches (Socket::WaitReadable) and recorded in the ReplHub.
+//
+// The stream holds NO locks while blocked: ReadTail waits on the WAL's
+// own commit signal, and the shared database lock is taken only for the
+// duration of reading a checkpoint image's bytes.
+
+#ifndef XIA_REPL_STREAM_H_
+#define XIA_REPL_STREAM_H_
+
+#include <atomic>
+#include <shared_mutex>
+
+#include "net/socket.h"
+#include "net/wire.h"
+#include "repl/hub.h"
+#include "util/status.h"
+#include "wal/manager.h"
+
+namespace xia::repl {
+
+/// Everything a stream needs from its server.
+struct StreamContext {
+  wal::WalManager* wal = nullptr;
+  /// The server's database lock (shared while reading checkpoint files).
+  std::shared_mutex* db_mu = nullptr;
+  ReplHub* hub = nullptr;
+  /// Server shutdown flag; the stream exits promptly once set.
+  std::atomic<bool>* stopping = nullptr;
+};
+
+/// Streams until the follower disconnects (OK), the server stops (OK),
+/// or an unrecoverable send/read error occurs (the error). Always
+/// reports the disconnect to the hub before returning.
+Status RunReplStream(net::Socket* socket,
+                     const net::ReplSubscribeRequest& subscribe,
+                     const StreamContext& ctx);
+
+}  // namespace xia::repl
+
+#endif  // XIA_REPL_STREAM_H_

@@ -32,6 +32,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "data_loss";
     case StatusCode::kUnavailable:
       return "unavailable";
+    case StatusCode::kReadOnly:
+      return "read_only";
   }
   return "unknown";
 }

@@ -31,6 +31,7 @@ enum class StatusCode {
   kCancelled,
   kDataLoss,
   kUnavailable,
+  kReadOnly,
 };
 
 /// Returns the canonical lower-case name of a status code ("ok",
@@ -90,6 +91,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ReadOnly(std::string msg) {
+    return Status(StatusCode::kReadOnly, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

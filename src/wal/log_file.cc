@@ -22,6 +22,33 @@ void AppendFrame(std::string_view payload, std::string* out) {
   out->append(payload.data(), payload.size());
 }
 
+FrameParse ParseNextFrame(std::string_view data, size_t* pos,
+                          std::string_view* payload, std::string* reason) {
+  WireReader reader{data.substr(*pos)};
+  uint32_t len = 0;
+  uint32_t crc = 0;
+  if (!reader.GetU32(&len) || !reader.GetU32(&crc)) {
+    if (reason != nullptr) *reason = "truncated frame header";
+    return FrameParse::kNeedMore;
+  }
+  if (len > kMaxFrameBytes) {
+    if (reason != nullptr) *reason = "frame length out of range";
+    return FrameParse::kCorrupt;
+  }
+  if (reader.pos + len > reader.data.size()) {
+    if (reason != nullptr) *reason = "truncated frame payload";
+    return FrameParse::kNeedMore;
+  }
+  const std::string_view body = reader.data.substr(reader.pos, len);
+  if (Crc32(body) != crc) {
+    if (reason != nullptr) *reason = "frame crc mismatch";
+    return FrameParse::kCorrupt;
+  }
+  *payload = body;
+  *pos += 8 + len;
+  return FrameParse::kFrame;
+}
+
 Result<ScannedLog> ScanLogFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("WAL file not found: " + path);
@@ -46,28 +73,11 @@ Result<ScannedLog> ScanLogFile(const std::string& path) {
   size_t pos = sizeof(kWalMagic);
   scanned.valid_bytes = pos;
   while (pos < data.size()) {
-    WireReader reader{std::string_view(data).substr(pos)};
-    uint32_t len = 0;
-    uint32_t crc = 0;
-    if (!reader.GetU32(&len) || !reader.GetU32(&crc)) {
-      scanned.tail_reason = "truncated frame header";
-      break;
-    }
-    if (len > kMaxFrameBytes) {
-      scanned.tail_reason = "frame length out of range";
-      break;
-    }
-    if (reader.pos + len > reader.data.size()) {
-      scanned.tail_reason = "truncated frame payload";
-      break;
-    }
-    const std::string_view payload = reader.data.substr(reader.pos, len);
-    if (Crc32(payload) != crc) {
-      scanned.tail_reason = "frame crc mismatch";
-      break;
-    }
+    std::string_view payload;
+    const FrameParse parsed =
+        ParseNextFrame(data, &pos, &payload, &scanned.tail_reason);
+    if (parsed != FrameParse::kFrame) break;
     scanned.payloads.emplace_back(payload);
-    pos += 8 + len;
     scanned.valid_bytes = pos;
   }
   scanned.discarded_bytes = data.size() - scanned.valid_bytes;

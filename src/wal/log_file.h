@@ -34,6 +34,22 @@ inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
 /// Appends one `len | crc | payload` frame to `out`.
 void AppendFrame(std::string_view payload, std::string* out);
 
+/// Outcome of parsing one frame out of a byte range.
+enum class FrameParse : uint8_t {
+  kFrame,     ///< *payload holds the next CRC-verified frame payload
+  kNeedMore,  ///< the bytes end mid-frame (torn tail / still being written)
+  kCorrupt,   ///< a complete frame is present but fails its checks
+};
+
+/// Parses the frame starting at `*pos` inside `data`. On kFrame, advances
+/// `*pos` past the frame and points *payload into `data`; on kNeedMore /
+/// kCorrupt, leaves `*pos` untouched and fills *reason. The distinction
+/// matters to callers: a reader tailing a live log treats kNeedMore as
+/// "wait for the writer", while kCorrupt on a fully-written region is
+/// real corruption.
+FrameParse ParseNextFrame(std::string_view data, size_t* pos,
+                          std::string_view* payload, std::string* reason);
+
 /// Result of scanning a WAL file up to the first bad frame.
 struct ScannedLog {
   /// Payloads of every frame that passed its CRC, in file order.

@@ -1,6 +1,7 @@
 #include "wal/manager.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -18,6 +19,7 @@
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "wal/log_file.h"
+#include "wal/replay.h"
 #include "wal/wire.h"
 
 namespace xia::wal {
@@ -39,29 +41,42 @@ std::string EncodeFramedFile(const char (&magic)[8],
   return out;
 }
 
-Result<std::string> ReadFramedFile(const std::string& path,
-                                   const char (&magic)[8]) {
+Result<std::string> ReadWholeFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound(path + " not found");
   std::ostringstream buf;
   buf << in.rdbuf();
-  const std::string data = buf.str();
+  return buf.str();
+}
+
+/// Validates magic + frame CRC over in-memory file contents. `where`
+/// names the source (a path, or "replication catalog image") for the
+/// kDataLoss message.
+Result<std::string> ParseFramedBytes(std::string_view data,
+                                     const char (&magic)[8],
+                                     const std::string& where) {
   if (data.size() < sizeof(magic) + 8 ||
       std::memcmp(data.data(), magic, sizeof(magic)) != 0) {
-    return Status::DataLoss(path + " is corrupt (bad magic)");
+    return Status::DataLoss(where + " is corrupt (bad magic)");
   }
-  WireReader reader{std::string_view(data).substr(sizeof(magic))};
+  WireReader reader{data.substr(sizeof(magic))};
   uint32_t len = 0;
   uint32_t crc = 0;
   if (!reader.GetU32(&len) || !reader.GetU32(&crc) ||
       reader.pos + len != reader.data.size()) {
-    return Status::DataLoss(path + " is corrupt (bad frame)");
+    return Status::DataLoss(where + " is corrupt (bad frame)");
   }
   const std::string_view payload = reader.data.substr(reader.pos, len);
   if (Crc32(payload) != crc) {
-    return Status::DataLoss(path + " is corrupt (crc mismatch)");
+    return Status::DataLoss(where + " is corrupt (crc mismatch)");
   }
   return std::string(payload);
+}
+
+Result<std::string> ReadFramedFile(const std::string& path,
+                                   const char (&magic)[8]) {
+  XIA_ASSIGN_OR_RETURN(const std::string data, ReadWholeFile(path));
+  return ParseFramedBytes(data, magic, path);
 }
 
 struct Manifest {
@@ -119,13 +134,12 @@ std::string EncodeCatalogFile(const storage::DocumentStore& store,
   return EncodeFramedFile(kCatalogMagic, payload);
 }
 
-Status LoadCatalogFile(const std::string& path, storage::Catalog* catalog) {
-  XIA_ASSIGN_OR_RETURN(const std::string payload,
-                       ReadFramedFile(path, kCatalogMagic));
+Status LoadCatalogPayload(const std::string& payload, const std::string& where,
+                          storage::Catalog* catalog) {
   WireReader reader{payload};
   uint32_t count = 0;
   if (!reader.GetU32(&count)) {
-    return Status::DataLoss(path + " is corrupt (bad catalog payload)");
+    return Status::DataLoss(where + " is corrupt (bad catalog payload)");
   }
   for (uint32_t i = 0; i < count; ++i) {
     std::string name;
@@ -137,7 +151,7 @@ Status LoadCatalogFile(const std::string& path, storage::Catalog* catalog) {
         !GetPath(&reader, &pattern.path) || !reader.GetU8(&type) ||
         !reader.GetU8(&structural) ||
         type > static_cast<uint8_t>(xpath::ValueType::kNumeric)) {
-      return Status::DataLoss(path + " is corrupt (bad index entry)");
+      return Status::DataLoss(where + " is corrupt (bad index entry)");
     }
     pattern.type = static_cast<xpath::ValueType>(type);
     pattern.structural = structural != 0;
@@ -145,9 +159,24 @@ Status LoadCatalogFile(const std::string& path, storage::Catalog* catalog) {
         catalog->CreateIndex(name, collection, pattern).status());
   }
   if (!reader.AtEnd()) {
-    return Status::DataLoss(path + " is corrupt (trailing bytes)");
+    return Status::DataLoss(where + " is corrupt (trailing bytes)");
   }
   return Status::OK();
+}
+
+Status LoadCatalogFile(const std::string& path, storage::Catalog* catalog) {
+  XIA_ASSIGN_OR_RETURN(const std::string payload,
+                       ReadFramedFile(path, kCatalogMagic));
+  return LoadCatalogPayload(payload, path, catalog);
+}
+
+/// Satellite fail-closed rule: a checkpoint file the MANIFEST references
+/// is only ever replaced atomically, so *any* problem reading it —
+/// missing, truncated, corrupt — is evidence of data loss, never a
+/// situation to half-recover past.
+Status AsCheckpointDataLoss(const Status& status) {
+  if (status.ok() || status.code() == StatusCode::kDataLoss) return status;
+  return Status::DataLoss("checkpoint file unusable: " + status.ToString());
 }
 
 }  // namespace
@@ -226,8 +255,12 @@ Result<RecoveryReport> WalManager::Open(storage::DocumentStore* store,
     XIA_RETURN_IF_ERROR(InitLogFile(LogPath()));
     XIA_RETURN_IF_ERROR(WriteManifest(ManifestPath(), Manifest{}));
     XIA_RETURN_IF_ERROR(writer_.Open(LogPath(), /*next_lsn=*/1));
-    checkpoint_lsn_ = 0;
-    open_ = true;
+    {
+      std::lock_guard<std::mutex> lock(repl_mu_);
+      checkpoint_lsn_ = 0;
+      log_epoch_ = 1;
+    }
+    open_.store(true, std::memory_order_release);
     report.fresh_start = true;
     report.seconds = timer.ElapsedSeconds();
     last_recovery_ = report;
@@ -243,17 +276,17 @@ Result<RecoveryReport> WalManager::Open(storage::DocumentStore* store,
   storage::Catalog staging_catalog(&staging_store, &staging_stats,
                                    catalog->cost_constants());
   if (manifest.has_snapshot) {
-    XIA_RETURN_IF_ERROR(storage::LoadSnapshotFromFile(
-        SnapshotPath(manifest.checkpoint_lsn), &staging_store));
+    XIA_RETURN_IF_ERROR(AsCheckpointDataLoss(storage::LoadSnapshotFromFile(
+        SnapshotPath(manifest.checkpoint_lsn), &staging_store)));
   }
   for (const std::string& coll : staging_store.CollectionNames()) {
     auto c = staging_store.GetCollection(coll);
     if (c.ok()) staging_stats.RunStats(**c);
   }
   if (manifest.has_catalog) {
-    XIA_RETURN_IF_ERROR(
+    XIA_RETURN_IF_ERROR(AsCheckpointDataLoss(
         LoadCatalogFile(CatalogPath(manifest.checkpoint_lsn),
-                        &staging_catalog));
+                        &staging_catalog)));
   }
 
   // Scan the log, salvaging up to the first torn/corrupt frame.
@@ -264,11 +297,6 @@ Result<RecoveryReport> WalManager::Open(storage::DocumentStore* store,
     report.bytes_discarded = scanned->discarded_bytes;
     report.salvaged = scanned->torn_tail;
 
-    engine::Executor replayer(&staging_store, &staging_catalog);
-    const optimizer::Plan scan_plan;  // collection scan: no optimizer,
-                                      // no statistics dependence
-    engine::ExecOptions exec_options;
-    exec_options.deadline = deadline;
     uint64_t applied_lsn = manifest.checkpoint_lsn;
     for (const std::string& payload : scanned->payloads) {
       XIA_RETURN_IF_ERROR(fault::CheckInterrupt(deadline));
@@ -281,46 +309,9 @@ Result<RecoveryReport> WalManager::Open(storage::DocumentStore* store,
         ++report.records_skipped;
         continue;
       }
-      switch (record.type) {
-        case RecordType::kCreateCollection:
-          XIA_RETURN_IF_ERROR(
-              staging_store.CreateCollection(record.collection).status());
-          break;
-        case RecordType::kInsert: {
-          engine::Statement st;
-          st.body = engine::InsertSpec{record.collection, record.text};
-          XIA_RETURN_IF_ERROR(
-              replayer.Execute(st, scan_plan, exec_options).status());
-          break;
-        }
-        case RecordType::kStatement: {
-          XIA_ASSIGN_OR_RETURN(const engine::Statement st,
-                               engine::ParseStatement(record.text));
-          XIA_RETURN_IF_ERROR(
-              replayer.Execute(st, scan_plan, exec_options).status());
-          break;
-        }
-        case RecordType::kCreateIndex: {
-          xpath::IndexPattern pattern;
-          pattern.path = record.pattern_path;
-          pattern.type = record.value_type;
-          pattern.structural = record.structural;
-          XIA_RETURN_IF_ERROR(staging_catalog
-                                  .CreateIndex(record.name, record.collection,
-                                               pattern)
-                                  .status());
-          break;
-        }
-        case RecordType::kDropIndex:
-          XIA_RETURN_IF_ERROR(staging_catalog.DropIndex(record.name));
-          break;
-        case RecordType::kStatsRefresh: {
-          auto coll = staging_store.GetCollection(record.collection);
-          XIA_RETURN_IF_ERROR(coll.status());
-          staging_stats.RunStats(**coll);
-          break;
-        }
-      }
+      XIA_RETURN_IF_ERROR(ApplyRecord(record, &staging_store,
+                                      &staging_catalog, &staging_stats,
+                                      deadline));
       applied_lsn = record.lsn;
       if (report.records_replayed == 0) report.first_replayed_lsn = record.lsn;
       report.last_replayed_lsn = record.lsn;
@@ -356,8 +347,12 @@ Result<RecoveryReport> WalManager::Open(storage::DocumentStore* store,
   }
 
   XIA_RETURN_IF_ERROR(writer_.Open(LogPath(), max_lsn_seen + 1));
-  checkpoint_lsn_ = manifest.checkpoint_lsn;
-  open_ = true;
+  {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    checkpoint_lsn_ = manifest.checkpoint_lsn;
+    log_epoch_ = 1;
+  }
+  open_.store(true, std::memory_order_release);
 
   report.seconds = timer.ElapsedSeconds();
   last_recovery_ = report;
@@ -370,9 +365,21 @@ Result<RecoveryReport> WalManager::Open(storage::DocumentStore* store,
 }
 
 Status WalManager::AppendAndCommit(WalRecord record) {
-  if (!open_) return Status::FailedPrecondition("WAL manager not open");
+  if (!open_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("WAL manager not open");
+  }
   XIA_ASSIGN_OR_RETURN(const uint64_t lsn, writer_.Append(std::move(record)));
-  return writer_.Commit(lsn);
+  XIA_RETURN_IF_ERROR(writer_.Commit(lsn));
+  NotifyCommit();
+  return Status::OK();
+}
+
+void WalManager::NotifyCommit() {
+  {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    ++commit_seq_;
+  }
+  repl_cv_.notify_all();
 }
 
 Status WalManager::OnCommit(const engine::Statement& statement) {
@@ -408,7 +415,9 @@ Status WalManager::LogStatsRefresh(const std::string& collection) {
 
 Status WalManager::Checkpoint(const storage::DocumentStore& store,
                               const storage::Catalog& catalog) {
-  if (!open_) return Status::FailedPrecondition("WAL manager not open");
+  if (!open_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("WAL manager not open");
+  }
   XIA_RETURN_IF_ERROR(writer_.Sync());
   const uint64_t lsn = writer_.last_appended_lsn();
 
@@ -439,6 +448,21 @@ Status WalManager::Checkpoint(const storage::DocumentStore& store,
     options_.writer.test_hook("checkpoint.after_reset");
   }
 
+  DeleteStaleVersionedFiles(lsn);
+
+  {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    checkpoint_lsn_ = lsn;
+    ++log_epoch_;
+    ++commit_seq_;
+  }
+  repl_cv_.notify_all();
+  ++checkpoints_;
+  XIA_OBS_COUNT("xia.wal.checkpoints", 1);
+  return Status::OK();
+}
+
+void WalManager::DeleteStaleVersionedFiles(uint64_t lsn) {
   // Stale versioned files are garbage once the manifest moved on.
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(data_dir_, ec)) {
@@ -449,17 +473,229 @@ Status WalManager::Checkpoint(const storage::DocumentStore& store,
                          entry.path() == fs::path(CatalogPath(lsn));
     if (versioned && !current) fs::remove(entry.path(), ec);
   }
-
-  checkpoint_lsn_ = lsn;
-  ++checkpoints_;
-  XIA_OBS_COUNT("xia.wal.checkpoints", 1);
-  return Status::OK();
 }
 
 Status WalManager::Close() {
-  if (!open_) return Status::OK();
-  open_ = false;
+  if (!open_.exchange(false, std::memory_order_acq_rel)) return Status::OK();
+  // Wake any tail reader blocked on new commits so it observes the close.
+  NotifyCommit();
   return writer_.Close();
+}
+
+uint64_t WalManager::checkpoint_lsn() const {
+  std::lock_guard<std::mutex> lock(repl_mu_);
+  return checkpoint_lsn_;
+}
+
+Status WalManager::AppendReplicated(const WalRecord& record) {
+  if (!open_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("WAL manager not open");
+  }
+  XIA_RETURN_IF_ERROR(writer_.AppendWithLsn(record));
+  XIA_RETURN_IF_ERROR(writer_.Commit(record.lsn));
+  NotifyCommit();
+  return Status::OK();
+}
+
+Result<TailBatch> WalManager::ReadTail(TailCursor* cursor, size_t max_records,
+                                       double wait_s) {
+  // Bound each file read so a huge backlog streams in chunks instead of
+  // one giant allocation.
+  constexpr size_t kTailReadCap = 4u << 20;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(wait_s < 0 ? 0 : wait_s);
+  bool force_flushed = false;
+  for (;;) {
+    uint64_t seq_before = 0;
+    {
+      std::unique_lock<std::mutex> lock(repl_mu_);
+      if (!open_.load(std::memory_order_acquire)) {
+        return Status::FailedPrecondition("WAL manager not open");
+      }
+      if (cursor->log_epoch != log_epoch_) {
+        // The log was reset (checkpoint): restart at the head of the new
+        // incarnation. LSN filtering below makes the re-read idempotent.
+        cursor->log_epoch = log_epoch_;
+        cursor->offset = sizeof(kWalMagic);
+      }
+      if (cursor->next_lsn <= checkpoint_lsn_) {
+        // The records the subscriber needs were truncated away by a
+        // checkpoint; only a checkpoint transfer can catch it up.
+        TailBatch batch;
+        batch.need_checkpoint = true;
+        return batch;
+      }
+      seq_before = commit_seq_;
+    }
+
+    TailBatch batch;
+    bool corrupt = false;
+    std::string corrupt_reason;
+    {
+      std::ifstream in(LogPath(), std::ios::binary);
+      if (in) {
+        in.seekg(static_cast<std::streamoff>(cursor->offset));
+        std::string data(kTailReadCap, '\0');
+        in.read(data.data(), static_cast<std::streamsize>(data.size()));
+        data.resize(static_cast<size_t>(std::max<std::streamsize>(
+            in.gcount(), 0)));
+        size_t pos = 0;
+        while (batch.payloads.size() < max_records) {
+          std::string_view payload;
+          std::string reason;
+          const FrameParse parsed =
+              ParseNextFrame(data, &pos, &payload, &reason);
+          if (parsed == FrameParse::kNeedMore) break;
+          if (parsed == FrameParse::kCorrupt) {
+            corrupt = true;
+            corrupt_reason = reason;
+            break;
+          }
+          uint64_t lsn = 0;
+          WireReader lsn_peek{payload};
+          if (!lsn_peek.GetU64(&lsn)) {
+            corrupt = true;
+            corrupt_reason = "record payload too short for lsn";
+            break;
+          }
+          cursor->offset += 8 + payload.size();
+          if (lsn < cursor->next_lsn) continue;  // already delivered
+          batch.payloads.emplace_back(payload);
+          cursor->next_lsn = lsn + 1;
+        }
+      }
+    }
+    if (corrupt) {
+      // Appends are sequential, so a reader can only see a prefix of the
+      // writer's bytes: a complete-but-invalid frame is real corruption —
+      // unless the file was swapped by a checkpoint mid-read, in which
+      // case the epoch moved and the cursor just restarts.
+      std::lock_guard<std::mutex> lock(repl_mu_);
+      if (cursor->log_epoch != log_epoch_) continue;
+      return Status::DataLoss("WAL tail corrupt at offset " +
+                              std::to_string(cursor->offset) + ": " +
+                              corrupt_reason);
+    }
+    if (!batch.payloads.empty()) return batch;
+
+    // Committed records can still be staged in the writer (interval/off
+    // fsync policies): force them into the file once before waiting.
+    if (!force_flushed && writer_.last_appended_lsn() >= cursor->next_lsn) {
+      force_flushed = true;
+      XIA_RETURN_IF_ERROR(writer_.Sync());
+      continue;
+    }
+
+    std::unique_lock<std::mutex> lock(repl_mu_);
+    if (commit_seq_ != seq_before) {
+      // Something committed between the file read and now; re-read
+      // instead of sleeping through the missed notification.
+      force_flushed = false;
+      continue;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return batch;
+    repl_cv_.wait_until(lock, deadline);
+    force_flushed = false;
+  }
+}
+
+Result<CheckpointImage> WalManager::ReadCheckpointImage() const {
+  XIA_ASSIGN_OR_RETURN(const Manifest manifest, ReadManifest(ManifestPath()));
+  CheckpointImage image;
+  image.checkpoint_lsn = manifest.checkpoint_lsn;
+  image.has_snapshot = manifest.has_snapshot;
+  image.has_catalog = manifest.has_catalog;
+  if (manifest.has_snapshot) {
+    auto bytes = ReadWholeFile(SnapshotPath(manifest.checkpoint_lsn));
+    if (!bytes.ok()) return AsCheckpointDataLoss(bytes.status());
+    image.snapshot_bytes = std::move(*bytes);
+  }
+  if (manifest.has_catalog) {
+    auto bytes = ReadWholeFile(CatalogPath(manifest.checkpoint_lsn));
+    if (!bytes.ok()) return AsCheckpointDataLoss(bytes.status());
+    image.catalog_bytes = std::move(*bytes);
+  }
+  return image;
+}
+
+Status WalManager::InstallCheckpoint(const CheckpointImage& image,
+                                     storage::DocumentStore* store,
+                                     storage::Catalog* catalog,
+                                     storage::StatisticsCatalog* statistics) {
+  if (!open_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("WAL manager not open");
+  }
+  const uint64_t lsn = image.checkpoint_lsn;
+
+  // 1. Validate the whole image into staging state FIRST: a corrupt
+  //    transfer must leave the live store, the files, and the manifest
+  //    untouched (fail-closed, same stance as recovery).
+  storage::DocumentStore staging_store;
+  storage::StatisticsCatalog staging_stats;
+  storage::Catalog staging_catalog(&staging_store, &staging_stats,
+                                   catalog->cost_constants());
+  if (image.has_snapshot) {
+    std::istringstream in(image.snapshot_bytes);
+    const Status loaded = storage::LoadSnapshot(in, &staging_store);
+    if (!loaded.ok()) {
+      return Status::DataLoss("replication snapshot image rejected: " +
+                              loaded.ToString());
+    }
+  }
+  if (image.has_catalog) {
+    XIA_ASSIGN_OR_RETURN(
+        const std::string payload,
+        ParseFramedBytes(image.catalog_bytes, kCatalogMagic,
+                         "replication catalog image"));
+    XIA_RETURN_IF_ERROR(LoadCatalogPayload(
+        payload, "replication catalog image", &staging_catalog));
+  }
+
+  // 2. Persist the image files (atomic, but not yet referenced).
+  if (image.has_snapshot) {
+    XIA_RETURN_IF_ERROR(WriteFileAtomic(SnapshotPath(lsn),
+                                        image.snapshot_bytes));
+  }
+  if (image.has_catalog) {
+    XIA_RETURN_IF_ERROR(WriteFileAtomic(CatalogPath(lsn),
+                                        image.catalog_bytes));
+  }
+  if (options_.writer.test_hook) {
+    options_.writer.test_hook("repl.snapshot.mid_install");
+  }
+
+  // 3. The manifest rename is the commit point: a crash before it rejoins
+  //    from the old state, after it from the installed checkpoint.
+  Manifest manifest;
+  manifest.checkpoint_lsn = lsn;
+  manifest.has_snapshot = image.has_snapshot;
+  manifest.has_catalog = image.has_catalog;
+  XIA_RETURN_IF_ERROR(WriteManifest(ManifestPath(), manifest));
+
+  // 4. Reset the log rebased into the leader's LSN space. Anything the
+  //    old log held is <= the image LSN and covered by the snapshot.
+  XIA_RETURN_IF_ERROR(writer_.Sync());
+  XIA_RETURN_IF_ERROR(writer_.ResetFile(LogPath(), /*next_lsn=*/lsn + 1));
+
+  // 5. Swap the staged state in and refresh statistics over it.
+  store->Swap(&staging_store);
+  catalog->AdoptIndexesFrom(&staging_catalog);
+  for (const std::string& coll : store->CollectionNames()) {
+    auto c = store->GetCollection(coll);
+    if (c.ok()) statistics->RunStats(**c);
+  }
+
+  DeleteStaleVersionedFiles(lsn);
+  {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    checkpoint_lsn_ = lsn;
+    ++log_epoch_;
+    ++commit_seq_;
+  }
+  repl_cv_.notify_all();
+  ++checkpoints_;
+  XIA_OBS_COUNT("xia.wal.checkpoint_installs", 1);
+  return Status::OK();
 }
 
 WalStatus WalManager::GetStatus() const {
@@ -468,7 +704,7 @@ WalStatus WalManager::GetStatus() const {
   status.policy = options_.writer.policy;
   status.next_lsn = writer_.next_lsn();
   status.durable_lsn = writer_.durable_lsn();
-  status.checkpoint_lsn = checkpoint_lsn_;
+  status.checkpoint_lsn = checkpoint_lsn();
   status.appended_records = writer_.appended_records();
   status.log_bytes = writer_.file_bytes();
   status.fsyncs = writer_.fsyncs();

@@ -33,8 +33,12 @@
 #ifndef XIA_WAL_MANAGER_H_
 #define XIA_WAL_MANAGER_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "engine/executor.h"
 #include "fault/deadline.h"
@@ -86,6 +90,41 @@ struct WalManagerOptions {
   WalWriterOptions writer;
 };
 
+/// Position of a log tail-reader (the replication streamer). A fresh
+/// cursor (all zeros) self-initializes on the first ReadTail: epoch 0
+/// never matches a live log (epochs start at 1), so the offset snaps to
+/// just past the magic.
+struct TailCursor {
+  /// Log-file incarnation the offset refers to; every checkpoint reset
+  /// (and checkpoint install) starts a new incarnation.
+  uint64_t log_epoch = 0;
+  /// File offset of the first unread byte within that incarnation.
+  uint64_t offset = 0;
+  /// Lowest LSN the reader still needs. Records below it (possible after
+  /// a reset re-read) are skipped, which is what makes tailing idempotent.
+  uint64_t next_lsn = 1;
+};
+
+/// One batch of committed records read past a cursor.
+struct TailBatch {
+  /// Encoded record payloads (EncodeRecord format, LSN ascending).
+  std::vector<std::string> payloads;
+  /// True when cursor->next_lsn predates the checkpoint horizon: the log
+  /// no longer holds those records, so the subscriber needs a checkpoint
+  /// transfer before any frames.
+  bool need_checkpoint = false;
+};
+
+/// A checkpoint as raw transferable bytes (exact file contents), for
+/// shipping to a joining follower.
+struct CheckpointImage {
+  uint64_t checkpoint_lsn = 0;
+  bool has_snapshot = false;
+  bool has_catalog = false;
+  std::string snapshot_bytes;
+  std::string catalog_bytes;
+};
+
 /// Owns a data directory's durability: logs every committed mutation
 /// (as the executor's CommitLog), checkpoints, and recovers on open.
 class WalManager : public engine::CommitLog {
@@ -120,6 +159,44 @@ class WalManager : public engine::CommitLog {
   Status Checkpoint(const storage::DocumentStore& store,
                     const storage::Catalog& catalog);
 
+  // ---- replication support (xia::repl, DESIGN §14) ----
+
+  /// Reads committed records past `cursor`, blocking up to `wait_s` for
+  /// new commits when the cursor is caught up (an empty batch after the
+  /// wait is a normal poll timeout). Detects checkpoint log resets via
+  /// the cursor epoch and transparently restarts from the head of the new
+  /// incarnation; when the cursor's next LSN predates the checkpoint
+  /// horizon the batch reports need_checkpoint instead of frames.
+  /// kDataLoss if the log is corrupt mid-file (never for a torn tail
+  /// still being written). Safe to call concurrently with commits; do
+  /// NOT call while holding the database lock.
+  Result<TailBatch> ReadTail(TailCursor* cursor, size_t max_records,
+                             double wait_s);
+
+  /// Reads the current checkpoint files as raw bytes for transfer. The
+  /// caller must hold at least the shared database lock so a concurrent
+  /// checkpoint cannot replace the files mid-read.
+  Result<CheckpointImage> ReadCheckpointImage() const;
+
+  /// Installs a leader checkpoint image on a follower: validates the
+  /// image into staging state first (fail-closed — a corrupt image
+  /// returns kDataLoss and leaves everything untouched), persists the
+  /// files, commits via the MANIFEST rename, resets the log rebased to
+  /// the leader's LSN space, and swaps the staged state into
+  /// `store`/`catalog`/`statistics`. Caller must hold the exclusive
+  /// database lock.
+  Status InstallCheckpoint(const CheckpointImage& image,
+                           storage::DocumentStore* store,
+                           storage::Catalog* catalog,
+                           storage::StatisticsCatalog* statistics);
+
+  /// Appends + commits one record that already carries its (leader-
+  /// assigned) LSN, which must exactly continue the local log.
+  Status AppendReplicated(const WalRecord& record);
+
+  /// Checkpoint horizon (highest LSN covered by the current checkpoint).
+  uint64_t checkpoint_lsn() const;
+
   Status Close();
 
   WalStatus GetStatus() const;
@@ -134,14 +211,29 @@ class WalManager : public engine::CommitLog {
 
  private:
   Status AppendAndCommit(WalRecord record);
+  /// Bumps the commit sequence and wakes blocked ReadTail callers.
+  void NotifyCommit();
+  /// Removes snapshot-*/catalog-* files other than the `lsn` pair.
+  void DeleteStaleVersionedFiles(uint64_t lsn);
 
   const std::string data_dir_;
   const WalManagerOptions options_;
   WalWriter writer_;
-  uint64_t checkpoint_lsn_ = 0;
-  uint64_t checkpoints_ = 0;
-  bool open_ = false;
+  /// Atomic: bumped by leader checkpoints (exclusive lock held) and by
+  /// the follower applier's InstallCheckpoint, read lock-free by
+  /// GetStatus().
+  std::atomic<uint64_t> checkpoints_{0};
+  std::atomic<bool> open_{false};
   RecoveryReport last_recovery_;
+
+  /// Leaf lock coordinating commit/checkpoint publication with tail
+  /// readers (lock order: db lock -> writer internals -> repl_mu_; never
+  /// held across I/O).
+  mutable std::mutex repl_mu_;
+  std::condition_variable repl_cv_;
+  uint64_t checkpoint_lsn_ = 0;  // guarded by repl_mu_
+  uint64_t log_epoch_ = 0;       // guarded by repl_mu_; 1-based once open
+  uint64_t commit_seq_ = 0;      // guarded by repl_mu_
 };
 
 }  // namespace xia::wal

@@ -1,0 +1,52 @@
+#include "wal/replay.h"
+
+#include "engine/executor.h"
+#include "engine/query_parser.h"
+#include "optimizer/plan.h"
+
+namespace xia::wal {
+
+Status ApplyRecord(const WalRecord& record, storage::DocumentStore* store,
+                   storage::Catalog* catalog,
+                   storage::StatisticsCatalog* statistics,
+                   const fault::Deadline& deadline) {
+  engine::Executor replayer(store, catalog);
+  const optimizer::Plan scan_plan;  // collection scan: no optimizer,
+                                    // no statistics dependence
+  engine::ExecOptions exec_options;
+  exec_options.deadline = deadline;
+  switch (record.type) {
+    case RecordType::kCreateCollection:
+      return store->CreateCollection(record.collection).status();
+    case RecordType::kInsert: {
+      engine::Statement st;
+      st.body = engine::InsertSpec{record.collection, record.text};
+      return replayer.Execute(st, scan_plan, exec_options).status();
+    }
+    case RecordType::kStatement: {
+      XIA_ASSIGN_OR_RETURN(const engine::Statement st,
+                           engine::ParseStatement(record.text));
+      return replayer.Execute(st, scan_plan, exec_options).status();
+    }
+    case RecordType::kCreateIndex: {
+      xpath::IndexPattern pattern;
+      pattern.path = record.pattern_path;
+      pattern.type = record.value_type;
+      pattern.structural = record.structural;
+      return catalog->CreateIndex(record.name, record.collection, pattern)
+          .status();
+    }
+    case RecordType::kDropIndex:
+      return catalog->DropIndex(record.name);
+    case RecordType::kStatsRefresh: {
+      auto coll = store->GetCollection(record.collection);
+      XIA_RETURN_IF_ERROR(coll.status());
+      statistics->RunStats(**coll);
+      return Status::OK();
+    }
+  }
+  return Status::ParseError("unknown WAL record type " +
+                            std::to_string(static_cast<int>(record.type)));
+}
+
+}  // namespace xia::wal

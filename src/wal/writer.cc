@@ -100,6 +100,28 @@ Result<uint64_t> WalWriter::Append(WalRecord record) {
   return record.lsn;
 }
 
+Status WalWriter::AppendWithLsn(const WalRecord& record) {
+  XIA_FAULT_INJECT(fault::points::kWalAppend);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::FailedPrecondition("WAL writer not open");
+  if (!poison_.ok()) return poison_;
+  if (record.lsn != next_lsn_) {
+    return Status::FailedPrecondition(
+        "replicated append lsn " + std::to_string(record.lsn) +
+        " does not continue the log (next lsn " + std::to_string(next_lsn_) +
+        ")");
+  }
+  next_lsn_ = record.lsn + 1;
+  encode_scratch_.clear();
+  EncodeRecordTo(record, &encode_scratch_);
+  AppendFrame(encode_scratch_, &pending_);
+  ++pending_records_;
+  ++appended_records_;
+  last_appended_lsn_ = record.lsn;
+  XIA_OBS_COUNT("xia.wal.appends", 1);
+  return Status::OK();
+}
+
 bool WalWriter::CoveredLocked(uint64_t lsn) const {
   if (options_.policy == FsyncPolicy::kAlways) return durable_lsn_ >= lsn;
   // kInterval/kOff acknowledge as soon as the record is staged: one
@@ -268,7 +290,7 @@ Status WalWriter::SyncRaw() {
   return Status::OK();
 }
 
-Status WalWriter::ResetFile(const std::string& path) {
+Status WalWriter::ResetFile(const std::string& path, uint64_t next_lsn) {
   std::unique_lock<std::mutex> lock(mu_);
   if (fd_ < 0) return Status::FailedPrecondition("WAL writer not open");
   if (!pending_.empty()) {
@@ -285,6 +307,12 @@ Status WalWriter::ResetFile(const std::string& path) {
   }
   fd_ = fd;
   file_bytes_ = sizeof(kWalMagic);
+  if (next_lsn != 0) {
+    next_lsn_ = next_lsn;
+    last_appended_lsn_ = next_lsn - 1;
+    written_lsn_ = next_lsn - 1;
+    durable_lsn_ = next_lsn - 1;
+  }
   return Status::OK();
 }
 

@@ -84,6 +84,12 @@ class WalWriter {
   /// durable until Commit(lsn) succeeds.
   Result<uint64_t> Append(WalRecord record);
 
+  /// Stages one record that already carries its LSN (a replication
+  /// follower persisting a leader-assigned LSN). The LSN must be exactly
+  /// next_lsn() — contiguity is the applier's protocol invariant, and
+  /// enforcing it here means a gap can never silently reach the log.
+  Status AppendWithLsn(const WalRecord& record);
+
   /// Blocks until `lsn` is covered per the fsync policy (see file
   /// comment). Safe to call from many threads; batches ride the leader.
   Status Commit(uint64_t lsn);
@@ -94,8 +100,11 @@ class WalWriter {
 
   /// Closes the current file, atomically re-creates `path` as an empty
   /// WAL, and reopens it (checkpoint truncation). Pending records must
-  /// have been flushed first (Sync()).
-  Status ResetFile(const std::string& path);
+  /// have been flushed first (Sync()). `next_lsn` 0 keeps the LSN
+  /// counters (checkpoint truncation: LSNs keep increasing); non-zero
+  /// rebases them (a follower installing a leader checkpoint adopts the
+  /// leader's LSN space).
+  Status ResetFile(const std::string& path, uint64_t next_lsn = 0);
 
   Status Close();
 

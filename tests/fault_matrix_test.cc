@@ -17,6 +17,10 @@
 #include "engine/executor.h"
 #include "engine/query_parser.h"
 #include "fault/fault.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "net/wire.h"
 #include "obs/metrics.h"
 #include "optimizer/optimizer.h"
 #include "storage/catalog.h"
@@ -139,13 +143,16 @@ TEST(FaultMatrixTest, PipelineSucceedsWithNothingArmed) {
 
 TEST(FaultMatrixTest, EveryArmedPointFailsCleanly) {
   // kOnlineAdvise sits on the online advisor's pass loop, not on this
-  // pipeline; it has its own tests below. The net.* points sit on the
-  // server/client socket paths, which this pipeline never crosses —
-  // net_server_test.NetFaultPoints* covers their matrix.
+  // pipeline; it has its own tests below. The net.* and repl.* points sit
+  // on the server/client/replication socket paths, which this pipeline
+  // never crosses — the NetPoints/ReplPoints loopback matrices below
+  // drive those at p=1, so every registered point is exercised somewhere
+  // in this file.
   for (const char* point_name : kAllPoints) {
     const std::string name(point_name);
-    if (name == points::kOnlineAdvise || name == points::kNetAccept ||
-        name == points::kNetRead || name == points::kNetWrite) {
+    if (name == points::kOnlineAdvise ||
+        name.rfind("xia.fault.net.", 0) == 0 ||
+        name.rfind("xia.fault.repl.", 0) == 0) {
       continue;
     }
     SCOPED_TRACE(point_name);
@@ -191,6 +198,252 @@ TEST(FaultMatrixTest, FailedSnapshotLoadLeavesStoreEmpty) {
   EXPECT_FALSE(status.ok());
   // Stage-and-swap: the failed load must not touch the target store.
   EXPECT_TRUE(restored.CollectionNames().empty());
+}
+
+// ---------------------------------------------------------------------
+// Loopback matrix over the socket and replication fault points. The
+// pipeline above never opens a socket; these drive every net.* / repl.*
+// point at p=1 against live servers and require a clean attributable
+// failure, zero partial mutation, and full recovery after disarm.
+// ---------------------------------------------------------------------
+
+net::ServerOptions TinyServerOptions(const std::string& suffix) {
+  net::ServerOptions options;
+  options.demo = "tpox";
+  options.demo_tpox_scale = tpox::TpoxScale{20, 20, 10, 42};
+  const std::string dir =
+      ::testing::TempDir() + "/xia_fault_loopback_" + suffix;
+  std::filesystem::remove_all(dir);
+  options.data_dir = dir;
+  return options;
+}
+
+template <typename Pred>
+bool WaitFor(Pred pred, double timeout_s = 30.0) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+bool WaitForFired(const char* point, uint64_t at_least,
+                  double timeout_s = 30.0) {
+  return WaitFor(
+      [&] {
+        return FaultRegistry::Global().GetPoint(point)->Snapshot().fired >=
+               at_least;
+      },
+      timeout_s);
+}
+
+uint64_t SdocCount(net::Client* client, const std::string& symbol) {
+  net::QueryRequest request;
+  request.statement =
+      "for $s in c('SDOC')/Security where $s/Symbol = \"" + symbol +
+      "\" return $s";
+  const auto reply = client->Query(request);
+  EXPECT_TRUE(reply.ok()) << reply.status();
+  return reply.ok() ? reply->result_count : ~0ull;
+}
+
+TEST(FaultMatrixTest, NetPointsFailCleanlyOverLoopback) {
+  ScopedFaultDisarm cleanup;
+  net::Server server(TinyServerOptions("net"));
+  ASSERT_TRUE(server.Start().ok());
+
+  // kNetAccept at p=1: the TCP handshake may complete in the backlog, but
+  // the server-side accept fails before a session spawns, so the
+  // connection only ever yields EOF/reset — never a reply — and the
+  // accept loop itself survives.
+  {
+    FaultRegistry::Global().Arm(points::kNetAccept, FaultSpec::Probability(1));
+    auto socket = net::ConnectTcp(server.host(), server.port(), 5.0);
+    if (socket.ok()) {
+      (void)socket->SendAll(net::EncodeFrame(net::MsgType::kPing, 1, "x"));
+      const auto readable = socket->WaitReadable(1.0);
+      if (readable.ok() && *readable) {
+        char buf[64];
+        const auto n = socket->Recv(buf, sizeof(buf));
+        EXPECT_TRUE(!n.ok() || *n == 0) << "got a reply through a faulted "
+                                           "accept";
+      }
+      socket->Close();
+    }
+    EXPECT_TRUE(WaitForFired(points::kNetAccept, 1));
+    FaultRegistry::Global().DisarmAll();
+  }
+
+  // kNetRead at p=1: a mutation request dies on the first Recv (either
+  // side of the wire — the point is global), so it must never execute.
+  // Connect AFTER arming: a session already parked inside Recv passed
+  // the injection check before the arm and would read the request.
+  {
+    FaultRegistry::Global().Arm(points::kNetRead, FaultSpec::Probability(1));
+    net::Client client;
+    ASSERT_TRUE(client.Connect(server.host(), server.port()).ok());
+    net::MutationRequest mutation;
+    mutation.statement =
+        "insert into SDOC <Security><Symbol>FAULTED</Symbol></Security>";
+    const auto reply = client.Mutate(mutation);
+    ASSERT_FALSE(reply.ok());
+    EXPECT_TRUE(reply.status().code() == StatusCode::kInternal ||
+                reply.status().code() == StatusCode::kUnavailable)
+        << reply.status();
+    if (reply.status().code() == StatusCode::kInternal) {
+      EXPECT_NE(reply.status().message().find(points::kNetRead),
+                std::string::npos)
+          << reply.status();
+    }
+    // Two fires: the client's own Recv (which surfaced the error above)
+    // and the server session's. Disarming before the server side has
+    // actually hit the point would let it read — and apply — the
+    // mutation after all.
+    EXPECT_TRUE(WaitForFired(points::kNetRead, 2));
+    FaultRegistry::Global().DisarmAll();
+  }
+
+  // kNetWrite at p=1: the request dies on the first SendAll with a clean
+  // attributable status.
+  {
+    net::Client client;
+    ASSERT_TRUE(client.Connect(server.host(), server.port()).ok());
+    FaultRegistry::Global().Arm(points::kNetWrite, FaultSpec::Probability(1));
+    const auto pong = client.Ping("boom");
+    ASSERT_FALSE(pong.ok());
+    EXPECT_TRUE(pong.status().code() == StatusCode::kInternal ||
+                pong.status().code() == StatusCode::kUnavailable)
+        << pong.status();
+    if (pong.status().code() == StatusCode::kInternal) {
+      EXPECT_NE(pong.status().message().find(points::kNetWrite),
+                std::string::npos)
+          << pong.status();
+    }
+    EXPECT_GE(FaultRegistry::Global().GetPoint(points::kNetWrite)->Snapshot()
+                  .fired,
+              1u);
+    FaultRegistry::Global().DisarmAll();
+  }
+
+  // Recovery: with everything disarmed a fresh client works, and the
+  // mutation that was cut off under kNetRead never landed.
+  net::Client client;
+  ASSERT_TRUE(client.Connect(server.host(), server.port()).ok());
+  const auto pong = client.Ping("after");
+  ASSERT_TRUE(pong.ok()) << pong.status();
+  EXPECT_EQ(SdocCount(&client, "FAULTED"), 0u);
+
+  server.Stop();
+}
+
+// Streaming-replication points: with the point armed at p=1 the follower
+// must never (even partially) apply the blocked records; once disarmed it
+// must converge to the leader's exact digest.
+void RunReplPointScenario(const char* point) {
+  SCOPED_TRACE(point);
+  ScopedFaultDisarm cleanup;
+  net::Server leader(TinyServerOptions(std::string("repl_leader_") + point));
+  ASSERT_TRUE(leader.Start().ok());
+  net::ServerOptions follower_options;
+  follower_options.data_dir =
+      TinyServerOptions(std::string("repl_follower_") + point).data_dir;
+  follower_options.follow_host = "127.0.0.1";
+  follower_options.follow_port = leader.port();
+  net::Server follower(follower_options);
+  ASSERT_TRUE(follower.Start().ok());
+  ASSERT_TRUE(WaitFor([&] {
+    return follower.GetReplStatus().applier.applied_lsn >=
+           leader.GetReplStatus().durable_lsn;
+  }));
+
+  FaultRegistry::Global().Arm(point, FaultSpec::Probability(1));
+  {
+    net::Client writer;
+    ASSERT_TRUE(writer.Connect(leader.host(), leader.port()).ok());
+    net::MutationRequest mutation;
+    mutation.statement =
+        "insert into SDOC <Security><Symbol>REPLFAULT</Symbol></Security>";
+    const auto reply = writer.Mutate(mutation);
+    ASSERT_TRUE(reply.ok()) << reply.status();
+  }
+  const uint64_t target = leader.GetReplStatus().durable_lsn;
+
+  // The stream hits the armed point, and the new record never applies —
+  // not even partially — while it is armed.
+  ASSERT_TRUE(WaitForFired(point, 1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const auto armed_stats = follower.GetReplStatus().applier;
+  EXPECT_LT(armed_stats.applied_lsn, target);
+  EXPECT_TRUE(armed_stats.sticky_error.empty()) << armed_stats.sticky_error;
+
+  // Disarm: the resubscribe loop recovers without a restart and the two
+  // stores converge byte-for-byte.
+  FaultRegistry::Global().DisarmAll();
+  ASSERT_TRUE(WaitFor([&] {
+    return follower.GetReplStatus().applier.applied_lsn >= target;
+  })) << follower.GetReplStatus().applier.last_error;
+  auto leader_digest = leader.StoreDigest();
+  auto follower_digest = follower.StoreDigest();
+  ASSERT_TRUE(leader_digest.ok()) << leader_digest.status();
+  ASSERT_TRUE(follower_digest.ok()) << follower_digest.status();
+  EXPECT_EQ(*leader_digest, *follower_digest);
+
+  follower.Stop();
+  leader.Stop();
+}
+
+TEST(FaultMatrixTest, ReplSendPointFailsCleanlyOverLoopback) {
+  RunReplPointScenario(points::kReplSend);
+}
+
+TEST(FaultMatrixTest, ReplRecvPointFailsCleanlyOverLoopback) {
+  RunReplPointScenario(points::kReplRecv);
+}
+
+TEST(FaultMatrixTest, ReplApplyPointFailsCleanlyOverLoopback) {
+  RunReplPointScenario(points::kReplApply);
+}
+
+TEST(FaultMatrixTest, ReplSnapshotXferPointBlocksJoinUntilDisarmed) {
+  // The snapshot-transfer point gates a fresh follower's join: while
+  // armed nothing is ever installed; after disarm the join completes.
+  ScopedFaultDisarm cleanup;
+  net::Server leader(TinyServerOptions("snapxfer_leader"));
+  ASSERT_TRUE(leader.Start().ok());
+  ASSERT_TRUE(leader.CheckpointNow().ok());
+
+  FaultRegistry::Global().Arm(points::kReplSnapshotXfer,
+                              FaultSpec::Probability(1));
+  net::ServerOptions follower_options;
+  follower_options.data_dir = TinyServerOptions("snapxfer_follower").data_dir;
+  follower_options.follow_host = "127.0.0.1";
+  follower_options.follow_port = leader.port();
+  net::Server follower(follower_options);
+  ASSERT_TRUE(follower.Start().ok());
+
+  ASSERT_TRUE(WaitForFired(points::kReplSnapshotXfer, 1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const auto armed_stats = follower.GetReplStatus().applier;
+  EXPECT_EQ(armed_stats.snapshots_installed, 0u);
+  EXPECT_EQ(armed_stats.records_applied, 0u);
+  EXPECT_TRUE(armed_stats.sticky_error.empty()) << armed_stats.sticky_error;
+
+  FaultRegistry::Global().DisarmAll();
+  const uint64_t target = leader.GetReplStatus().durable_lsn;
+  ASSERT_TRUE(WaitFor([&] {
+    return follower.GetReplStatus().applier.applied_lsn >= target;
+  })) << follower.GetReplStatus().applier.last_error;
+  EXPECT_GE(follower.GetReplStatus().applier.snapshots_installed, 1u);
+  auto leader_digest = leader.StoreDigest();
+  auto follower_digest = follower.StoreDigest();
+  ASSERT_TRUE(leader_digest.ok()) << leader_digest.status();
+  ASSERT_TRUE(follower_digest.ok()) << follower_digest.status();
+  EXPECT_EQ(*leader_digest, *follower_digest);
+
+  follower.Stop();
+  leader.Stop();
 }
 
 class OnlineFaultTest : public ::testing::Test {

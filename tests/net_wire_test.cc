@@ -306,5 +306,78 @@ TEST(NetWireTest, MalformedPayloadsAreParseErrors) {
   EXPECT_EQ(truncated.status().code(), StatusCode::kParseError);
 }
 
+TEST(NetWireTest, ReplSubscribeRoundtrip) {
+  ReplSubscribeRequest req;
+  req.follower_id = "replica-7";
+  req.start_lsn = 0x1234567890ABCDEFull;
+  const auto decoded =
+      DecodeReplSubscribeRequest(EncodeReplSubscribeRequest(req));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->follower_id, "replica-7");
+  EXPECT_EQ(decoded->start_lsn, 0x1234567890ABCDEFull);
+}
+
+TEST(NetWireTest, ReplSnapshotRoundtrip) {
+  ReplSnapshotPayload snap;
+  snap.checkpoint_lsn = 42;
+  snap.has_snapshot = true;
+  snap.has_catalog = true;
+  snap.snapshot_bytes = std::string(10000, '\x01') + "tail";
+  snap.catalog_bytes = "CATALOG\x00\x7f bytes";
+  const auto decoded =
+      DecodeReplSnapshotPayload(EncodeReplSnapshotPayload(snap));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->checkpoint_lsn, 42u);
+  EXPECT_TRUE(decoded->has_snapshot);
+  EXPECT_TRUE(decoded->has_catalog);
+  EXPECT_EQ(decoded->snapshot_bytes, snap.snapshot_bytes);
+  EXPECT_EQ(decoded->catalog_bytes, snap.catalog_bytes);
+}
+
+TEST(NetWireTest, ReplAckRoundtrip) {
+  const auto decoded =
+      DecodeReplAckPayload(EncodeReplAckPayload(ReplAckPayload{77}));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->acked_lsn, 77u);
+}
+
+TEST(NetWireTest, ReplPayloadsRejectTruncationAndJunk) {
+  // Each payload against its own decoder: every strict prefix and any
+  // trailing junk must be a ParseError (a prefix of one payload can be a
+  // structurally valid *other* payload, so no cross-decoder claims).
+  const auto check = [](const std::string& payload, auto decode) {
+    for (size_t len = 0; len < payload.size(); ++len) {
+      EXPECT_FALSE(decode(std::string_view(payload.data(), len)).ok())
+          << "truncated to " << len;
+    }
+    EXPECT_FALSE(decode(payload + "x").ok()) << "trailing junk";
+  };
+  check(EncodeReplSubscribeRequest(ReplSubscribeRequest{"f", 9}),
+        [](std::string_view p) { return DecodeReplSubscribeRequest(p); });
+  check(EncodeReplSnapshotPayload(ReplSnapshotPayload{5, true, true, "s", "c"}),
+        [](std::string_view p) { return DecodeReplSnapshotPayload(p); });
+  check(EncodeReplAckPayload(ReplAckPayload{3}),
+        [](std::string_view p) { return DecodeReplAckPayload(p); });
+}
+
+TEST(NetWireTest, ReplTypesAreKnownAndOnlySubscribeIsARequest) {
+  EXPECT_TRUE(IsRequestType(static_cast<uint8_t>(MsgType::kReplSubscribe)));
+  for (const MsgType type :
+       {MsgType::kReplFrame, MsgType::kReplSnapshot, MsgType::kReplAck}) {
+    EXPECT_FALSE(IsRequestType(static_cast<uint8_t>(type)));
+    // Known to the frame reader: a stream frame of this type parses.
+    FrameReader reader;
+    reader.Feed(EncodeFrame(type, 0, "record-bytes"));
+    const Frame frame = MustPoll(&reader);
+    EXPECT_EQ(frame.type, type);
+    EXPECT_EQ(frame.request_id, 0u);
+    EXPECT_EQ(frame.payload, "record-bytes");
+  }
+  EXPECT_STREQ(MsgTypeName(MsgType::kReplSubscribe), "repl_subscribe");
+  EXPECT_STREQ(MsgTypeName(MsgType::kReplFrame), "repl_frame");
+  EXPECT_STREQ(MsgTypeName(MsgType::kReplSnapshot), "repl_snapshot");
+  EXPECT_STREQ(MsgTypeName(MsgType::kReplAck), "repl_ack");
+}
+
 }  // namespace
 }  // namespace xia::net

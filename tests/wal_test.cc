@@ -6,10 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/executor.h"
@@ -491,6 +493,299 @@ TEST(WalManagerTest, CorruptManifestIsDataLoss) {
   Db db;
   auto report = manager.Open(&db.store, &db.catalog, &db.stats);
   EXPECT_EQ(report.status().code(), StatusCode::kDataLoss);
+}
+
+// ----------------------------------- fail-closed checkpoint recovery
+
+/// Builds a dir whose MANIFEST references a real checkpoint (snapshot +
+/// catalog files) plus a couple of post-checkpoint log records, and
+/// returns the checkpoint LSN.
+uint64_t BuildCheckpointedDir(const std::string& dir) {
+  WalManager manager(dir);
+  Db db;
+  EXPECT_TRUE(manager.Open(&db.store, &db.catalog, &db.stats).ok());
+  EXPECT_TRUE(db.store.CreateCollection("C").ok());
+  EXPECT_TRUE(manager.LogCreateCollection("C").ok());
+  EXPECT_TRUE(RunInsert(&manager, &db, "C", "<a><b>1</b></a>").ok());
+  EXPECT_TRUE(RunInsert(&manager, &db, "C", "<a><b>2</b></a>").ok());
+  EXPECT_TRUE(manager.Checkpoint(db.store, db.catalog).ok());
+  EXPECT_TRUE(RunInsert(&manager, &db, "C", "<a><b>3</b></a>").ok());
+  const uint64_t checkpoint_lsn = manager.checkpoint_lsn();
+  EXPECT_TRUE(manager.Close().ok());
+  return checkpoint_lsn;
+}
+
+TEST(WalManagerTest, ManifestReferencingMissingSnapshotIsDataLoss) {
+  const std::string dir = ScratchDir("lost_snapshot");
+  const uint64_t checkpoint_lsn = BuildCheckpointedDir(dir);
+
+  WalManager manager(dir);
+  fs::remove(manager.SnapshotPath(checkpoint_lsn));
+  Db db;
+  const auto report = manager.Open(&db.store, &db.catalog, &db.stats);
+  ASSERT_FALSE(report.ok());
+  // Fail-closed: a referenced-but-missing checkpoint file is data loss
+  // (exit 22 for CLI callers), never a silent fresh start — and the
+  // stage-and-swap recovery must leave the target store untouched.
+  EXPECT_EQ(report.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(StatusExitCode(report.status()), 22);
+  EXPECT_TRUE(db.store.CollectionNames().empty());
+}
+
+TEST(WalManagerTest, TruncatedSnapshotFileIsDataLoss) {
+  const std::string dir = ScratchDir("torn_snapshot");
+  const uint64_t checkpoint_lsn = BuildCheckpointedDir(dir);
+
+  WalManager manager(dir);
+  const std::string path = manager.SnapshotPath(checkpoint_lsn);
+  const std::string bytes = ReadFile(path);
+  ASSERT_GT(bytes.size(), 2u);
+  WriteFile(path, bytes.substr(0, bytes.size() / 2));
+  Db db;
+  const auto report = manager.Open(&db.store, &db.catalog, &db.stats);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kDataLoss);
+  EXPECT_TRUE(db.store.CollectionNames().empty());
+}
+
+// ------------------------------------------- replication primitives
+
+TEST(WalManagerTest, ReadTailStreamsCommittedRecordsInOrder) {
+  const std::string dir = ScratchDir("tail_order");
+  WalManager manager(dir);
+  Db db;
+  ASSERT_TRUE(manager.Open(&db.store, &db.catalog, &db.stats).ok());
+  ASSERT_TRUE(db.store.CreateCollection("C").ok());
+  ASSERT_TRUE(manager.LogCreateCollection("C").ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(RunInsert(&manager, &db, "C",
+                          "<a><b>" + std::to_string(i) + "</b></a>")
+                    .ok());
+  }
+
+  TailCursor cursor;  // zero-initialized: self-snaps to the log head
+  auto batch = manager.ReadTail(&cursor, 100, 0);
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  EXPECT_FALSE(batch->need_checkpoint);
+  ASSERT_EQ(batch->payloads.size(), 4u);
+  uint64_t expected_lsn = 1;
+  for (const std::string& payload : batch->payloads) {
+    const auto record = DecodeRecord(payload);
+    ASSERT_TRUE(record.ok());
+    EXPECT_EQ(record->lsn, expected_lsn++);
+  }
+
+  // Caught up: a zero-wait poll returns an empty batch, not an error.
+  auto empty = manager.ReadTail(&cursor, 100, 0);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->payloads.empty());
+
+  // New commits appear on the next read, resuming from the cursor.
+  ASSERT_TRUE(RunInsert(&manager, &db, "C", "<a><b>9</b></a>").ok());
+  auto more = manager.ReadTail(&cursor, 100, 0);
+  ASSERT_TRUE(more.ok());
+  ASSERT_EQ(more->payloads.size(), 1u);
+  EXPECT_EQ(DecodeRecord(more->payloads[0])->lsn, 5u);
+}
+
+TEST(WalManagerTest, ReadTailHonorsMaxRecords) {
+  const std::string dir = ScratchDir("tail_max");
+  WalManager manager(dir);
+  Db db;
+  ASSERT_TRUE(manager.Open(&db.store, &db.catalog, &db.stats).ok());
+  ASSERT_TRUE(db.store.CreateCollection("C").ok());
+  ASSERT_TRUE(manager.LogCreateCollection("C").ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(RunInsert(&manager, &db, "C", "<a><b>1</b></a>").ok());
+  }
+  TailCursor cursor;
+  size_t total = 0;
+  for (int reads = 0; reads < 10 && total < 6; ++reads) {
+    auto batch = manager.ReadTail(&cursor, 2, 0);
+    ASSERT_TRUE(batch.ok());
+    EXPECT_LE(batch->payloads.size(), 2u);
+    total += batch->payloads.size();
+  }
+  EXPECT_EQ(total, 6u);
+}
+
+TEST(WalManagerTest, ReadTailReportsCheckpointHorizon) {
+  const std::string dir = ScratchDir("tail_horizon");
+  WalManager manager(dir);
+  Db db;
+  ASSERT_TRUE(manager.Open(&db.store, &db.catalog, &db.stats).ok());
+  ASSERT_TRUE(db.store.CreateCollection("C").ok());
+  ASSERT_TRUE(manager.LogCreateCollection("C").ok());
+  ASSERT_TRUE(RunInsert(&manager, &db, "C", "<a><b>1</b></a>").ok());
+  ASSERT_TRUE(manager.Checkpoint(db.store, db.catalog).ok());
+  ASSERT_TRUE(RunInsert(&manager, &db, "C", "<a><b>2</b></a>").ok());
+
+  // A reader starting before the horizon needs a checkpoint, not frames:
+  // the checkpoint truncated those records out of the log.
+  TailCursor stale;
+  auto batch = manager.ReadTail(&stale, 100, 0);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(batch->need_checkpoint);
+  EXPECT_TRUE(batch->payloads.empty());
+
+  // A reader resuming past the horizon streams the post-checkpoint tail.
+  TailCursor fresh;
+  fresh.next_lsn = manager.checkpoint_lsn() + 1;
+  auto tail = manager.ReadTail(&fresh, 100, 0);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_FALSE(tail->need_checkpoint);
+  ASSERT_EQ(tail->payloads.size(), 1u);
+  EXPECT_EQ(DecodeRecord(tail->payloads[0])->lsn, 3u);
+}
+
+TEST(WalManagerTest, ReadTailBlocksUntilCommitArrives) {
+  const std::string dir = ScratchDir("tail_block");
+  WalManager manager(dir);
+  Db db;
+  ASSERT_TRUE(manager.Open(&db.store, &db.catalog, &db.stats).ok());
+  ASSERT_TRUE(db.store.CreateCollection("C").ok());
+  ASSERT_TRUE(manager.LogCreateCollection("C").ok());
+
+  TailCursor cursor;
+  ASSERT_EQ(manager.ReadTail(&cursor, 100, 0)->payloads.size(), 1u);
+
+  std::thread committer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    EXPECT_TRUE(RunInsert(&manager, &db, "C", "<a><b>1</b></a>").ok());
+  });
+  // Blocks on the commit condition variable, not a poll timeout: the
+  // 5-second budget is only a test safety net.
+  auto batch = manager.ReadTail(&cursor, 100, 5.0);
+  committer.join();
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->payloads.size(), 1u);
+  EXPECT_EQ(DecodeRecord(batch->payloads[0])->lsn, 2u);
+}
+
+TEST(WalManagerTest, CheckpointImageInstallRoundtrip) {
+  const std::string leader_dir = ScratchDir("img_leader");
+  const std::string follower_dir = ScratchDir("img_follower");
+
+  WalManager leader(leader_dir);
+  Db leader_db;
+  ASSERT_TRUE(
+      leader.Open(&leader_db.store, &leader_db.catalog, &leader_db.stats)
+          .ok());
+  ASSERT_TRUE(leader_db.store.CreateCollection("C").ok());
+  ASSERT_TRUE(leader.LogCreateCollection("C").ok());
+  ASSERT_TRUE(RunInsert(&leader, &leader_db, "C", "<a><b>1</b></a>").ok());
+  ASSERT_TRUE(RunInsert(&leader, &leader_db, "C", "<a><b>2</b></a>").ok());
+  const xpath::IndexPattern pattern{*xpath::ParsePattern("/a/b"),
+                                    xpath::ValueType::kNumeric};
+  ASSERT_TRUE(leader_db.catalog.CreateIndex("ib", "C", pattern).ok());
+  ASSERT_TRUE(leader.LogCreateIndex("ib", "C", pattern).ok());
+  ASSERT_TRUE(leader.Checkpoint(leader_db.store, leader_db.catalog).ok());
+
+  const auto image = leader.ReadCheckpointImage();
+  ASSERT_TRUE(image.ok()) << image.status();
+  EXPECT_EQ(image->checkpoint_lsn, leader.checkpoint_lsn());
+  EXPECT_TRUE(image->has_snapshot);
+
+  WalManager follower(follower_dir);
+  Db follower_db;
+  ASSERT_TRUE(follower
+                  .Open(&follower_db.store, &follower_db.catalog,
+                        &follower_db.stats)
+                  .ok());
+  ASSERT_TRUE(follower
+                  .InstallCheckpoint(*image, &follower_db.store,
+                                     &follower_db.catalog, &follower_db.stats)
+                  .ok());
+  EXPECT_EQ(Digest(&follower_db.store), Digest(&leader_db.store));
+  // The catalog came along (rebuilt physical index included).
+  const auto def = follower_db.catalog.Get("ib");
+  ASSERT_TRUE(def.ok());
+  EXPECT_FALSE((*def)->is_virtual);
+  // The follower's log is rebased into the leader's LSN space.
+  EXPECT_EQ(follower.GetStatus().next_lsn, image->checkpoint_lsn + 1);
+  EXPECT_EQ(follower.checkpoint_lsn(), image->checkpoint_lsn);
+  ASSERT_TRUE(follower.Close().ok());
+
+  // The installed checkpoint is durable: a plain reopen recovers it.
+  WalManager reopened(follower_dir);
+  Db reopened_db;
+  const auto report = reopened.Open(&reopened_db.store, &reopened_db.catalog,
+                                    &reopened_db.stats);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->checkpoint_lsn, image->checkpoint_lsn);
+  EXPECT_EQ(Digest(&reopened_db.store), Digest(&leader_db.store));
+}
+
+TEST(WalManagerTest, CorruptCheckpointImageIsRejectedUntouched) {
+  const std::string leader_dir = ScratchDir("badimg_leader");
+  const std::string follower_dir = ScratchDir("badimg_follower");
+  BuildCheckpointedDir(leader_dir);
+  WalManager leader(leader_dir);
+  Db leader_db;
+  ASSERT_TRUE(
+      leader.Open(&leader_db.store, &leader_db.catalog, &leader_db.stats)
+          .ok());
+  auto image = leader.ReadCheckpointImage();
+  ASSERT_TRUE(image.ok());
+  // A flipped byte mid-snapshot models corruption in transfer that still
+  // passed the net frame CRC (e.g. flipped before framing).
+  image->snapshot_bytes[image->snapshot_bytes.size() / 2] ^= 0x20;
+
+  WalManager follower(follower_dir);
+  Db follower_db;
+  ASSERT_TRUE(follower
+                  .Open(&follower_db.store, &follower_db.catalog,
+                        &follower_db.stats)
+                  .ok());
+  const Status installed = follower.InstallCheckpoint(
+      *image, &follower_db.store, &follower_db.catalog, &follower_db.stats);
+  EXPECT_EQ(installed.code(), StatusCode::kDataLoss);
+  // Fail-closed: nothing installed, nothing referenced, LSN space
+  // unchanged.
+  EXPECT_TRUE(follower_db.store.CollectionNames().empty());
+  EXPECT_EQ(follower.checkpoint_lsn(), 0u);
+  EXPECT_EQ(follower.GetStatus().next_lsn, 1u);
+}
+
+TEST(WalManagerTest, AppendReplicatedIsContiguousAndDurable) {
+  const std::string dir = ScratchDir("appendrepl");
+  std::string digest_before;
+  {
+    WalManager manager(dir);
+    Db db;
+    ASSERT_TRUE(manager.Open(&db.store, &db.catalog, &db.stats).ok());
+
+    WalRecord create = WalRecord::CreateCollection("C");
+    create.lsn = 1;
+    ASSERT_TRUE(manager.AppendReplicated(create).ok());
+    WalRecord insert = WalRecord::Insert("C", "<a><b>1</b></a>");
+    insert.lsn = 2;
+    ASSERT_TRUE(manager.AppendReplicated(insert).ok());
+
+    // A gap must be refused before it hits the file: the follower's
+    // stream validated contiguity, so a gap here is a programming error.
+    WalRecord gap = WalRecord::Insert("C", "<a><b>9</b></a>");
+    gap.lsn = 5;
+    EXPECT_EQ(manager.AppendReplicated(gap).code(),
+              StatusCode::kFailedPrecondition);
+    EXPECT_EQ(manager.GetStatus().next_lsn, 3u);
+
+    // The accepted records are readable by a tail follower immediately.
+    TailCursor cursor;
+    auto batch = manager.ReadTail(&cursor, 100, 0);
+    ASSERT_TRUE(batch.ok());
+    EXPECT_EQ(batch->payloads.size(), 2u);
+    ASSERT_TRUE(manager.Close().ok());
+  }
+  // Replicated appends recover exactly like local commits.
+  WalManager manager(dir);
+  Db db;
+  const auto report = manager.Open(&db.store, &db.catalog, &db.stats);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->records_replayed, 2u);
+  auto coll = db.store.GetCollection("C");
+  ASSERT_TRUE(coll.ok());
+  EXPECT_EQ((*coll)->live_count(), 1u);
 }
 
 TEST(WalManagerTest, CommitFailureKeepsStatementOutOfTheSink) {

@@ -20,6 +20,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -30,6 +31,7 @@
 #include <vector>
 
 #include "net/client.h"
+#include "util/random.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
@@ -85,6 +87,24 @@ class ClientShell {
         budget_ms_(budget_ms) {}
 
   Status Connect() { return client_.Connect(host_, port_); }
+
+  /// Connect with up to `retries` additional attempts under jittered
+  /// exponential backoff (the OnlineAdvisor shape: 0.05s initial, x2,
+  /// capped) — how a follower-facing script rides out a leader that is
+  /// still starting or briefly partitioned away.
+  Status ConnectWithRetry(size_t retries) {
+    Status status = Connect();
+    if (status.ok() || retries == 0) return status;
+    Random jitter(static_cast<uint64_t>(::getpid()));
+    double backoff = 0.05;
+    for (size_t attempt = 0; attempt < retries && !status.ok(); ++attempt) {
+      const double sleep_s = backoff * (0.5 + 0.5 * jitter.NextDouble());
+      std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
+      backoff = std::min(backoff * 2.0, 2.0);
+      status = Connect();
+    }
+    return status;
+  }
 
   /// Load-driver mode: execute commands but print nothing.
   void set_quiet(bool quiet) { quiet_ = quiet; }
@@ -228,7 +248,8 @@ class ClientShell {
 /// and latency percentiles.
 int RunLoad(const std::string& host, uint16_t port, size_t connections,
             size_t requests, const std::string& command,
-            const std::string& workload_text, double budget_ms) {
+            const std::string& workload_text, double budget_ms,
+            size_t retries) {
   std::mutex mu;
   std::vector<double> latencies;
   Status first_error = Status::OK();
@@ -245,7 +266,7 @@ int RunLoad(const std::string& host, uint16_t port, size_t connections,
       shell.set_quiet(true);
       std::vector<double> local;
       local.reserve(requests);
-      Status status = shell.Connect();
+      Status status = shell.ConnectWithRetry(retries);
       if (status.ok()) {
         for (size_t r = 0; r < requests; ++r) {
           Stopwatch timer;
@@ -285,7 +306,7 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: xia_client [--host H] (--port P | --port-file FILE)\n"
-      "                  [--workload FILE] [--budget-ms MS]\n"
+      "                  [--workload FILE] [--budget-ms MS] [--retry N]\n"
       "                  [--script FILE | COMMAND...\n"
       "                   | --load CONNS --requests N [--command CMD]]\n"
       "commands: ping [TOKEN|sleep=MS] | query|run STMT | mutate STMT\n"
@@ -305,6 +326,7 @@ int main(int argc, char** argv) {
   std::string workload_file;
   std::string load_command = "ping";
   double budget_ms = 0;
+  size_t retries = 0;
   size_t load_connections = 0;
   size_t load_requests = 100;
   std::vector<std::string> command_words;
@@ -326,6 +348,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--budget-ms" && has_value) {
       if (!ParseDouble(argv[++i], &v) || v < 0) return Usage();
       budget_ms = v;
+    } else if (arg == "--retry" && has_value) {
+      if (!ParseDouble(argv[++i], &v) || v < 0 ||
+          v != static_cast<double>(static_cast<size_t>(v))) {
+        return Usage();
+      }
+      retries = static_cast<size_t>(v);
     } else if (arg == "--load" && has_value) {
       if (!ParseDouble(argv[++i], &v) || v < 1) return Usage();
       load_connections = static_cast<size_t>(v);
@@ -367,11 +395,11 @@ int main(int argc, char** argv) {
 
   if (load_connections > 0) {
     return RunLoad(host, port, load_connections, load_requests, load_command,
-                   workload_text, budget_ms);
+                   workload_text, budget_ms, retries);
   }
 
   ClientShell shell(host, port, workload_text, budget_ms);
-  if (Status s = shell.Connect(); !s.ok()) {
+  if (Status s = shell.ConnectWithRetry(retries); !s.ok()) {
     std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
     return StatusExitCode(s);
   }

@@ -47,8 +47,12 @@ int Usage() {
       "                  [--budget-ms MS] [--drain-timeout-s S]\n"
       "                  [--metrics-json FILE] [--metrics-interval-s S]\n"
       "                  [--advise-threads N | -j N]\n"
+      "                  [--follow HOST:PORT] [--follower-id ID]\n"
+      "                  [--repl-checkpoint-every N]\n"
       "  --port 0 (default) picks a free ephemeral port; --port-file\n"
-      "  writes the resolved port so scripts can find the server.\n");
+      "  writes the resolved port so scripts can find the server.\n"
+      "  --follow runs this node as a read replica of the leader at\n"
+      "  HOST:PORT (requires --data-dir; mutations get read_only).\n");
   return 2;
 }
 
@@ -113,6 +117,23 @@ int main(int argc, char** argv) {
     } else if ((arg == "--advise-threads" || arg == "-j") && has_value) {
       if (!ParseCount(argv[++i], &n)) return Usage();
       options.advise_threads = n;
+    } else if (arg == "--follow" && has_value) {
+      const std::string target = argv[++i];
+      const size_t colon = target.rfind(':');
+      if (colon == std::string::npos || colon + 1 >= target.size()) {
+        return Usage();
+      }
+      if (!ParseCount(target.c_str() + colon + 1, &n) || n == 0 ||
+          n > 65535) {
+        return Usage();
+      }
+      options.follow_host = target.substr(0, colon);
+      options.follow_port = static_cast<uint16_t>(n);
+    } else if (arg == "--follower-id" && has_value) {
+      options.follower_id = argv[++i];
+    } else if (arg == "--repl-checkpoint-every" && has_value) {
+      if (!ParseCount(argv[++i], &n)) return Usage();
+      options.repl_checkpoint_every = n;
     } else {
       return Usage();
     }
@@ -147,6 +168,11 @@ int main(int argc, char** argv) {
   }
   std::printf("xia_server listening on %s:%u\n", server.host().c_str(),
               server.port());
+  if (options.is_follower()) {
+    std::printf("xia_server following %s:%u as \"%s\" (read replica)\n",
+                options.follow_host.c_str(), options.follow_port,
+                options.follower_id.c_str());
+  }
   std::fflush(stdout);
   if (!port_file.empty()) {
     const Status s =
