@@ -1,0 +1,262 @@
+// bench_failover: quorum-commit cost and failover downtime.
+//
+// Two measurements against in-process three-node clusters (one leader,
+// two followers) over real loopback TCP:
+//   1. quorum-ack latency: per-mutation client-observed commit latency
+//      with sync_replicas K in {0, 1, 2} — K=0 is the async baseline,
+//      each step up adds one follower round-trip to the commit path;
+//      reported as p50/p95 plus throughput;
+//   2. failover downtime: across several trials, stop the leader,
+//      promote the most-caught-up follower (epoch bump + barrier), and
+//      report time-to-promote plus the full write-unavailability window
+//      (last successful write on the old leader -> first successful
+//      write on the new one).
+// Rows land in BENCH_failover.json for post-processing.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "net/client.h"
+#include "net/server.h"
+
+namespace xia {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr int kQuorumMutations = 200;
+constexpr int kFailoverTrials = 5;
+constexpr int kWarmMutations = 50;
+
+std::string FreshDir(const std::string& name) {
+  const char* tmp = std::getenv("TMPDIR");
+  const std::string dir = std::string(tmp != nullptr ? tmp : "/tmp") +
+                          "/xia_bench_failover/" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+net::ServerOptions LeaderOptions(const std::string& data_dir,
+                                 size_t sync_replicas) {
+  net::ServerOptions options;
+  options.demo = "tpox";
+  options.demo_tpox_scale = tpox::TpoxScale{100, 100, 30, 42};
+  options.data_dir = data_dir;
+  options.sync_replicas = sync_replicas;
+  options.quorum_timeout_ms = 10000;
+  return options;
+}
+
+net::ServerOptions FollowerOptions(const std::string& data_dir,
+                                   uint16_t leader_port,
+                                   const std::string& id) {
+  net::ServerOptions options;
+  options.data_dir = data_dir;
+  options.follow_host = "127.0.0.1";
+  options.follow_port = leader_port;
+  options.follower_id = id;
+  return options;
+}
+
+std::string InsertStatement(const std::string& tag, int i) {
+  return "insert into SDOC <Security><Symbol>" + tag + std::to_string(i) +
+         "</Symbol><Yield>" + std::to_string(i % 10) + "</Yield></Security>";
+}
+
+/// One leader plus two followers, all caught up before returning.
+struct Cluster {
+  std::unique_ptr<net::Server> leader;
+  std::unique_ptr<net::Server> f1;
+  std::unique_ptr<net::Server> f2;
+
+  void Stop() {
+    if (f2) f2->Stop();
+    if (f1) f1->Stop();
+    if (leader) leader->Stop();
+  }
+};
+
+void MustStart(net::Server* server, const char* what) {
+  if (Status s = server->Start(); !s.ok()) {
+    std::fprintf(stderr, "fatal (%s): %s\n", what, s.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+Cluster BootCluster(const std::string& tag, size_t sync_replicas) {
+  Cluster cluster;
+  cluster.leader = std::make_unique<net::Server>(
+      LeaderOptions(FreshDir(tag + "_leader"), sync_replicas));
+  MustStart(cluster.leader.get(), "leader");
+  cluster.f1 = std::make_unique<net::Server>(FollowerOptions(
+      FreshDir(tag + "_f1"), cluster.leader->port(), tag + "f1"));
+  cluster.f2 = std::make_unique<net::Server>(FollowerOptions(
+      FreshDir(tag + "_f2"), cluster.leader->port(), tag + "f2"));
+  MustStart(cluster.f1.get(), "follower 1");
+  MustStart(cluster.f2.get(), "follower 2");
+  // Both followers fully acked before measuring: the first mutation must
+  // not pay snapshot-join costs.
+  const uint64_t target = cluster.leader->GetReplStatus().durable_lsn;
+  for (;;) {
+    const auto repl = cluster.leader->GetReplStatus();
+    size_t acked = 0;
+    for (const auto& f : repl.followers) {
+      if (f.acked_lsn >= target) ++acked;
+    }
+    if (acked >= 2) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return cluster;
+}
+
+double Pct(std::vector<double>* sorted, size_t rank) {
+  if (sorted->empty()) return 0;
+  return (*sorted)[std::min(sorted->size() - 1, rank)] * 1e3;
+}
+
+}  // namespace
+}  // namespace xia
+
+int main() {
+  using namespace xia;  // NOLINT
+
+  bench::BenchJsonWriter json("failover");
+  json.set_threads(std::thread::hardware_concurrency());
+
+  // --- 1. quorum-ack latency at K in {0, 1, 2} ------------------------
+  for (const size_t k : {size_t{0}, size_t{1}, size_t{2}}) {
+    const std::string tag = "k" + std::to_string(k);
+    Cluster cluster = BootCluster(tag, k);
+    net::Client writer;
+    if (!writer.Connect(cluster.leader->host(), cluster.leader->port())
+             .ok()) {
+      std::fprintf(stderr, "fatal: connect failed\n");
+      return 1;
+    }
+    std::vector<double> latencies;
+    latencies.reserve(kQuorumMutations);
+    Stopwatch wall;
+    for (int i = 0; i < kQuorumMutations; ++i) {
+      net::MutationRequest mutation;
+      mutation.statement = InsertStatement("QL", i);
+      Stopwatch one;
+      const auto reply = writer.Mutate(mutation);
+      if (!reply.ok()) {
+        std::fprintf(stderr, "fatal: %s\n",
+                     reply.status().ToString().c_str());
+        return 1;
+      }
+      latencies.push_back(one.ElapsedSeconds());
+    }
+    const double seconds = wall.ElapsedSeconds();
+    std::sort(latencies.begin(), latencies.end());
+    const double p50 = Pct(&latencies, latencies.size() / 2);
+    const double p95 = Pct(&latencies, latencies.size() * 95 / 100);
+    std::printf(
+        "quorum K=%zu: %d mutations in %.2fs (%.0f/s), "
+        "commit p50 %.3f ms, p95 %.3f ms\n",
+        k, kQuorumMutations, seconds, kQuorumMutations / seconds, p50, p95);
+    json.AddResult(StringPrintf(
+        "{\"phase\": \"quorum_ack\", \"sync_replicas\": %zu, "
+        "\"mutations\": %d, \"seconds\": %.4f, \"mut_per_s\": %.1f, "
+        "\"commit_p50_ms\": %.4f, \"commit_p95_ms\": %.4f}",
+        k, kQuorumMutations, seconds, kQuorumMutations / seconds, p50, p95));
+    json.Checkpoint("quorum_k" + std::to_string(k));
+    cluster.Stop();
+  }
+
+  // --- 2. time-to-promote and write-unavailability window -------------
+  std::vector<double> promote_times;
+  std::vector<double> windows;
+  for (int trial = 0; trial < kFailoverTrials; ++trial) {
+    const std::string tag = "fo" + std::to_string(trial);
+    Cluster cluster = BootCluster(tag, 1);
+    {
+      net::Client writer;
+      if (!writer.Connect(cluster.leader->host(), cluster.leader->port())
+               .ok()) {
+        std::fprintf(stderr, "fatal: connect failed\n");
+        return 1;
+      }
+      for (int i = 0; i < kWarmMutations; ++i) {
+        net::MutationRequest mutation;
+        mutation.statement = InsertStatement("FO", i);
+        if (!writer.Mutate(mutation).ok()) {
+          std::fprintf(stderr, "fatal: warm mutation failed\n");
+          return 1;
+        }
+      }
+    }
+
+    // The unavailability window opens when the leader goes away.
+    Stopwatch window;
+    cluster.leader->Stop();
+
+    // Promote the most-caught-up follower, the xia_admin policy.
+    net::Server* winner =
+        cluster.f1->GetReplStatus().durable_lsn >=
+                cluster.f2->GetReplStatus().durable_lsn
+            ? cluster.f1.get()
+            : cluster.f2.get();
+    Stopwatch promote;
+    uint64_t epoch = 0;
+    uint64_t barrier = 0;
+    if (Status s = winner->Promote(&epoch, &barrier); !s.ok()) {
+      std::fprintf(stderr, "fatal: promote: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    promote_times.push_back(promote.ElapsedSeconds());
+
+    // The window closes at the first accepted write on the new leader.
+    net::Client writer;
+    if (!writer.Connect(winner->host(), winner->port()).ok()) {
+      std::fprintf(stderr, "fatal: connect to new leader failed\n");
+      return 1;
+    }
+    for (;;) {
+      net::MutationRequest mutation;
+      mutation.statement = InsertStatement("POST", trial);
+      if (writer.Mutate(mutation).ok()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    windows.push_back(window.ElapsedSeconds());
+    std::printf(
+        "failover trial %d: promote %.3f ms (epoch %llu), "
+        "write unavailability %.3f ms\n",
+        trial, promote_times.back() * 1e3,
+        static_cast<unsigned long long>(epoch), windows.back() * 1e3);
+    json.AddResult(StringPrintf(
+        "{\"phase\": \"failover\", \"trial\": %d, "
+        "\"promote_seconds\": %.6f, \"unavailability_seconds\": %.6f, "
+        "\"epoch\": %llu}",
+        trial, promote_times.back(), windows.back(),
+        static_cast<unsigned long long>(epoch)));
+    cluster.Stop();
+  }
+  std::sort(promote_times.begin(), promote_times.end());
+  std::sort(windows.begin(), windows.end());
+  std::printf(
+      "failover: promote p50 %.3f ms, max %.3f ms; "
+      "unavailability p50 %.3f ms, max %.3f ms\n",
+      Pct(&promote_times, promote_times.size() / 2), promote_times.back() * 1e3,
+      Pct(&windows, windows.size() / 2), windows.back() * 1e3);
+  json.AddResult(StringPrintf(
+      "{\"phase\": \"failover_summary\", \"trials\": %d, "
+      "\"promote_p50_ms\": %.4f, \"promote_max_ms\": %.4f, "
+      "\"unavailability_p50_ms\": %.4f, \"unavailability_max_ms\": %.4f}",
+      kFailoverTrials, Pct(&promote_times, promote_times.size() / 2),
+      promote_times.back() * 1e3, Pct(&windows, windows.size() / 2),
+      windows.back() * 1e3));
+  json.Checkpoint("failover");
+
+  json.Write();
+  return 0;
+}

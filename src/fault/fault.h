@@ -76,6 +76,8 @@ inline constexpr const char* kReplSend = "xia.fault.repl.send";
 inline constexpr const char* kReplRecv = "xia.fault.repl.recv";
 inline constexpr const char* kReplApply = "xia.fault.repl.apply";
 inline constexpr const char* kReplSnapshotXfer = "xia.fault.repl.snapshot_xfer";
+inline constexpr const char* kReplQuorumWait = "xia.fault.repl.quorum_wait";
+inline constexpr const char* kReplPromote = "xia.fault.repl.promote";
 }  // namespace points
 
 /// Every canonical point, for matrix-style iteration.
@@ -92,6 +94,7 @@ inline constexpr const char* kAllPoints[] = {
     points::kNetRead,          points::kNetWrite,
     points::kReplSend,         points::kReplRecv,
     points::kReplApply,        points::kReplSnapshotXfer,
+    points::kReplQuorumWait,   points::kReplPromote,
 };
 
 /// How an armed point decides to fire.

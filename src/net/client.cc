@@ -44,6 +44,11 @@ Result<std::string> Client::Call(MsgType type, std::string payload) {
   if (frame.type == MsgType::kError) {
     XIA_ASSIGN_OR_RETURN(const ErrorReply error,
                          DecodeErrorReply(frame.payload));
+    // Remember where the server said the leader is (kReadOnly/kFenced
+    // rejections), so callers can redirect the write.
+    if (!error.leader_endpoint.empty()) {
+      leader_hint_ = error.leader_endpoint;
+    }
     return ErrorReplyToStatus(error);
   }
   if (frame.type != MsgType::kReply) {
@@ -86,6 +91,31 @@ Result<TextReply> Client::Metrics(MetricsFormat format) {
   request.format = format;
   XIA_ASSIGN_OR_RETURN(const std::string payload,
                        Call(MsgType::kMetrics, EncodeMetricsRequest(request)));
+  return DecodeTextReply(payload);
+}
+
+Result<ReplStatusReply> Client::ReplStatus() {
+  XIA_ASSIGN_OR_RETURN(
+      const std::string payload,
+      Call(MsgType::kReplStatus,
+           EncodeReplStatusRequest(ReplStatusRequest{})));
+  return DecodeReplStatusReply(payload);
+}
+
+Result<PromoteReply> Client::Promote() {
+  XIA_ASSIGN_OR_RETURN(
+      const std::string payload,
+      Call(MsgType::kPromote, EncodePromoteRequest(PromoteRequest{})));
+  return DecodePromoteReply(payload);
+}
+
+Result<TextReply> Client::Follow(const std::string& host, uint16_t port) {
+  FollowRequest request;
+  request.host = host;
+  request.port = port;
+  XIA_ASSIGN_OR_RETURN(
+      const std::string payload,
+      Call(MsgType::kFollow, EncodeFollowRequest(request)));
   return DecodeTextReply(payload);
 }
 

@@ -46,6 +46,16 @@ class Client {
   Result<TextReply> Explain(const ExplainRequest& request);
   Result<TextReply> Metrics(MetricsFormat format);
 
+  /// Failover/admin verbs (DESIGN §15).
+  Result<ReplStatusReply> ReplStatus();
+  Result<PromoteReply> Promote();
+  Result<TextReply> Follow(const std::string& host, uint16_t port);
+
+  /// Leader endpoint carried by the last kReadOnly/kFenced error reply
+  /// ("host:port"; empty when the server did not know). Lets callers
+  /// redirect a rejected write to where the leader actually is.
+  const std::string& leader_hint() const { return leader_hint_; }
+
   /// Escape hatch for tests: sends raw bytes as-is (no framing).
   Status SendRaw(std::string_view bytes) { return socket_.SendAll(bytes); }
 
@@ -60,6 +70,7 @@ class Client {
   Socket socket_;
   FrameReader reader_;
   uint64_t next_request_id_ = 1;
+  std::string leader_hint_;
 };
 
 }  // namespace xia::net

@@ -9,6 +9,7 @@
 
 #include "advisor/advisor.h"
 #include "engine/query_parser.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "optimizer/optimizer.h"
 #include "repl/stream.h"
@@ -68,7 +69,8 @@ Server::Server(ServerOptions options)
                         ? options_.max_inflight_requests
                         : options_.max_connections),
       catalog_(&store_, &statistics_),
-      executor_(&store_, &catalog_) {
+      executor_(&store_, &catalog_),
+      repl_hub_(options_.follower_ttl_s) {
   executor_.set_sink(&capture_);
 }
 
@@ -139,19 +141,26 @@ Status Server::Start() {
     metrics_dumper_ = std::thread(&Server::MetricsDumpLoop, this);
   }
   if (options_.is_follower()) {
-    repl::ApplierOptions applier_options;
-    applier_options.leader_host = options_.follow_host;
-    applier_options.leader_port = options_.follow_port;
-    applier_options.follower_id = options_.follower_id;
-    applier_options.checkpoint_every_records =
-        options_.repl_checkpoint_every;
-    applier_options.test_hook = options_.repl_test_hook;
-    applier_ = std::make_unique<repl::Applier>(
-        std::move(applier_options), wal_.get(), &db_mu_, &store_,
-        &catalog_, &statistics_);
-    applier_->Start();
+    std::lock_guard<std::mutex> lock(role_mu_);
+    leader_host_ = options_.follow_host;
+    leader_port_ = options_.follow_port;
+    follower_mode_.store(true, std::memory_order_release);
+    StartApplierLocked();
   }
   return Status::OK();
+}
+
+void Server::StartApplierLocked() {
+  repl::ApplierOptions applier_options;
+  applier_options.leader_host = leader_host_;
+  applier_options.leader_port = leader_port_;
+  applier_options.follower_id = options_.follower_id;
+  applier_options.checkpoint_every_records = options_.repl_checkpoint_every;
+  applier_options.test_hook = options_.repl_test_hook;
+  applier_ = std::make_unique<repl::Applier>(
+      std::move(applier_options), wal_.get(), &db_mu_, &store_, &catalog_,
+      &statistics_);
+  applier_->Start();
 }
 
 void Server::AcceptLoop() {
@@ -173,7 +182,7 @@ void Server::AcceptLoop() {
       admission_rejects_.fetch_add(1, std::memory_order_relaxed);
       Count("xia.net.admission_rejects");
       const ErrorReply reject{StatusCode::kResourceExhausted,
-                              "too many connections"};
+                              "too many connections", ""};
       (void)accepted->SendAll(
           EncodeFrame(MsgType::kError, 0, EncodeErrorReply(reject)));
       continue;  // accepted socket closes on scope exit
@@ -220,7 +229,7 @@ void Server::SessionLoop(Session* session) {
         protocol_errors_.fetch_add(1, std::memory_order_relaxed);
         Count("xia.net.protocol_errors");
         const ErrorReply err{StatusCode::kParseError,
-                             "protocol error: " + parse_error};
+                             "protocol error: " + parse_error, ""};
         (void)session->socket.SendAll(
             EncodeFrame(MsgType::kError, 0, EncodeErrorReply(err)));
         drop = true;
@@ -263,7 +272,7 @@ std::string Server::HandleFrame(Session* session, const Frame& frame) {
     protocol_errors_.fetch_add(1, std::memory_order_relaxed);
     Count("xia.net.protocol_errors");
     const ErrorReply err{StatusCode::kInvalidArgument,
-                         "frame type is not a request"};
+                         "frame type is not a request", ""};
     return EncodeFrame(MsgType::kError, frame.request_id,
                        EncodeErrorReply(err));
   }
@@ -275,7 +284,7 @@ std::string Server::HandleFrame(Session* session, const Frame& frame) {
     admission_rejects_.fetch_add(1, std::memory_order_relaxed);
     Count("xia.net.admission_rejects");
     const ErrorReply err{StatusCode::kResourceExhausted,
-                         "too many in-flight requests"};
+                         "too many in-flight requests", ""};
     return EncodeFrame(MsgType::kError, frame.request_id,
                        EncodeErrorReply(err));
   }
@@ -305,6 +314,15 @@ std::string Server::HandleFrame(Session* session, const Frame& frame) {
     case MsgType::kMetrics:
       payload = HandleMetrics(frame);
       break;
+    case MsgType::kReplStatus:
+      payload = HandleReplStatus(frame);
+      break;
+    case MsgType::kPromote:
+      payload = HandlePromote(frame);
+      break;
+    case MsgType::kFollow:
+      payload = HandleFollow(frame);
+      break;
     default:
       break;
   }
@@ -320,22 +338,38 @@ std::string Server::HandleFrame(Session* session, const Frame& frame) {
 
   if (!payload.ok()) {
     Count("xia.net.request_errors");
-    const ErrorReply err{payload.status().code(), payload.status().message()};
+    ErrorReply err{payload.status().code(), payload.status().message(), {}};
+    // Write rejections carry where the leader is, so clients can
+    // redirect instead of guessing.
+    if (err.code == StatusCode::kReadOnly ||
+        err.code == StatusCode::kFenced) {
+      err.leader_endpoint = LeaderEndpointHint();
+    }
     return EncodeFrame(MsgType::kError, frame.request_id,
                        EncodeErrorReply(err));
   }
   return EncodeFrame(MsgType::kReply, frame.request_id, *payload);
 }
 
+std::string Server::LeaderEndpointHint() const {
+  if (!follower_mode_.load(std::memory_order_acquire)) {
+    // We are the leader (as far as we know).
+    return options_.host + ":" + std::to_string(port());
+  }
+  std::lock_guard<std::mutex> lock(role_mu_);
+  if (leader_host_.empty() || leader_port_ == 0) return std::string();
+  return leader_host_ + ":" + std::to_string(leader_port_);
+}
+
 std::string Server::HandleReplSubscribe(Session* session,
                                         const Frame& frame) {
   const auto reject = [&](const Status& status) {
     Count("xia.net.request_errors");
-    const ErrorReply err{status.code(), status.message()};
+    const ErrorReply err{status.code(), status.message(), ""};
     return EncodeFrame(MsgType::kError, frame.request_id,
                        EncodeErrorReply(err));
   };
-  if (options_.is_follower()) {
+  if (follower_mode_.load(std::memory_order_acquire)) {
     // No cascading replication: a replica's WAL is a copy, not a source.
     return reject(Status::ReadOnly(
         "follower cannot serve replication subscriptions"));
@@ -354,6 +388,8 @@ std::string Server::HandleReplSubscribe(Session* session,
   ctx.db_mu = &db_mu_;
   ctx.hub = &repl_hub_;
   ctx.stopping = &stopping_;
+  ctx.demoted = &follower_mode_;
+  ctx.test_hook = options_.repl_test_hook;
   const Status ended =
       repl::RunReplStream(&session->socket, *subscribe, ctx);
   if (!ended.ok()) Count("xia.repl.stream_errors");
@@ -435,11 +471,22 @@ Result<std::string> Server::HandleMutation(Session* session,
     return Status::InvalidArgument(
         "read-only statement; use a query request");
   }
-  if (options_.is_follower()) {
+  if (follower_mode_.load(std::memory_order_acquire)) {
     return Status::ReadOnly(
         "this node is a read replica; send mutations to the leader");
   }
   std::unique_lock<std::shared_mutex> lock(db_mu_);
+  // Epoch fence (checked under the exclusive lock, so a promotion
+  // serialized before us cannot slip a stale-epoch write through).
+  if (req.expected_epoch != 0) {
+    const uint64_t epoch = wal_ ? wal_->repl_epoch() : 1;
+    if (req.expected_epoch != epoch) {
+      return Status::Fenced(
+          "mutation fenced: expected epoch " +
+          std::to_string(req.expected_epoch) + ", server is in epoch " +
+          std::to_string(epoch));
+    }
+  }
   optimizer::Optimizer::Options opt_options;
   opt_options.deadline = deadline;
   const optimizer::Optimizer optimizer(&store_, &catalog_, &statistics_,
@@ -455,6 +502,40 @@ Result<std::string> Server::HandleMutation(Session* session,
   reply.docs_examined = result.docs_examined;
   reply.index_entries_scanned = result.index_entries_scanned;
   reply.wall_seconds = result.wall_seconds;
+
+  // Quorum commit (DESIGN §15): capture this mutation's LSN while still
+  // holding the exclusive lock, release it, then wait on the hub for K
+  // follower acks — the wait must not block other requests. A timeout
+  // fails the request loudly (kUnavailable) instead of silently
+  // downgrading to async: the mutation IS durable locally and WILL
+  // reach followers, but the client was promised K-replicated.
+  if (options_.sync_replicas > 0 && wal_ &&
+      !follower_mode_.load(std::memory_order_acquire)) {
+    const uint64_t lsn = wal_->GetStatus().next_lsn - 1;
+    lock.unlock();
+    if (options_.repl_test_hook) {
+      options_.repl_test_hook("repl.quorum.before_wait");
+    }
+    XIA_FAULT_INJECT(fault::points::kReplQuorumWait);
+    Stopwatch quorum_timer;
+    const bool satisfied = repl_hub_.WaitForQuorum(
+        lsn, options_.sync_replicas, options_.quorum_timeout_ms / 1000.0);
+    ObserveLatency("xia.repl.quorum.wait_seconds",
+                   quorum_timer.ElapsedSeconds());
+    if (!satisfied) {
+      Count("xia.repl.quorum.timeouts");
+      return Status::Unavailable(
+          "mutation committed locally (lsn " + std::to_string(lsn) +
+          ") but only " + std::to_string(repl_hub_.CountAcked(lsn)) +
+          " of " + std::to_string(options_.sync_replicas) +
+          " required replica acks arrived within " +
+          std::to_string(options_.quorum_timeout_ms) + " ms");
+    }
+    Count("xia.repl.quorum.satisfied");
+    if (options_.repl_test_hook) {
+      options_.repl_test_hook("repl.quorum.after_ack");
+    }
+  }
   return EncodeExecReply(reply);
 }
 
@@ -542,7 +623,7 @@ Result<std::string> Server::HandleExplain(Session* session,
   // lock (and is a mutation for read-only purposes); everything else is
   // read-only.
   if (req.analyze && stmt.is_modification()) {
-    if (options_.is_follower()) {
+    if (follower_mode_.load(std::memory_order_acquire)) {
       return Status::ReadOnly(
           "EXPLAIN ANALYZE of a mutation executes it; this node is a "
           "read replica");
@@ -573,6 +654,102 @@ Result<std::string> Server::HandleMetrics(const Frame& frame) {
       break;
   }
   return EncodeTextReply(TextReply{text});
+}
+
+Result<std::string> Server::HandleReplStatus(const Frame& frame) {
+  XIA_RETURN_IF_ERROR(DecodeReplStatusRequest(frame.payload).status());
+  ReplStatusReply reply;
+  const bool follower = follower_mode_.load(std::memory_order_acquire);
+  reply.role = follower ? "follower" : "leader";
+  if (wal_) {
+    const wal::WalStatus wal_status = wal_->GetStatus();
+    reply.repl_epoch = wal_status.repl_epoch;
+    reply.epoch_start_lsn = wal_status.epoch_start_lsn;
+    reply.durable_lsn = wal_status.durable_lsn;
+    reply.checkpoint_lsn = wal_status.checkpoint_lsn;
+  }
+  reply.leader_endpoint = LeaderEndpointHint();
+  if (follower) {
+    std::lock_guard<std::mutex> lock(role_mu_);
+    if (applier_) reply.applied_lsn = applier_->GetStats().applied_lsn;
+  } else {
+    for (const repl::FollowerInfo& info : repl_hub_.Snapshot()) {
+      ReplStatusFollower f;
+      f.follower_id = info.follower_id;
+      f.acked_lsn = info.acked_lsn;
+      f.connected = info.streaming;
+      reply.followers.push_back(std::move(f));
+    }
+  }
+  return EncodeReplStatusReply(reply);
+}
+
+Result<std::string> Server::HandlePromote(const Frame& frame) {
+  XIA_RETURN_IF_ERROR(DecodePromoteRequest(frame.payload).status());
+  PromoteReply reply;
+  XIA_RETURN_IF_ERROR(Promote(&reply.epoch, &reply.barrier_lsn));
+  return EncodePromoteReply(reply);
+}
+
+Result<std::string> Server::HandleFollow(const Frame& frame) {
+  XIA_ASSIGN_OR_RETURN(const FollowRequest req,
+                       DecodeFollowRequest(frame.payload));
+  XIA_RETURN_IF_ERROR(Follow(req.host, req.port));
+  return EncodeTextReply(
+      TextReply{"following " + req.host + ":" + std::to_string(req.port)});
+}
+
+Status Server::Promote(uint64_t* epoch, uint64_t* barrier_lsn) {
+  if (!wal_) {
+    return Status::FailedPrecondition(
+        "promotion requires a durable data dir");
+  }
+  XIA_FAULT_INJECT(fault::points::kReplPromote);
+  std::lock_guard<std::mutex> role_lock(role_mu_);
+  if (!follower_mode_.load(std::memory_order_acquire)) {
+    // Already the leader: report the current epoch, do not bump again
+    // (a promote retried after a timeout must not burn an epoch).
+    *epoch = wal_->repl_epoch();
+    *barrier_lsn = wal_->epoch_start_lsn();
+    return Status::OK();
+  }
+  // Quiesce the applier before touching the log: it takes the exclusive
+  // db lock per record and must not apply anything past our barrier.
+  if (applier_) {
+    applier_->Stop();
+    applier_.reset();
+  }
+  {
+    std::unique_lock<std::shared_mutex> lock(db_mu_);
+    XIA_ASSIGN_OR_RETURN(*barrier_lsn, wal_->BumpEpoch());
+  }
+  *epoch = wal_->repl_epoch();
+  leader_host_.clear();
+  leader_port_ = 0;
+  follower_mode_.store(false, std::memory_order_release);
+  Count("xia.repl.promotions");
+  return Status::OK();
+}
+
+Status Server::Follow(const std::string& host, uint16_t port) {
+  if (!wal_) {
+    return Status::FailedPrecondition(
+        "a follower needs a data_dir: its local WAL is what makes "
+        "rejoin crash-safe");
+  }
+  std::lock_guard<std::mutex> role_lock(role_mu_);
+  // Demote FIRST: in-flight leader streams see the flag and fence off,
+  // and new mutations are rejected, before the applier starts pulling.
+  follower_mode_.store(true, std::memory_order_release);
+  if (applier_) {
+    applier_->Stop();
+    applier_.reset();
+  }
+  leader_host_ = host;
+  leader_port_ = port;
+  StartApplierLocked();
+  Count("xia.repl.follows");
+  return Status::OK();
 }
 
 void Server::UpdateServerGauges() {
@@ -608,7 +785,10 @@ Status Server::Stop() {
   // 0. Stop the follower applier first: it takes the exclusive db lock
   //    per applied record and must be quiesced before the final
   //    checkpoint below.
-  if (applier_) applier_->Stop();
+  {
+    std::lock_guard<std::mutex> lock(role_mu_);
+    if (applier_) applier_->Stop();
+  }
 
   // 1. Refuse new connections.
   listener_.Shutdown();
@@ -676,13 +856,18 @@ Status Server::Stop() {
 
 ReplStatus Server::GetReplStatus() const {
   ReplStatus status;
-  status.is_follower = options_.is_follower();
-  if (applier_) status.applier = applier_->GetStats();
+  status.is_follower = follower_mode_.load(std::memory_order_acquire);
+  {
+    std::lock_guard<std::mutex> lock(role_mu_);
+    if (applier_) status.applier = applier_->GetStats();
+  }
   status.followers = repl_hub_.Snapshot();
   if (wal_) {
     const wal::WalStatus wal_status = wal_->GetStatus();
     status.durable_lsn = wal_status.durable_lsn;
     status.checkpoint_lsn = wal_status.checkpoint_lsn;
+    status.repl_epoch = wal_status.repl_epoch;
+    status.epoch_start_lsn = wal_status.epoch_start_lsn;
   }
   return status;
 }

@@ -120,6 +120,21 @@ struct ServerOptions {
   /// replication applier (named kill points, see DESIGN §14).
   wal::WalTestHook repl_test_hook;
 
+  // ---- quorum commit + failover (DESIGN §15) ----
+
+  /// Leader: a mutation acks to its client only after this many
+  /// followers have acked its LSN (0 = async replication, the PR-7
+  /// behavior). The wait never downgrades silently: a quorum that does
+  /// not form within quorum_timeout_ms fails the request with
+  /// kUnavailable even though the mutation is locally durable.
+  size_t sync_replicas = 0;
+  /// Per-request quorum deadline in ms.
+  double quorum_timeout_ms = 2000;
+  /// How long the hub keeps a disconnected follower's ack history
+  /// before pruning it (0 = forever).
+  double follower_ttl_s = 0;
+
+  /// Startup role (the runtime role can change via promote/follow).
   bool is_follower() const { return !follow_host.empty(); }
 };
 
@@ -132,6 +147,9 @@ struct ReplStatus {
   std::vector<repl::FollowerInfo> followers;
   uint64_t durable_lsn = 0;
   uint64_t checkpoint_lsn = 0;
+  /// Replication epoch this node is in and its barrier LSN (DESIGN §15).
+  uint64_t repl_epoch = 1;
+  uint64_t epoch_start_lsn = 0;
 };
 
 /// Point-in-time server accounting (tests and the shutdown summary).
@@ -186,6 +204,23 @@ class Server {
   /// snapshot-transfer path.
   Status CheckpointNow();
 
+  /// Current role (runtime — promote/follow can change it while the
+  /// server runs; options().is_follower() is only the startup role).
+  bool IsFollowerNow() const {
+    return follower_mode_.load(std::memory_order_acquire);
+  }
+
+  /// Promotion (DESIGN §15): stops the applier, bumps the replication
+  /// epoch (writing the kEpochBarrier record), and starts accepting
+  /// writes. Idempotent on a node that is already the leader (returns
+  /// the current epoch without bumping). Requires a durable data dir.
+  Status Promote(uint64_t* epoch, uint64_t* barrier_lsn);
+
+  /// (Re)join as a follower of `host:port` at runtime: demotes a
+  /// deposed leader (in-flight streams fence themselves off) and starts
+  /// the applier, whose first kReplHello handles divergence truncation.
+  Status Follow(const std::string& host, uint16_t port);
+
  private:
   struct Session {
     uint64_t id = 0;
@@ -225,6 +260,16 @@ class Server {
   Result<std::string> HandleExplain(Session* session, const Frame& frame,
                                     const fault::Deadline& deadline);
   Result<std::string> HandleMetrics(const Frame& frame);
+  Result<std::string> HandleReplStatus(const Frame& frame);
+  Result<std::string> HandlePromote(const Frame& frame);
+  Result<std::string> HandleFollow(const Frame& frame);
+
+  /// Where this node believes the current leader is ("host:port"; empty
+  /// when unknown) — attached to kReadOnly/kFenced error replies.
+  std::string LeaderEndpointHint() const;
+  /// Starts the applier against the current leader endpoint (role_mu_
+  /// must be held).
+  void StartApplierLocked();
 
   /// Resolves a request budget (else the server default) to a Deadline.
   fault::Deadline MakeDeadline(double budget_ms) const;
@@ -244,8 +289,21 @@ class Server {
   wal::RecoveryReport recovery_;
 
   // ---- replication ----
-  repl::ReplHub repl_hub_;
-  std::unique_ptr<repl::Applier> applier_;
+  /// mutable: every hub call (reads included) prunes expired
+  /// disconnected followers, which is bookkeeping, not observable
+  /// state change — const status queries stay const.
+  mutable repl::ReplHub repl_hub_;
+  /// Runtime role: true while this node applies a leader's stream.
+  /// Startup value comes from options_.is_follower(); promote/follow
+  /// flip it. Streams watch it as their demotion signal.
+  std::atomic<bool> follower_mode_{false};
+  /// Guards applier_ swaps and the leader endpoint below. Lock order:
+  /// role_mu_ -> db_mu_ (Promote holds role_mu_ across the epoch bump);
+  /// request handlers never take role_mu_ while holding db_mu_.
+  mutable std::mutex role_mu_;
+  std::unique_ptr<repl::Applier> applier_;  // guarded by role_mu_
+  std::string leader_host_;                 // guarded by role_mu_
+  uint16_t leader_port_ = 0;                // guarded by role_mu_
 
   /// Thread-safe capture sink fed by the executor; advise-on-captured
   /// folds drained batches into templates_ under tmpl_mu_ (leaf lock).

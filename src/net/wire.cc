@@ -29,6 +29,12 @@ const char* MsgTypeName(MsgType type) {
       return "metrics";
     case MsgType::kReplSubscribe:
       return "repl_subscribe";
+    case MsgType::kReplStatus:
+      return "repl_status";
+    case MsgType::kPromote:
+      return "promote";
+    case MsgType::kFollow:
+      return "follow";
     case MsgType::kReply:
       return "reply";
     case MsgType::kError:
@@ -39,13 +45,15 @@ const char* MsgTypeName(MsgType type) {
       return "repl_snapshot";
     case MsgType::kReplAck:
       return "repl_ack";
+    case MsgType::kReplHello:
+      return "repl_hello";
   }
   return "unknown";
 }
 
 bool IsRequestType(uint8_t type) {
   return type >= static_cast<uint8_t>(MsgType::kPing) &&
-         type <= static_cast<uint8_t>(MsgType::kReplSubscribe);
+         type <= static_cast<uint8_t>(MsgType::kFollow);
 }
 
 namespace {
@@ -56,7 +64,8 @@ bool IsKnownType(uint8_t type) {
          type == static_cast<uint8_t>(MsgType::kError) ||
          type == static_cast<uint8_t>(MsgType::kReplFrame) ||
          type == static_cast<uint8_t>(MsgType::kReplSnapshot) ||
-         type == static_cast<uint8_t>(MsgType::kReplAck);
+         type == static_cast<uint8_t>(MsgType::kReplAck) ||
+         type == static_cast<uint8_t>(MsgType::kReplHello);
 }
 
 /// Little-endian u32 at a byte offset of an existing buffer.
@@ -219,15 +228,22 @@ std::string EncodeMutationRequest(const MutationRequest& req) {
   std::string out;
   PutString(&out, req.statement);
   PutF64(&out, req.budget_ms);
+  if (req.expected_epoch != 0) PutU64(&out, req.expected_epoch);
   return out;
 }
 
 Result<MutationRequest> DecodeMutationRequest(std::string_view payload) {
   MutationRequest req;
   WireReader in{payload};
-  if (!in.GetString(&req.statement) || !GetF64(&in, &req.budget_ms) ||
-      !in.AtEnd()) {
+  if (!in.GetString(&req.statement) || !GetF64(&in, &req.budget_ms)) {
     return Malformed("mutation request");
+  }
+  // Optional epoch-fence tail (absent from PR-7 clients; 0 = any epoch).
+  if (!in.AtEnd()) {
+    if (!in.GetU64(&req.expected_epoch) || !in.AtEnd() ||
+        req.expected_epoch == 0) {
+      return Malformed("mutation request");
+    }
   }
   return req;
 }
@@ -379,6 +395,7 @@ std::string EncodeErrorReply(const ErrorReply& reply) {
   std::string out;
   PutU8(&out, static_cast<uint8_t>(reply.code));
   PutString(&out, reply.message);
+  if (!reply.leader_endpoint.empty()) PutString(&out, reply.leader_endpoint);
   return out;
 }
 
@@ -386,9 +403,17 @@ Result<ErrorReply> DecodeErrorReply(std::string_view payload) {
   ErrorReply reply;
   WireReader in{payload};
   uint8_t code = 0;
-  if (!in.GetU8(&code) || !in.GetString(&reply.message) || !in.AtEnd() ||
-      code > static_cast<uint8_t>(StatusCode::kReadOnly)) {
+  if (!in.GetU8(&code) || !in.GetString(&reply.message) ||
+      code > static_cast<uint8_t>(StatusCode::kFenced)) {
     return Malformed("error reply");
+  }
+  // Optional leader-endpoint tail (present on kReadOnly/kFenced replies
+  // from servers that know where the leader is).
+  if (!in.AtEnd()) {
+    if (!in.GetString(&reply.leader_endpoint) || !in.AtEnd() ||
+        reply.leader_endpoint.empty()) {
+      return Malformed("error reply");
+    }
   }
   reply.code = static_cast<StatusCode>(code);
   return reply;
@@ -398,6 +423,7 @@ std::string EncodeReplSubscribeRequest(const ReplSubscribeRequest& req) {
   std::string out;
   PutString(&out, req.follower_id);
   PutU64(&out, req.start_lsn);
+  if (req.epoch != 0) PutU64(&out, req.epoch);
   return out;
 }
 
@@ -405,11 +431,35 @@ Result<ReplSubscribeRequest> DecodeReplSubscribeRequest(
     std::string_view payload) {
   ReplSubscribeRequest req;
   WireReader in{payload};
-  if (!in.GetString(&req.follower_id) || !in.GetU64(&req.start_lsn) ||
-      !in.AtEnd()) {
+  if (!in.GetString(&req.follower_id) || !in.GetU64(&req.start_lsn)) {
     return Malformed("repl subscribe request");
   }
+  // Optional witnessed-epoch tail (absent from PR-7 followers = epoch
+  // unknown, treated as 0 — never fences).
+  if (!in.AtEnd()) {
+    if (!in.GetU64(&req.epoch) || !in.AtEnd() || req.epoch == 0) {
+      return Malformed("repl subscribe request");
+    }
+  }
   return req;
+}
+
+std::string EncodeReplHelloPayload(const ReplHelloPayload& hello) {
+  std::string out;
+  PutU64(&out, hello.leader_epoch);
+  PutU64(&out, hello.epoch_start_lsn);
+  return out;
+}
+
+Result<ReplHelloPayload> DecodeReplHelloPayload(std::string_view payload) {
+  ReplHelloPayload hello;
+  WireReader in{payload};
+  if (!in.GetU64(&hello.leader_epoch) ||
+      !in.GetU64(&hello.epoch_start_lsn) || !in.AtEnd() ||
+      hello.leader_epoch == 0) {
+    return Malformed("repl hello");
+  }
+  return hello;
 }
 
 std::string EncodeReplSnapshotPayload(const ReplSnapshotPayload& snap) {
@@ -419,6 +469,10 @@ std::string EncodeReplSnapshotPayload(const ReplSnapshotPayload& snap) {
   PutU8(&out, snap.has_catalog ? 1 : 0);
   PutString(&out, snap.snapshot_bytes);
   PutString(&out, snap.catalog_bytes);
+  if (snap.repl_epoch > 1) {
+    PutU64(&out, snap.repl_epoch);
+    PutU64(&out, snap.epoch_start_lsn);
+  }
   return out;
 }
 
@@ -430,8 +484,15 @@ Result<ReplSnapshotPayload> DecodeReplSnapshotPayload(
   uint8_t has_catalog = 0;
   if (!in.GetU64(&snap.checkpoint_lsn) || !in.GetU8(&has_snapshot) ||
       !in.GetU8(&has_catalog) || !in.GetString(&snap.snapshot_bytes) ||
-      !in.GetString(&snap.catalog_bytes) || !in.AtEnd()) {
+      !in.GetString(&snap.catalog_bytes)) {
     return Malformed("repl snapshot");
+  }
+  // Optional epoch tail (absent from PR-7 leaders = epoch 1).
+  if (!in.AtEnd()) {
+    if (!in.GetU64(&snap.repl_epoch) || !in.GetU64(&snap.epoch_start_lsn) ||
+        !in.AtEnd() || snap.repl_epoch < 2) {
+      return Malformed("repl snapshot");
+    }
   }
   snap.has_snapshot = has_snapshot != 0;
   snap.has_catalog = has_catalog != 0;
@@ -451,6 +512,105 @@ Result<ReplAckPayload> DecodeReplAckPayload(std::string_view payload) {
     return Malformed("repl ack");
   }
   return ack;
+}
+
+std::string EncodeReplStatusRequest(const ReplStatusRequest&) {
+  return std::string();
+}
+
+Result<ReplStatusRequest> DecodeReplStatusRequest(std::string_view payload) {
+  if (!payload.empty()) return Malformed("repl status request");
+  return ReplStatusRequest{};
+}
+
+std::string EncodeReplStatusReply(const ReplStatusReply& reply) {
+  std::string out;
+  PutString(&out, reply.role);
+  PutU64(&out, reply.repl_epoch);
+  PutU64(&out, reply.epoch_start_lsn);
+  PutU64(&out, reply.durable_lsn);
+  PutU64(&out, reply.checkpoint_lsn);
+  PutU64(&out, reply.applied_lsn);
+  PutString(&out, reply.leader_endpoint);
+  PutU32(&out, static_cast<uint32_t>(reply.followers.size()));
+  for (const ReplStatusFollower& f : reply.followers) {
+    PutString(&out, f.follower_id);
+    PutString(&out, f.remote);
+    PutU64(&out, f.acked_lsn);
+    PutU8(&out, f.connected ? 1 : 0);
+  }
+  return out;
+}
+
+Result<ReplStatusReply> DecodeReplStatusReply(std::string_view payload) {
+  ReplStatusReply reply;
+  WireReader in{payload};
+  uint32_t nfollowers = 0;
+  if (!in.GetString(&reply.role) || !in.GetU64(&reply.repl_epoch) ||
+      !in.GetU64(&reply.epoch_start_lsn) || !in.GetU64(&reply.durable_lsn) ||
+      !in.GetU64(&reply.checkpoint_lsn) || !in.GetU64(&reply.applied_lsn) ||
+      !in.GetString(&reply.leader_endpoint) || !in.GetU32(&nfollowers) ||
+      reply.repl_epoch == 0 ||
+      (reply.role != "leader" && reply.role != "follower")) {
+    return Malformed("repl status reply");
+  }
+  reply.followers.resize(nfollowers);
+  for (uint32_t i = 0; i < nfollowers; ++i) {
+    uint8_t connected = 0;
+    if (!in.GetString(&reply.followers[i].follower_id) ||
+        !in.GetString(&reply.followers[i].remote) ||
+        !in.GetU64(&reply.followers[i].acked_lsn) || !in.GetU8(&connected)) {
+      return Malformed("repl status reply");
+    }
+    reply.followers[i].connected = connected != 0;
+  }
+  if (!in.AtEnd()) return Malformed("repl status reply");
+  return reply;
+}
+
+std::string EncodePromoteRequest(const PromoteRequest&) {
+  return std::string();
+}
+
+Result<PromoteRequest> DecodePromoteRequest(std::string_view payload) {
+  if (!payload.empty()) return Malformed("promote request");
+  return PromoteRequest{};
+}
+
+std::string EncodePromoteReply(const PromoteReply& reply) {
+  std::string out;
+  PutU64(&out, reply.epoch);
+  PutU64(&out, reply.barrier_lsn);
+  return out;
+}
+
+Result<PromoteReply> DecodePromoteReply(std::string_view payload) {
+  PromoteReply reply;
+  WireReader in{payload};
+  if (!in.GetU64(&reply.epoch) || !in.GetU64(&reply.barrier_lsn) ||
+      !in.AtEnd() || reply.epoch < 2 || reply.barrier_lsn == 0) {
+    return Malformed("promote reply");
+  }
+  return reply;
+}
+
+std::string EncodeFollowRequest(const FollowRequest& req) {
+  std::string out;
+  PutString(&out, req.host);
+  PutU32(&out, req.port);
+  return out;
+}
+
+Result<FollowRequest> DecodeFollowRequest(std::string_view payload) {
+  FollowRequest req;
+  WireReader in{payload};
+  uint32_t port = 0;
+  if (!in.GetString(&req.host) || !in.GetU32(&port) || !in.AtEnd() ||
+      req.host.empty() || port == 0 || port > 0xffff) {
+    return Malformed("follow request");
+  }
+  req.port = static_cast<uint16_t>(port);
+  return req;
 }
 
 Status ErrorReplyToStatus(const ErrorReply& reply) {

@@ -59,9 +59,12 @@ inline constexpr uint32_t kMaxPayloadBytes = 16u << 20;
 ///
 /// kReplSubscribe is the only request that does NOT follow the
 /// one-request/one-reply shape: it flips the session into a one-way
-/// stream of kReplSnapshot / kReplFrame frames from leader to follower,
-/// with kReplAck frames flowing back (all with request_id 0 — the
-/// stream is positional, ordered by LSN, not correlated by id).
+/// stream of kReplHello / kReplSnapshot / kReplFrame frames from leader
+/// to follower, with kReplAck frames flowing back. Stream frames carry
+/// the sender's replication epoch in the request_id field (the stream is
+/// positional, ordered by LSN, never correlated by id — the field would
+/// otherwise always be 0, so reusing it stamps every frame with its
+/// epoch at zero format cost; DESIGN §15).
 enum class MsgType : uint8_t {
   kPing = 1,
   kQuery = 2,
@@ -70,11 +73,15 @@ enum class MsgType : uint8_t {
   kExplain = 5,
   kMetrics = 6,
   kReplSubscribe = 7,
+  kReplStatus = 8,
+  kPromote = 9,
+  kFollow = 10,
   kReply = 0x40,
   kError = 0x41,
   kReplFrame = 0x50,
   kReplSnapshot = 0x51,
   kReplAck = 0x52,
+  kReplHello = 0x53,
 };
 
 const char* MsgTypeName(MsgType type);
@@ -134,10 +141,16 @@ struct QueryRequest {
   double budget_ms = 0;
 };
 
-/// kMutation — an insert/delete/update statement.
+/// kMutation — an insert/delete/update statement. `expected_epoch` lets
+/// a client fence its write to a specific replication epoch: 0 accepts
+/// whatever epoch the server is in, any other value makes the server
+/// reject with kFenced unless the epochs match exactly (so a client that
+/// learned the leader before a promotion cannot slip a write into the
+/// wrong epoch through a still-open connection).
 struct MutationRequest {
   std::string statement;
   double budget_ms = 0;
+  uint64_t expected_epoch = 0;
 };
 
 /// kAdvise — what-if index advising over a workload carried in the
@@ -195,20 +208,41 @@ struct TextReply {
   std::string text;
 };
 
-/// kError payload: the failing StatusCode plus its message.
+/// kError payload: the failing StatusCode plus its message. For
+/// kReadOnly / kFenced rejections the server also carries the leader
+/// endpoint it believes is current ("host:port", empty when unknown) so
+/// clients can redirect instead of guessing. The field is encoded only
+/// when non-empty — old decoders never see it, and the decoder accepts
+/// both forms.
 struct ErrorReply {
   StatusCode code = StatusCode::kInternal;
   std::string message;
+  std::string leader_endpoint;
 };
 
 // ---- replication (xia::repl, DESIGN §14) ----
 
 /// kReplSubscribe — a follower asks the leader to stream committed WAL
 /// records starting at `start_lsn`. When the leader's log no longer
-/// reaches back that far it answers with a kReplSnapshot first.
+/// reaches back that far it answers with a kReplSnapshot first. `epoch`
+/// is the highest replication epoch the follower has witnessed: a leader
+/// whose own epoch is lower rejects the subscribe with kFenced (it has
+/// been deposed and does not know it yet) instead of streaming stale
+/// history.
 struct ReplSubscribeRequest {
   std::string follower_id;
   uint64_t start_lsn = 1;
+  uint64_t epoch = 0;
+};
+
+/// kReplHello — first frame of every replication stream: announces the
+/// leader's current epoch and the LSN of the barrier that opened it
+/// (0 for the initial epoch). A rejoining deposed leader compares this
+/// against its own log to find the divergence point before accepting any
+/// frames (DESIGN §15).
+struct ReplHelloPayload {
+  uint64_t leader_epoch = 1;
+  uint64_t epoch_start_lsn = 0;
 };
 
 /// kReplFrame carries exactly one encoded WAL record (wal::EncodeRecord
@@ -216,18 +250,70 @@ struct ReplSubscribeRequest {
 /// CRC story stays the WAL's own. No codec needed.
 
 /// kReplSnapshot — a checkpoint image transferred whole (file bytes,
-/// validated on the follower before anything is touched).
+/// validated on the follower before anything is touched). Carries the
+/// leader's epoch state at the checkpoint so the installer adopts it
+/// along with the LSN space; the epoch fields are encoded only when
+/// repl_epoch > 1 (back-compat with PR-7 peers, which are epoch 1 by
+/// definition).
 struct ReplSnapshotPayload {
   uint64_t checkpoint_lsn = 0;
   bool has_snapshot = false;
   bool has_catalog = false;
   std::string snapshot_bytes;
   std::string catalog_bytes;
+  uint64_t repl_epoch = 1;
+  uint64_t epoch_start_lsn = 0;
 };
 
 /// kReplAck — follower reports its highest contiguously applied LSN.
 struct ReplAckPayload {
   uint64_t acked_lsn = 0;
+};
+
+// ---- failover / admin (DESIGN §15) ----
+
+/// kReplStatus — replication role/progress introspection, answered by
+/// leaders and followers alike (this is how `xia_admin promote` picks
+/// the most-caught-up follower).
+struct ReplStatusRequest {};
+
+struct ReplStatusFollower {
+  std::string follower_id;
+  std::string remote;
+  uint64_t acked_lsn = 0;
+  bool connected = false;
+};
+
+struct ReplStatusReply {
+  /// "leader" or "follower".
+  std::string role;
+  uint64_t repl_epoch = 1;
+  uint64_t epoch_start_lsn = 0;
+  uint64_t durable_lsn = 0;
+  uint64_t checkpoint_lsn = 0;
+  /// Follower: highest contiguously applied LSN. Leader: 0.
+  uint64_t applied_lsn = 0;
+  /// Follower: the leader endpoint it follows. Leader: its own endpoint.
+  std::string leader_endpoint;
+  /// Leader only: per-follower stream progress.
+  std::vector<ReplStatusFollower> followers;
+};
+
+/// kPromote — orders a follower to become the leader: bump the epoch,
+/// write the barrier, start accepting writes. Reply carries the new
+/// epoch and the barrier LSN that opened it.
+struct PromoteRequest {};
+struct PromoteReply {
+  uint64_t epoch = 0;
+  uint64_t barrier_lsn = 0;
+};
+
+/// kFollow — orders a node to (re)join as a follower of `host:port`
+/// (the deposed-leader rejoin path; also flips a fresh node into
+/// follower mode at runtime).
+struct FollowRequest {
+  std::string host;
+  uint16_t port = 0;
 };
 
 std::string EncodeQueryRequest(const QueryRequest& req);
@@ -260,6 +346,24 @@ Result<ErrorReply> DecodeErrorReply(std::string_view payload);
 std::string EncodeReplSubscribeRequest(const ReplSubscribeRequest& req);
 Result<ReplSubscribeRequest> DecodeReplSubscribeRequest(
     std::string_view payload);
+
+std::string EncodeReplHelloPayload(const ReplHelloPayload& hello);
+Result<ReplHelloPayload> DecodeReplHelloPayload(std::string_view payload);
+
+std::string EncodeReplStatusRequest(const ReplStatusRequest& req);
+Result<ReplStatusRequest> DecodeReplStatusRequest(std::string_view payload);
+
+std::string EncodeReplStatusReply(const ReplStatusReply& reply);
+Result<ReplStatusReply> DecodeReplStatusReply(std::string_view payload);
+
+std::string EncodePromoteRequest(const PromoteRequest& req);
+Result<PromoteRequest> DecodePromoteRequest(std::string_view payload);
+
+std::string EncodePromoteReply(const PromoteReply& reply);
+Result<PromoteReply> DecodePromoteReply(std::string_view payload);
+
+std::string EncodeFollowRequest(const FollowRequest& req);
+Result<FollowRequest> DecodeFollowRequest(std::string_view payload);
 
 std::string EncodeReplSnapshotPayload(const ReplSnapshotPayload& snap);
 Result<ReplSnapshotPayload> DecodeReplSnapshotPayload(

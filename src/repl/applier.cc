@@ -108,6 +108,7 @@ Status Applier::RunOnce() {
   net::ReplSubscribeRequest subscribe;
   subscribe.follower_id = options_.follower_id;
   subscribe.start_lsn = durable + 1;
+  subscribe.epoch = wal_->repl_epoch();
   XIA_RETURN_IF_ERROR(socket.SendAll(
       net::EncodeFrame(net::MsgType::kReplSubscribe, 0,
                        net::EncodeReplSubscribeRequest(subscribe))));
@@ -128,8 +129,11 @@ Status Applier::RunOnce() {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ack.acked_lsn = stats_.applied_lsn;
     }
-    XIA_RETURN_IF_ERROR(socket.SendAll(net::EncodeFrame(
-        net::MsgType::kReplAck, 0, net::EncodeReplAckPayload(ack))));
+    // The ack's request_id carries our witnessed epoch: a deposed
+    // leader reading an ack from a newer epoch stops streaming.
+    XIA_RETURN_IF_ERROR(socket.SendAll(
+        net::EncodeFrame(net::MsgType::kReplAck, wal_->repl_epoch(),
+                         net::EncodeReplAckPayload(ack))));
     unacked = 0;
     since_ack.Restart();
     return Status::OK();
@@ -152,6 +156,22 @@ Status Applier::RunOnce() {
         // nothing was applied; resubscribe from the last good LSN.
         return Status::ParseError("leader stream: " + parse_error);
       }
+      // Stale-epoch fencing: a stream frame stamped with an epoch older
+      // than what this node has witnessed comes from a deposed leader —
+      // reject it, never apply (stamp 0 = a PR-7 leader, epoch 1).
+      if ((frame.type == net::MsgType::kReplFrame ||
+           frame.type == net::MsgType::kReplSnapshot) &&
+          frame.request_id != 0 && frame.request_id < wal_->repl_epoch()) {
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.fenced_frames;
+        }
+        XIA_OBS_COUNT("xia.repl.fenced_frames", 1);
+        return Status::Fenced(
+            "stream frame from stale epoch " +
+            std::to_string(frame.request_id) + ", local epoch is " +
+            std::to_string(wal_->repl_epoch()));
+      }
       Status handled = Status::OK();
       switch (frame.type) {
         case net::MsgType::kReplFrame:
@@ -159,6 +179,9 @@ Status Applier::RunOnce() {
           break;
         case net::MsgType::kReplSnapshot:
           handled = HandleSnapshotFrame(frame.payload);
+          break;
+        case net::MsgType::kReplHello:
+          handled = HandleHelloFrame(frame.payload);
           break;
         case net::MsgType::kError: {
           XIA_ASSIGN_OR_RETURN(const net::ErrorReply err,
@@ -173,10 +196,17 @@ Status Applier::RunOnce() {
       ++unacked;
     }
 
-    if (unacked > 0 && (unacked >= options_.ack_every_records ||
-                        since_ack.ElapsedSeconds() >=
-                            options_.ack_interval_s)) {
-      XIA_RETURN_IF_ERROR(send_ack());
+    if (unacked > 0) {
+      // Ack eagerly once the pipe is drained: a quorum-commit leader is
+      // parked on exactly this ack, and batching past the last in-flight
+      // frame would charge every synchronous commit the full poll
+      // interval. With more bytes already queued, batch as before.
+      XIA_ASSIGN_OR_RETURN(const bool more_inflight,
+                           socket.WaitReadable(0));
+      if (!more_inflight || unacked >= options_.ack_every_records ||
+          since_ack.ElapsedSeconds() >= options_.ack_interval_s) {
+        XIA_RETURN_IF_ERROR(send_ack());
+      }
     }
 
     if (options_.checkpoint_every_records > 0 &&
@@ -272,6 +302,8 @@ Status Applier::HandleSnapshotFrame(const std::string& payload) {
   image.has_catalog = snap.has_catalog;
   image.snapshot_bytes = std::move(snap.snapshot_bytes);
   image.catalog_bytes = std::move(snap.catalog_bytes);
+  image.repl_epoch = snap.repl_epoch;
+  image.epoch_start_lsn = snap.epoch_start_lsn;
   {
     std::unique_lock<std::shared_mutex> lock(*db_mu_);
     // Fail-closed: a corrupt image returns kDataLoss with nothing
@@ -287,6 +319,68 @@ Status Applier::HandleSnapshotFrame(const std::string& payload) {
   XIA_OBS_COUNT("xia.repl.snapshots_installed", 1);
   XIA_OBS_GAUGE_SET("xia.repl.applied_lsn",
                     static_cast<double>(image.checkpoint_lsn));
+  return Status::OK();
+}
+
+Status Applier::HandleHelloFrame(const std::string& payload) {
+  XIA_ASSIGN_OR_RETURN(const net::ReplHelloPayload hello,
+                       net::DecodeReplHelloPayload(payload));
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.leader_epoch = hello.leader_epoch;
+  }
+  const uint64_t local_epoch = wal_->repl_epoch();
+  if (hello.leader_epoch < local_epoch) {
+    // We are subscribed to a deposed leader (admin misdirection, or the
+    // promotion raced our subscribe). Do not apply anything from it.
+    XIA_OBS_COUNT("xia.repl.fenced_hellos", 1);
+    return Status::Fenced(
+        "leader announced stale epoch " +
+        std::to_string(hello.leader_epoch) + ", local epoch is " +
+        std::to_string(local_epoch));
+  }
+  const uint64_t durable =
+      std::max(wal_->GetStatus().next_lsn - 1, wal_->checkpoint_lsn());
+  if (hello.leader_epoch > local_epoch && hello.epoch_start_lsn > 0 &&
+      durable >= hello.epoch_start_lsn) {
+    // Divergence: our log holds LSNs at/past the new epoch's barrier,
+    // but they were written by the old epoch (we never witnessed the
+    // barrier). Unwind them before accepting the new epoch's history.
+    Hook("repl.hello.before_truncate");
+    if (wal_->checkpoint_lsn() < hello.epoch_start_lsn) {
+      uint64_t truncated = 0;
+      {
+        std::unique_lock<std::shared_mutex> lock(*db_mu_);
+        XIA_ASSIGN_OR_RETURN(
+            truncated, wal_->TruncateSuffix(hello.epoch_start_lsn, store_,
+                                            catalog_, statistics_));
+      }
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.suffix_truncations;
+        stats_.records_truncated += truncated;
+      }
+      XIA_OBS_COUNT("xia.repl.suffix_truncations", 1);
+      return Status::Unavailable(
+          "truncated " + std::to_string(truncated) +
+          " diverged records past barrier " +
+          std::to_string(hello.epoch_start_lsn) + "; resubscribing");
+    }
+    // A local checkpoint already swallowed the divergent records; they
+    // cannot be unwound in place, so fall back to a full resync.
+    {
+      std::unique_lock<std::shared_mutex> lock(*db_mu_);
+      XIA_RETURN_IF_ERROR(
+          wal_->ResetForResync(store_, catalog_, statistics_));
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.full_resyncs;
+    }
+    XIA_OBS_COUNT("xia.repl.full_resyncs", 1);
+    return Status::Unavailable(
+        "local checkpoint covers diverged records; reset for full resync");
+  }
   return Status::OK();
 }
 

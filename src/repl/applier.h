@@ -7,7 +7,16 @@
 //   CONNECT     dial the leader with jittered exponential backoff (the
 //               OnlineAdvisor backoff shape: 0.05s initial, x2, capped).
 //   SUBSCRIBE   start_lsn = local durable LSN + 1 (whatever the local
-//               WAL already holds is never requested again).
+//               WAL already holds is never requested again); the
+//               subscribe carries the highest epoch this node has
+//               witnessed so a deposed leader cannot stream to us.
+//   HELLO       the leader announces its epoch and barrier LSN first.
+//               A rejoining deposed leader detects divergence here: if
+//               the leader's epoch is newer and our log already holds
+//               the barrier LSN, everything at/past the barrier is dead
+//               history from our old epoch — TruncateSuffix unwinds it
+//               (or ResetForResync when a checkpoint swallowed it), and
+//               the applier resubscribes from the surviving prefix.
 //   CATCH-UP    leader answers with a kReplSnapshot when start_lsn
 //               predates its checkpoint horizon; InstallCheckpoint
 //               validates the image fail-closed, commits it via the
@@ -73,6 +82,14 @@ struct ApplierStats {
   uint64_t snapshots_installed = 0;
   uint64_t resubscribes = 0;
   uint64_t connect_failures = 0;
+  /// Epoch the leader announced in its last kReplHello (0 = none yet).
+  uint64_t leader_epoch = 0;
+  /// Divergence repairs performed (deposed-leader rejoin).
+  uint64_t suffix_truncations = 0;
+  uint64_t records_truncated = 0;
+  uint64_t full_resyncs = 0;
+  /// Stale-epoch frames rejected (kFenced).
+  uint64_t fenced_frames = 0;
   bool connected = false;
   /// Non-empty after an unrecoverable divergence; the applier is halted.
   std::string sticky_error;
@@ -101,6 +118,8 @@ class Applier {
   Status RunOnce();
   Status HandleRecordFrame(const std::string& payload);
   Status HandleSnapshotFrame(const std::string& payload);
+  /// Divergence detection + repair on the leader's epoch announcement.
+  Status HandleHelloFrame(const std::string& payload);
   void Hook(const char* point) {
     if (options_.test_hook) options_.test_hook(point);
   }

@@ -9,20 +9,31 @@ namespace xia::repl {
 void ReplHub::OnSubscribe(const std::string& follower_id,
                           uint64_t start_lsn) {
   std::lock_guard<std::mutex> lock(mu_);
+  PruneLocked();
   FollowerInfo& info = followers_[follower_id];
   info.follower_id = follower_id;
   info.subscribed_from = start_lsn;
   info.streaming = true;
   ++info.subscribes;
+  disconnected_at_.erase(follower_id);
   PublishGaugesLocked();
 }
 
 void ReplHub::OnAck(const std::string& follower_id, uint64_t acked_lsn) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = followers_.find(follower_id);
-  if (it == followers_.end()) return;
-  it->second.acked_lsn = std::max(it->second.acked_lsn, acked_lsn);
-  PublishGaugesLocked();
+  bool advanced = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PruneLocked();
+    auto it = followers_.find(follower_id);
+    if (it == followers_.end()) return;
+    if (acked_lsn > it->second.acked_lsn) {
+      it->second.acked_lsn = acked_lsn;
+      advanced = true;
+    }
+    PublishGaugesLocked();
+  }
+  // Broadcast outside the lock: waiters re-take it to re-count anyway.
+  if (advanced) ack_cv_.notify_all();
 }
 
 void ReplHub::OnDisconnect(const std::string& follower_id) {
@@ -30,11 +41,39 @@ void ReplHub::OnDisconnect(const std::string& follower_id) {
   auto it = followers_.find(follower_id);
   if (it == followers_.end()) return;
   it->second.streaming = false;
+  disconnected_at_[follower_id] = Clock::now();
+  PruneLocked();
   PublishGaugesLocked();
 }
 
-std::vector<FollowerInfo> ReplHub::Snapshot() const {
+size_t ReplHub::CountAckedLocked(uint64_t lsn) const {
+  size_t n = 0;
+  for (const auto& [id, info] : followers_) {
+    if (info.acked_lsn >= lsn) ++n;
+  }
+  return n;
+}
+
+size_t ReplHub::CountAcked(uint64_t lsn) {
   std::lock_guard<std::mutex> lock(mu_);
+  PruneLocked();
+  return CountAckedLocked(lsn);
+}
+
+bool ReplHub::WaitForQuorum(uint64_t lsn, size_t k, double timeout_s) {
+  if (k == 0) return true;
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(timeout_s));
+  return ack_cv_.wait_until(lock, deadline, [&] {
+    return CountAckedLocked(lsn) >= k;
+  });
+}
+
+std::vector<FollowerInfo> ReplHub::Snapshot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  PruneLocked();
   std::vector<FollowerInfo> out;
   out.reserve(followers_.size());
   for (const auto& [id, info] : followers_) out.push_back(info);
@@ -51,6 +90,22 @@ uint64_t ReplHub::MinAckedLsn() const {
     any = true;
   }
   return any ? min_lsn : 0;
+}
+
+void ReplHub::PruneLocked() {
+  if (disconnected_ttl_s_ <= 0 || disconnected_at_.empty()) return;
+  const auto cutoff =
+      Clock::now() - std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(disconnected_ttl_s_));
+  for (auto it = disconnected_at_.begin(); it != disconnected_at_.end();) {
+    if (it->second <= cutoff) {
+      followers_.erase(it->first);
+      XIA_OBS_COUNT("xia.repl.followers_pruned", 1);
+      it = disconnected_at_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void ReplHub::PublishGaugesLocked() const {

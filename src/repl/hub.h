@@ -1,18 +1,29 @@
-// xia::repl — WAL-shipping replication (DESIGN §14).
+// xia::repl — WAL-shipping replication (DESIGN §14, §15).
 //
 // ReplHub is the leader's view of its followers: which follower_ids are
 // currently streaming and the highest LSN each has acknowledged as
 // applied. It is pure bookkeeping — the per-follower streamer threads
 // (stream.h) do the work and report in here — but it is what makes
-// replication observable: the hub publishes xia.repl.* gauges and is the
-// source for `xia repl status`-style introspection in tests and tools.
+// replication observable (xia.repl.* gauges, `repl status`) and, since
+// quorum-acknowledged commits, what group commit blocks on:
+// WaitForQuorum parks a committing session until K distinct followers
+// have acked the mutation's LSN, and OnAck broadcasts to wake waiters.
+//
+// Followers that disconnect are kept for a grace TTL so a bouncing
+// follower keeps its acked-LSN history across a quick rejoin, then
+// pruned (lazily, on the next hub call) so a leader that outlives many
+// transient followers does not accrete state forever.
 //
 // The hub mutex is a leaf lock: never held while sending, reading the
-// WAL, or holding the database lock.
+// WAL, or holding the database lock. WaitForQuorum *waits* on the hub's
+// condition variable, but the caller must not hold any other lock while
+// calling it (the server releases the database lock first).
 
 #ifndef XIA_REPL_HUB_H_
 #define XIA_REPL_HUB_H_
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -36,27 +47,57 @@ struct FollowerInfo {
 
 class ReplHub {
  public:
+  /// `disconnected_ttl_s` is how long a disconnected follower's entry
+  /// survives before pruning; 0 keeps entries forever (the PR-7
+  /// behavior, used by tests that inspect history after a disconnect).
+  explicit ReplHub(double disconnected_ttl_s = 0)
+      : disconnected_ttl_s_(disconnected_ttl_s) {}
+
   /// Registers (or re-registers) a follower at stream start.
   void OnSubscribe(const std::string& follower_id, uint64_t start_lsn);
 
-  /// Records an acked LSN (monotonic per follower; stale acks ignored).
+  /// Records an acked LSN (monotonic per follower; stale acks ignored)
+  /// and wakes any quorum waiters the ack could satisfy.
   void OnAck(const std::string& follower_id, uint64_t acked_lsn);
 
-  /// Marks the follower's stream as detached (state is kept so a rejoin
-  /// continues the same acked-LSN history).
+  /// Marks the follower's stream as detached. State is kept for the
+  /// grace TTL so a rejoin continues the same acked-LSN history, then
+  /// pruned.
   void OnDisconnect(const std::string& follower_id);
 
-  std::vector<FollowerInfo> Snapshot() const;
+  /// Blocks until at least `k` distinct followers have acked an LSN
+  /// >= `lsn`, or `timeout_s` elapses. Returns true when the quorum was
+  /// reached. k == 0 returns true immediately. Call with NO other locks
+  /// held (notably not the database lock).
+  bool WaitForQuorum(uint64_t lsn, size_t k, double timeout_s);
+
+  /// How many distinct followers have acked an LSN >= `lsn` right now.
+  /// Prunes expired disconnected entries first (like every hub call, so
+  /// a quiet leader's `repl status` does not show ghosts forever).
+  size_t CountAcked(uint64_t lsn);
+
+  std::vector<FollowerInfo> Snapshot();
 
   /// Lowest acked LSN across currently streaming followers (0 when none
   /// are streaming) — the replication horizon a leader could truncate to.
   uint64_t MinAckedLsn() const;
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   void PublishGaugesLocked() const;
+  /// Drops disconnected entries whose TTL expired (no-op with ttl 0).
+  void PruneLocked();
+  size_t CountAckedLocked(uint64_t lsn) const;
+
+  const double disconnected_ttl_s_;
 
   mutable std::mutex mu_;
+  std::condition_variable ack_cv_;
   std::map<std::string, FollowerInfo> followers_;
+  /// When each currently disconnected follower detached (absent while
+  /// streaming); drives TTL pruning.
+  std::map<std::string, Clock::time_point> disconnected_at_;
 };
 
 }  // namespace xia::repl

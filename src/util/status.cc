@@ -34,6 +34,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "unavailable";
     case StatusCode::kReadOnly:
       return "read_only";
+    case StatusCode::kFenced:
+      return "fenced";
   }
   return "unknown";
 }

@@ -32,6 +32,7 @@ enum class StatusCode {
   kDataLoss,
   kUnavailable,
   kReadOnly,
+  kFenced,
 };
 
 /// Returns the canonical lower-case name of a status code ("ok",
@@ -94,6 +95,9 @@ class Status {
   }
   static Status ReadOnly(std::string msg) {
     return Status(StatusCode::kReadOnly, std::move(msg));
+  }
+  static Status Fenced(std::string msg) {
+    return Status(StatusCode::kFenced, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

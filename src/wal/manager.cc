@@ -83,6 +83,8 @@ struct Manifest {
   uint64_t checkpoint_lsn = 0;
   bool has_snapshot = false;
   bool has_catalog = false;
+  uint64_t repl_epoch = 1;
+  uint64_t epoch_start_lsn = 0;
 };
 
 Status WriteManifest(const std::string& path, const Manifest& m) {
@@ -90,6 +92,8 @@ Status WriteManifest(const std::string& path, const Manifest& m) {
   PutU64(&payload, m.checkpoint_lsn);
   PutU8(&payload, m.has_snapshot ? 1 : 0);
   PutU8(&payload, m.has_catalog ? 1 : 0);
+  PutU64(&payload, m.repl_epoch);
+  PutU64(&payload, m.epoch_start_lsn);
   return WriteFileAtomic(path, EncodeFramedFile(kManifestMagic, payload));
 }
 
@@ -101,8 +105,17 @@ Result<Manifest> ReadManifest(const std::string& path) {
   uint8_t has_snapshot = 0;
   uint8_t has_catalog = 0;
   if (!reader.GetU64(&m.checkpoint_lsn) || !reader.GetU8(&has_snapshot) ||
-      !reader.GetU8(&has_catalog) || !reader.AtEnd()) {
+      !reader.GetU8(&has_catalog)) {
     return Status::DataLoss(path + " is corrupt (bad manifest payload)");
+  }
+  // The epoch tail is optional: manifests written before epoch fencing
+  // existed end here and mean "initial epoch". A partial tail is still
+  // corruption.
+  if (!reader.AtEnd()) {
+    if (!reader.GetU64(&m.repl_epoch) || !reader.GetU64(&m.epoch_start_lsn) ||
+        !reader.AtEnd() || m.repl_epoch == 0) {
+      return Status::DataLoss(path + " is corrupt (bad manifest payload)");
+    }
   }
   m.has_snapshot = has_snapshot != 0;
   m.has_catalog = has_catalog != 0;
@@ -205,7 +218,7 @@ std::string WalStatus::ToString() const {
   return StringPrintf(
       "wal: dir=%s policy=%s next_lsn=%llu durable_lsn=%llu "
       "checkpoint_lsn=%llu appended=%llu log_bytes=%llu fsyncs=%llu "
-      "checkpoints=%llu",
+      "checkpoints=%llu repl_epoch=%llu epoch_start_lsn=%llu",
       data_dir.c_str(), FsyncPolicyName(policy),
       static_cast<unsigned long long>(next_lsn),
       static_cast<unsigned long long>(durable_lsn),
@@ -213,7 +226,9 @@ std::string WalStatus::ToString() const {
       static_cast<unsigned long long>(appended_records),
       static_cast<unsigned long long>(log_bytes),
       static_cast<unsigned long long>(fsyncs),
-      static_cast<unsigned long long>(checkpoints));
+      static_cast<unsigned long long>(checkpoints),
+      static_cast<unsigned long long>(repl_epoch),
+      static_cast<unsigned long long>(epoch_start_lsn));
 }
 
 WalManager::WalManager(std::string data_dir, WalManagerOptions options)
@@ -259,6 +274,8 @@ Result<RecoveryReport> WalManager::Open(storage::DocumentStore* store,
       std::lock_guard<std::mutex> lock(repl_mu_);
       checkpoint_lsn_ = 0;
       log_epoch_ = 1;
+      repl_epoch_ = 1;
+      epoch_start_lsn_ = 0;
     }
     open_.store(true, std::memory_order_release);
     report.fresh_start = true;
@@ -291,6 +308,10 @@ Result<RecoveryReport> WalManager::Open(storage::DocumentStore* store,
 
   // Scan the log, salvaging up to the first torn/corrupt frame.
   uint64_t max_lsn_seen = manifest.checkpoint_lsn;
+  // Epoch state recovers from the manifest (checkpoint-time value), then
+  // advances past any barrier records replayed from the log.
+  uint64_t repl_epoch = manifest.repl_epoch;
+  uint64_t epoch_start_lsn = manifest.epoch_start_lsn;
   auto scanned = ScanLogFile(LogPath());
   if (scanned.ok()) {
     report.bytes_salvaged = scanned->valid_bytes;
@@ -303,6 +324,11 @@ Result<RecoveryReport> WalManager::Open(storage::DocumentStore* store,
       XIA_FAULT_INJECT(fault::points::kWalReplay);
       XIA_ASSIGN_OR_RETURN(const WalRecord record, DecodeRecord(payload));
       max_lsn_seen = std::max(max_lsn_seen, record.lsn);
+      if (record.type == RecordType::kEpochBarrier &&
+          record.epoch > repl_epoch) {
+        repl_epoch = record.epoch;
+        epoch_start_lsn = record.lsn;
+      }
       if (record.lsn <= applied_lsn) {
         // Already covered by the checkpoint (or a duplicate): idempotent
         // replay skips it.
@@ -351,6 +377,8 @@ Result<RecoveryReport> WalManager::Open(storage::DocumentStore* store,
     std::lock_guard<std::mutex> lock(repl_mu_);
     checkpoint_lsn_ = manifest.checkpoint_lsn;
     log_epoch_ = 1;
+    repl_epoch_ = repl_epoch;
+    epoch_start_lsn_ = epoch_start_lsn;
   }
   open_.store(true, std::memory_order_release);
 
@@ -435,6 +463,11 @@ Status WalManager::Checkpoint(const storage::DocumentStore& store,
   manifest.checkpoint_lsn = lsn;
   manifest.has_snapshot = true;
   manifest.has_catalog = true;
+  {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    manifest.repl_epoch = repl_epoch_;
+    manifest.epoch_start_lsn = epoch_start_lsn_;
+  }
   // The manifest rename is the checkpoint's commit point: a crash before
   // it recovers from the previous checkpoint + full log, after it from
   // the new snapshot + LSN-filtered log.
@@ -487,12 +520,57 @@ uint64_t WalManager::checkpoint_lsn() const {
   return checkpoint_lsn_;
 }
 
+uint64_t WalManager::repl_epoch() const {
+  std::lock_guard<std::mutex> lock(repl_mu_);
+  return repl_epoch_;
+}
+
+uint64_t WalManager::epoch_start_lsn() const {
+  std::lock_guard<std::mutex> lock(repl_mu_);
+  return epoch_start_lsn_;
+}
+
+Result<uint64_t> WalManager::BumpEpoch() {
+  if (!open_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("WAL manager not open");
+  }
+  uint64_t new_epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    new_epoch = repl_epoch_ + 1;
+  }
+  WalRecord barrier = WalRecord::EpochBarrier(new_epoch);
+  XIA_ASSIGN_OR_RETURN(const uint64_t barrier_lsn,
+                       writer_.Append(std::move(barrier)));
+  XIA_RETURN_IF_ERROR(writer_.Commit(barrier_lsn));
+  // The barrier is durable before anyone can observe the new epoch, so a
+  // crash right after promotion still recovers into the bumped epoch.
+  {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    repl_epoch_ = new_epoch;
+    epoch_start_lsn_ = barrier_lsn;
+    ++commit_seq_;
+  }
+  repl_cv_.notify_all();
+  XIA_OBS_COUNT("xia.wal.epoch_bumps", 1);
+  return barrier_lsn;
+}
+
 Status WalManager::AppendReplicated(const WalRecord& record) {
   if (!open_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("WAL manager not open");
   }
   XIA_RETURN_IF_ERROR(writer_.AppendWithLsn(record));
   XIA_RETURN_IF_ERROR(writer_.Commit(record.lsn));
+  if (record.type == RecordType::kEpochBarrier) {
+    // Followers adopt a promotion's epoch in-band: the barrier record is
+    // part of the replicated log itself.
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    if (record.epoch > repl_epoch_) {
+      repl_epoch_ = record.epoch;
+      epoch_start_lsn_ = record.lsn;
+    }
+  }
   NotifyCommit();
   return Status::OK();
 }
@@ -605,6 +683,8 @@ Result<CheckpointImage> WalManager::ReadCheckpointImage() const {
   image.checkpoint_lsn = manifest.checkpoint_lsn;
   image.has_snapshot = manifest.has_snapshot;
   image.has_catalog = manifest.has_catalog;
+  image.repl_epoch = manifest.repl_epoch;
+  image.epoch_start_lsn = manifest.epoch_start_lsn;
   if (manifest.has_snapshot) {
     auto bytes = ReadWholeFile(SnapshotPath(manifest.checkpoint_lsn));
     if (!bytes.ok()) return AsCheckpointDataLoss(bytes.status());
@@ -670,6 +750,8 @@ Status WalManager::InstallCheckpoint(const CheckpointImage& image,
   manifest.checkpoint_lsn = lsn;
   manifest.has_snapshot = image.has_snapshot;
   manifest.has_catalog = image.has_catalog;
+  manifest.repl_epoch = image.repl_epoch == 0 ? 1 : image.repl_epoch;
+  manifest.epoch_start_lsn = image.epoch_start_lsn;
   XIA_RETURN_IF_ERROR(WriteManifest(ManifestPath(), manifest));
 
   // 4. Reset the log rebased into the leader's LSN space. Anything the
@@ -691,10 +773,155 @@ Status WalManager::InstallCheckpoint(const CheckpointImage& image,
     checkpoint_lsn_ = lsn;
     ++log_epoch_;
     ++commit_seq_;
+    repl_epoch_ = manifest.repl_epoch;
+    epoch_start_lsn_ = manifest.epoch_start_lsn;
   }
   repl_cv_.notify_all();
   ++checkpoints_;
   XIA_OBS_COUNT("xia.wal.checkpoint_installs", 1);
+  return Status::OK();
+}
+
+Result<uint64_t> WalManager::TruncateSuffix(
+    uint64_t barrier_lsn, storage::DocumentStore* store,
+    storage::Catalog* catalog, storage::StatisticsCatalog* statistics) {
+  if (!open_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("WAL manager not open");
+  }
+  if (barrier_lsn == 0) {
+    return Status::InvalidArgument("barrier LSN must be positive");
+  }
+  XIA_RETURN_IF_ERROR(writer_.Sync());
+  XIA_ASSIGN_OR_RETURN(const Manifest manifest, ReadManifest(ManifestPath()));
+  if (manifest.checkpoint_lsn >= barrier_lsn) {
+    return Status::FailedPrecondition(StringPrintf(
+        "local checkpoint %llu already covers LSNs at or past the epoch "
+        "barrier %llu; divergence cannot be unwound in place",
+        static_cast<unsigned long long>(manifest.checkpoint_lsn),
+        static_cast<unsigned long long>(barrier_lsn)));
+  }
+
+  // Partition the log into the surviving prefix and the divergent
+  // suffix. The log holds whole records (Sync above), so any frame that
+  // fails to decode here is real corruption, not a torn tail.
+  std::vector<WalRecord> keep;
+  uint64_t truncated = 0;
+  auto scanned = ScanLogFile(LogPath());
+  if (scanned.ok()) {
+    for (const std::string& payload : scanned->payloads) {
+      XIA_ASSIGN_OR_RETURN(WalRecord record, DecodeRecord(payload));
+      if (record.lsn >= barrier_lsn) {
+        ++truncated;
+        continue;
+      }
+      keep.push_back(std::move(record));
+    }
+  } else if (scanned.status().code() != StatusCode::kNotFound) {
+    return Status::DataLoss(scanned.status().message());
+  }
+
+  // Stage-and-swap: rebuild checkpoint state + surviving prefix off to
+  // the side first, so a corrupt checkpoint file leaves the live store
+  // and the log untouched.
+  storage::DocumentStore staging_store;
+  storage::StatisticsCatalog staging_stats;
+  storage::Catalog staging_catalog(&staging_store, &staging_stats,
+                                   catalog->cost_constants());
+  if (manifest.has_snapshot) {
+    XIA_RETURN_IF_ERROR(AsCheckpointDataLoss(storage::LoadSnapshotFromFile(
+        SnapshotPath(manifest.checkpoint_lsn), &staging_store)));
+  }
+  if (manifest.has_catalog) {
+    XIA_RETURN_IF_ERROR(AsCheckpointDataLoss(LoadCatalogFile(
+        CatalogPath(manifest.checkpoint_lsn), &staging_catalog)));
+  }
+  uint64_t applied_lsn = manifest.checkpoint_lsn;
+  uint64_t repl_epoch = manifest.repl_epoch;
+  uint64_t epoch_start_lsn = manifest.epoch_start_lsn;
+  for (const WalRecord& record : keep) {
+    if (record.lsn <= applied_lsn) continue;  // pre-checkpoint stragglers
+    if (record.type == RecordType::kEpochBarrier &&
+        record.epoch > repl_epoch) {
+      repl_epoch = record.epoch;
+      epoch_start_lsn = record.lsn;
+    }
+    XIA_RETURN_IF_ERROR(ApplyRecord(record, &staging_store, &staging_catalog,
+                                    &staging_stats, {}));
+    applied_lsn = record.lsn;
+  }
+
+  // Rewrite the log as exactly the surviving prefix. A crash mid-rewrite
+  // is safe: recovery sees checkpoint + a shorter prefix, still
+  // prefix-consistent, and the follower re-fetches the rest from the
+  // leader.
+  XIA_RETURN_IF_ERROR(
+      writer_.ResetFile(LogPath(), manifest.checkpoint_lsn + 1));
+  uint64_t last_kept = 0;
+  for (const WalRecord& record : keep) {
+    if (record.lsn <= manifest.checkpoint_lsn || record.lsn <= last_kept) {
+      continue;
+    }
+    XIA_RETURN_IF_ERROR(writer_.AppendWithLsn(record));
+    last_kept = record.lsn;
+  }
+  if (last_kept > 0) XIA_RETURN_IF_ERROR(writer_.Commit(last_kept));
+  XIA_RETURN_IF_ERROR(writer_.Sync());
+
+  store->Swap(&staging_store);
+  catalog->AdoptIndexesFrom(&staging_catalog);
+  for (const std::string& coll : store->CollectionNames()) {
+    auto c = store->GetCollection(coll);
+    if (c.ok()) statistics->RunStats(**c);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    ++log_epoch_;
+    ++commit_seq_;
+    repl_epoch_ = repl_epoch;
+    epoch_start_lsn_ = epoch_start_lsn;
+  }
+  repl_cv_.notify_all();
+  XIA_OBS_COUNT("xia.wal.suffix_truncations", 1);
+  XIA_OBS_COUNT("xia.wal.records_truncated", truncated);
+  return truncated;
+}
+
+Status WalManager::ResetForResync(storage::DocumentStore* store,
+                                  storage::Catalog* catalog,
+                                  storage::StatisticsCatalog* statistics) {
+  if (!open_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("WAL manager not open");
+  }
+  XIA_RETURN_IF_ERROR(writer_.Sync());
+  // Back to the fresh-data-dir state: empty manifest (the rename is the
+  // commit point — before it the old state still recovers whole), empty
+  // log restarting the LSN space at 1.
+  XIA_RETURN_IF_ERROR(WriteManifest(ManifestPath(), Manifest{}));
+  XIA_RETURN_IF_ERROR(writer_.ResetFile(LogPath(), /*next_lsn=*/1));
+  DeleteStaleVersionedFiles(0);
+
+  storage::DocumentStore empty_store;
+  storage::StatisticsCatalog empty_stats;
+  storage::Catalog empty_catalog(&empty_store, &empty_stats,
+                                 catalog->cost_constants());
+  store->Swap(&empty_store);
+  catalog->AdoptIndexesFrom(&empty_catalog);
+  for (const std::string& coll : store->CollectionNames()) {
+    auto c = store->GetCollection(coll);
+    if (c.ok()) statistics->RunStats(**c);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    checkpoint_lsn_ = 0;
+    ++log_epoch_;
+    ++commit_seq_;
+    repl_epoch_ = 1;
+    epoch_start_lsn_ = 0;
+  }
+  repl_cv_.notify_all();
+  XIA_OBS_COUNT("xia.wal.resync_resets", 1);
   return Status::OK();
 }
 
@@ -709,6 +936,11 @@ WalStatus WalManager::GetStatus() const {
   status.log_bytes = writer_.file_bytes();
   status.fsyncs = writer_.fsyncs();
   status.checkpoints = checkpoints_;
+  {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    status.repl_epoch = repl_epoch_;
+    status.epoch_start_lsn = epoch_start_lsn_;
+  }
   return status;
 }
 

@@ -82,6 +82,11 @@ struct WalStatus {
   uint64_t log_bytes = 0;
   uint64_t fsyncs = 0;
   uint64_t checkpoints = 0;
+  /// Replication epoch this node's log belongs to (1 until a promotion
+  /// ever happens) and the barrier LSN where that epoch began (0 for the
+  /// initial epoch).
+  uint64_t repl_epoch = 1;
+  uint64_t epoch_start_lsn = 0;
 
   std::string ToString() const;
 };
@@ -123,6 +128,10 @@ struct CheckpointImage {
   bool has_catalog = false;
   std::string snapshot_bytes;
   std::string catalog_bytes;
+  /// Replication epoch state at the checkpoint, so a joiner installing
+  /// the image adopts the leader's epoch along with its LSN space.
+  uint64_t repl_epoch = 1;
+  uint64_t epoch_start_lsn = 0;
 };
 
 /// Owns a data directory's durability: logs every committed mutation
@@ -197,6 +206,42 @@ class WalManager : public engine::CommitLog {
   /// Checkpoint horizon (highest LSN covered by the current checkpoint).
   uint64_t checkpoint_lsn() const;
 
+  // ---- epoch fencing (promotion / failover, DESIGN §15) ----
+
+  /// Current replication epoch (1 until any promotion) and the LSN of
+  /// the barrier record that opened it (0 for the initial epoch).
+  uint64_t repl_epoch() const;
+  uint64_t epoch_start_lsn() const;
+
+  /// Promotion: appends + commits a kEpochBarrier record opening epoch
+  /// `repl_epoch() + 1` and returns the barrier's LSN. Every LSN at or
+  /// past the barrier belongs to the new epoch; a deposed leader must
+  /// truncate from here before rejoining. Caller must hold the exclusive
+  /// database lock (it changes what the log means).
+  Result<uint64_t> BumpEpoch();
+
+  /// Divergence repair for a deposed leader rejoining as a follower:
+  /// drops every local record with LSN >= `barrier_lsn` (the new
+  /// leader's epoch barrier) and rebuilds `store`/`catalog`/`statistics`
+  /// from the local checkpoint plus the surviving log prefix
+  /// (stage-and-swap; a failure leaves live state untouched). Requires
+  /// checkpoint_lsn() < barrier_lsn — a checkpoint that already covers
+  /// divergent records cannot be unwound; use ResetForResync then.
+  /// Returns the number of records truncated away. Caller must hold the
+  /// exclusive database lock.
+  Result<uint64_t> TruncateSuffix(uint64_t barrier_lsn,
+                                  storage::DocumentStore* store,
+                                  storage::Catalog* catalog,
+                                  storage::StatisticsCatalog* statistics);
+
+  /// Full resync fallback: wipes local durable state back to an empty
+  /// fresh data dir (epoch 1, LSN space restarting at 1) and swaps an
+  /// empty store in, so the next subscribe-from-1 pulls a full snapshot
+  /// from the leader. Caller must hold the exclusive database lock.
+  Status ResetForResync(storage::DocumentStore* store,
+                        storage::Catalog* catalog,
+                        storage::StatisticsCatalog* statistics);
+
   Status Close();
 
   WalStatus GetStatus() const;
@@ -234,6 +279,8 @@ class WalManager : public engine::CommitLog {
   uint64_t checkpoint_lsn_ = 0;  // guarded by repl_mu_
   uint64_t log_epoch_ = 0;       // guarded by repl_mu_; 1-based once open
   uint64_t commit_seq_ = 0;      // guarded by repl_mu_
+  uint64_t repl_epoch_ = 1;      // guarded by repl_mu_
+  uint64_t epoch_start_lsn_ = 0; // guarded by repl_mu_
 };
 
 }  // namespace xia::wal

@@ -20,6 +20,8 @@ const char* RecordTypeName(RecordType type) {
       return "drop_index";
     case RecordType::kStatsRefresh:
       return "stats_refresh";
+    case RecordType::kEpochBarrier:
+      return "epoch_barrier";
   }
   return "unknown";
 }
@@ -69,6 +71,13 @@ WalRecord WalRecord::StatsRefresh(std::string collection) {
   WalRecord r;
   r.type = RecordType::kStatsRefresh;
   r.collection = std::move(collection);
+  return r;
+}
+
+WalRecord WalRecord::EpochBarrier(uint64_t epoch) {
+  WalRecord r;
+  r.type = RecordType::kEpochBarrier;
+  r.epoch = epoch;
   return r;
 }
 
@@ -122,6 +131,9 @@ void EncodeRecordTo(const WalRecord& record, std::string* out) {
     case RecordType::kDropIndex:
       PutString(out, record.name);
       break;
+    case RecordType::kEpochBarrier:
+      PutU64(out, record.epoch);
+      break;
   }
 }
 
@@ -139,7 +151,7 @@ Result<WalRecord> DecodeRecord(std::string_view payload) {
     return Status::ParseError("WAL record payload truncated");
   }
   if (type < static_cast<uint8_t>(RecordType::kCreateCollection) ||
-      type > static_cast<uint8_t>(RecordType::kStatsRefresh)) {
+      type > static_cast<uint8_t>(RecordType::kEpochBarrier)) {
     return Status::ParseError("WAL record has unknown type " +
                               std::to_string(type));
   }
@@ -172,6 +184,9 @@ Result<WalRecord> DecodeRecord(std::string_view payload) {
     }
     case RecordType::kDropIndex:
       ok = reader.GetString(&record.name);
+      break;
+    case RecordType::kEpochBarrier:
+      ok = reader.GetU64(&record.epoch) && record.epoch > 0;
       break;
   }
   if (!ok || !reader.AtEnd()) {

@@ -17,6 +17,12 @@
 //   kCreateIndex       name + collection + pattern path/type/structural
 //   kDropIndex         name
 //   kStatsRefresh      collection name (RunStats)
+//   kEpochBarrier      replication epoch (u64). Written by promotion:
+//                      marks the first LSN owned by the new epoch's
+//                      leader. Replaying it is a store no-op, but
+//                      recovery and followers adopt the epoch, and a
+//                      deposed leader truncates everything at or past
+//                      the barrier LSN before rejoining (DESIGN §15).
 //
 // Payload layout: u64 lsn, u8 type, then the type's fields (wire.h
 // conventions). Framing (length + CRC) is the log file's job.
@@ -39,6 +45,7 @@ enum class RecordType : uint8_t {
   kCreateIndex = 4,
   kDropIndex = 5,
   kStatsRefresh = 6,
+  kEpochBarrier = 7,
 };
 
 /// Returns the lower-case name of a record type ("insert", ...).
@@ -59,6 +66,8 @@ struct WalRecord {
   xpath::Path pattern_path;
   xpath::ValueType value_type = xpath::ValueType::kString;
   bool structural = false;
+  /// kEpochBarrier: the replication epoch that starts at this LSN.
+  uint64_t epoch = 0;
 
   static WalRecord CreateCollection(std::string collection);
   static WalRecord Insert(std::string collection, std::string document_text);
@@ -67,6 +76,7 @@ struct WalRecord {
                                const xpath::IndexPattern& pattern);
   static WalRecord DropIndex(std::string name);
   static WalRecord StatsRefresh(std::string collection);
+  static WalRecord EpochBarrier(uint64_t epoch);
 };
 
 struct WireReader;

@@ -44,6 +44,11 @@ Status ApplyRecord(const WalRecord& record, storage::DocumentStore* store,
       statistics->RunStats(**coll);
       return Status::OK();
     }
+    case RecordType::kEpochBarrier:
+      // Pure replication metadata: the WalManager picks the epoch up
+      // from the record during recovery/AppendReplicated; the store is
+      // untouched.
+      return Status::OK();
   }
   return Status::ParseError("unknown WAL record type " +
                             std::to_string(static_cast<int>(record.type)));

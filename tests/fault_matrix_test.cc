@@ -446,6 +446,123 @@ TEST(FaultMatrixTest, ReplSnapshotXferPointBlocksJoinUntilDisarmed) {
   leader.Stop();
 }
 
+TEST(FaultMatrixTest, ReplQuorumWaitPointFailsAttributablyAndRecovers) {
+  // kReplQuorumWait sits between the local commit and the quorum wait:
+  // armed at p=1 the mutation fails with the injected status even
+  // though a follower is caught up — and because the commit already
+  // happened, the record is durable locally (same contract as a quorum
+  // timeout: loud failure, no silent downgrade, no rollback).
+  ScopedFaultDisarm cleanup;
+  net::ServerOptions options = TinyServerOptions("quorum_leader");
+  options.sync_replicas = 1;
+  options.quorum_timeout_ms = 8000;
+  net::Server leader(options);
+  ASSERT_TRUE(leader.Start().ok());
+  net::ServerOptions follower_options;
+  follower_options.data_dir = TinyServerOptions("quorum_follower").data_dir;
+  follower_options.follow_host = "127.0.0.1";
+  follower_options.follow_port = leader.port();
+  net::Server follower(follower_options);
+  ASSERT_TRUE(follower.Start().ok());
+  ASSERT_TRUE(WaitFor([&] {
+    const auto repl = leader.GetReplStatus();
+    return !repl.followers.empty() &&
+           repl.followers[0].acked_lsn >= repl.durable_lsn;
+  }));
+
+  FaultRegistry::Global().Arm(points::kReplQuorumWait,
+                              FaultSpec::Probability(1));
+  net::Client client;
+  ASSERT_TRUE(client.Connect(leader.host(), leader.port()).ok());
+  net::MutationRequest mutation;
+  mutation.statement =
+      "insert into SDOC <Security><Symbol>QWFAULT</Symbol></Security>";
+  const auto reply = client.Mutate(mutation);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kInternal) << reply.status();
+  EXPECT_NE(reply.status().message().find(points::kReplQuorumWait),
+            std::string::npos)
+      << reply.status();
+  // Committed locally before the injected point: the record is durable.
+  EXPECT_EQ(SdocCount(&client, "QWFAULT"), 1u);
+
+  // Disarm: the server needs no restart, quorum commits work again, and
+  // the follower converges to the leader's exact digest.
+  FaultRegistry::Global().DisarmAll();
+  mutation.statement =
+      "insert into SDOC <Security><Symbol>QWOK</Symbol></Security>";
+  const auto recovered = client.Mutate(mutation);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  const uint64_t target = leader.GetReplStatus().durable_lsn;
+  ASSERT_TRUE(WaitFor([&] {
+    return follower.GetReplStatus().applier.applied_lsn >= target;
+  }));
+  auto leader_digest = leader.StoreDigest();
+  auto follower_digest = follower.StoreDigest();
+  ASSERT_TRUE(leader_digest.ok()) << leader_digest.status();
+  ASSERT_TRUE(follower_digest.ok()) << follower_digest.status();
+  EXPECT_EQ(*leader_digest, *follower_digest);
+
+  follower.Stop();
+  leader.Stop();
+}
+
+TEST(FaultMatrixTest, ReplPromotePointFailsCleanlyAndNodeStaysFollower) {
+  // kReplPromote at p=1: the promotion fails attributably BEFORE any
+  // state changes — no epoch bump, no barrier, node still a follower
+  // and still applying. After disarm the same promote succeeds.
+  ScopedFaultDisarm cleanup;
+  net::Server leader(TinyServerOptions("promote_leader"));
+  ASSERT_TRUE(leader.Start().ok());
+  net::ServerOptions follower_options;
+  follower_options.data_dir = TinyServerOptions("promote_follower").data_dir;
+  follower_options.follow_host = "127.0.0.1";
+  follower_options.follow_port = leader.port();
+  net::Server follower(follower_options);
+  ASSERT_TRUE(follower.Start().ok());
+  ASSERT_TRUE(WaitFor([&] {
+    return follower.GetReplStatus().applier.applied_lsn >=
+           leader.GetReplStatus().durable_lsn;
+  }));
+
+  FaultRegistry::Global().Arm(points::kReplPromote,
+                              FaultSpec::Probability(1));
+  uint64_t epoch = 0;
+  uint64_t barrier = 0;
+  const Status failed = follower.Promote(&epoch, &barrier);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kInternal) << failed;
+  EXPECT_NE(failed.message().find(points::kReplPromote), std::string::npos)
+      << failed;
+  auto status = follower.GetReplStatus();
+  EXPECT_TRUE(status.is_follower);
+  EXPECT_EQ(status.repl_epoch, 1u);
+  EXPECT_EQ(status.epoch_start_lsn, 0u);
+
+  // Still replicating: mutations on the leader keep flowing through.
+  {
+    net::Client writer;
+    ASSERT_TRUE(writer.Connect(leader.host(), leader.port()).ok());
+    net::MutationRequest mutation;
+    mutation.statement =
+        "insert into SDOC <Security><Symbol>PROFAULT</Symbol></Security>";
+    ASSERT_TRUE(writer.Mutate(mutation).ok());
+  }
+  const uint64_t target = leader.GetReplStatus().durable_lsn;
+  ASSERT_TRUE(WaitFor([&] {
+    return follower.GetReplStatus().applier.applied_lsn >= target;
+  }));
+
+  FaultRegistry::Global().DisarmAll();
+  ASSERT_TRUE(follower.Promote(&epoch, &barrier).ok());
+  EXPECT_EQ(epoch, 2u);
+  EXPECT_GT(barrier, 0u);
+  EXPECT_FALSE(follower.GetReplStatus().is_follower);
+
+  follower.Stop();
+  leader.Stop();
+}
+
 class OnlineFaultTest : public ::testing::Test {
  protected:
   void SetUp() override {

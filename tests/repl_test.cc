@@ -23,6 +23,7 @@
 #include "net/server.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "repl/hub.h"
 #include "util/status.h"
 #include "wal/record.h"
 
@@ -494,6 +495,285 @@ TEST(ReplTest, TruncatedStreamNeverAppliesAndResubscribes) {
 
   stream2.Close();
   follower.Stop();
+}
+
+// ---------------------------------------------------------------------
+// Snapshot transfer must fail closed (DESIGN §15).
+// ---------------------------------------------------------------------
+
+bool DirHasTmpFiles(const std::string& dir) {
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (entry.path().extension() == ".tmp") return true;
+  }
+  return false;
+}
+
+ReplSnapshotPayload BigSnapshotPayload() {
+  ReplSnapshotPayload snap;
+  snap.checkpoint_lsn = 7;
+  snap.has_snapshot = true;
+  snap.has_catalog = true;
+  snap.snapshot_bytes = std::string(64 * 1024, 'x');
+  snap.catalog_bytes = "these bytes are not a catalog image";
+  return snap;
+}
+
+TEST(ReplTest, TruncatedSnapshotTransferFailsClosed) {
+  // The leader dies (restart, crash, partition) halfway through sending
+  // a kReplSnapshot frame. The partial image must be discarded whole:
+  // nothing staged on disk, store untouched, and the follower
+  // resubscribes from exactly where it was.
+  FakeLeader fake;
+  const std::string dir = ScratchDir("snapcut_follower");
+  Server follower(FollowerOptions(dir, fake.port(), "sc"));
+  ASSERT_TRUE(follower.Start().ok());
+  const std::string empty_digest = MustDigest(&follower);
+
+  Socket stream;
+  ReplSubscribeRequest subscribe;
+  ASSERT_TRUE(fake.AcceptSubscriber(&stream, &subscribe));
+  EXPECT_EQ(subscribe.start_lsn, 1u);
+
+  const std::string frame = EncodeFrame(
+      MsgType::kReplSnapshot, 0, EncodeReplSnapshotPayload(
+                                     BigSnapshotPayload()));
+  ASSERT_TRUE(
+      stream.SendAll(std::string_view(frame).substr(0, frame.size() / 2))
+          .ok());
+  stream.Close();  // the "restart": connection dies mid-transfer
+
+  Socket stream2;
+  ReplSubscribeRequest resubscribe;
+  ASSERT_TRUE(fake.AcceptSubscriber(&stream2, &resubscribe));
+  EXPECT_EQ(resubscribe.start_lsn, 1u);
+
+  const auto stats = follower.GetReplStatus();
+  EXPECT_EQ(stats.applier.snapshots_installed, 0u);
+  EXPECT_EQ(stats.applier.applied_lsn, 0u);
+  EXPECT_EQ(stats.checkpoint_lsn, 0u);
+  EXPECT_TRUE(stats.applier.sticky_error.empty())
+      << stats.applier.sticky_error;
+  EXPECT_FALSE(DirHasTmpFiles(dir));
+  EXPECT_EQ(MustDigest(&follower), empty_digest);
+
+  // The retried stream works normally — the partial image left no scars.
+  ASSERT_TRUE(
+      stream2
+          .SendAll(FakeLeader::RecordFrame(
+              RecordAt(1, wal::WalRecord::CreateCollection("C"))))
+          .ok());
+  ASSERT_TRUE(WaitForApplied(follower, 1));
+
+  stream2.Close();
+  follower.Stop();
+}
+
+TEST(ReplTest, CorruptSnapshotImageFailsClosedAndResubscribes) {
+  // A complete frame whose snapshot bytes are garbage: the installer
+  // must reject it in staging (kDataLoss) with the live store, the
+  // files, and the manifest untouched.
+  FakeLeader fake;
+  const std::string dir = ScratchDir("snapbad_follower");
+  Server follower(FollowerOptions(dir, fake.port(), "sb"));
+  ASSERT_TRUE(follower.Start().ok());
+  const std::string empty_digest = MustDigest(&follower);
+
+  Socket stream;
+  ReplSubscribeRequest subscribe;
+  ASSERT_TRUE(fake.AcceptSubscriber(&stream, &subscribe));
+  ASSERT_TRUE(stream
+                  .SendAll(EncodeFrame(
+                      MsgType::kReplSnapshot, 0,
+                      EncodeReplSnapshotPayload(BigSnapshotPayload())))
+                  .ok());
+
+  Socket stream2;
+  ReplSubscribeRequest resubscribe;
+  ASSERT_TRUE(fake.AcceptSubscriber(&stream2, &resubscribe));
+  EXPECT_EQ(resubscribe.start_lsn, 1u);
+  const auto stats = follower.GetReplStatus();
+  EXPECT_EQ(stats.applier.snapshots_installed, 0u);
+  EXPECT_EQ(stats.checkpoint_lsn, 0u);
+  EXPECT_TRUE(stats.applier.sticky_error.empty())
+      << stats.applier.sticky_error;
+  EXPECT_FALSE(DirHasTmpFiles(dir));
+  EXPECT_EQ(MustDigest(&follower), empty_digest);
+
+  stream.Close();
+  stream2.Close();
+  follower.Stop();
+}
+
+// ---------------------------------------------------------------------
+// ReplHub quorum bookkeeping (DESIGN §15).
+// ---------------------------------------------------------------------
+
+TEST(ReplHubTest, QuorumOfZeroIsImmediate) {
+  repl::ReplHub hub;
+  EXPECT_TRUE(hub.WaitForQuorum(100, 0, 0.0));
+}
+
+TEST(ReplHubTest, QuorumTimesOutWithoutEnoughAcks) {
+  repl::ReplHub hub;
+  EXPECT_FALSE(hub.WaitForQuorum(1, 1, 0.02));
+  // One follower acked, but the quorum wants two distinct ones: the
+  // same follower acking again must not count twice.
+  hub.OnSubscribe("f1", 1);
+  hub.OnAck("f1", 5);
+  hub.OnAck("f1", 6);
+  EXPECT_TRUE(hub.WaitForQuorum(5, 1, 0.0));
+  EXPECT_FALSE(hub.WaitForQuorum(5, 2, 0.02));
+  EXPECT_EQ(hub.CountAcked(5), 1u);
+  // A stale ack (lower than what f1 already reported) is ignored.
+  hub.OnAck("f1", 2);
+  EXPECT_TRUE(hub.WaitForQuorum(6, 1, 0.0));
+}
+
+TEST(ReplHubTest, AckFromSecondFollowerWakesWaiter) {
+  repl::ReplHub hub;
+  hub.OnSubscribe("f1", 1);
+  hub.OnAck("f1", 10);
+  std::thread acker([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    hub.OnSubscribe("f2", 1);
+    hub.OnAck("f2", 10);
+  });
+  // Blocks until f2's ack arrives; generous timeout for starved CI.
+  EXPECT_TRUE(hub.WaitForQuorum(10, 2, 30.0));
+  acker.join();
+  EXPECT_EQ(hub.CountAcked(10), 2u);
+}
+
+TEST(ReplHubTest, DisconnectedFollowersPruneAfterTtl) {
+  repl::ReplHub hub(/*disconnected_ttl_s=*/0.05);
+  hub.OnSubscribe("gone", 1);
+  hub.OnAck("gone", 3);
+  hub.OnDisconnect("gone");
+  ASSERT_TRUE(WaitFor([&] { return hub.Snapshot().empty(); }, 10.0));
+  // Its acks no longer satisfy quorums: the follower is forgotten.
+  EXPECT_EQ(hub.CountAcked(3), 0u);
+
+  // TTL 0 keeps disconnected entries forever (the PR-7 behavior).
+  repl::ReplHub keeper(/*disconnected_ttl_s=*/0);
+  keeper.OnSubscribe("gone", 1);
+  keeper.OnDisconnect("gone");
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  ASSERT_EQ(keeper.Snapshot().size(), 1u);
+  EXPECT_FALSE(keeper.Snapshot()[0].streaming);
+}
+
+// ---------------------------------------------------------------------
+// Quorum-acknowledged commit and epoch fencing, end to end.
+// ---------------------------------------------------------------------
+
+TEST(ReplTest, QuorumMutationFailsWithoutFollowersThenSucceeds) {
+  ServerOptions options = LeaderOptions(ScratchDir("quorum_leader"));
+  options.sync_replicas = 1;
+  options.quorum_timeout_ms = 200;  // fail fast while no follower exists
+  Server leader(options);
+  ASSERT_TRUE(leader.Start().ok());
+
+  // No follower: the mutation commits locally but the quorum promise
+  // cannot be met — loud kUnavailable, never a silent async downgrade.
+  Client client;
+  ASSERT_TRUE(client.Connect(leader.host(), leader.port()).ok());
+  MutationRequest mutation;
+  mutation.statement =
+      "insert into SDOC "
+      "<Security><Symbol>QRM1</Symbol><Yield>1.0</Yield></Security>";
+  const auto rejected = client.Mutate(mutation);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable)
+      << rejected.status();
+  EXPECT_NE(rejected.status().ToString().find("committed locally"),
+            std::string::npos)
+      << rejected.status();
+
+  // The write IS durable locally — a quorum timeout is about the
+  // replication promise, not a rollback.
+  Client reader;
+  ASSERT_TRUE(reader.Connect(leader.host(), leader.port()).ok());
+  QueryRequest query;
+  query.statement =
+      "for $s in c('SDOC')/Security where $s/Symbol = \"QRM1\" return $s";
+  const auto count = reader.Query(query);
+  ASSERT_TRUE(count.ok()) << count.status();
+  EXPECT_EQ(count->result_count, 1u);
+
+  // With a follower attached and caught up, the same quorum is met.
+  Server follower(
+      FollowerOptions(ScratchDir("quorum_follower"), leader.port(), "q1"));
+  ASSERT_TRUE(follower.Start().ok());
+  ASSERT_TRUE(WaitFor([&] {
+    const auto repl = leader.GetReplStatus();
+    return repl.followers.size() == 1 &&
+           repl.followers[0].acked_lsn >= leader.GetReplStatus().durable_lsn;
+  }));
+  mutation.statement =
+      "insert into SDOC "
+      "<Security><Symbol>QRM2</Symbol><Yield>2.0</Yield></Security>";
+  const auto accepted = client.Mutate(mutation);
+  ASSERT_TRUE(accepted.ok()) << accepted.status();
+
+  follower.Stop();
+  leader.Stop();
+}
+
+TEST(ReplTest, PromoteBumpsEpochAndFencesStaleWrites) {
+  Server leader(LeaderOptions(ScratchDir("promo_leader")));
+  ASSERT_TRUE(leader.Start().ok());
+  Server follower(
+      FollowerOptions(ScratchDir("promo_follower"), leader.port(), "pr"));
+  ASSERT_TRUE(follower.Start().ok());
+  ASSERT_TRUE(WaitForApplied(follower, leader.GetReplStatus().durable_lsn));
+
+  // Promote the follower: epoch bump plus a fencing barrier in its WAL.
+  uint64_t epoch = 0;
+  uint64_t barrier = 0;
+  ASSERT_TRUE(follower.Promote(&epoch, &barrier).ok());
+  EXPECT_EQ(epoch, 2u);
+  EXPECT_GT(barrier, 0u);
+  EXPECT_FALSE(follower.GetReplStatus().is_follower);
+
+  // A retried promote is idempotent: same epoch, no second bump.
+  uint64_t epoch2 = 0;
+  uint64_t barrier2 = 0;
+  ASSERT_TRUE(follower.Promote(&epoch2, &barrier2).ok());
+  EXPECT_EQ(epoch2, epoch);
+  EXPECT_EQ(barrier2, barrier);
+
+  Client client;
+  ASSERT_TRUE(client.Connect(follower.host(), follower.port()).ok());
+
+  // A client still fencing to the old epoch is rejected with kFenced
+  // and told where the leader is; the current epoch (and epoch 0 =
+  // "any") pass.
+  MutationRequest mutation;
+  mutation.statement =
+      "insert into SDOC "
+      "<Security><Symbol>EPO1</Symbol><Yield>1.0</Yield></Security>";
+  mutation.expected_epoch = 1;
+  const auto fenced = client.Mutate(mutation);
+  ASSERT_FALSE(fenced.ok());
+  EXPECT_EQ(fenced.status().code(), StatusCode::kFenced) << fenced.status();
+
+  mutation.expected_epoch = epoch;
+  const auto current = client.Mutate(mutation);
+  ASSERT_TRUE(current.ok()) << current.status();
+
+  mutation.statement =
+      "insert into SDOC "
+      "<Security><Symbol>EPO2</Symbol><Yield>2.0</Yield></Security>";
+  mutation.expected_epoch = 0;
+  const auto any_epoch = client.Mutate(mutation);
+  ASSERT_TRUE(any_epoch.ok()) << any_epoch.status();
+
+  const auto status = follower.GetReplStatus();
+  EXPECT_EQ(status.repl_epoch, 2u);
+  EXPECT_EQ(status.epoch_start_lsn, barrier);
+
+  follower.Stop();
+  leader.Stop();
 }
 
 }  // namespace

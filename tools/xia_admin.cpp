@@ -1,0 +1,215 @@
+// xia_admin: operator CLI for replication failover (DESIGN §15).
+//
+//   $ xia_admin status 10.0.0.1:4711 10.0.0.2:4711 10.0.0.3:4711
+//   $ xia_admin promote 10.0.0.2:4711 10.0.0.3:4711
+//   $ xia_admin follow 10.0.0.1:4711 10.0.0.2:4711
+//
+// `status` prints one line per endpoint (role, epoch, durable LSN;
+// unreachable nodes are reported, not fatal). `promote` queries every
+// candidate, picks the most-caught-up follower (highest durable LSN,
+// ties broken by endpoint order), promotes it — the node bumps its
+// replication epoch and writes the fencing barrier — and with
+// --refollow points the remaining reachable nodes at the new leader.
+// `follow` re-targets one node at a (new) leader, which is also how a
+// deposed leader rejoins the cluster.
+//
+// Error contract (shared with xia_client/xia_shell): the first failure
+// prints a single "error: ..." line on stderr and exits with
+// StatusExitCode (10 + StatusCode).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace xia;  // NOLINT
+
+struct Endpoint {
+  std::string host;
+  uint16_t port = 0;
+  std::string text;  // as given, for messages
+};
+
+Result<Endpoint> ParseEndpoint(const std::string& text) {
+  Endpoint ep;
+  ep.text = text;
+  const size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= text.size()) {
+    return Status::InvalidArgument("bad endpoint (want HOST:PORT): " + text);
+  }
+  double v = 0;
+  if (!ParseDouble(text.substr(colon + 1), &v) || v < 1 || v > 65535) {
+    return Status::InvalidArgument("bad port in endpoint: " + text);
+  }
+  ep.host = text.substr(0, colon);
+  ep.port = static_cast<uint16_t>(v);
+  return ep;
+}
+
+Result<net::ReplStatusReply> QueryStatus(const Endpoint& ep) {
+  net::Client client;
+  XIA_RETURN_IF_ERROR(client.Connect(ep.host, ep.port, /*timeout_s=*/3.0));
+  return client.ReplStatus();
+}
+
+void PrintStatusLine(const Endpoint& ep, const net::ReplStatusReply& rs) {
+  std::printf("%-21s %-8s epoch=%llu durable_lsn=%llu checkpoint_lsn=%llu "
+              "applied_lsn=%llu followers=%zu%s%s\n",
+              ep.text.c_str(), rs.role.c_str(),
+              static_cast<unsigned long long>(rs.repl_epoch),
+              static_cast<unsigned long long>(rs.durable_lsn),
+              static_cast<unsigned long long>(rs.checkpoint_lsn),
+              static_cast<unsigned long long>(rs.applied_lsn),
+              rs.followers.size(),
+              rs.leader_endpoint.empty() ? "" : " leader=",
+              rs.leader_endpoint.c_str());
+}
+
+int RunStatus(const std::vector<Endpoint>& endpoints) {
+  bool any_ok = false;
+  for (const Endpoint& ep : endpoints) {
+    const Result<net::ReplStatusReply> rs = QueryStatus(ep);
+    if (!rs.ok()) {
+      std::printf("%-21s unreachable (%s)\n", ep.text.c_str(),
+                  rs.status().ToString().c_str());
+      continue;
+    }
+    PrintStatusLine(ep, *rs);
+    any_ok = true;
+  }
+  if (!any_ok) {
+    std::fprintf(stderr, "error: no endpoint reachable\n");
+    return StatusExitCode(Status::Unavailable(""));
+  }
+  return 0;
+}
+
+int RunPromote(const std::vector<Endpoint>& endpoints, bool refollow) {
+  // Pick the most-caught-up follower: every durably-replicated (and thus
+  // every quorum-acked) mutation is within its durable LSN, so promoting
+  // the max-LSN candidate never loses an acked write.
+  int best = -1;
+  uint64_t best_lsn = 0;
+  std::vector<bool> reachable(endpoints.size(), false);
+  for (size_t i = 0; i < endpoints.size(); ++i) {
+    const Result<net::ReplStatusReply> rs = QueryStatus(endpoints[i]);
+    if (!rs.ok()) {
+      std::printf("%-21s unreachable (%s)\n", endpoints[i].text.c_str(),
+                  rs.status().ToString().c_str());
+      continue;
+    }
+    reachable[i] = true;
+    PrintStatusLine(endpoints[i], *rs);
+    if (rs->role == "leader") {
+      std::fprintf(stderr,
+                   "error: %s is already a leader (epoch %llu); refusing to "
+                   "promote around a live leader\n",
+                   endpoints[i].text.c_str(),
+                   static_cast<unsigned long long>(rs->repl_epoch));
+      return StatusExitCode(Status::FailedPrecondition(""));
+    }
+    if (best < 0 || rs->durable_lsn > best_lsn) {
+      best = static_cast<int>(i);
+      best_lsn = rs->durable_lsn;
+    }
+  }
+  if (best < 0) {
+    std::fprintf(stderr, "error: no promotable candidate reachable\n");
+    return StatusExitCode(Status::Unavailable(""));
+  }
+
+  const Endpoint& winner = endpoints[static_cast<size_t>(best)];
+  net::Client client;
+  if (const Status s = client.Connect(winner.host, winner.port); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return StatusExitCode(s);
+  }
+  const Result<net::PromoteReply> promoted = client.Promote();
+  if (!promoted.ok()) {
+    std::fprintf(stderr, "error: promote %s: %s\n", winner.text.c_str(),
+                 promoted.status().ToString().c_str());
+    return StatusExitCode(promoted.status());
+  }
+  std::printf("promoted %s: epoch=%llu barrier_lsn=%llu\n",
+              winner.text.c_str(),
+              static_cast<unsigned long long>(promoted->epoch),
+              static_cast<unsigned long long>(promoted->barrier_lsn));
+
+  if (refollow) {
+    for (size_t i = 0; i < endpoints.size(); ++i) {
+      if (static_cast<int>(i) == best || !reachable[i]) continue;
+      net::Client peer;
+      Status s = peer.Connect(endpoints[i].host, endpoints[i].port);
+      if (s.ok()) s = peer.Follow(winner.host, winner.port).status();
+      if (!s.ok()) {
+        std::fprintf(stderr, "error: refollow %s: %s\n",
+                     endpoints[i].text.c_str(), s.ToString().c_str());
+        return StatusExitCode(s);
+      }
+      std::printf("%s now follows %s\n", endpoints[i].text.c_str(),
+                  winner.text.c_str());
+    }
+  }
+  return 0;
+}
+
+int RunFollow(const Endpoint& node, const Endpoint& leader) {
+  net::Client client;
+  Status s = client.Connect(node.host, node.port);
+  if (s.ok()) s = client.Follow(leader.host, leader.port).status();
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return StatusExitCode(s);
+  }
+  std::printf("%s now follows %s\n", node.text.c_str(), leader.text.c_str());
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: xia_admin status  HOST:PORT...\n"
+      "       xia_admin promote HOST:PORT... [--refollow]\n"
+      "       xia_admin follow  HOST:PORT LEADER_HOST:PORT\n"
+      "  promote picks the candidate with the highest durable LSN and\n"
+      "  promotes it (epoch bump + fencing barrier); --refollow points\n"
+      "  the other reachable candidates at the new leader. follow\n"
+      "  re-targets one node (e.g. a rejoining deposed leader) at the\n"
+      "  given leader.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string verb = argv[1];
+  bool refollow = false;
+  std::vector<Endpoint> endpoints;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--refollow") {
+      refollow = true;
+      continue;
+    }
+    const Result<Endpoint> ep = ParseEndpoint(arg);
+    if (!ep.ok()) {
+      std::fprintf(stderr, "error: %s\n", ep.status().ToString().c_str());
+      return StatusExitCode(ep.status());
+    }
+    endpoints.push_back(*ep);
+  }
+  if (endpoints.empty()) return Usage();
+  if (verb == "status") return RunStatus(endpoints);
+  if (verb == "promote") return RunPromote(endpoints, refollow);
+  if (verb == "follow") {
+    if (endpoints.size() != 2 || refollow) return Usage();
+    return RunFollow(endpoints[0], endpoints[1]);
+  }
+  return Usage();
+}

@@ -109,6 +109,9 @@ class ClientShell {
   /// Load-driver mode: execute commands but print nothing.
   void set_quiet(bool quiet) { quiet_ = quiet; }
 
+  /// Enables follow-the-leader redirects (see DispatchWithRedirect).
+  void set_redirect_retries(size_t retries) { redirect_retries_ = retries; }
+
   Status Dispatch(const std::string& line) {
     auto [cmd, rest] = SplitCommand(line);
     if (cmd == "ping") return Ping(rest);
@@ -117,7 +120,40 @@ class ClientShell {
     if (cmd == "explain") return Explain(rest);
     if (cmd == "advise") return Advise(rest);
     if (cmd == "metrics") return Metrics(rest);
+    if (cmd == "repl") return Repl(rest);
     return Status::InvalidArgument("unknown command: " + cmd);
+  }
+
+  /// Dispatch, and when the server rejects a write because it is a
+  /// follower (kReadOnly) or a deposed leader (kFenced) while naming
+  /// where the leader actually is, reconnect there and retry once.
+  /// Only active under --retry N (N also bounds the reconnect attempts),
+  /// so plain invocations keep failing loudly.
+  Status DispatchWithRedirect(const std::string& line) {
+    const Status status = Dispatch(line);
+    if (redirect_retries_ == 0) return status;
+    if (status.code() != StatusCode::kReadOnly &&
+        status.code() != StatusCode::kFenced) {
+      return status;
+    }
+    const std::string hint = client_.leader_hint();
+    const size_t colon = hint.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= hint.size()) {
+      return status;
+    }
+    double v = 0;
+    if (!ParseDouble(hint.substr(colon + 1), &v) || v < 1 || v > 65535) {
+      return status;
+    }
+    std::fprintf(stderr, "redirecting to leader %s\n", hint.c_str());
+    host_ = hint.substr(0, colon);
+    port_ = static_cast<uint16_t>(v);
+    client_.Close();
+    if (const Status reconnect = ConnectWithRetry(redirect_retries_);
+        !reconnect.ok()) {
+      return status;  // the original rejection is the better story
+    }
+    return Dispatch(line);
   }
 
   int RunScript(std::istream& in) {
@@ -126,7 +162,7 @@ class ClientShell {
       const std::string_view trimmed = Trim(line);
       if (trimmed.empty() || trimmed[0] == '#') continue;
       if (trimmed == "quit" || trimmed == "exit") break;
-      if (Status s = Dispatch(std::string(trimmed)); !s.ok()) {
+      if (Status s = DispatchWithRedirect(std::string(trimmed)); !s.ok()) {
         std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
         return StatusExitCode(s);
       }
@@ -220,6 +256,31 @@ class ClientShell {
     return Status::OK();
   }
 
+  Status Repl(const std::string& rest) {
+    if (rest != "status") return Status::InvalidArgument("repl status");
+    XIA_ASSIGN_OR_RETURN(const net::ReplStatusReply rs, client_.ReplStatus());
+    if (quiet_) return Status::OK();
+    std::printf(
+        "role=%s epoch=%llu epoch_start_lsn=%llu durable_lsn=%llu "
+        "checkpoint_lsn=%llu applied_lsn=%llu",
+        rs.role.c_str(), static_cast<unsigned long long>(rs.repl_epoch),
+        static_cast<unsigned long long>(rs.epoch_start_lsn),
+        static_cast<unsigned long long>(rs.durable_lsn),
+        static_cast<unsigned long long>(rs.checkpoint_lsn),
+        static_cast<unsigned long long>(rs.applied_lsn));
+    if (!rs.leader_endpoint.empty()) {
+      std::printf(" leader=%s", rs.leader_endpoint.c_str());
+    }
+    std::printf("\n");
+    for (const net::ReplStatusFollower& f : rs.followers) {
+      std::printf("  follower %-20s %-21s acked_lsn=%llu %s\n",
+                  f.follower_id.c_str(), f.remote.c_str(),
+                  static_cast<unsigned long long>(f.acked_lsn),
+                  f.connected ? "connected" : "disconnected");
+    }
+    return Status::OK();
+  }
+
   Status Metrics(const std::string& rest) {
     net::MetricsFormat format = net::MetricsFormat::kTable;
     if (rest == "json") {
@@ -235,11 +296,13 @@ class ClientShell {
     return Status::OK();
   }
 
-  const std::string host_;
-  const uint16_t port_;
+  /// Mutable: a leader redirect re-targets the shell mid-session.
+  std::string host_;
+  uint16_t port_;
   const std::string workload_text_;
   const double budget_ms_;
   bool quiet_ = false;
+  size_t redirect_retries_ = 0;
   net::Client client_;
 };
 
@@ -312,7 +375,10 @@ int Usage() {
       "commands: ping [TOKEN|sleep=MS] | query|run STMT | mutate STMT\n"
       "          | explain [analyze] STMT\n"
       "          | advise [BUDGET [ALGO [BUDGET_MS]]]\n"
-      "          | metrics [json|prom|table]\n");
+      "          | metrics [json|prom|table] | repl status\n"
+      "  with --retry N, a write rejected by a follower or deposed\n"
+      "  leader (read_only/fenced) is retried once against the leader\n"
+      "  endpoint named in the rejection.\n");
   return 2;
 }
 
@@ -399,12 +465,14 @@ int main(int argc, char** argv) {
   }
 
   ClientShell shell(host, port, workload_text, budget_ms);
+  shell.set_redirect_retries(retries);
   if (Status s = shell.ConnectWithRetry(retries); !s.ok()) {
     std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
     return StatusExitCode(s);
   }
   if (!command_words.empty()) {
-    if (Status s = shell.Dispatch(Join(command_words, " ")); !s.ok()) {
+    if (Status s = shell.DispatchWithRedirect(Join(command_words, " "));
+        !s.ok()) {
       std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
       return StatusExitCode(s);
     }

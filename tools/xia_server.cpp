@@ -49,10 +49,16 @@ int Usage() {
       "                  [--advise-threads N | -j N]\n"
       "                  [--follow HOST:PORT] [--follower-id ID]\n"
       "                  [--repl-checkpoint-every N]\n"
+      "                  [--sync-replicas K] [--quorum-timeout-ms MS]\n"
+      "                  [--follower-ttl-s S]\n"
       "  --port 0 (default) picks a free ephemeral port; --port-file\n"
       "  writes the resolved port so scripts can find the server.\n"
       "  --follow runs this node as a read replica of the leader at\n"
-      "  HOST:PORT (requires --data-dir; mutations get read_only).\n");
+      "  HOST:PORT (requires --data-dir; mutations get read_only).\n"
+      "  --sync-replicas K acks a mutation only after K replicas have\n"
+      "  durably acked its LSN (kUnavailable on timeout, never a silent\n"
+      "  downgrade); --follower-ttl-s prunes followers that stay\n"
+      "  disconnected longer than S seconds from the quorum set.\n");
   return 2;
 }
 
@@ -134,6 +140,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--repl-checkpoint-every" && has_value) {
       if (!ParseCount(argv[++i], &n)) return Usage();
       options.repl_checkpoint_every = n;
+    } else if (arg == "--sync-replicas" && has_value) {
+      if (!ParseCount(argv[++i], &n)) return Usage();
+      options.sync_replicas = n;
+    } else if (arg == "--quorum-timeout-ms" && has_value) {
+      if (!ParseDouble(argv[++i], &v) || v <= 0) return Usage();
+      options.quorum_timeout_ms = v;
+    } else if (arg == "--follower-ttl-s" && has_value) {
+      if (!ParseDouble(argv[++i], &v) || v < 0) return Usage();
+      options.follower_ttl_s = v;
     } else {
       return Usage();
     }
@@ -172,6 +187,11 @@ int main(int argc, char** argv) {
     std::printf("xia_server following %s:%u as \"%s\" (read replica)\n",
                 options.follow_host.c_str(), options.follow_port,
                 options.follower_id.c_str());
+  }
+  if (options.sync_replicas > 0) {
+    std::printf(
+        "xia_server quorum mode: %zu sync replica(s), %.0f ms ack timeout\n",
+        options.sync_replicas, options.quorum_timeout_ms);
   }
   std::fflush(stdout);
   if (!port_file.empty()) {
