@@ -1,0 +1,57 @@
+#include "engine/ddl.h"
+
+#include <vector>
+
+#include "util/string_util.h"
+#include "xpath/parser.h"
+
+namespace xia::engine {
+
+namespace {
+constexpr const char* kUsage =
+    "create index NAME on COLL PATTERN"
+    " [string|numeric|structural] [virtual] [online]";
+}  // namespace
+
+Result<CreateIndexSpec> ParseCreateIndex(std::string_view text) {
+  std::vector<std::string> tokens;
+  for (auto& t : Split(text, ' ')) {
+    if (!t.empty()) tokens.push_back(std::move(t));
+  }
+  size_t i = 0;
+  if (i < tokens.size() && tokens[i] == "create") ++i;
+  if (i < tokens.size() && tokens[i] == "index") ++i;
+  if (tokens.size() < i + 4 || tokens[i + 1] != "on") {
+    return Status::InvalidArgument(kUsage);
+  }
+  CreateIndexSpec spec;
+  spec.name = tokens[i];
+  spec.collection = tokens[i + 2];
+  XIA_ASSIGN_OR_RETURN(xpath::Path path, xpath::ParsePattern(tokens[i + 3]));
+  spec.pattern = xpath::IndexPattern{std::move(path),
+                                     xpath::ValueType::kString};
+  for (size_t j = i + 4; j < tokens.size(); ++j) {
+    const std::string& mod = tokens[j];
+    if (mod == "numeric") {
+      spec.pattern.type = xpath::ValueType::kNumeric;
+    } else if (mod == "string") {
+      spec.pattern.type = xpath::ValueType::kString;
+    } else if (mod == "structural") {
+      spec.pattern.structural = true;
+    } else if (mod == "virtual") {
+      spec.is_virtual = true;
+    } else if (mod == "online") {
+      spec.online = true;
+    } else {
+      return Status::InvalidArgument("unknown modifier " + mod + "; " +
+                                     kUsage);
+    }
+  }
+  if (spec.is_virtual && spec.online) {
+    return Status::InvalidArgument(
+        "virtual indexes build nothing; 'online' does not apply");
+  }
+  return spec;
+}
+
+}  // namespace xia::engine

@@ -1,0 +1,43 @@
+// Shared DDL text parsing.
+//
+// `create index` arrives from three fronts — the interactive shell, the
+// wire protocol's kCreateIndex request, and xia_client's command line —
+// and all three must accept the identical grammar:
+//
+//   create index NAME on COLL PATTERN
+//       [string|numeric|structural] [virtual] [online]
+//
+// ParseCreateIndex holds that grammar in one place so the fronts cannot
+// drift. The `online` modifier selects the non-blocking build
+// (storage::BuildIndexOnline, DESIGN §16) instead of the offline build
+// under an exclusive lock; it is meaningless (and rejected) together
+// with `virtual`, which builds nothing.
+
+#ifndef XIA_ENGINE_DDL_H_
+#define XIA_ENGINE_DDL_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+#include "xpath/path.h"
+
+namespace xia::engine {
+
+struct CreateIndexSpec {
+  std::string name;
+  std::string collection;
+  xpath::IndexPattern pattern;
+  bool is_virtual = false;
+  bool online = false;
+};
+
+/// Parses the token stream of a create-index statement. Accepts the text
+/// with or without the leading "create" / "index" keywords, i.e. all of
+/// "create index s on C /P", "index s on C /P", and "s on C /P" parse to
+/// the same spec.
+Result<CreateIndexSpec> ParseCreateIndex(std::string_view text);
+
+}  // namespace xia::engine
+
+#endif  // XIA_ENGINE_DDL_H_

@@ -26,7 +26,7 @@ struct RowSink {
     if (!materialize || rows->size() >= max_rows) return;
     const xml::Node& n = doc.node(node);
     // Leaf-ish results render as their value; subtrees as XML fragments.
-    if (n.children.empty() || n.is_attribute()) {
+    if (!n.has_children() || n.is_attribute()) {
       rows->push_back(n.label + "=" + n.value);
     } else {
       rows->push_back(xml::Serialize(doc, node));
@@ -63,7 +63,7 @@ uint64_t EvaluateOnDocument(const xml::Document& doc,
         std::vector<xml::NodeIndex>* out;
         void Go(xml::NodeIndex from, size_t idx, bool descend) {
           const xpath::Step& step = steps[idx];
-          for (xml::NodeIndex c : d.node(from).children) {
+          for (xml::NodeIndex c : d.children(from)) {
             if (step.MatchesLabel(d.node(c).label)) {
               if (idx + 1 == steps.size()) {
                 out->push_back(c);

@@ -57,6 +57,7 @@ inline constexpr const char* kSnapshotWrite = "xia.fault.snapshot.write";
 inline constexpr const char* kWorkloadRead = "xia.fault.workload.read";
 inline constexpr const char* kWorkloadWrite = "xia.fault.workload.write";
 inline constexpr const char* kIndexBuild = "xia.fault.index.build";
+inline constexpr const char* kIndexBuildSwap = "xia.fault.index.build_swap";
 inline constexpr const char* kBtreeAlloc = "xia.fault.btree.alloc";
 inline constexpr const char* kIndexLookup = "xia.fault.index.lookup";
 inline constexpr const char* kOptimizerPlan = "xia.fault.optimizer.plan";
@@ -84,7 +85,8 @@ inline constexpr const char* kReplPromote = "xia.fault.repl.promote";
 inline constexpr const char* kAllPoints[] = {
     points::kSnapshotRead,     points::kSnapshotWrite,
     points::kWorkloadRead,     points::kWorkloadWrite,
-    points::kIndexBuild,       points::kBtreeAlloc,
+    points::kIndexBuild,       points::kIndexBuildSwap,
+    points::kBtreeAlloc,
     points::kIndexLookup,      points::kOptimizerPlan,
     points::kExecutorScan,     points::kAdvisorEnumerate,
     points::kAdvisorBenefit,   points::kAdvisorSearch,

@@ -109,6 +109,14 @@ Result<PromoteReply> Client::Promote() {
   return DecodePromoteReply(payload);
 }
 
+Result<CreateIndexReply> Client::CreateIndex(
+    const CreateIndexRequest& request) {
+  XIA_ASSIGN_OR_RETURN(
+      const std::string payload,
+      Call(MsgType::kCreateIndex, EncodeCreateIndexRequest(request)));
+  return DecodeCreateIndexReply(payload);
+}
+
 Result<TextReply> Client::Follow(const std::string& host, uint16_t port) {
   FollowRequest request;
   request.host = host;

@@ -45,6 +45,7 @@ class Client {
   Result<AdviseReply> Advise(const AdviseRequest& request);
   Result<TextReply> Explain(const ExplainRequest& request);
   Result<TextReply> Metrics(MetricsFormat format);
+  Result<CreateIndexReply> CreateIndex(const CreateIndexRequest& request);
 
   /// Failover/admin verbs (DESIGN §15).
   Result<ReplStatusReply> ReplStatus();

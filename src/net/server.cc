@@ -13,12 +13,14 @@
 #include "obs/metrics.h"
 #include "optimizer/optimizer.h"
 #include "repl/stream.h"
+#include "storage/online_build.h"
 #include "storage/snapshot.h"
 #include "util/atomic_file.h"
 #include "util/crc32.h"
 #include "util/stopwatch.h"
 #include "wal/writer.h"
 #include "workload/workload_io.h"
+#include "xpath/parser.h"
 
 namespace xia::net {
 
@@ -323,6 +325,9 @@ std::string Server::HandleFrame(Session* session, const Frame& frame) {
     case MsgType::kFollow:
       payload = HandleFollow(frame);
       break;
+    case MsgType::kCreateIndex:
+      payload = HandleCreateIndex(session, frame);
+      break;
     default:
       break;
   }
@@ -537,6 +542,62 @@ Result<std::string> Server::HandleMutation(Session* session,
     }
   }
   return EncodeExecReply(reply);
+}
+
+Result<std::string> Server::HandleCreateIndex(Session* session,
+                                              const Frame& frame) {
+  (void)session;
+  XIA_ASSIGN_OR_RETURN(const CreateIndexRequest req,
+                       DecodeCreateIndexRequest(frame.payload));
+  if (follower_mode_.load(std::memory_order_acquire)) {
+    return Status::ReadOnly(
+        "this node is a read replica; send DDL to the leader");
+  }
+  XIA_ASSIGN_OR_RETURN(xpath::Path path, xpath::ParsePattern(req.pattern));
+  xpath::IndexPattern pattern{std::move(path),
+                              static_cast<xpath::ValueType>(req.value_type)};
+  pattern.structural = req.structural;
+
+  CreateIndexReply reply;
+  const storage::IndexDef* def = nullptr;
+  if (req.is_virtual) {
+    std::unique_lock<std::shared_mutex> lock(db_mu_);
+    XIA_ASSIGN_OR_RETURN(
+        def, catalog_.CreateVirtualIndex(req.name, req.collection, pattern));
+  } else if (req.online) {
+    // Non-blocking build (DESIGN §16): queries keep running under shared
+    // locks while the scan proceeds; the WAL record is written inside
+    // the swap's exclusive section so crash recovery either replays the
+    // whole index build or none of it.
+    storage::OnlineBuildReport report;
+    auto commit = [&]() -> Status {
+      if (wal_) {
+        return wal_->LogCreateIndex(req.name, req.collection, pattern);
+      }
+      return Status::OK();
+    };
+    XIA_ASSIGN_OR_RETURN(
+        def, storage::BuildIndexOnline(&catalog_, &db_mu_, req.name,
+                                       req.collection, pattern, {}, commit,
+                                       &report));
+    reply.online = true;
+    reply.build_seconds = report.total_seconds;
+    reply.stall_seconds = report.exclusive_seconds;
+    reply.delta_ops = report.delta_ops_applied;
+  } else {
+    Stopwatch sw;
+    std::unique_lock<std::shared_mutex> lock(db_mu_);
+    XIA_ASSIGN_OR_RETURN(
+        def, catalog_.CreateIndex(req.name, req.collection, pattern));
+    if (wal_) {
+      XIA_RETURN_IF_ERROR(
+          wal_->LogCreateIndex(req.name, req.collection, pattern));
+    }
+    reply.build_seconds = sw.ElapsedSeconds();
+  }
+  reply.entry_count = def->stats.entry_count;
+  reply.size_bytes = def->stats.size_bytes;
+  return EncodeCreateIndexReply(reply);
 }
 
 Result<std::string> Server::HandleAdvise(Session* session, const Frame& frame,

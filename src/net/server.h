@@ -259,6 +259,7 @@ class Server {
                                    const fault::Deadline& deadline);
   Result<std::string> HandleExplain(Session* session, const Frame& frame,
                                     const fault::Deadline& deadline);
+  Result<std::string> HandleCreateIndex(Session* session, const Frame& frame);
   Result<std::string> HandleMetrics(const Frame& frame);
   Result<std::string> HandleReplStatus(const Frame& frame);
   Result<std::string> HandlePromote(const Frame& frame);

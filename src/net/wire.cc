@@ -35,6 +35,8 @@ const char* MsgTypeName(MsgType type) {
       return "promote";
     case MsgType::kFollow:
       return "follow";
+    case MsgType::kCreateIndex:
+      return "create_index";
     case MsgType::kReply:
       return "reply";
     case MsgType::kError:
@@ -53,7 +55,7 @@ const char* MsgTypeName(MsgType type) {
 
 bool IsRequestType(uint8_t type) {
   return type >= static_cast<uint8_t>(MsgType::kPing) &&
-         type <= static_cast<uint8_t>(MsgType::kFollow);
+         type <= static_cast<uint8_t>(MsgType::kCreateIndex);
 }
 
 namespace {
@@ -611,6 +613,65 @@ Result<FollowRequest> DecodeFollowRequest(std::string_view payload) {
   }
   req.port = static_cast<uint16_t>(port);
   return req;
+}
+
+std::string EncodeCreateIndexRequest(const CreateIndexRequest& req) {
+  std::string out;
+  PutString(&out, req.name);
+  PutString(&out, req.collection);
+  PutString(&out, req.pattern);
+  PutU8(&out, req.value_type);
+  PutU8(&out, req.structural ? 1 : 0);
+  PutU8(&out, req.is_virtual ? 1 : 0);
+  PutU8(&out, req.online ? 1 : 0);
+  return out;
+}
+
+Result<CreateIndexRequest> DecodeCreateIndexRequest(
+    std::string_view payload) {
+  CreateIndexRequest req;
+  WireReader in{payload};
+  uint8_t structural = 0;
+  uint8_t is_virtual = 0;
+  uint8_t online = 0;
+  if (!in.GetString(&req.name) || !in.GetString(&req.collection) ||
+      !in.GetString(&req.pattern) || !in.GetU8(&req.value_type) ||
+      !in.GetU8(&structural) || !in.GetU8(&is_virtual) ||
+      !in.GetU8(&online) || !in.AtEnd() || req.name.empty() ||
+      req.collection.empty() || req.pattern.empty() || req.value_type > 1 ||
+      structural > 1 || is_virtual > 1 || online > 1 ||
+      (is_virtual && online)) {
+    return Malformed("create index request");
+  }
+  req.structural = structural != 0;
+  req.is_virtual = is_virtual != 0;
+  req.online = online != 0;
+  return req;
+}
+
+std::string EncodeCreateIndexReply(const CreateIndexReply& reply) {
+  std::string out;
+  PutU64(&out, reply.entry_count);
+  PutU64(&out, reply.size_bytes);
+  PutU8(&out, reply.online ? 1 : 0);
+  PutF64(&out, reply.build_seconds);
+  PutF64(&out, reply.stall_seconds);
+  PutU64(&out, reply.delta_ops);
+  return out;
+}
+
+Result<CreateIndexReply> DecodeCreateIndexReply(std::string_view payload) {
+  CreateIndexReply reply;
+  WireReader in{payload};
+  uint8_t online = 0;
+  if (!in.GetU64(&reply.entry_count) || !in.GetU64(&reply.size_bytes) ||
+      !in.GetU8(&online) || !GetF64(&in, &reply.build_seconds) ||
+      !GetF64(&in, &reply.stall_seconds) || !in.GetU64(&reply.delta_ops) ||
+      !in.AtEnd() || online > 1) {
+    return Malformed("create index reply");
+  }
+  reply.online = online != 0;
+  return reply;
 }
 
 Status ErrorReplyToStatus(const ErrorReply& reply) {

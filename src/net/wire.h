@@ -76,6 +76,7 @@ enum class MsgType : uint8_t {
   kReplStatus = 8,
   kPromote = 9,
   kFollow = 10,
+  kCreateIndex = 11,
   kReply = 0x40,
   kError = 0x41,
   kReplFrame = 0x50,
@@ -316,6 +317,36 @@ struct FollowRequest {
   uint16_t port = 0;
 };
 
+/// kCreateIndex — DDL over the wire: create a real or virtual index.
+/// `online` selects the non-blocking build (DESIGN §16): the server scans
+/// under shared locks while a side log captures concurrent mutations,
+/// and only the final swap takes the exclusive lock. Offline (default)
+/// builds under the exclusive lock like any mutation.
+struct CreateIndexRequest {
+  std::string name;
+  std::string collection;
+  /// Linear XPath pattern text, e.g. "/Security/Symbol".
+  std::string pattern;
+  /// xpath::ValueType as u8 (0 = string, 1 = numeric).
+  uint8_t value_type = 0;
+  bool structural = false;
+  bool is_virtual = false;
+  bool online = false;
+};
+
+/// kReply payload for kCreateIndex.
+struct CreateIndexReply {
+  uint64_t entry_count = 0;
+  uint64_t size_bytes = 0;
+  bool online = false;
+  /// Wall-clock build time; for online builds stall_seconds is the part
+  /// spent holding the exclusive lock and delta_ops the side-log records
+  /// replayed into the new index.
+  double build_seconds = 0;
+  double stall_seconds = 0;
+  uint64_t delta_ops = 0;
+};
+
 std::string EncodeQueryRequest(const QueryRequest& req);
 Result<QueryRequest> DecodeQueryRequest(std::string_view payload);
 
@@ -364,6 +395,12 @@ Result<PromoteReply> DecodePromoteReply(std::string_view payload);
 
 std::string EncodeFollowRequest(const FollowRequest& req);
 Result<FollowRequest> DecodeFollowRequest(std::string_view payload);
+
+std::string EncodeCreateIndexRequest(const CreateIndexRequest& req);
+Result<CreateIndexRequest> DecodeCreateIndexRequest(std::string_view payload);
+
+std::string EncodeCreateIndexReply(const CreateIndexReply& reply);
+Result<CreateIndexReply> DecodeCreateIndexReply(std::string_view payload);
 
 std::string EncodeReplSnapshotPayload(const ReplSnapshotPayload& snap);
 Result<ReplSnapshotPayload> DecodeReplSnapshotPayload(

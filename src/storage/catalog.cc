@@ -2,12 +2,14 @@
 
 #include "fault/fault.h"
 #include "obs/metrics.h"
+#include "storage/online_build.h"
+#include "util/stopwatch.h"
 
 namespace xia::storage {
 
 Result<const IndexDef*> Catalog::CreateIndex(
     const std::string& name, const std::string& collection,
-    const xpath::IndexPattern& pattern) {
+    const xpath::IndexPattern& pattern, util::ThreadPool* pool) {
   XIA_FAULT_INJECT(fault::points::kIndexBuild);
   if (indexes_.count(name) != 0) {
     return Status::AlreadyExists("index " + name + " exists");
@@ -19,17 +21,56 @@ Result<const IndexDef*> Catalog::CreateIndex(
   // point models that allocation failing before any pages are built.
   XIA_FAULT_INJECT(fault::points::kBtreeAlloc);
 
+  Stopwatch sw;
   IndexDef def;
   def.name = name;
   def.collection = collection;
   def.pattern = pattern;
   def.is_virtual = false;
   def.physical = std::make_unique<PathValueIndex>(name, collection, pattern);
-  def.physical->Build(**coll);
+  def.physical->BuildBulk(**coll, pool);
+  def.stats = def.physical->ActualStats(cc_);
+  XIA_OBS_COUNT("xia.storage.catalog.indexes_created", 1);
+  XIA_OBS_COUNT("xia.storage.index.builds_offline", 1);
+  XIA_OBS_OBSERVE_LATENCY("xia.storage.index.build_seconds",
+                          sw.ElapsedSeconds());
+  auto [it, _] = indexes_.emplace(name, std::move(def));
+  return &it->second;
+}
+
+Result<const IndexDef*> Catalog::InstallIndex(
+    std::unique_ptr<PathValueIndex> built) {
+  const std::string name = built->name();
+  const std::string collection = built->collection();
+  if (indexes_.count(name) != 0) {
+    return Status::AlreadyExists("index " + name + " exists");
+  }
+  auto coll = store_->GetCollection(collection);
+  if (!coll.ok()) return coll.status();
+
+  IndexDef def;
+  def.name = name;
+  def.collection = collection;
+  def.pattern = built->pattern();
+  def.is_virtual = false;
+  def.physical = std::move(built);
   def.stats = def.physical->ActualStats(cc_);
   XIA_OBS_COUNT("xia.storage.catalog.indexes_created", 1);
   auto [it, _] = indexes_.emplace(name, std::move(def));
   return &it->second;
+}
+
+void Catalog::AttachSideLog(const std::string& collection, IndexSideLog* log) {
+  side_logs_.emplace_back(collection, log);
+}
+
+void Catalog::DetachSideLog(const IndexSideLog* log) {
+  for (auto it = side_logs_.begin(); it != side_logs_.end(); ++it) {
+    if (it->second == log) {
+      side_logs_.erase(it);
+      return;
+    }
+  }
 }
 
 Result<const IndexDef*> Catalog::CreateVirtualIndex(
@@ -110,6 +151,9 @@ void Catalog::NotifyInsert(const std::string& collection, xml::DocId id,
       def.stats = def.physical->ActualStats(cc_);
     }
   }
+  for (auto& [coll, log] : side_logs_) {
+    if (coll == collection) log->RecordInsert(id, doc);
+  }
 }
 
 void Catalog::NotifyRemove(const std::string& collection, xml::DocId id,
@@ -119,6 +163,9 @@ void Catalog::NotifyRemove(const std::string& collection, xml::DocId id,
       def.physical->OnRemove(id, doc);
       def.stats = def.physical->ActualStats(cc_);
     }
+  }
+  for (auto& [coll, log] : side_logs_) {
+    if (coll == collection) log->RecordRemove(id, doc);
   }
 }
 

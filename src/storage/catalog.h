@@ -12,6 +12,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "storage/cost_constants.h"
@@ -19,9 +20,12 @@
 #include "storage/index.h"
 #include "storage/statistics.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 #include "xpath/path.h"
 
 namespace xia::storage {
+
+class IndexSideLog;
 
 /// A catalog entry describing one (real or virtual) index.
 struct IndexDef {
@@ -43,11 +47,27 @@ class Catalog {
           const CostConstants& cc = DefaultCostConstants())
       : store_(store), statistics_(statistics), cc_(cc) {}
 
-  /// Creates and builds a physical index. Fails if the name exists or the
-  /// collection is unknown.
+  /// Creates and builds a physical index through the bulk-load fast path
+  /// (parallel key extraction when `pool` is non-null). Fails if the name
+  /// exists or the collection is unknown.
   Result<const IndexDef*> CreateIndex(const std::string& name,
                                       const std::string& collection,
-                                      const xpath::IndexPattern& pattern);
+                                      const xpath::IndexPattern& pattern,
+                                      util::ThreadPool* pool = nullptr);
+
+  /// Installs an already-built physical index — the online build's swap
+  /// step. Fails (leaving the catalog untouched) if the name now exists
+  /// or the collection is unknown.
+  Result<const IndexDef*> InstallIndex(std::unique_ptr<PathValueIndex> built);
+
+  /// Attaches a side log that captures the index entries of every
+  /// mutation on `collection` until detached. Attach/detach and the
+  /// Notify* calls must be serialized by the caller (the server's
+  /// exclusive db lock); the side log's own mutex covers builder drains.
+  void AttachSideLog(const std::string& collection, IndexSideLog* log);
+  void DetachSideLog(const IndexSideLog* log);
+  /// Number of attached side logs (== in-flight online builds).
+  size_t attached_side_logs() const { return side_logs_.size(); }
 
   /// Creates a virtual index whose statistics are derived from the
   /// collection's data statistics (RunStats must have been run).
@@ -93,6 +113,8 @@ class Catalog {
   const StatisticsCatalog* statistics_;
   CostConstants cc_;
   std::map<std::string, IndexDef> indexes_;
+  // Side logs of in-flight online builds: (collection, log).
+  std::vector<std::pair<std::string, IndexSideLog*>> side_logs_;
 };
 
 }  // namespace xia::storage

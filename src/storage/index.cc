@@ -1,14 +1,32 @@
 #include "storage/index.h"
 
+#include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <cstring>
+#include <iterator>
 #include <limits>
 
 #include "fault/fault.h"
 #include "obs/metrics.h"
+#include "util/crc32.h"
 #include "util/string_util.h"
 #include "xpath/evaluator.h"
 
 namespace xia::storage {
+
+namespace {
+
+// Bytes a key's value contributes to the size model (mirrors the
+// incremental path's accounting exactly).
+double KeyBytes(const xpath::IndexPattern& pattern, const IndexKey& key) {
+  if (pattern.structural) return 0.0;
+  return pattern.type == xpath::ValueType::kNumeric
+             ? 8.0
+             : static_cast<double>(key.str.size());
+}
+
+}  // namespace
 
 void PathValueIndex::Build(const Collection& coll) {
   coll.ForEach([&](xml::DocId id, const xml::Document& doc) {
@@ -16,22 +34,13 @@ void PathValueIndex::Build(const Collection& coll) {
   });
 }
 
-void PathValueIndex::OnInsert(xml::DocId id, const xml::Document& doc) {
-  Apply(id, doc, /*insert=*/true);
-}
-
-void PathValueIndex::OnRemove(xml::DocId id, const xml::Document& doc) {
-  Apply(id, doc, /*insert=*/false);
-}
-
-void PathValueIndex::Apply(xml::DocId id, const xml::Document& doc,
-                           bool insert) {
-  // B+-tree observability is accounted here at the index boundary rather
-  // than inside the tree template, so the tree's hot paths compile
-  // identically with and without instrumentation.
-  const size_t leaves_before = tree_.leaf_count();
-  const size_t internals_before = tree_.internal_count();
-  for (xml::NodeIndex n : xpath::EvaluateLinear(doc, pattern_.path)) {
+void PathValueIndex::ExtractKeys(xml::DocId id, const xml::Document& doc,
+                                 std::vector<IndexKey>* out) const {
+  // One scratch buffer per worker: extraction runs over whole
+  // collections, and a fresh vector per document is measurable there.
+  static thread_local std::vector<xml::NodeIndex> scratch;
+  xpath::EvaluateLinearInto(doc, pattern_.path, &scratch);
+  for (xml::NodeIndex n : scratch) {
     const std::string& value = doc.node(n).value;
     IndexKey key;
     key.type = pattern_.type;
@@ -49,36 +58,280 @@ void PathValueIndex::Apply(xml::DocId id, const xml::Document& doc,
     } else {
       key.str = value;
     }
-    const double key_bytes =
-        pattern_.structural
-            ? 0.0
-            : (pattern_.type == xpath::ValueType::kNumeric
-                   ? 8.0
-                   : static_cast<double>(key.str.size()));
-    if (insert) {
-      if (tree_.Insert(key)) {
-        key_bytes_sum_ += key_bytes;
-        if (pattern_.type == xpath::ValueType::kNumeric) {
-          ++numeric_counts_[key.num];
-        } else {
-          ++string_counts_[key.str];
-        }
+    out->push_back(std::move(key));
+  }
+}
+
+void PathValueIndex::InsertKey(const IndexKey& key) {
+  if (!tree_.Insert(key)) return;
+  key_bytes_sum_ += KeyBytes(pattern_, key);
+  if (pattern_.type == xpath::ValueType::kNumeric) {
+    ++numeric_counts_[key.num];
+  } else {
+    ++string_counts_[key.str];
+  }
+}
+
+void PathValueIndex::EraseKey(const IndexKey& key) {
+  if (!tree_.Erase(key)) return;
+  key_bytes_sum_ -= KeyBytes(pattern_, key);
+  if (pattern_.type == xpath::ValueType::kNumeric) {
+    auto it = numeric_counts_.find(key.num);
+    if (it != numeric_counts_.end() && --it->second == 0) {
+      numeric_counts_.erase(it);
+    }
+  } else {
+    auto it = string_counts_.find(key.str);
+    if (it != string_counts_.end() && --it->second == 0) {
+      string_counts_.erase(it);
+    }
+  }
+}
+
+void PathValueIndex::BuildBulk(const Collection& coll,
+                               util::ThreadPool* pool) {
+  // Snapshot the live ids so extraction can index into fixed slots.
+  std::vector<xml::DocId> ids;
+  ids.reserve(coll.live_count());
+  coll.ForEach(
+      [&](xml::DocId id, const xml::Document&) { ids.push_back(id); });
+
+  // Per-chunk extraction into disjoint slots: embarrassingly parallel and
+  // deterministic regardless of worker scheduling (chunk c covers a fixed
+  // contiguous id range, and chunks concatenate in order). Chunking
+  // matters: ParallelFor dispatches each item through an atomic counter
+  // and a std::function call, which swamps the work when the unit is one
+  // small document.
+  constexpr size_t kExtractChunk = 256;
+  const size_t chunks = (ids.size() + kExtractChunk - 1) / kExtractChunk;
+  std::vector<std::vector<IndexKey>> slots(chunks);
+  auto extract = [&](size_t c) {
+    const size_t begin = c * kExtractChunk;
+    const size_t end = std::min(begin + kExtractChunk, ids.size());
+    for (size_t i = begin; i < end; ++i) {
+      ExtractKeys(ids[i], coll.Get(ids[i]), &slots[c]);
+    }
+    return Status::OK();
+  };
+  bool parallel_ok = false;
+  if (pool != nullptr && chunks > 1) {
+    parallel_ok = pool->ParallelFor(chunks, extract).ok();
+  }
+  if (!parallel_ok) {
+    for (size_t c = 0; c < chunks; ++c) extract(c);
+  }
+
+  size_t total = 0;
+  for (const auto& slot : slots) total += slot.size();
+  std::vector<IndexKey> all;
+  all.reserve(total);
+  for (auto& slot : slots) {
+    std::move(slot.begin(), slot.end(), std::back_inserter(all));
+    slot.clear();
+    slot.shrink_to_fit();
+  }
+  BulkLoadKeys(std::move(all));
+}
+
+void PathValueIndex::BuildBulkMany(const Collection& coll,
+                                   const std::vector<PathValueIndex*>& indexes,
+                                   util::ThreadPool* pool) {
+  if (indexes.empty()) return;
+  std::vector<xml::DocId> ids;
+  ids.reserve(coll.live_count());
+  coll.ForEach(
+      [&](xml::DocId id, const xml::Document&) { ids.push_back(id); });
+
+  // Same chunked-slot scheme as BuildBulk, but slots are per (chunk,
+  // index): one pass over the documents feeds every index, so a store
+  // larger than cache is pulled through memory once instead of
+  // indexes.size() times.
+  constexpr size_t kExtractChunk = 256;
+  const size_t chunks = (ids.size() + kExtractChunk - 1) / kExtractChunk;
+  std::vector<std::vector<std::vector<IndexKey>>> slots(chunks);
+  auto extract = [&](size_t c) {
+    slots[c].resize(indexes.size());
+    const size_t begin = c * kExtractChunk;
+    const size_t end = std::min(begin + kExtractChunk, ids.size());
+    for (size_t i = begin; i < end; ++i) {
+      const xml::Document& doc = coll.Get(ids[i]);
+      for (size_t x = 0; x < indexes.size(); ++x) {
+        indexes[x]->ExtractKeys(ids[i], doc, &slots[c][x]);
       }
+    }
+    return Status::OK();
+  };
+  bool parallel_ok = false;
+  if (pool != nullptr && chunks > 1) {
+    parallel_ok = pool->ParallelFor(chunks, extract).ok();
+  }
+  if (!parallel_ok) {
+    for (size_t c = 0; c < chunks; ++c) extract(c);
+  }
+
+  for (size_t x = 0; x < indexes.size(); ++x) {
+    size_t total = 0;
+    for (const auto& chunk : slots) total += chunk[x].size();
+    std::vector<IndexKey> all;
+    all.reserve(total);
+    for (auto& chunk : slots) {
+      std::move(chunk[x].begin(), chunk[x].end(), std::back_inserter(all));
+      chunk[x].clear();
+      chunk[x].shrink_to_fit();
+    }
+    indexes[x]->BulkLoadKeys(std::move(all));
+  }
+}
+
+namespace {
+
+// A u64 "normalized key" that agrees with IndexKey::operator< whenever
+// two prefixes differ; equal prefixes fall back to the full comparator.
+// Sorting 12-byte (prefix, index) pairs and re-sorting only the tie runs
+// is far cheaper than pushing whole IndexKeys through std::sort.
+uint64_t NormalizedPrefix(const IndexKey& key) {
+  if (key.type == xpath::ValueType::kNumeric) {
+    // Order-preserving u64 encoding of a double: flip all bits of
+    // negatives, set the sign bit of non-negatives. -0.0 collapses to
+    // +0.0 first so comparator-equal keys get bit-equal prefixes.
+    const double d = key.num == 0.0 ? 0.0 : key.num;
+    uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    return (bits & 0x8000000000000000ull) ? ~bits
+                                          : bits | 0x8000000000000000ull;
+  }
+  // First eight bytes, big-endian, zero-padded: u64 order equals
+  // lexicographic order on the prefix, and a short string's zero padding
+  // sorts it before any longer string sharing its prefix.
+  uint64_t prefix = 0;
+  const size_t n = std::min<size_t>(key.str.size(), 8);
+  for (size_t i = 0; i < n; ++i) {
+    prefix |= static_cast<uint64_t>(static_cast<unsigned char>(key.str[i]))
+              << (56 - 8 * i);
+  }
+  return prefix;
+}
+
+}  // namespace
+
+void PathValueIndex::BulkLoadKeys(std::vector<IndexKey> all) {
+  // Normalized-key sort: order (prefix, index) pairs by prefix alone,
+  // then re-sort each run of equal prefixes with the full comparator and
+  // gather the keys through the resulting permutation.
+  std::vector<std::pair<uint64_t, uint32_t>> order(all.size());
+  for (uint32_t i = 0; i < all.size(); ++i) {
+    order[i] = {NormalizedPrefix(all[i]), i};
+  }
+  std::sort(order.begin(), order.end(),
+            [](const std::pair<uint64_t, uint32_t>& a,
+               const std::pair<uint64_t, uint32_t>& b) {
+              return a.first < b.first;
+            });
+  for (size_t i = 0; i < order.size();) {
+    size_t j = i + 1;
+    while (j < order.size() && order[j].first == order[i].first) ++j;
+    if (j - i > 1) {
+      std::sort(order.begin() + static_cast<ptrdiff_t>(i),
+                order.begin() + static_cast<ptrdiff_t>(j),
+                [&all](const std::pair<uint64_t, uint32_t>& a,
+                       const std::pair<uint64_t, uint32_t>& b) {
+                  return all[a.second] < all[b.second];
+                });
+    }
+    i = j;
+  }
+  std::vector<IndexKey> sorted;
+  sorted.reserve(all.size());
+  for (const auto& [prefix, index] : order) {
+    sorted.push_back(std::move(all[index]));
+  }
+  all = std::move(sorted);
+
+  // (value, rid) keys are unique within a document (EvaluateLinear
+  // dedupes node hits) and rids differ across documents, but mirror the
+  // incremental path's duplicate tolerance anyway.
+  all.erase(std::unique(all.begin(), all.end(),
+                        [](const IndexKey& a, const IndexKey& b) {
+                          return !(a < b) && !(b < a);
+                        }),
+            all.end());
+
+  // Rebuild the derived accounting in one ordered pass, then pack the
+  // tree bottom-up. Sorted input means equal values sit in adjacent
+  // runs, so each distinct value is hint-inserted at the map's end in
+  // amortized O(1) instead of an O(log n) walk per key.
+  key_bytes_sum_ = 0.0;
+  numeric_counts_.clear();
+  string_counts_.clear();
+  for (size_t i = 0; i < all.size();) {
+    size_t j = i;
+    if (pattern_.type == xpath::ValueType::kNumeric) {
+      const double value = all[i].num;
+      while (j < all.size() && all[j].num == value) ++j;
+      numeric_counts_.emplace_hint(numeric_counts_.end(), value,
+                                   static_cast<uint32_t>(j - i));
     } else {
-      if (tree_.Erase(key)) {
-        key_bytes_sum_ -= key_bytes;
-        if (pattern_.type == xpath::ValueType::kNumeric) {
-          auto it = numeric_counts_.find(key.num);
-          if (it != numeric_counts_.end() && --it->second == 0) {
-            numeric_counts_.erase(it);
-          }
-        } else {
-          auto it = string_counts_.find(key.str);
-          if (it != string_counts_.end() && --it->second == 0) {
-            string_counts_.erase(it);
-          }
-        }
-      }
+      const std::string& value = all[i].str;
+      while (j < all.size() && all[j].str == value) ++j;
+      string_counts_.emplace_hint(string_counts_.end(), value,
+                                  static_cast<uint32_t>(j - i));
+    }
+    key_bytes_sum_ +=
+        KeyBytes(pattern_, all[i]) * static_cast<double>(j - i);
+    i = j;
+  }
+  const bool loaded = tree_.BulkLoad(std::move(all));
+  (void)loaded;
+  assert(loaded);  // strictly increasing by construction
+  XIA_OBS_GAUGE_SET("xia.storage.btree.height", tree_.height());
+}
+
+uint32_t PathValueIndex::ContentDigest() const {
+  uint32_t crc = 0;
+  auto feed = [&crc](const void* data, size_t size) {
+    crc = Crc32Update(crc, data, size);
+  };
+  for (auto it = tree_.Begin(); it.valid(); it.Next()) {
+    const IndexKey& k = it.key();
+    const uint8_t type = static_cast<uint8_t>(k.type);
+    feed(&type, 1);
+    uint64_t num_bits = 0;
+    static_assert(sizeof(num_bits) == sizeof(k.num));
+    std::memcpy(&num_bits, &k.num, sizeof(num_bits));
+    feed(&num_bits, sizeof(num_bits));
+    const uint32_t len = static_cast<uint32_t>(k.str.size());
+    feed(&len, sizeof(len));
+    feed(k.str.data(), k.str.size());
+    const int32_t doc = k.rid.doc;
+    const int32_t node = k.rid.node;
+    feed(&doc, sizeof(doc));
+    feed(&node, sizeof(node));
+  }
+  return crc;
+}
+
+void PathValueIndex::OnInsert(xml::DocId id, const xml::Document& doc) {
+  Apply(id, doc, /*insert=*/true);
+}
+
+void PathValueIndex::OnRemove(xml::DocId id, const xml::Document& doc) {
+  Apply(id, doc, /*insert=*/false);
+}
+
+void PathValueIndex::Apply(xml::DocId id, const xml::Document& doc,
+                           bool insert) {
+  // B+-tree observability is accounted here at the index boundary rather
+  // than inside the tree template, so the tree's hot paths compile
+  // identically with and without instrumentation.
+  const size_t leaves_before = tree_.leaf_count();
+  const size_t internals_before = tree_.internal_count();
+  std::vector<IndexKey> keys;
+  ExtractKeys(id, doc, &keys);
+  for (const IndexKey& key : keys) {
+    if (insert) {
+      InsertKey(key);
+    } else {
+      EraseKey(key);
     }
   }
   if (insert) {
@@ -243,6 +496,26 @@ IndexStats PathValueIndex::ActualStats(const CostConstants& cc) const {
   stats.leaf_pages = std::max<size_t>(1, tree_.leaf_count());
   stats.levels = static_cast<uint32_t>(tree_.height());
   return stats;
+}
+
+BulkIngestor::BulkIngestor(Collection* coll,
+                           std::vector<PathValueIndex*> indexes)
+    : coll_(coll), indexes_(std::move(indexes)), keys_(indexes_.size()) {}
+
+xml::DocId BulkIngestor::Add(xml::Document doc) {
+  const xml::DocId id = coll_->Add(std::move(doc));
+  const xml::Document& stored = coll_->Get(id);
+  for (size_t x = 0; x < indexes_.size(); ++x) {
+    indexes_[x]->ExtractKeys(id, stored, &keys_[x]);
+  }
+  return id;
+}
+
+void BulkIngestor::Finish() {
+  for (size_t x = 0; x < indexes_.size(); ++x) {
+    indexes_[x]->BulkLoadKeys(std::move(keys_[x]));
+    keys_[x].clear();
+  }
 }
 
 }  // namespace xia::storage

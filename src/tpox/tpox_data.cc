@@ -67,6 +67,7 @@ int64_t TpoxDomains::CustomerId(size_t id) {
 
 xml::Document GenerateSecurityDocument(size_t id, Random* rng) {
   xml::Document doc;
+  doc.ReserveNodes(28);
   const xml::NodeIndex root = doc.AddRoot("Security");
   doc.AddElement(root, "Symbol", TpoxDomains::Symbol(id));
   doc.AddElement(root, "Name",
@@ -128,6 +129,7 @@ xml::Document GenerateSecurityDocument(size_t id, Random* rng) {
 xml::Document GenerateOrderDocument(size_t id, size_t security_count,
                                     Random* rng) {
   xml::Document doc;
+  doc.ReserveNodes(20);
   const xml::NodeIndex root = doc.AddRoot("FIXML");
   const xml::NodeIndex order = doc.AddElement(root, "Order");
   doc.AddAttribute(order, "ID", TpoxDomains::OrderId(id));
@@ -160,6 +162,7 @@ xml::Document GenerateOrderDocument(size_t id, size_t security_count,
 
 xml::Document GenerateCustAccDocument(size_t id, Random* rng) {
   xml::Document doc;
+  doc.ReserveNodes(64);
   const xml::NodeIndex root = doc.AddRoot("Customer");
   doc.AddElement(root, "Id",
                  std::to_string(TpoxDomains::CustomerId(id)));

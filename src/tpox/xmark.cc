@@ -26,6 +26,7 @@ const std::vector<std::string>& Categories() {
 
 xml::Document GenerateXmarkItem(size_t id, Random* rng) {
   xml::Document doc;
+  doc.ReserveNodes(32);
   const xml::NodeIndex root = doc.AddRoot("item");
   doc.AddAttribute(root, "id", StringPrintf("item%zu", id));
   const std::string& region = rng->Pick(Regions());
@@ -65,6 +66,7 @@ xml::Document GenerateXmarkItem(size_t id, Random* rng) {
 xml::Document GenerateXmarkAuction(size_t id, size_t item_count,
                                    size_t person_count, Random* rng) {
   xml::Document doc;
+  doc.ReserveNodes(32);
   const xml::NodeIndex root = doc.AddRoot("open_auction");
   doc.AddAttribute(root, "id", StringPrintf("auction%zu", id));
   const double initial = rng->UniformDouble(1.0, 200.0);
@@ -107,6 +109,7 @@ xml::Document GenerateXmarkAuction(size_t id, size_t item_count,
 
 xml::Document GenerateXmarkPerson(size_t id, Random* rng) {
   xml::Document doc;
+  doc.ReserveNodes(24);
   const xml::NodeIndex root = doc.AddRoot("person");
   doc.AddAttribute(root, "id", StringPrintf("person%zu", id));
   doc.AddElement(root, "name",

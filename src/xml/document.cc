@@ -4,43 +4,87 @@
 
 namespace xia::xml {
 
+namespace {
+
+// Links freshly appended node `idx` as the last child of `parent`.
+// Callers must pass a nodes vector that will not reallocate between the
+// child's emplacement and this call (the references alias the arena).
+void LinkChild(std::vector<Node>* nodes, NodeIndex parent, NodeIndex idx) {
+  Node& p = (*nodes)[static_cast<size_t>(parent)];
+  if (p.first_child == kInvalidNode) {
+    p.first_child = idx;
+  } else {
+    (*nodes)[static_cast<size_t>(p.last_child)].next_sibling = idx;
+  }
+  p.last_child = idx;
+}
+
+}  // namespace
+
 NodeIndex Document::AddRoot(std::string_view label) {
   assert(nodes_.empty());
   Node n;
-  n.label = std::string(label);
+  n.label = label;
   nodes_.push_back(std::move(n));
+  approx_bytes_ += NodeBytes(nodes_.back());
   return 0;
 }
 
 NodeIndex Document::AddElement(NodeIndex parent, std::string_view label,
                                std::string_view value) {
+  return AddElement(parent, label, std::string(value));
+}
+
+NodeIndex Document::AddElement(NodeIndex parent, std::string_view label,
+                               std::string&& value) {
   assert(parent >= 0 && static_cast<size_t>(parent) < nodes_.size());
-  Node n;
-  n.label = std::string(label);
-  n.value = std::string(value);
-  n.parent = parent;
   const NodeIndex idx = static_cast<NodeIndex>(nodes_.size());
-  nodes_.push_back(std::move(n));
-  nodes_[static_cast<size_t>(parent)].children.push_back(idx);
+  // Emplace and fill in place: a local Node pushed by move would cost a
+  // 72-byte move plus a moved-from destructor per node.
+  Node& n = nodes_.emplace_back();
+  n.label = label;
+  n.value = std::move(value);
+  n.parent = parent;
+  approx_bytes_ += NodeBytes(n);
+  LinkChild(&nodes_, parent, idx);
   return idx;
 }
 
 NodeIndex Document::AddAttribute(NodeIndex parent, std::string_view name,
                                  std::string_view value) {
+  return AddAttribute(parent, name, std::string(value));
+}
+
+NodeIndex Document::AddAttribute(NodeIndex parent, std::string_view name,
+                                 std::string&& value) {
   assert(parent >= 0 && static_cast<size_t>(parent) < nodes_.size());
-  Node n;
-  n.kind = NodeKind::kAttribute;
-  n.label = "@" + std::string(name);
-  n.value = std::string(value);
-  n.parent = parent;
+  // Build the "@name" spelling in one pre-sized buffer; "@" + string(name)
+  // would allocate twice per attribute.
+  std::string prefixed;
+  prefixed.reserve(name.size() + 1);
+  prefixed.push_back('@');
+  prefixed.append(name);
   const NodeIndex idx = static_cast<NodeIndex>(nodes_.size());
-  nodes_.push_back(std::move(n));
-  nodes_[static_cast<size_t>(parent)].children.push_back(idx);
+  Node& n = nodes_.emplace_back();
+  n.kind = NodeKind::kAttribute;
+  n.label = prefixed;
+  n.value = std::move(value);
+  n.parent = parent;
+  approx_bytes_ += NodeBytes(n);
+  LinkChild(&nodes_, parent, idx);
   return idx;
 }
 
 void Document::SetValue(NodeIndex node, std::string_view value) {
-  nodes_[static_cast<size_t>(node)].value = std::string(value);
+  std::string& slot = nodes_[static_cast<size_t>(node)].value;
+  approx_bytes_ += value.size() - slot.size();
+  slot = std::string(value);
+}
+
+void Document::SetValue(NodeIndex node, std::string&& value) {
+  std::string& slot = nodes_[static_cast<size_t>(node)].value;
+  approx_bytes_ += value.size() - slot.size();
+  slot = std::move(value);
 }
 
 std::vector<std::string> Document::LabelPath(NodeIndex i) const {
@@ -68,16 +112,6 @@ int Document::Depth(NodeIndex i) const {
     ++d;
   }
   return d;
-}
-
-size_t Document::ApproximateByteSize() const {
-  size_t bytes = 0;
-  for (const auto& n : nodes_) {
-    // Tag pair + value + per-node structural overhead (pointers, offsets)
-    // comparable to a native store's node record.
-    bytes += 2 * n.label.size() + n.value.size() + 16;
-  }
-  return bytes;
 }
 
 }  // namespace xia::xml

@@ -18,19 +18,41 @@ class Document {
  public:
   Document() = default;
 
+  /// Pre-sizes the node arena (e.g. from a serialized-byte heuristic) so a
+  /// parse appends without reallocating the vector log2(n) times.
+  void ReserveNodes(size_t n) { nodes_.reserve(n); }
+
   /// Creates the root element. Must be the first node added.
   NodeIndex AddRoot(std::string_view label);
 
-  /// Appends a child element under `parent` and returns its index.
+  /// Appends a child element under `parent` and returns its index. The
+  /// rvalue overload moves the value string into the node; the const char*
+  /// overload disambiguates literal callers.
   NodeIndex AddElement(NodeIndex parent, std::string_view label,
                        std::string_view value = "");
+  NodeIndex AddElement(NodeIndex parent, std::string_view label,
+                       std::string&& value);
+  NodeIndex AddElement(NodeIndex parent, std::string_view label,
+                       const char* value) {
+    return AddElement(parent, label, std::string_view(value));
+  }
 
   /// Appends an attribute node under `parent`; label is stored as "@name".
   NodeIndex AddAttribute(NodeIndex parent, std::string_view name,
                          std::string_view value);
+  NodeIndex AddAttribute(NodeIndex parent, std::string_view name,
+                         std::string&& value);
+  NodeIndex AddAttribute(NodeIndex parent, std::string_view name,
+                         const char* value) {
+    return AddAttribute(parent, name, std::string_view(value));
+  }
 
   /// Sets the text value of a node.
   void SetValue(NodeIndex node, std::string_view value);
+  void SetValue(NodeIndex node, std::string&& value);
+  void SetValue(NodeIndex node, const char* value) {
+    SetValue(node, std::string_view(value));
+  }
 
   bool empty() const { return nodes_.empty(); }
   size_t size() const { return nodes_.size(); }
@@ -40,6 +62,50 @@ class Document {
   Node& node(NodeIndex i) { return nodes_[static_cast<size_t>(i)]; }
 
   const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Iterable view over a node's children in document order, walking the
+  /// intrusive sibling links: `for (NodeIndex c : doc.children(n))`.
+  class ChildRange {
+   public:
+    class iterator {
+     public:
+      iterator(const std::vector<Node>* nodes, NodeIndex cur)
+          : nodes_(nodes), cur_(cur) {}
+      NodeIndex operator*() const { return cur_; }
+      iterator& operator++() {
+        cur_ = (*nodes_)[static_cast<size_t>(cur_)].next_sibling;
+        return *this;
+      }
+      bool operator!=(const iterator& o) const { return cur_ != o.cur_; }
+      bool operator==(const iterator& o) const { return cur_ == o.cur_; }
+
+     private:
+      const std::vector<Node>* nodes_;
+      NodeIndex cur_;
+    };
+    ChildRange(const std::vector<Node>* nodes, NodeIndex first)
+        : nodes_(nodes), first_(first) {}
+    iterator begin() const { return {nodes_, first_}; }
+    iterator end() const { return {nodes_, kInvalidNode}; }
+
+   private:
+    const std::vector<Node>* nodes_;
+    NodeIndex first_;
+  };
+  ChildRange children(NodeIndex i) const {
+    return {&nodes_, nodes_[static_cast<size_t>(i)].first_child};
+  }
+
+  /// Number of children of `i` (linear in the child count; convenience
+  /// for tests and diagnostics, not for hot paths).
+  size_t ChildCount(NodeIndex i) const {
+    size_t n = 0;
+    for (NodeIndex c : children(i)) {
+      (void)c;
+      ++n;
+    }
+    return n;
+  }
 
   /// Root-to-node sequence of labels, e.g. {"Security","SecInfo","Sector"}.
   std::vector<std::string> LabelPath(NodeIndex i) const;
@@ -51,11 +117,24 @@ class Document {
   int Depth(NodeIndex i) const;
 
   /// Total bytes of labels + values; used by the storage layer to model
-  /// page consumption.
-  size_t ApproximateByteSize() const;
+  /// page consumption. Maintained incrementally by the mutators above, so
+  /// reading it is O(1) — Collection::Add/Remove/Mutate call it per
+  /// document operation. (Mutating nodes through the non-const node()
+  /// accessor bypasses the accounting; all in-tree mutation goes through
+  /// SetValue/Add*.)
+  size_t ApproximateByteSize() const { return approx_bytes_; }
 
  private:
+  /// Accounting charge for a node: tag pair + value + per-node structural
+  /// overhead (pointers, offsets) comparable to a native store's node
+  /// record. Labels are interned in memory but still charged — the model
+  /// tracks serialized size.
+  static size_t NodeBytes(const Node& n) {
+    return 2 * n.label.size() + n.value.size() + 16;
+  }
+
   std::vector<Node> nodes_;
+  size_t approx_bytes_ = 0;
 };
 
 }  // namespace xia::xml

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "xml/tag.h"
+
 namespace xia::xml {
 
 /// Kind of a node in the simplified XML data model. Data-centric XML (the
@@ -31,17 +33,29 @@ inline constexpr NodeIndex kInvalidNode = -1;
 /// A single XML node. Element values hold the concatenated immediate text
 /// content (mixed content is concatenated, which is sufficient for
 /// data-centric documents). Attribute nodes have label "@name".
+///
+/// Children are threaded through the arena as an intrusive
+/// first-child/next-sibling list rather than a per-node vector: a
+/// document's entire structure then lives in the one node arena, so
+/// building a node never heap-allocates for structure and a resident
+/// document costs no per-parent vector blocks. Construction is
+/// append-only, so a child is always linked at the tail (last_child
+/// makes that O(1)) and document order is preserved.
 struct Node {
   NodeKind kind = NodeKind::kElement;
-  /// Element tag name, or "@name" for attributes.
-  std::string label;
+  /// Element tag name, or "@name" for attributes. Interned: comparing two
+  /// labels is a pointer compare, and a node costs no per-label allocation.
+  Tag label;
   /// Text content (elements) or attribute value (attributes).
   std::string value;
   NodeIndex parent = kInvalidNode;
-  std::vector<NodeIndex> children;
+  NodeIndex first_child = kInvalidNode;
+  NodeIndex last_child = kInvalidNode;
+  NodeIndex next_sibling = kInvalidNode;
 
   bool is_element() const { return kind == NodeKind::kElement; }
   bool is_attribute() const { return kind == NodeKind::kAttribute; }
+  bool has_children() const { return first_child != kInvalidNode; }
 };
 
 /// Identifier of a document within a DocumentStore.

@@ -42,7 +42,7 @@ void SerializeNode(const Document& doc, NodeIndex idx,
   out->append(n.label);
   // Attributes first.
   std::vector<NodeIndex> element_children;
-  for (NodeIndex c : n.children) {
+  for (NodeIndex c : doc.children(idx)) {
     const Node& child = doc.node(c);
     if (child.is_attribute()) {
       out->push_back(' ');

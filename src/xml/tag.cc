@@ -1,0 +1,103 @@
+#include "xml/tag.h"
+
+#include <array>
+#include <type_traits>
+#include <mutex>
+#include <ostream>
+#include <shared_mutex>
+#include <unordered_set>
+
+namespace xia::xml {
+
+namespace {
+
+// Heterogeneous string_view lookup so a pool probe never allocates on hit.
+struct SvHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+  size_t operator()(const std::string& s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+struct SvEq {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const {
+    return a == b;
+  }
+};
+
+struct Pool {
+  std::shared_mutex mu;
+  // Node-based container: element addresses are stable across rehash.
+  std::unordered_set<std::string, SvHash, SvEq> strings;
+};
+
+Pool& GlobalPool() {
+  static Pool* pool = new Pool();  // never destroyed: Tags outlive main()
+  return *pool;
+}
+
+}  // namespace
+
+const std::string* Tag::EmptyString() {
+  static const std::string* empty = Intern("");
+  return empty;
+}
+
+namespace {
+
+// Per-thread direct-mapped memo in front of the shared pool: data-centric
+// XML reuses a tiny label vocabulary, so nearly every probe hits here and
+// skips both the pool's lock and its hash-table walk. Pool pointers stay
+// valid forever (interned strings are never freed), so entries need no
+// invalidation — a colliding label just overwrites the slot.
+// Trivially constructible on purpose: a thread_local array of a type
+// with default member initializers would pay a TLS init-guard check on
+// every probe; zero-initialized trivial TLS is a direct offset access.
+struct MemoEntry {
+  size_t hash;
+  const std::string* interned;
+};
+static_assert(std::is_trivially_constructible_v<MemoEntry>);
+constexpr size_t kMemoSlots = 256;  // power of two
+
+}  // namespace
+
+const std::string* Tag::Intern(std::string_view text) {
+  static thread_local std::array<MemoEntry, kMemoSlots> memo;
+  const size_t hash = std::hash<std::string_view>{}(text);
+  MemoEntry& slot = memo[hash & (kMemoSlots - 1)];
+  if (slot.interned != nullptr && slot.hash == hash &&
+      *slot.interned == text) {
+    return slot.interned;
+  }
+
+  Pool& pool = GlobalPool();
+  const std::string* interned = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> lock(pool.mu);
+    auto it = pool.strings.find(text);
+    if (it != pool.strings.end()) interned = &*it;
+  }
+  if (interned == nullptr) {
+    std::unique_lock<std::shared_mutex> lock(pool.mu);
+    auto [it, _] = pool.strings.emplace(text);
+    interned = &*it;
+  }
+  slot = {hash, interned};
+  return interned;
+}
+
+size_t Tag::PoolSize() {
+  Pool& pool = GlobalPool();
+  std::shared_lock<std::shared_mutex> lock(pool.mu);
+  return pool.strings.size();
+}
+
+std::ostream& operator<<(std::ostream& os, const Tag& tag) {
+  return os << tag.str();
+}
+
+}  // namespace xia::xml

@@ -1,0 +1,90 @@
+// Interned tag names.
+//
+// XML element/attribute labels are a handful of distinct strings repeated
+// millions of times (a 1 GB TPoX load has ~50 distinct tags across ~10^8
+// nodes). Tag stores one pointer into a process-wide intern pool instead of
+// a per-node std::string: a Node shrinks by 24 bytes, label construction
+// during parse is a hash probe instead of a heap allocation, and equality
+// between two Tags is a pointer compare. Interned strings are never freed —
+// the pool holds the distinct tag vocabulary, which is tiny and stable.
+//
+// Tag converts implicitly to `const std::string&` (exactly one user-defined
+// conversion, so every std::string-consuming call site keeps compiling),
+// while construction *from* text is explicit — interning does a pool probe
+// and should be visible at the call site.
+
+#ifndef XIA_XML_TAG_H_
+#define XIA_XML_TAG_H_
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace xia::xml {
+
+/// An interned label. Copying is pointer-sized; comparing is pointer
+/// equality (the pool guarantees equal text <=> same pointer).
+class Tag {
+ public:
+  /// The empty tag (does not allocate).
+  Tag() : s_(EmptyString()) {}
+
+  explicit Tag(std::string_view text) : s_(Intern(text)) {}
+
+  Tag& operator=(std::string_view text) {
+    s_ = Intern(text);
+    return *this;
+  }
+
+  /// The interned string; valid for the process lifetime.
+  operator const std::string&() const { return *s_; }
+  const std::string& str() const { return *s_; }
+  std::string_view view() const { return *s_; }
+  const char* c_str() const { return s_->c_str(); }
+
+  size_t size() const { return s_->size(); }
+  bool empty() const { return s_->empty(); }
+  char operator[](size_t i) const { return (*s_)[i]; }
+  std::string substr(size_t pos, size_t n = std::string::npos) const {
+    return s_->substr(pos, n);
+  }
+
+  friend bool operator==(const Tag& a, const Tag& b) { return a.s_ == b.s_; }
+  friend bool operator!=(const Tag& a, const Tag& b) { return a.s_ != b.s_; }
+  friend bool operator<(const Tag& a, const Tag& b) { return *a.s_ < *b.s_; }
+
+  // std::string's comparison/concatenation operators are templates and do
+  // not deduce through Tag's conversion, so mixed-type forms are spelled
+  // out here (C++20 synthesizes the reversed and != candidates).
+  friend bool operator==(const Tag& a, std::string_view b) {
+    return *a.s_ == b;
+  }
+  friend std::string operator+(const std::string& a, const Tag& b) {
+    return a + *b.s_;
+  }
+  friend std::string operator+(const Tag& a, const std::string& b) {
+    return *a.s_ + b;
+  }
+  friend std::string operator+(const char* a, const Tag& b) {
+    return a + *b.s_;
+  }
+  friend std::string operator+(const Tag& a, const char* b) {
+    return *a.s_ + b;
+  }
+
+  /// Number of distinct strings ever interned (for tests/metrics).
+  static size_t PoolSize();
+
+ private:
+  static const std::string* EmptyString();
+  static const std::string* Intern(std::string_view text);
+
+  const std::string* s_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Tag& tag);
+
+}  // namespace xia::xml
+
+#endif  // XIA_XML_TAG_H_

@@ -21,7 +21,7 @@ void EvalStepFromChildren(const xml::Document& doc, xml::NodeIndex parent,
                           const std::vector<Step>& steps, size_t step_index,
                           bool descend, std::vector<xml::NodeIndex>* out) {
   const Step& step = steps[step_index];
-  for (xml::NodeIndex c : doc.node(parent).children) {
+  for (xml::NodeIndex c : doc.children(parent)) {
     const xml::Node& child = doc.node(c);
     if (step.MatchesLabel(child.label)) {
       if (step_index + 1 == steps.size()) {
@@ -117,9 +117,15 @@ bool CompareValue(const std::string& node_value, CompareOp op,
 std::vector<xml::NodeIndex> EvaluateLinear(const xml::Document& doc,
                                            const Path& path) {
   std::vector<xml::NodeIndex> out;
-  EvalAbsolute(doc, path.steps(), &out);
-  SortUnique(&out);
+  EvaluateLinearInto(doc, path, &out);
   return out;
+}
+
+void EvaluateLinearInto(const xml::Document& doc, const Path& path,
+                        std::vector<xml::NodeIndex>* out) {
+  out->clear();
+  EvalAbsolute(doc, path.steps(), out);
+  SortUnique(out);
 }
 
 namespace {

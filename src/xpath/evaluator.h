@@ -20,6 +20,13 @@ namespace xia::xpath {
 std::vector<xml::NodeIndex> EvaluateLinear(const xml::Document& doc,
                                            const Path& path);
 
+/// As EvaluateLinear, but clears and fills `*out` instead of returning a
+/// fresh vector. Bulk callers (index key extraction over whole
+/// collections) reuse one scratch buffer across documents to avoid a
+/// heap allocation per document.
+void EvaluateLinearInto(const xml::Document& doc, const Path& path,
+                        std::vector<xml::NodeIndex>* out);
+
 /// Nodes of `doc` selected by `query`, predicates included, in document
 /// order. Comparison predicates use XPath existential semantics: a step
 /// node qualifies if at least one node reached by the predicate's relative

@@ -22,6 +22,8 @@
 #include <string_view>
 #include <vector>
 
+#include "xml/tag.h"
+
 namespace xia::xpath {
 
 /// Navigation axis of a step.
@@ -31,23 +33,48 @@ enum class Axis : uint8_t {
 };
 
 /// One step of a linear path: an axis plus a name test.
+///
+/// The name test is fixed at construction (no call site mutates it), so
+/// the wildcard bit and the interned form of the name are computed once
+/// here; label matching against interned xml::Tag labels — the evaluator's
+/// innermost operation — is then a pointer compare instead of a string
+/// compare.
 struct Step {
   Axis axis = Axis::kChild;
   /// Element tag, "@name" for attributes, or "*" for the wildcard test.
   std::string name_test;
 
   Step() = default;
-  Step(Axis a, std::string name) : axis(a), name_test(std::move(name)) {}
+  Step(Axis a, std::string name)
+      : axis(a),
+        name_test(std::move(name)),
+        wildcard_(name_test == "*"),
+        name_tag_(name_test) {}
 
-  bool is_wildcard() const { return name_test == "*"; }
-  /// True if this step's name test accepts `label`.
+  bool is_wildcard() const { return wildcard_; }
+  /// True if this step's name test accepts `label`. The Tag overload is
+  /// the hot one (pointer compare via the intern pool); the string forms
+  /// serve statistics paths that carry plain label strings.
+  bool MatchesLabel(const xml::Tag& label) const {
+    return wildcard_ || name_tag_ == label;
+  }
+  bool MatchesLabel(const std::string& label) const {
+    return wildcard_ || name_test == label;
+  }
   bool MatchesLabel(std::string_view label) const {
-    return is_wildcard() || name_test == label;
+    return wildcard_ || name_test == label;
+  }
+  bool MatchesLabel(const char* label) const {
+    return MatchesLabel(std::string_view(label));
   }
 
   bool operator==(const Step& o) const {
     return axis == o.axis && name_test == o.name_test;
   }
+
+ private:
+  bool wildcard_ = false;
+  xml::Tag name_tag_;  // interned name_test; empty for default-constructed
 };
 
 /// Data type of the values an index stores; mirrors DB2's

@@ -205,5 +205,122 @@ TEST(BTreeTest, MoveConstruction) {
   EXPECT_TRUE(moved.CheckInvariants());
 }
 
+// ---- BulkLoad ----
+
+TEST(BTreeTest, BulkLoadEmpty) {
+  BTree<int> tree;
+  EXPECT_TRUE(tree.BulkLoad({}));
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.height(), 1u);
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  EXPECT_TRUE(tree.CheckInvariants());
+  // The emptied tree is still fully usable.
+  EXPECT_TRUE(tree.Insert(7));
+  EXPECT_TRUE(tree.Contains(7));
+}
+
+TEST(BTreeTest, BulkLoadSingleKey) {
+  BTree<int> tree;
+  EXPECT_TRUE(tree.BulkLoad({42}));
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.height(), 1u);
+  EXPECT_TRUE(tree.Contains(42));
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BTreeTest, BulkLoadRejectsDuplicates) {
+  BTree<int> tree;
+  for (int i = 0; i < 10; ++i) tree.Insert(i);
+  EXPECT_FALSE(tree.BulkLoad({1, 2, 2, 3}));
+  // Input is validated before the tree is touched: a rejected load
+  // leaves the existing contents intact, never a half-packed tree.
+  EXPECT_EQ(tree.size(), 10u);
+  EXPECT_TRUE(tree.Contains(9));
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BTreeTest, BulkLoadRejectsUnsortedInput) {
+  BTree<int> tree;
+  EXPECT_FALSE(tree.BulkLoad({3, 2, 1}));   // reverse-sorted
+  EXPECT_FALSE(tree.BulkLoad({1, 3, 2}));   // locally unsorted
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+// Every size around the leaf-capacity boundaries must satisfy the same
+// min-fill invariants Erase maintains (the tail-donation rule).
+TEST(BTreeTest, BulkLoadBoundarySizes) {
+  for (size_t n : {1u, 31u, 32u, 33u, 63u, 64u, 65u, 95u, 96u, 97u, 128u,
+                   129u, 4159u, 4160u, 4161u}) {
+    std::vector<int> keys(n);
+    for (size_t i = 0; i < n; ++i) keys[i] = static_cast<int>(i);
+    BTree<int> tree;
+    ASSERT_TRUE(tree.BulkLoad(keys)) << n;
+    ASSERT_EQ(tree.size(), n) << n;
+    ASSERT_TRUE(tree.CheckInvariants()) << n;
+    int expect = 0;
+    for (auto it = tree.Begin(); it.valid(); it.Next()) {
+      ASSERT_EQ(it.key(), expect++) << n;
+    }
+    ASSERT_EQ(static_cast<size_t>(expect), n);
+  }
+}
+
+TEST(BTreeTest, BulkLoadMatchesIncrementalAt100k) {
+  const int n = 100000;
+  std::vector<int> keys(n);
+  for (int i = 0; i < n; ++i) keys[i] = i * 3;
+
+  BTree<int> incremental;
+  for (int k : keys) ASSERT_TRUE(incremental.Insert(k));
+  BTree<int> bulk;
+  ASSERT_TRUE(bulk.BulkLoad(keys));
+
+  EXPECT_EQ(bulk.size(), incremental.size());
+  EXPECT_TRUE(bulk.CheckInvariants());
+  auto a = bulk.Begin();
+  auto b = incremental.Begin();
+  while (a.valid() && b.valid()) {
+    ASSERT_EQ(a.key(), b.key());
+    a.Next();
+    b.Next();
+  }
+  EXPECT_FALSE(a.valid());
+  EXPECT_FALSE(b.valid());
+  // Bottom-up packing must not be *worse* than split-grown structure.
+  EXPECT_LE(bulk.height(), incremental.height());
+  EXPECT_LE(bulk.leaf_count(), incremental.leaf_count());
+}
+
+TEST(BTreeTest, EraseAndInsertAfterBulkLoad) {
+  const int n = 20000;
+  std::vector<int> keys(n);
+  for (int i = 0; i < n; ++i) keys[i] = i;
+  BTree<int> tree;
+  ASSERT_TRUE(tree.BulkLoad(keys));
+
+  // The packed tree honors the same min-fill contract as a split-grown
+  // one, so heavy erasure must rebalance cleanly.
+  Random rng(7);
+  std::set<int> model(keys.begin(), keys.end());
+  for (int round = 0; round < 15000; ++round) {
+    const int k = static_cast<int>(rng.Uniform(2 * n));
+    if (rng.Next() & 1) {
+      EXPECT_EQ(tree.Erase(k), model.erase(k) > 0);
+    } else {
+      EXPECT_EQ(tree.Insert(k), model.insert(k).second);
+    }
+  }
+  EXPECT_EQ(tree.size(), model.size());
+  EXPECT_TRUE(tree.CheckInvariants());
+  auto it = tree.Begin();
+  for (int k : model) {
+    ASSERT_TRUE(it.valid());
+    ASSERT_EQ(it.key(), k);
+    it.Next();
+  }
+  EXPECT_FALSE(it.valid());
+}
+
 }  // namespace
 }  // namespace xia::storage

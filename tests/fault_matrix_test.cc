@@ -9,6 +9,7 @@
 
 #include <chrono>
 #include <filesystem>
+#include <shared_mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -24,7 +25,9 @@
 #include "obs/metrics.h"
 #include "optimizer/optimizer.h"
 #include "storage/catalog.h"
+#include "storage/online_build.h"
 #include "storage/snapshot.h"
+#include "xpath/parser.h"
 #include "tpox/tpox_data.h"
 #include "wal/manager.h"
 #include "workload/capture.h"
@@ -143,14 +146,17 @@ TEST(FaultMatrixTest, PipelineSucceedsWithNothingArmed) {
 
 TEST(FaultMatrixTest, EveryArmedPointFailsCleanly) {
   // kOnlineAdvise sits on the online advisor's pass loop, not on this
-  // pipeline; it has its own tests below. The net.* and repl.* points sit
-  // on the server/client/replication socket paths, which this pipeline
-  // never crosses — the NetPoints/ReplPoints loopback matrices below
-  // drive those at p=1, so every registered point is exercised somewhere
-  // in this file.
+  // pipeline; it has its own tests below. kIndexBuildSwap sits on the
+  // online index build's swap section (Materialize builds offline), and
+  // FailedOnlineSwapLeavesCatalogUntouched below drives it at p=1. The
+  // net.* and repl.* points sit on the server/client/replication socket
+  // paths, which this pipeline never crosses — the NetPoints/ReplPoints
+  // loopback matrices below drive those at p=1, so every registered
+  // point is exercised somewhere in this file.
   for (const char* point_name : kAllPoints) {
     const std::string name(point_name);
     if (name == points::kOnlineAdvise ||
+        name == points::kIndexBuildSwap ||
         name.rfind("xia.fault.net.", 0) == 0 ||
         name.rfind("xia.fault.repl.", 0) == 0) {
       continue;
@@ -198,6 +204,54 @@ TEST(FaultMatrixTest, FailedSnapshotLoadLeavesStoreEmpty) {
   EXPECT_FALSE(status.ok());
   // Stage-and-swap: the failed load must not touch the target store.
   EXPECT_TRUE(restored.CollectionNames().empty());
+}
+
+TEST(FaultMatrixTest, FailedOnlineSwapLeavesCatalogUntouched) {
+  ScopedFaultDisarm cleanup;
+  storage::DocumentStore store;
+  storage::StatisticsCatalog stats;
+  ASSERT_TRUE(BuildSmallDatabase(&store, &stats).ok());
+  storage::Catalog catalog(&store, &stats);
+  std::shared_mutex db_mu;
+
+  FaultRegistry::Global().Arm(points::kIndexBuildSwap,
+                              FaultSpec::Probability(1));
+  auto pattern = xpath::ParsePattern("/Security/Symbol");
+  ASSERT_TRUE(pattern.ok()) << pattern.status();
+  xpath::IndexPattern ip;
+  ip.path = *pattern;
+  ip.type = xpath::ValueType::kString;
+  bool committed = false;
+  const auto built = storage::BuildIndexOnline(
+      &catalog, &db_mu, "idx_swap_fault", "SDOC", ip, {},
+      [&] {
+        committed = true;
+        return Status::OK();
+      });
+
+  // The swap fails with the injected, attributable status; the commit
+  // hook (the WAL write in a real server) never ran, the catalog holds
+  // no trace of the index, and the side log was cleanly discarded.
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kInternal);
+  EXPECT_NE(built.status().message().find("fault injected"),
+            std::string::npos)
+      << built.status();
+  EXPECT_NE(built.status().message().find(points::kIndexBuildSwap),
+            std::string::npos)
+      << built.status();
+  EXPECT_FALSE(committed);
+  EXPECT_TRUE(catalog.IndexesFor("SDOC").empty());
+  EXPECT_FALSE(catalog.Get("idx_swap_fault").ok());
+  EXPECT_EQ(catalog.attached_side_logs(), 0u);
+
+  // Disarmed, the identical build succeeds — nothing stale blocks it.
+  FaultRegistry::Global().Disarm(points::kIndexBuildSwap);
+  const auto retry = storage::BuildIndexOnline(&catalog, &db_mu,
+                                               "idx_swap_fault", "SDOC", ip);
+  ASSERT_TRUE(retry.ok()) << retry.status();
+  EXPECT_GT((*retry)->physical->entry_count(), 0u);
+  EXPECT_EQ(catalog.attached_side_logs(), 0u);
 }
 
 // ---------------------------------------------------------------------

@@ -461,6 +461,80 @@ TEST(NetServerTest, MutationsPersistAcrossRestartViaWal) {
   fs::remove_all(dir);
 }
 
+TEST(NetServerTest, CreateIndexOverWireSurvivesRestart) {
+  const std::string dir = ScratchDir("create_index");
+  {
+    ServerOptions options = SmallTpoxOptions();
+    options.data_dir = dir;
+    Server server(options);
+    ASSERT_TRUE(server.Start().ok());
+    Client client = MustConnect(server);
+
+    CreateIndexRequest offline;
+    offline.name = "sym";
+    offline.collection = "SDOC";
+    offline.pattern = "/Security/Symbol";
+    const auto r1 = client.CreateIndex(offline);
+    ASSERT_TRUE(r1.ok()) << r1.status();
+    EXPECT_GT(r1->entry_count, 0u);
+    EXPECT_FALSE(r1->online);
+
+    CreateIndexRequest online;
+    online.name = "yld";
+    online.collection = "SDOC";
+    online.pattern = "/Security/Yield";
+    online.value_type = 1;  // numeric
+    online.online = true;
+    const auto r2 = client.CreateIndex(online);
+    ASSERT_TRUE(r2.ok()) << r2.status();
+    EXPECT_GT(r2->entry_count, 0u);
+    EXPECT_TRUE(r2->online);
+    EXPECT_LE(r2->stall_seconds, r2->build_seconds);
+
+    // Duplicates are rejected whichever path built the original.
+    EXPECT_EQ(client.CreateIndex(offline).status().code(),
+              StatusCode::kAlreadyExists);
+    EXPECT_EQ(client.CreateIndex(online).status().code(),
+              StatusCode::kAlreadyExists);
+
+    CreateIndexRequest virt;
+    virt.name = "v1";
+    virt.collection = "SDOC";
+    virt.pattern = "/Security/SecInfo/*/Sector";
+    virt.is_virtual = true;
+    ASSERT_TRUE(client.CreateIndex(virt).ok());
+
+    ASSERT_TRUE(server.Stop().ok());
+  }
+  {
+    // Both real indexes were WAL-committed (the online one inside its
+    // swap section), so recovery rebuilds them; the virtual one is
+    // advisor scratch and is gone.
+    ServerOptions options;
+    options.data_dir = dir;
+    Server server(options);
+    ASSERT_TRUE(server.Start().ok());
+    Client client = MustConnect(server);
+    for (const char* name : {"sym", "yld"}) {
+      CreateIndexRequest again;
+      again.name = name;
+      again.collection = "SDOC";
+      again.pattern = "/Security/Symbol";
+      EXPECT_EQ(client.CreateIndex(again).status().code(),
+                StatusCode::kAlreadyExists)
+          << name;
+    }
+    CreateIndexRequest virt;
+    virt.name = "v1";
+    virt.collection = "SDOC";
+    virt.pattern = "/Security/SecInfo/*/Sector";
+    virt.is_virtual = true;
+    EXPECT_TRUE(client.CreateIndex(virt).ok());
+    ASSERT_TRUE(server.Stop().ok());
+  }
+  fs::remove_all(dir);
+}
+
 TEST(NetServerTest, EphemeralPortsNeverCollide) {
   Server a{ServerOptions()};
   Server b{ServerOptions()};

@@ -379,5 +379,76 @@ TEST(NetWireTest, ReplTypesAreKnownAndOnlySubscribeIsARequest) {
   EXPECT_STREQ(MsgTypeName(MsgType::kReplAck), "repl_ack");
 }
 
+TEST(NetWireTest, CreateIndexRoundtrip) {
+  EXPECT_TRUE(IsRequestType(static_cast<uint8_t>(MsgType::kCreateIndex)));
+  EXPECT_STREQ(MsgTypeName(MsgType::kCreateIndex), "create_index");
+
+  CreateIndexRequest req;
+  req.name = "sym";
+  req.collection = "SDOC";
+  req.pattern = "/Security/Symbol";
+  req.value_type = 1;
+  req.structural = true;
+  req.is_virtual = false;
+  req.online = true;
+  const auto decoded = DecodeCreateIndexRequest(EncodeCreateIndexRequest(req));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->name, "sym");
+  EXPECT_EQ(decoded->collection, "SDOC");
+  EXPECT_EQ(decoded->pattern, "/Security/Symbol");
+  EXPECT_EQ(decoded->value_type, 1);
+  EXPECT_TRUE(decoded->structural);
+  EXPECT_FALSE(decoded->is_virtual);
+  EXPECT_TRUE(decoded->online);
+
+  CreateIndexReply reply;
+  reply.entry_count = 123456;
+  reply.size_bytes = 7890123;
+  reply.online = true;
+  reply.build_seconds = 1.25;
+  reply.stall_seconds = 0.03125;
+  reply.delta_ops = 42;
+  const auto reply2 = DecodeCreateIndexReply(EncodeCreateIndexReply(reply));
+  ASSERT_TRUE(reply2.ok()) << reply2.status();
+  EXPECT_EQ(reply2->entry_count, 123456u);
+  EXPECT_EQ(reply2->size_bytes, 7890123u);
+  EXPECT_TRUE(reply2->online);
+  EXPECT_DOUBLE_EQ(reply2->build_seconds, 1.25);
+  EXPECT_DOUBLE_EQ(reply2->stall_seconds, 0.03125);
+  EXPECT_EQ(reply2->delta_ops, 42u);
+}
+
+TEST(NetWireTest, CreateIndexRejectsMalformedPayloads) {
+  CreateIndexRequest req;
+  req.name = "sym";
+  req.collection = "SDOC";
+  req.pattern = "/Security/Symbol";
+  const std::string good = EncodeCreateIndexRequest(req);
+  for (size_t len = 0; len < good.size(); ++len) {
+    EXPECT_FALSE(
+        DecodeCreateIndexRequest(std::string_view(good.data(), len)).ok());
+  }
+  EXPECT_FALSE(DecodeCreateIndexRequest(good + "junk").ok());
+  // Semantic rejects: empty fields, out-of-range enums/flags, and the
+  // virtual+online combination (builds nothing to build online).
+  CreateIndexRequest bad = req;
+  bad.name.clear();
+  EXPECT_FALSE(DecodeCreateIndexRequest(EncodeCreateIndexRequest(bad)).ok());
+  bad = req;
+  bad.value_type = 2;
+  EXPECT_FALSE(DecodeCreateIndexRequest(EncodeCreateIndexRequest(bad)).ok());
+  bad = req;
+  bad.is_virtual = true;
+  bad.online = true;
+  EXPECT_FALSE(DecodeCreateIndexRequest(EncodeCreateIndexRequest(bad)).ok());
+
+  const std::string reply = EncodeCreateIndexReply(CreateIndexReply{});
+  for (size_t len = 0; len < reply.size(); ++len) {
+    EXPECT_FALSE(
+        DecodeCreateIndexReply(std::string_view(reply.data(), len)).ok());
+  }
+  EXPECT_FALSE(DecodeCreateIndexReply(reply + "x").ok());
+}
+
 }  // namespace
 }  // namespace xia::net

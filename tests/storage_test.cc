@@ -317,5 +317,157 @@ TEST_F(StorageFixture, VirtualIndexRequiresStatistics) {
       catalog.CreateVirtualIndex("v", "SDOC", Pattern("//*")).ok());
 }
 
+// ---- Bulk build fast paths ----
+
+// A bigger mixed collection: varied values (duplicates, empties,
+// non-numeric yields) plus deleted documents, so the bulk paths face
+// tombstones and rejected keys, not just the happy path.
+class BulkBuildFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    coll_ = *store_.CreateCollection("SDOC");
+    for (int i = 0; i < 200; ++i) {
+      const std::string sym = "S" + std::to_string(i % 37);
+      const std::string yield = (i % 11 == 0)   ? ""
+                                : (i % 13 == 0) ? "n/a"
+                                                : std::to_string(i % 29) + ".5";
+      AddSecurity(sym, yield, i % 2 ? "Energy" : "Tech");
+    }
+    // Tombstones in the middle of the id space.
+    for (int i = 40; i < 60; i += 3) {
+      ASSERT_TRUE(coll_->Remove(doc_ids_[static_cast<size_t>(i)]).ok());
+    }
+  }
+
+  void AddSecurity(const std::string& symbol, const std::string& yield,
+                   const std::string& sector) {
+    std::string yield_el =
+        yield.empty() ? "<Yield/>" : "<Yield>" + yield + "</Yield>";
+    doc_ids_.push_back(coll_->Add(Doc(
+        "<Security><Symbol>" + symbol + "</Symbol>" + yield_el +
+        "<SecInfo><StockInformation><Sector>" + sector +
+        "</Sector></StockInformation></SecInfo></Security>")));
+  }
+
+  std::vector<xpath::IndexPattern> Patterns() const {
+    return {Pattern("/Security/Symbol"),
+            Pattern("/Security/Yield", xpath::ValueType::kNumeric),
+            Pattern("/Security/SecInfo/*/Sector")};
+  }
+
+  DocumentStore store_;
+  Collection* coll_ = nullptr;
+  std::vector<xml::DocId> doc_ids_;
+};
+
+TEST_F(BulkBuildFixture, BuildBulkManyMatchesPerIndexBuild) {
+  const auto patterns = Patterns();
+  std::vector<std::unique_ptr<PathValueIndex>> reference;
+  std::vector<std::unique_ptr<PathValueIndex>> many;
+  std::vector<PathValueIndex*> many_ptrs;
+  for (size_t p = 0; p < patterns.size(); ++p) {
+    reference.push_back(
+        std::make_unique<PathValueIndex>("r", "SDOC", patterns[p]));
+    reference.back()->Build(*coll_);
+    many.push_back(std::make_unique<PathValueIndex>("m", "SDOC", patterns[p]));
+    many_ptrs.push_back(many.back().get());
+  }
+  PathValueIndex::BuildBulkMany(*coll_, many_ptrs);
+  const CostConstants cc = DefaultCostConstants();
+  for (size_t p = 0; p < patterns.size(); ++p) {
+    EXPECT_GT(many[p]->entry_count(), 0u) << p;
+    EXPECT_EQ(many[p]->ContentDigest(), reference[p]->ContentDigest()) << p;
+    // The derived statistics must match too — BulkLoadKeys rebuilds them
+    // from the key run rather than maintaining them per insert.
+    const IndexStats a = many[p]->ActualStats(cc);
+    const IndexStats b = reference[p]->ActualStats(cc);
+    EXPECT_EQ(a.entry_count, b.entry_count) << p;
+    EXPECT_EQ(a.distinct_keys, b.distinct_keys) << p;
+    EXPECT_DOUBLE_EQ(a.avg_key_length, b.avg_key_length) << p;
+  }
+}
+
+TEST_F(BulkBuildFixture, BuildBulkManyPooledMatchesSerial) {
+  const auto patterns = Patterns();
+  std::vector<std::unique_ptr<PathValueIndex>> serial;
+  std::vector<std::unique_ptr<PathValueIndex>> pooled;
+  std::vector<PathValueIndex*> serial_ptrs;
+  std::vector<PathValueIndex*> pooled_ptrs;
+  for (size_t p = 0; p < patterns.size(); ++p) {
+    serial.push_back(std::make_unique<PathValueIndex>("s", "SDOC", patterns[p]));
+    serial_ptrs.push_back(serial.back().get());
+    pooled.push_back(std::make_unique<PathValueIndex>("p", "SDOC", patterns[p]));
+    pooled_ptrs.push_back(pooled.back().get());
+  }
+  PathValueIndex::BuildBulkMany(*coll_, serial_ptrs, /*pool=*/nullptr);
+  util::ThreadPool pool(4);
+  PathValueIndex::BuildBulkMany(*coll_, pooled_ptrs, &pool);
+  for (size_t p = 0; p < patterns.size(); ++p) {
+    EXPECT_EQ(pooled[p]->ContentDigest(), serial[p]->ContentDigest()) << p;
+  }
+}
+
+TEST_F(BulkBuildFixture, BuildBulkManyNoIndexesIsANoop) {
+  PathValueIndex::BuildBulkMany(*coll_, {});  // must not touch the store
+  EXPECT_EQ(coll_->live_count(), 193u);
+}
+
+TEST_F(BulkBuildFixture, BulkIngestorMatchesIncrementalMaintenance) {
+  const auto patterns = Patterns();
+
+  // Reference: a second collection populated with Add + OnInsert per
+  // document, the incremental maintenance path.
+  DocumentStore ref_store;
+  Collection* ref_coll = *ref_store.CreateCollection("SDOC");
+  std::vector<std::unique_ptr<PathValueIndex>> incr;
+  for (const auto& pattern : patterns) {
+    incr.push_back(std::make_unique<PathValueIndex>("i", "SDOC", pattern));
+  }
+
+  DocumentStore fast_store;
+  Collection* fast_coll = *fast_store.CreateCollection("SDOC");
+  std::vector<std::unique_ptr<PathValueIndex>> bulk;
+  std::vector<PathValueIndex*> bulk_ptrs;
+  for (const auto& pattern : patterns) {
+    bulk.push_back(std::make_unique<PathValueIndex>("b", "SDOC", pattern));
+    bulk_ptrs.push_back(bulk.back().get());
+  }
+  BulkIngestor ingestor(fast_coll, bulk_ptrs);
+
+  coll_->ForEach([&](xml::DocId, const xml::Document& doc) {
+    xml::Document copy_a = doc;
+    const xml::DocId ref_id = ref_coll->Add(std::move(copy_a));
+    for (auto& index : incr) index->OnInsert(ref_id, ref_coll->Get(ref_id));
+    xml::Document copy_b = doc;
+    const xml::DocId fast_id = ingestor.Add(std::move(copy_b));
+    EXPECT_EQ(fast_id, ref_id);
+  });
+  ingestor.Finish();
+
+  for (size_t p = 0; p < patterns.size(); ++p) {
+    EXPECT_GT(bulk[p]->entry_count(), 0u) << p;
+    EXPECT_EQ(bulk[p]->ContentDigest(), incr[p]->ContentDigest()) << p;
+  }
+  EXPECT_EQ(fast_coll->live_count(), coll_->live_count());
+  EXPECT_EQ(fast_coll->total_bytes(), coll_->total_bytes());
+
+  // The ingested indexes serve lookups like incrementally built ones.
+  auto hits = bulk[0]->Lookup(xpath::CompareOp::kEq,
+                              xpath::Literal::String("S5"));
+  ASSERT_TRUE(hits.ok());
+  EXPECT_GT(hits->rids.size(), 0u);
+}
+
+TEST_F(BulkBuildFixture, BulkIngestorEmptyCollection) {
+  DocumentStore store;
+  Collection* coll = *store.CreateCollection("SDOC");
+  auto index =
+      std::make_unique<PathValueIndex>("e", "SDOC", Pattern("//*"));
+  BulkIngestor ingestor(coll, {index.get()});
+  ingestor.Finish();
+  EXPECT_EQ(index->entry_count(), 0u);
+  EXPECT_EQ(coll->live_count(), 0u);
+}
+
 }  // namespace
 }  // namespace xia::storage

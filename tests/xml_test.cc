@@ -18,7 +18,7 @@ TEST(DocumentTest, BuildTree) {
   EXPECT_EQ(doc.size(), 5u);
   EXPECT_EQ(doc.root(), root);
   EXPECT_EQ(doc.node(symbol).value, "IBM");
-  EXPECT_EQ(doc.node(root).children.size(), 2u);
+  EXPECT_EQ(doc.ChildCount(root), 2u);
   EXPECT_EQ(doc.node(sector).parent, stock);
   EXPECT_EQ(doc.Depth(sector), 4);
   EXPECT_EQ(doc.LabelPathString(sector),
@@ -56,9 +56,9 @@ TEST(ParserTest, SimpleDocument) {
   const Node& c = doc->node(2);
   EXPECT_EQ(c.label, "c");
   EXPECT_EQ(c.value, "two");
-  ASSERT_EQ(c.children.size(), 1u);
-  EXPECT_EQ(doc->node(c.children[0]).label, "@attr");
-  EXPECT_EQ(doc->node(c.children[0]).value, "x");
+  ASSERT_EQ(doc->ChildCount(2), 1u);
+  EXPECT_EQ(doc->node(c.first_child).label, "@attr");
+  EXPECT_EQ(doc->node(c.first_child).value, "x");
 }
 
 TEST(ParserTest, DeclarationCommentsCdata) {

@@ -30,6 +30,7 @@
 #include <thread>
 #include <vector>
 
+#include "engine/ddl.h"
 #include "net/client.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -121,6 +122,7 @@ class ClientShell {
     if (cmd == "advise") return Advise(rest);
     if (cmd == "metrics") return Metrics(rest);
     if (cmd == "repl") return Repl(rest);
+    if (cmd == "create") return CreateIndex(rest);
     return Status::InvalidArgument("unknown command: " + cmd);
   }
 
@@ -199,6 +201,36 @@ class ClientShell {
     request.budget_ms = budget_ms_;
     XIA_ASSIGN_OR_RETURN(const net::ExecReply reply, client_.Mutate(request));
     if (!quiet_) PrintExecReply(reply);
+    return Status::OK();
+  }
+
+  // create index NAME on COLL PATTERN [type] [virtual] [online]
+  Status CreateIndex(const std::string& rest) {
+    XIA_ASSIGN_OR_RETURN(const engine::CreateIndexSpec spec,
+                         engine::ParseCreateIndex(rest));
+    net::CreateIndexRequest request;
+    request.name = spec.name;
+    request.collection = spec.collection;
+    request.pattern = spec.pattern.path.ToString();
+    request.value_type = static_cast<uint8_t>(spec.pattern.type);
+    request.structural = spec.pattern.structural;
+    request.is_virtual = spec.is_virtual;
+    request.online = spec.online;
+    XIA_ASSIGN_OR_RETURN(const net::CreateIndexReply reply,
+                         client_.CreateIndex(request));
+    if (!quiet_) {
+      std::printf("created %s%s: %llu entries, %llu bytes, %.3fs",
+                  spec.name.c_str(), spec.is_virtual ? " (virtual)" : "",
+                  static_cast<unsigned long long>(reply.entry_count),
+                  static_cast<unsigned long long>(reply.size_bytes),
+                  reply.build_seconds);
+      if (reply.online) {
+        std::printf(" [online: stall %.3fs, %llu delta ops]",
+                    reply.stall_seconds,
+                    static_cast<unsigned long long>(reply.delta_ops));
+      }
+      std::printf("\n");
+    }
     return Status::OK();
   }
 
@@ -376,6 +408,8 @@ int Usage() {
       "          | explain [analyze] STMT\n"
       "          | advise [BUDGET [ALGO [BUDGET_MS]]]\n"
       "          | metrics [json|prom|table] | repl status\n"
+      "          | create index NAME on COLL PATTERN\n"
+      "            [string|numeric|structural] [virtual] [online]\n"
       "  with --retry N, a write rejected by a follower or deposed\n"
       "  leader (read_only/fenced) is retried once against the leader\n"
       "  endpoint named in the rejection.\n");

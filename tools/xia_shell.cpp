@@ -19,17 +19,20 @@
 #include <iostream>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "advisor/advisor.h"
+#include "engine/ddl.h"
 #include "engine/executor.h"
 #include "engine/query_parser.h"
 #include "fault/fault.h"
 #include "obs/metrics.h"
 #include "optimizer/optimizer.h"
 #include "storage/catalog.h"
+#include "storage/online_build.h"
 #include "storage/snapshot.h"
 #include "tpox/tpox_data.h"
 #include "tpox/xmark.h"
@@ -152,7 +155,7 @@ class Shell {
         "  indexes                        list catalog indexes\n"
         "  create collection NAME         create an empty collection\n"
         "  create index NAME on COLL PATTERN [string|numeric|structural]"
-        " [virtual]\n"
+        " [virtual] [online]\n"
         "  drop index NAME\n"
         "  runstats COLLECTION            refresh data statistics\n"
         "  checkpoint                     snapshot + truncate the WAL"
@@ -345,54 +348,59 @@ class Shell {
     return CreateIndex(rest);
   }
 
-  // create index NAME on COLL PATTERN [type] [virtual]
+  // create index NAME on COLL PATTERN [type] [virtual] [online]
   Status CreateIndex(const std::string& rest) {
     std::lock_guard<std::mutex> db(db_mu_);
-    std::vector<std::string> tokens;
-    for (const auto& t : Split(rest, ' ')) {
-      if (!t.empty()) tokens.push_back(t);
-    }
-    if (tokens.size() < 4 || tokens[0] != "index" || tokens[2] != "on") {
-      return Status::InvalidArgument(
-          "create index NAME on COLL PATTERN [string|numeric|structural]"
-          " [virtual]");
-    }
-    const std::string& name = tokens[1];
-    const std::string& coll = tokens[3];
-    if (tokens.size() < 5) {
-      return Status::InvalidArgument("missing index pattern");
-    }
-    XIA_ASSIGN_OR_RETURN(xpath::Path path, xpath::ParsePattern(tokens[4]));
-    xpath::IndexPattern pattern{std::move(path), xpath::ValueType::kString};
-    bool is_virtual = false;
-    for (size_t i = 5; i < tokens.size(); ++i) {
-      if (tokens[i] == "numeric") {
-        pattern.type = xpath::ValueType::kNumeric;
-      } else if (tokens[i] == "string") {
-        pattern.type = xpath::ValueType::kString;
-      } else if (tokens[i] == "structural") {
-        pattern.structural = true;
-      } else if (tokens[i] == "virtual") {
-        is_virtual = true;
-      } else {
-        return Status::InvalidArgument("unknown modifier " + tokens[i]);
-      }
-    }
-    if (is_virtual) {
+    XIA_ASSIGN_OR_RETURN(const engine::CreateIndexSpec spec,
+                         engine::ParseCreateIndex(rest));
+    storage::OnlineBuildReport report;
+    if (spec.is_virtual) {
       XIA_RETURN_IF_ERROR(
-          catalog_.CreateVirtualIndex(name, coll, pattern).status());
+          catalog_.CreateVirtualIndex(spec.name, spec.collection, spec.pattern)
+              .status());
+    } else if (spec.online) {
+      // The shell command loop holds db_mu_ (the monitor thread is the
+      // only other mutator), so the build runs its phases over a private
+      // shared_mutex: same state machine and report as the server path,
+      // minus concurrent mutators.
+      std::shared_mutex build_mu;
+      auto commit = [&]() -> Status {
+        if (wal_) {
+          return wal_->LogCreateIndex(spec.name, spec.collection,
+                                      spec.pattern);
+        }
+        return Status::OK();
+      };
+      XIA_RETURN_IF_ERROR(
+          storage::BuildIndexOnline(&catalog_, &build_mu, spec.name,
+                                    spec.collection, spec.pattern, {}, commit,
+                                    &report)
+              .status());
     } else {
-      XIA_RETURN_IF_ERROR(catalog_.CreateIndex(name, coll, pattern).status());
+      XIA_RETURN_IF_ERROR(
+          catalog_.CreateIndex(spec.name, spec.collection, spec.pattern)
+              .status());
       // Virtual indexes are advisor scratch state; only real DDL is
       // durable.
-      if (wal_) XIA_RETURN_IF_ERROR(wal_->LogCreateIndex(name, coll, pattern));
+      if (wal_) {
+        XIA_RETURN_IF_ERROR(
+            wal_->LogCreateIndex(spec.name, spec.collection, spec.pattern));
+      }
     }
-    XIA_ASSIGN_OR_RETURN(const storage::IndexDef* def, catalog_.Get(name));
-    std::printf("created %s%s: %llu entries, %s\n", name.c_str(),
-                is_virtual ? " (virtual)" : "",
+    XIA_ASSIGN_OR_RETURN(const storage::IndexDef* def,
+                         catalog_.Get(spec.name));
+    std::printf("created %s%s: %llu entries, %s\n", spec.name.c_str(),
+                spec.is_virtual ? " (virtual)" : "",
                 static_cast<unsigned long long>(def->stats.entry_count),
                 HumanBytes(static_cast<double>(def->stats.size_bytes))
                     .c_str());
+    if (spec.online) {
+      std::printf("  online build: %.3fs total, %.3fs stalled, "
+                  "%llu delta ops, %llu docs scanned\n",
+                  report.total_seconds, report.exclusive_seconds,
+                  static_cast<unsigned long long>(report.delta_ops_applied),
+                  static_cast<unsigned long long>(report.docs_scanned));
+    }
     return Status::OK();
   }
 
